@@ -1,0 +1,77 @@
+// Ablation A (design-choice study, beyond the paper's figures): how the
+// snapshot interval (a snapshot epoch every n commits; the paper fixes
+// n = 10,000) affects mixed-workload throughput, OLAP latency and the
+// number of snapshot materializations. Smaller intervals give OLAP fresher
+// data and shorter chains but pay more materializations.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tpch/workload_driver.h"
+
+namespace anker {
+namespace {
+
+struct IntervalResult {
+  double throughput_ktps;
+  double olap_p50_ms;
+  size_t materializations;
+};
+
+IntervalResult RunWithInterval(size_t rows, uint64_t oltp,
+                               uint64_t interval, size_t threads) {
+  engine::DatabaseConfig config = engine::DatabaseConfig::ForMode(
+      txn::ProcessingMode::kHeterogeneousSerializable);
+  config.snapshot_interval_commits = interval;
+  engine::Database db(config);
+  db.Start();
+  tpch::TpchConfig tpch;
+  tpch.lineitem_rows = rows;
+  auto loaded = tpch::LoadTpch(&db, tpch);
+  ANKER_CHECK(loaded.ok());
+  tpch::WorkloadDriver driver(&db, loaded.value());
+  ANKER_CHECK(driver.WarmupSnapshots().ok());
+
+  tpch::WorkloadConfig workload;
+  workload.oltp_transactions = oltp;
+  workload.olap_transactions = 20;
+  workload.threads = threads;
+  const tpch::WorkloadResult result = driver.RunMixed(workload);
+
+  IntervalResult out;
+  out.throughput_ktps = result.throughput_tps / 1000.0;
+  out.olap_p50_ms = result.olap_latency.Percentile(50) / 1e6;
+  out.materializations = db.snapshot_manager()->total_materializations();
+  db.Stop();
+  return out;
+}
+
+}  // namespace
+}  // namespace anker
+
+int main(int argc, char** argv) {
+  using namespace anker;
+  bench::Flags flags(argc, argv);
+  const size_t rows = static_cast<size_t>(
+      flags.Int("li_rows", flags.Has("full") ? 6000000 : 2400000));
+  const uint64_t oltp = static_cast<uint64_t>(
+      flags.Int("oltp", flags.Has("full") ? 500000 : 120000));
+  const size_t threads = static_cast<size_t>(flags.Int("threads", 8));
+
+  bench::PrintHeader(
+      "Ablation A: snapshot interval sweep (paper fixes n = 10,000)",
+      "smaller n: more materializations, fresher snapshots; throughput "
+      "largely flat until n becomes very small");
+  std::printf("lineitem rows: %zu, %zu OLTP + 20 OLAP txns, %zu threads\n\n",
+              rows, static_cast<size_t>(oltp), threads);
+
+  std::printf("%-16s %18s %16s %18s\n", "interval n", "throughput[ktps]",
+              "OLAP p50 [ms]", "materializations");
+  for (uint64_t interval : {1000, 5000, 10000, 50000, 100000}) {
+    const IntervalResult r = RunWithInterval(rows, oltp, interval, threads);
+    std::printf("%-16zu %18.1f %16.3f %18zu\n",
+                static_cast<size_t>(interval), r.throughput_ktps,
+                r.olap_p50_ms, r.materializations);
+    std::fflush(stdout);
+  }
+  return 0;
+}

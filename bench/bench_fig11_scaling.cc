@@ -1,0 +1,71 @@
+// Reproduces Figure 11: throughput scaling of heterogeneous processing
+// (full serializability) with 1, 2, 4 and 8 threads, for the pure OLTP
+// workload and the mixed workload. Paper shape: sub-linear scaling (~2.1x
+// for OLTP-only, ~2.6x mixed at 8 threads) because the commit/validation
+// phase is partially sequential behind the commit mutex.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tpch/workload_driver.h"
+
+namespace anker {
+namespace {
+
+double RunThroughput(size_t rows, uint64_t oltp, uint64_t olap,
+                     size_t threads) {
+  engine::DatabaseConfig config = engine::DatabaseConfig::ForMode(
+      txn::ProcessingMode::kHeterogeneousSerializable);
+  config.snapshot_interval_commits = 10000;
+  engine::Database db(config);
+  db.Start();
+  tpch::TpchConfig tpch;
+  tpch.lineitem_rows = rows;
+  auto loaded = tpch::LoadTpch(&db, tpch);
+  ANKER_CHECK(loaded.ok());
+  tpch::WorkloadDriver driver(&db, loaded.value());
+  ANKER_CHECK(driver.WarmupSnapshots().ok());
+
+  tpch::WorkloadConfig workload;
+  workload.oltp_transactions = oltp;
+  workload.olap_transactions = olap;
+  workload.threads = threads;
+  const tpch::WorkloadResult result = driver.RunMixed(workload);
+  db.Stop();
+  return result.throughput_tps;
+}
+
+}  // namespace
+}  // namespace anker
+
+int main(int argc, char** argv) {
+  using namespace anker;
+  bench::Flags flags(argc, argv);
+  const size_t rows = static_cast<size_t>(
+      flags.Int("li_rows", flags.Has("full") ? 6000000 : 2400000));
+  const uint64_t oltp = static_cast<uint64_t>(
+      flags.Int("oltp", flags.Has("full") ? 500000 : 120000));
+
+  bench::PrintHeader(
+      "Figure 11: heterogeneous throughput scaling with threads",
+      "sub-linear scaling (paper: ~2.1x OLTP-only / ~2.6x mixed at 8 "
+      "threads) — commit validation is partially sequential");
+  std::printf("lineitem rows: %zu, %zu OLTP txns per run\n\n", rows,
+              static_cast<size_t>(oltp));
+
+  std::printf("%-8s %20s %26s\n", "threads", "OLTP only [ktps]",
+              "OLTP + 10 OLAP [ktps]");
+  double base_oltp = 0;
+  double base_mixed = 0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    const double t_oltp = RunThroughput(rows, oltp, 0, threads) / 1000.0;
+    const double t_mixed = RunThroughput(rows, oltp, 10, threads) / 1000.0;
+    if (threads == 1) {
+      base_oltp = t_oltp;
+      base_mixed = t_mixed;
+    }
+    std::printf("%-8zu %14.1f (%.2fx) %20.1f (%.2fx)\n", threads, t_oltp,
+                t_oltp / base_oltp, t_mixed, t_mixed / base_mixed);
+    std::fflush(stdout);
+  }
+  return 0;
+}

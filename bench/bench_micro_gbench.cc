@@ -1,0 +1,130 @@
+// Google-benchmark micro-benchmarks for the snapshotting primitives:
+// per-operation costs underlying Figures 5a/5b and Table 1 measured with
+// statistical repetition (complements the paper-table harnesses).
+#include <benchmark/benchmark.h>
+
+#include "common/macros.h"
+#include "snapshot/physical_buffer.h"
+#include "snapshot/rewired_buffer.h"
+#include "snapshot/vm_snapshot_buffer.h"
+#include "vm/page.h"
+
+namespace anker {
+namespace {
+
+using snapshot::SnapshotView;
+using vm::kPageSize;
+
+constexpr size_t kColumnBytes = 4 << 20;  // 4 MB = 1024 pages
+
+void BM_PhysicalSnapshot(benchmark::State& state) {
+  auto buffer = snapshot::PhysicalBuffer::Create(kColumnBytes);
+  ANKER_CHECK(buffer.ok());
+  for (auto _ : state) {
+    auto snap = buffer.value()->TakeSnapshot();
+    ANKER_CHECK(snap.ok());
+    benchmark::DoNotOptimize(snap.value()->data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kColumnBytes));
+}
+BENCHMARK(BM_PhysicalSnapshot);
+
+void BM_VmSnapshotClean(benchmark::State& state) {
+  auto buffer = snapshot::VmSnapshotBuffer::Create(kColumnBytes);
+  ANKER_CHECK(buffer.ok());
+  for (auto _ : state) {
+    auto snap = buffer.value()->TakeSnapshot();
+    ANKER_CHECK(snap.ok());
+    benchmark::DoNotOptimize(snap.value()->data());
+  }
+}
+BENCHMARK(BM_VmSnapshotClean);
+
+void BM_VmSnapshotDirtyPages(benchmark::State& state) {
+  // Snapshot cost as a function of pages dirtied since the last snapshot —
+  // the quantity the emulated system call's cost is proportional to.
+  const size_t dirty = static_cast<size_t>(state.range(0));
+  auto buffer = snapshot::VmSnapshotBuffer::Create(kColumnBytes);
+  ANKER_CHECK(buffer.ok());
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (size_t p = 0; p < dirty; ++p) {
+      buffer.value()->StoreU64(p * kPageSize, p + 1);
+    }
+    state.ResumeTiming();
+    auto snap = buffer.value()->TakeSnapshot();
+    ANKER_CHECK(snap.ok());
+    benchmark::DoNotOptimize(snap.value()->data());
+  }
+}
+BENCHMARK(BM_VmSnapshotDirtyPages)->Arg(1)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_RewiredSnapshotFragmented(benchmark::State& state) {
+  // Snapshot cost as a function of mapping fragmentation (VMA count).
+  const size_t fragments = static_cast<size_t>(state.range(0));
+  auto buffer = snapshot::RewiredBuffer::Create(kColumnBytes);
+  ANKER_CHECK(buffer.ok());
+  {
+    auto warmup = buffer.value()->TakeSnapshot();
+    ANKER_CHECK(warmup.ok());
+    const size_t pages = kColumnBytes / kPageSize;
+    const size_t stride = pages / fragments;
+    for (size_t f = 0; f < fragments; ++f) {
+      buffer.value()->StoreU64(f * stride * kPageSize, f + 1);
+    }
+  }
+  for (auto _ : state) {
+    auto snap = buffer.value()->TakeSnapshot();
+    ANKER_CHECK(snap.ok());
+    benchmark::DoNotOptimize(snap.value()->data());
+  }
+}
+BENCHMARK(BM_RewiredSnapshotFragmented)->Arg(1)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_WriteAfterSnapshotRewired(benchmark::State& state) {
+  // First write to a protected page: SIGSEGV + manual page copy.
+  auto buffer = snapshot::RewiredBuffer::Create(kColumnBytes);
+  ANKER_CHECK(buffer.ok());
+  size_t page = 0;
+  const size_t pages = kColumnBytes / kPageSize;
+  std::unique_ptr<SnapshotView> snap;
+  for (auto _ : state) {
+    if (page == 0) {
+      state.PauseTiming();
+      auto fresh = buffer.value()->TakeSnapshot();  // re-protects all pages
+      ANKER_CHECK(fresh.ok());
+      snap = fresh.TakeValue();
+      state.ResumeTiming();
+    }
+    buffer.value()->StoreU64(page * kPageSize, page);
+    page = (page + 1) % pages;
+  }
+}
+BENCHMARK(BM_WriteAfterSnapshotRewired);
+
+void BM_WriteAfterSnapshotVm(benchmark::State& state) {
+  // First write to a snapshot-shared page: OS copy-on-write fault only.
+  auto buffer = snapshot::VmSnapshotBuffer::Create(kColumnBytes);
+  ANKER_CHECK(buffer.ok());
+  size_t page = 0;
+  const size_t pages = kColumnBytes / kPageSize;
+  std::unique_ptr<SnapshotView> snap;
+  for (auto _ : state) {
+    if (page == 0) {
+      state.PauseTiming();
+      auto fresh = buffer.value()->TakeSnapshot();
+      ANKER_CHECK(fresh.ok());
+      snap = fresh.TakeValue();
+      state.ResumeTiming();
+    }
+    buffer.value()->StoreU64(page * kPageSize, page);
+    page = (page + 1) % pages;
+  }
+}
+BENCHMARK(BM_WriteAfterSnapshotVm);
+
+}  // namespace
+}  // namespace anker
+
+BENCHMARK_MAIN();

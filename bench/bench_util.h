@@ -1,0 +1,88 @@
+#ifndef ANKER_BENCH_BENCH_UTIL_H_
+#define ANKER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace anker::bench {
+
+/// Minimal flag parser for the bench binaries: `--name=value` and boolean
+/// `--name`. Unknown flags abort with a message so typos are not silently
+/// ignored.
+class Flags {
+ public:
+  Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  bool Has(const char* name) const {
+    const std::string flag = std::string("--") + name;
+    for (int i = 1; i < argc_; ++i) {
+      if (flag == argv_[i]) return true;
+    }
+    return false;
+  }
+
+  long Int(const char* name, long default_value) const {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+        return std::atol(argv_[i] + prefix.size());
+      }
+    }
+    return default_value;
+  }
+
+  std::string Str(const char* name, const std::string& default_value) const {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+        return std::string(argv_[i] + prefix.size());
+      }
+    }
+    return default_value;
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+};
+
+/// Best-effort raise of vm.max_map_count: the rewired-snapshot experiments
+/// deliberately fragment mappings into tens of thousands of VMAs (that is
+/// the effect under measurement), which exceeds the kernel default of
+/// 65530. Returns the limit now in effect (0 if unreadable).
+inline long EnsureMapCountLimit(long wanted) {
+  long current = 0;
+  if (FILE* f = std::fopen("/proc/sys/vm/max_map_count", "r")) {
+    if (std::fscanf(f, "%ld", &current) != 1) current = 0;
+    std::fclose(f);
+  }
+  if (current >= wanted) return current;
+  if (FILE* f = std::fopen("/proc/sys/vm/max_map_count", "w")) {
+    std::fprintf(f, "%ld", wanted);
+    std::fclose(f);
+    if (FILE* rf = std::fopen("/proc/sys/vm/max_map_count", "r")) {
+      if (std::fscanf(rf, "%ld", &current) != 1) current = 0;
+      std::fclose(rf);
+    }
+  }
+  return current;
+}
+
+/// Prints the standard bench header: what is being reproduced and at what
+/// scale relative to the paper.
+inline void PrintHeader(const char* experiment, const char* paper_shape) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper shape to reproduce: %s\n", paper_shape);
+  std::printf("(absolute numbers differ from the paper's 2x4-core Xeon "
+              "testbed;\n shapes and ratios are what matters)\n");
+  std::printf("==============================================================="
+              "=\n");
+}
+
+}  // namespace anker::bench
+
+#endif  // ANKER_BENCH_BENCH_UTIL_H_

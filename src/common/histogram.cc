@@ -1,0 +1,67 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace anker {
+
+void Histogram::Record(int64_t value_nanos) {
+  samples_.push_back(value_nanos);
+  sorted_ = false;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+void Histogram::SortIfNeeded() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+int64_t Histogram::min() const {
+  ANKER_CHECK(!samples_.empty());
+  SortIfNeeded();
+  return samples_.front();
+}
+
+int64_t Histogram::max() const {
+  ANKER_CHECK(!samples_.empty());
+  SortIfNeeded();
+  return samples_.back();
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0.0;
+  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return sum / static_cast<double>(samples_.size());
+}
+
+int64_t Histogram::Percentile(double q) const {
+  ANKER_CHECK(!samples_.empty());
+  ANKER_CHECK(q >= 0.0 && q <= 100.0);
+  SortIfNeeded();
+  const size_t rank = static_cast<size_t>(
+      (q / 100.0) * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+std::string Histogram::Summary() const {
+  if (samples_.empty()) return "(no samples)";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms "
+                "max=%.3fms",
+                count(), Mean() / 1e6, Percentile(50) / 1e6,
+                Percentile(95) / 1e6, Percentile(99) / 1e6, max() / 1e6);
+  return buf;
+}
+
+}  // namespace anker

@@ -1,0 +1,42 @@
+#ifndef ANKER_COMMON_HISTOGRAM_H_
+#define ANKER_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anker {
+
+/// Latency histogram with exact percentile queries over recorded samples.
+/// Designed for bench harness use (record nanoseconds, query p50/p95/...).
+/// Not thread-safe; each worker records into its own histogram and the
+/// harness merges at the end.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Record(int64_t value_nanos);
+
+  /// Merges all samples from `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  size_t count() const { return samples_.size(); }
+  int64_t min() const;
+  int64_t max() const;
+  double Mean() const;
+  /// Exact percentile (q in [0,100]) over recorded samples.
+  int64_t Percentile(double q) const;
+
+  /// One-line summary: count/mean/p50/p95/p99/max in milliseconds.
+  std::string Summary() const;
+
+ private:
+  void SortIfNeeded() const;
+
+  mutable std::vector<int64_t> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace anker
+
+#endif  // ANKER_COMMON_HISTOGRAM_H_

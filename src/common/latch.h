@@ -1,0 +1,89 @@
+#ifndef ANKER_COMMON_LATCH_H_
+#define ANKER_COMMON_LATCH_H_
+
+#include <atomic>
+#include <shared_mutex>
+
+#include "common/macros.h"
+
+namespace anker {
+
+/// Tiny test-and-set spin lock. Used in paths where a fault handler or a
+/// very short critical section cannot afford a futex sleep.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  ANKER_DISALLOW_COPY_AND_MOVE(SpinLock);
+
+  void Lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+
+  bool TryLock() { return !flag_.test_and_set(std::memory_order_acquire); }
+
+  void Unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// RAII guard for SpinLock.
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.Lock(); }
+  ~SpinLockGuard() { lock_.Unlock(); }
+  ANKER_DISALLOW_COPY_AND_MOVE(SpinLockGuard);
+
+ private:
+  SpinLock& lock_;
+};
+
+/// Shared/exclusive latch protecting a column. Updating transactions hold
+/// it shared; snapshot materialization holds it exclusive, which drains and
+/// blocks updaters exactly as described in the paper (Section 2.2.3).
+class Latch {
+ public:
+  Latch() = default;
+  ANKER_DISALLOW_COPY_AND_MOVE(Latch);
+
+  void LockShared() { mutex_.lock_shared(); }
+  void UnlockShared() { mutex_.unlock_shared(); }
+  void LockExclusive() { mutex_.lock(); }
+  void UnlockExclusive() { mutex_.unlock(); }
+  bool TryLockExclusive() { return mutex_.try_lock(); }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// RAII shared guard.
+class SharedGuard {
+ public:
+  explicit SharedGuard(Latch& latch) : latch_(latch) { latch_.LockShared(); }
+  ~SharedGuard() { latch_.UnlockShared(); }
+  ANKER_DISALLOW_COPY_AND_MOVE(SharedGuard);
+
+ private:
+  Latch& latch_;
+};
+
+/// RAII exclusive guard.
+class ExclusiveGuard {
+ public:
+  explicit ExclusiveGuard(Latch& latch) : latch_(latch) {
+    latch_.LockExclusive();
+  }
+  ~ExclusiveGuard() { latch_.UnlockExclusive(); }
+  ANKER_DISALLOW_COPY_AND_MOVE(ExclusiveGuard);
+
+ private:
+  Latch& latch_;
+};
+
+}  // namespace anker
+
+#endif  // ANKER_COMMON_LATCH_H_

@@ -1,0 +1,38 @@
+#ifndef ANKER_COMMON_MACROS_H_
+#define ANKER_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts the process with a message when an invariant is violated.
+/// Used for programming errors; recoverable errors use anker::Status.
+#define ANKER_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "ANKER_CHECK failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define ANKER_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "ANKER_CHECK failed: %s (%s) at %s:%d\n", #cond,\
+                   (msg), __FILE__, __LINE__);                             \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Deletes copy operations for a class.
+#define ANKER_DISALLOW_COPY(ClassName)        \
+  ClassName(const ClassName&) = delete;       \
+  ClassName& operator=(const ClassName&) = delete
+
+/// Deletes copy and move operations for a class.
+#define ANKER_DISALLOW_COPY_AND_MOVE(ClassName) \
+  ANKER_DISALLOW_COPY(ClassName);               \
+  ClassName(ClassName&&) = delete;              \
+  ClassName& operator=(ClassName&&) = delete
+
+#endif  // ANKER_COMMON_MACROS_H_

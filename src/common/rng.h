@@ -1,0 +1,39 @@
+#ifndef ANKER_COMMON_RNG_H_
+#define ANKER_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace anker {
+
+/// Small, fast, deterministic pseudo-random generator (xoshiro256**).
+/// Deterministic seeding makes data generation and tests reproducible.
+class Rng {
+ public:
+  /// Seeds the generator. Identical seeds produce identical sequences.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDoubleInRange(double lo, double hi);
+
+  /// True with probability p (p in [0,1]).
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace anker
+
+#endif  // ANKER_COMMON_RNG_H_

@@ -1,0 +1,71 @@
+#ifndef ANKER_COMMON_THREAD_POOL_H_
+#define ANKER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace anker {
+
+/// Fixed-size worker pool used by the workload driver to execute streams of
+/// OLTP/OLAP transactions. Tasks are plain std::function<void()>; callers
+/// track their own completion (see WaitGroup below).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  ANKER_DISALLOW_COPY_AND_MOVE(ThreadPool);
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Lightweight completion counter for fan-out/fan-in patterns.
+class WaitGroup {
+ public:
+  void Add(int n) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    count_ += n;
+  }
+
+  void Done() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ANKER_CHECK(count_ > 0);
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
+}  // namespace anker
+
+#endif  // ANKER_COMMON_THREAD_POOL_H_

@@ -1,0 +1,35 @@
+#ifndef ANKER_COMMON_TIMER_H_
+#define ANKER_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace anker {
+
+/// Monotonic wall-clock timer with nanosecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace anker
+
+#endif  // ANKER_COMMON_TIMER_H_

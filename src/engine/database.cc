@@ -1,0 +1,102 @@
+#include "engine/database.h"
+
+namespace anker::engine {
+
+DatabaseConfig DatabaseConfig::ForMode(txn::ProcessingMode mode) {
+  DatabaseConfig config;
+  config.mode = mode;
+  config.backend = config.heterogeneous()
+                       ? snapshot::BufferBackend::kVmSnapshot
+                       : snapshot::BufferBackend::kPlain;
+  return config;
+}
+
+ColumnReader OlapContext::Reader(const storage::Column* column) const {
+  if (handle_ != nullptr) {
+    return ColumnReader::ForSnapshot(handle_->GetColumn(column),
+                                     column->num_rows());
+  }
+  return ColumnReader::ForLive(column, read_ts_);
+}
+
+Database::Database(DatabaseConfig config)
+    : config_(config), txn_manager_(config.mode) {
+  if (config_.heterogeneous()) {
+    ANKER_CHECK_MSG(config_.backend != snapshot::BufferBackend::kPlain,
+                    "heterogeneous mode needs a snapshot-capable backend");
+    snapshot_manager_ = std::make_unique<SnapshotManager>(
+        &txn_manager_.oracle(), &txn_manager_.registry());
+    const uint64_t interval = config_.snapshot_interval_commits;
+    SnapshotManager* manager = snapshot_manager_.get();
+    txn_manager_.SetCommitHook([manager, interval](uint64_t commits) {
+      if (interval > 0 && commits % interval == 0) manager->TriggerEpoch();
+    });
+  } else {
+    gc_ = std::make_unique<mvcc::GarbageCollector>(
+        [this] {
+          std::vector<mvcc::VersionStore*> stores;
+          for (storage::Column* column : catalog_.AllColumns()) {
+            stores.push_back(column->versions());
+          }
+          return stores;
+        },
+        &txn_manager_.registry(), &txn_manager_.oracle(),
+        config_.gc_interval_millis);
+  }
+}
+
+Database::~Database() { Stop(); }
+
+void Database::Start() {
+  if (started_) return;
+  started_ = true;
+  if (gc_ != nullptr) gc_->Start();
+}
+
+void Database::Stop() {
+  if (!started_) return;
+  started_ = false;
+  if (gc_ != nullptr) gc_->Stop();
+}
+
+Result<storage::Table*> Database::CreateTable(
+    const std::string& name, const std::vector<storage::ColumnDef>& schema,
+    size_t num_rows) {
+  auto table = storage::Table::Create(name, schema, num_rows,
+                                      config_.backend);
+  if (!table.ok()) return table.status();
+  storage::Table* raw = table.value().get();
+  ANKER_RETURN_IF_ERROR(catalog_.AddTable(table.TakeValue()));
+  return raw;
+}
+
+Result<std::unique_ptr<OlapContext>> Database::BeginOlap(
+    const std::vector<storage::Column*>& columns) {
+  std::unique_ptr<OlapContext> ctx(new OlapContext());
+  ctx->txn_ = txn_manager_.Begin(txn::TxnType::kOlap);
+  if (config_.heterogeneous()) {
+    auto handle = snapshot_manager_->Acquire(columns);
+    if (!handle.ok()) {
+      txn_manager_.Abort(ctx->txn_.get());
+      return handle.status();
+    }
+    ctx->handle_ = handle.TakeValue();
+    // OLAP transactions read at the epoch timestamp: every column resolves
+    // to the same logical point in time even though materialization is
+    // lazy and per column (paper Section 2.2.2).
+    ctx->read_ts_ = ctx->handle_->epoch_ts();
+  } else {
+    ctx->read_ts_ = ctx->txn_->start_ts();
+  }
+  return ctx;
+}
+
+Status Database::FinishOlap(std::unique_ptr<OlapContext> ctx) {
+  ANKER_CHECK(ctx != nullptr);
+  // Release the snapshot handle before finishing the transaction so epoch
+  // retirement sees up-to-date refcounts.
+  ctx->handle_.reset();
+  return txn_manager_.Commit(ctx->txn_.get());
+}
+
+}  // namespace anker::engine

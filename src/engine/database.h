@@ -1,0 +1,120 @@
+#ifndef ANKER_ENGINE_DATABASE_H_
+#define ANKER_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "engine/executor.h"
+#include "engine/snapshot_manager.h"
+#include "mvcc/garbage_collector.h"
+#include "storage/catalog.h"
+#include "txn/transaction_manager.h"
+
+namespace anker::engine {
+
+/// Engine configuration (paper Section 5.1's three setups plus knobs).
+struct DatabaseConfig {
+  txn::ProcessingMode mode =
+      txn::ProcessingMode::kHeterogeneousSerializable;
+  /// Buffer backend for column memory. Heterogeneous mode needs a
+  /// snapshot-capable backend (vm_snapshot by default); homogeneous modes
+  /// default to plain memory.
+  snapshot::BufferBackend backend = snapshot::BufferBackend::kVmSnapshot;
+  /// A snapshot epoch is triggered every this many commits (paper: 10,000).
+  uint64_t snapshot_interval_commits = 10000;
+  /// Homogeneous-mode GC pass interval (paper: every second).
+  int gc_interval_millis = 1000;
+
+  bool heterogeneous() const {
+    return mode == txn::ProcessingMode::kHeterogeneousSerializable;
+  }
+
+  /// Canonical configuration for a processing mode.
+  static DatabaseConfig ForMode(txn::ProcessingMode mode);
+};
+
+/// Read context of one OLAP transaction: under heterogeneous processing it
+/// pins a snapshot epoch and reads at the epoch timestamp; under
+/// homogeneous processing it reads the live, versioned representation at
+/// the transaction's start timestamp. Queries obtain ColumnReaders from it
+/// and never care which world they run in.
+class OlapContext {
+ public:
+  ~OlapContext() = default;
+  ANKER_DISALLOW_COPY_AND_MOVE(OlapContext);
+
+  /// Reader for a column that was declared in BeginOlap's column set.
+  ColumnReader Reader(const storage::Column* column) const;
+
+  mvcc::Timestamp read_ts() const { return read_ts_; }
+  txn::Transaction* txn() const { return txn_.get(); }
+  bool on_snapshot() const { return handle_ != nullptr; }
+
+ private:
+  friend class Database;
+  OlapContext() = default;
+
+  std::unique_ptr<txn::Transaction> txn_;
+  std::unique_ptr<SnapshotHandle> handle_;  ///< nullptr in homogeneous mode.
+  mvcc::Timestamp read_ts_ = 0;
+};
+
+/// The AnKerDB engine: a column-oriented main-memory MVCC store with a
+/// configurable processing model. Heterogeneous mode outsources OLAP
+/// transactions onto fine-granular virtual snapshots; homogeneous modes
+/// execute everything on the up-to-date representation (snapshots
+/// disabled), matching the paper's evaluation baselines.
+class Database {
+ public:
+  explicit Database(DatabaseConfig config);
+  ~Database();
+  ANKER_DISALLOW_COPY_AND_MOVE(Database);
+
+  const DatabaseConfig& config() const { return config_; }
+
+  /// Creates an empty table; columns use the configured buffer backend.
+  Result<storage::Table*> CreateTable(
+      const std::string& name, const std::vector<storage::ColumnDef>& schema,
+      size_t num_rows);
+
+  storage::Catalog& catalog() { return catalog_; }
+  txn::TransactionManager& txn_manager() { return txn_manager_; }
+  SnapshotManager* snapshot_manager() { return snapshot_manager_.get(); }
+  mvcc::GarbageCollector* garbage_collector() { return gc_.get(); }
+
+  /// OLTP entry points (thin wrappers over the transaction manager).
+  std::unique_ptr<txn::Transaction> BeginOltp() {
+    return txn_manager_.Begin(txn::TxnType::kOltp);
+  }
+  Status Commit(txn::Transaction* txn) { return txn_manager_.Commit(txn); }
+  void Abort(txn::Transaction* txn) { txn_manager_.Abort(txn); }
+
+  /// Begins an OLAP transaction over the given column set. Heterogeneous:
+  /// acquires (and lazily materializes) the newest snapshot epoch.
+  /// Homogeneous: reads the live data.
+  Result<std::unique_ptr<OlapContext>> BeginOlap(
+      const std::vector<storage::Column*>& columns);
+
+  /// Finishes an OLAP transaction (read-only commit; never aborts).
+  Status FinishOlap(std::unique_ptr<OlapContext> ctx);
+
+  /// Starts background machinery (GC thread in homogeneous modes).
+  void Start();
+  /// Stops background machinery (idempotent; also run by the destructor).
+  void Stop();
+
+ private:
+  DatabaseConfig config_;
+  storage::Catalog catalog_;
+  txn::TransactionManager txn_manager_;
+  std::unique_ptr<SnapshotManager> snapshot_manager_;
+  std::unique_ptr<mvcc::GarbageCollector> gc_;
+  bool started_ = false;
+};
+
+}  // namespace anker::engine
+
+#endif  // ANKER_ENGINE_DATABASE_H_

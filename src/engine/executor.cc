@@ -1,0 +1,121 @@
+#include "engine/executor.h"
+
+#include "storage/value.h"
+
+namespace anker::engine {
+
+ColumnReader ColumnReader::ForSnapshot(const storage::ColumnSnapshot& snap,
+                                       size_t num_rows) {
+  return ColumnReader(snap.view->data(), snap.chains.get(), snap.epoch_ts,
+                      num_rows, /*allows_ts_skip=*/true);
+}
+
+ColumnReader ColumnReader::ForLive(const storage::Column* column,
+                                   mvcc::Timestamp read_ts) {
+  return ColumnReader(column->raw_data(),
+                      column->versions()->current().get(), read_ts,
+                      column->num_rows(), /*allows_ts_skip=*/false);
+}
+
+uint64_t ColumnReader::ResolveChain(size_t row, uint64_t slot) const {
+  uint64_t candidate = slot;
+  const mvcc::ChainDirectory* dir = dir_;
+  while (dir != nullptr) {
+    for (const mvcc::VersionNode* node = dir->Head(row); node != nullptr;
+         node = node->next) {
+      if (node->ts <= read_ts_) return candidate;
+      candidate = node->value;
+    }
+    const mvcc::ChainDirectory* prev = dir->prev().get();
+    if (prev == nullptr || read_ts_ >= prev->seal_ts()) return candidate;
+    dir = prev;
+  }
+  return candidate;
+}
+
+ScanDriver::ScanDriver(std::vector<const ColumnReader*> readers)
+    : readers_(std::move(readers)) {
+  ANKER_CHECK(!readers_.empty());
+  num_rows_ = readers_[0]->num_rows();
+  for (const ColumnReader* reader : readers_) {
+    ANKER_CHECK(reader->num_rows() == num_rows_);
+  }
+  hint_first_.resize(readers_.size());
+  hint_last_.resize(readers_.size());
+  // A reader older than the previous epoch's seal may need versions from
+  // older chain segments, which the per-block metadata of the current
+  // segment knows nothing about: such readers must resolve every row.
+  needs_prev_.resize(readers_.size());
+  for (size_t i = 0; i < readers_.size(); ++i) {
+    const ColumnReader& reader = *readers_[i];
+    needs_prev_[i] = reader.versioned() &&
+                     reader.dir()->prev() != nullptr &&
+                     reader.read_ts() < reader.dir()->prev()->seal_ts();
+  }
+}
+
+ScanDriver::BlockMode ScanDriver::ClassifyBlock(
+    size_t block, std::vector<uint64_t>* seqs) const {
+  const size_t begin = block * mvcc::kRowsPerBlock;
+  bool any_relevant = false;
+  bool write_in_progress = false;
+  bool any_needs_prev = false;
+  for (size_t i = 0; i < readers_.size(); ++i) {
+    const ColumnReader& reader = *readers_[i];
+    if (!reader.versioned()) {
+      (*seqs)[i] = 0;
+      hint_first_[i] = SIZE_MAX;
+      hint_last_[i] = 0;
+      continue;
+    }
+    if (needs_prev_[i]) any_needs_prev = true;
+    const mvcc::BlockInfo info = reader.dir()->GetBlockInfo(block);
+    (*seqs)[i] = info.seq;
+    if ((info.seq & 1) != 0) write_in_progress = true;
+    // Snapshot readers may prove a block version-free from its newest
+    // version timestamp (the common case: handed-over chains predate the
+    // epoch) and scan it tight; live readers must check per row inside the
+    // versioned range, like the homogeneous baseline the paper measures.
+    const bool relevant =
+        info.has_versions &&
+        (!reader.allows_ts_skip() || info.max_ts > reader.read_ts());
+    if (relevant) {
+      any_relevant = true;
+      hint_first_[i] = begin + info.first_versioned;
+      hint_last_[i] = begin + info.last_versioned;
+    } else {
+      hint_first_[i] = SIZE_MAX;
+      hint_last_[i] = 0;
+    }
+  }
+  if (write_in_progress || any_needs_prev) return BlockMode::kSafe;
+  if (!any_relevant) return BlockMode::kTight;
+  return BlockMode::kHinted;
+}
+
+bool ScanDriver::BlockStable(size_t block,
+                             const std::vector<uint64_t>& seqs) const {
+  for (size_t i = 0; i < readers_.size(); ++i) {
+    const ColumnReader& reader = *readers_[i];
+    if (!reader.versioned()) continue;
+    if (reader.dir()->GetBlockInfo(block).seq != seqs[i]) return false;
+  }
+  return true;
+}
+
+double ScanColumnSum(const ColumnReader& reader, bool as_double,
+                     ScanStats* stats) {
+  ScanDriver driver({&reader});
+  double total = 0.0;
+  driver.Fold<double>(
+      &total,
+      [&](double& acc, const ScanDriver::RowView& row) {
+        const uint64_t raw = row.Col(0);
+        acc += as_double ? storage::DecodeDouble(raw)
+                         : static_cast<double>(storage::DecodeInt64(raw));
+      },
+      [](double& total_acc, double&& local) { total_acc += local; }, stats);
+  return total;
+}
+
+}  // namespace anker::engine

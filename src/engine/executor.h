@@ -1,0 +1,219 @@
+#ifndef ANKER_ENGINE_EXECUTOR_H_
+#define ANKER_ENGINE_EXECUTOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "engine/snapshot_manager.h"
+#include "mvcc/version_store.h"
+#include "storage/column.h"
+
+namespace anker::engine {
+
+/// Read-path handle on one column: a raw slot array plus (optionally) the
+/// version chains and read timestamp needed to resolve versioned rows.
+/// Two flavors exist:
+///  - snapshot readers: `base` points into a SnapshotView; `dir` is the
+///    handed-over chain segment (nullptr when the snapshot is clean);
+///    `read_ts` is the epoch timestamp;
+///  - live readers: `base` is the column's up-to-date buffer; `dir` is the
+///    current chain segment; `read_ts` the transaction's start timestamp.
+class ColumnReader {
+ public:
+  ColumnReader() = default;
+
+  /// Reader over a materialized snapshot (heterogeneous OLAP path).
+  static ColumnReader ForSnapshot(const storage::ColumnSnapshot& snap,
+                                  size_t num_rows);
+
+  /// Reader over the live column (homogeneous OLAP / OLTP-side scans).
+  static ColumnReader ForLive(const storage::Column* column,
+                              mvcc::Timestamp read_ts);
+
+  /// Value of `row` visible at the reader's timestamp. Always safe against
+  /// concurrent committers (slot is loaded before the chain head; the
+  /// committer publishes the chain node before overwriting the slot).
+  inline uint64_t Get(size_t row) const {
+    const uint64_t slot = __atomic_load_n(
+        reinterpret_cast<const uint64_t*>(base_) + row, __ATOMIC_ACQUIRE);
+    if (dir_ == nullptr) return slot;
+    return ResolveChain(row, slot);
+  }
+
+  /// Raw slot value without any version checks. Only correct when the
+  /// caller proved the row cannot carry a relevant version (tight loops).
+  inline uint64_t GetRaw(size_t row) const {
+    return reinterpret_cast<const uint64_t*>(base_)[row];
+  }
+
+  const mvcc::ChainDirectory* dir() const { return dir_; }
+  mvcc::Timestamp read_ts() const { return read_ts_; }
+  size_t num_rows() const { return num_rows_; }
+  bool versioned() const { return dir_ != nullptr; }
+
+  /// Whether a whole block may be proven version-free by comparing the
+  /// block's newest version timestamp against read_ts. True for snapshot
+  /// readers: the paper's snapshots are older than the transactions that
+  /// run on them, which is exactly why OLAP "can simply scan the column in
+  /// a tight loop without considering the version chains" (Fig. 1 step 5).
+  /// False for live readers: the homogeneous baseline the paper evaluates
+  /// checks timestamps per record inside versioned ranges (Section 5.5) —
+  /// that per-row cost is the effect Figures 7 and 9 measure.
+  bool allows_ts_skip() const { return allows_ts_skip_; }
+
+ private:
+  ColumnReader(const uint8_t* base, const mvcc::ChainDirectory* dir,
+               mvcc::Timestamp read_ts, size_t num_rows, bool allows_ts_skip)
+      : base_(base),
+        dir_(dir),
+        read_ts_(read_ts),
+        num_rows_(num_rows),
+        allows_ts_skip_(allows_ts_skip) {}
+
+  uint64_t ResolveChain(size_t row, uint64_t slot) const;
+
+  const uint8_t* base_ = nullptr;
+  const mvcc::ChainDirectory* dir_ = nullptr;
+  mvcc::Timestamp read_ts_ = 0;
+  size_t num_rows_ = 0;
+  bool allows_ts_skip_ = false;
+};
+
+/// Scan statistics: how much of a scan ran in tight loops vs. resolving
+/// version chains (benches report these to explain Figure 7/9 shapes).
+struct ScanStats {
+  size_t tight_rows = 0;
+  size_t hinted_rows = 0;    ///< Versioned block, raw read outside range.
+  size_t resolved_rows = 0;  ///< Full per-row chain resolution.
+  size_t seqlock_retries = 0;
+};
+
+/// Multi-column scan driver implementing the paper's tight-loop strategy
+/// (Section 5.5, adopted from HyPer): per 1024-row block it consults the
+/// first/last-versioned-row metadata of every involved column and
+///  - scans blocks with no versions anywhere in a tight loop of raw loads,
+///  - uses the versioned-range hint to read raw outside [first, last] and
+///    resolve inside,
+///  - falls back to fully safe per-row resolution when a concurrent commit
+///    touched the block mid-scan (detected with a per-block seqlock).
+///
+/// The accumulator type Acc must be default-constructible; per-block
+/// partial results are folded into the total only after the seqlock
+/// verifies the block was stable, which makes retries side-effect free.
+class ScanDriver {
+ public:
+  /// All readers must cover the same row count.
+  explicit ScanDriver(std::vector<const ColumnReader*> readers);
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// Row accessor handed to the scan callback.
+  class RowView {
+   public:
+    /// Value of column `i` (index into the readers vector) at this row.
+    inline uint64_t Col(size_t i) const {
+      const ColumnReader& reader = *driver_->readers_[i];
+      switch (mode_) {
+        case Mode::kTight:
+          return reader.GetRaw(row_);
+        case Mode::kHinted:
+          if (row_ < driver_->hint_first_[i] || row_ > driver_->hint_last_[i])
+            return reader.GetRaw(row_);
+          return reader.Get(row_);
+        case Mode::kSafe:
+          return reader.Get(row_);
+      }
+      return 0;
+    }
+
+    size_t row() const { return row_; }
+
+   private:
+    friend class ScanDriver;
+    enum class Mode { kTight, kHinted, kSafe };
+    const ScanDriver* driver_;
+    size_t row_;
+    Mode mode_;
+  };
+
+  /// Folds `row_fn(Acc&, RowView)` over every row; merges block-local
+  /// accumulators into `total` with `merge(Acc&, Acc&&)`.
+  template <typename Acc, typename RowFn, typename MergeFn>
+  void Fold(Acc* total, RowFn&& row_fn, MergeFn&& merge,
+            ScanStats* stats = nullptr) const {
+    const size_t num_blocks =
+        (num_rows_ + mvcc::kRowsPerBlock - 1) / mvcc::kRowsPerBlock;
+    std::vector<uint64_t> seqs(readers_.size());
+    for (size_t block = 0; block < num_blocks; ++block) {
+      const size_t begin = block * mvcc::kRowsPerBlock;
+      const size_t end = std::min(begin + mvcc::kRowsPerBlock, num_rows_);
+
+      const BlockMode mode = ClassifyBlock(block, &seqs);
+      RowView view;
+      view.driver_ = this;
+
+      if (mode != BlockMode::kSafe) {
+        Acc local{};
+        view.mode_ = mode == BlockMode::kTight ? RowView::Mode::kTight
+                                               : RowView::Mode::kHinted;
+        for (size_t row = begin; row < end; ++row) {
+          view.row_ = row;
+          row_fn(local, view);
+        }
+        if (BlockStable(block, seqs)) {
+          merge(*total, std::move(local));
+          if (stats != nullptr) {
+            if (mode == BlockMode::kTight) {
+              stats->tight_rows += end - begin;
+            } else {
+              stats->hinted_rows += end - begin;
+            }
+          }
+          continue;
+        }
+        if (stats != nullptr) ++stats->seqlock_retries;
+        // Discard `local`, redo the block through the safe path.
+      }
+
+      Acc local{};
+      view.mode_ = RowView::Mode::kSafe;
+      for (size_t row = begin; row < end; ++row) {
+        view.row_ = row;
+        row_fn(local, view);
+      }
+      merge(*total, std::move(local));
+      if (stats != nullptr) stats->resolved_rows += end - begin;
+    }
+  }
+
+ private:
+  enum class BlockMode { kTight, kHinted, kSafe };
+
+  /// Reads every reader's block metadata; returns kTight when no reader
+  /// has versions in the block, kHinted when hints apply, kSafe when a
+  /// write is in progress right now. Records seqlock counters in `seqs`.
+  BlockMode ClassifyBlock(size_t block, std::vector<uint64_t>* seqs) const;
+
+  /// True iff no reader's block seqlock moved since ClassifyBlock.
+  bool BlockStable(size_t block, const std::vector<uint64_t>& seqs) const;
+
+  std::vector<const ColumnReader*> readers_;
+  size_t num_rows_ = 0;
+  /// Per-reader versioned-range hints for the block being scanned
+  /// (absolute row ids; maintained by ClassifyBlock).
+  mutable std::vector<size_t> hint_first_;
+  mutable std::vector<size_t> hint_last_;
+  /// Per-reader: may need chain segments older than reader.dir().
+  std::vector<bool> needs_prev_;
+};
+
+/// Convenience: sum of a single column (typed as double when `as_double`),
+/// used by the full-table-scan transactions and Figure 9.
+double ScanColumnSum(const ColumnReader& reader, bool as_double,
+                     ScanStats* stats = nullptr);
+
+}  // namespace anker::engine
+
+#endif  // ANKER_ENGINE_EXECUTOR_H_

@@ -1,0 +1,44 @@
+#include "mvcc/active_txn_registry.h"
+
+#include <algorithm>
+
+namespace anker::mvcc {
+
+uint64_t ActiveTxnRegistry::Begin(Timestamp start_ts) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const uint64_t serial = next_serial_++;
+  active_.emplace(serial, start_ts);
+  return serial;
+}
+
+void ActiveTxnRegistry::End(uint64_t serial) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const size_t erased = active_.erase(serial);
+  ANKER_CHECK_MSG(erased == 1, "End() for unknown transaction serial");
+}
+
+Timestamp ActiveTxnRegistry::MinStartTs(Timestamp fallback) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (active_.empty()) return fallback;
+  Timestamp min_ts = kInfiniteTimestamp;
+  for (const auto& [serial, ts] : active_) min_ts = std::min(min_ts, ts);
+  return min_ts;
+}
+
+uint64_t ActiveTxnRegistry::MinActiveSerial() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (active_.empty()) return UINT64_MAX;
+  return active_.begin()->first;  // std::map is ordered by serial.
+}
+
+uint64_t ActiveTxnRegistry::CurrentSerial() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return next_serial_ - 1;
+}
+
+size_t ActiveTxnRegistry::ActiveCount() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return active_.size();
+}
+
+}  // namespace anker::mvcc

@@ -1,0 +1,48 @@
+#ifndef ANKER_MVCC_ACTIVE_TXN_REGISTRY_H_
+#define ANKER_MVCC_ACTIVE_TXN_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "common/macros.h"
+#include "mvcc/timestamp_oracle.h"
+
+namespace anker::mvcc {
+
+/// Tracks the set of in-flight transactions. The garbage collector (and
+/// the snapshot manager when deciding whether an old snapshot may be
+/// dropped) needs two facts: the minimum start timestamp of any active
+/// transaction, and whether every transaction active at some earlier point
+/// has finished (grace periods for deferred frees).
+class ActiveTxnRegistry {
+ public:
+  ActiveTxnRegistry() = default;
+  ANKER_DISALLOW_COPY_AND_MOVE(ActiveTxnRegistry);
+
+  /// Registers a transaction begin; returns a process-unique serial.
+  uint64_t Begin(Timestamp start_ts);
+
+  /// Unregisters (commit or abort).
+  void End(uint64_t serial);
+
+  /// Minimum start_ts over active transactions, or `fallback` when idle.
+  Timestamp MinStartTs(Timestamp fallback) const;
+
+  /// Minimum serial over active transactions, or UINT64_MAX when idle.
+  uint64_t MinActiveSerial() const;
+
+  /// Last serial issued so far.
+  uint64_t CurrentSerial() const;
+
+  size_t ActiveCount() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<uint64_t, Timestamp> active_;  ///< serial -> start_ts.
+  uint64_t next_serial_ = 1;
+};
+
+}  // namespace anker::mvcc
+
+#endif  // ANKER_MVCC_ACTIVE_TXN_REGISTRY_H_

@@ -1,0 +1,99 @@
+#include "mvcc/garbage_collector.h"
+
+#include <chrono>
+
+namespace anker::mvcc {
+
+GarbageCollector::GarbageCollector(
+    std::function<std::vector<VersionStore*>()> stores,
+    ActiveTxnRegistry* registry, TimestampOracle* oracle, int interval_millis)
+    : stores_(std::move(stores)),
+      registry_(registry),
+      oracle_(oracle),
+      interval_millis_(interval_millis) {}
+
+GarbageCollector::~GarbageCollector() { Stop(); }
+
+void GarbageCollector::Start() {
+  std::lock_guard<std::mutex> guard(thread_mutex_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void GarbageCollector::Stop() {
+  {
+    std::lock_guard<std::mutex> guard(thread_mutex_);
+    if (!running_) {
+      DrainRetired(/*force=*/true);
+      return;
+    }
+    stop_requested_ = true;
+  }
+  wakeup_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> guard(thread_mutex_);
+    running_ = false;
+  }
+  DrainRetired(/*force=*/true);
+}
+
+void GarbageCollector::Loop() {
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  while (!stop_requested_) {
+    lock.unlock();
+    CollectOnce();
+    lock.lock();
+    wakeup_.wait_for(lock, std::chrono::milliseconds(interval_millis_),
+                     [this] { return stop_requested_; });
+  }
+}
+
+size_t GarbageCollector::CollectOnce() {
+  // Versions older than the oldest transaction in the system are invisible
+  // to every current and future reader.
+  const Timestamp min_active =
+      registry_->MinStartTs(/*fallback=*/oracle_->Current());
+  const uint64_t boundary = registry_->CurrentSerial();
+
+  std::vector<VersionNode*> unlinked_heads;
+  size_t unlinked = 0;
+  for (VersionStore* store : stores_()) {
+    unlinked += store->TruncateOlderThan(min_active, &unlinked_heads);
+  }
+  if (!unlinked_heads.empty()) {
+    std::lock_guard<std::mutex> guard(retired_mutex_);
+    for (VersionNode* head : unlinked_heads) {
+      retired_.push_back(Retired{head, boundary});
+    }
+  }
+  total_unlinked_.fetch_add(unlinked, std::memory_order_relaxed);
+  DrainRetired(/*force=*/false);
+  return unlinked;
+}
+
+void GarbageCollector::DrainRetired(bool force) {
+  const uint64_t min_serial = registry_->MinActiveSerial();
+  std::lock_guard<std::mutex> guard(retired_mutex_);
+  size_t kept = 0;
+  for (Retired& entry : retired_) {
+    if (force || min_serial > entry.boundary_serial) {
+      size_t freed = 0;
+      for (VersionNode* n = entry.head; n != nullptr; n = n->next) ++freed;
+      FreeNodeChain(entry.head);
+      total_freed_.fetch_add(freed, std::memory_order_relaxed);
+    } else {
+      retired_[kept++] = entry;
+    }
+  }
+  retired_.resize(kept);
+}
+
+size_t GarbageCollector::retired_pending() const {
+  std::lock_guard<std::mutex> guard(retired_mutex_);
+  return retired_.size();
+}
+
+}  // namespace anker::mvcc

@@ -1,0 +1,88 @@
+#ifndef ANKER_MVCC_GARBAGE_COLLECTOR_H_
+#define ANKER_MVCC_GARBAGE_COLLECTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "mvcc/active_txn_registry.h"
+#include "mvcc/timestamp_oracle.h"
+#include "mvcc/version_store.h"
+
+namespace anker::mvcc {
+
+/// Background version-chain garbage collector used by the *homogeneous*
+/// configurations (paper Section 5.1): a separate thread makes a pass over
+/// all present chains every second and deletes all versions that are older
+/// than the oldest transaction in the system. The heterogeneous
+/// configuration does not need it — dropping a snapshot drops its chains.
+///
+/// Unlinked suffixes are not freed immediately: readers may still be
+/// traversing them. They are parked on a retire list and freed once every
+/// transaction that was active at unlink time has finished.
+class GarbageCollector {
+ public:
+  /// `stores` returns the version stores to collect (the engine's columns).
+  GarbageCollector(std::function<std::vector<VersionStore*>()> stores,
+                   ActiveTxnRegistry* registry, TimestampOracle* oracle,
+                   int interval_millis = 1000);
+  ~GarbageCollector();
+  ANKER_DISALLOW_COPY_AND_MOVE(GarbageCollector);
+
+  /// Starts the background thread.
+  void Start();
+
+  /// Stops the background thread and drains the retire list.
+  void Stop();
+
+  /// One synchronous collection pass (also used by tests). Returns the
+  /// number of version nodes unlinked in this pass.
+  size_t CollectOnce();
+
+  /// Nodes unlinked over the collector's lifetime.
+  size_t total_unlinked() const {
+    return total_unlinked_.load(std::memory_order_relaxed);
+  }
+
+  /// Nodes actually freed so far.
+  size_t total_freed() const {
+    return total_freed_.load(std::memory_order_relaxed);
+  }
+
+  /// Entries still parked on the retire list (for tests).
+  size_t retired_pending() const;
+
+ private:
+  struct Retired {
+    VersionNode* head;
+    uint64_t boundary_serial;  ///< Free once MinActiveSerial() > this.
+  };
+
+  void Loop();
+  void DrainRetired(bool force);
+
+  std::function<std::vector<VersionStore*>()> stores_;
+  ActiveTxnRegistry* registry_;
+  TimestampOracle* oracle_;
+  int interval_millis_;
+
+  mutable std::mutex retired_mutex_;
+  std::vector<Retired> retired_;
+
+  std::atomic<size_t> total_unlinked_{0};
+  std::atomic<size_t> total_freed_{0};
+
+  std::mutex thread_mutex_;
+  std::condition_variable wakeup_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+};
+
+}  // namespace anker::mvcc
+
+#endif  // ANKER_MVCC_GARBAGE_COLLECTOR_H_

@@ -1,0 +1,38 @@
+#ifndef ANKER_MVCC_TIMESTAMP_ORACLE_H_
+#define ANKER_MVCC_TIMESTAMP_ORACLE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace anker::mvcc {
+
+/// Logical timestamps. 0 is reserved for "initial load"; every transaction
+/// start and every commit draws a fresh, strictly increasing value.
+using Timestamp = uint64_t;
+
+inline constexpr Timestamp kLoadTimestamp = 0;
+inline constexpr Timestamp kInfiniteTimestamp = ~0ULL;
+
+/// Global monotonic timestamp dispenser shared by all transactions.
+class TimestampOracle {
+ public:
+  TimestampOracle() = default;
+  ANKER_DISALLOW_COPY_AND_MOVE(TimestampOracle);
+
+  /// Draws the next timestamp (strictly greater than all previous ones).
+  Timestamp Next() { return counter_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Most recently drawn timestamp (snapshot of the counter).
+  Timestamp Current() const {
+    return counter_.load(std::memory_order_acquire) - 1;
+  }
+
+ private:
+  std::atomic<Timestamp> counter_{1};
+};
+
+}  // namespace anker::mvcc
+
+#endif  // ANKER_MVCC_TIMESTAMP_ORACLE_H_

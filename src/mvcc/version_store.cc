@@ -1,0 +1,207 @@
+#include "mvcc/version_store.h"
+
+namespace anker::mvcc {
+
+ChainDirectory::ChainDirectory(size_t num_rows,
+                               std::shared_ptr<ChainDirectory> prev)
+    : num_rows_(num_rows),
+      blocks_((num_rows + kRowsPerBlock - 1) / kRowsPerBlock),
+      prev_(std::move(prev)) {
+  for (auto& block : blocks_) block.store(nullptr, std::memory_order_relaxed);
+}
+
+ChainDirectory::~ChainDirectory() {
+  for (auto& slot : blocks_) {
+    Block* block = slot.load(std::memory_order_relaxed);
+    if (block == nullptr) continue;
+    for (auto& head : block->heads) {
+      FreeNodeChain(head.load(std::memory_order_relaxed));
+    }
+    delete block;
+  }
+}
+
+ChainDirectory::Block* ChainDirectory::GetOrCreateBlock(size_t block_idx) {
+  Block* block = blocks_[block_idx].load(std::memory_order_acquire);
+  if (block != nullptr) return block;
+  // Single-writer contract: no CAS needed, but keep it anyway so misuse
+  // fails safe rather than leaking.
+  Block* fresh = new Block();
+  Block* expected = nullptr;
+  if (blocks_[block_idx].compare_exchange_strong(expected, fresh,
+                                                 std::memory_order_release)) {
+    return fresh;
+  }
+  delete fresh;
+  return expected;
+}
+
+void ChainDirectory::AddVersion(size_t row, uint64_t old_value,
+                                Timestamp commit_ts) {
+  ANKER_CHECK(row < num_rows_);
+  const size_t block_idx = row / kRowsPerBlock;
+  const uint32_t in_block = static_cast<uint32_t>(row % kRowsPerBlock);
+  Block* block = GetOrCreateBlock(block_idx);
+
+  // Seqlock write section: readers running a tight-loop block scan retry
+  // when they observe the counter change.
+  block->seq.fetch_add(1, std::memory_order_acq_rel);
+
+  // Publish block metadata before the node so a reader that takes the
+  // per-row path knows this row may be versioned.
+  uint32_t first = block->first_versioned.load(std::memory_order_relaxed);
+  while (in_block < first &&
+         !block->first_versioned.compare_exchange_weak(
+             first, in_block, std::memory_order_release)) {
+  }
+  uint32_t last = block->last_versioned.load(std::memory_order_relaxed);
+  while (in_block > last && !block->last_versioned.compare_exchange_weak(
+                                last, in_block, std::memory_order_release)) {
+  }
+  block->has_versions.store(true, std::memory_order_release);
+  // Timestamps are drawn monotonically and there is a single writer, so a
+  // plain max update suffices. Scans use max_ts to prove that none of the
+  // block's versions are relevant at their read timestamp and go tight —
+  // this is what makes scans on fresh snapshots chain-free even though the
+  // handed-over chains travel with them (paper Fig. 1, step 5).
+  if (commit_ts > block->max_ts.load(std::memory_order_relaxed)) {
+    block->max_ts.store(commit_ts, std::memory_order_release);
+  }
+
+  auto* node = new VersionNode{old_value, commit_ts,
+                               block->heads[in_block].load(
+                                   std::memory_order_relaxed)};
+  block->heads[in_block].store(node, std::memory_order_release);
+  total_versions_.fetch_add(1, std::memory_order_relaxed);
+
+  block->seq.fetch_add(1, std::memory_order_release);
+}
+
+const VersionNode* ChainDirectory::Head(size_t row) const {
+  ANKER_CHECK(row < num_rows_);
+  const Block* block =
+      blocks_[row / kRowsPerBlock].load(std::memory_order_acquire);
+  if (block == nullptr) return nullptr;
+  return block->heads[row % kRowsPerBlock].load(std::memory_order_acquire);
+}
+
+BlockInfo ChainDirectory::GetBlockInfo(size_t block_idx) const {
+  ANKER_CHECK(block_idx < blocks_.size());
+  const Block* block = blocks_[block_idx].load(std::memory_order_acquire);
+  if (block == nullptr) {
+    return BlockInfo{static_cast<uint32_t>(kRowsPerBlock), 0, 0, 0, false};
+  }
+  BlockInfo info;
+  info.seq = block->seq.load(std::memory_order_acquire);
+  info.has_versions = block->has_versions.load(std::memory_order_acquire);
+  info.first_versioned =
+      block->first_versioned.load(std::memory_order_acquire);
+  info.last_versioned = block->last_versioned.load(std::memory_order_acquire);
+  info.max_ts = block->max_ts.load(std::memory_order_acquire);
+  if (!info.has_versions) {
+    info.first_versioned = static_cast<uint32_t>(kRowsPerBlock);
+    info.last_versioned = 0;
+  }
+  return info;
+}
+
+size_t ChainDirectory::TruncateOlderThan(Timestamp min_active,
+                                         std::vector<VersionNode*>* retired) {
+  size_t unlinked = 0;
+  for (auto& slot : blocks_) {
+    Block* block = slot.load(std::memory_order_acquire);
+    if (block == nullptr) continue;
+    for (auto& head_slot : block->heads) {
+      VersionNode* head = head_slot.load(std::memory_order_acquire);
+      if (head == nullptr) continue;
+      // A node with ts <= min_active can never be "the oldest node with
+      // ts > s" for any live or future reader (s >= min_active), so the
+      // suffix starting at the first such node is dead.
+      if (head->ts <= min_active) {
+        // The whole chain is dead: unlink from the head slot.
+        if (head_slot.compare_exchange_strong(head, nullptr,
+                                              std::memory_order_acq_rel)) {
+          retired->push_back(head);
+          for (VersionNode* n = head; n != nullptr; n = n->next) ++unlinked;
+        }
+        continue;
+      }
+      VersionNode* keep = head;  // Last node with ts > min_active.
+      while (keep->next != nullptr && keep->next->ts > min_active) {
+        keep = keep->next;
+      }
+      VersionNode* dead = keep->next;
+      if (dead != nullptr) {
+        // Single GC thread + append-only writers (writers only ever push a
+        // new head; they never touch interior next pointers), so a plain
+        // store is safe. Readers already past `keep` continue into the
+        // retired suffix, which stays allocated until they drain.
+        keep->next = nullptr;
+        retired->push_back(dead);
+        for (VersionNode* n = dead; n != nullptr; n = n->next) ++unlinked;
+      }
+    }
+  }
+  total_versions_.fetch_sub(unlinked, std::memory_order_relaxed);
+  return unlinked;
+}
+
+VersionStore::VersionStore(size_t num_rows)
+    : num_rows_(num_rows),
+      current_(std::make_shared<ChainDirectory>(num_rows, nullptr)) {}
+
+void VersionStore::AddVersion(size_t row, uint64_t old_value,
+                              Timestamp commit_ts) {
+  current_->AddVersion(row, old_value, commit_ts);
+}
+
+uint64_t VersionStore::ResolveVisible(size_t row, Timestamp start_ts,
+                                      uint64_t slot_value) const {
+  uint64_t candidate = slot_value;
+  const ChainDirectory* dir = current_.get();
+  while (dir != nullptr) {
+    for (const VersionNode* node = dir->Head(row); node != nullptr;
+         node = node->next) {
+      if (node->ts <= start_ts) return candidate;
+      candidate = node->value;
+    }
+    // Segments older than start_ts cannot carry nodes with ts > start_ts.
+    const ChainDirectory* prev = dir->prev().get();
+    if (prev == nullptr || start_ts >= prev->seal_ts()) return candidate;
+    dir = prev;
+  }
+  return candidate;
+}
+
+Timestamp VersionStore::LastWriteTs(size_t row, Timestamp since) const {
+  const ChainDirectory* dir = current_.get();
+  while (dir != nullptr) {
+    const VersionNode* head = dir->Head(row);
+    if (head != nullptr) return head->ts;
+    const ChainDirectory* prev = dir->prev().get();
+    if (prev == nullptr || since >= prev->seal_ts()) return kLoadTimestamp;
+    dir = prev;
+  }
+  return kLoadTimestamp;
+}
+
+bool VersionStore::HasRelevantVersion(size_t row, Timestamp start_ts) const {
+  return LastWriteTs(row, start_ts) > start_ts;
+}
+
+std::shared_ptr<ChainDirectory> VersionStore::SealEpoch(Timestamp seal_ts) {
+  std::shared_ptr<ChainDirectory> sealed = current_;
+  sealed->Seal(seal_ts);
+  current_ = std::make_shared<ChainDirectory>(num_rows_, sealed);
+  return sealed;
+}
+
+void FreeNodeChain(VersionNode* head) {
+  while (head != nullptr) {
+    VersionNode* next = head->next;
+    delete head;
+    head = next;
+  }
+}
+
+}  // namespace anker::mvcc

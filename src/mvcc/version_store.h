@@ -1,0 +1,169 @@
+#ifndef ANKER_MVCC_VERSION_STORE_H_
+#define ANKER_MVCC_VERSION_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "mvcc/timestamp_oracle.h"
+
+namespace anker::mvcc {
+
+/// Rows per metadata block. The paper adopts HyPer's optimization of
+/// keeping, for every 1024 rows, the position of the first and the last
+/// versioned row so scans can run in tight loops between versioned records
+/// (Section 5.5).
+inline constexpr size_t kRowsPerBlock = 1024;
+
+/// One superseded value in a version chain. Chains are ordered newest to
+/// oldest (paper Section 2.1). `ts` is the commit timestamp of the
+/// transaction that *overwrote* this value: the value was visible until
+/// `ts`. A reader at start time s takes the value of the oldest node with
+/// ts > s, or the in-place column value if there is none.
+struct VersionNode {
+  uint64_t value;
+  Timestamp ts;
+  VersionNode* next;  ///< Older node, or nullptr.
+};
+
+/// Per-block chain metadata (first/last versioned row, seqlock counter,
+/// newest version timestamp).
+struct BlockInfo {
+  uint32_t first_versioned;  ///< Row offset within block, kRowsPerBlock if none.
+  uint32_t last_versioned;
+  uint64_t seq;              ///< Seqlock counter; odd = write in progress.
+  Timestamp max_ts;          ///< Newest version ts in the block (0 if none).
+  bool has_versions;
+};
+
+/// Version chains for one column over one snapshot epoch. When the engine
+/// takes a snapshot, the whole directory is *handed over* to the snapshot
+/// (paper Section 2.2.1, Step 4): the column starts a fresh directory and
+/// the sealed one stays reachable through `prev` for transactions that
+/// started before the epoch. Dropping the snapshot drops the directory and
+/// with it all its chains — the paper's implicit garbage collection.
+///
+/// Thread model: a single writer at a time (the engine's commit section);
+/// any number of concurrent readers. Readers must read the column slot
+/// *before* resolving the chain (see ResolveVisible).
+class ChainDirectory {
+ public:
+  ChainDirectory(size_t num_rows, std::shared_ptr<ChainDirectory> prev);
+  ~ChainDirectory();
+  ANKER_DISALLOW_COPY_AND_MOVE(ChainDirectory);
+
+  /// Pushes `old_value` (overwritten at `commit_ts`) onto row's chain.
+  /// Single-writer only.
+  void AddVersion(size_t row, uint64_t old_value, Timestamp commit_ts);
+
+  /// Newest chain node of `row` in this segment, or nullptr.
+  const VersionNode* Head(size_t row) const;
+
+  BlockInfo GetBlockInfo(size_t block) const;
+  size_t num_blocks() const { return blocks_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Total number of version nodes currently linked in this segment.
+  size_t TotalVersions() const {
+    return total_versions_.load(std::memory_order_relaxed);
+  }
+
+  /// Marks the directory immutable as of `seal_ts`: every node in this or
+  /// any older segment has ts <= seal_ts.
+  void Seal(Timestamp seal_ts) { seal_ts_ = seal_ts; }
+  Timestamp seal_ts() const { return seal_ts_; }
+
+  const std::shared_ptr<ChainDirectory>& prev() const { return prev_; }
+  /// Drops the link to the previous segment (when the previous epoch's
+  /// snapshot is retired and no reader can need it anymore).
+  void DropPrev() { prev_.reset(); }
+
+  /// Homogeneous-mode GC: unlinks every node with ts <= `min_active` from
+  /// every chain. Unlinked suffixes are handed to `retired` (freed later,
+  /// after concurrent readers drain). Returns the number of unlinked nodes.
+  size_t TruncateOlderThan(Timestamp min_active,
+                           std::vector<VersionNode*>* retired);
+
+ private:
+  struct Block {
+    std::vector<std::atomic<VersionNode*>> heads;
+    std::atomic<uint32_t> first_versioned{UINT32_MAX};
+    std::atomic<uint32_t> last_versioned{0};
+    std::atomic<uint64_t> seq{0};
+    std::atomic<Timestamp> max_ts{0};
+    std::atomic<bool> has_versions{false};
+    Block() : heads(kRowsPerBlock) {
+      for (auto& h : heads) h.store(nullptr, std::memory_order_relaxed);
+    }
+  };
+
+  Block* GetOrCreateBlock(size_t block);
+
+  size_t num_rows_;
+  std::vector<std::atomic<Block*>> blocks_;
+  std::shared_ptr<ChainDirectory> prev_;
+  Timestamp seal_ts_ = kInfiniteTimestamp;
+  std::atomic<size_t> total_versions_{0};
+};
+
+/// Per-column façade over the chain of epoch segments. All methods must be
+/// called while holding the column's latch (shared for reads/updates,
+/// exclusive for SealEpoch) — the engine enforces this.
+class VersionStore {
+ public:
+  explicit VersionStore(size_t num_rows);
+  ANKER_DISALLOW_COPY_AND_MOVE(VersionStore);
+
+  /// Records that `row`'s previous value `old_value` was overwritten at
+  /// `commit_ts` (called from the commit critical section).
+  void AddVersion(size_t row, uint64_t old_value, Timestamp commit_ts);
+
+  /// Resolves the value of `row` visible at `start_ts`, given the in-place
+  /// slot value `slot_value` that the caller read *before* calling (read
+  /// slot, then chain: the publication order in the committer guarantees a
+  /// reader that saw a too-new slot value also sees the chain node carrying
+  /// the old one).
+  uint64_t ResolveVisible(size_t row, Timestamp start_ts,
+                          uint64_t slot_value) const;
+
+  /// Commit timestamp of the most recent overwrite of `row`, or
+  /// kLoadTimestamp if the row was never overwritten. `since` bounds the
+  /// search: segments entirely older than `since` are skipped (used for
+  /// first-committer-wins conflict checks against a transaction's
+  /// start_ts).
+  Timestamp LastWriteTs(size_t row, Timestamp since) const;
+
+  /// True iff some chain (any segment with nodes newer than start_ts)
+  /// may hold a version of `row` relevant to `start_ts`.
+  bool HasRelevantVersion(size_t row, Timestamp start_ts) const;
+
+  /// Seals the current segment at `seal_ts` and installs a fresh one whose
+  /// prev is the sealed segment. Returns the sealed segment (the snapshot
+  /// takes ownership of this reference). Caller holds the column latch
+  /// exclusively.
+  std::shared_ptr<ChainDirectory> SealEpoch(Timestamp seal_ts);
+
+  /// Current (unsealed) segment, e.g. for scan block metadata.
+  const std::shared_ptr<ChainDirectory>& current() const { return current_; }
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// Homogeneous-mode GC entry point; see ChainDirectory::TruncateOlderThan.
+  size_t TruncateOlderThan(Timestamp min_active,
+                           std::vector<VersionNode*>* retired) {
+    return current_->TruncateOlderThan(min_active, retired);
+  }
+
+ private:
+  size_t num_rows_;
+  std::shared_ptr<ChainDirectory> current_;
+};
+
+/// Frees a chain of nodes (follows next pointers).
+void FreeNodeChain(VersionNode* head);
+
+}  // namespace anker::mvcc
+
+#endif  // ANKER_MVCC_VERSION_STORE_H_

@@ -1,0 +1,58 @@
+#include "snapshot/physical_buffer.h"
+#include "snapshot/plain_buffer.h"
+#include "snapshot/rewired_buffer.h"
+#include "snapshot/snapshotable_buffer.h"
+#include "snapshot/vm_snapshot_buffer.h"
+
+namespace anker::snapshot {
+
+Result<std::unique_ptr<SnapshotableBuffer>> CreateBuffer(BufferBackend backend,
+                                                         size_t size) {
+  switch (backend) {
+    case BufferBackend::kPlain: {
+      auto buffer = PlainBuffer::Create(size);
+      if (!buffer.ok()) return buffer.status();
+      return std::unique_ptr<SnapshotableBuffer>(buffer.TakeValue().release());
+    }
+    case BufferBackend::kPhysical: {
+      auto buffer = PhysicalBuffer::Create(size);
+      if (!buffer.ok()) return buffer.status();
+      return std::unique_ptr<SnapshotableBuffer>(buffer.TakeValue().release());
+    }
+    case BufferBackend::kRewired: {
+      auto buffer = RewiredBuffer::Create(size);
+      if (!buffer.ok()) return buffer.status();
+      return std::unique_ptr<SnapshotableBuffer>(buffer.TakeValue().release());
+    }
+    case BufferBackend::kVmSnapshot: {
+      auto buffer = VmSnapshotBuffer::Create(size);
+      if (!buffer.ok()) return buffer.status();
+      return std::unique_ptr<SnapshotableBuffer>(buffer.TakeValue().release());
+    }
+  }
+  return Status::InvalidArgument("unknown buffer backend");
+}
+
+Result<BufferBackend> ParseBufferBackend(const std::string& name) {
+  if (name == "plain") return BufferBackend::kPlain;
+  if (name == "physical") return BufferBackend::kPhysical;
+  if (name == "rewired") return BufferBackend::kRewired;
+  if (name == "vm_snapshot") return BufferBackend::kVmSnapshot;
+  return Status::InvalidArgument("unknown buffer backend: " + name);
+}
+
+const char* BufferBackendName(BufferBackend backend) {
+  switch (backend) {
+    case BufferBackend::kPlain:
+      return "plain";
+    case BufferBackend::kPhysical:
+      return "physical";
+    case BufferBackend::kRewired:
+      return "rewired";
+    case BufferBackend::kVmSnapshot:
+      return "vm_snapshot";
+  }
+  return "unknown";
+}
+
+}  // namespace anker::snapshot

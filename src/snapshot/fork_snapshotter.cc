@@ -1,0 +1,48 @@
+#include "snapshot/fork_snapshotter.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/timer.h"
+
+namespace anker::snapshot {
+
+Result<int64_t> ForkSnapshotter::MeasureSnapshotNanos() {
+  Timer timer;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::IoError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: the snapshot exists; exit without running atexit handlers or
+    // flushing shared stdio buffers.
+    ::_exit(0);
+  }
+  const int64_t nanos = timer.ElapsedNanos();
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  return nanos;
+}
+
+Result<int> ForkSnapshotter::RunInSnapshot(int (*fn)(void* arg), void* arg) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::IoError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::_exit(fn(arg));
+  }
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  if (!WIFEXITED(status)) {
+    return Status::Internal("snapshot child did not exit normally");
+  }
+  return WEXITSTATUS(status);
+}
+
+}  // namespace anker::snapshot

@@ -1,0 +1,34 @@
+#ifndef ANKER_SNAPSHOT_FORK_SNAPSHOTTER_H_
+#define ANKER_SNAPSHOT_FORK_SNAPSHOTTER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace anker::snapshot {
+
+/// Fork-based snapshotting (paper Section 3.2.2, classic HyPer): the child
+/// process shares all physical memory with the parent, copy-on-write keeps
+/// changes local. Always snapshots the *entire process*, independent of how
+/// much data is actually needed — its key drawback.
+///
+/// Used only by benchmarks as a baseline: the engine never executes queries
+/// in child processes.
+class ForkSnapshotter {
+ public:
+  /// Forks the process and measures the creation latency of the snapshot
+  /// (the fork call itself, which duplicates all VMAs and page tables).
+  /// The child exits immediately; the parent reaps it. Returns the fork
+  /// latency in nanoseconds.
+  static Result<int64_t> MeasureSnapshotNanos();
+
+  /// Forks, runs `fn` in the child against the (implicit) snapshot, exits
+  /// the child with fn's return value, and reaps in the parent. Returns the
+  /// child's exit code. Demonstrates that fork really does isolate the
+  /// snapshot from parent writes.
+  static Result<int> RunInSnapshot(int (*fn)(void* arg), void* arg);
+};
+
+}  // namespace anker::snapshot
+
+#endif  // ANKER_SNAPSHOT_FORK_SNAPSHOTTER_H_

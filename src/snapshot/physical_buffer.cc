@@ -1,0 +1,47 @@
+#include "snapshot/physical_buffer.h"
+
+#include <cstring>
+
+#include "vm/page.h"
+
+namespace anker::snapshot {
+
+namespace {
+
+/// Snapshot view owning a deep copy of the buffer.
+class PhysicalSnapshotView : public SnapshotView {
+ public:
+  explicit PhysicalSnapshotView(vm::MapRegion region)
+      : SnapshotView(region.data(), region.size()),
+        region_(std::move(region)) {}
+
+ private:
+  vm::MapRegion region_;
+};
+
+}  // namespace
+
+PhysicalBuffer::PhysicalBuffer(vm::MapRegion region)
+    : region_(std::move(region)) {
+  data_ = region_.data();
+  size_ = region_.size();
+}
+
+Result<std::unique_ptr<PhysicalBuffer>> PhysicalBuffer::Create(size_t size) {
+  auto region = vm::MapRegion::MapAnonymous(vm::RoundUpToPage(size));
+  if (!region.ok()) return region.status();
+  return std::unique_ptr<PhysicalBuffer>(
+      new PhysicalBuffer(region.TakeValue()));
+}
+
+Result<std::unique_ptr<SnapshotView>> PhysicalBuffer::TakeSnapshot() {
+  auto copy = vm::MapRegion::MapAnonymous(size_);
+  if (!copy.ok()) return copy.status();
+  vm::MapRegion region = copy.TakeValue();
+  std::memcpy(region.data(), data_, size_);
+  ++snapshots_taken_;
+  return std::unique_ptr<SnapshotView>(
+      new PhysicalSnapshotView(std::move(region)));
+}
+
+}  // namespace anker::snapshot

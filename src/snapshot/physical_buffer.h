@@ -1,0 +1,38 @@
+#ifndef ANKER_SNAPSHOT_PHYSICAL_BUFFER_H_
+#define ANKER_SNAPSHOT_PHYSICAL_BUFFER_H_
+
+#include <memory>
+
+#include "snapshot/snapshotable_buffer.h"
+#include "vm/map_region.h"
+
+namespace anker::snapshot {
+
+/// Eager physical snapshotting (paper Section 3.1): TakeSnapshot performs a
+/// deep memcpy of the whole buffer into a fresh anonymous mapping. Simple,
+/// fully separated at creation time, and linear in buffer size — the
+/// baseline that virtual techniques beat.
+class PhysicalBuffer : public SnapshotableBuffer {
+ public:
+  static Result<std::unique_ptr<PhysicalBuffer>> Create(size_t size);
+
+  Result<std::unique_ptr<SnapshotView>> TakeSnapshot() override;
+
+  const char* name() const override { return "physical"; }
+
+  BufferStats stats() const override {
+    BufferStats s;
+    s.snapshots_taken = snapshots_taken_;
+    return s;
+  }
+
+ private:
+  explicit PhysicalBuffer(vm::MapRegion region);
+
+  vm::MapRegion region_;
+  size_t snapshots_taken_ = 0;
+};
+
+}  // namespace anker::snapshot
+
+#endif  // ANKER_SNAPSHOT_PHYSICAL_BUFFER_H_

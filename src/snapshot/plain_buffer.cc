@@ -1,0 +1,18 @@
+#include "snapshot/plain_buffer.h"
+
+#include "vm/page.h"
+
+namespace anker::snapshot {
+
+PlainBuffer::PlainBuffer(vm::MapRegion region) : region_(std::move(region)) {
+  data_ = region_.data();
+  size_ = region_.size();
+}
+
+Result<std::unique_ptr<PlainBuffer>> PlainBuffer::Create(size_t size) {
+  auto region = vm::MapRegion::MapAnonymous(vm::RoundUpToPage(size));
+  if (!region.ok()) return region.status();
+  return std::unique_ptr<PlainBuffer>(new PlainBuffer(region.TakeValue()));
+}
+
+}  // namespace anker::snapshot

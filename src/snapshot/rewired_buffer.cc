@@ -1,0 +1,160 @@
+#include "snapshot/rewired_buffer.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+
+#include "vm/page.h"
+
+namespace anker::snapshot {
+
+using vm::kPageSize;
+
+namespace {
+
+/// Snapshot view over rewired pool pages. Owns the mapped region; the pool
+/// pages it references are never reused while the buffer is alive, so the
+/// view stays stable even as the source keeps COW-ing.
+class RewiredSnapshotView : public SnapshotView {
+ public:
+  explicit RewiredSnapshotView(vm::MapRegion region)
+      : SnapshotView(region.data(), region.size()),
+        region_(std::move(region)) {}
+
+ private:
+  vm::MapRegion region_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<RewiredBuffer>> RewiredBuffer::Create(size_t size) {
+  std::unique_ptr<RewiredBuffer> buffer(new RewiredBuffer());
+  ANKER_RETURN_IF_ERROR(buffer->Init(vm::RoundUpToPage(size)));
+  return buffer;
+}
+
+Status RewiredBuffer::Init(size_t size) {
+  num_pages_ = vm::PageCount(size);
+  ANKER_RETURN_IF_ERROR(pool_.Init("anker-rewired-pool", size));
+  // Claim the initial contiguous run of pool pages for the column.
+  auto first = pool_.AllocatePages(num_pages_);
+  if (!first.ok()) return first.status();
+  ANKER_CHECK(first.value() == 0);
+  page_offsets_.resize(num_pages_);
+  for (size_t i = 0; i < num_pages_; ++i) {
+    page_offsets_[i] = static_cast<off_t>(i * kPageSize);
+  }
+  auto region = vm::MapRegion::MapSharedFile(pool_.fd(), size, /*offset=*/0,
+                                             PROT_READ | PROT_WRITE);
+  if (!region.ok()) return region.status();
+  source_ = region.TakeValue();
+  data_ = source_.data();
+  size_ = source_.size();
+  vm::FaultRouter::Instance().RegisterRange(data_, size_, this);
+  return Status::OK();
+}
+
+RewiredBuffer::~RewiredBuffer() {
+  if (data_ != nullptr) {
+    vm::FaultRouter::Instance().UnregisterRange(data_);
+  }
+}
+
+Status RewiredBuffer::RewireRange(uint8_t* target, int prot,
+                                  size_t* mmap_calls) const {
+  size_t calls = 0;
+  size_t run_start = 0;
+  while (run_start < num_pages_) {
+    size_t run_len = 1;
+    while (run_start + run_len < num_pages_ &&
+           page_offsets_[run_start + run_len] ==
+               page_offsets_[run_start] +
+                   static_cast<off_t>(run_len * kPageSize)) {
+      ++run_len;
+    }
+    ANKER_RETURN_IF_ERROR(vm::MapRegion::MapFixedShared(
+        target + run_start * kPageSize, pool_.fd(), run_len * kPageSize,
+        page_offsets_[run_start], prot));
+    ++calls;
+    run_start += run_len;
+  }
+  if (mmap_calls != nullptr) *mmap_calls = calls;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SnapshotView>> RewiredBuffer::TakeSnapshot() {
+  // Reserve a fresh virtual area, then rewire it run by run to the same
+  // pool offsets as the source (this is the per-VMA mmap loop whose cost
+  // grows with fragmentation).
+  auto reserved = vm::MapRegion::MapAnonymous(size_);
+  if (!reserved.ok()) return reserved.status();
+  vm::MapRegion region = reserved.TakeValue();
+  ANKER_RETURN_IF_ERROR(RewireRange(region.data(), PROT_READ, nullptr));
+  // Second pass over the source VMAs: set the protection to read-only so
+  // the first write to every page is detected (manual COW).
+  ANKER_RETURN_IF_ERROR(source_.Protect(PROT_READ));
+  protected_ = true;
+  ++snapshots_taken_;
+  return std::unique_ptr<SnapshotView>(
+      new RewiredSnapshotView(std::move(region)));
+}
+
+bool RewiredBuffer::HandleWriteFault(void* fault_addr) {
+  const uintptr_t base = reinterpret_cast<uintptr_t>(data_);
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(fault_addr);
+  if (addr < base || addr >= base + size_) return false;
+
+  SpinLockGuard guard(fault_lock_);
+  const size_t page = (addr - base) / kPageSize;
+  uint8_t* page_addr = data_ + page * kPageSize;
+
+  // The page may already have been resolved by a racing fault; probe the
+  // mapping protection cheaply by checking whether the offset changed while
+  // we waited for the lock is not sufficient (same page can fault twice per
+  // snapshot round). Re-doing the COW is merely wasted work, not incorrect,
+  // because content is copied before remapping.
+
+  // 1. Claim an unused page from the pool.
+  auto new_offset = pool_.AllocatePage();
+  if (!new_offset.ok()) return false;
+
+  // 2. Copy the page content over (the page is readable).
+  alignas(16) uint8_t scratch[kPageSize];
+  std::memcpy(scratch, page_addr, kPageSize);
+  if (!pool_.file().WriteAt(scratch, kPageSize, new_offset.value()).ok()) {
+    return false;
+  }
+
+  // 3. Rewire the faulting virtual page to the new pool page, read-write.
+  if (!vm::MapRegion::MapFixedShared(page_addr, pool_.fd(), kPageSize,
+                                     new_offset.value(),
+                                     PROT_READ | PROT_WRITE)
+           .ok()) {
+    return false;
+  }
+  page_offsets_[page] = new_offset.value();
+  cow_faults_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+size_t RewiredBuffer::CountMappingRuns() const {
+  if (num_pages_ == 0) return 0;
+  size_t runs = 1;
+  for (size_t i = 1; i < num_pages_; ++i) {
+    if (page_offsets_[i] !=
+        page_offsets_[i - 1] + static_cast<off_t>(kPageSize)) {
+      ++runs;
+    }
+  }
+  return runs;
+}
+
+BufferStats RewiredBuffer::stats() const {
+  BufferStats s;
+  s.snapshots_taken = snapshots_taken_;
+  s.cow_faults = cow_faults_.load(std::memory_order_relaxed);
+  s.pool_pages = pool_.allocated_pages();
+  return s;
+}
+
+}  // namespace anker::snapshot

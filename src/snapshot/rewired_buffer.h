@@ -1,0 +1,68 @@
+#ifndef ANKER_SNAPSHOT_REWIRED_BUFFER_H_
+#define ANKER_SNAPSHOT_REWIRED_BUFFER_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/latch.h"
+#include "snapshot/snapshotable_buffer.h"
+#include "vm/fault_router.h"
+#include "vm/map_region.h"
+#include "vm/page_pool.h"
+
+namespace anker::snapshot {
+
+/// Rewired snapshotting (paper Section 3.2.3, the RUMA technique): the
+/// buffer's physical memory is a memfd page pool; the writable view maps
+/// pool pages page-wise via a user-maintained mapping table.
+///
+/// TakeSnapshot: a fresh virtual area is rewired to the same pool offsets —
+/// one mmap call per *run* of consecutive offsets, i.e. per VMA. The source
+/// is then mprotect'ed read-only so the first write to each page can be
+/// detected.
+///
+/// Writes after a snapshot: SIGSEGV is caught, the page content is copied
+/// to a freshly claimed pool page, the page is remapped (MAP_FIXED) to the
+/// new offset read-write, and the mapping table is updated — manual
+/// copy-on-write. Every such COW fragments the source into more VMAs, which
+/// is exactly the degradation Table 1 / Figure 5a measure.
+class RewiredBuffer : public SnapshotableBuffer, public vm::FaultHandler {
+ public:
+  static Result<std::unique_ptr<RewiredBuffer>> Create(size_t size);
+  ~RewiredBuffer() override;
+
+  Result<std::unique_ptr<SnapshotView>> TakeSnapshot() override;
+
+  const char* name() const override { return "rewired"; }
+
+  BufferStats stats() const override;
+
+  /// Number of distinct mapping-table runs = number of VMAs the next
+  /// snapshot has to rewire (lower bound on mmap calls).
+  size_t CountMappingRuns() const;
+
+  // vm::FaultHandler:
+  bool HandleWriteFault(void* fault_addr) override;
+
+ private:
+  RewiredBuffer() = default;
+  Status Init(size_t size);
+
+  /// Rewires [first_page, first_page + npages) of `target` to the pool
+  /// offsets recorded in the mapping table, one mmap per run.
+  Status RewireRange(uint8_t* target, int prot, size_t* mmap_calls) const;
+
+  vm::PagePool pool_;
+  vm::MapRegion source_;              ///< The writable (OLTP) view.
+  std::vector<off_t> page_offsets_;   ///< Virtual page -> pool offset.
+  size_t num_pages_ = 0;
+  bool protected_ = false;            ///< Source currently read-only?
+  SpinLock fault_lock_;               ///< Serializes concurrent COW faults.
+  std::atomic<size_t> cow_faults_{0};
+  size_t snapshots_taken_ = 0;
+};
+
+}  // namespace anker::snapshot
+
+#endif  // ANKER_SNAPSHOT_REWIRED_BUFFER_H_

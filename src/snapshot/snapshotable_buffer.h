@@ -1,0 +1,132 @@
+#ifndef ANKER_SNAPSHOT_SNAPSHOTABLE_BUFFER_H_
+#define ANKER_SNAPSHOT_SNAPSHOTABLE_BUFFER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace anker::snapshot {
+
+/// A read-only, point-in-time view of a SnapshotableBuffer. The view stays
+/// valid and immutable while the source buffer keeps being written; OLAP
+/// scans run over data() in a tight loop. Destroying the view releases the
+/// snapshot (its private pages / mappings).
+class SnapshotView {
+ public:
+  virtual ~SnapshotView() = default;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// Convenience typed read at a byte offset.
+  uint64_t ReadU64(size_t offset) const {
+    uint64_t v;
+    __builtin_memcpy(&v, data_ + offset, sizeof(v));
+    return v;
+  }
+
+ protected:
+  SnapshotView(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data_;
+  size_t size_;
+};
+
+/// Statistics about a buffer's snapshotting behaviour, reported by benches.
+struct BufferStats {
+  size_t snapshots_taken = 0;
+  size_t cow_faults = 0;        ///< Manual COW events (rewired backend).
+  size_t dirty_pages_flushed = 0;  ///< Write-back volume (vm_snapshot).
+  size_t forced_cow_pages = 0;  ///< Pages force-COWed in live views.
+  size_t pool_pages = 0;        ///< Pool pages allocated (rewired backend).
+  int64_t flush_nanos = 0;      ///< Total time in dirty write-back.
+  int64_t map_nanos = 0;        ///< Total time creating snapshot mappings.
+};
+
+/// Abstract column-memory buffer with point-in-time snapshot support. The
+/// concrete backend decides how snapshots are made:
+///   PlainBuffer      - no snapshots (homogeneous configurations)
+///   PhysicalBuffer   - eager memcpy                      [paper baseline]
+///   RewiredBuffer    - memfd rewiring + SIGSEGV manual COW [paper baseline]
+///   VmSnapshotBuffer - emulated vm_snapshot system call  [paper's system]
+///
+/// Write contract: all mutation must go through StoreU64/WriteSpan (or be
+/// followed by MarkDirty) so backends that track dirtiness see every write.
+/// Concurrent writers must be serialized by the caller (the engine commits
+/// under a latch); concurrent readers of the current view are allowed.
+class SnapshotableBuffer {
+ public:
+  virtual ~SnapshotableBuffer() = default;
+  ANKER_DISALLOW_COPY_AND_MOVE(SnapshotableBuffer);
+
+  /// Up-to-date, writable representation (the "OLTP view").
+  uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// Atomic 8-byte read of the current representation. Safe against a
+  /// concurrent StoreU64 to the same slot.
+  uint64_t LoadU64(size_t offset) const {
+    return __atomic_load_n(reinterpret_cast<uint64_t*>(data_ + offset),
+                           __ATOMIC_ACQUIRE);
+  }
+
+  /// Atomic 8-byte write with dirty tracking.
+  void StoreU64(size_t offset, uint64_t value) {
+    MarkDirty(offset, sizeof(value));
+    __atomic_store_n(reinterpret_cast<uint64_t*>(data_ + offset), value,
+                     __ATOMIC_RELEASE);
+  }
+
+  /// Bulk write with dirty tracking (used by loaders).
+  void WriteSpan(size_t offset, const void* src, size_t len) {
+    MarkDirty(offset, len);
+    __builtin_memcpy(data_ + offset, src, len);
+  }
+
+  /// Records that [offset, offset+len) was (or is about to be) modified.
+  /// Backends that track dirtiness override this; the default is a no-op.
+  virtual void MarkDirty(size_t offset, size_t len) {}
+
+  /// Creates a point-in-time snapshot of the current contents.
+  virtual Result<std::unique_ptr<SnapshotView>> TakeSnapshot() = 0;
+
+  /// Whether TakeSnapshot is implemented (PlainBuffer returns false).
+  virtual bool SupportsSnapshots() const { return true; }
+
+  /// Backend name for bench output, e.g. "vm_snapshot".
+  virtual const char* name() const = 0;
+
+  virtual BufferStats stats() const { return BufferStats{}; }
+
+ protected:
+  SnapshotableBuffer() = default;
+
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Backend selector used by engine configuration and benches.
+enum class BufferBackend {
+  kPlain,
+  kPhysical,
+  kRewired,
+  kVmSnapshot,
+};
+
+/// Factory: creates and initializes a zeroed buffer of `size` bytes
+/// (rounded up to whole pages) using the requested backend.
+Result<std::unique_ptr<SnapshotableBuffer>> CreateBuffer(BufferBackend backend,
+                                                         size_t size);
+
+/// Parses a backend name ("plain", "physical", "rewired", "vm_snapshot").
+Result<BufferBackend> ParseBufferBackend(const std::string& name);
+
+/// Human-readable backend name.
+const char* BufferBackendName(BufferBackend backend);
+
+}  // namespace anker::snapshot
+
+#endif  // ANKER_SNAPSHOT_SNAPSHOTABLE_BUFFER_H_

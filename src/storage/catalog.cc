@@ -1,0 +1,40 @@
+#include "storage/catalog.h"
+
+namespace anker::storage {
+
+Status Catalog::AddTable(std::unique_ptr<Table> table) {
+  const std::string& name = table->name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Table* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  ANKER_CHECK_MSG(it != tables_.end(), name.c_str());
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<Column*> Catalog::AllColumns() const {
+  std::vector<Column*> columns;
+  for (const auto& [name, table] : tables_) {
+    for (size_t i = 0; i < table->num_columns(); ++i) {
+      columns.push_back(table->GetColumnAt(i));
+    }
+  }
+  return columns;
+}
+
+std::vector<Table*> Catalog::AllTables() const {
+  std::vector<Table*> tables;
+  for (const auto& [name, table] : tables_) tables.push_back(table.get());
+  return tables;
+}
+
+}  // namespace anker::storage

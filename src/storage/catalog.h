@@ -1,0 +1,41 @@
+#ifndef ANKER_STORAGE_CATALOG_H_
+#define ANKER_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace anker::storage {
+
+/// Name -> Table registry for one database instance. Tables are registered
+/// during load; afterwards the catalog is read-only and safe to share.
+class Catalog {
+ public:
+  Catalog() = default;
+  ANKER_DISALLOW_COPY_AND_MOVE(Catalog);
+
+  Status AddTable(std::unique_ptr<Table> table);
+
+  /// Table lookup; fail-fast on unknown names.
+  Table* GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  /// All columns of all tables (used by the garbage collector).
+  std::vector<Column*> AllColumns() const;
+
+  std::vector<Table*> AllTables() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace anker::storage
+
+#endif  // ANKER_STORAGE_CATALOG_H_

@@ -1,0 +1,66 @@
+#include "storage/column.h"
+
+namespace anker::storage {
+
+Column::Column(std::string name, ValueType type,
+               std::unique_ptr<snapshot::SnapshotableBuffer> buffer,
+               size_t num_rows)
+    : name_(std::move(name)),
+      type_(type),
+      buffer_(std::move(buffer)),
+      versions_(std::make_unique<mvcc::VersionStore>(num_rows)),
+      num_rows_(num_rows) {
+  ANKER_CHECK(buffer_->size() >= num_rows_ * sizeof(uint64_t));
+}
+
+void Column::LoadValue(size_t row, uint64_t raw) {
+  ANKER_CHECK(row < num_rows_);
+  buffer_->StoreU64(row * sizeof(uint64_t), raw);
+}
+
+void Column::ApplyCommittedWrite(size_t row, uint64_t new_raw,
+                                 mvcc::Timestamp commit_ts) {
+  ANKER_CHECK(row < num_rows_);
+  const uint64_t old_raw = buffer_->LoadU64(row * sizeof(uint64_t));
+  // Publication order: chain node first, slot second. A reader that
+  // observes the new slot value is then guaranteed to observe the node
+  // carrying the old one (both stores are release, loads acquire).
+  versions_->AddVersion(row, old_raw, commit_ts);
+  buffer_->StoreU64(row * sizeof(uint64_t), new_raw);
+}
+
+Result<ColumnSnapshot> Column::MaterializeSnapshot(
+    mvcc::Timestamp epoch_ts, mvcc::Timestamp seal_ts,
+    mvcc::Timestamp min_active_ts) {
+  // Exclusive latch: drains and blocks updaters for the duration of the
+  // snapshot (paper Section 2.2.3).
+  ExclusiveGuard guard(latch_);
+
+  ColumnSnapshot snap;
+  snap.epoch_ts = epoch_ts;
+  snap.seal_ts = seal_ts;
+
+  auto view = buffer_->TakeSnapshot();
+  if (!view.ok()) return view.status();
+  snap.view = view.TakeValue();
+
+  std::shared_ptr<mvcc::ChainDirectory> sealed =
+      versions_->SealEpoch(seal_ts);
+  // Hand the chains over only if the segment actually carries versions;
+  // a clean snapshot scans with zero per-row overhead.
+  if (sealed->TotalVersions() > 0) {
+    snap.chains = sealed;
+  }
+  // If no in-flight transaction is older than the sealed segment, the live
+  // column never needs to descend into it (or anything older): cut the
+  // link so retiring the snapshot really frees the chains.
+  if (min_active_ts >= sealed->seal_ts()) {
+    versions_->current()->DropPrev();
+  } else if (sealed->prev() != nullptr &&
+             min_active_ts >= sealed->prev()->seal_ts()) {
+    sealed->DropPrev();
+  }
+  return snap;
+}
+
+}  // namespace anker::storage

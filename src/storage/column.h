@@ -1,0 +1,99 @@
+#ifndef ANKER_STORAGE_COLUMN_H_
+#define ANKER_STORAGE_COLUMN_H_
+
+#include <memory>
+#include <string>
+
+#include "common/latch.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "mvcc/version_store.h"
+#include "snapshot/snapshotable_buffer.h"
+#include "storage/value.h"
+
+namespace anker::storage {
+
+/// Point-in-time snapshot of one column: the virtually snapshotted data
+/// plus the handed-over version chains (paper contribution IV — snapshots
+/// are taken *of versioned columns*, so a reader at the epoch timestamp can
+/// still resolve versions written between the epoch trigger and the lazy
+/// materialization).
+struct ColumnSnapshot {
+  std::unique_ptr<snapshot::SnapshotView> view;
+  std::shared_ptr<mvcc::ChainDirectory> chains;  ///< nullptr when clean.
+  mvcc::Timestamp epoch_ts = 0;  ///< Logical snapshot time (trigger).
+  mvcc::Timestamp seal_ts = 0;   ///< Materialization time.
+};
+
+/// A fixed-width (8-byte slot) versioned column: the up-to-date data lives
+/// in a SnapshotableBuffer, superseded values in a VersionStore. The latch
+/// implements the paper's snapshot-consistency protocol (Section 2.2.3):
+/// updaters hold it shared, snapshot materialization exclusive.
+class Column {
+ public:
+  Column(std::string name, ValueType type,
+         std::unique_ptr<snapshot::SnapshotableBuffer> buffer,
+         size_t num_rows);
+  ANKER_DISALLOW_COPY_AND_MOVE(Column);
+
+  const std::string& name() const { return name_; }
+  ValueType type() const { return type_; }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Unversioned store used during the initial data load (timestamp 0).
+  void LoadValue(size_t row, uint64_t raw);
+
+  /// Newest committed raw value.
+  uint64_t ReadLatestRaw(size_t row) const {
+    return buffer_->LoadU64(row * sizeof(uint64_t));
+  }
+
+  /// Raw value visible at `start_ts` (slot read first, then chain — see
+  /// VersionStore::ResolveVisible for why the order matters).
+  uint64_t ReadVisibleRaw(size_t row, mvcc::Timestamp start_ts) const {
+    const uint64_t slot = ReadLatestRaw(row);
+    return versions_->ResolveVisible(row, start_ts, slot);
+  }
+
+  /// Materializes a committed write: pushes the current value into the
+  /// version chain, then overwrites the slot in place (newest-to-oldest
+  /// order, paper Section 2.1). Must be called from the commit critical
+  /// section while holding the column latch shared.
+  void ApplyCommittedWrite(size_t row, uint64_t new_raw,
+                           mvcc::Timestamp commit_ts);
+
+  /// Commit timestamp of the last write to `row` (kLoadTimestamp if none
+  /// newer than `since` exists) — first-committer-wins conflict checks.
+  mvcc::Timestamp LastWriteTs(size_t row, mvcc::Timestamp since) const {
+    return versions_->LastWriteTs(row, since);
+  }
+
+  /// Takes a virtual snapshot of the column and hands over the current
+  /// version chains (paper Fig. 1, steps 4 and 7). `epoch_ts` is the
+  /// logical snapshot timestamp logged at trigger time; `min_active_ts`
+  /// (minimum start_ts of in-flight transactions) lets the column cut
+  /// links to chain segments no reader can need.
+  Result<ColumnSnapshot> MaterializeSnapshot(mvcc::Timestamp epoch_ts,
+                                             mvcc::Timestamp seal_ts,
+                                             mvcc::Timestamp min_active_ts);
+
+  /// Direct access for executors and the transaction manager.
+  snapshot::SnapshotableBuffer* buffer() const { return buffer_.get(); }
+  mvcc::VersionStore* versions() const { return versions_.get(); }
+  Latch& latch() const { return latch_; }
+
+  /// Raw base pointer of the up-to-date representation (live scans).
+  const uint8_t* raw_data() const { return buffer_->data(); }
+
+ private:
+  std::string name_;
+  ValueType type_;
+  std::unique_ptr<snapshot::SnapshotableBuffer> buffer_;
+  std::unique_ptr<mvcc::VersionStore> versions_;
+  size_t num_rows_;
+  mutable Latch latch_;
+};
+
+}  // namespace anker::storage
+
+#endif  // ANKER_STORAGE_COLUMN_H_

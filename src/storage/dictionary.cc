@@ -1,0 +1,35 @@
+#include "storage/dictionary.h"
+
+namespace anker::storage {
+
+uint32_t Dictionary::GetOrAdd(const std::string& value) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = to_code_.find(value);
+  if (it != to_code_.end()) return it->second;
+  const uint32_t code = static_cast<uint32_t>(to_value_.size());
+  to_value_.push_back(value);
+  to_code_.emplace(value, code);
+  return code;
+}
+
+Result<uint32_t> Dictionary::Lookup(const std::string& value) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = to_code_.find(value);
+  if (it == to_code_.end()) {
+    return Status::NotFound("dictionary value not found: " + value);
+  }
+  return it->second;
+}
+
+const std::string& Dictionary::Decode(uint32_t code) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ANKER_CHECK(code < to_value_.size());
+  return to_value_[code];
+}
+
+size_t Dictionary::size() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return to_value_.size();
+}
+
+}  // namespace anker::storage

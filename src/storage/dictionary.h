@@ -1,0 +1,46 @@
+#ifndef ANKER_STORAGE_DICTIONARY_H_
+#define ANKER_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace anker::storage {
+
+/// Order-preserving-free string dictionary for VARCHAR/CHAR columns
+/// (l_returnflag, o_orderpriority, p_brand, ...). Codes are dense uint32
+/// values stored in the column slots. The dictionary is built during data
+/// load and is immutable afterwards: the paper's OLTP transactions always
+/// pick *existing* values for string attributes (Section 5.2), so updates
+/// never add entries.
+class Dictionary {
+ public:
+  Dictionary() = default;
+  ANKER_DISALLOW_COPY_AND_MOVE(Dictionary);
+
+  /// Returns the code for `value`, inserting it if new. Thread-safe; used
+  /// only during load.
+  uint32_t GetOrAdd(const std::string& value);
+
+  /// Code lookup without insertion.
+  Result<uint32_t> Lookup(const std::string& value) const;
+
+  /// Reverse lookup. Code must exist.
+  const std::string& Decode(uint32_t code) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, uint32_t> to_code_;
+  std::vector<std::string> to_value_;
+};
+
+}  // namespace anker::storage
+
+#endif  // ANKER_STORAGE_DICTIONARY_H_

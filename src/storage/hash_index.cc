@@ -1,0 +1,73 @@
+#include "storage/hash_index.h"
+
+namespace anker::storage {
+
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 16;
+  while (p < n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+HashIndex::HashIndex(size_t expected_keys)
+    : slots_(NextPowerOfTwo(expected_keys * 2 + 16)) {
+  for (auto& slot : slots_) slot.occupied = false;
+}
+
+uint64_t HashIndex::Mix(uint64_t key) {
+  // Finalizer of MurmurHash3: good avalanche for sequential keys.
+  key ^= key >> 33;
+  key *= 0xFF51AFD7ED558CCDULL;
+  key ^= key >> 33;
+  key *= 0xC4CEB9FE1A85EC53ULL;
+  key ^= key >> 33;
+  return key;
+}
+
+void HashIndex::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{0, 0, false});
+  size_ = 0;
+  for (const Slot& slot : old) {
+    if (slot.occupied) {
+      const Status st = Insert(slot.key, slot.row);
+      ANKER_CHECK(st.ok());
+    }
+  }
+}
+
+Status HashIndex::Insert(uint64_t key, uint64_t row) {
+  if ((size_ + 1) * 2 > slots_.size()) Grow();
+  size_t i = ProbeStart(key);
+  for (;;) {
+    Slot& slot = slots_[i];
+    if (!slot.occupied) {
+      slot.key = key;
+      slot.row = row;
+      slot.occupied = true;
+      ++size_;
+      return Status::OK();
+    }
+    if (slot.key == key) {
+      return Status::AlreadyExists("duplicate key in HashIndex");
+    }
+    i = (i + 1) & (slots_.size() - 1);
+  }
+}
+
+Result<uint64_t> HashIndex::Lookup(uint64_t key) const {
+  size_t i = ProbeStart(key);
+  for (;;) {
+    const Slot& slot = slots_[i];
+    if (!slot.occupied) return Status::NotFound("key not in HashIndex");
+    if (slot.key == key) return slot.row;
+    i = (i + 1) & (slots_.size() - 1);
+  }
+}
+
+bool HashIndex::Contains(uint64_t key) const { return Lookup(key).ok(); }
+
+}  // namespace anker::storage

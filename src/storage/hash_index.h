@@ -1,0 +1,54 @@
+#ifndef ANKER_STORAGE_HASH_INDEX_H_
+#define ANKER_STORAGE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace anker::storage {
+
+/// Open-addressing hash index mapping a 64-bit key to a row id. Built once
+/// during data load (keys are primary keys; the paper's OLTP transactions
+/// update non-key attributes only), then read concurrently without
+/// synchronization. Linear probing, power-of-two capacity, ~50% max load.
+class HashIndex {
+ public:
+  /// Creates an index sized for `expected_keys` entries.
+  explicit HashIndex(size_t expected_keys);
+  ANKER_DISALLOW_COPY_AND_MOVE(HashIndex);
+
+  /// Inserts key -> row. Fails with kAlreadyExists on duplicate keys.
+  /// Not thread-safe (load phase only).
+  Status Insert(uint64_t key, uint64_t row);
+
+  /// Looks up a key. Thread-safe after load.
+  Result<uint64_t> Lookup(uint64_t key) const;
+
+  /// True iff the key is present.
+  bool Contains(uint64_t key) const;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t key;
+    uint64_t row;
+    bool occupied;
+  };
+
+  static uint64_t Mix(uint64_t key);
+  size_t ProbeStart(uint64_t key) const {
+    return static_cast<size_t>(Mix(key)) & (slots_.size() - 1);
+  }
+  void Grow();
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace anker::storage
+
+#endif  // ANKER_STORAGE_HASH_INDEX_H_

@@ -1,0 +1,54 @@
+#include "storage/table.h"
+
+#include "vm/page.h"
+
+namespace anker::storage {
+
+Table::Table(std::string name, std::vector<ColumnDef> schema, size_t num_rows)
+    : name_(std::move(name)), schema_(std::move(schema)),
+      num_rows_(num_rows) {}
+
+Result<std::unique_ptr<Table>> Table::Create(
+    std::string name, const std::vector<ColumnDef>& schema, size_t num_rows,
+    snapshot::BufferBackend backend) {
+  std::unique_ptr<Table> table(new Table(std::move(name), schema, num_rows));
+  const size_t bytes = vm::RoundUpToPage(num_rows * sizeof(uint64_t));
+  for (const ColumnDef& def : schema) {
+    auto buffer = snapshot::CreateBuffer(backend, bytes);
+    if (!buffer.ok()) return buffer.status();
+    table->column_index_.emplace(def.name, table->columns_.size());
+    table->columns_.push_back(std::make_unique<Column>(
+        def.name, def.type, buffer.TakeValue(), num_rows));
+  }
+  return table;
+}
+
+Column* Table::GetColumn(const std::string& name) const {
+  auto it = column_index_.find(name);
+  ANKER_CHECK_MSG(it != column_index_.end(), name.c_str());
+  return columns_[it->second].get();
+}
+
+Dictionary* Table::GetDictionary(const std::string& column_name) {
+  std::lock_guard<std::mutex> guard(dict_mutex_);
+  auto it = dictionaries_.find(column_name);
+  if (it == dictionaries_.end()) {
+    it = dictionaries_
+             .emplace(column_name, std::make_unique<Dictionary>())
+             .first;
+  }
+  return it->second.get();
+}
+
+const Dictionary* Table::GetDictionary(const std::string& column_name) const {
+  std::lock_guard<std::mutex> guard(dict_mutex_);
+  auto it = dictionaries_.find(column_name);
+  ANKER_CHECK_MSG(it != dictionaries_.end(), column_name.c_str());
+  return it->second.get();
+}
+
+void Table::CreatePrimaryIndex(size_t expected_keys) {
+  primary_index_ = std::make_unique<HashIndex>(expected_keys);
+}
+
+}  // namespace anker::storage

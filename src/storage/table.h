@@ -1,0 +1,73 @@
+#ifndef ANKER_STORAGE_TABLE_H_
+#define ANKER_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/dictionary.h"
+#include "storage/hash_index.h"
+
+namespace anker::storage {
+
+/// Declaration of one column in a table schema.
+struct ColumnDef {
+  std::string name;
+  ValueType type;
+};
+
+/// Column-oriented table: a set of equally sized Columns, per-string-column
+/// dictionaries, and an optional primary-key hash index. The row count is
+/// fixed at creation (the paper's workload is update-only).
+class Table {
+ public:
+  ANKER_DISALLOW_COPY_AND_MOVE(Table);
+
+  /// Creates a table with the given schema; every column is backed by a
+  /// buffer of the requested backend.
+  static Result<std::unique_ptr<Table>> Create(
+      std::string name, const std::vector<ColumnDef>& schema, size_t num_rows,
+      snapshot::BufferBackend backend);
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Column accessors; fail-fast on unknown names (schema errors are
+  /// programming errors).
+  Column* GetColumn(const std::string& name) const;
+  Column* GetColumnAt(size_t i) const { return columns_[i].get(); }
+  bool HasColumn(const std::string& name) const {
+    return column_index_.count(name) > 0;
+  }
+
+  /// Dictionary for a kDict32 column (created lazily at first use).
+  Dictionary* GetDictionary(const std::string& column_name);
+  const Dictionary* GetDictionary(const std::string& column_name) const;
+
+  /// Primary-key index management (built during load).
+  void CreatePrimaryIndex(size_t expected_keys);
+  HashIndex* primary_index() const { return primary_index_.get(); }
+
+  const std::vector<ColumnDef>& schema() const { return schema_; }
+
+ private:
+  Table(std::string name, std::vector<ColumnDef> schema, size_t num_rows);
+
+  std::string name_;
+  std::vector<ColumnDef> schema_;
+  size_t num_rows_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  std::unordered_map<std::string, size_t> column_index_;
+  std::unordered_map<std::string, std::unique_ptr<Dictionary>> dictionaries_;
+  std::unique_ptr<HashIndex> primary_index_;
+  mutable std::mutex dict_mutex_;
+};
+
+}  // namespace anker::storage
+
+#endif  // ANKER_STORAGE_TABLE_H_

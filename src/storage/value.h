@@ -1,0 +1,64 @@
+#ifndef ANKER_STORAGE_VALUE_H_
+#define ANKER_STORAGE_VALUE_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace anker::storage {
+
+/// Logical column types. Every column slot is physically a raw 8-byte word
+/// so the snapshotting and versioning machinery is type-agnostic; these
+/// helpers convert between the logical value and the raw slot encoding.
+enum class ValueType {
+  kInt64,   ///< Signed integer (keys, counts).
+  kDouble,  ///< IEEE double (prices, discounts).
+  kDate,    ///< Days since 1992-01-01 (TPC-H epoch), stored as int64.
+  kDict32,  ///< Dictionary code for a string column.
+};
+
+inline uint64_t EncodeInt64(int64_t v) { return static_cast<uint64_t>(v); }
+inline int64_t DecodeInt64(uint64_t raw) { return static_cast<int64_t>(raw); }
+
+inline uint64_t EncodeDouble(double v) { return std::bit_cast<uint64_t>(v); }
+inline double DecodeDouble(uint64_t raw) { return std::bit_cast<double>(raw); }
+
+inline uint64_t EncodeDate(int64_t days) { return EncodeInt64(days); }
+inline int64_t DecodeDate(uint64_t raw) { return DecodeInt64(raw); }
+
+inline uint64_t EncodeDict(uint32_t code) { return code; }
+inline uint32_t DecodeDict(uint64_t raw) { return static_cast<uint32_t>(raw); }
+
+/// Typed three-way comparison of raw slot values. Needed by precision
+/// locking: predicate ranges compare in the value domain, not on raw bits
+/// (doubles and negative integers do not order correctly as uint64).
+inline int CompareRaw(ValueType type, uint64_t a, uint64_t b) {
+  switch (type) {
+    case ValueType::kDouble: {
+      const double da = DecodeDouble(a);
+      const double db = DecodeDouble(b);
+      return da < db ? -1 : (da > db ? 1 : 0);
+    }
+    case ValueType::kInt64:
+    case ValueType::kDate: {
+      const int64_t ia = DecodeInt64(a);
+      const int64_t ib = DecodeInt64(b);
+      return ia < ib ? -1 : (ia > ib ? 1 : 0);
+    }
+    case ValueType::kDict32: {
+      const uint32_t ua = DecodeDict(a);
+      const uint32_t ub = DecodeDict(b);
+      return ua < ub ? -1 : (ua > ub ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+/// True iff raw value v lies in the closed interval [lo, hi] under the
+/// typed ordering.
+inline bool RawInRange(ValueType type, uint64_t v, uint64_t lo, uint64_t hi) {
+  return CompareRaw(type, v, lo) >= 0 && CompareRaw(type, v, hi) <= 0;
+}
+
+}  // namespace anker::storage
+
+#endif  // ANKER_STORAGE_VALUE_H_

@@ -1,0 +1,257 @@
+#include "tpch/datagen.h"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tpch/schema.h"
+
+namespace anker::tpch {
+
+namespace {
+
+using storage::EncodeDate;
+using storage::EncodeDict;
+using storage::EncodeDouble;
+using storage::EncodeInt64;
+
+/// Builds the small string domains the OLTP transactions sample from.
+struct Domains {
+  std::vector<std::string> returnflags{"R", "A", "N"};
+  std::vector<std::string> linestatuses{"O", "F"};
+  std::vector<std::string> shipmodes{"AIR",  "RAIL", "SHIP", "TRUCK",
+                                     "MAIL", "FOB",  "REG AIR"};
+  std::vector<std::string> orderstatuses{"O", "F", "P"};
+  std::vector<std::string> priorities{"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                      "4-NOT SPECIFIED", "5-LOW"};
+  std::vector<std::string> brands;      // Brand#11 .. Brand#55
+  std::vector<std::string> containers;  // e.g. "SM CASE"
+  std::vector<std::string> types;       // e.g. "STANDARD ANODIZED TIN"
+
+  Domains() {
+    for (int m = 1; m <= 5; ++m) {
+      for (int n = 1; n <= 5; ++n) {
+        brands.push_back("Brand#" + std::to_string(m) + std::to_string(n));
+      }
+    }
+    const char* sizes[] = {"SM", "MED", "LG", "JUMBO", "WRAP"};
+    const char* kinds[] = {"CASE", "BOX", "BAG", "JAR",
+                           "PKG",  "PACK", "CAN", "DRUM"};
+    for (const char* s : sizes) {
+      for (const char* k : kinds) {
+        containers.push_back(std::string(s) + " " + k);
+      }
+    }
+    const char* syl1[] = {"STANDARD", "SMALL", "MEDIUM",
+                          "LARGE",    "ECONOMY", "PROMO"};
+    const char* syl2[] = {"ANODIZED", "BURNISHED", "PLATED",
+                          "POLISHED", "BRUSHED"};
+    const char* syl3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+    for (const char* a : syl1) {
+      for (const char* b : syl2) {
+        for (const char* c : syl3) {
+          types.push_back(std::string(a) + " " + b + " " + c);
+        }
+      }
+    }
+  }
+};
+
+uint32_t Code(storage::Table* table, const char* column,
+              const std::string& value) {
+  return table->GetDictionary(column)->GetOrAdd(value);
+}
+
+}  // namespace
+
+Result<TpchInstance> LoadTpch(engine::Database* db,
+                              const TpchConfig& config) {
+  Domains domains;
+  Rng rng(config.seed);
+
+  TpchInstance instance;
+  instance.lineitem_rows = config.lineitem_rows;
+  instance.orders_rows = config.OrdersRows();
+  instance.part_rows = config.PartRows();
+
+  // ---- PART -------------------------------------------------------------
+  {
+    auto table = db->CreateTable(kPart, PartSchema(), instance.part_rows);
+    if (!table.ok()) return table.status();
+    storage::Table* part = table.value();
+    instance.part = part;
+    part->CreatePrimaryIndex(instance.part_rows);
+
+    storage::Column* partkey = part->GetColumn("p_partkey");
+    storage::Column* brand = part->GetColumn("p_brand");
+    storage::Column* size = part->GetColumn("p_size");
+    storage::Column* container = part->GetColumn("p_container");
+    storage::Column* type = part->GetColumn("p_type");
+    storage::Column* retail = part->GetColumn("p_retailprice");
+
+    for (size_t row = 0; row < instance.part_rows; ++row) {
+      const int64_t key = static_cast<int64_t>(row) + 1;
+      partkey->LoadValue(row, EncodeInt64(key));
+      brand->LoadValue(
+          row, EncodeDict(Code(part, "p_brand",
+                               domains.brands[rng.NextBounded(
+                                   domains.brands.size())])));
+      size->LoadValue(row, EncodeInt64(rng.NextInRange(1, 50)));
+      container->LoadValue(
+          row, EncodeDict(Code(part, "p_container",
+                               domains.containers[rng.NextBounded(
+                                   domains.containers.size())])));
+      type->LoadValue(row,
+                      EncodeDict(Code(part, "p_type",
+                                      domains.types[rng.NextBounded(
+                                          domains.types.size())])));
+      // TPC-H retail price formula shape: 900 + key-dependent component.
+      retail->LoadValue(
+          row, EncodeDouble(900.0 + (static_cast<double>(key % 1000) / 10.0) +
+                            100.0 * static_cast<double>(key % 10)));
+      ANKER_RETURN_IF_ERROR(part->primary_index()->Insert(
+          static_cast<uint64_t>(key), row));
+    }
+  }
+
+  // ---- ORDERS -----------------------------------------------------------
+  std::vector<int64_t> order_dates(instance.orders_rows);
+  {
+    auto table = db->CreateTable(kOrders, OrdersSchema(),
+                                 instance.orders_rows);
+    if (!table.ok()) return table.status();
+    storage::Table* orders = table.value();
+    instance.orders = orders;
+    orders->CreatePrimaryIndex(instance.orders_rows);
+
+    storage::Column* orderkey = orders->GetColumn("o_orderkey");
+    storage::Column* custkey = orders->GetColumn("o_custkey");
+    storage::Column* status = orders->GetColumn("o_orderstatus");
+    storage::Column* total = orders->GetColumn("o_totalprice");
+    storage::Column* date = orders->GetColumn("o_orderdate");
+    storage::Column* priority = orders->GetColumn("o_orderpriority");
+    storage::Column* shipprio = orders->GetColumn("o_shippriority");
+
+    for (size_t row = 0; row < instance.orders_rows; ++row) {
+      const int64_t key = static_cast<int64_t>(row) + 1;
+      const int64_t odate = rng.NextInRange(0, kOrderDateMaxDays);
+      order_dates[row] = odate;
+      orderkey->LoadValue(row, EncodeInt64(key));
+      custkey->LoadValue(row, EncodeInt64(rng.NextInRange(
+                                  1, std::max<int64_t>(
+                                         1, instance.orders_rows / 10))));
+      status->LoadValue(
+          row, EncodeDict(Code(orders, "o_orderstatus",
+                               domains.orderstatuses[rng.NextBounded(
+                                   domains.orderstatuses.size())])));
+      total->LoadValue(row,
+                       EncodeDouble(rng.NextDoubleInRange(850.0, 450000.0)));
+      date->LoadValue(row, EncodeDate(odate));
+      priority->LoadValue(
+          row, EncodeDict(Code(orders, "o_orderpriority",
+                               domains.priorities[rng.NextBounded(
+                                   domains.priorities.size())])));
+      shipprio->LoadValue(row, EncodeInt64(0));
+      ANKER_RETURN_IF_ERROR(orders->primary_index()->Insert(
+          static_cast<uint64_t>(key), row));
+    }
+  }
+
+  // ---- LINEITEM ---------------------------------------------------------
+  {
+    auto table = db->CreateTable(kLineitem, LineitemSchema(),
+                                 instance.lineitem_rows);
+    if (!table.ok()) return table.status();
+    storage::Table* li = table.value();
+    instance.lineitem = li;
+    li->CreatePrimaryIndex(instance.lineitem_rows);
+
+    storage::Column* orderkey = li->GetColumn("l_orderkey");
+    storage::Column* partkey = li->GetColumn("l_partkey");
+    storage::Column* suppkey = li->GetColumn("l_suppkey");
+    storage::Column* linenumber = li->GetColumn("l_linenumber");
+    storage::Column* quantity = li->GetColumn("l_quantity");
+    storage::Column* extprice = li->GetColumn("l_extendedprice");
+    storage::Column* discount = li->GetColumn("l_discount");
+    storage::Column* tax = li->GetColumn("l_tax");
+    storage::Column* retflag = li->GetColumn("l_returnflag");
+    storage::Column* linestatus = li->GetColumn("l_linestatus");
+    storage::Column* shipdate = li->GetColumn("l_shipdate");
+    storage::Column* commitdate = li->GetColumn("l_commitdate");
+    storage::Column* receiptdate = li->GetColumn("l_receiptdate");
+    storage::Column* shipmode = li->GetColumn("l_shipmode");
+
+    size_t row = 0;
+    int64_t current_order = 0;
+    while (row < instance.lineitem_rows) {
+      ANKER_CHECK_MSG(current_order <
+                          static_cast<int64_t>(instance.orders_rows),
+                      "orders exhausted before lineitem filled");
+      ++current_order;
+      // Pick 1..7 lines per order (TPC-H), but never so few that the
+      // remaining orders cannot cover the remaining lineitem rows: keys
+      // must stay unique, so orders are never reused.
+      const int64_t remaining_rows =
+          static_cast<int64_t>(instance.lineitem_rows - row);
+      const int64_t remaining_orders =
+          static_cast<int64_t>(instance.orders_rows) - current_order + 1;
+      const int64_t min_lines = std::min<int64_t>(
+          7, (remaining_rows + remaining_orders - 1) / remaining_orders);
+      const int64_t lines = rng.NextInRange(std::max<int64_t>(1, min_lines),
+                                            7);
+      const int64_t odate = order_dates[current_order - 1];
+      for (int64_t line = 1;
+           line <= lines && row < instance.lineitem_rows; ++line, ++row) {
+        const int64_t pkey =
+            rng.NextInRange(1, static_cast<int64_t>(instance.part_rows));
+        const double qty = static_cast<double>(rng.NextInRange(1, 50));
+        const double price_per_unit = rng.NextDoubleInRange(900.0, 2100.0);
+        const int64_t sdate =
+            std::min<int64_t>(odate + rng.NextInRange(1, 121),
+                              kShipDateMaxDays);
+
+        orderkey->LoadValue(row, EncodeInt64(current_order));
+        partkey->LoadValue(row, EncodeInt64(pkey));
+        suppkey->LoadValue(
+            row, EncodeInt64(rng.NextInRange(
+                     1, std::max<int64_t>(10, instance.part_rows / 20))));
+        linenumber->LoadValue(row, EncodeInt64(line));
+        quantity->LoadValue(row, EncodeDouble(qty));
+        extprice->LoadValue(row, EncodeDouble(qty * price_per_unit));
+        discount->LoadValue(
+            row, EncodeDouble(static_cast<double>(rng.NextInRange(0, 10)) /
+                              100.0));
+        tax->LoadValue(row, EncodeDouble(
+                                static_cast<double>(rng.NextInRange(0, 8)) /
+                                100.0));
+        // Return flag correlates with receipt date in TPC-H; approximate:
+        // old shipments are R/A, recent ones N.
+        const bool old_shipment = sdate < 1718;  // ~1996-09-15 cutoff
+        const std::string& flag =
+            old_shipment ? domains.returnflags[rng.NextBounded(2)]
+                         : domains.returnflags[2];
+        retflag->LoadValue(row,
+                           EncodeDict(Code(li, "l_returnflag", flag)));
+        const std::string& ls = old_shipment ? domains.linestatuses[1]
+                                             : domains.linestatuses[0];
+        linestatus->LoadValue(row,
+                              EncodeDict(Code(li, "l_linestatus", ls)));
+        shipdate->LoadValue(row, EncodeDate(sdate));
+        commitdate->LoadValue(row,
+                              EncodeDate(odate + rng.NextInRange(30, 90)));
+        receiptdate->LoadValue(row,
+                               EncodeDate(sdate + rng.NextInRange(1, 30)));
+        shipmode->LoadValue(
+            row, EncodeDict(Code(li, "l_shipmode",
+                                 domains.shipmodes[rng.NextBounded(
+                                     domains.shipmodes.size())])));
+        ANKER_RETURN_IF_ERROR(li->primary_index()->Insert(
+            LineitemKey(current_order, line), row));
+      }
+    }
+  }
+
+  return instance;
+}
+
+}  // namespace anker::tpch

@@ -1,0 +1,44 @@
+#ifndef ANKER_TPCH_DATAGEN_H_
+#define ANKER_TPCH_DATAGEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace anker::tpch {
+
+/// Generator parameters. The data is synthetic but follows TPC-H's key
+/// structure (dense order/part keys, 1..7 lineitems per order) and value
+/// distributions (uniform quantities/discounts, date windows, the small
+/// dictionary domains the paper's OLTP transactions draw from) closely
+/// enough that selectivities of Q1/Q4/Q6/Q17 match the spec's shape.
+/// Substitution note (DESIGN.md): the paper uses dbgen; we generate
+/// in-process to keep the repo self-contained.
+struct TpchConfig {
+  /// Number of LINEITEM rows; ORDERS ~ lineitem/4 (orders carry 1..7
+  /// lines), PART = lineitem/30 like TPC-H's 6M/200k ratio.
+  size_t lineitem_rows = 60000;
+  uint64_t seed = 42;
+
+  size_t OrdersRows() const { return lineitem_rows / 4 + 1; }
+  size_t PartRows() const { return lineitem_rows / 30 + 1; }
+};
+
+/// Row counts and key domains the workload driver needs.
+struct TpchInstance {
+  storage::Table* lineitem = nullptr;
+  storage::Table* orders = nullptr;
+  storage::Table* part = nullptr;
+  size_t lineitem_rows = 0;
+  size_t orders_rows = 0;
+  size_t part_rows = 0;
+};
+
+/// Creates and loads the three tables into `db`. Builds dictionaries and
+/// primary-key hash indexes. Deterministic for a fixed seed.
+Result<TpchInstance> LoadTpch(engine::Database* db, const TpchConfig& config);
+
+}  // namespace anker::tpch
+
+#endif  // ANKER_TPCH_DATAGEN_H_

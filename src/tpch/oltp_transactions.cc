@@ -1,0 +1,193 @@
+#include "tpch/oltp_transactions.h"
+
+#include "storage/value.h"
+#include "tpch/schema.h"
+
+namespace anker::tpch {
+
+using storage::DecodeDouble;
+using storage::DecodeInt64;
+using storage::EncodeDict;
+using storage::EncodeDouble;
+using storage::EncodeInt64;
+
+const char* OltpKindName(OltpKind kind) {
+  switch (kind) {
+    case OltpKind::kQ1:
+      return "OLTP-Q1";
+    case OltpKind::kQ2:
+      return "OLTP-Q2";
+    case OltpKind::kQ3:
+      return "OLTP-Q3";
+    case OltpKind::kQ4:
+      return "OLTP-Q4";
+    case OltpKind::kQ5:
+      return "OLTP-Q5";
+    case OltpKind::kQ6:
+      return "OLTP-Q6";
+    case OltpKind::kQ7:
+      return "OLTP-Q7";
+    case OltpKind::kQ8:
+      return "OLTP-Q8";
+    case OltpKind::kQ9:
+      return "OLTP-Q9";
+  }
+  return "unknown";
+}
+
+OltpTransactions::OltpTransactions(engine::Database* db,
+                                   const TpchInstance& instance)
+    : db_(db), instance_(instance) {
+  storage::Table* li = instance_.lineitem;
+  storage::Table* orders = instance_.orders;
+  storage::Table* part = instance_.part;
+  l_orderkey_ = li->GetColumn("l_orderkey");
+  l_linenumber_ = li->GetColumn("l_linenumber");
+  l_returnflag_ = li->GetColumn("l_returnflag");
+  l_linestatus_ = li->GetColumn("l_linestatus");
+  l_discount_ = li->GetColumn("l_discount");
+  l_extendedprice_ = li->GetColumn("l_extendedprice");
+  l_shipdate_ = li->GetColumn("l_shipdate");
+  o_orderpriority_ = orders->GetColumn("o_orderpriority");
+  o_orderstatus_ = orders->GetColumn("o_orderstatus");
+  o_totalprice_ = orders->GetColumn("o_totalprice");
+  p_brand_ = part->GetColumn("p_brand");
+  p_retailprice_ = part->GetColumn("p_retailprice");
+  returnflag_dict_ = li->GetDictionary("l_returnflag");
+  linestatus_dict_ = li->GetDictionary("l_linestatus");
+  orderpriority_dict_ = orders->GetDictionary("o_orderpriority");
+  orderstatus_dict_ = orders->GetDictionary("o_orderstatus");
+  brand_dict_ = part->GetDictionary("p_brand");
+}
+
+uint64_t OltpTransactions::RandomDictCode(const storage::Dictionary* dict,
+                                          Rng* rng) const {
+  return EncodeDict(
+      static_cast<uint32_t>(rng->NextBounded(dict->size())));
+}
+
+uint64_t OltpTransactions::PerturbDouble(uint64_t raw, Rng* rng) const {
+  // Increment the current value by +-x% with x in 1..10 (Section 5.2).
+  const double current = DecodeDouble(raw);
+  const double x = static_cast<double>(rng->NextInRange(1, 10)) / 100.0;
+  const double sign = rng->NextBool(0.5) ? 1.0 : -1.0;
+  return EncodeDouble(current * (1.0 + sign * x));
+}
+
+uint64_t OltpTransactions::PerturbDate(uint64_t raw, Rng* rng) const {
+  // Increment the current value by +-x days with x in 1..10.
+  const int64_t current = DecodeInt64(raw);
+  const int64_t x = rng->NextInRange(1, 10);
+  return EncodeInt64(current + (rng->NextBool(0.5) ? x : -x));
+}
+
+uint64_t OltpTransactions::RandomLineitemRow(txn::Transaction* txn,
+                                             Rng* rng) const {
+  // Pick a key by sampling a row's immutable key attributes, then resolve
+  // it through the primary index — the same path a bound parameter takes.
+  const uint64_t sample = rng->NextBounded(instance_.lineitem_rows);
+  const int64_t orderkey = DecodeInt64(l_orderkey_->ReadLatestRaw(sample));
+  const int64_t linenumber =
+      DecodeInt64(l_linenumber_->ReadLatestRaw(sample));
+  auto row = instance_.lineitem->primary_index()->Lookup(
+      LineitemKey(orderkey, linenumber));
+  ANKER_CHECK(row.ok());
+  return row.value();
+}
+
+uint64_t OltpTransactions::RandomOrdersRow(txn::Transaction* txn,
+                                           Rng* rng) const {
+  const uint64_t key = rng->NextBounded(instance_.orders_rows) + 1;
+  auto row = instance_.orders->primary_index()->Lookup(key);
+  ANKER_CHECK(row.ok());
+  return row.value();
+}
+
+uint64_t OltpTransactions::RandomPartRow(txn::Transaction* txn,
+                                         Rng* rng) const {
+  const uint64_t key = rng->NextBounded(instance_.part_rows) + 1;
+  auto row = instance_.part->primary_index()->Lookup(key);
+  ANKER_CHECK(row.ok());
+  return row.value();
+}
+
+Status OltpTransactions::Run(OltpKind kind, Rng* rng) {
+  auto txn = db_->BeginOltp();
+  txn::Transaction* t = txn.get();
+
+  switch (kind) {
+    case OltpKind::kQ1: {
+      const uint64_t row = RandomLineitemRow(t, rng);
+      t->Write(l_returnflag_, row, RandomDictCode(returnflag_dict_, rng));
+      break;
+    }
+    case OltpKind::kQ2: {
+      const uint64_t row = RandomLineitemRow(t, rng);
+      t->Write(l_linestatus_, row, RandomDictCode(linestatus_dict_, rng));
+      t->Write(l_discount_, row,
+               PerturbDouble(t->Read(l_discount_, row), rng));
+      break;
+    }
+    case OltpKind::kQ3: {
+      const uint64_t row = RandomLineitemRow(t, rng);
+      t->Write(l_extendedprice_, row,
+               PerturbDouble(t->Read(l_extendedprice_, row), rng));
+      t->Write(l_shipdate_, row, PerturbDate(t->Read(l_shipdate_, row), rng));
+      break;
+    }
+    case OltpKind::kQ4: {
+      const uint64_t row = RandomOrdersRow(t, rng);
+      t->Write(o_orderpriority_, row,
+               RandomDictCode(orderpriority_dict_, rng));
+      t->Write(o_orderstatus_, row, RandomDictCode(orderstatus_dict_, rng));
+      break;
+    }
+    case OltpKind::kQ5: {
+      const uint64_t row = RandomOrdersRow(t, rng);
+      t->Write(o_orderpriority_, row,
+               RandomDictCode(orderpriority_dict_, rng));
+      break;
+    }
+    case OltpKind::kQ6: {
+      const uint64_t row = RandomOrdersRow(t, rng);
+      t->Write(o_totalprice_, row,
+               PerturbDouble(t->Read(o_totalprice_, row), rng));
+      break;
+    }
+    case OltpKind::kQ7: {
+      const uint64_t li_row = RandomLineitemRow(t, rng);
+      t->Write(l_extendedprice_, li_row,
+               PerturbDouble(t->Read(l_extendedprice_, li_row), rng));
+      const uint64_t o_row = RandomOrdersRow(t, rng);
+      t->Write(o_orderstatus_, o_row,
+               RandomDictCode(orderstatus_dict_, rng));
+      break;
+    }
+    case OltpKind::kQ8: {
+      const uint64_t row = RandomPartRow(t, rng);
+      t->Write(p_brand_, row, RandomDictCode(brand_dict_, rng));
+      t->Write(p_retailprice_, row,
+               PerturbDouble(t->Read(p_retailprice_, row), rng));
+      break;
+    }
+    case OltpKind::kQ9: {
+      const uint64_t li_row = RandomLineitemRow(t, rng);
+      t->Write(l_returnflag_, li_row, RandomDictCode(returnflag_dict_, rng));
+      const uint64_t o_row = RandomOrdersRow(t, rng);
+      t->Write(o_totalprice_, o_row,
+               PerturbDouble(t->Read(o_totalprice_, o_row), rng));
+      const uint64_t p_row = RandomPartRow(t, rng);
+      t->Write(p_retailprice_, p_row,
+               PerturbDouble(t->Read(p_retailprice_, p_row), rng));
+      break;
+    }
+  }
+  return db_->Commit(t);
+}
+
+Status OltpTransactions::RunRandom(Rng* rng) {
+  const size_t n = sizeof(kAllOltpKinds) / sizeof(kAllOltpKinds[0]);
+  return Run(kAllOltpKinds[rng->NextBounded(n)], rng);
+}
+
+}  // namespace anker::tpch

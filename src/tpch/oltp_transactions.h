@@ -1,0 +1,91 @@
+#ifndef ANKER_TPCH_OLTP_TRANSACTIONS_H_
+#define ANKER_TPCH_OLTP_TRANSACTIONS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/database.h"
+#include "tpch/datagen.h"
+
+namespace anker::tpch {
+
+/// The paper's 9 hand-tailored OLTP transactions (Figure 6). Each is a
+/// short update transaction keyed by a primary key: three on LINEITEM,
+/// three on ORDERS, one on PART, and two multi-table ones (Q7 touches
+/// LINEITEM+ORDERS, Q9 touches LINEITEM+ORDERS+PART). Parameters follow
+/// Section 5.2: VARCHAR attributes pick an existing dictionary value
+/// uniformly at random; DOUBLE attributes are perturbed by +-x% and DATE
+/// attributes by +-x days, x in 1..10.
+enum class OltpKind {
+  kQ1,  // lineitem: l_returnflag
+  kQ2,  // lineitem: l_linestatus, l_discount
+  kQ3,  // lineitem: l_extendedprice, l_shipdate
+  kQ4,  // orders:   o_orderpriority, o_orderstatus
+  kQ5,  // orders:   o_orderpriority
+  kQ6,  // orders:   o_totalprice
+  kQ7,  // lineitem: l_extendedprice; orders: o_orderstatus
+  kQ8,  // part:     p_brand, p_retailprice
+  kQ9,  // lineitem: l_returnflag; orders: o_totalprice; part: p_retailprice
+};
+
+inline constexpr OltpKind kAllOltpKinds[] = {
+    OltpKind::kQ1, OltpKind::kQ2, OltpKind::kQ3, OltpKind::kQ4,
+    OltpKind::kQ5, OltpKind::kQ6, OltpKind::kQ7, OltpKind::kQ8,
+    OltpKind::kQ9,
+};
+
+const char* OltpKindName(OltpKind kind);
+
+/// Executor for the OLTP transaction set. Thread-safe: each call builds
+/// its own transaction; `rng` must be thread-local to the caller.
+class OltpTransactions {
+ public:
+  OltpTransactions(engine::Database* db, const TpchInstance& instance);
+
+  /// Runs one transaction of `kind` with random parameters. Returns the
+  /// commit status (kAborted on conflict — the caller decides whether to
+  /// retry or to fire the next transaction).
+  Status Run(OltpKind kind, Rng* rng);
+
+  /// Runs a uniformly random transaction from the set.
+  Status RunRandom(Rng* rng);
+
+ private:
+  // Parameter helpers implementing the Section 5.2 update rules.
+  uint64_t RandomDictCode(const storage::Dictionary* dict, Rng* rng) const;
+  uint64_t PerturbDouble(uint64_t raw, Rng* rng) const;
+  uint64_t PerturbDate(uint64_t raw, Rng* rng) const;
+
+  /// Uniformly random row of each table (keys are derived from the row's
+  /// immutable key columns and re-resolved through the primary index, so
+  /// the executed path matches a real parameter binding).
+  uint64_t RandomLineitemRow(txn::Transaction* txn, Rng* rng) const;
+  uint64_t RandomOrdersRow(txn::Transaction* txn, Rng* rng) const;
+  uint64_t RandomPartRow(txn::Transaction* txn, Rng* rng) const;
+
+  engine::Database* db_;
+  TpchInstance instance_;
+  // Cached column handles.
+  storage::Column* l_orderkey_;
+  storage::Column* l_linenumber_;
+  storage::Column* l_returnflag_;
+  storage::Column* l_linestatus_;
+  storage::Column* l_discount_;
+  storage::Column* l_extendedprice_;
+  storage::Column* l_shipdate_;
+  storage::Column* o_orderpriority_;
+  storage::Column* o_orderstatus_;
+  storage::Column* o_totalprice_;
+  storage::Column* p_brand_;
+  storage::Column* p_retailprice_;
+  const storage::Dictionary* returnflag_dict_;
+  const storage::Dictionary* linestatus_dict_;
+  const storage::Dictionary* orderpriority_dict_;
+  const storage::Dictionary* orderstatus_dict_;
+  const storage::Dictionary* brand_dict_;
+};
+
+}  // namespace anker::tpch
+
+#endif  // ANKER_TPCH_OLTP_TRANSACTIONS_H_

@@ -1,0 +1,102 @@
+#ifndef ANKER_TPCH_QUERIES_H_
+#define ANKER_TPCH_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "tpch/datagen.h"
+
+namespace anker::tpch {
+
+/// The 7 OLAP transactions of the paper's workload (Section 5.2): TPC-H
+/// Q1 and Q6 on LINEITEM, Q4 on ORDERS (the paper treats it as a
+/// single-table query), Q17 joining LINEITEM and PART, plus one full-table
+/// scan per table.
+enum class OlapKind {
+  kQ1,
+  kQ4,
+  kQ6,
+  kQ17,
+  kScanLineitem,
+  kScanOrders,
+  kScanPart,
+};
+
+inline constexpr OlapKind kAllOlapKinds[] = {
+    OlapKind::kQ1,  OlapKind::kQ4,           OlapKind::kQ6,
+    OlapKind::kQ17, OlapKind::kScanLineitem, OlapKind::kScanOrders,
+    OlapKind::kScanPart,
+};
+
+const char* OlapKindName(OlapKind kind);
+
+/// Randomized query parameters, drawn within the TPC-H specification's
+/// bounds for every fired transaction (Section 5.2).
+struct OlapParams {
+  // Q1: shipdate <= kShipDateMaxDays - delta.
+  int64_t q1_delta_days = 90;  // spec: [60, 120]
+  // Q4: o_orderdate in [start, start + 92 days).
+  int64_t q4_start_day = 1000;
+  // Q6: shipdate in [start, start+365), discount in [d-0.01, d+0.01],
+  // quantity < q.
+  int64_t q6_start_day = 365;
+  double q6_discount = 0.06;  // spec: [0.02, 0.09]
+  double q6_quantity = 24.0;  // spec: 24 or 25
+  // Q17: brand and container codes.
+  uint32_t q17_brand_code = 0;
+  uint32_t q17_container_code = 0;
+};
+
+/// Result digest: a scalar checksum of the query result (sum over all
+/// aggregate outputs) plus row/scan statistics. The digest makes results
+/// comparable across processing modes in tests.
+struct OlapResult {
+  double digest = 0.0;
+  uint64_t rows_considered = 0;
+  engine::ScanStats scan;
+};
+
+/// Compiled handles on the workload queries: resolves tables, columns and
+/// dictionary codes once.
+class TpchQueries {
+ public:
+  TpchQueries(engine::Database* db, const TpchInstance& instance);
+
+  /// Columns a query touches; the engine materializes snapshots for
+  /// exactly this set (fine-granular, per-column snapshotting).
+  std::vector<storage::Column*> ColumnsFor(OlapKind kind) const;
+
+  /// Draws randomized parameters within the spec bounds.
+  OlapParams RandomParams(OlapKind kind, Rng* rng) const;
+
+  /// Executes the query in the given OLAP context.
+  OlapResult Run(OlapKind kind, const engine::OlapContext& ctx,
+                 const OlapParams& params) const;
+
+  const TpchInstance& instance() const { return instance_; }
+
+ private:
+  OlapResult RunQ1(const engine::OlapContext& ctx,
+                   const OlapParams& params) const;
+  OlapResult RunQ4(const engine::OlapContext& ctx,
+                   const OlapParams& params) const;
+  OlapResult RunQ6(const engine::OlapContext& ctx,
+                   const OlapParams& params) const;
+  OlapResult RunQ17(const engine::OlapContext& ctx,
+                    const OlapParams& params) const;
+  OlapResult RunScan(const engine::OlapContext& ctx,
+                     storage::Table* table,
+                     const std::string& column_name) const;
+
+  engine::Database* db_;
+  TpchInstance instance_;
+  std::vector<uint32_t> brand_codes_;
+  std::vector<uint32_t> container_codes_;
+};
+
+}  // namespace anker::tpch
+
+#endif  // ANKER_TPCH_QUERIES_H_

@@ -1,0 +1,53 @@
+#include "tpch/schema.h"
+
+namespace anker::tpch {
+
+using storage::ColumnDef;
+using storage::ValueType;
+
+const std::vector<ColumnDef>& LineitemSchema() {
+  static const std::vector<ColumnDef>* schema = new std::vector<ColumnDef>{
+      {"l_orderkey", ValueType::kInt64},
+      {"l_partkey", ValueType::kInt64},
+      {"l_suppkey", ValueType::kInt64},
+      {"l_linenumber", ValueType::kInt64},
+      {"l_quantity", ValueType::kDouble},
+      {"l_extendedprice", ValueType::kDouble},
+      {"l_discount", ValueType::kDouble},
+      {"l_tax", ValueType::kDouble},
+      {"l_returnflag", ValueType::kDict32},
+      {"l_linestatus", ValueType::kDict32},
+      {"l_shipdate", ValueType::kDate},
+      {"l_commitdate", ValueType::kDate},
+      {"l_receiptdate", ValueType::kDate},
+      {"l_shipmode", ValueType::kDict32},
+  };
+  return *schema;
+}
+
+const std::vector<ColumnDef>& OrdersSchema() {
+  static const std::vector<ColumnDef>* schema = new std::vector<ColumnDef>{
+      {"o_orderkey", ValueType::kInt64},
+      {"o_custkey", ValueType::kInt64},
+      {"o_orderstatus", ValueType::kDict32},
+      {"o_totalprice", ValueType::kDouble},
+      {"o_orderdate", ValueType::kDate},
+      {"o_orderpriority", ValueType::kDict32},
+      {"o_shippriority", ValueType::kInt64},
+  };
+  return *schema;
+}
+
+const std::vector<ColumnDef>& PartSchema() {
+  static const std::vector<ColumnDef>* schema = new std::vector<ColumnDef>{
+      {"p_partkey", ValueType::kInt64},
+      {"p_brand", ValueType::kDict32},
+      {"p_size", ValueType::kInt64},
+      {"p_container", ValueType::kDict32},
+      {"p_type", ValueType::kDict32},
+      {"p_retailprice", ValueType::kDouble},
+  };
+  return *schema;
+}
+
+}  // namespace anker::tpch

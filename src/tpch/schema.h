@@ -1,0 +1,43 @@
+#ifndef ANKER_TPCH_SCHEMA_H_
+#define ANKER_TPCH_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace anker::tpch {
+
+/// Table names used throughout the workload.
+inline constexpr const char* kLineitem = "lineitem";
+inline constexpr const char* kOrders = "orders";
+inline constexpr const char* kPart = "part";
+
+/// Dates are stored as days since 1992-01-01 (the TPC-H order-date epoch).
+/// START/END span the generator's o_orderdate range; shipdate etc. extend
+/// a bit past END.
+inline constexpr int64_t kDateEpochDays = 0;          // 1992-01-01
+inline constexpr int64_t kOrderDateMaxDays = 2405;    // ~1998-08-02
+inline constexpr int64_t kShipDateMaxDays = 2526;     // ~1998-12-01
+
+/// Schema of the LINEITEM subset (the columns the paper's workload
+/// touches, Section 5.2).
+const std::vector<storage::ColumnDef>& LineitemSchema();
+
+/// Schema of the ORDERS subset.
+const std::vector<storage::ColumnDef>& OrdersSchema();
+
+/// Schema of the PART subset.
+const std::vector<storage::ColumnDef>& PartSchema();
+
+/// Composite primary key of a lineitem row: (l_orderkey, l_linenumber)
+/// packed into one u64 (linenumber is 1..7).
+inline uint64_t LineitemKey(int64_t orderkey, int64_t linenumber) {
+  return static_cast<uint64_t>(orderkey) * 8 +
+         static_cast<uint64_t>(linenumber);
+}
+
+}  // namespace anker::tpch
+
+#endif  // ANKER_TPCH_SCHEMA_H_

@@ -1,0 +1,157 @@
+#include "tpch/workload_driver.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace anker::tpch {
+
+WorkloadDriver::WorkloadDriver(engine::Database* db,
+                               const TpchInstance& instance)
+    : db_(db),
+      instance_(instance),
+      oltp_(db, instance),
+      queries_(db, instance) {}
+
+Result<OlapResult> WorkloadDriver::RunOlapOnce(OlapKind kind,
+                                               const OlapParams& params) {
+  auto ctx = db_->BeginOlap(queries_.ColumnsFor(kind));
+  if (!ctx.ok()) return ctx.status();
+  OlapResult result = queries_.Run(kind, *ctx.value(), params);
+  ANKER_RETURN_IF_ERROR(db_->FinishOlap(ctx.TakeValue()));
+  return result;
+}
+
+Status WorkloadDriver::WarmupSnapshots() {
+  if (!db_->config().heterogeneous()) return Status::OK();
+  std::vector<storage::Column*> columns;
+  for (OlapKind kind : kAllOlapKinds) {
+    for (storage::Column* column : queries_.ColumnsFor(kind)) {
+      columns.push_back(column);
+    }
+  }
+  auto ctx = db_->BeginOlap(columns);
+  if (!ctx.ok()) return ctx.status();
+  return db_->FinishOlap(ctx.TakeValue());
+}
+
+WorkloadResult WorkloadDriver::RunMixed(const WorkloadConfig& config) {
+  const size_t threads = std::max<size_t>(1, config.threads);
+  const uint64_t per_thread = config.oltp_transactions / threads;
+  const uint64_t remainder = config.oltp_transactions % threads;
+
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};
+  std::atomic<uint64_t> olap_done{0};
+  std::vector<Histogram> latencies(threads);
+
+  constexpr size_t kNumOlapKinds =
+      sizeof(kAllOlapKinds) / sizeof(kAllOlapKinds[0]);
+
+  Timer wall;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t worker = 0; worker < threads; ++worker) {
+    workers.emplace_back([&, worker] {
+      Rng rng(config.seed * 7919 + worker);
+      const uint64_t my_oltp = per_thread + (worker < remainder ? 1 : 0);
+      // OLAP transactions are distributed round-robin over the workers and
+      // fired at evenly spaced points of the local OLTP stream.
+      uint64_t my_olap = config.olap_transactions / threads +
+                         (worker < config.olap_transactions % threads ? 1
+                                                                      : 0);
+      const uint64_t olap_stride =
+          my_olap > 0 ? std::max<uint64_t>(1, my_oltp / (my_olap + 1)) : 0;
+      uint64_t next_olap_at = olap_stride;
+      uint64_t olap_index = worker;  // vary kinds across workers
+
+      for (uint64_t i = 0; i < my_oltp; ++i) {
+        const Status status = oltp_.RunRandom(&rng);
+        if (status.ok()) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          aborted.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (my_olap > 0 && i + 1 == next_olap_at) {
+          const OlapKind kind = kAllOlapKinds[olap_index % kNumOlapKinds];
+          olap_index += threads;
+          const OlapParams params = queries_.RandomParams(kind, &rng);
+          Timer latency;
+          auto result = RunOlapOnce(kind, params);
+          ANKER_CHECK(result.ok());
+          latencies[worker].Record(latency.ElapsedNanos());
+          olap_done.fetch_add(1, std::memory_order_relaxed);
+          --my_olap;
+          next_olap_at += olap_stride;
+        }
+      }
+      // Any OLAP transactions not fired inside the loop (rounding) run now.
+      while (my_olap > 0) {
+        const OlapKind kind = kAllOlapKinds[olap_index % kNumOlapKinds];
+        olap_index += threads;
+        const OlapParams params = queries_.RandomParams(kind, &rng);
+        Timer latency;
+        auto result = RunOlapOnce(kind, params);
+        ANKER_CHECK(result.ok());
+        latencies[worker].Record(latency.ElapsedNanos());
+        olap_done.fetch_add(1, std::memory_order_relaxed);
+        --my_olap;
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  WorkloadResult result;
+  result.wall_seconds = wall.ElapsedSeconds();
+  result.oltp_committed = committed.load();
+  result.oltp_aborted = aborted.load();
+  result.olap_completed = olap_done.load();
+  for (const Histogram& h : latencies) result.olap_latency.Merge(h);
+  result.throughput_tps =
+      static_cast<double>(result.oltp_committed + result.oltp_aborted +
+                          result.olap_completed) /
+      result.wall_seconds;
+  return result;
+}
+
+double WorkloadDriver::MeasureOlapLatency(OlapKind kind,
+                                          const WorkloadConfig& config,
+                                          int repetitions) {
+  const size_t pressure_threads =
+      config.threads > 1 ? config.threads - 1 : 1;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> fired{0};
+
+  // Pressure workers churn through the OLTP stream until the measurement
+  // thread is done (bounded by the configured transaction count so the
+  // run always terminates).
+  std::vector<std::thread> workers;
+  workers.reserve(pressure_threads);
+  for (size_t worker = 0; worker < pressure_threads; ++worker) {
+    workers.emplace_back([&, worker] {
+      Rng rng(config.seed * 104729 + worker);
+      while (!stop.load(std::memory_order_relaxed) &&
+             fired.fetch_add(1, std::memory_order_relaxed) <
+                 config.oltp_transactions) {
+        (void)oltp_.RunRandom(&rng);
+      }
+    });
+  }
+
+  Rng rng(config.seed);
+  double total_nanos = 0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const OlapParams params = queries_.RandomParams(kind, &rng);
+    Timer latency;
+    auto result = RunOlapOnce(kind, params);
+    ANKER_CHECK(result.ok());
+    total_nanos += static_cast<double>(latency.ElapsedNanos());
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& worker : workers) worker.join();
+  return total_nanos / repetitions;
+}
+
+}  // namespace anker::tpch

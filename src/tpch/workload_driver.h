@@ -1,0 +1,80 @@
+#ifndef ANKER_TPCH_WORKLOAD_DRIVER_H_
+#define ANKER_TPCH_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "engine/database.h"
+#include "tpch/oltp_transactions.h"
+#include "tpch/queries.h"
+
+namespace anker::tpch {
+
+/// Mixed-workload configuration (paper Sections 5.3/5.4/5.7).
+struct WorkloadConfig {
+  uint64_t oltp_transactions = 500000;
+  /// OLAP transactions fired alongside, spread evenly over the stream
+  /// (the paper fires 10, drawn from the 7-transaction OLAP set).
+  uint64_t olap_transactions = 0;
+  size_t threads = 8;
+  uint64_t seed = 7;
+};
+
+/// End-to-end measurements.
+struct WorkloadResult {
+  double wall_seconds = 0;
+  uint64_t oltp_committed = 0;
+  uint64_t oltp_aborted = 0;
+  uint64_t olap_completed = 0;
+  Histogram olap_latency;  ///< Nanoseconds per OLAP transaction.
+  double throughput_tps = 0;  ///< (oltp+olap completed) / wall_seconds.
+};
+
+/// Drives the paper's workload against a configured Database: a stream of
+/// random OLTP transactions worked by a thread pool, optionally with OLAP
+/// transactions interleaved. Also implements the Figure 7 latency
+/// experiment (7 threads of OLTP pressure, the 8th thread measuring one
+/// OLAP transaction).
+class WorkloadDriver {
+ public:
+  WorkloadDriver(engine::Database* db, const TpchInstance& instance);
+
+  /// Runs `config.oltp_transactions` random OLTP transactions (plus
+  /// `config.olap_transactions` OLAP transactions drawn round-robin from
+  /// the full OLAP set) on `config.threads` worker threads.
+  WorkloadResult RunMixed(const WorkloadConfig& config);
+
+  /// Figure 7 experiment: pressurizes the system with OLTP transactions on
+  /// (threads-1) workers while one dedicated thread measures the latency
+  /// of `kind`, fired `repetitions` times; returns mean latency in
+  /// nanoseconds.
+  double MeasureOlapLatency(OlapKind kind, const WorkloadConfig& config,
+                            int repetitions = 5);
+
+  /// Runs one OLAP transaction end to end (begin, snapshot acquire,
+  /// execute, commit); returns its result digest.
+  Result<OlapResult> RunOlapOnce(OlapKind kind, const OlapParams& params);
+
+  /// Heterogeneous mode only (no-op otherwise): materializes a first
+  /// snapshot of every column the OLAP set touches. The very first
+  /// materialization of a column flushes the entire freshly loaded column
+  /// image into the backing file; benches call this once after load so
+  /// that the measured epochs only pay for incremental dirt, as a
+  /// long-running system would.
+  Status WarmupSnapshots();
+
+  OltpTransactions& oltp() { return oltp_; }
+  TpchQueries& queries() { return queries_; }
+
+ private:
+  engine::Database* db_;
+  TpchInstance instance_;
+  OltpTransactions oltp_;
+  TpchQueries queries_;
+};
+
+}  // namespace anker::tpch
+
+#endif  // ANKER_TPCH_WORKLOAD_DRIVER_H_

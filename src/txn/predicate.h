@@ -1,0 +1,58 @@
+#ifndef ANKER_TXN_PREDICATE_H_
+#define ANKER_TXN_PREDICATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/value.h"
+
+namespace anker::txn {
+
+/// One predicate range used for precision-locking validation (paper
+/// Section 2.1, following HyPer/Weikum-Vossen): the transaction filtered
+/// its reads on column `column` with value in [lo, hi] (typed comparison).
+/// At commit, a write by a concurrently committed transaction whose old
+/// *or* new value falls into the range would have changed this
+/// transaction's reads — the transaction must abort.
+struct PredicateRange {
+  const storage::Column* column;
+  uint64_t lo;
+  uint64_t hi;
+
+  bool Matches(uint64_t raw) const {
+    return storage::RawInRange(column->type(), raw, lo, hi);
+  }
+};
+
+/// A point read of one row (index lookups in the OLTP transactions).
+struct PointRead {
+  const storage::Column* column;
+  uint64_t row;
+};
+
+/// One materialized write of a committed transaction, kept for validating
+/// later committers (the "recently committed transactions" list).
+struct WriteRecord {
+  const storage::Column* column;
+  uint64_t row;
+  uint64_t old_raw;
+  uint64_t new_raw;
+};
+
+/// True iff `write` intersects `predicate`: same column and either the
+/// overwritten or the new value lies in the predicate range.
+inline bool Intersects(const PredicateRange& predicate,
+                       const WriteRecord& write) {
+  if (predicate.column != write.column) return false;
+  return predicate.Matches(write.old_raw) || predicate.Matches(write.new_raw);
+}
+
+/// True iff `write` touches the row of `read` (stale point read).
+inline bool Intersects(const PointRead& read, const WriteRecord& write) {
+  return read.column == write.column && read.row == write.row;
+}
+
+}  // namespace anker::txn
+
+#endif  // ANKER_TXN_PREDICATE_H_

@@ -1,0 +1,66 @@
+#include "txn/recent_committers.h"
+
+namespace anker::txn {
+
+void RecentCommitters::Record(mvcc::Timestamp commit_ts,
+                              std::vector<WriteRecord> writes) {
+  ANKER_CHECK(entries_.empty() || entries_.back().commit_ts < commit_ts);
+  entries_.push_back(Entry{commit_ts, std::move(writes)});
+  while (entries_.size() > max_entries_) {
+    trimmed_before_ = entries_.front().commit_ts + 1;
+    entries_.pop_front();
+  }
+}
+
+Status RecentCommitters::Validate(
+    mvcc::Timestamp start_ts, const std::vector<PointRead>& point_reads,
+    const std::vector<PredicateRange>& predicates) const {
+  // If commits in (start_ts, trimmed_before_) were dropped, we cannot
+  // prove the absence of an intersection -> conservative abort. With the
+  // default capacity this only triggers for pathologically long
+  // transactions.
+  if (start_ts + 1 < trimmed_before_) {
+    return Status::Aborted("validation window trimmed (long transaction)");
+  }
+  // Entries are ordered by commit_ts; binary search for the first commit
+  // after the transaction's start.
+  size_t lo = 0;
+  size_t hi = entries_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (entries_[mid].commit_ts > start_ts) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  for (size_t i = lo; i < entries_.size(); ++i) {
+    for (const WriteRecord& write : entries_[i].writes) {
+      for (const PredicateRange& predicate : predicates) {
+        if (Intersects(predicate, write)) {
+          return Status::Aborted("predicate intersection with commit");
+        }
+      }
+      for (const PointRead& read : point_reads) {
+        if (Intersects(read, write)) {
+          return Status::Aborted("stale point read");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+mvcc::Timestamp RecentCommitters::OldestRetained() const {
+  if (entries_.empty()) return mvcc::kInfiniteTimestamp;
+  return entries_.front().commit_ts;
+}
+
+void RecentCommitters::TrimOlderThan(mvcc::Timestamp watermark) {
+  while (!entries_.empty() && entries_.front().commit_ts < watermark) {
+    trimmed_before_ = entries_.front().commit_ts + 1;
+    entries_.pop_front();
+  }
+}
+
+}  // namespace anker::txn

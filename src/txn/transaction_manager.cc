@@ -1,0 +1,120 @@
+#include "txn/transaction_manager.h"
+
+#include <algorithm>
+
+namespace anker::txn {
+
+const char* ProcessingModeName(ProcessingMode mode) {
+  switch (mode) {
+    case ProcessingMode::kHomogeneousSerializable:
+      return "homogeneous-serializable";
+    case ProcessingMode::kHomogeneousSnapshotIsolation:
+      return "homogeneous-snapshot-isolation";
+    case ProcessingMode::kHeterogeneousSerializable:
+      return "heterogeneous-serializable";
+  }
+  return "unknown";
+}
+
+TransactionManager::TransactionManager(ProcessingMode mode) : mode_(mode) {}
+
+std::unique_ptr<Transaction> TransactionManager::Begin(TxnType type) {
+  const mvcc::Timestamp start_ts = oracle_.Next();
+  const uint64_t serial = registry_.Begin(start_ts);
+  return std::make_unique<Transaction>(
+      next_txn_id_.fetch_add(1, std::memory_order_relaxed), start_ts, serial,
+      type);
+}
+
+void TransactionManager::Abort(Transaction* txn) {
+  // Discarding the local write set is all an abort takes.
+  registry_.End(txn->registry_serial());
+  user_aborts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  // Read-only transactions see a consistent MVCC snapshot as of start_ts
+  // and are serializable without validation (serialize them at their start
+  // point).
+  if (txn->read_only()) {
+    registry_.End(txn->registry_serial());
+    commit_count_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  std::lock_guard<std::mutex> commit_guard(commit_mutex_);
+
+  // 1. First-committer-wins: a newer committed write to any slot in our
+  //    write set means our update was based on a stale version.
+  for (const Transaction::LocalWrite& write : txn->writes()) {
+    if (write.column->LastWriteTs(write.row, txn->start_ts()) >
+        txn->start_ts()) {
+      registry_.End(txn->registry_serial());
+      aborts_ww_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Aborted("write-write conflict");
+    }
+  }
+
+  // 2. Read-set validation via precision locking (serializable only).
+  if (isolation() == IsolationLevel::kSerializable) {
+    const Status validation = recent_.Validate(
+        txn->start_ts(), txn->point_reads(), txn->predicates());
+    if (!validation.ok()) {
+      registry_.End(txn->registry_serial());
+      aborts_validation_.fetch_add(1, std::memory_order_relaxed);
+      return validation;
+    }
+  }
+
+  // 3. Materialize. Shared latches on every touched column make the commit
+  //    atomic with respect to snapshot materialization (which drains
+  //    updaters with the exclusive latch). Latches are acquired in a
+  //    canonical order; snapshot creation takes one exclusive latch at a
+  //    time, so no lock-order cycle exists.
+  std::vector<storage::Column*> columns;
+  columns.reserve(txn->writes().size());
+  for (const Transaction::LocalWrite& write : txn->writes()) {
+    columns.push_back(write.column);
+  }
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+  for (storage::Column* column : columns) column->latch().LockShared();
+
+  const mvcc::Timestamp commit_ts = oracle_.Next();
+  std::vector<WriteRecord> records;
+  records.reserve(txn->writes().size());
+  for (const Transaction::LocalWrite& write : txn->writes()) {
+    const uint64_t old_raw = write.column->ReadLatestRaw(write.row);
+    write.column->ApplyCommittedWrite(write.row, write.new_raw, commit_ts);
+    records.push_back(
+        WriteRecord{write.column, write.row, old_raw, write.new_raw});
+  }
+
+  for (auto it = columns.rbegin(); it != columns.rend(); ++it) {
+    (*it)->latch().UnlockShared();
+  }
+
+  // 4. Publish the write set for later validators, then trim what no
+  //    active transaction can need anymore.
+  if (isolation() == IsolationLevel::kSerializable) {
+    recent_.Record(commit_ts, std::move(records));
+    recent_.TrimOlderThan(registry_.MinStartTs(commit_ts));
+  }
+
+  registry_.End(txn->registry_serial());
+  const uint64_t commits =
+      commit_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (commit_hook_) commit_hook_(commits);
+  return Status::OK();
+}
+
+TxnStats TransactionManager::stats() const {
+  TxnStats s;
+  s.commits = commit_count_.load(std::memory_order_relaxed);
+  s.aborts_ww = aborts_ww_.load(std::memory_order_relaxed);
+  s.aborts_validation = aborts_validation_.load(std::memory_order_relaxed);
+  s.user_aborts = user_aborts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace anker::txn

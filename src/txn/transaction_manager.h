@@ -1,0 +1,107 @@
+#ifndef ANKER_TXN_TRANSACTION_MANAGER_H_
+#define ANKER_TXN_TRANSACTION_MANAGER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "mvcc/active_txn_registry.h"
+#include "mvcc/timestamp_oracle.h"
+#include "txn/recent_committers.h"
+#include "txn/transaction.h"
+
+namespace anker::txn {
+
+/// Processing model of the engine (paper Section 5.1's three
+/// configurations).
+enum class ProcessingMode {
+  /// Single component, OLAP scans the live versioned data, commit-time
+  /// read-set validation, background GC.
+  kHomogeneousSerializable,
+  /// Same, but without validation (write-write conflicts only).
+  kHomogeneousSnapshotIsolation,
+  /// OLTP on the up-to-date representation, OLAP on virtual snapshots,
+  /// full serializability.
+  kHeterogeneousSerializable,
+};
+
+const char* ProcessingModeName(ProcessingMode mode);
+
+/// Counters exposed to benches and tests.
+struct TxnStats {
+  uint64_t commits = 0;
+  uint64_t aborts_ww = 0;          ///< First-committer-wins conflicts.
+  uint64_t aborts_validation = 0;  ///< Precision-locking read-set failures.
+  uint64_t user_aborts = 0;
+};
+
+/// MVCC transaction coordinator. Begin hands out start timestamps; Commit
+/// runs the (partially sequential, mutex-protected) commit protocol:
+///   1. draw commit_ts,
+///   2. first-committer-wins write-write check,
+///   3. precision-locking read-set validation (serializable modes),
+///   4. materialize writes in place + push old values into version chains,
+///   5. append the write set to the recent-committers list.
+/// Aborts are cheap: local writes are simply discarded.
+class TransactionManager {
+ public:
+  explicit TransactionManager(ProcessingMode mode);
+  ANKER_DISALLOW_COPY_AND_MOVE(TransactionManager);
+
+  ProcessingMode mode() const { return mode_; }
+  IsolationLevel isolation() const {
+    return mode_ == ProcessingMode::kHomogeneousSnapshotIsolation
+               ? IsolationLevel::kSnapshotIsolation
+               : IsolationLevel::kSerializable;
+  }
+
+  /// Starts a transaction of the given type.
+  std::unique_ptr<Transaction> Begin(TxnType type);
+
+  /// Commits: returns OK, or kAborted (local writes discarded, transaction
+  /// finished either way — the caller may retry with a fresh Begin).
+  Status Commit(Transaction* txn);
+
+  /// Explicit abort (paper Fig. 1 step 3: discard local changes, no
+  /// rollback).
+  void Abort(Transaction* txn);
+
+  /// Hook invoked (inside the commit section) with the running commit
+  /// count; the engine uses it to trigger snapshot epochs every n commits.
+  void SetCommitHook(std::function<void(uint64_t commits)> hook) {
+    commit_hook_ = std::move(hook);
+  }
+
+  mvcc::TimestampOracle& oracle() { return oracle_; }
+  mvcc::ActiveTxnRegistry& registry() { return registry_; }
+
+  TxnStats stats() const;
+  uint64_t committed_count() const {
+    return commit_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ProcessingMode mode_;
+  mvcc::TimestampOracle oracle_;
+  mvcc::ActiveTxnRegistry registry_;
+
+  /// The paper's "list of recently committed transactions, that must be
+  /// mutex protected ... to organize validation" — the commit mutex.
+  std::mutex commit_mutex_;
+  RecentCommitters recent_;
+
+  std::function<void(uint64_t)> commit_hook_;
+
+  std::atomic<uint64_t> next_txn_id_{1};
+  std::atomic<uint64_t> commit_count_{0};
+  std::atomic<uint64_t> aborts_ww_{0};
+  std::atomic<uint64_t> aborts_validation_{0};
+  std::atomic<uint64_t> user_aborts_{0};
+};
+
+}  // namespace anker::txn
+
+#endif  // ANKER_TXN_TRANSACTION_MANAGER_H_

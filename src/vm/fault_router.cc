@@ -1,0 +1,98 @@
+#include "vm/fault_router.h"
+
+#include <signal.h>
+
+#include <cstring>
+
+namespace anker::vm {
+
+namespace {
+
+struct sigaction g_previous_action;
+
+}  // namespace
+
+FaultRouter& FaultRouter::Instance() {
+  static FaultRouter* router = new FaultRouter();
+  return *router;
+}
+
+FaultRouter::FaultRouter() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_flags = SA_SIGINFO | SA_NODEFER;
+  action.sa_sigaction = reinterpret_cast<void (*)(int, siginfo_t*, void*)>(
+      &FaultRouter::SignalHandler);
+  sigemptyset(&action.sa_mask);
+  ANKER_CHECK(sigaction(SIGSEGV, &action, &g_previous_action) == 0);
+}
+
+void FaultRouter::RegisterRange(void* addr, size_t len, FaultHandler* handler) {
+  const uintptr_t start = reinterpret_cast<uintptr_t>(addr);
+  std::lock_guard<std::mutex> guard(register_mutex_);
+  for (size_t i = 0; i < kMaxRanges; ++i) {
+    if (slots_[i].start.load(std::memory_order_relaxed) != 0) continue;
+    // Publish end and handler before start: the signal handler reads start
+    // first (acquire), so a non-zero start guarantees the rest is visible.
+    slots_[i].end.store(start + len, std::memory_order_relaxed);
+    slots_[i].handler.store(handler, std::memory_order_relaxed);
+    slots_[i].start.store(start, std::memory_order_release);
+    size_t hw = high_water_.load(std::memory_order_relaxed);
+    if (hw < i + 1) high_water_.store(i + 1, std::memory_order_release);
+    return;
+  }
+  ANKER_CHECK_MSG(false, "FaultRouter slot table exhausted");
+}
+
+void FaultRouter::UnregisterRange(void* addr) {
+  const uintptr_t start = reinterpret_cast<uintptr_t>(addr);
+  std::lock_guard<std::mutex> guard(register_mutex_);
+  const size_t hw = high_water_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < hw; ++i) {
+    if (slots_[i].start.load(std::memory_order_acquire) == start) {
+      slots_[i].start.store(0, std::memory_order_release);
+      slots_[i].handler.store(nullptr, std::memory_order_release);
+      slots_[i].end.store(0, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+size_t FaultRouter::NumRanges() const {
+  size_t count = 0;
+  const size_t hw = high_water_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < hw; ++i) {
+    if (slots_[i].start.load(std::memory_order_acquire) != 0) ++count;
+  }
+  return count;
+}
+
+FaultHandler* FaultRouter::Lookup(uintptr_t addr) const {
+  const size_t hw = high_water_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < hw; ++i) {
+    const uintptr_t start = slots_[i].start.load(std::memory_order_acquire);
+    if (start == 0) continue;
+    const uintptr_t end = slots_[i].end.load(std::memory_order_relaxed);
+    if (addr >= start && addr < end) {
+      return slots_[i].handler.load(std::memory_order_relaxed);
+    }
+  }
+  return nullptr;
+}
+
+void FaultRouter::SignalHandler(int signo, void* info, void* /*context*/) {
+  auto* siginfo = static_cast<siginfo_t*>(info);
+  void* fault_addr = siginfo->si_addr;
+  FaultRouter& router = Instance();
+  FaultHandler* handler =
+      router.Lookup(reinterpret_cast<uintptr_t>(fault_addr));
+  if (handler != nullptr && handler->HandleWriteFault(fault_addr)) {
+    return;  // Retry the faulting instruction.
+  }
+  // Not ours: restore default disposition and re-raise so the crash is
+  // reported normally (core dump / test failure).
+  signal(SIGSEGV, SIG_DFL);
+  raise(SIGSEGV);
+}
+
+}  // namespace anker::vm

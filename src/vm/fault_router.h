@@ -1,0 +1,73 @@
+#ifndef ANKER_VM_FAULT_ROUTER_H_
+#define ANKER_VM_FAULT_ROUTER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "common/macros.h"
+
+namespace anker::vm {
+
+/// Interface implemented by buffers that resolve write faults themselves
+/// (the rewired baseline performs manual copy-on-write from a SIGSEGV
+/// handler, Section 3.2.3 of the paper).
+class FaultHandler {
+ public:
+  virtual ~FaultHandler() = default;
+
+  /// Called from the signal handler when a write hit a read-only page in a
+  /// registered range. Must resolve the fault (remap the page writable) and
+  /// return true, or return false to fall through to the default action.
+  /// Only async-signal-safe operations are allowed inside.
+  virtual bool HandleWriteFault(void* fault_addr) = 0;
+};
+
+/// Process-wide SIGSEGV router. Buffers register their address ranges; a
+/// fault inside a registered range is forwarded to its handler, anything
+/// else is re-raised with the default disposition so genuine crashes still
+/// crash. Handler installation is idempotent.
+///
+/// The range table is a fixed-capacity array of atomic slots so the signal
+/// handler can scan it without taking locks; registration/unregistration
+/// publish entries with release stores.
+class FaultRouter {
+ public:
+  /// Returns the singleton router, installing the SIGSEGV handler on first
+  /// use.
+  static FaultRouter& Instance();
+
+  /// Registers [addr, addr+len) with `handler`. Thread-safe.
+  void RegisterRange(void* addr, size_t len, FaultHandler* handler);
+
+  /// Unregisters a previously registered range (by exact start address).
+  void UnregisterRange(void* addr);
+
+  /// Number of live registered ranges (for tests).
+  size_t NumRanges() const;
+
+ private:
+  FaultRouter();
+  ANKER_DISALLOW_COPY_AND_MOVE(FaultRouter);
+
+  /// Returns the handler owning `addr`, or nullptr.
+  FaultHandler* Lookup(uintptr_t addr) const;
+
+  static void SignalHandler(int signo, void* info, void* context);
+
+  struct Slot {
+    std::atomic<uintptr_t> start{0};
+    std::atomic<uintptr_t> end{0};
+    std::atomic<FaultHandler*> handler{nullptr};
+  };
+
+  static constexpr size_t kMaxRanges = 4096;
+  Slot slots_[kMaxRanges];
+  std::atomic<size_t> high_water_{0};
+  std::mutex register_mutex_;  ///< Serializes Register/Unregister only.
+};
+
+}  // namespace anker::vm
+
+#endif  // ANKER_VM_FAULT_ROUTER_H_

@@ -1,0 +1,94 @@
+#include "vm/memfd.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "vm/page.h"
+
+namespace anker::vm {
+
+Memfd::~Memfd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Memfd::Memfd(Memfd&& other) noexcept : fd_(other.fd_), size_(other.size_) {
+  other.fd_ = -1;
+  other.size_ = 0;
+}
+
+Memfd& Memfd::operator=(Memfd&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    size_ = other.size_;
+    other.fd_ = -1;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+Result<Memfd> Memfd::Create(const std::string& name, size_t size) {
+  const int fd = ::memfd_create(name.c_str(), MFD_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError(std::string("memfd_create: ") +
+                           std::strerror(errno));
+  }
+  const size_t rounded = RoundUpToPage(size);
+  if (rounded > 0 && ::ftruncate(fd, static_cast<off_t>(rounded)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(std::string("ftruncate: ") + std::strerror(err));
+  }
+  return Memfd(fd, rounded);
+}
+
+Status Memfd::Grow(size_t new_size) {
+  const size_t rounded = RoundUpToPage(new_size);
+  if (rounded < size_) {
+    return Status::InvalidArgument("Memfd::Grow cannot shrink");
+  }
+  if (rounded == size_) return Status::OK();
+  if (::ftruncate(fd_, static_cast<off_t>(rounded)) != 0) {
+    return Status::IoError(std::string("ftruncate: ") + std::strerror(errno));
+  }
+  size_ = rounded;
+  return Status::OK();
+}
+
+Status Memfd::WriteAt(const void* src, size_t len, off_t offset) const {
+  const char* p = static_cast<const char*>(src);
+  size_t remaining = len;
+  while (remaining > 0) {
+    const ssize_t n = ::pwrite(fd_, p, remaining, offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+    }
+    p += n;
+    offset += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Memfd::ReadAt(void* dst, size_t len, off_t offset) const {
+  char* p = static_cast<char*>(dst);
+  size_t remaining = len;
+  while (remaining > 0) {
+    const ssize_t n = ::pread(fd_, p, remaining, offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::OutOfRange("pread past end of memfd");
+    p += n;
+    offset += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace anker::vm

@@ -1,0 +1,54 @@
+#ifndef ANKER_VM_MEMFD_H_
+#define ANKER_VM_MEMFD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace anker::vm {
+
+/// RAII wrapper around a memfd (anonymous main-memory file, the RUMA
+/// "physical memory in user space" abstraction). The file is backed by
+/// tmpfs pages and is the sharing substrate for rewired and emulated
+/// vm_snapshot buffers.
+class Memfd {
+ public:
+  Memfd() = default;
+  ~Memfd();
+
+  /// Move-only: owns the file descriptor.
+  Memfd(Memfd&& other) noexcept;
+  Memfd& operator=(Memfd&& other) noexcept;
+  ANKER_DISALLOW_COPY(Memfd);
+
+  /// Creates a memfd with the given debug name and size (rounded up to a
+  /// whole number of pages).
+  static Result<Memfd> Create(const std::string& name, size_t size);
+
+  /// Grows the file to `new_size` bytes (page rounded). Shrinking is not
+  /// supported.
+  Status Grow(size_t new_size);
+
+  /// Writes `len` bytes from `src` at `offset` (pwrite loop).
+  Status WriteAt(const void* src, size_t len, off_t offset) const;
+
+  /// Reads `len` bytes into `dst` from `offset` (pread loop).
+  Status ReadAt(void* dst, size_t len, off_t offset) const;
+
+  int fd() const { return fd_; }
+  size_t size() const { return size_; }
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  Memfd(int fd, size_t size) : fd_(fd), size_(size) {}
+
+  int fd_ = -1;
+  size_t size_ = 0;
+};
+
+}  // namespace anker::vm
+
+#endif  // ANKER_VM_MEMFD_H_

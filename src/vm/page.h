@@ -1,0 +1,36 @@
+#ifndef ANKER_VM_PAGE_H_
+#define ANKER_VM_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace anker::vm {
+
+/// Small-page size used throughout the snapshotting subsystem. The paper
+/// backs columns with 4 KiB pages to keep copy-on-write granularity minimal
+/// (Section 3.3): with small pages, k uniformly distributed writes separate
+/// only k pages from the snapshot instead of the whole column.
+inline constexpr size_t kPageSize = 4096;
+
+/// Rounds `bytes` up to the next multiple of the page size.
+inline constexpr size_t RoundUpToPage(size_t bytes) {
+  return (bytes + kPageSize - 1) & ~(kPageSize - 1);
+}
+
+/// True iff `bytes` is page aligned (vm_snapshot requires page-aligned
+/// src/length, Section 4.1.1).
+inline constexpr bool IsPageAligned(size_t bytes) {
+  return (bytes & (kPageSize - 1)) == 0;
+}
+
+/// Page index containing byte offset `offset`.
+inline constexpr size_t PageIndex(size_t offset) { return offset / kPageSize; }
+
+/// Number of pages needed to hold `bytes`.
+inline constexpr size_t PageCount(size_t bytes) {
+  return RoundUpToPage(bytes) / kPageSize;
+}
+
+}  // namespace anker::vm
+
+#endif  // ANKER_VM_PAGE_H_

@@ -1,0 +1,93 @@
+#include "common/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace anker {
+namespace {
+
+TEST(BitmapTest, StartsEmpty) {
+  Bitmap bitmap(100);
+  EXPECT_EQ(bitmap.size(), 100u);
+  EXPECT_EQ(bitmap.count(), 0u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(bitmap.Test(i));
+}
+
+TEST(BitmapTest, SetAndClearMaintainCount) {
+  Bitmap bitmap(200);
+  bitmap.Set(0);
+  bitmap.Set(63);
+  bitmap.Set(64);
+  bitmap.Set(199);
+  EXPECT_EQ(bitmap.count(), 4u);
+  bitmap.Set(63);  // idempotent
+  EXPECT_EQ(bitmap.count(), 4u);
+  bitmap.Clear(63);
+  EXPECT_EQ(bitmap.count(), 3u);
+  bitmap.Clear(63);  // idempotent
+  EXPECT_EQ(bitmap.count(), 3u);
+  EXPECT_TRUE(bitmap.Test(64));
+  EXPECT_FALSE(bitmap.Test(63));
+}
+
+TEST(BitmapTest, ResetKeepsSizeDropsBits) {
+  Bitmap bitmap(128);
+  for (size_t i = 0; i < 128; i += 3) bitmap.Set(i);
+  bitmap.Reset();
+  EXPECT_EQ(bitmap.size(), 128u);
+  EXPECT_EQ(bitmap.count(), 0u);
+}
+
+TEST(BitmapTest, ForEachSetVisitsInOrder) {
+  Bitmap bitmap(300);
+  const std::vector<size_t> expected = {1, 64, 65, 128, 299};
+  for (size_t i : expected) bitmap.Set(i);
+  std::vector<size_t> seen;
+  bitmap.ForEachSet([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitmapTest, ForEachRunCoalescesAdjacent) {
+  Bitmap bitmap(100);
+  for (size_t i = 10; i < 15; ++i) bitmap.Set(i);
+  bitmap.Set(20);
+  for (size_t i = 63; i < 66; ++i) bitmap.Set(i);  // crosses word boundary
+  std::vector<std::pair<size_t, size_t>> runs;
+  bitmap.ForEachRun([&](size_t first, size_t len) {
+    runs.emplace_back(first, len);
+  });
+  ASSERT_EQ(runs.size(), 3u);
+  const auto run0 = std::make_pair<size_t, size_t>(10, 5);
+  const auto run1 = std::make_pair<size_t, size_t>(20, 1);
+  const auto run2 = std::make_pair<size_t, size_t>(63, 3);
+  EXPECT_EQ(runs[0], run0);
+  EXPECT_EQ(runs[1], run1);
+  EXPECT_EQ(runs[2], run2);
+}
+
+TEST(BitmapTest, RunsCoverExactlySetBitsRandomized) {
+  Rng rng(31);
+  for (int round = 0; round < 20; ++round) {
+    Bitmap bitmap(517);
+    std::vector<bool> reference(517, false);
+    for (int i = 0; i < 200; ++i) {
+      const size_t bit = rng.NextBounded(517);
+      bitmap.Set(bit);
+      reference[bit] = true;
+    }
+    std::vector<bool> covered(517, false);
+    bitmap.ForEachRun([&](size_t first, size_t len) {
+      for (size_t i = first; i < first + len; ++i) {
+        EXPECT_FALSE(covered[i]) << "bit covered twice";
+        covered[i] = true;
+      }
+    });
+    EXPECT_EQ(covered, reference);
+  }
+}
+
+}  // namespace
+}  // namespace anker

@@ -1,0 +1,60 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace anker {
+namespace {
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int64_t v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  for (int64_t v = 100; v >= 1; --v) h.Record(v);  // reverse insertion
+  EXPECT_LE(h.Percentile(50), h.Percentile(95));
+  EXPECT_LE(h.Percentile(95), h.Percentile(99));
+  EXPECT_LE(h.Percentile(99), h.max());
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 50.0, 2.0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a;
+  Histogram b;
+  a.Record(1);
+  a.Record(2);
+  b.Record(100);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 100);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.Percentile(0), 42);
+  EXPECT_EQ(h.Percentile(100), 42);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(1000000);  // 1ms
+  const std::string summary = h.Summary();
+  EXPECT_NE(summary.find("n=1"), std::string::npos);
+}
+
+TEST(HistogramTest, EmptySummaryDoesNotCrash) {
+  Histogram h;
+  EXPECT_EQ(h.Summary(), "(no samples)");
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace anker

@@ -1,0 +1,82 @@
+#include "common/latch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace anker {
+namespace {
+
+TEST(SpinLockTest, MutualExclusion) {
+  SpinLock lock;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        SpinLockGuard guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(SpinLockTest, TryLockFailsWhenHeld) {
+  SpinLock lock;
+  lock.Lock();
+  EXPECT_FALSE(lock.TryLock());
+  lock.Unlock();
+  EXPECT_TRUE(lock.TryLock());
+  lock.Unlock();
+}
+
+TEST(LatchTest, SharedReadersCoexist) {
+  Latch latch;
+  std::atomic<int> readers{0};
+  std::atomic<int> max_readers{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      SharedGuard guard(latch);
+      const int now = readers.fetch_add(1) + 1;
+      int prev = max_readers.load();
+      while (now > prev && !max_readers.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      readers.fetch_sub(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(max_readers.load(), 1);
+}
+
+TEST(LatchTest, ExclusiveBlocksShared) {
+  Latch latch;
+  latch.LockExclusive();
+  std::atomic<bool> reader_entered{false};
+  std::thread reader([&] {
+    SharedGuard guard(latch);
+    reader_entered.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(reader_entered.load());
+  latch.UnlockExclusive();
+  reader.join();
+  EXPECT_TRUE(reader_entered.load());
+}
+
+TEST(LatchTest, TryLockExclusiveFailsUnderSharedHolder) {
+  Latch latch;
+  latch.LockShared();
+  EXPECT_FALSE(latch.TryLockExclusive());
+  latch.UnlockShared();
+  EXPECT_TRUE(latch.TryLockExclusive());
+  latch.UnlockExclusive();
+}
+
+}  // namespace
+}  // namespace anker

@@ -1,0 +1,61 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace anker {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::Aborted("ww-conflict on row 5");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsAborted());
+  EXPECT_EQ(st.message(), "ww-conflict on row 5");
+  EXPECT_EQ(st.ToString(), "Aborted: ww-conflict on row 5");
+}
+
+TEST(StatusTest, PredicatesMatchOnlyTheirCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::NotFound("x").IsAborted());
+  EXPECT_TRUE(Status::ResourceBusy("x").IsResourceBusy());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = [](bool fail) -> Status {
+    if (fail) return Status::IoError("boom");
+    return Status::OK();
+  };
+  auto outer = [&](bool fail) -> Status {
+    ANKER_RETURN_IF_ERROR(inner(fail));
+    return Status::InvalidArgument("reached end");
+  };
+  EXPECT_EQ(outer(true).code(), StatusCode::kIoError);
+  EXPECT_EQ(outer(false).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, TakeValueMoves) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = r.TakeValue();
+  EXPECT_EQ(moved, "payload");
+}
+
+}  // namespace
+}  // namespace anker

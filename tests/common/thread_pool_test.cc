@@ -1,0 +1,70 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace anker {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_seen{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] {
+      const int now = concurrent.fetch_add(1) + 1;
+      int prev = max_seen.load();
+      while (now > prev && !max_seen.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      concurrent.fetch_sub(1);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_GT(max_seen.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) pool.Submit([&] { counter.fetch_add(1); });
+    pool.WaitIdle();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(WaitGroupTest, WaitsForAllDone) {
+  WaitGroup wg;
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  wg.Add(10);
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] {
+      done.fetch_add(1);
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  EXPECT_EQ(done.load(), 10);
+}
+
+}  // namespace
+}  // namespace anker

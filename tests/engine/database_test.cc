@@ -1,0 +1,164 @@
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/value.h"
+
+namespace anker::engine {
+namespace {
+
+using storage::ColumnDef;
+using storage::ValueType;
+
+std::vector<ColumnDef> TestSchema() {
+  return {{"k", ValueType::kInt64}, {"v", ValueType::kInt64}};
+}
+
+class DatabaseModeTest
+    : public ::testing::TestWithParam<txn::ProcessingMode> {};
+
+TEST_P(DatabaseModeTest, OltpCommitVisibleToNextTxn) {
+  Database db(DatabaseConfig::ForMode(GetParam()));
+  db.Start();
+  auto table = db.CreateTable("t", TestSchema(), 1000);
+  ASSERT_TRUE(table.ok());
+  storage::Column* v = table.value()->GetColumn("v");
+
+  auto writer = db.BeginOltp();
+  writer->Write(v, 1, 11);
+  ASSERT_TRUE(db.Commit(writer.get()).ok());
+
+  auto reader = db.BeginOltp();
+  EXPECT_EQ(reader->Read(v, 1), 11u);
+  db.Abort(reader.get());
+}
+
+TEST_P(DatabaseModeTest, OlapSeesConsistentData) {
+  Database db(DatabaseConfig::ForMode(GetParam()));
+  db.Start();
+  auto table = db.CreateTable("t", TestSchema(), 1000);
+  ASSERT_TRUE(table.ok());
+  storage::Column* v = table.value()->GetColumn("v");
+  for (size_t row = 0; row < 1000; ++row) v->LoadValue(row, 2);
+
+  auto ctx = db.BeginOlap({v});
+  ASSERT_TRUE(ctx.ok());
+  const ColumnReader reader = ctx.value()->Reader(v);
+  double sum = ScanColumnSum(reader, /*as_double=*/false, nullptr);
+  EXPECT_DOUBLE_EQ(sum, 2000.0);
+  ASSERT_TRUE(db.FinishOlap(ctx.TakeValue()).ok());
+}
+
+TEST_P(DatabaseModeTest, OlapIsolatedFromLaterCommits) {
+  Database db(DatabaseConfig::ForMode(GetParam()));
+  db.Start();
+  auto table = db.CreateTable("t", TestSchema(), 100);
+  ASSERT_TRUE(table.ok());
+  storage::Column* v = table.value()->GetColumn("v");
+
+  auto ctx = db.BeginOlap({v});
+  ASSERT_TRUE(ctx.ok());
+
+  // Commit a write after the OLAP transaction began.
+  auto writer = db.BeginOltp();
+  writer->Write(v, 0, 777);
+  ASSERT_TRUE(db.Commit(writer.get()).ok());
+
+  const ColumnReader reader = ctx.value()->Reader(v);
+  EXPECT_EQ(reader.Get(0), 0u);  // pre-commit state
+  ASSERT_TRUE(db.FinishOlap(ctx.TakeValue()).ok());
+
+  auto ctx2 = db.BeginOlap({v});
+  ASSERT_TRUE(ctx2.ok());
+  // Heterogeneous: a fresh epoch must have been triggered for the value to
+  // appear; trigger manually via the snapshot interval = commits hook not
+  // yet reached, so force one.
+  if (db.config().heterogeneous()) {
+    db.snapshot_manager()->TriggerEpoch();
+    ASSERT_TRUE(db.FinishOlap(ctx2.TakeValue()).ok());
+    auto ctx3 = db.BeginOlap({v});
+    ASSERT_TRUE(ctx3.ok());
+    EXPECT_EQ(ctx3.value()->Reader(v).Get(0), 777u);
+    ASSERT_TRUE(db.FinishOlap(ctx3.TakeValue()).ok());
+  } else {
+    EXPECT_EQ(ctx2.value()->Reader(v).Get(0), 777u);
+    ASSERT_TRUE(db.FinishOlap(ctx2.TakeValue()).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, DatabaseModeTest,
+    ::testing::Values(txn::ProcessingMode::kHomogeneousSerializable,
+                      txn::ProcessingMode::kHomogeneousSnapshotIsolation,
+                      txn::ProcessingMode::kHeterogeneousSerializable),
+    [](const ::testing::TestParamInfo<txn::ProcessingMode>& info) {
+      switch (info.param) {
+        case txn::ProcessingMode::kHomogeneousSerializable:
+          return "HomogeneousSerializable";
+        case txn::ProcessingMode::kHomogeneousSnapshotIsolation:
+          return "HomogeneousSnapshotIsolation";
+        case txn::ProcessingMode::kHeterogeneousSerializable:
+          return "HeterogeneousSerializable";
+      }
+      return "Unknown";
+    });
+
+TEST(DatabaseTest, SnapshotEpochTriggeredEveryNCommits) {
+  DatabaseConfig config =
+      DatabaseConfig::ForMode(txn::ProcessingMode::kHeterogeneousSerializable);
+  config.snapshot_interval_commits = 5;
+  Database db(config);
+  db.Start();
+  auto table = db.CreateTable("t", TestSchema(), 100);
+  ASSERT_TRUE(table.ok());
+  storage::Column* v = table.value()->GetColumn("v");
+
+  auto ctx = db.BeginOlap({v});
+  ASSERT_TRUE(ctx.ok());
+  const mvcc::Timestamp first_epoch = ctx.value()->read_ts();
+  ASSERT_TRUE(db.FinishOlap(ctx.TakeValue()).ok());
+
+  for (int i = 0; i < 5; ++i) {
+    auto txn = db.BeginOltp();
+    txn->Write(v, static_cast<uint64_t>(i), 9);
+    ASSERT_TRUE(db.Commit(txn.get()).ok());
+  }
+
+  auto ctx2 = db.BeginOlap({v});
+  ASSERT_TRUE(ctx2.ok());
+  EXPECT_GT(ctx2.value()->read_ts(), first_epoch);
+  ASSERT_TRUE(db.FinishOlap(ctx2.TakeValue()).ok());
+}
+
+TEST(DatabaseTest, HomogeneousGcRunsInBackground) {
+  DatabaseConfig config =
+      DatabaseConfig::ForMode(txn::ProcessingMode::kHomogeneousSerializable);
+  config.gc_interval_millis = 5;
+  Database db(config);
+  db.Start();
+  auto table = db.CreateTable("t", TestSchema(), 100);
+  ASSERT_TRUE(table.ok());
+  storage::Column* v = table.value()->GetColumn("v");
+  for (int i = 0; i < 20; ++i) {
+    auto txn = db.BeginOltp();
+    txn->Write(v, 0, static_cast<uint64_t>(i));
+    ASSERT_TRUE(db.Commit(txn.get()).ok());
+  }
+  // Wait for the GC thread to unlink the dead versions.
+  for (int i = 0; i < 200 && db.garbage_collector()->total_unlinked() < 10;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(db.garbage_collector()->total_unlinked(), 10u);
+  db.Stop();
+}
+
+TEST(DatabaseTest, HeterogeneousRequiresSnapshotBackend) {
+  DatabaseConfig config;
+  config.mode = txn::ProcessingMode::kHeterogeneousSerializable;
+  config.backend = snapshot::BufferBackend::kPlain;
+  EXPECT_DEATH(Database db(config), "snapshot-capable");
+}
+
+}  // namespace
+}  // namespace anker::engine

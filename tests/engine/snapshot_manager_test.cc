@@ -1,0 +1,132 @@
+#include "engine/snapshot_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "vm/page.h"
+
+namespace anker::engine {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    auto buffer = snapshot::CreateBuffer(
+        snapshot::BufferBackend::kVmSnapshot, vm::kPageSize);
+    ANKER_CHECK(buffer.ok());
+    column_a = std::make_unique<storage::Column>(
+        "a", storage::ValueType::kInt64, buffer.TakeValue(), 512);
+    auto buffer_b = snapshot::CreateBuffer(
+        snapshot::BufferBackend::kVmSnapshot, vm::kPageSize);
+    ANKER_CHECK(buffer_b.ok());
+    column_b = std::make_unique<storage::Column>(
+        "b", storage::ValueType::kInt64, buffer_b.TakeValue(), 512);
+    manager = std::make_unique<SnapshotManager>(&oracle, &registry);
+  }
+
+  mvcc::TimestampOracle oracle;
+  mvcc::ActiveTxnRegistry registry;
+  std::unique_ptr<storage::Column> column_a;
+  std::unique_ptr<storage::Column> column_b;
+  std::unique_ptr<SnapshotManager> manager;
+};
+
+TEST(SnapshotManagerTest, FirstAcquireCreatesEpochOnDemand) {
+  Fixture f;
+  auto handle = f.manager->Acquire({f.column_a.get()});
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(f.manager->LiveEpochCount(), 1u);
+  EXPECT_EQ(f.manager->total_materializations(), 1u);
+  const storage::ColumnSnapshot& snap =
+      handle.value()->GetColumn(f.column_a.get());
+  EXPECT_EQ(snap.epoch_ts, handle.value()->epoch_ts());
+}
+
+TEST(SnapshotManagerTest, LazyMaterializationPerColumn) {
+  Fixture f;
+  auto h1 = f.manager->Acquire({f.column_a.get()});
+  ASSERT_TRUE(h1.ok());
+  EXPECT_EQ(f.manager->total_materializations(), 1u);
+  // Second acquire on the same epoch adds only the missing column.
+  auto h2 = f.manager->Acquire({f.column_a.get(), f.column_b.get()});
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(f.manager->total_materializations(), 2u);
+  EXPECT_EQ(f.manager->LiveEpochCount(), 1u);
+}
+
+TEST(SnapshotManagerTest, TriggerAdvancesEpoch) {
+  Fixture f;
+  auto h1 = f.manager->Acquire({f.column_a.get()});
+  ASSERT_TRUE(h1.ok());
+  const mvcc::Timestamp first_ts = h1.value()->epoch_ts();
+
+  f.column_a->ApplyCommittedWrite(0, 42, f.oracle.Next());
+  f.manager->TriggerEpoch();
+
+  auto h2 = f.manager->Acquire({f.column_a.get()});
+  ASSERT_TRUE(h2.ok());
+  EXPECT_GT(h2.value()->epoch_ts(), first_ts);
+  EXPECT_EQ(f.manager->LiveEpochCount(), 2u);
+
+  // The fresh snapshot sees the write; the old one does not.
+  EXPECT_EQ(h2.value()->GetColumn(f.column_a.get()).view->ReadU64(0), 42u);
+  EXPECT_EQ(h1.value()->GetColumn(f.column_a.get()).view->ReadU64(0), 0u);
+}
+
+TEST(SnapshotManagerTest, OldEpochRetiredWhenUnreferenced) {
+  Fixture f;
+  auto h1 = f.manager->Acquire({f.column_a.get()});
+  ASSERT_TRUE(h1.ok());
+  f.manager->TriggerEpoch();
+  auto h2 = f.manager->Acquire({f.column_a.get()});
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(f.manager->LiveEpochCount(), 2u);
+
+  // Releasing the old epoch's only handle retires it (Fig. 1 step 8).
+  h1 = Result<std::unique_ptr<SnapshotHandle>>(Status::Internal("drop"));
+  EXPECT_EQ(f.manager->LiveEpochCount(), 1u);
+}
+
+TEST(SnapshotManagerTest, NewestEpochKeptWarm) {
+  Fixture f;
+  auto h = f.manager->Acquire({f.column_a.get()});
+  ASSERT_TRUE(h.ok());
+  h = Result<std::unique_ptr<SnapshotHandle>>(Status::Internal("drop"));
+  // The newest (only) epoch stays for the next arrival.
+  EXPECT_EQ(f.manager->LiveEpochCount(), 1u);
+  auto again = f.manager->Acquire({f.column_a.get()});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(f.manager->total_materializations(), 1u);  // reused
+}
+
+TEST(SnapshotManagerTest, SharedEpochRefcounting) {
+  Fixture f;
+  auto h1 = f.manager->Acquire({f.column_a.get()});
+  auto h2 = f.manager->Acquire({f.column_a.get()});
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(h1.value()->epoch_ts(), h2.value()->epoch_ts());
+  f.manager->TriggerEpoch();
+  auto h3 = f.manager->Acquire({f.column_a.get()});
+  ASSERT_TRUE(h3.ok());
+  EXPECT_EQ(f.manager->LiveEpochCount(), 2u);
+  h1 = Result<std::unique_ptr<SnapshotHandle>>(Status::Internal("drop"));
+  EXPECT_EQ(f.manager->LiveEpochCount(), 2u);  // h2 still pins the old epoch
+  h2 = Result<std::unique_ptr<SnapshotHandle>>(Status::Internal("drop"));
+  EXPECT_EQ(f.manager->LiveEpochCount(), 1u);
+}
+
+TEST(SnapshotManagerTest, ChainsHandedOverToEpoch) {
+  Fixture f;
+  f.column_a->LoadValue(0, 1);
+  f.column_a->ApplyCommittedWrite(0, 2, f.oracle.Next());
+  f.manager->TriggerEpoch();
+  auto h = f.manager->Acquire({f.column_a.get()});
+  ASSERT_TRUE(h.ok());
+  const storage::ColumnSnapshot& snap = h.value()->GetColumn(f.column_a.get());
+  ASSERT_NE(snap.chains, nullptr);
+  EXPECT_EQ(snap.chains->TotalVersions(), 1u);
+  // Live column has a fresh chain segment after the handover.
+  EXPECT_EQ(f.column_a->versions()->current()->TotalVersions(), 0u);
+}
+
+}  // namespace
+}  // namespace anker::engine

@@ -1,0 +1,66 @@
+#include "mvcc/active_txn_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace anker::mvcc {
+namespace {
+
+TEST(ActiveTxnRegistryTest, EmptyUsesFallback) {
+  ActiveTxnRegistry registry;
+  EXPECT_EQ(registry.MinStartTs(42), 42u);
+  EXPECT_EQ(registry.MinActiveSerial(), UINT64_MAX);
+  EXPECT_EQ(registry.ActiveCount(), 0u);
+}
+
+TEST(ActiveTxnRegistryTest, TracksMinimumStartTs) {
+  ActiveTxnRegistry registry;
+  const uint64_t s1 = registry.Begin(10);
+  const uint64_t s2 = registry.Begin(5);
+  const uint64_t s3 = registry.Begin(20);
+  EXPECT_EQ(registry.MinStartTs(0), 5u);
+  registry.End(s2);
+  EXPECT_EQ(registry.MinStartTs(0), 10u);
+  registry.End(s1);
+  EXPECT_EQ(registry.MinStartTs(0), 20u);
+  registry.End(s3);
+  EXPECT_EQ(registry.MinStartTs(99), 99u);
+}
+
+TEST(ActiveTxnRegistryTest, SerialsAreMonotonic) {
+  ActiveTxnRegistry registry;
+  const uint64_t a = registry.Begin(1);
+  const uint64_t b = registry.Begin(1);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(registry.CurrentSerial(), b);
+  EXPECT_EQ(registry.MinActiveSerial(), a);
+  registry.End(a);
+  EXPECT_EQ(registry.MinActiveSerial(), b);
+  registry.End(b);
+}
+
+TEST(ActiveTxnRegistryTest, EndUnknownSerialDies) {
+  ActiveTxnRegistry registry;
+  EXPECT_DEATH(registry.End(12345), "unknown transaction serial");
+}
+
+TEST(ActiveTxnRegistryTest, ConcurrentBeginEnd) {
+  ActiveTxnRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const uint64_t serial = registry.Begin(t * 1000 + i);
+        registry.End(serial);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(registry.ActiveCount(), 0u);
+  EXPECT_EQ(registry.CurrentSerial(), 16000u);
+}
+
+}  // namespace
+}  // namespace anker::mvcc

@@ -1,0 +1,141 @@
+#include "snapshot/vm_snapshot_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "vm/page.h"
+#include "vm/proc_maps.h"
+
+namespace anker::snapshot {
+namespace {
+
+using vm::kPageSize;
+
+TEST(VmSnapshotBufferTest, SnapshotIsolatesSubsequentWrites) {
+  auto buffer = VmSnapshotBuffer::Create(4 * kPageSize);
+  ASSERT_TRUE(buffer.ok());
+  VmSnapshotBuffer* b = buffer.value().get();
+  b->StoreU64(0, 5);
+  auto snap = b->TakeSnapshot();
+  ASSERT_TRUE(snap.ok());
+  b->StoreU64(0, 6);
+  EXPECT_EQ(snap.value()->ReadU64(0), 5u);
+  EXPECT_EQ(b->LoadU64(0), 6u);
+}
+
+TEST(VmSnapshotBufferTest, DirtyTrackingCountsPages) {
+  auto buffer = VmSnapshotBuffer::Create(8 * kPageSize);
+  ASSERT_TRUE(buffer.ok());
+  VmSnapshotBuffer* b = buffer.value().get();
+  EXPECT_EQ(b->DirtyPageCount(), 0u);
+  b->StoreU64(0, 1);
+  b->StoreU64(8, 2);  // same page
+  EXPECT_EQ(b->DirtyPageCount(), 1u);
+  b->StoreU64(3 * kPageSize, 3);
+  EXPECT_EQ(b->DirtyPageCount(), 2u);
+  auto snap = b->TakeSnapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(b->DirtyPageCount(), 0u);  // flushed
+  EXPECT_EQ(b->stats().dirty_pages_flushed, 2u);
+}
+
+TEST(VmSnapshotBufferTest, MarkDirtySpanningPages) {
+  auto buffer = VmSnapshotBuffer::Create(8 * kPageSize);
+  ASSERT_TRUE(buffer.ok());
+  VmSnapshotBuffer* b = buffer.value().get();
+  b->MarkDirty(kPageSize - 4, 8);  // straddles two pages
+  EXPECT_EQ(b->DirtyPageCount(), 2u);
+}
+
+TEST(VmSnapshotBufferTest, OlderSnapshotsKeepTheirContent) {
+  auto buffer = VmSnapshotBuffer::Create(4 * kPageSize);
+  ASSERT_TRUE(buffer.ok());
+  VmSnapshotBuffer* b = buffer.value().get();
+  std::vector<std::unique_ptr<SnapshotView>> snaps;
+  for (uint64_t round = 1; round <= 6; ++round) {
+    b->StoreU64(0, round);
+    b->StoreU64(2 * kPageSize, round * 10);
+    auto snap = b->TakeSnapshot();
+    ASSERT_TRUE(snap.ok());
+    snaps.push_back(snap.TakeValue());
+  }
+  // Every snapshot must still see the state at its creation, even though
+  // the file pages were rewritten by every later flush.
+  for (uint64_t round = 1; round <= 6; ++round) {
+    EXPECT_EQ(snaps[round - 1]->ReadU64(0), round);
+    EXPECT_EQ(snaps[round - 1]->ReadU64(2 * kPageSize), round * 10);
+  }
+  EXPECT_EQ(b->LiveViewCount(), 6u);
+  snaps.clear();
+  EXPECT_EQ(b->LiveViewCount(), 0u);
+}
+
+TEST(VmSnapshotBufferTest, SourceStaysOneVma) {
+  // The whole point versus rewiring: writes never fragment the source
+  // mapping, so snapshot cost stays flat.
+  auto buffer = VmSnapshotBuffer::Create(64 * kPageSize);
+  ASSERT_TRUE(buffer.ok());
+  VmSnapshotBuffer* b = buffer.value().get();
+  for (int round = 0; round < 4; ++round) {
+    for (size_t page = 0; page < 64; page += 3) {
+      b->StoreU64(page * kPageSize, page + round);
+    }
+    auto snap = b->TakeSnapshot();
+    ASSERT_TRUE(snap.ok());
+  }
+  EXPECT_EQ(vm::CountVmasInRange(b->data(), b->size()), 1u);
+}
+
+TEST(VmSnapshotBufferTest, SnapshotWithNoDirtyPagesIsCheap) {
+  auto buffer = VmSnapshotBuffer::Create(4 * kPageSize);
+  ASSERT_TRUE(buffer.ok());
+  VmSnapshotBuffer* b = buffer.value().get();
+  auto s1 = b->TakeSnapshot();
+  ASSERT_TRUE(s1.ok());
+  auto s2 = b->TakeSnapshot();  // nothing dirty in between
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(b->stats().dirty_pages_flushed, 0u);
+  EXPECT_EQ(s2.value()->ReadU64(0), 0u);
+}
+
+TEST(VmSnapshotBufferTest, RecycleExistingView) {
+  auto buffer = VmSnapshotBuffer::Create(4 * kPageSize);
+  ASSERT_TRUE(buffer.ok());
+  VmSnapshotBuffer* b = buffer.value().get();
+  b->StoreU64(0, 1);
+  auto snap = b->TakeSnapshot();
+  ASSERT_TRUE(snap.ok());
+  auto* view = static_cast<VmSnapshotView*>(snap.value().get());
+  const uint8_t* addr_before = snap.value()->data();
+  EXPECT_EQ(snap.value()->ReadU64(0), 1u);
+
+  b->StoreU64(0, 2);
+  // vm_snapshot's dst_addr form: refresh the snapshot in place.
+  ASSERT_TRUE(b->TakeSnapshotInto(view).ok());
+  EXPECT_EQ(snap.value()->data(), addr_before);
+  EXPECT_EQ(snap.value()->ReadU64(0), 2u);
+}
+
+TEST(VmSnapshotBufferTest, InterleavedWritesAndSnapshotsOnSamePage) {
+  // Regression shape: the same page dirtied across several epochs while
+  // multiple snapshots stay alive.
+  auto buffer = VmSnapshotBuffer::Create(kPageSize);
+  ASSERT_TRUE(buffer.ok());
+  VmSnapshotBuffer* b = buffer.value().get();
+  b->StoreU64(0, 1);
+  auto s1 = b->TakeSnapshot();
+  ASSERT_TRUE(s1.ok());
+  b->StoreU64(0, 2);
+  auto s2 = b->TakeSnapshot();
+  ASSERT_TRUE(s2.ok());
+  b->StoreU64(0, 3);
+  auto s3 = b->TakeSnapshot();
+  ASSERT_TRUE(s3.ok());
+  b->StoreU64(0, 4);
+  EXPECT_EQ(s1.value()->ReadU64(0), 1u);
+  EXPECT_EQ(s2.value()->ReadU64(0), 2u);
+  EXPECT_EQ(s3.value()->ReadU64(0), 3u);
+  EXPECT_EQ(b->LoadU64(0), 4u);
+}
+
+}  // namespace
+}  // namespace anker::snapshot

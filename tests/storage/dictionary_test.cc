@@ -1,0 +1,58 @@
+#include "storage/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace anker::storage {
+namespace {
+
+TEST(DictionaryTest, GetOrAddAssignsDenseCodes) {
+  Dictionary dict;
+  EXPECT_EQ(dict.GetOrAdd("R"), 0u);
+  EXPECT_EQ(dict.GetOrAdd("A"), 1u);
+  EXPECT_EQ(dict.GetOrAdd("N"), 2u);
+  EXPECT_EQ(dict.GetOrAdd("A"), 1u);  // existing value keeps its code
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, DecodeRoundTrips) {
+  Dictionary dict;
+  const uint32_t code = dict.GetOrAdd("1-URGENT");
+  EXPECT_EQ(dict.Decode(code), "1-URGENT");
+}
+
+TEST(DictionaryTest, LookupWithoutInsert) {
+  Dictionary dict;
+  dict.GetOrAdd("Brand#11");
+  auto found = dict.Lookup("Brand#11");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), 0u);
+  EXPECT_FALSE(dict.Lookup("Brand#99").ok());
+  EXPECT_EQ(dict.size(), 1u);  // lookup never inserts
+}
+
+TEST(DictionaryTest, ConcurrentGetOrAddIsConsistent) {
+  Dictionary dict;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        const std::string value = "v" + std::to_string(i % 25);
+        const uint32_t code = dict.GetOrAdd(value);
+        ASSERT_EQ(dict.Decode(code), value);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(dict.size(), 25u);
+}
+
+TEST(DictionaryTest, DecodeOutOfRangeDies) {
+  Dictionary dict;
+  EXPECT_DEATH(dict.Decode(0), "CHECK");
+}
+
+}  // namespace
+}  // namespace anker::storage

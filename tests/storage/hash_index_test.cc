@@ -1,0 +1,72 @@
+#include "storage/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace anker::storage {
+namespace {
+
+TEST(HashIndexTest, InsertAndLookup) {
+  HashIndex index(16);
+  ASSERT_TRUE(index.Insert(100, 0).ok());
+  ASSERT_TRUE(index.Insert(200, 1).ok());
+  auto row = index.Lookup(100);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), 0u);
+  EXPECT_EQ(index.Lookup(200).value(), 1u);
+  EXPECT_FALSE(index.Lookup(300).ok());
+  EXPECT_TRUE(index.Contains(200));
+  EXPECT_FALSE(index.Contains(300));
+}
+
+TEST(HashIndexTest, DuplicateKeyRejected) {
+  HashIndex index(16);
+  ASSERT_TRUE(index.Insert(7, 0).ok());
+  EXPECT_EQ(index.Insert(7, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(index.Lookup(7).value(), 0u);  // original mapping intact
+}
+
+TEST(HashIndexTest, GrowsPastInitialCapacity) {
+  HashIndex index(4);
+  for (uint64_t key = 1; key <= 10000; ++key) {
+    ASSERT_TRUE(index.Insert(key, key * 2).ok());
+  }
+  EXPECT_EQ(index.size(), 10000u);
+  for (uint64_t key = 1; key <= 10000; ++key) {
+    ASSERT_EQ(index.Lookup(key).value(), key * 2);
+  }
+}
+
+TEST(HashIndexTest, SequentialKeysDoNotDegrade) {
+  // Dense primary keys are the TPC-H norm; the mixer must spread them.
+  HashIndex index(1 << 12);
+  for (uint64_t key = 0; key < 4000; ++key) {
+    ASSERT_TRUE(index.Insert(key * 8 + 1, key).ok());  // lineitem-style keys
+  }
+  for (uint64_t key = 0; key < 4000; ++key) {
+    ASSERT_EQ(index.Lookup(key * 8 + 1).value(), key);
+  }
+}
+
+TEST(HashIndexTest, RandomizedAgainstReference) {
+  Rng rng(55);
+  HashIndex index(64);
+  std::unordered_map<uint64_t, uint64_t> reference;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.Next() | 1;  // avoid 0 collisions in test keys
+    const uint64_t row = rng.Next();
+    if (reference.emplace(key, row).second) {
+      ASSERT_TRUE(index.Insert(key, row).ok());
+    }
+  }
+  EXPECT_EQ(index.size(), reference.size());
+  for (const auto& [key, row] : reference) {
+    ASSERT_EQ(index.Lookup(key).value(), row);
+  }
+}
+
+}  // namespace
+}  // namespace anker::storage

@@ -1,0 +1,78 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+
+namespace anker::storage {
+namespace {
+
+std::vector<ColumnDef> TestSchema() {
+  return {{"id", ValueType::kInt64},
+          {"price", ValueType::kDouble},
+          {"flag", ValueType::kDict32}};
+}
+
+TEST(TableTest, CreateBuildsAllColumns) {
+  auto table = Table::Create("t", TestSchema(), 100,
+                             snapshot::BufferBackend::kVmSnapshot);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()->num_columns(), 3u);
+  EXPECT_EQ(table.value()->num_rows(), 100u);
+  EXPECT_TRUE(table.value()->HasColumn("price"));
+  EXPECT_FALSE(table.value()->HasColumn("bogus"));
+  EXPECT_EQ(table.value()->GetColumn("id")->type(), ValueType::kInt64);
+}
+
+TEST(TableTest, UnknownColumnDies) {
+  auto table = Table::Create("t", TestSchema(), 10,
+                             snapshot::BufferBackend::kPlain);
+  ASSERT_TRUE(table.ok());
+  EXPECT_DEATH(table.value()->GetColumn("bogus"), "CHECK");
+}
+
+TEST(TableTest, DictionaryPerColumn) {
+  auto table = Table::Create("t", TestSchema(), 10,
+                             snapshot::BufferBackend::kPlain);
+  ASSERT_TRUE(table.ok());
+  Dictionary* dict = table.value()->GetDictionary("flag");
+  const uint32_t code = dict->GetOrAdd("R");
+  EXPECT_EQ(table.value()->GetDictionary("flag")->Decode(code), "R");
+}
+
+TEST(TableTest, PrimaryIndexLifecycle) {
+  auto table = Table::Create("t", TestSchema(), 10,
+                             snapshot::BufferBackend::kPlain);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()->primary_index(), nullptr);
+  table.value()->CreatePrimaryIndex(10);
+  ASSERT_NE(table.value()->primary_index(), nullptr);
+  ASSERT_TRUE(table.value()->primary_index()->Insert(1, 0).ok());
+  EXPECT_EQ(table.value()->primary_index()->Lookup(1).value(), 0u);
+}
+
+TEST(CatalogTest, RegistersAndResolvesTables) {
+  Catalog catalog;
+  auto table = Table::Create("orders", TestSchema(), 10,
+                             snapshot::BufferBackend::kPlain);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(catalog.AddTable(table.TakeValue()).ok());
+  EXPECT_TRUE(catalog.HasTable("orders"));
+  EXPECT_EQ(catalog.GetTable("orders")->name(), "orders");
+  EXPECT_EQ(catalog.num_tables(), 1u);
+  EXPECT_EQ(catalog.AllColumns().size(), 3u);
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog catalog;
+  auto t1 = Table::Create("t", TestSchema(), 10,
+                          snapshot::BufferBackend::kPlain);
+  auto t2 = Table::Create("t", TestSchema(), 10,
+                          snapshot::BufferBackend::kPlain);
+  ASSERT_TRUE(catalog.AddTable(t1.TakeValue()).ok());
+  EXPECT_EQ(catalog.AddTable(t2.TakeValue()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace anker::storage

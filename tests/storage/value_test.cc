@@ -1,0 +1,72 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace anker::storage {
+namespace {
+
+TEST(ValueTest, Int64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1},
+                    std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(DecodeInt64(EncodeInt64(v)), v);
+  }
+}
+
+TEST(ValueTest, DoubleRoundTripIsBitExact) {
+  for (double v : {0.0, -0.0, 1.5, -273.15, 1e300, 5e-324}) {
+    EXPECT_EQ(DecodeDouble(EncodeDouble(v)), v);
+  }
+}
+
+TEST(ValueTest, DictRoundTrip) {
+  EXPECT_EQ(DecodeDict(EncodeDict(0)), 0u);
+  EXPECT_EQ(DecodeDict(EncodeDict(0xFFFFFFFF)), 0xFFFFFFFFu);
+}
+
+TEST(ValueTest, CompareRawOrdersNegativesCorrectly) {
+  // Raw uint64 comparison would order -1 after 1; the typed comparison
+  // must not.
+  EXPECT_LT(CompareRaw(ValueType::kInt64, EncodeInt64(-1), EncodeInt64(1)),
+            0);
+  EXPECT_GT(CompareRaw(ValueType::kInt64, EncodeInt64(5), EncodeInt64(-5)),
+            0);
+  EXPECT_EQ(CompareRaw(ValueType::kInt64, EncodeInt64(7), EncodeInt64(7)),
+            0);
+}
+
+TEST(ValueTest, CompareRawDoublesInValueDomain) {
+  EXPECT_LT(CompareRaw(ValueType::kDouble, EncodeDouble(-2.5),
+                       EncodeDouble(0.1)),
+            0);
+  EXPECT_GT(CompareRaw(ValueType::kDouble, EncodeDouble(1e10),
+                       EncodeDouble(1e-10)),
+            0);
+}
+
+TEST(ValueTest, CompareRawDates) {
+  EXPECT_LT(
+      CompareRaw(ValueType::kDate, EncodeDate(100), EncodeDate(2405)), 0);
+}
+
+TEST(ValueTest, RawInRangeInclusiveBounds) {
+  const uint64_t lo = EncodeDouble(0.05);
+  const uint64_t hi = EncodeDouble(0.07);
+  EXPECT_TRUE(RawInRange(ValueType::kDouble, EncodeDouble(0.05), lo, hi));
+  EXPECT_TRUE(RawInRange(ValueType::kDouble, EncodeDouble(0.06), lo, hi));
+  EXPECT_TRUE(RawInRange(ValueType::kDouble, EncodeDouble(0.07), lo, hi));
+  EXPECT_FALSE(RawInRange(ValueType::kDouble, EncodeDouble(0.0701), lo, hi));
+  EXPECT_FALSE(RawInRange(ValueType::kDouble, EncodeDouble(0.0499), lo, hi));
+}
+
+TEST(ValueTest, RawInRangeNegativeInterval) {
+  EXPECT_TRUE(RawInRange(ValueType::kInt64, EncodeInt64(-5),
+                         EncodeInt64(-10), EncodeInt64(-1)));
+  EXPECT_FALSE(RawInRange(ValueType::kInt64, EncodeInt64(0),
+                          EncodeInt64(-10), EncodeInt64(-1)));
+}
+
+}  // namespace
+}  // namespace anker::storage

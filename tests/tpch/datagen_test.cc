@@ -1,0 +1,110 @@
+#include "tpch/datagen.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/value.h"
+#include "tpch/schema.h"
+
+namespace anker::tpch {
+namespace {
+
+engine::DatabaseConfig SmallConfig() {
+  return engine::DatabaseConfig::ForMode(
+      txn::ProcessingMode::kHeterogeneousSerializable);
+}
+
+TEST(DatagenTest, LoadsAllThreeTables) {
+  engine::Database db(SmallConfig());
+  TpchConfig config;
+  config.lineitem_rows = 6000;
+  auto instance = LoadTpch(&db, config);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance.value().lineitem->num_rows(), 6000u);
+  EXPECT_EQ(instance.value().orders->num_rows(), 1501u);
+  EXPECT_EQ(instance.value().part->num_rows(), 201u);
+  EXPECT_TRUE(db.catalog().HasTable(kLineitem));
+  EXPECT_TRUE(db.catalog().HasTable(kOrders));
+  EXPECT_TRUE(db.catalog().HasTable(kPart));
+}
+
+TEST(DatagenTest, KeysAreDenseAndIndexed) {
+  engine::Database db(SmallConfig());
+  TpchConfig config;
+  config.lineitem_rows = 3000;
+  auto instance = LoadTpch(&db, config);
+  ASSERT_TRUE(instance.ok());
+  const TpchInstance& inst = instance.value();
+
+  // Every orders key 1..N resolves through the index to a row holding it.
+  storage::Column* okey = inst.orders->GetColumn("o_orderkey");
+  for (uint64_t key = 1; key <= inst.orders_rows; key += 97) {
+    auto row = inst.orders->primary_index()->Lookup(key);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(storage::DecodeInt64(okey->ReadLatestRaw(row.value())),
+              static_cast<int64_t>(key));
+  }
+
+  // Every lineitem row's (orderkey, linenumber) resolves back to itself.
+  storage::Column* l_ok = inst.lineitem->GetColumn("l_orderkey");
+  storage::Column* l_ln = inst.lineitem->GetColumn("l_linenumber");
+  for (uint64_t row = 0; row < inst.lineitem_rows; row += 131) {
+    const int64_t orderkey = storage::DecodeInt64(l_ok->ReadLatestRaw(row));
+    const int64_t line = storage::DecodeInt64(l_ln->ReadLatestRaw(row));
+    auto found = inst.lineitem->primary_index()->Lookup(
+        LineitemKey(orderkey, line));
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value(), row);
+  }
+}
+
+TEST(DatagenTest, ValueDomainsMatchSpecShape) {
+  engine::Database db(SmallConfig());
+  TpchConfig config;
+  config.lineitem_rows = 5000;
+  auto instance = LoadTpch(&db, config);
+  ASSERT_TRUE(instance.ok());
+  const TpchInstance& inst = instance.value();
+
+  storage::Column* qty = inst.lineitem->GetColumn("l_quantity");
+  storage::Column* disc = inst.lineitem->GetColumn("l_discount");
+  storage::Column* ship = inst.lineitem->GetColumn("l_shipdate");
+  for (uint64_t row = 0; row < inst.lineitem_rows; row += 53) {
+    const double q = storage::DecodeDouble(qty->ReadLatestRaw(row));
+    EXPECT_GE(q, 1.0);
+    EXPECT_LE(q, 50.0);
+    const double d = storage::DecodeDouble(disc->ReadLatestRaw(row));
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 0.10001);
+    const int64_t s = storage::DecodeDate(ship->ReadLatestRaw(row));
+    EXPECT_GE(s, 1);
+    EXPECT_LE(s, kShipDateMaxDays);
+  }
+
+  // Dictionary domains have the spec cardinalities.
+  EXPECT_EQ(inst.lineitem->GetDictionary("l_returnflag")->size(), 3u);
+  EXPECT_EQ(inst.lineitem->GetDictionary("l_linestatus")->size(), 2u);
+  EXPECT_EQ(inst.orders->GetDictionary("o_orderpriority")->size(), 5u);
+  EXPECT_LE(inst.part->GetDictionary("p_brand")->size(), 25u);
+}
+
+TEST(DatagenTest, DeterministicForSameSeed) {
+  TpchConfig config;
+  config.lineitem_rows = 2000;
+  config.seed = 1234;
+
+  engine::Database db1(SmallConfig());
+  engine::Database db2(SmallConfig());
+  auto i1 = LoadTpch(&db1, config);
+  auto i2 = LoadTpch(&db2, config);
+  ASSERT_TRUE(i1.ok());
+  ASSERT_TRUE(i2.ok());
+
+  storage::Column* a = i1.value().lineitem->GetColumn("l_extendedprice");
+  storage::Column* b = i2.value().lineitem->GetColumn("l_extendedprice");
+  for (uint64_t row = 0; row < 2000; row += 17) {
+    EXPECT_EQ(a->ReadLatestRaw(row), b->ReadLatestRaw(row));
+  }
+}
+
+}  // namespace
+}  // namespace anker::tpch

@@ -1,0 +1,117 @@
+#include "txn/recent_committers.h"
+
+#include <gtest/gtest.h>
+
+#include "snapshot/snapshotable_buffer.h"
+#include "vm/page.h"
+
+namespace anker::txn {
+namespace {
+
+// A predicate needs a typed column; build a tiny real one.
+std::unique_ptr<storage::Column> MakeColumn(storage::ValueType type) {
+  auto buffer =
+      snapshot::CreateBuffer(snapshot::BufferBackend::kPlain, vm::kPageSize);
+  EXPECT_TRUE(buffer.ok());
+  return std::make_unique<storage::Column>("c", type, buffer.TakeValue(),
+                                           vm::kPageSize / 8);
+}
+
+TEST(RecentCommittersTest, EmptyValidatesEverything) {
+  RecentCommitters recent;
+  EXPECT_TRUE(recent.Validate(0, {}, {}).ok());
+}
+
+TEST(RecentCommittersTest, PointReadConflictAborts) {
+  auto column = MakeColumn(storage::ValueType::kInt64);
+  RecentCommitters recent;
+  recent.Record(10, {WriteRecord{column.get(), 5, 1, 2}});
+
+  // A txn started before the commit and read the written row -> abort.
+  const std::vector<PointRead> reads = {{column.get(), 5}};
+  EXPECT_TRUE(recent.Validate(8, reads, {}).IsAborted());
+  // Different row -> fine.
+  const std::vector<PointRead> other = {{column.get(), 6}};
+  EXPECT_TRUE(recent.Validate(8, other, {}).ok());
+  // Started after the commit -> fine.
+  EXPECT_TRUE(recent.Validate(10, reads, {}).ok());
+}
+
+TEST(RecentCommittersTest, PredicateIntersectionChecksOldAndNewValue) {
+  auto column = MakeColumn(storage::ValueType::kInt64);
+  RecentCommitters recent;
+  // Write moved the value 100 -> 999.
+  recent.Record(10, {WriteRecord{column.get(), 0,
+                                 storage::EncodeInt64(100),
+                                 storage::EncodeInt64(999)}});
+
+  // Predicate [50, 150] matches the OLD value: the row left the range.
+  const std::vector<PredicateRange> p1 = {
+      {column.get(), storage::EncodeInt64(50), storage::EncodeInt64(150)}};
+  EXPECT_TRUE(recent.Validate(5, {}, p1).IsAborted());
+
+  // Predicate [900, 1000] matches the NEW value: the row entered the range.
+  const std::vector<PredicateRange> p2 = {
+      {column.get(), storage::EncodeInt64(900), storage::EncodeInt64(1000)}};
+  EXPECT_TRUE(recent.Validate(5, {}, p2).IsAborted());
+
+  // Predicate [0, 50] matches neither -> serializable.
+  const std::vector<PredicateRange> p3 = {
+      {column.get(), storage::EncodeInt64(0), storage::EncodeInt64(50)}};
+  EXPECT_TRUE(recent.Validate(5, {}, p3).ok());
+}
+
+TEST(RecentCommittersTest, DoublePredicatesCompareInValueDomain) {
+  auto column = MakeColumn(storage::ValueType::kDouble);
+  RecentCommitters recent;
+  recent.Record(10, {WriteRecord{column.get(), 0,
+                                 storage::EncodeDouble(0.05),
+                                 storage::EncodeDouble(0.07)}});
+  const std::vector<PredicateRange> range = {
+      {column.get(), storage::EncodeDouble(0.06),
+       storage::EncodeDouble(0.08)}};
+  EXPECT_TRUE(recent.Validate(5, {}, range).IsAborted());
+  const std::vector<PredicateRange> miss = {
+      {column.get(), storage::EncodeDouble(0.10),
+       storage::EncodeDouble(0.20)}};
+  EXPECT_TRUE(recent.Validate(5, {}, miss).ok());
+}
+
+TEST(RecentCommittersTest, OnlyCommitsDuringLifetimeMatter) {
+  auto column = MakeColumn(storage::ValueType::kInt64);
+  RecentCommitters recent;
+  recent.Record(3, {WriteRecord{column.get(), 1, 0, 1}});
+  recent.Record(7, {WriteRecord{column.get(), 2, 0, 1}});
+  const std::vector<PointRead> reads = {{column.get(), 1}};
+  // Start ts 5: the ts-3 commit predates the txn -> visible, not stale.
+  EXPECT_TRUE(recent.Validate(5, reads, {}).ok());
+  const std::vector<PointRead> reads2 = {{column.get(), 2}};
+  EXPECT_TRUE(recent.Validate(5, reads2, {}).IsAborted());
+}
+
+TEST(RecentCommittersTest, TrimmedWindowAbortsConservatively) {
+  auto column = MakeColumn(storage::ValueType::kInt64);
+  RecentCommitters recent(/*max_entries=*/2);
+  recent.Record(3, {WriteRecord{column.get(), 0, 0, 1}});
+  recent.Record(5, {WriteRecord{column.get(), 0, 1, 2}});
+  recent.Record(7, {WriteRecord{column.get(), 0, 2, 3}});  // trims ts 3
+  // A txn whose lifetime began before the trimmed entry can't be validated.
+  EXPECT_TRUE(recent.Validate(1, {}, {}).IsAborted());
+  // A young transaction validates normally.
+  EXPECT_TRUE(recent.Validate(7, {}, {}).ok());
+}
+
+TEST(RecentCommittersTest, TrimOlderThanDropsEntries) {
+  auto column = MakeColumn(storage::ValueType::kInt64);
+  RecentCommitters recent;
+  recent.Record(3, {});
+  recent.Record(5, {});
+  recent.Record(9, {});
+  EXPECT_EQ(recent.size(), 3u);
+  recent.TrimOlderThan(6);
+  EXPECT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent.OldestRetained(), 9u);
+}
+
+}  // namespace
+}  // namespace anker::txn

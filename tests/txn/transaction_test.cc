@@ -1,0 +1,68 @@
+#include "txn/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/column.h"
+#include "vm/page.h"
+
+namespace anker::txn {
+namespace {
+
+std::unique_ptr<storage::Column> MakeColumn() {
+  auto buffer =
+      snapshot::CreateBuffer(snapshot::BufferBackend::kPlain, vm::kPageSize);
+  EXPECT_TRUE(buffer.ok());
+  return std::make_unique<storage::Column>("c", storage::ValueType::kInt64,
+                                           buffer.TakeValue(), 512);
+}
+
+TEST(TransactionTest, StartsReadOnly) {
+  Transaction txn(1, 10, 1, TxnType::kOltp);
+  EXPECT_TRUE(txn.read_only());
+  EXPECT_EQ(txn.start_ts(), 10u);
+  EXPECT_EQ(txn.type(), TxnType::kOltp);
+}
+
+TEST(TransactionTest, SecondWriteToSameSlotOverwritesFirst) {
+  auto column = MakeColumn();
+  Transaction txn(1, 10, 1, TxnType::kOltp);
+  txn.Write(column.get(), 3, 100);
+  txn.Write(column.get(), 3, 200);
+  ASSERT_EQ(txn.writes().size(), 1u);
+  EXPECT_EQ(txn.writes()[0].new_raw, 200u);
+  EXPECT_EQ(txn.Read(column.get(), 3), 200u);
+}
+
+TEST(TransactionTest, WritesToDistinctSlotsAccumulate) {
+  auto column = MakeColumn();
+  auto other = MakeColumn();
+  Transaction txn(1, 10, 1, TxnType::kOltp);
+  txn.Write(column.get(), 1, 11);
+  txn.Write(column.get(), 2, 22);
+  txn.Write(other.get(), 1, 33);  // same row, different column
+  EXPECT_EQ(txn.writes().size(), 3u);
+  EXPECT_FALSE(txn.read_only());
+}
+
+TEST(TransactionTest, ReadRecordsPointReadOnlyForDatabaseReads) {
+  auto column = MakeColumn();
+  Transaction txn(1, 10, 1, TxnType::kOltp);
+  (void)txn.Read(column.get(), 5);        // database read -> recorded
+  txn.Write(column.get(), 6, 1);
+  (void)txn.Read(column.get(), 6);        // own write -> not recorded
+  ASSERT_EQ(txn.point_reads().size(), 1u);
+  EXPECT_EQ(txn.point_reads()[0].row, 5u);
+}
+
+TEST(TransactionTest, PredicatesAccumulate) {
+  auto column = MakeColumn();
+  Transaction txn(1, 10, 1, TxnType::kOlap);
+  txn.AddPredicate(column.get(), 1, 5);
+  txn.AddPredicate(column.get(), 10, 20);
+  ASSERT_EQ(txn.predicates().size(), 2u);
+  EXPECT_TRUE(txn.predicates()[0].Matches(3));
+  EXPECT_FALSE(txn.predicates()[0].Matches(7));
+}
+
+}  // namespace
+}  // namespace anker::txn

@@ -1,0 +1,119 @@
+#include "vm/map_region.h"
+
+#include <sys/mman.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "vm/memfd.h"
+#include "vm/page.h"
+
+namespace anker::vm {
+namespace {
+
+TEST(MapRegionTest, AnonymousIsZeroedAndWritable) {
+  auto region = MapRegion::MapAnonymous(2 * kPageSize);
+  ASSERT_TRUE(region.ok());
+  MapRegion r = region.TakeValue();
+  EXPECT_EQ(r.size(), 2 * kPageSize);
+  for (size_t i = 0; i < r.size(); i += 512) EXPECT_EQ(r.data()[i], 0);
+  r.data()[0] = 42;
+  EXPECT_EQ(r.data()[0], 42);
+}
+
+TEST(MapRegionTest, SharedFileMappingWritesThrough) {
+  auto memfd = Memfd::Create("t", kPageSize);
+  ASSERT_TRUE(memfd.ok());
+  auto region = MapRegion::MapSharedFile(memfd.value().fd(), kPageSize, 0,
+                                         PROT_READ | PROT_WRITE);
+  ASSERT_TRUE(region.ok());
+  region.value().data()[10] = 0x5a;
+  char byte = 0;
+  ASSERT_TRUE(memfd.value().ReadAt(&byte, 1, 10).ok());
+  EXPECT_EQ(byte, 0x5a);
+}
+
+TEST(MapRegionTest, PrivateFileMappingDoesNotWriteThrough) {
+  auto memfd = Memfd::Create("t", kPageSize);
+  ASSERT_TRUE(memfd.ok());
+  auto region = MapRegion::MapPrivateFile(memfd.value().fd(), kPageSize, 0,
+                                          PROT_READ | PROT_WRITE);
+  ASSERT_TRUE(region.ok());
+  region.value().data()[10] = 0x5a;  // COWs into an anonymous page
+  char byte = 0x7f;
+  ASSERT_TRUE(memfd.value().ReadAt(&byte, 1, 10).ok());
+  EXPECT_EQ(byte, 0);  // file untouched
+  EXPECT_EQ(region.value().data()[10], 0x5a);
+}
+
+TEST(MapRegionTest, PrivateMappingSeesFileStateAtFault) {
+  auto memfd = Memfd::Create("t", kPageSize);
+  ASSERT_TRUE(memfd.ok());
+  const char v1 = 0x11;
+  ASSERT_TRUE(memfd.value().WriteAt(&v1, 1, 0).ok());
+  auto region = MapRegion::MapPrivateFile(memfd.value().fd(), kPageSize, 0,
+                                          PROT_READ | PROT_WRITE);
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(region.value().data()[0], 0x11);
+}
+
+TEST(MapRegionTest, DontNeedDropsPrivateCopy) {
+  auto memfd = Memfd::Create("t", kPageSize);
+  ASSERT_TRUE(memfd.ok());
+  const char file_byte = 0x33;
+  ASSERT_TRUE(memfd.value().WriteAt(&file_byte, 1, 0).ok());
+  auto region = MapRegion::MapPrivateFile(memfd.value().fd(), kPageSize, 0,
+                                          PROT_READ | PROT_WRITE);
+  ASSERT_TRUE(region.ok());
+  MapRegion r = region.TakeValue();
+  r.data()[0] = 0x44;  // private COW copy
+  EXPECT_EQ(r.data()[0], 0x44);
+  ASSERT_TRUE(r.DontNeed(0, kPageSize).ok());
+  EXPECT_EQ(r.data()[0], 0x33);  // back to the file content
+}
+
+TEST(MapRegionTest, MapFixedSharedRedirectsPage) {
+  auto memfd = Memfd::Create("t", 2 * kPageSize);
+  ASSERT_TRUE(memfd.ok());
+  const char a = 'a';
+  const char b = 'b';
+  ASSERT_TRUE(memfd.value().WriteAt(&a, 1, 0).ok());
+  ASSERT_TRUE(
+      memfd.value().WriteAt(&b, 1, static_cast<off_t>(kPageSize)).ok());
+  auto region = MapRegion::MapSharedFile(memfd.value().fd(), kPageSize, 0,
+                                         PROT_READ);
+  ASSERT_TRUE(region.ok());
+  MapRegion r = region.TakeValue();
+  EXPECT_EQ(r.data()[0], 'a');
+  // Rewire the single page to the second file page.
+  ASSERT_TRUE(MapRegion::MapFixedShared(r.data(), memfd.value().fd(),
+                                        kPageSize,
+                                        static_cast<off_t>(kPageSize),
+                                        PROT_READ)
+                  .ok());
+  EXPECT_EQ(r.data()[0], 'b');
+}
+
+TEST(MapRegionTest, ProtectRangeRejectsUnaligned) {
+  auto region = MapRegion::MapAnonymous(2 * kPageSize);
+  ASSERT_TRUE(region.ok());
+  MapRegion r = region.TakeValue();
+  ASSERT_TRUE(r.ProtectRange(0, kPageSize, PROT_READ).ok());
+  ASSERT_TRUE(r.ProtectRange(0, kPageSize, PROT_READ | PROT_WRITE).ok());
+  EXPECT_DEATH((void)r.ProtectRange(1, kPageSize, PROT_READ), "CHECK");
+}
+
+TEST(MapRegionTest, MoveTransfersOwnership) {
+  auto region = MapRegion::MapAnonymous(kPageSize);
+  ASSERT_TRUE(region.ok());
+  MapRegion a = region.TakeValue();
+  uint8_t* data = a.data();
+  MapRegion b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(b.data(), data);
+  b.data()[0] = 1;  // still mapped
+}
+
+}  // namespace
+}  // namespace anker::vm

@@ -1,0 +1,79 @@
+#include "vm/memfd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "vm/page.h"
+
+namespace anker::vm {
+namespace {
+
+TEST(MemfdTest, CreateRoundsToPageSize) {
+  auto memfd = Memfd::Create("test", 100);
+  ASSERT_TRUE(memfd.ok());
+  EXPECT_EQ(memfd.value().size(), kPageSize);
+  EXPECT_TRUE(memfd.value().valid());
+}
+
+TEST(MemfdTest, WriteThenReadBack) {
+  auto memfd = Memfd::Create("test", 2 * kPageSize);
+  ASSERT_TRUE(memfd.ok());
+  const char payload[] = "snapshot me";
+  ASSERT_TRUE(memfd.value().WriteAt(payload, sizeof(payload), 100).ok());
+  char readback[sizeof(payload)] = {0};
+  ASSERT_TRUE(memfd.value().ReadAt(readback, sizeof(payload), 100).ok());
+  EXPECT_STREQ(readback, payload);
+}
+
+TEST(MemfdTest, GrowExtendsFile) {
+  auto memfd = Memfd::Create("test", kPageSize);
+  ASSERT_TRUE(memfd.ok());
+  Memfd file = memfd.TakeValue();
+  ASSERT_TRUE(file.Grow(10 * kPageSize).ok());
+  EXPECT_EQ(file.size(), 10 * kPageSize);
+  // New region readable (zero filled).
+  std::vector<char> buf(16, 0x7f);
+  ASSERT_TRUE(file.ReadAt(buf.data(), buf.size(), 9 * kPageSize).ok());
+  for (char c : buf) EXPECT_EQ(c, 0);
+}
+
+TEST(MemfdTest, GrowCannotShrink) {
+  auto memfd = Memfd::Create("test", 4 * kPageSize);
+  ASSERT_TRUE(memfd.ok());
+  Memfd file = memfd.TakeValue();
+  EXPECT_FALSE(file.Grow(kPageSize).ok());
+}
+
+TEST(MemfdTest, ReadPastEndFails) {
+  auto memfd = Memfd::Create("test", kPageSize);
+  ASSERT_TRUE(memfd.ok());
+  char buf[8];
+  EXPECT_FALSE(memfd.value().ReadAt(buf, 8, 2 * kPageSize).ok());
+}
+
+TEST(MemfdTest, MoveTransfersOwnership) {
+  auto memfd = Memfd::Create("test", kPageSize);
+  ASSERT_TRUE(memfd.ok());
+  Memfd a = memfd.TakeValue();
+  const int fd = a.fd();
+  Memfd b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.fd(), fd);
+}
+
+TEST(PageMathTest, Helpers) {
+  EXPECT_EQ(RoundUpToPage(0), 0u);
+  EXPECT_EQ(RoundUpToPage(1), kPageSize);
+  EXPECT_EQ(RoundUpToPage(kPageSize), kPageSize);
+  EXPECT_TRUE(IsPageAligned(0));
+  EXPECT_TRUE(IsPageAligned(kPageSize * 3));
+  EXPECT_FALSE(IsPageAligned(kPageSize + 1));
+  EXPECT_EQ(PageIndex(kPageSize * 2 + 5), 2u);
+  EXPECT_EQ(PageCount(kPageSize + 1), 2u);
+}
+
+}  // namespace
+}  // namespace anker::vm

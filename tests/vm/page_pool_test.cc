@@ -1,0 +1,69 @@
+#include "vm/page_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "vm/page.h"
+
+namespace anker::vm {
+namespace {
+
+TEST(PagePoolTest, AllocatesDistinctPages) {
+  PagePool pool;
+  ASSERT_TRUE(pool.Init("t", 4 * kPageSize).ok());
+  std::set<off_t> seen;
+  for (int i = 0; i < 16; ++i) {
+    auto offset = pool.AllocatePage();
+    ASSERT_TRUE(offset.ok());
+    EXPECT_TRUE(seen.insert(offset.value()).second);
+    EXPECT_EQ(offset.value() % static_cast<off_t>(kPageSize), 0);
+  }
+  EXPECT_EQ(pool.allocated_pages(), 16u);
+}
+
+TEST(PagePoolTest, GrowsBeyondInitialCapacity) {
+  PagePool pool;
+  ASSERT_TRUE(pool.Init("t", kPageSize).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.AllocatePage().ok());
+  }
+  EXPECT_GE(pool.file().size(), 100 * kPageSize);
+}
+
+TEST(PagePoolTest, AllocatePagesReturnsContiguousRun) {
+  PagePool pool;
+  ASSERT_TRUE(pool.Init("t", 16 * kPageSize).ok());
+  auto first = pool.AllocatePages(8);
+  ASSERT_TRUE(first.ok());
+  auto next = pool.AllocatePage();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value(), first.value() + static_cast<off_t>(8 * kPageSize));
+}
+
+TEST(PagePoolTest, ConcurrentAllocationsAreUnique) {
+  PagePool pool;
+  ASSERT_TRUE(pool.Init("t", kPageSize).ok());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::vector<off_t>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto offset = pool.AllocatePage();
+        ASSERT_TRUE(offset.ok());
+        results[t].push_back(offset.value());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<off_t> all;
+  for (const auto& v : results) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace anker::vm

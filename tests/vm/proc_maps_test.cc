@@ -1,0 +1,47 @@
+#include "vm/proc_maps.h"
+
+#include <sys/mman.h>
+
+#include <gtest/gtest.h>
+
+#include "vm/map_region.h"
+#include "vm/memfd.h"
+#include "vm/page.h"
+
+namespace anker::vm {
+namespace {
+
+TEST(ProcMapsTest, ReadsSomething) {
+  const auto vmas = ReadProcMaps();
+  EXPECT_GT(vmas.size(), 10u);  // any process has dozens of VMAs
+  for (const VmaInfo& vma : vmas) EXPECT_LT(vma.start, vma.end);
+}
+
+TEST(ProcMapsTest, CountsMappedRegion) {
+  auto region = MapRegion::MapAnonymous(4 * kPageSize);
+  ASSERT_TRUE(region.ok());
+  EXPECT_GE(CountVmasInRange(region.value().data(), region.value().size()),
+            1u);
+}
+
+TEST(ProcMapsTest, FragmentationIncreasesVmaCount) {
+  // Map 8 pages of a memfd as one region, then remap every second page with
+  // a different protection, forcing VMA splits.
+  auto memfd = Memfd::Create("t", 8 * kPageSize);
+  ASSERT_TRUE(memfd.ok());
+  auto region = MapRegion::MapSharedFile(memfd.value().fd(), 8 * kPageSize,
+                                         0, PROT_READ | PROT_WRITE);
+  ASSERT_TRUE(region.ok());
+  MapRegion r = region.TakeValue();
+  const size_t before = CountVmasInRange(r.data(), r.size());
+  for (size_t page = 0; page < 8; page += 2) {
+    ASSERT_TRUE(
+        r.ProtectRange(page * kPageSize, kPageSize, PROT_READ).ok());
+  }
+  const size_t after = CountVmasInRange(r.data(), r.size());
+  EXPECT_GT(after, before);
+  EXPECT_GE(after, 7u);  // alternating protections: ~8 VMAs
+}
+
+}  // namespace
+}  // namespace anker::vm
