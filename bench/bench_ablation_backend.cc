@@ -1,5 +1,6 @@
 // Ablation B (design-choice study): the full heterogeneous engine run with
-// each snapshot-capable buffer backend. DESIGN.md's claim to verify: the
+// each snapshot-capable buffer backend. The claim to verify (see
+// docs/ARCHITECTURE.md): the
 // engine-level win of heterogeneous processing does not depend on the
 // snapshotting trick per se, but cheap snapshots (vm_snapshot) keep the
 // materialization pauses negligible where physical copies stall commits
@@ -56,6 +57,7 @@ int main(int argc, char** argv) {
   const uint64_t oltp = static_cast<uint64_t>(
       flags.Int("oltp", flags.Has("full") ? 500000 : 120000));
   const size_t threads = static_cast<size_t>(flags.Int("threads", 8));
+  flags.RejectUnknown();
 
   bench::PrintHeader(
       "Ablation B: snapshot backend inside the full engine",

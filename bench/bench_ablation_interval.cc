@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   const uint64_t oltp = static_cast<uint64_t>(
       flags.Int("oltp", flags.Has("full") ? 500000 : 120000));
   const size_t threads = static_cast<size_t>(flags.Int("threads", 8));
+  flags.RejectUnknown();
 
   bench::PrintHeader(
       "Ablation A: snapshot interval sweep (paper fixes n = 10,000)",

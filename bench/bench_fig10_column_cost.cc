@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   const size_t rows = static_cast<size_t>(
       flags.Int("li_rows", flags.Has("full") ? 6000000 : 2400000));
+  flags.RejectUnknown();
 
   bench::PrintHeader(
       "Figure 10: per-column snapshot cost (vm_snapshot) vs fork()",

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
       flags.Int("li_rows", flags.Has("full") ? 6000000 : 2400000));
   const uint64_t oltp = static_cast<uint64_t>(
       flags.Int("oltp", flags.Has("full") ? 500000 : 120000));
+  flags.RejectUnknown();
 
   bench::PrintHeader(
       "Figure 11: heterogeneous throughput scaling with threads",

@@ -102,6 +102,7 @@ int main(int argc, char** argv) {
   const size_t pages = column_bytes / vm::kPageSize;
   const size_t snapshot_every = static_cast<size_t>(
       flags.Int("snapshot_every", flags.Has("full") ? 1 : 8));
+  flags.RejectUnknown();
   const size_t report_every = pages / 16;
 
   bench::PrintHeader(

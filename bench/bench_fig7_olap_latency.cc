@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   const size_t threads =
       static_cast<size_t>(flags.Int("threads", 8));
   const int reps = static_cast<int>(flags.Int("reps", 5));
+  flags.RejectUnknown();
 
   bench::PrintHeader(
       "Figure 7: OLAP transaction latency under OLTP pressure "

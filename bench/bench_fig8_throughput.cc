@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   const uint64_t oltp = static_cast<uint64_t>(
       flags.Int("oltp", flags.Has("full") ? 500000 : 150000));
   const size_t threads = static_cast<size_t>(flags.Int("threads", 8));
+  flags.RejectUnknown();
 
   bench::PrintHeader(
       "Figure 8: transaction throughput (x1000 txns/sec)",

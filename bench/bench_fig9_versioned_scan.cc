@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   const size_t rows = static_cast<size_t>(
       flags.Int("li_rows", flags.Has("full") ? 6000000 : 600000));
   const int reps = static_cast<int>(flags.Int("reps", 3));
+  flags.RejectUnknown();
 
   bench::PrintHeader(
       "Figure 9: full-scan time vs fraction of versioned rows",

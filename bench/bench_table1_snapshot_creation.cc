@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
   // Paper scale: 50 columns x 200MB (51200 pages). Default: 50 x 16MB.
   const size_t column_mb = static_cast<size_t>(
       flags.Int("column_mb", flags.Has("full") ? 200 : 16));
+  flags.RejectUnknown();
   const size_t column_bytes = column_mb * (1 << 20);
   const size_t pages = column_bytes / vm::kPageSize;
   const double scale = static_cast<double>(pages) / 51200.0;

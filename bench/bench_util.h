@@ -4,18 +4,22 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
 
 namespace anker::bench {
 
 /// Minimal flag parser for the bench binaries: `--name=value` and boolean
 /// `--name`. Unknown flags abort with a message so typos are not silently
-/// ignored.
+/// ignored. The flags each bench accepts — and the common ones (`--full`
+/// for paper-scale runs, `--li_rows`, `--threads`, ...) — are documented
+/// per binary in docs/BENCHMARKS.md.
 class Flags {
  public:
   Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
 
   bool Has(const char* name) const {
+    known_bool_.insert(name);
     const std::string flag = std::string("--") + name;
     for (int i = 1; i < argc_; ++i) {
       if (flag == argv_[i]) return true;
@@ -24,6 +28,7 @@ class Flags {
   }
 
   long Int(const char* name, long default_value) const {
+    known_valued_.insert(name);
     const std::string prefix = std::string("--") + name + "=";
     for (int i = 1; i < argc_; ++i) {
       if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
@@ -34,6 +39,7 @@ class Flags {
   }
 
   std::string Str(const char* name, const std::string& default_value) const {
+    known_valued_.insert(name);
     const std::string prefix = std::string("--") + name + "=";
     for (int i = 1; i < argc_; ++i) {
       if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
@@ -43,15 +49,47 @@ class Flags {
     return default_value;
   }
 
+  /// Call after the last accessor: aborts on any `--flag` argument whose
+  /// name was never queried, or whose form does not match how it was
+  /// queried (`--threads 16` instead of `--threads=16`, `--full=1`
+  /// instead of `--full`) — either mistake would otherwise silently fall
+  /// back to the default.
+  void RejectUnknown() const {
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], "--", 2) != 0) continue;
+      std::string name(argv_[i] + 2);
+      const size_t eq = name.find('=');
+      const bool has_value = eq != std::string::npos;
+      if (has_value) name.resize(eq);
+      if (has_value ? known_valued_.count(name) : known_bool_.count(name)) {
+        continue;
+      }
+      if (known_valued_.count(name)) {
+        std::fprintf(stderr, "flag --%s needs a value: --%s=<value>\n",
+                     name.c_str(), name.c_str());
+      } else if (known_bool_.count(name)) {
+        std::fprintf(stderr, "flag --%s is boolean and takes no value\n",
+                     name.c_str());
+      } else {
+        std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      }
+      std::exit(2);
+    }
+  }
+
  private:
   int argc_;
   char** argv_;
+  mutable std::set<std::string> known_bool_;    ///< Queried via Has().
+  mutable std::set<std::string> known_valued_;  ///< Queried via Int()/Str().
 };
 
 /// Best-effort raise of vm.max_map_count: the rewired-snapshot experiments
 /// deliberately fragment mappings into tens of thousands of VMAs (that is
-/// the effect under measurement), which exceeds the kernel default of
-/// 65530. Returns the limit now in effect (0 if unreadable).
+/// the effect under measurement; see docs/BENCHMARKS.md), which exceeds
+/// the kernel default of 65530. Raising needs root; on failure the caller
+/// sizes the run within the current limit. Returns the limit now in
+/// effect (0 if unreadable).
 inline long EnsureMapCountLimit(long wanted) {
   long current = 0;
   if (FILE* f = std::fopen("/proc/sys/vm/max_map_count", "r")) {

@@ -88,7 +88,7 @@ class SnapshotableBuffer {
 
   /// Records that [offset, offset+len) was (or is about to be) modified.
   /// Backends that track dirtiness override this; the default is a no-op.
-  virtual void MarkDirty(size_t offset, size_t len) {}
+  virtual void MarkDirty(size_t /*offset*/, size_t /*len*/) {}
 
   /// Creates a point-in-time snapshot of the current contents.
   virtual Result<std::unique_ptr<SnapshotView>> TakeSnapshot() = 0;

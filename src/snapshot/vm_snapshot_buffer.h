@@ -18,7 +18,7 @@ class VmSnapshotView;
 /// (Section 4). The real call duplicates VMAs and PTEs inside the kernel so
 /// that source and snapshot share physical pages with OS-handled COW.
 ///
-/// Emulation scheme (see DESIGN.md §2):
+/// Emulation scheme (see docs/ARCHITECTURE.md §2):
 ///  - The column's committed-at-last-snapshot image lives in a memfd.
 ///  - The writable (OLTP) view is a single MAP_PRIVATE mapping of that
 ///    file: writes COW into anonymous pages handled entirely by the OS —

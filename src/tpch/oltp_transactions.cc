@@ -81,7 +81,7 @@ uint64_t OltpTransactions::PerturbDate(uint64_t raw, Rng* rng) const {
   return EncodeInt64(current + (rng->NextBool(0.5) ? x : -x));
 }
 
-uint64_t OltpTransactions::RandomLineitemRow(txn::Transaction* txn,
+uint64_t OltpTransactions::RandomLineitemRow(txn::Transaction* /*txn*/,
                                              Rng* rng) const {
   // Pick a key by sampling a row's immutable key attributes, then resolve
   // it through the primary index — the same path a bound parameter takes.
@@ -95,7 +95,7 @@ uint64_t OltpTransactions::RandomLineitemRow(txn::Transaction* txn,
   return row.value();
 }
 
-uint64_t OltpTransactions::RandomOrdersRow(txn::Transaction* txn,
+uint64_t OltpTransactions::RandomOrdersRow(txn::Transaction* /*txn*/,
                                            Rng* rng) const {
   const uint64_t key = rng->NextBounded(instance_.orders_rows) + 1;
   auto row = instance_.orders->primary_index()->Lookup(key);
@@ -103,7 +103,7 @@ uint64_t OltpTransactions::RandomOrdersRow(txn::Transaction* txn,
   return row.value();
 }
 
-uint64_t OltpTransactions::RandomPartRow(txn::Transaction* txn,
+uint64_t OltpTransactions::RandomPartRow(txn::Transaction* /*txn*/,
                                          Rng* rng) const {
   const uint64_t key = rng->NextBounded(instance_.part_rows) + 1;
   auto row = instance_.part->primary_index()->Lookup(key);

@@ -81,7 +81,7 @@ std::vector<storage::Column*> TpchQueries::ColumnsFor(OlapKind kind) const {
   return {};
 }
 
-OlapParams TpchQueries::RandomParams(OlapKind kind, Rng* rng) const {
+OlapParams TpchQueries::RandomParams(OlapKind /*kind*/, Rng* rng) const {
   OlapParams params;
   params.q1_delta_days = rng->NextInRange(60, 120);
   params.q4_start_day = rng->NextInRange(0, kOrderDateMaxDays - 92);

@@ -80,7 +80,7 @@ FaultHandler* FaultRouter::Lookup(uintptr_t addr) const {
   return nullptr;
 }
 
-void FaultRouter::SignalHandler(int signo, void* info, void* /*context*/) {
+void FaultRouter::SignalHandler(int /*signo*/, void* info, void* /*context*/) {
   auto* siginfo = static_cast<siginfo_t*>(info);
   void* fault_addr = siginfo->si_addr;
   FaultRouter& router = Instance();
