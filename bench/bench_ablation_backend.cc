@@ -16,6 +16,8 @@ namespace {
 struct BackendResult {
   double throughput_ktps;
   double olap_p50_ms;
+  double olap_p95_ms;
+  double olap_p99_ms;
 };
 
 BackendResult RunWithBackend(snapshot::BufferBackend backend, size_t rows,
@@ -42,6 +44,8 @@ BackendResult RunWithBackend(snapshot::BufferBackend backend, size_t rows,
   BackendResult out;
   out.throughput_ktps = result.throughput_tps / 1000.0;
   out.olap_p50_ms = result.olap_latency.Percentile(50) / 1e6;
+  out.olap_p95_ms = result.olap_latency.Percentile(95) / 1e6;
+  out.olap_p99_ms = result.olap_latency.Percentile(99) / 1e6;
   db.Stop();
   return out;
 }
@@ -57,7 +61,13 @@ int main(int argc, char** argv) {
   const uint64_t oltp = static_cast<uint64_t>(
       flags.Int("oltp", flags.Has("full") ? 500000 : 120000));
   const size_t threads = static_cast<size_t>(flags.Int("threads", 8));
+  const std::string json_out = flags.Str("json_out", "");
   flags.RejectUnknown();
+
+  bench::JsonReport report("ablation_backend");
+  report["flags"]["li_rows"] = rows;
+  report["flags"]["oltp"] = oltp;
+  report["flags"]["threads"] = threads;
 
   bench::PrintHeader(
       "Ablation B: snapshot backend inside the full engine",
@@ -77,6 +87,13 @@ int main(int argc, char** argv) {
                 snapshot::BufferBackendName(backend), r.throughput_ktps,
                 r.olap_p50_ms);
     std::fflush(stdout);
+    auto& row = report["backends"].Append();
+    row["backend"] = snapshot::BufferBackendName(backend);
+    row["throughput_ktps"] = r.throughput_ktps;
+    row["olap_p50_ms"] = r.olap_p50_ms;
+    row["olap_p95_ms"] = r.olap_p95_ms;
+    row["olap_p99_ms"] = r.olap_p99_ms;
   }
+  report.Write(json_out);
   return 0;
 }

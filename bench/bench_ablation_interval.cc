@@ -14,6 +14,8 @@ namespace {
 struct IntervalResult {
   double throughput_ktps;
   double olap_p50_ms;
+  double olap_p95_ms;
+  double olap_p99_ms;
   size_t materializations;
 };
 
@@ -40,6 +42,8 @@ IntervalResult RunWithInterval(size_t rows, uint64_t oltp,
   IntervalResult out;
   out.throughput_ktps = result.throughput_tps / 1000.0;
   out.olap_p50_ms = result.olap_latency.Percentile(50) / 1e6;
+  out.olap_p95_ms = result.olap_latency.Percentile(95) / 1e6;
+  out.olap_p99_ms = result.olap_latency.Percentile(99) / 1e6;
   out.materializations = db.snapshot_manager()->total_materializations();
   db.Stop();
   return out;
@@ -56,7 +60,13 @@ int main(int argc, char** argv) {
   const uint64_t oltp = static_cast<uint64_t>(
       flags.Int("oltp", flags.Has("full") ? 500000 : 120000));
   const size_t threads = static_cast<size_t>(flags.Int("threads", 8));
+  const std::string json_out = flags.Str("json_out", "");
   flags.RejectUnknown();
+
+  bench::JsonReport report("ablation_interval");
+  report["flags"]["li_rows"] = rows;
+  report["flags"]["oltp"] = oltp;
+  report["flags"]["threads"] = threads;
 
   bench::PrintHeader(
       "Ablation A: snapshot interval sweep (paper fixes n = 10,000)",
@@ -73,6 +83,14 @@ int main(int argc, char** argv) {
                 static_cast<size_t>(interval), r.throughput_ktps,
                 r.olap_p50_ms, r.materializations);
     std::fflush(stdout);
+    auto& row = report["intervals"].Append();
+    row["interval"] = interval;
+    row["throughput_ktps"] = r.throughput_ktps;
+    row["olap_p50_ms"] = r.olap_p50_ms;
+    row["olap_p95_ms"] = r.olap_p95_ms;
+    row["olap_p99_ms"] = r.olap_p99_ms;
+    row["materializations"] = r.materializations;
   }
+  report.Write(json_out);
   return 0;
 }

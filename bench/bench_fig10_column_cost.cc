@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   const size_t rows = static_cast<size_t>(
       flags.Int("li_rows", flags.Has("full") ? 6000000 : 2400000));
+  const std::string json_out = flags.Str("json_out", "");
   flags.RejectUnknown();
 
   bench::PrintHeader(
@@ -82,6 +83,9 @@ int main(int argc, char** argv) {
   ANKER_CHECK(fork_nanos.ok());
   std::printf("%-22s %10.3f ms   (replicates the whole process)\n",
               "fork()", fork_nanos.value() / 1e6);
+  bench::JsonReport report("fig10_column_cost");
+  report["flags"]["li_rows"] = rows;
+  report["fork_ms"] = fork_nanos.value() / 1e6;
 
   struct Entry {
     const char* name;
@@ -97,12 +101,16 @@ int main(int argc, char** argv) {
     std::printf("%-22s\n", entry.name);
     const double ms = SnapshotTableMs(&db, entry.table, true);
     std::printf("    %-18s %8.3f ms\n", "= table total", ms);
+    report["table_snapshot_ms"][entry.name] = ms;
     all += ms;
   }
   std::printf("%-22s %10.3f ms   (sum over the three tables)\n", "All",
               all);
   std::printf("\nfork / All ratio: %.1fx (paper: fork clearly above All)\n",
               fork_nanos.value() / 1e6 / all);
+  report["all_tables_ms"] = all;
+  report["fork_over_all"] = fork_nanos.value() / 1e6 / all;
+  report.Write(json_out);
   db.Stop();
   return 0;
 }

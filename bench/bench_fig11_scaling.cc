@@ -3,9 +3,19 @@
 // workload and the mixed workload. Paper shape: sub-linear scaling (~2.1x
 // for OLTP-only, ~2.6x mixed at 8 threads) because the commit/validation
 // phase is partially sequential behind the commit mutex.
+//
+// On top of the paper's inter-stream scaling, this bench measures
+// *intra-query* scaling: one full-column scan over a clean snapshot fanned
+// out as morsels over --scan_threads workers (the tight-loop kernel the
+// paper's Fig. 1 step 5 promises, parallelized morsel-driven). Near-linear
+// scaling is expected here — clean-snapshot scans share no state but the
+// final accumulator merge.
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "common/timer.h"
 #include "tpch/workload_driver.h"
 
 namespace anker {
@@ -34,39 +44,137 @@ double RunThroughput(size_t rows, uint64_t oltp, uint64_t olap,
   return result.throughput_tps;
 }
 
+struct ScanPoint {
+  size_t threads;
+  double seconds;
+  double rows_per_sec;
+};
+
+/// Best-of-`reps` wall time of one clean-snapshot full-column scan fanned
+/// out over `threads` morsel workers.
+ScanPoint MeasureScan(engine::Database* db, storage::Column* column,
+                      size_t threads, int reps) {
+  ScanPoint point{threads, 1e30, 0};
+  for (int rep = 0; rep < reps; ++rep) {
+    auto ctx = db->BeginOlap({column});
+    ANKER_CHECK(ctx.ok());
+    engine::ColumnReader reader = ctx.value()->Reader(column);
+    engine::ScanOptions options;
+    options.pool = &db->worker_pool();
+    options.max_threads = threads;
+    Timer timer;
+    const double sum =
+        engine::ScanColumnSum(reader, /*as_double=*/true, nullptr, options);
+    point.seconds = std::min(point.seconds, timer.ElapsedSeconds());
+    ANKER_CHECK(sum > 0);
+    ANKER_CHECK(db->FinishOlap(ctx.TakeValue()).ok());
+  }
+  point.rows_per_sec = static_cast<double>(column->num_rows()) /
+                       point.seconds;
+  return point;
+}
+
 }  // namespace
 }  // namespace anker
 
 int main(int argc, char** argv) {
   using namespace anker;
   bench::Flags flags(argc, argv);
+  const bool full = flags.Has("full");
+  const bool scan_only = flags.Has("scan_only");
   const size_t rows = static_cast<size_t>(
-      flags.Int("li_rows", flags.Has("full") ? 6000000 : 2400000));
+      flags.Int("li_rows", full ? 6000000 : 2400000));
   const uint64_t oltp = static_cast<uint64_t>(
-      flags.Int("oltp", flags.Has("full") ? 500000 : 120000));
+      flags.Int("oltp", full ? 500000 : 120000));
+  // 0 = sweep 1,2,4,8; a concrete value measures exactly that count (the
+  // CI smoke job runs --scan_threads=1 vs --scan_threads=4).
+  const size_t scan_threads =
+      static_cast<size_t>(flags.Int("scan_threads", 0));
+  const std::string json_out = flags.Str("json_out", "");
   flags.RejectUnknown();
 
   bench::PrintHeader(
       "Figure 11: heterogeneous throughput scaling with threads",
-      "sub-linear scaling (paper: ~2.1x OLTP-only / ~2.6x mixed at 8 "
-      "threads) — commit validation is partially sequential");
+      "sub-linear stream scaling (paper: ~2.1x OLTP-only / ~2.6x mixed at 8 "
+      "threads); near-linear intra-query scan scaling");
   std::printf("lineitem rows: %zu, %zu OLTP txns per run\n\n", rows,
               static_cast<size_t>(oltp));
 
-  std::printf("%-8s %20s %26s\n", "threads", "OLTP only [ktps]",
-              "OLTP + 10 OLAP [ktps]");
-  double base_oltp = 0;
-  double base_mixed = 0;
-  for (size_t threads : {1, 2, 4, 8}) {
-    const double t_oltp = RunThroughput(rows, oltp, 0, threads) / 1000.0;
-    const double t_mixed = RunThroughput(rows, oltp, 10, threads) / 1000.0;
-    if (threads == 1) {
-      base_oltp = t_oltp;
-      base_mixed = t_mixed;
+  bench::JsonReport report("fig11_scaling");
+  report["flags"]["li_rows"] = rows;
+  report["flags"]["oltp"] = oltp;
+  report["flags"]["scan_threads"] = scan_threads;
+  report["flags"]["scan_only"] = scan_only;
+  report["flags"]["full"] = full;
+
+  // ---- Intra-query scan scaling (morsel-driven parallelism) -------------
+  {
+    engine::DatabaseConfig config = engine::DatabaseConfig::ForMode(
+        txn::ProcessingMode::kHeterogeneousSerializable);
+    config.scan_threads = scan_threads > 0 ? scan_threads : 8;
+    engine::Database db(config);
+    db.Start();
+    tpch::TpchConfig tpch;
+    tpch.lineitem_rows = rows;
+    auto loaded = tpch::LoadTpch(&db, tpch);
+    ANKER_CHECK(loaded.ok());
+    tpch::WorkloadDriver driver(&db, loaded.value());
+    ANKER_CHECK(driver.WarmupSnapshots().ok());
+    storage::Column* column =
+        loaded.value().lineitem->GetColumn("l_extendedprice");
+
+    std::printf("Clean-snapshot full-column scan (intra-query morsels):\n");
+    std::printf("%-13s %14s %16s %9s\n", "scan_threads", "seconds",
+                "rows/s [M]", "speedup");
+    const int reps = full ? 7 : 5;
+    double base_seconds = 0;
+    std::vector<size_t> counts;
+    if (scan_threads > 0) {
+      counts = {scan_threads};
+    } else {
+      counts = {1, 2, 4, 8};
     }
-    std::printf("%-8zu %14.1f (%.2fx) %20.1f (%.2fx)\n", threads, t_oltp,
-                t_oltp / base_oltp, t_mixed, t_mixed / base_mixed);
-    std::fflush(stdout);
+    for (size_t threads : counts) {
+      const ScanPoint point = MeasureScan(&db, column, threads, reps);
+      if (base_seconds == 0) base_seconds = point.seconds;
+      std::printf("%-13zu %14.6f %16.1f %8.2fx\n", threads, point.seconds,
+                  point.rows_per_sec / 1e6, base_seconds / point.seconds);
+      std::fflush(stdout);
+      auto& row = report["scan_scaling"].Append();
+      row["threads"] = point.threads;
+      row["seconds"] = point.seconds;
+      row["rows_per_sec"] = point.rows_per_sec;
+      row["speedup"] = base_seconds / point.seconds;
+    }
+    db.Stop();
+    std::printf("\n");
   }
+
+  // ---- Inter-stream scaling (the paper's Figure 11) ---------------------
+  if (!scan_only) {
+    std::printf("%-8s %20s %26s\n", "threads", "OLTP only [ktps]",
+                "OLTP + 10 OLAP [ktps]");
+    double base_oltp = 0;
+    double base_mixed = 0;
+    for (size_t threads : {1, 2, 4, 8}) {
+      const double t_oltp = RunThroughput(rows, oltp, 0, threads) / 1000.0;
+      const double t_mixed = RunThroughput(rows, oltp, 10, threads) / 1000.0;
+      if (threads == 1) {
+        base_oltp = t_oltp;
+        base_mixed = t_mixed;
+      }
+      std::printf("%-8zu %14.1f (%.2fx) %20.1f (%.2fx)\n", threads, t_oltp,
+                  t_oltp / base_oltp, t_mixed, t_mixed / base_mixed);
+      std::fflush(stdout);
+      auto& row = report["stream_scaling"].Append();
+      row["threads"] = threads;
+      row["oltp_ktps"] = t_oltp;
+      row["oltp_speedup"] = t_oltp / base_oltp;
+      row["mixed_ktps"] = t_mixed;
+      row["mixed_speedup"] = t_mixed / base_mixed;
+    }
+  }
+
+  report.Write(json_out);
   return 0;
 }

@@ -102,6 +102,7 @@ int main(int argc, char** argv) {
   const size_t pages = column_bytes / vm::kPageSize;
   const size_t snapshot_every = static_cast<size_t>(
       flags.Int("snapshot_every", flags.Has("full") ? 1 : 8));
+  const std::string json_out = flags.Str("json_out", "");
   flags.RejectUnknown();
   const size_t report_every = pages / 16;
 
@@ -124,6 +125,9 @@ int main(int argc, char** argv) {
   const auto vm_samples = RunSequence(vmsnap.value().get(), pages,
                                       snapshot_every, report_every);
 
+  bench::JsonReport report("fig5_microbench");
+  report["flags"]["column_mb"] = column_mb;
+  report["flags"]["snapshot_every"] = snapshot_every;
   std::printf("%12s | %12s %12s %8s | %12s %12s %8s\n", "pages written",
               "rewire ms", "rewire wr us", "VMAs", "vmsnap ms",
               "vmsnap wr us", "VMAs");
@@ -133,6 +137,14 @@ int main(int argc, char** argv) {
     std::printf("%12zu | %12.3f %12.3f %8zu | %12.3f %12.3f %8zu\n",
                 r.pages_written, r.snap_ms, r.write_us, r.vmas, v.snap_ms,
                 v.write_us, v.vmas);
+    auto& row = report["samples"].Append();
+    row["pages_written"] = r.pages_written;
+    row["rewire_snap_ms"] = r.snap_ms;
+    row["rewire_write_us"] = r.write_us;
+    row["rewire_vmas"] = r.vmas;
+    row["vmsnap_snap_ms"] = v.snap_ms;
+    row["vmsnap_write_us"] = v.write_us;
+    row["vmsnap_vmas"] = v.vmas;
   }
   const double creation_ratio =
       rewired_samples.back().snap_ms / vm_samples.back().snap_ms;
@@ -144,5 +156,8 @@ int main(int argc, char** argv) {
   std::printf("final write-cost ratio (rewiring / vm_snapshot): %.1fx "
               "(paper: up to 6x)\n",
               write_ratio);
+  report["final_creation_ratio"] = creation_ratio;
+  report["final_write_ratio"] = write_ratio;
+  report.Write(json_out);
   return 0;
 }

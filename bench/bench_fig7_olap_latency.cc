@@ -58,7 +58,15 @@ int main(int argc, char** argv) {
   const size_t threads =
       static_cast<size_t>(flags.Int("threads", 8));
   const int reps = static_cast<int>(flags.Int("reps", 5));
+  const std::string json_out = flags.Str("json_out", "");
   flags.RejectUnknown();
+
+  bench::JsonReport report("fig7_olap_latency");
+  report["flags"]["li_rows"] = rows;
+  report["flags"]["oltp"] = pressure;
+  report["flags"]["warmup"] = warmup;
+  report["flags"]["threads"] = threads;
+  report["flags"]["reps"] = reps;
 
   bench::PrintHeader(
       "Figure 7: OLAP transaction latency under OLTP pressure "
@@ -97,7 +105,15 @@ int main(int argc, char** argv) {
                 tpch::OlapKindName(kind), latency_ms[0][k], latency_ms[1][k],
                 latency_ms[2][k], latency_ms[0][k] / latency_ms[2][k],
                 latency_ms[1][k] / latency_ms[2][k]);
+    auto& row = report["latencies"].Append();
+    row["olap"] = tpch::OlapKindName(kind);
+    row["homogeneous_serializable_ms"] = latency_ms[0][k];
+    row["homogeneous_si_ms"] = latency_ms[1][k];
+    row["heterogeneous_ms"] = latency_ms[2][k];
+    row["ser_over_het"] = latency_ms[0][k] / latency_ms[2][k];
+    row["si_over_het"] = latency_ms[1][k] / latency_ms[2][k];
     ++k;
   }
+  report.Write(json_out);
   return 0;
 }

@@ -51,7 +51,13 @@ int main(int argc, char** argv) {
   const uint64_t oltp = static_cast<uint64_t>(
       flags.Int("oltp", flags.Has("full") ? 500000 : 150000));
   const size_t threads = static_cast<size_t>(flags.Int("threads", 8));
+  const std::string json_out = flags.Str("json_out", "");
   flags.RejectUnknown();
+
+  bench::JsonReport report("fig8_throughput");
+  report["flags"]["li_rows"] = rows;
+  report["flags"]["oltp"] = oltp;
+  report["flags"]["threads"] = threads;
 
   bench::PrintHeader(
       "Figure 8: transaction throughput (x1000 txns/sec)",
@@ -76,6 +82,11 @@ int main(int argc, char** argv) {
     std::printf("%-34s %18.1f %24.1f\n", txn::ProcessingModeName(mode),
                 oltp_only, mixed);
     std::fflush(stdout);
+    auto& row = report["throughput"].Append();
+    row["mode"] = txn::ProcessingModeName(mode);
+    row["oltp_only_ktps"] = oltp_only;
+    row["mixed_ktps"] = mixed;
   }
+  report.Write(json_out);
   return 0;
 }

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   const size_t rows = static_cast<size_t>(
       flags.Int("li_rows", flags.Has("full") ? 6000000 : 600000));
   const int reps = static_cast<int>(flags.Int("reps", 3));
+  const std::string json_out = flags.Str("json_out", "");
   flags.RejectUnknown();
 
   bench::PrintHeader(
@@ -103,10 +104,15 @@ int main(int argc, char** argv) {
   // forcing chain resolution for versioned rows — the homogeneous-scan
   // situation the figure isolates.
   const mvcc::Timestamp read_ts = 10;
+  bench::JsonReport report("fig9_versioned_scan");
+  report["flags"]["li_rows"] = rows;
+  report["flags"]["reps"] = reps;
   std::vector<size_t> versioned_so_far(3, 0);
   double baseline[3] = {0, 0, 0};
   for (int percent = 0; percent <= 100; percent += 10) {
     std::printf("%8d%%:", percent);
+    auto& row = report["scan_times"].Append();
+    row["versioned_percent"] = percent;
     for (int t = 0; t < 3; ++t) {
       const size_t target_count =
           static_cast<size_t>(targets[t].rows * (percent / 100.0));
@@ -118,6 +124,7 @@ int main(int argc, char** argv) {
           MeasureScanMs(targets[t].column, read_ts, reps, &stats);
       if (percent == 0) baseline[t] = ms;
       std::printf(" %14.3f", ms);
+      row[std::string(targets[t].name) + "_ms"] = ms;
     }
     std::printf("\n");
     std::fflush(stdout);
@@ -127,7 +134,9 @@ int main(int argc, char** argv) {
     engine::ScanStats stats;
     const double ms = MeasureScanMs(targets[t].column, read_ts, 1, &stats);
     std::printf("%s=%.1fx ", targets[t].name, ms / baseline[t]);
+    report["slowdown_100_vs_0"][targets[t].name] = ms / baseline[t];
   }
   std::printf("\n");
+  report.Write(json_out);
   return 0;
 }

@@ -1,13 +1,50 @@
 // Google-benchmark micro-benchmarks for the snapshotting primitives:
 // per-operation costs underlying Figures 5a/5b and Table 1 measured with
-// statistical repetition (complements the paper-table harnesses).
+// statistical repetition (complements the paper-table harnesses), plus the
+// commit-path AddVersion benchmark with a binary-wide malloc counter that
+// proves version nodes come from the segment arena, not the heap.
+//
+// (This binary emits JSON natively: --benchmark_format=json or
+// --benchmark_out=BENCH_micro_gbench.json.)
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
 #include "common/macros.h"
+#include "mvcc/version_store.h"
 #include "snapshot/physical_buffer.h"
 #include "snapshot/rewired_buffer.h"
 #include "snapshot/vm_snapshot_buffer.h"
 #include "vm/page.h"
+
+// ---- Binary-wide allocation counter ---------------------------------------
+// Every operator new in this process bumps the counter; the AddVersion
+// benchmark asserts (via the reported counter) that the commit path does
+// zero per-op heap allocations once the arena is warm.
+namespace {
+std::atomic<uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace anker {
 namespace {
@@ -123,6 +160,54 @@ void BM_WriteAfterSnapshotVm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WriteAfterSnapshotVm);
+
+void BM_AddVersionArena(benchmark::State& state) {
+  // Commit-path microbench: AddVersion must be an arena bump (or free-list
+  // pop), never a heap allocation. The benchmark keeps the chain volume
+  // bounded by periodically truncating everything and recycling the
+  // retired chains into the arena's free list — exactly the homogeneous
+  // GC's behavior — outside the timed region.
+  constexpr size_t kRows = 1 << 16;
+  constexpr uint64_t kTruncateEvery = 1 << 15;
+  mvcc::VersionStore store(kRows);
+  std::vector<mvcc::VersionNode*> heads;
+  heads.reserve(kRows);
+
+  // Warm up: allocate chunks, then stock the free list so the measured
+  // region reuses nodes (steady state of a long-running engine).
+  uint64_t ts = 1;
+  size_t row = 0;
+  for (uint64_t i = 0; i < kTruncateEvery; ++i) {
+    store.AddVersion(row, row, ts++);
+    row = (row + 1) & (kRows - 1);
+  }
+  store.current()->TruncateOlderThan(ts, &heads);
+  for (mvcc::VersionNode* head : heads) store.current()->RecycleChain(head);
+  heads.clear();
+
+  const uint64_t allocs_before = g_heap_allocs.load();
+  uint64_t sinceTruncate = 0;
+  for (auto _ : state) {
+    store.AddVersion(row, row, ts++);
+    row = (row + 1) & (kRows - 1);
+    if (++sinceTruncate == kTruncateEvery) {
+      state.PauseTiming();
+      store.current()->TruncateOlderThan(ts, &heads);
+      for (mvcc::VersionNode* head : heads) {
+        store.current()->RecycleChain(head);
+      }
+      heads.clear();
+      sinceTruncate = 0;
+      state.ResumeTiming();
+    }
+  }
+  const uint64_t allocs = g_heap_allocs.load() - allocs_before;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["heap_allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+          static_cast<double>(std::max<int64_t>(state.iterations(), 1)));
+}
+BENCHMARK(BM_AddVersionArena);
 
 }  // namespace
 }  // namespace anker

@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
   // Paper scale: 50 columns x 200MB (51200 pages). Default: 50 x 16MB.
   const size_t column_mb = static_cast<size_t>(
       flags.Int("column_mb", flags.Has("full") ? 200 : 16));
+  const std::string json_out = flags.Str("json_out", "");
   flags.RejectUnknown();
   const size_t column_bytes = column_mb * (1 << 20);
   const size_t pages = column_bytes / vm::kPageSize;
@@ -126,6 +127,10 @@ int main(int argc, char** argv) {
               "vm.max_map_count=%ld\n\n",
               column_mb, pages, scale, map_limit);
 
+  bench::JsonReport report("table1_snapshot_creation");
+  report["flags"]["column_mb"] = column_mb;
+  report["max_map_count"] = map_limit;
+
   const size_t col_counts[] = {1, 25, 50};
   // Dirty-page counts scaled from the paper's 0 / 500 / 5,000 / 50,000.
   const size_t paper_dirty[] = {0, 500, 5000, 50000};
@@ -135,8 +140,12 @@ int main(int argc, char** argv) {
 
   {
     std::printf("%-28s", "Physical");
+    auto& row = report["creation_ms"].Append();
+    row["method"] = "physical";
     for (size_t cols : col_counts) {
-      std::printf(" %10.2f", MeasurePhysical(cols, column_bytes));
+      const double ms = MeasurePhysical(cols, column_bytes);
+      std::printf(" %10.2f", ms);
+      row["cols_" + std::to_string(cols)] = ms;
     }
     std::printf("\n");
   }
@@ -158,6 +167,9 @@ int main(int argc, char** argv) {
     ANKER_CHECK(nanos.ok());
     const double ms = static_cast<double>(nanos.value()) / 1e6;
     std::printf("%-28s %10.2f %10.2f %10.2f\n", "Fork-based", ms, ms, ms);
+    auto& row = report["creation_ms"].Append();
+    row["method"] = "fork";
+    for (size_t cols : col_counts) row["cols_" + std::to_string(cols)] = ms;
   }
   for (size_t paper_pages : paper_dirty) {
     const size_t dirty = static_cast<size_t>(
@@ -165,11 +177,17 @@ int main(int argc, char** argv) {
     char label[64];
     std::snprintf(label, sizeof(label), "Rewiring (%zu dirty)", dirty);
     std::printf("%-28s", label);
+    auto& row = report["creation_ms"].Append();
+    row["method"] = "rewiring";
+    row["dirty_pages_per_col"] = dirty;
     for (size_t cols : col_counts) {
-      PrintCell(MeasureRewired(cols, column_bytes, dirty));
+      const double ms = MeasureRewired(cols, column_bytes, dirty);
+      PrintCell(ms);
       std::fflush(stdout);
+      row["cols_" + std::to_string(cols)] = ms;
     }
     std::printf("\n");
   }
+  report.Write(json_out);
   return 0;
 }

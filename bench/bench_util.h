@@ -1,13 +1,208 @@
 #ifndef ANKER_BENCH_BENCH_UTIL_H_
 #define ANKER_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <set>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 namespace anker::bench {
+
+/// Minimal ordered JSON value tree for the machine-readable bench reports
+/// (see JsonReport). Supports exactly what the benches need: objects with
+/// insertion-ordered keys, arrays of objects, numbers, strings, bools.
+class JsonValue {
+ public:
+  JsonValue() = default;
+
+  /// Object member access; creates the member (and turns a fresh value
+  /// into an object) on first use.
+  JsonValue& operator[](const std::string& key) {
+    kind_ = Kind::kObject;
+    for (auto& member : members_) {
+      if (member.first == key) return member.second;
+    }
+    members_.emplace_back(key, JsonValue());
+    return members_.back().second;
+  }
+
+  /// Array append; turns a fresh value into an array.
+  JsonValue& Append() {
+    kind_ = Kind::kArray;
+    elements_.emplace_back();
+    return elements_.back();
+  }
+
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  JsonValue& operator=(T value) {
+    if constexpr (std::is_same_v<T, bool>) {
+      kind_ = Kind::kBool;
+      bool_ = value;
+    } else if constexpr (std::is_floating_point_v<T>) {
+      kind_ = Kind::kNumber;
+      number_ = static_cast<double>(value);
+    } else {
+      kind_ = Kind::kInt;
+      int_ = static_cast<int64_t>(value);
+    }
+    return *this;
+  }
+
+  JsonValue& operator=(const std::string& value) {
+    kind_ = Kind::kString;
+    string_ = value;
+    return *this;
+  }
+
+  JsonValue& operator=(const char* value) {
+    return *this = std::string(value);
+  }
+
+  void Dump(std::string* out, int indent = 0) const {
+    char buf[64];
+    switch (kind_) {
+      case Kind::kNull:
+        out->append("null");
+        break;
+      case Kind::kNumber:
+        if (!std::isfinite(number_)) {
+          out->append("null");
+        } else {
+          std::snprintf(buf, sizeof(buf), "%.12g", number_);
+          out->append(buf);
+        }
+        break;
+      case Kind::kInt:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(int_));
+        out->append(buf);
+        break;
+      case Kind::kBool:
+        out->append(bool_ ? "true" : "false");
+        break;
+      case Kind::kString:
+        AppendEscaped(out, string_);
+        break;
+      case Kind::kObject: {
+        out->append("{");
+        bool first = true;
+        for (const auto& member : members_) {
+          out->append(first ? "\n" : ",\n");
+          first = false;
+          out->append(static_cast<size_t>(indent) * 2 + 2, ' ');
+          AppendEscaped(out, member.first);
+          out->append(": ");
+          member.second.Dump(out, indent + 1);
+        }
+        if (!first) {
+          out->append("\n");
+          out->append(static_cast<size_t>(indent) * 2, ' ');
+        }
+        out->append("}");
+        break;
+      }
+      case Kind::kArray: {
+        out->append("[");
+        bool first = true;
+        for (const JsonValue& element : elements_) {
+          out->append(first ? "\n" : ",\n");
+          first = false;
+          out->append(static_cast<size_t>(indent) * 2 + 2, ' ');
+          element.Dump(out, indent + 1);
+        }
+        if (!first) {
+          out->append("\n");
+          out->append(static_cast<size_t>(indent) * 2, ' ');
+        }
+        out->append("]");
+        break;
+      }
+    }
+  }
+
+ private:
+  enum class Kind { kNull, kNumber, kInt, kBool, kString, kObject, kArray };
+
+  static void AppendEscaped(std::string* out, const std::string& s) {
+    out->push_back('"');
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out->append("\\\"");
+          break;
+        case '\\':
+          out->append("\\\\");
+          break;
+        case '\n':
+          out->append("\\n");
+          break;
+        case '\t':
+          out->append("\\t");
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out->append(buf);
+          } else {
+            out->push_back(c);
+          }
+      }
+    }
+    out->push_back('"');
+  }
+
+  Kind kind_ = Kind::kNull;
+  double number_ = 0;
+  int64_t int_ = 0;
+  bool bool_ = false;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> elements_;
+};
+
+/// Machine-readable companion to a bench's stdout report: every bench
+/// writes a BENCH_<name>.json next to its textual output (throughput,
+/// latency percentiles, and the flag values the run used), so the repo's
+/// perf trajectory is trackable across PRs. Override the location with
+/// --json_out=<path>.
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& name) : name_(name) {
+    root_["bench"] = name;
+  }
+
+  JsonValue& operator[](const std::string& key) { return root_[key]; }
+
+  /// Writes the report; empty path = BENCH_<name>.json in the working
+  /// directory. Prints where the report went.
+  void Write(const std::string& path = "") const {
+    const std::string target =
+        path.empty() ? "BENCH_" + name_ + ".json" : path;
+    std::string out;
+    root_.Dump(&out);
+    out.push_back('\n');
+    if (FILE* f = std::fopen(target.c_str(), "w")) {
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+      std::printf("\nJSON report: %s\n", target.c_str());
+    } else {
+      std::fprintf(stderr, "could not write JSON report to %s\n",
+                   target.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  JsonValue root_;
+};
 
 /// Minimal flag parser for the bench binaries: `--name=value` and boolean
 /// `--name`. Unknown flags abort with a message so typos are not silently

@@ -30,7 +30,80 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  all_done_.wait(lock, [this] {
+    return queue_.empty() && helper_queue_.empty() && in_flight_ == 0;
+  });
+}
+
+void ThreadPool::EnsureThreads(size_t num_threads) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ANKER_CHECK_MSG(!shutdown_, "EnsureThreads after shutdown");
+  while (workers_.size() < num_threads) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+bool ThreadPool::TryRunOneHelper() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (helper_queue_.empty()) return false;
+    task = std::move(helper_queue_.front());
+    helper_queue_.pop_front();
+    ++in_flight_;
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    --in_flight_;
+    if (queue_.empty() && helper_queue_.empty() && in_flight_ == 0) {
+      all_done_.notify_all();
+    }
+  }
+  return true;
+}
+
+void ThreadPool::ParallelRun(size_t parallelism,
+                             const std::function<void(size_t)>& work) {
+  ANKER_CHECK(parallelism > 0);
+  size_t helpers = 0;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    helpers = std::min(parallelism - 1, workers_.size());
+  }
+  if (helpers == 0) {
+    work(0);
+    return;
+  }
+
+  WaitGroup wg;
+  wg.Add(static_cast<int>(helpers));
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    // `work` and `wg` live on this frame; ParallelRun does not return
+    // until every helper has called wg.Done(), so the references stay
+    // valid for the helpers' whole lifetime.
+    for (size_t slot = 1; slot <= helpers; ++slot) {
+      helper_queue_.push_back([&work, &wg, slot] {
+        work(slot);
+        wg.Done();
+      });
+    }
+  }
+  task_available_.notify_all();
+
+  work(0);
+
+  // Late helpers may still sit in the helper queue (every worker busy,
+  // possibly itself blocked right here). Drain helpers — ours or another
+  // scan's — until our group's are all taken, then sleep until the ones
+  // running elsewhere finish.
+  while (!wg.TryWait()) {
+    if (!TryRunOneHelper()) {
+      wg.Wait();
+      break;
+    }
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -38,21 +111,30 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
+      task_available_.wait(lock, [this] {
+        return shutdown_ || !helper_queue_.empty() || !queue_.empty();
+      });
+      // Helpers first: they are short-lived morsels whose ParallelRun
+      // caller is actively blocked on them.
+      if (!helper_queue_.empty()) {
+        task = std::move(helper_queue_.front());
+        helper_queue_.pop_front();
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else {
         if (shutdown_) return;
         continue;
       }
-      task = std::move(queue_.front());
-      queue_.pop_front();
       ++in_flight_;
     }
     task();
     {
       std::lock_guard<std::mutex> guard(mutex_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+      if (queue_.empty() && helper_queue_.empty() && in_flight_ == 0) {
+        all_done_.notify_all();
+      }
     }
   }
 }

@@ -1,7 +1,10 @@
 #ifndef ANKER_COMMON_THREAD_POOL_H_
 #define ANKER_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -11,35 +14,6 @@
 #include "common/macros.h"
 
 namespace anker {
-
-/// Fixed-size worker pool used by the workload driver to execute streams of
-/// OLTP/OLAP transactions. Tasks are plain std::function<void()>; callers
-/// track their own completion (see WaitGroup below).
-class ThreadPool {
- public:
-  explicit ThreadPool(size_t num_threads);
-  ~ThreadPool();
-  ANKER_DISALLOW_COPY_AND_MOVE(ThreadPool);
-
-  /// Enqueues a task. Never blocks.
-  void Submit(std::function<void()> task);
-
-  /// Blocks until every submitted task has finished executing.
-  void WaitIdle();
-
-  size_t num_threads() const { return workers_.size(); }
-
- private:
-  void WorkerLoop();
-
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
-};
 
 /// Lightweight completion counter for fan-out/fan-in patterns.
 class WaitGroup {
@@ -60,10 +34,104 @@ class WaitGroup {
     cv_.wait(lock, [this] { return count_ == 0; });
   }
 
+  /// Non-blocking check: true iff the count is currently zero.
+  bool TryWait() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return count_ == 0;
+  }
+
  private:
   std::mutex mutex_;
   std::condition_variable cv_;
   int count_ = 0;
+};
+
+/// Fixed-at-construction (but growable, see EnsureThreads) worker pool: the
+/// process-wide executor for both coarse stream tasks (one per workload
+/// stream) and fine-grained scan morsels. Two queues exist:
+///  - the *task* queue holds coarse, potentially long-running work
+///    submitted with Submit();
+///  - the *helper* queue holds short-lived morsel helpers enqueued by
+///    ParallelRun. Workers prefer it, and threads blocked inside
+///    ParallelRun drain it while they wait — never the task queue, so a
+///    waiting scan can never get stuck behind (or inlined into) a
+///    multi-second stream task.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  ANKER_DISALLOW_COPY_AND_MOVE(ThreadPool);
+
+  /// Enqueues a coarse task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void WaitIdle();
+
+  /// Grows the pool to at least `num_threads` workers (never shrinks).
+  /// Safe to call while tasks are running.
+  void EnsureThreads(size_t num_threads);
+
+  /// Runs `work(slot)` on up to `parallelism` participants: the calling
+  /// thread (slot 0) plus up to parallelism-1 pool workers, then blocks
+  /// until all participants returned. `work` must pull its own morsels
+  /// from shared state until exhausted, so a helper that starts late (or
+  /// never gets a core) simply finds nothing to do.
+  ///
+  /// Deadlock-free when called from inside a pool task: while waiting, the
+  /// caller executes queued *helper* tasks (its own or other scans'), so
+  /// helper work always makes progress even when every worker is itself
+  /// blocked in ParallelRun.
+  void ParallelRun(size_t parallelism,
+                   const std::function<void(size_t slot)>& work);
+
+  /// Morsel-driven parallel loop: carves [begin, end) into chunks of
+  /// `grain` items and fans them out over up to `parallelism` participants
+  /// via ParallelRun. `fn(chunk_begin, chunk_end, slot)` is called with
+  /// slot in [0, parallelism); chunks are claimed dynamically from a shared
+  /// counter, so uneven chunk costs still balance.
+  template <typename Fn>
+  void ParallelFor(size_t begin, size_t end, size_t grain, size_t parallelism,
+                   Fn&& fn) {
+    ANKER_CHECK(grain > 0);
+    if (begin >= end) return;
+    const size_t items = end - begin;
+    const size_t chunks = (items + grain - 1) / grain;
+    if (parallelism <= 1 || chunks <= 1) {
+      fn(begin, end, size_t{0});
+      return;
+    }
+    std::atomic<size_t> next_chunk{0};
+    ParallelRun(std::min(parallelism, chunks), [&](size_t slot) {
+      for (;;) {
+        const size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= chunks) return;
+        const size_t chunk_begin = begin + chunk * grain;
+        const size_t chunk_end = std::min(chunk_begin + grain, end);
+        fn(chunk_begin, chunk_end, slot);
+      }
+    });
+  }
+
+  size_t num_threads() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return workers_.size();
+  }
+
+ private:
+  void WorkerLoop();
+  /// Pops and runs one helper task on the calling thread. False if none
+  /// was queued.
+  bool TryRunOneHelper();
+
+  mutable std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> helper_queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
 };
 
 }  // namespace anker

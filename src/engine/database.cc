@@ -1,5 +1,7 @@
 #include "engine/database.h"
 
+#include <thread>
+
 namespace anker::engine {
 
 DatabaseConfig DatabaseConfig::ForMode(txn::ProcessingMode mode) {
@@ -59,6 +61,19 @@ void Database::Stop() {
   if (gc_ != nullptr) gc_->Stop();
 }
 
+ThreadPool& Database::worker_pool() {
+  std::lock_guard<std::mutex> guard(pool_mutex_);
+  if (pool_ == nullptr) {
+    size_t threads = config_.worker_threads;
+    if (threads == 0) {
+      threads = std::max<size_t>(std::thread::hardware_concurrency(), 1);
+    }
+    threads = std::max(threads, config_.scan_threads);
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return *pool_;
+}
+
 Result<storage::Table*> Database::CreateTable(
     const std::string& name, const std::vector<storage::ColumnDef>& schema,
     size_t num_rows) {
@@ -74,6 +89,8 @@ Result<std::unique_ptr<OlapContext>> Database::BeginOlap(
     const std::vector<storage::Column*>& columns) {
   std::unique_ptr<OlapContext> ctx(new OlapContext());
   ctx->txn_ = txn_manager_.Begin(txn::TxnType::kOlap);
+  ctx->scan_threads_ = std::max<size_t>(1, config_.scan_threads);
+  if (ctx->scan_threads_ > 1) ctx->scan_pool_ = &worker_pool();
   if (config_.heterogeneous()) {
     auto handle = snapshot_manager_->Acquire(columns);
     if (!handle.ok()) {

@@ -2,6 +2,7 @@
 #define ANKER_ENGINE_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,13 @@ struct DatabaseConfig {
   uint64_t snapshot_interval_commits = 10000;
   /// Homogeneous-mode GC pass interval (paper: every second).
   int gc_interval_millis = 1000;
+  /// Max participants of one OLAP scan (morsel-driven intra-query
+  /// parallelism); 1 = serial scans.
+  size_t scan_threads = 1;
+  /// Size of the process-wide worker pool (stream fan-out + scan morsels);
+  /// 0 = max(hardware concurrency, scan_threads). The pool is created
+  /// lazily on first use and grows on demand, never shrinks.
+  size_t worker_threads = 0;
 
   bool heterogeneous() const {
     return mode == txn::ProcessingMode::kHeterogeneousSerializable;
@@ -49,6 +57,16 @@ class OlapContext {
   /// Reader for a column that was declared in BeginOlap's column set.
   ColumnReader Reader(const storage::Column* column) const;
 
+  /// Scan execution options for this transaction's Folds: carries the
+  /// engine's worker pool and scan_threads setting, so queries inherit
+  /// intra-query parallelism without caring where they run.
+  ScanOptions scan_options() const {
+    ScanOptions options;
+    options.pool = scan_pool_;
+    options.max_threads = scan_threads_;
+    return options;
+  }
+
   mvcc::Timestamp read_ts() const { return read_ts_; }
   txn::Transaction* txn() const { return txn_.get(); }
   bool on_snapshot() const { return handle_ != nullptr; }
@@ -60,6 +78,8 @@ class OlapContext {
   std::unique_ptr<txn::Transaction> txn_;
   std::unique_ptr<SnapshotHandle> handle_;  ///< nullptr in homogeneous mode.
   mvcc::Timestamp read_ts_ = 0;
+  ThreadPool* scan_pool_ = nullptr;  ///< nullptr = serial scans.
+  size_t scan_threads_ = 1;
 };
 
 /// The AnKerDB engine: a column-oriented main-memory MVCC store with a
@@ -84,6 +104,11 @@ class Database {
   txn::TransactionManager& txn_manager() { return txn_manager_; }
   SnapshotManager* snapshot_manager() { return snapshot_manager_.get(); }
   mvcc::GarbageCollector* garbage_collector() { return gc_.get(); }
+
+  /// The process-wide worker pool: executes workload stream tasks and scan
+  /// morsels (one pool for everything — see common/thread_pool.h). Created
+  /// lazily so engines that never fan out never spawn threads.
+  ThreadPool& worker_pool();
 
   /// OLTP entry points (thin wrappers over the transaction manager).
   std::unique_ptr<txn::Transaction> BeginOltp() {
@@ -112,6 +137,10 @@ class Database {
   txn::TransactionManager txn_manager_;
   std::unique_ptr<SnapshotManager> snapshot_manager_;
   std::unique_ptr<mvcc::GarbageCollector> gc_;
+  std::mutex pool_mutex_;
+  /// Declared last: its destructor joins the workers before any engine
+  /// state they might still touch is torn down.
+  std::unique_ptr<ThreadPool> pool_;
   bool started_ = false;
 };
 

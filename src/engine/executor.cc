@@ -37,11 +37,11 @@ ScanDriver::ScanDriver(std::vector<const ColumnReader*> readers)
     : readers_(std::move(readers)) {
   ANKER_CHECK(!readers_.empty());
   num_rows_ = readers_[0]->num_rows();
+  raw_bases_.reserve(readers_.size());
   for (const ColumnReader* reader : readers_) {
     ANKER_CHECK(reader->num_rows() == num_rows_);
+    raw_bases_.push_back(reader->raw_base());
   }
-  hint_first_.resize(readers_.size());
-  hint_last_.resize(readers_.size());
   // A reader older than the previous epoch's seal may need versions from
   // older chain segments, which the per-block metadata of the current
   // segment knows nothing about: such readers must resolve every row.
@@ -54,23 +54,25 @@ ScanDriver::ScanDriver(std::vector<const ColumnReader*> readers)
   }
 }
 
-ScanDriver::BlockMode ScanDriver::ClassifyBlock(
-    size_t block, std::vector<uint64_t>* seqs) const {
+ScanDriver::Classification ScanDriver::ClassifyBlock(
+    size_t block, BlockScratch* scratch) const {
   const size_t begin = block * mvcc::kRowsPerBlock;
   bool any_relevant = false;
   bool write_in_progress = false;
   bool any_needs_prev = false;
+  size_t range_first = SIZE_MAX;
+  size_t range_last = 0;
   for (size_t i = 0; i < readers_.size(); ++i) {
     const ColumnReader& reader = *readers_[i];
     if (!reader.versioned()) {
-      (*seqs)[i] = 0;
-      hint_first_[i] = SIZE_MAX;
-      hint_last_[i] = 0;
+      scratch->seqs[i] = 0;
+      scratch->hint_first[i] = SIZE_MAX;
+      scratch->hint_last[i] = 0;
       continue;
     }
     if (needs_prev_[i]) any_needs_prev = true;
     const mvcc::BlockInfo info = reader.dir()->GetBlockInfo(block);
-    (*seqs)[i] = info.seq;
+    scratch->seqs[i] = info.seq;
     if ((info.seq & 1) != 0) write_in_progress = true;
     // Snapshot readers may prove a block version-free from its newest
     // version timestamp (the common case: handed-over chains predate the
@@ -81,16 +83,20 @@ ScanDriver::BlockMode ScanDriver::ClassifyBlock(
         (!reader.allows_ts_skip() || info.max_ts > reader.read_ts());
     if (relevant) {
       any_relevant = true;
-      hint_first_[i] = begin + info.first_versioned;
-      hint_last_[i] = begin + info.last_versioned;
+      scratch->hint_first[i] = begin + info.first_versioned;
+      scratch->hint_last[i] = begin + info.last_versioned;
+      range_first = std::min(range_first, scratch->hint_first[i]);
+      range_last = std::max(range_last, scratch->hint_last[i]);
     } else {
-      hint_first_[i] = SIZE_MAX;
-      hint_last_[i] = 0;
+      scratch->hint_first[i] = SIZE_MAX;
+      scratch->hint_last[i] = 0;
     }
   }
-  if (write_in_progress || any_needs_prev) return BlockMode::kSafe;
-  if (!any_relevant) return BlockMode::kTight;
-  return BlockMode::kHinted;
+  if (write_in_progress || any_needs_prev) {
+    return Classification{BlockMode::kSafe, 0, 0};
+  }
+  if (!any_relevant) return Classification{BlockMode::kTight, 0, 0};
+  return Classification{BlockMode::kHinted, range_first, range_last};
 }
 
 bool ScanDriver::BlockStable(size_t block,
@@ -104,17 +110,18 @@ bool ScanDriver::BlockStable(size_t block,
 }
 
 double ScanColumnSum(const ColumnReader& reader, bool as_double,
-                     ScanStats* stats) {
+                     ScanStats* stats, const ScanOptions& options) {
   ScanDriver driver({&reader});
   double total = 0.0;
   driver.Fold<double>(
       &total,
-      [&](double& acc, const ScanDriver::RowView& row) {
+      [as_double](double& acc, const auto& row) {
         const uint64_t raw = row.Col(0);
         acc += as_double ? storage::DecodeDouble(raw)
                          : static_cast<double>(storage::DecodeInt64(raw));
       },
-      [](double& total_acc, double&& local) { total_acc += local; }, stats);
+      [](double& total_acc, double&& local) { total_acc += local; }, stats,
+      options);
   return total;
 }
 

@@ -2,10 +2,14 @@
 #define ANKER_ENGINE_EXECUTOR_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "engine/snapshot_manager.h"
 #include "mvcc/version_store.h"
 #include "storage/column.h"
@@ -48,6 +52,12 @@ class ColumnReader {
     return reinterpret_cast<const uint64_t*>(base_)[row];
   }
 
+  /// Raw slot array for specialized block kernels (see ScanDriver): valid
+  /// only for rows the caller proved version-free.
+  const uint64_t* raw_base() const {
+    return reinterpret_cast<const uint64_t*>(base_);
+  }
+
   const mvcc::ChainDirectory* dir() const { return dir_; }
   mvcc::Timestamp read_ts() const { return read_ts_; }
   size_t num_rows() const { return num_rows_; }
@@ -88,20 +98,60 @@ struct ScanStats {
   size_t hinted_rows = 0;    ///< Versioned block, raw read outside range.
   size_t resolved_rows = 0;  ///< Full per-row chain resolution.
   size_t seqlock_retries = 0;
+
+  void Merge(const ScanStats& other) {
+    tight_rows += other.tight_rows;
+    hinted_rows += other.hinted_rows;
+    resolved_rows += other.resolved_rows;
+    seqlock_retries += other.seqlock_retries;
+  }
+};
+
+/// Per-scan execution knobs. Default-constructed options run the scan
+/// serially on the calling thread.
+struct ScanOptions {
+  /// Worker pool morsels fan out into; nullptr = serial scan.
+  ThreadPool* pool = nullptr;
+  /// Max participants (calling thread + pool helpers) for this scan.
+  size_t max_threads = 1;
+  /// Morsel size in 1024-row blocks: 32 blocks x 8 bytes = 256 KiB per
+  /// column per morsel — large enough to amortize claim overhead, small
+  /// enough to load-balance and stay cache-resident.
+  size_t morsel_blocks = 32;
+  /// Test-only hook, called after a block was classified and before its
+  /// rows are folded: lets tests inject a commit between ClassifyBlock and
+  /// BlockStable to deterministically exercise the seqlock retry path.
+  std::function<void(size_t block)> on_block_classified;
 };
 
 /// Multi-column scan driver implementing the paper's tight-loop strategy
-/// (Section 5.5, adopted from HyPer): per 1024-row block it consults the
-/// first/last-versioned-row metadata of every involved column and
-///  - scans blocks with no versions anywhere in a tight loop of raw loads,
-///  - uses the versioned-range hint to read raw outside [first, last] and
-///    resolve inside,
-///  - falls back to fully safe per-row resolution when a concurrent commit
-///    touched the block mid-scan (detected with a per-block seqlock).
+/// (Section 5.5, adopted from HyPer) with per-block kernel specialization:
+/// per 1024-row block it consults the first/last-versioned-row metadata of
+/// every involved column and picks one of three kernels:
+///  - *tight*: no reader has relevant versions in the block — a branchless
+///    loop over the raw slot arrays (auto-vectorizable);
+///  - *hinted*: versioned rows exist — the block splits into a raw prefix,
+///    a resolve range (union of the readers' [first, last] hints) and a
+///    raw suffix; only the middle consults chains, per column;
+///  - *safe*: a write is in progress right now (or the reader predates the
+///    current chain segment) — fully safe per-row resolution.
+/// A per-block seqlock validates tight/hinted results after the fact;
+/// blocks that raced a commit are redone with the safe kernel.
 ///
-/// The accumulator type Acc must be default-constructible; per-block
-/// partial results are folded into the total only after the seqlock
-/// verifies the block was stable, which makes retries side-effect free.
+/// Fold runs serially by default; given ScanOptions with a pool it becomes
+/// a morsel-driven parallel scan (Leis et al.): participants claim
+/// contiguous block ranges from a shared counter, fold into per-worker
+/// accumulators, and merge into the total under a lock at the end. The
+/// accumulator type Acc must be default-constructible; `merge` must be
+/// associative over accumulators. Per-block partial results are folded
+/// into a participant's accumulator only after the seqlock verified the
+/// block was stable, which makes retries side-effect free.
+///
+/// Row callbacks receive one of three row-accessor types (TightRow,
+/// HintedRow, SafeRow), all exposing `Col(i)` and `row()` — write them as
+/// generic lambdas: `[](Acc& acc, const auto& row) { ... }`. The
+/// specialization is what removes the per-row mode switch from the hot
+/// loop: each kernel instantiates the callback against its accessor.
 class ScanDriver {
  public:
   /// All readers must cover the same row count.
@@ -109,63 +159,201 @@ class ScanDriver {
 
   size_t num_rows() const { return num_rows_; }
 
-  /// Row accessor handed to the scan callback.
-  class RowView {
+  /// Row accessor of the tight kernel: raw slot loads, no branching, no
+  /// reader indirection.
+  class TightRow {
    public:
-    /// Value of column `i` (index into the readers vector) at this row.
-    inline uint64_t Col(size_t i) const {
-      const ColumnReader& reader = *driver_->readers_[i];
-      switch (mode_) {
-        case Mode::kTight:
-          return reader.GetRaw(row_);
-        case Mode::kHinted:
-          if (row_ < driver_->hint_first_[i] || row_ > driver_->hint_last_[i])
-            return reader.GetRaw(row_);
-          return reader.Get(row_);
-        case Mode::kSafe:
-          return reader.Get(row_);
-      }
-      return 0;
-    }
-
+    inline uint64_t Col(size_t i) const { return cols_[i][row_]; }
     size_t row() const { return row_; }
 
    private:
     friend class ScanDriver;
-    enum class Mode { kTight, kHinted, kSafe };
-    const ScanDriver* driver_;
+    const uint64_t* const* cols_;
     size_t row_;
-    Mode mode_;
   };
 
-  /// Folds `row_fn(Acc&, RowView)` over every row; merges block-local
-  /// accumulators into `total` with `merge(Acc&, Acc&&)`.
+  /// Row accessor of the hinted kernel's resolve range: raw outside the
+  /// column's own [first, last] versioned range, chain resolution inside.
+  class HintedRow {
+   public:
+    inline uint64_t Col(size_t i) const {
+      if (row_ < hint_first_[i] || row_ > hint_last_[i]) {
+        return cols_[i][row_];
+      }
+      return readers_[i]->Get(row_);
+    }
+    size_t row() const { return row_; }
+
+   private:
+    friend class ScanDriver;
+    const uint64_t* const* cols_;
+    const size_t* hint_first_;
+    const size_t* hint_last_;
+    const ColumnReader* const* readers_;
+    size_t row_;
+  };
+
+  /// Row accessor of the safe fallback: full per-row chain resolution.
+  class SafeRow {
+   public:
+    inline uint64_t Col(size_t i) const { return readers_[i]->Get(row_); }
+    size_t row() const { return row_; }
+
+   private:
+    friend class ScanDriver;
+    const ColumnReader* const* readers_;
+    size_t row_;
+  };
+
+  /// Folds `row_fn(Acc&, row)` over every row; merges block-local (and,
+  /// under a parallel scan, per-worker) accumulators into `total` with
+  /// `merge(Acc&, Acc&&)`. Thread-safe: concurrent Folds on one driver
+  /// share no mutable state.
   template <typename Acc, typename RowFn, typename MergeFn>
   void Fold(Acc* total, RowFn&& row_fn, MergeFn&& merge,
-            ScanStats* stats = nullptr) const {
+            ScanStats* stats = nullptr,
+            const ScanOptions& options = ScanOptions()) const {
     const size_t num_blocks =
         (num_rows_ + mvcc::kRowsPerBlock - 1) / mvcc::kRowsPerBlock;
-    std::vector<uint64_t> seqs(readers_.size());
-    for (size_t block = 0; block < num_blocks; ++block) {
+    const size_t morsel_blocks = std::max<size_t>(1, options.morsel_blocks);
+    const size_t num_morsels =
+        (num_blocks + morsel_blocks - 1) / morsel_blocks;
+    size_t parallelism =
+        options.pool != nullptr ? std::max<size_t>(1, options.max_threads) : 1;
+    // No more participants than morsels: excess helpers would only pay
+    // enqueue/wakeup overhead to find the claim counter exhausted.
+    parallelism = std::min(parallelism, num_morsels);
+
+    if (parallelism <= 1) {
+      BlockScratch scratch(readers_.size());
+      FoldBlocks(0, num_blocks, total, row_fn, merge, stats, &scratch,
+                 options);
+      return;
+    }
+
+    std::atomic<size_t> next_morsel{0};
+    std::mutex merge_mutex;
+    options.pool->ParallelRun(parallelism, [&](size_t /*slot*/) {
+      Acc local{};
+      ScanStats local_stats;
+      BlockScratch scratch(readers_.size());
+      bool worked = false;
+      for (;;) {
+        const size_t morsel =
+            next_morsel.fetch_add(1, std::memory_order_relaxed);
+        const size_t block_begin = morsel * morsel_blocks;
+        if (block_begin >= num_blocks) break;
+        FoldBlocks(block_begin,
+                   std::min(block_begin + morsel_blocks, num_blocks), &local,
+                   row_fn, merge, &local_stats, &scratch, options);
+        worked = true;
+      }
+      if (!worked) return;
+      std::lock_guard<std::mutex> guard(merge_mutex);
+      merge(*total, std::move(local));
+      if (stats != nullptr) stats->Merge(local_stats);
+    });
+  }
+
+ private:
+  enum class BlockMode { kTight, kHinted, kSafe };
+
+  /// Per-participant classification scratch: seqlock counters and hint
+  /// ranges for the block being scanned (absolute row ids). Stack-local to
+  /// each Fold participant, so concurrent scans never share state.
+  struct BlockScratch {
+    explicit BlockScratch(size_t num_readers)
+        : seqs(num_readers),
+          hint_first(num_readers),
+          hint_last(num_readers) {}
+    std::vector<uint64_t> seqs;
+    std::vector<size_t> hint_first;
+    std::vector<size_t> hint_last;
+  };
+
+  struct Classification {
+    BlockMode mode;
+    /// Union of the relevant readers' versioned ranges (absolute rows);
+    /// only meaningful for kHinted.
+    size_t range_first;
+    size_t range_last;
+  };
+
+  /// Reads every reader's block metadata; picks kTight when no reader has
+  /// relevant versions in the block, kHinted when hints apply, kSafe when
+  /// a write is in progress right now. Records seqlock counters and hint
+  /// ranges in `scratch`.
+  Classification ClassifyBlock(size_t block, BlockScratch* scratch) const;
+
+  /// True iff no reader's block seqlock moved since ClassifyBlock.
+  bool BlockStable(size_t block, const std::vector<uint64_t>& seqs) const;
+
+  template <typename Acc, typename RowFn>
+  inline void FoldTight(size_t begin, size_t end, Acc* acc,
+                        RowFn& row_fn) const {
+    TightRow row;
+    row.cols_ = raw_bases_.data();
+    for (size_t r = begin; r < end; ++r) {
+      row.row_ = r;
+      row_fn(*acc, row);
+    }
+  }
+
+  template <typename Acc, typename RowFn>
+  inline void FoldHinted(size_t begin, size_t end, Acc* acc, RowFn& row_fn,
+                         const BlockScratch& scratch) const {
+    HintedRow row;
+    row.cols_ = raw_bases_.data();
+    row.hint_first_ = scratch.hint_first.data();
+    row.hint_last_ = scratch.hint_last.data();
+    row.readers_ = readers_.data();
+    for (size_t r = begin; r < end; ++r) {
+      row.row_ = r;
+      row_fn(*acc, row);
+    }
+  }
+
+  template <typename Acc, typename RowFn>
+  inline void FoldSafe(size_t begin, size_t end, Acc* acc,
+                       RowFn& row_fn) const {
+    SafeRow row;
+    row.readers_ = readers_.data();
+    for (size_t r = begin; r < end; ++r) {
+      row.row_ = r;
+      row_fn(*acc, row);
+    }
+  }
+
+  /// Folds a contiguous block range into `*acc`: classify each block, run
+  /// the specialized kernel, validate via seqlock, fall back to the safe
+  /// kernel on instability.
+  template <typename Acc, typename RowFn, typename MergeFn>
+  void FoldBlocks(size_t block_begin, size_t block_end, Acc* acc,
+                  RowFn& row_fn, MergeFn& merge, ScanStats* stats,
+                  BlockScratch* scratch, const ScanOptions& options) const {
+    for (size_t block = block_begin; block < block_end; ++block) {
       const size_t begin = block * mvcc::kRowsPerBlock;
       const size_t end = std::min(begin + mvcc::kRowsPerBlock, num_rows_);
+      const Classification cls = ClassifyBlock(block, scratch);
+      if (options.on_block_classified) options.on_block_classified(block);
 
-      const BlockMode mode = ClassifyBlock(block, &seqs);
-      RowView view;
-      view.driver_ = this;
-
-      if (mode != BlockMode::kSafe) {
+      if (cls.mode != BlockMode::kSafe) {
         Acc local{};
-        view.mode_ = mode == BlockMode::kTight ? RowView::Mode::kTight
-                                               : RowView::Mode::kHinted;
-        for (size_t row = begin; row < end; ++row) {
-          view.row_ = row;
-          row_fn(local, view);
+        if (cls.mode == BlockMode::kTight) {
+          FoldTight(begin, end, &local, row_fn);
+        } else {
+          // Raw prefix / resolve range / raw suffix: only the union of the
+          // readers' versioned ranges pays for per-row hint checks.
+          const size_t resolve_begin = std::max(begin, cls.range_first);
+          const size_t resolve_end = std::min(end, cls.range_last + 1);
+          FoldTight(begin, resolve_begin, &local, row_fn);
+          FoldHinted(resolve_begin, resolve_end, &local, row_fn, *scratch);
+          FoldTight(resolve_end, end, &local, row_fn);
         }
-        if (BlockStable(block, seqs)) {
-          merge(*total, std::move(local));
+        if (BlockStable(block, scratch->seqs)) {
+          merge(*acc, std::move(local));
           if (stats != nullptr) {
-            if (mode == BlockMode::kTight) {
+            if (cls.mode == BlockMode::kTight) {
               stats->tight_rows += end - begin;
             } else {
               stats->hinted_rows += end - begin;
@@ -174,37 +362,20 @@ class ScanDriver {
           continue;
         }
         if (stats != nullptr) ++stats->seqlock_retries;
-        // Discard `local`, redo the block through the safe path.
+        // Discard `local`, redo the block through the safe kernel.
       }
 
       Acc local{};
-      view.mode_ = RowView::Mode::kSafe;
-      for (size_t row = begin; row < end; ++row) {
-        view.row_ = row;
-        row_fn(local, view);
-      }
-      merge(*total, std::move(local));
+      FoldSafe(begin, end, &local, row_fn);
+      merge(*acc, std::move(local));
       if (stats != nullptr) stats->resolved_rows += end - begin;
     }
   }
 
- private:
-  enum class BlockMode { kTight, kHinted, kSafe };
-
-  /// Reads every reader's block metadata; returns kTight when no reader
-  /// has versions in the block, kHinted when hints apply, kSafe when a
-  /// write is in progress right now. Records seqlock counters in `seqs`.
-  BlockMode ClassifyBlock(size_t block, std::vector<uint64_t>* seqs) const;
-
-  /// True iff no reader's block seqlock moved since ClassifyBlock.
-  bool BlockStable(size_t block, const std::vector<uint64_t>& seqs) const;
-
   std::vector<const ColumnReader*> readers_;
   size_t num_rows_ = 0;
-  /// Per-reader versioned-range hints for the block being scanned
-  /// (absolute row ids; maintained by ClassifyBlock).
-  mutable std::vector<size_t> hint_first_;
-  mutable std::vector<size_t> hint_last_;
+  /// Cached raw slot arrays, one per reader (tight/hinted kernels).
+  std::vector<const uint64_t*> raw_bases_;
   /// Per-reader: may need chain segments older than reader.dir().
   std::vector<bool> needs_prev_;
 };
@@ -212,7 +383,8 @@ class ScanDriver {
 /// Convenience: sum of a single column (typed as double when `as_double`),
 /// used by the full-table-scan transactions and Figure 9.
 double ScanColumnSum(const ColumnReader& reader, bool as_double,
-                     ScanStats* stats = nullptr);
+                     ScanStats* stats = nullptr,
+                     const ScanOptions& options = ScanOptions());
 
 }  // namespace anker::engine
 

@@ -58,15 +58,15 @@ size_t GarbageCollector::CollectOnce() {
       registry_->MinStartTs(/*fallback=*/oracle_->Current());
   const uint64_t boundary = registry_->CurrentSerial();
 
-  std::vector<VersionNode*> unlinked_heads;
+  std::vector<RetiredChain> unlinked_chains;
   size_t unlinked = 0;
   for (VersionStore* store : stores_()) {
-    unlinked += store->TruncateOlderThan(min_active, &unlinked_heads);
+    unlinked += store->TruncateOlderThan(min_active, &unlinked_chains);
   }
-  if (!unlinked_heads.empty()) {
+  if (!unlinked_chains.empty()) {
     std::lock_guard<std::mutex> guard(retired_mutex_);
-    for (VersionNode* head : unlinked_heads) {
-      retired_.push_back(Retired{head, boundary});
+    for (RetiredChain& chain : unlinked_chains) {
+      retired_.push_back(Retired{std::move(chain), boundary});
     }
   }
   total_unlinked_.fetch_add(unlinked, std::memory_order_relaxed);
@@ -80,12 +80,13 @@ void GarbageCollector::DrainRetired(bool force) {
   size_t kept = 0;
   for (Retired& entry : retired_) {
     if (force || min_serial > entry.boundary_serial) {
-      size_t freed = 0;
-      for (VersionNode* n = entry.head; n != nullptr; n = n->next) ++freed;
-      FreeNodeChain(entry.head);
+      // Every reader active at unlink time has drained: hand the chain
+      // back to its segment's arena for reuse (nodes are arena-owned and
+      // cannot be deleted individually).
+      const size_t freed = entry.chain.owner->RecycleChain(entry.chain.head);
       total_freed_.fetch_add(freed, std::memory_order_relaxed);
     } else {
-      retired_[kept++] = entry;
+      retired_[kept++] = std::move(entry);
     }
   }
   retired_.resize(kept);

@@ -21,9 +21,11 @@ namespace anker::mvcc {
 /// than the oldest transaction in the system. The heterogeneous
 /// configuration does not need it — dropping a snapshot drops its chains.
 ///
-/// Unlinked suffixes are not freed immediately: readers may still be
-/// traversing them. They are parked on a retire list and freed once every
-/// transaction that was active at unlink time has finished.
+/// Unlinked suffixes are not recycled immediately: readers may still be
+/// traversing them, and the nodes stay valid because their segment's arena
+/// owns the memory. They are parked on a retire list and handed back to
+/// the arena's free list once every transaction that was active at unlink
+/// time has finished.
 class GarbageCollector {
  public:
   /// `stores` returns the version stores to collect (the engine's columns).
@@ -48,7 +50,7 @@ class GarbageCollector {
     return total_unlinked_.load(std::memory_order_relaxed);
   }
 
-  /// Nodes actually freed so far.
+  /// Nodes actually recycled back to their arena so far.
   size_t total_freed() const {
     return total_freed_.load(std::memory_order_relaxed);
   }
@@ -58,8 +60,8 @@ class GarbageCollector {
 
  private:
   struct Retired {
-    VersionNode* head;
-    uint64_t boundary_serial;  ///< Free once MinActiveSerial() > this.
+    RetiredChain chain;
+    uint64_t boundary_serial;  ///< Recycle once MinActiveSerial() > this.
   };
 
   void Loop();

@@ -2,6 +2,51 @@
 
 namespace anker::mvcc {
 
+VersionArena::~VersionArena() {
+  Chunk* chunk = chunks_;
+  while (chunk != nullptr) {
+    Chunk* next = chunk->next;
+    delete chunk;
+    chunk = next;
+  }
+}
+
+VersionNode* VersionArena::Allocate() {
+  // Free-list pop (Treiber stack). Safe against concurrent Recycle pushes:
+  // there is exactly one popper (the committing writer), so the loaded
+  // head cannot be popped out from under us — a failed CAS only means a
+  // push happened, and we retry.
+  VersionNode* head = free_list_.load(std::memory_order_acquire);
+  while (head != nullptr) {
+    if (free_list_.compare_exchange_weak(head, head->next,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      reused_.fetch_add(1, std::memory_order_relaxed);
+      return head;
+    }
+  }
+  if (used_in_chunk_ == kNodesPerChunk) {
+    Chunk* fresh = new Chunk;
+    fresh->next = chunks_;
+    chunks_ = fresh;
+    used_in_chunk_ = 0;
+    chunk_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return &chunks_->nodes[used_in_chunk_++];
+}
+
+void VersionArena::Recycle(VersionNode* head) {
+  if (head == nullptr) return;
+  VersionNode* tail = head;
+  while (tail->next != nullptr) tail = tail->next;
+  VersionNode* old_head = free_list_.load(std::memory_order_relaxed);
+  do {
+    tail->next = old_head;
+  } while (!free_list_.compare_exchange_weak(old_head, head,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed));
+}
+
 ChainDirectory::ChainDirectory(size_t num_rows,
                                std::shared_ptr<ChainDirectory> prev)
     : num_rows_(num_rows),
@@ -11,13 +56,12 @@ ChainDirectory::ChainDirectory(size_t num_rows,
 }
 
 ChainDirectory::~ChainDirectory() {
+  // Chains need no walking: every node lives in arena_, whose destructor
+  // drops all chunks at once (the paper's implicit GC — releasing a
+  // snapshot's segment frees its entire version history in O(chunks)).
   for (auto& slot : blocks_) {
     Block* block = slot.load(std::memory_order_relaxed);
-    if (block == nullptr) continue;
-    for (auto& head : block->heads) {
-      FreeNodeChain(head.load(std::memory_order_relaxed));
-    }
-    delete block;
+    if (block != nullptr) delete block;
   }
 }
 
@@ -68,9 +112,13 @@ void ChainDirectory::AddVersion(size_t row, uint64_t old_value,
     block->max_ts.store(commit_ts, std::memory_order_release);
   }
 
-  auto* node = new VersionNode{old_value, commit_ts,
-                               block->heads[in_block].load(
-                                   std::memory_order_relaxed)};
+  // Arena bump (or free-list reuse) instead of a heap allocation: this
+  // runs inside the commit critical section, where a malloc would
+  // serialize every committer behind the allocator.
+  VersionNode* node = arena_.Allocate();
+  node->value = old_value;
+  node->ts = commit_ts;
+  node->next = block->heads[in_block].load(std::memory_order_relaxed);
   block->heads[in_block].store(node, std::memory_order_release);
   total_versions_.fetch_add(1, std::memory_order_relaxed);
 
@@ -146,6 +194,15 @@ size_t ChainDirectory::TruncateOlderThan(Timestamp min_active,
   return unlinked;
 }
 
+size_t ChainDirectory::RecycleChain(VersionNode* head) {
+  size_t count = 0;
+  for (const VersionNode* node = head; node != nullptr; node = node->next) {
+    ++count;
+  }
+  arena_.Recycle(head);
+  return count;
+}
+
 VersionStore::VersionStore(size_t num_rows)
     : num_rows_(num_rows),
       current_(std::make_shared<ChainDirectory>(num_rows, nullptr)) {}
@@ -194,14 +251,6 @@ std::shared_ptr<ChainDirectory> VersionStore::SealEpoch(Timestamp seal_ts) {
   sealed->Seal(seal_ts);
   current_ = std::make_shared<ChainDirectory>(num_rows_, sealed);
   return sealed;
-}
-
-void FreeNodeChain(VersionNode* head) {
-  while (head != nullptr) {
-    VersionNode* next = head->next;
-    delete head;
-    head = next;
-  }
 }
 
 }  // namespace anker::mvcc

@@ -28,6 +28,57 @@ struct VersionNode {
   VersionNode* next;  ///< Older node, or nullptr.
 };
 
+/// Bump allocator for VersionNodes, owned by one ChainDirectory segment.
+/// Nodes are carved out of chunk-sized slabs, so AddVersion never hits the
+/// global heap on the commit critical path, and dropping the segment
+/// returns all of its chains in a handful of chunk deallocations — the
+/// paper's "implicit GC by snapshot drop" becomes (almost) literally one
+/// free. Node addresses are stable for the arena's lifetime.
+///
+/// A Treiber free-list lets the homogeneous GC hand truncated chain
+/// suffixes back for reuse (the long-lived current segment would otherwise
+/// grow without bound): Recycle may be called from any thread, Allocate
+/// only by the single committing writer. A recycled node is overwritten on
+/// reuse, so callers must guarantee no reader still traverses the chain —
+/// the GC's retire list provides exactly that drain barrier.
+class VersionArena {
+ public:
+  VersionArena() = default;
+  ~VersionArena();
+  ANKER_DISALLOW_COPY_AND_MOVE(VersionArena);
+
+  /// Pops a recycled node if available, else bumps the current chunk.
+  /// Single-consumer: only the committing writer allocates.
+  VersionNode* Allocate();
+
+  /// Returns a whole chain (following next pointers) to the free list.
+  /// Thread-safe against the allocating writer and other recyclers.
+  void Recycle(VersionNode* head);
+
+  /// Chunk count (each kNodesPerChunk nodes) — observability for tests.
+  size_t allocated_chunks() const {
+    return chunk_count_.load(std::memory_order_relaxed);
+  }
+  /// Allocations served from the free list instead of a chunk bump.
+  size_t reused_nodes() const {
+    return reused_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr size_t kNodesPerChunk = 2048;
+
+ private:
+  struct Chunk {
+    Chunk* next;
+    VersionNode nodes[kNodesPerChunk];
+  };
+
+  Chunk* chunks_ = nullptr;  ///< Newest chunk first; writer-owned.
+  size_t used_in_chunk_ = kNodesPerChunk;
+  std::atomic<VersionNode*> free_list_{nullptr};
+  std::atomic<size_t> chunk_count_{0};
+  std::atomic<size_t> reused_{0};
+};
+
 /// Per-block chain metadata (first/last versioned row, seqlock counter,
 /// newest version timestamp).
 struct BlockInfo {
@@ -81,10 +132,19 @@ class ChainDirectory {
   void DropPrev() { prev_.reset(); }
 
   /// Homogeneous-mode GC: unlinks every node with ts <= `min_active` from
-  /// every chain. Unlinked suffixes are handed to `retired` (freed later,
-  /// after concurrent readers drain). Returns the number of unlinked nodes.
+  /// every chain. Unlinked suffixes are handed to `retired`; they stay
+  /// valid, readable memory (the arena owns them) until RecycleChain hands
+  /// them back once concurrent readers drain. Returns the number of
+  /// unlinked nodes.
   size_t TruncateOlderThan(Timestamp min_active,
                            std::vector<VersionNode*>* retired);
+
+  /// Returns a drained retire-list chain to this segment's arena for
+  /// reuse. Caller must guarantee no reader still traverses it. Returns
+  /// the number of nodes recycled.
+  size_t RecycleChain(VersionNode* head);
+
+  const VersionArena& arena() const { return arena_; }
 
  private:
   struct Block {
@@ -106,6 +166,15 @@ class ChainDirectory {
   std::shared_ptr<ChainDirectory> prev_;
   Timestamp seal_ts_ = kInfiniteTimestamp;
   std::atomic<size_t> total_versions_{0};
+  VersionArena arena_;  ///< Owns every VersionNode linked in this segment.
+};
+
+/// A chain suffix unlinked by GC, still owned by `owner`'s arena. The
+/// shared_ptr keeps the arena (and with it the nodes) alive even if the
+/// segment is sealed and dropped while the suffix sits on a retire list.
+struct RetiredChain {
+  VersionNode* head;
+  std::shared_ptr<ChainDirectory> owner;
 };
 
 /// Per-column façade over the chain of epoch segments. All methods must be
@@ -151,18 +220,22 @@ class VersionStore {
   size_t num_rows() const { return num_rows_; }
 
   /// Homogeneous-mode GC entry point; see ChainDirectory::TruncateOlderThan.
+  /// Retired chains carry a reference to their owning segment so the
+  /// backing arena outlives the retire list.
   size_t TruncateOlderThan(Timestamp min_active,
-                           std::vector<VersionNode*>* retired) {
-    return current_->TruncateOlderThan(min_active, retired);
+                           std::vector<RetiredChain>* retired) {
+    std::vector<VersionNode*> heads;
+    const size_t unlinked = current_->TruncateOlderThan(min_active, &heads);
+    for (VersionNode* head : heads) {
+      retired->push_back(RetiredChain{head, current_});
+    }
+    return unlinked;
   }
 
  private:
   size_t num_rows_;
   std::shared_ptr<ChainDirectory> current_;
 };
-
-/// Frees a chain of nodes (follows next pointers).
-void FreeNodeChain(VersionNode* head);
 
 }  // namespace anker::mvcc
 

@@ -153,7 +153,7 @@ OlapResult TpchQueries::RunQ1(const engine::OlapContext& ctx,
   Acc total{};
   driver.Fold<Acc>(
       &total,
-      [&](Acc& acc, const ScanDriver::RowView& row) {
+      [&](Acc& acc, const auto& row) {
         ++acc.rows;
         if (DecodeDate(row.Col(0)) > cutoff) return;
         const uint32_t flag = DecodeDict(row.Col(1)) & 7;
@@ -181,7 +181,7 @@ OlapResult TpchQueries::RunQ1(const engine::OlapContext& ctx,
           into.groups[i].count += from.groups[i].count;
         }
       },
-      &result.scan);
+      &result.scan, ctx.scan_options());
 
   result.rows_considered = total.rows;
   for (const Group& g : total.groups) {
@@ -213,7 +213,7 @@ OlapResult TpchQueries::RunQ4(const engine::OlapContext& ctx,
   Acc total{};
   driver.Fold<Acc>(
       &total,
-      [&](Acc& acc, const ScanDriver::RowView& row) {
+      [&](Acc& acc, const auto& row) {
         ++acc.rows;
         const int64_t date = DecodeDate(row.Col(0));
         if (date < lo || date >= hi) return;
@@ -223,7 +223,7 @@ OlapResult TpchQueries::RunQ4(const engine::OlapContext& ctx,
         into.rows += from.rows;
         for (int i = 0; i < 16; ++i) into.counts[i] += from.counts[i];
       },
-      &result.scan);
+      &result.scan, ctx.scan_options());
 
   result.rows_considered = total.rows;
   for (uint64_t count : total.counts) {
@@ -258,7 +258,7 @@ OlapResult TpchQueries::RunQ6(const engine::OlapContext& ctx,
   Acc total{};
   driver.Fold<Acc>(
       &total,
-      [&](Acc& acc, const ScanDriver::RowView& row) {
+      [&](Acc& acc, const auto& row) {
         ++acc.rows;
         const int64_t date = DecodeDate(row.Col(0));
         if (date < lo || date >= hi) return;
@@ -271,7 +271,7 @@ OlapResult TpchQueries::RunQ6(const engine::OlapContext& ctx,
         into.revenue += from.revenue;
         into.rows += from.rows;
       },
-      &result.scan);
+      &result.scan, ctx.scan_options());
 
   result.digest = total.revenue;
   result.rows_considered = total.rows;
@@ -302,14 +302,15 @@ OlapResult TpchQueries::RunQ17(const engine::OlapContext& ctx,
   PartAcc qualifying{};
   part_driver.Fold<PartAcc>(
       &qualifying,
-      [&](PartAcc& acc, const ScanDriver::RowView& row) {
+      [&](PartAcc& acc, const auto& row) {
         if (DecodeDict(row.Col(1)) != params.q17_brand_code) return;
         if (DecodeDict(row.Col(2)) != params.q17_container_code) return;
         acc.keys.insert(DecodeInt64(row.Col(0)));
       },
       [](PartAcc& into, PartAcc&& from) {
         into.keys.merge(from.keys);
-      });
+      },
+      nullptr, ctx.scan_options());
 
   // Probe pass 1: per-part quantity average over qualifying keys.
   struct QtyStats {
@@ -323,7 +324,7 @@ OlapResult TpchQueries::RunQ17(const engine::OlapContext& ctx,
   Pass1Acc per_part{};
   li_driver.Fold<Pass1Acc>(
       &per_part,
-      [&](Pass1Acc& acc, const ScanDriver::RowView& row) {
+      [&](Pass1Acc& acc, const auto& row) {
         const int64_t key = DecodeInt64(row.Col(0));
         if (qualifying.keys.count(key) == 0) return;
         QtyStats& stats = acc.stats[key];
@@ -336,7 +337,8 @@ OlapResult TpchQueries::RunQ17(const engine::OlapContext& ctx,
           s.sum += stats.sum;
           s.count += stats.count;
         }
-      });
+      },
+      nullptr, ctx.scan_options());
 
   // Probe pass 2: revenue of small-quantity lineitems.
   struct Pass2Acc {
@@ -346,7 +348,7 @@ OlapResult TpchQueries::RunQ17(const engine::OlapContext& ctx,
   Pass2Acc total{};
   li_driver.Fold<Pass2Acc>(
       &total,
-      [&](Pass2Acc& acc, const ScanDriver::RowView& row) {
+      [&](Pass2Acc& acc, const auto& row) {
         ++acc.rows;
         const int64_t key = DecodeInt64(row.Col(0));
         auto it = per_part.stats.find(key);
@@ -360,7 +362,8 @@ OlapResult TpchQueries::RunQ17(const engine::OlapContext& ctx,
       [](Pass2Acc& into, Pass2Acc&& from) {
         into.revenue += from.revenue;
         into.rows += from.rows;
-      });
+      },
+      nullptr, ctx.scan_options());
 
   OlapResult result;
   result.digest = total.revenue / 7.0;
@@ -374,7 +377,7 @@ OlapResult TpchQueries::RunScan(const engine::OlapContext& ctx,
   const ColumnReader reader = ctx.Reader(table->GetColumn(column_name));
   OlapResult result;
   result.digest = engine::ScanColumnSum(reader, /*as_double=*/true,
-                                        &result.scan);
+                                        &result.scan, ctx.scan_options());
   result.rows_considered = reader.num_rows();
   return result;
 }

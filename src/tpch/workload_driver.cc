@@ -1,8 +1,8 @@
 #include "tpch/workload_driver.h"
 
 #include <atomic>
-#include <thread>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace anker::tpch {
@@ -49,11 +49,19 @@ WorkloadResult WorkloadDriver::RunMixed(const WorkloadConfig& config) {
   constexpr size_t kNumOlapKinds =
       sizeof(kAllOlapKinds) / sizeof(kAllOlapKinds[0]);
 
+  // Stream fan-out rides the engine's worker pool (one pool per process):
+  // every stream is one coarse task; OLAP scans fired inside a stream fan
+  // their morsels into the same pool, so keep scan_threads-1 workers free
+  // for them beyond the stream tasks.
+  ThreadPool& pool = db_->worker_pool();
+  pool.EnsureThreads(threads +
+                     std::max<size_t>(1, db_->config().scan_threads) - 1);
+  WaitGroup wg;
+  wg.Add(static_cast<int>(threads));
+
   Timer wall;
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
   for (size_t worker = 0; worker < threads; ++worker) {
-    workers.emplace_back([&, worker] {
+    pool.Submit([&, worker] {
       Rng rng(config.seed * 7919 + worker);
       const uint64_t my_oltp = per_thread + (worker < remainder ? 1 : 0);
       // OLAP transactions are distributed round-robin over the workers and
@@ -98,9 +106,10 @@ WorkloadResult WorkloadDriver::RunMixed(const WorkloadConfig& config) {
         olap_done.fetch_add(1, std::memory_order_relaxed);
         --my_olap;
       }
+      wg.Done();
     });
   }
-  for (auto& worker : workers) worker.join();
+  wg.Wait();
 
   WorkloadResult result;
   result.wall_seconds = wall.ElapsedSeconds();
@@ -125,17 +134,22 @@ double WorkloadDriver::MeasureOlapLatency(OlapKind kind,
 
   // Pressure workers churn through the OLTP stream until the measurement
   // thread is done (bounded by the configured transaction count so the
-  // run always terminates).
-  std::vector<std::thread> workers;
-  workers.reserve(pressure_threads);
+  // run always terminates). They run as pool tasks; the pool keeps enough
+  // workers free for the measured scan's own morsel helpers.
+  ThreadPool& pool = db_->worker_pool();
+  pool.EnsureThreads(pressure_threads +
+                     std::max<size_t>(1, db_->config().scan_threads) - 1);
+  WaitGroup wg;
+  wg.Add(static_cast<int>(pressure_threads));
   for (size_t worker = 0; worker < pressure_threads; ++worker) {
-    workers.emplace_back([&, worker] {
+    pool.Submit([&, worker] {
       Rng rng(config.seed * 104729 + worker);
       while (!stop.load(std::memory_order_relaxed) &&
              fired.fetch_add(1, std::memory_order_relaxed) <
                  config.oltp_transactions) {
         (void)oltp_.RunRandom(&rng);
       }
+      wg.Done();
     });
   }
 
@@ -150,7 +164,7 @@ double WorkloadDriver::MeasureOlapLatency(OlapKind kind,
   }
 
   stop.store(true, std::memory_order_relaxed);
-  for (auto& worker : workers) worker.join();
+  wg.Wait();
   return total_nanos / repetitions;
 }
 

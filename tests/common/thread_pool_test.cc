@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
 
 namespace anker {
 namespace {
@@ -49,6 +53,97 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
     pool.WaitIdle();
   }
   EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, EnsureThreadsGrowsPool) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  pool.EnsureThreads(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  pool.EnsureThreads(2);  // never shrinks
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kItems = 10000;
+  std::vector<std::atomic<int>> hits(kItems);
+  pool.ParallelFor(0, kItems, /*grain=*/64, /*parallelism=*/4,
+                   [&](size_t begin, size_t end, size_t /*slot*/) {
+                     for (size_t i = begin; i < end; ++i) {
+                       hits[i].fetch_add(1, std::memory_order_relaxed);
+                     }
+                   });
+  for (size_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSlotBoundAndEmptyRange) {
+  ThreadPool pool(3);
+  std::atomic<size_t> max_slot{0};
+  pool.ParallelFor(0, 1000, 10, /*parallelism=*/3,
+                   [&](size_t, size_t, size_t slot) {
+                     size_t prev = max_slot.load();
+                     while (slot > prev &&
+                            !max_slot.compare_exchange_weak(prev, slot)) {
+                     }
+                   });
+  EXPECT_LT(max_slot.load(), 3u);
+  bool called = false;
+  pool.ParallelFor(5, 5, 10, 3,
+                   [&](size_t, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, NestedParallelRunFromPoolTasksDoesNotDeadlock) {
+  // Every worker is itself inside ParallelRun, so helpers can only make
+  // progress through the help-while-waiting path.
+  ThreadPool pool(2);
+  std::atomic<uint64_t> sum{0};
+  WaitGroup wg;
+  wg.Add(4);
+  for (int task = 0; task < 4; ++task) {
+    pool.Submit([&] {
+      pool.ParallelFor(0, 4096, 16, /*parallelism=*/4,
+                       [&](size_t begin, size_t end, size_t) {
+                         uint64_t local = 0;
+                         for (size_t i = begin; i < end; ++i) local += i;
+                         sum.fetch_add(local, std::memory_order_relaxed);
+                       });
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  pool.WaitIdle();
+  EXPECT_EQ(sum.load(), 4u * (4096u * 4095u / 2u));
+}
+
+TEST(ThreadPoolTest, ParallelRunFromForeignThreadWithBusyWorkers) {
+  // Workers are saturated with long tasks; the caller must finish the
+  // morsels itself (helpers run late and find nothing).
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&] {
+      while (!release.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(0, 1000, 10, 4, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(sum.load(), 1000u * 999u / 2u);
+  release.store(true);
+  pool.WaitIdle();
 }
 
 TEST(WaitGroupTest, WaitsForAllDone) {

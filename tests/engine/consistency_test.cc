@@ -59,7 +59,7 @@ class ConsistencyTest : public ::testing::TestWithParam<txn::ProcessingMode> {
     int64_t total = 0;
     driver.Fold<int64_t>(
         &total,
-        [](int64_t& acc, const ScanDriver::RowView& row) {
+        [](int64_t& acc, const auto& row) {
           acc += storage::DecodeInt64(row.Col(0));
         },
         [](int64_t& into, int64_t&& from) { into += from; });

@@ -140,7 +140,7 @@ TEST(ScanDriverTest, MultiColumnFold) {
   uint64_t matches = 0;
   driver.Fold<uint64_t>(
       &matches,
-      [](uint64_t& acc, const ScanDriver::RowView& row) {
+      [](uint64_t& acc, const auto& row) {
         if (row.Col(0) == row.Col(1)) ++acc;  // always equal here
       },
       [](uint64_t& total, uint64_t&& local) { total += local; });
@@ -153,6 +153,153 @@ TEST(ScanDriverTest, MismatchedRowCountsDie) {
   const ColumnReader a = ColumnReader::ForLive(col_a.get(), 1);
   const ColumnReader b = ColumnReader::ForLive(col_b.get(), 1);
   EXPECT_DEATH(ScanDriver({&a, &b}), "CHECK");
+}
+
+TEST(ScanDriverTest, HintedSplitResolvesPerColumnRanges) {
+  // Two columns with disjoint versioned ranges in the same block: the
+  // resolve range is their union, but each column only resolves inside its
+  // own [first, last] hint; everything else reads raw.
+  auto col_a = MakeColumn(2 * mvcc::kRowsPerBlock);
+  auto col_b = MakeColumn(2 * mvcc::kRowsPerBlock);
+  for (size_t row = 10; row <= 20; ++row) {
+    col_a->ApplyCommittedWrite(row, storage::EncodeInt64(-1), /*ts=*/50);
+  }
+  for (size_t row = 900; row <= 910; ++row) {
+    col_b->ApplyCommittedWrite(row, storage::EncodeInt64(-2), /*ts=*/60);
+  }
+  const ColumnReader a = ColumnReader::ForLive(col_a.get(), /*ts=*/10);
+  const ColumnReader b = ColumnReader::ForLive(col_b.get(), /*ts=*/10);
+  ScanDriver driver({&a, &b});
+  struct Acc {
+    double sum_a = 0;
+    double sum_b = 0;
+  };
+  Acc total{};
+  ScanStats stats;
+  driver.Fold<Acc>(
+      &total,
+      [](Acc& acc, const auto& row) {
+        acc.sum_a += static_cast<double>(storage::DecodeInt64(row.Col(0)));
+        acc.sum_b += static_cast<double>(storage::DecodeInt64(row.Col(1)));
+      },
+      [](Acc& into, Acc&& from) {
+        into.sum_a += from.sum_a;
+        into.sum_b += from.sum_b;
+      },
+      &stats);
+  // The ts-10 reader resolves every versioned row to its pre-commit value:
+  // both sums equal the undisturbed arithmetic series.
+  const double n = 2.0 * mvcc::kRowsPerBlock;
+  EXPECT_DOUBLE_EQ(total.sum_a, n * (n - 1.0) / 2.0);
+  EXPECT_DOUBLE_EQ(total.sum_b, n * (n - 1.0) / 2.0);
+  EXPECT_EQ(stats.hinted_rows, mvcc::kRowsPerBlock);
+  EXPECT_EQ(stats.tight_rows, mvcc::kRowsPerBlock);
+}
+
+TEST(ScanDriverTest, InjectedCommitBetweenClassifyAndValidateRetriesSafely) {
+  // Deterministic seqlock race: a commit lands after ClassifyBlock chose
+  // the tight kernel and before BlockStable validated it. The scan must
+  // fall back to the safe kernel for that block and still produce the
+  // fold result for its read timestamp.
+  auto column = MakeColumn(2 * mvcc::kRowsPerBlock);
+  const ColumnReader reader = ColumnReader::ForLive(column.get(), /*ts=*/10);
+  ScanDriver driver({&reader});
+
+  ScanOptions options;
+  bool injected = false;
+  options.on_block_classified = [&](size_t block) {
+    if (block == 0 && !injected) {
+      injected = true;
+      column->ApplyCommittedWrite(5, storage::EncodeInt64(-777),
+                                  /*commit_ts=*/50);
+    }
+  };
+
+  double total = 0.0;
+  ScanStats stats;
+  driver.Fold<double>(
+      &total,
+      [](double& acc, const auto& row) {
+        acc += static_cast<double>(storage::DecodeInt64(row.Col(0)));
+      },
+      [](double& into, double&& from) { into += from; }, &stats, options);
+
+  ASSERT_TRUE(injected);
+  // The ts-10 reader resolves row 5's pre-commit value through the chain
+  // the committer published: the sum is exactly the loaded series.
+  const double n = 2.0 * mvcc::kRowsPerBlock;
+  EXPECT_DOUBLE_EQ(total, n * (n - 1.0) / 2.0);
+  EXPECT_EQ(stats.seqlock_retries, 1u);
+  EXPECT_EQ(stats.resolved_rows, mvcc::kRowsPerBlock);  // block 0, redone
+  EXPECT_EQ(stats.tight_rows, mvcc::kRowsPerBlock);     // block 1, stable
+}
+
+TEST(ScanDriverTest, ParallelFoldMatchesSerialResult) {
+  auto column = MakeColumn(64 * mvcc::kRowsPerBlock);
+  // Sprinkle versions over a few blocks so every kernel participates.
+  for (size_t block : {3u, 17u, 42u}) {
+    for (size_t i = 0; i < 5; ++i) {
+      const size_t row = block * mvcc::kRowsPerBlock + 100 + i * 7;
+      column->ApplyCommittedWrite(row, storage::EncodeInt64(-9), /*ts=*/50);
+    }
+  }
+  const ColumnReader reader = ColumnReader::ForLive(column.get(), /*ts=*/10);
+
+  ScanStats serial_stats;
+  const double serial =
+      ScanColumnSum(reader, /*as_double=*/false, &serial_stats);
+
+  ThreadPool pool(4);
+  ScanOptions options;
+  options.pool = &pool;
+  options.max_threads = 4;
+  options.morsel_blocks = 4;
+  ScanStats parallel_stats;
+  const double parallel =
+      ScanColumnSum(reader, /*as_double=*/false, &parallel_stats, options);
+
+  EXPECT_DOUBLE_EQ(parallel, serial);
+  EXPECT_EQ(parallel_stats.tight_rows, serial_stats.tight_rows);
+  EXPECT_EQ(parallel_stats.hinted_rows, serial_stats.hinted_rows);
+  EXPECT_EQ(parallel_stats.resolved_rows, serial_stats.resolved_rows);
+}
+
+TEST(ScanDriverTest, ParallelMultiColumnGroupByMatchesSerial) {
+  auto col_key = MakeColumn(32 * mvcc::kRowsPerBlock);
+  auto col_val = MakeColumn(32 * mvcc::kRowsPerBlock);
+  const ColumnReader key = ColumnReader::ForLive(col_key.get(), 100);
+  const ColumnReader val = ColumnReader::ForLive(col_val.get(), 100);
+  ScanDriver driver({&key, &val});
+
+  struct Acc {
+    double sums[8] = {0};
+    uint64_t rows = 0;
+  };
+  auto row_fn = [](Acc& acc, const auto& row) {
+    ++acc.rows;
+    acc.sums[storage::DecodeInt64(row.Col(0)) & 7] +=
+        static_cast<double>(storage::DecodeInt64(row.Col(1)));
+  };
+  auto merge_fn = [](Acc& into, Acc&& from) {
+    into.rows += from.rows;
+    for (int i = 0; i < 8; ++i) into.sums[i] += from.sums[i];
+  };
+
+  Acc serial{};
+  driver.Fold<Acc>(&serial, row_fn, merge_fn);
+
+  ThreadPool pool(3);
+  ScanOptions options;
+  options.pool = &pool;
+  options.max_threads = 3;
+  options.morsel_blocks = 2;
+  Acc parallel{};
+  driver.Fold<Acc>(&parallel, row_fn, merge_fn, nullptr, options);
+
+  EXPECT_EQ(parallel.rows, serial.rows);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(parallel.sums[i], serial.sums[i]) << "group " << i;
+  }
 }
 
 TEST(ScanDriverTest, ConcurrentCommitsNeverLeakFutureValues) {

@@ -111,26 +111,119 @@ TEST(VersionStoreTest, TruncateDropsOnlyDeadNodes) {
   store.AddVersion(0, 1, 2);
   store.AddVersion(0, 2, 5);
   store.AddVersion(0, 3, 9);
-  std::vector<VersionNode*> retired;
+  std::vector<RetiredChain> retired;
   // min active start_ts = 5: nodes with ts <= 5 are dead.
   const size_t unlinked = store.TruncateOlderThan(5, &retired);
   EXPECT_EQ(unlinked, 2u);
   // The ts-9 node must survive: a reader at ts 6 needs its value.
   EXPECT_EQ(store.ResolveVisible(0, 6, 42), 3u);
   EXPECT_EQ(store.ResolveVisible(0, 9, 42), 42u);
-  for (VersionNode* head : retired) FreeNodeChain(head);
+  // The retired suffix stays valid, readable memory until recycled: a
+  // reader that was already past the truncation point may still walk it.
+  ASSERT_EQ(retired.size(), 1u);
+  EXPECT_EQ(retired[0].head->ts, 5u);
+  EXPECT_EQ(retired[0].head->value, 2u);
+  ASSERT_NE(retired[0].head->next, nullptr);
+  EXPECT_EQ(retired[0].head->next->ts, 2u);
+  EXPECT_EQ(retired[0].head->next->value, 1u);
+  for (RetiredChain& chain : retired) chain.owner->RecycleChain(chain.head);
 }
 
 TEST(VersionStoreTest, TruncateWholeChain) {
   VersionStore store(10);
   store.AddVersion(0, 1, 2);
   store.AddVersion(0, 2, 3);
-  std::vector<VersionNode*> retired;
+  std::vector<RetiredChain> retired;
   const size_t unlinked = store.TruncateOlderThan(10, &retired);
   EXPECT_EQ(unlinked, 2u);
   EXPECT_EQ(store.current()->Head(0), nullptr);
   EXPECT_EQ(store.ResolveVisible(0, 11, 7), 7u);
-  for (VersionNode* head : retired) FreeNodeChain(head);
+  size_t recycled = 0;
+  for (RetiredChain& chain : retired) {
+    recycled += chain.owner->RecycleChain(chain.head);
+  }
+  EXPECT_EQ(recycled, 2u);
+}
+
+TEST(VersionArenaTest, BumpAllocationSpansChunks) {
+  VersionArena arena;
+  std::vector<VersionNode*> nodes;
+  const size_t total = VersionArena::kNodesPerChunk * 2 + 10;
+  for (size_t i = 0; i < total; ++i) {
+    VersionNode* node = arena.Allocate();
+    node->value = i;
+    node->ts = i;
+    node->next = nullptr;
+    nodes.push_back(node);
+  }
+  EXPECT_EQ(arena.allocated_chunks(), 3u);
+  EXPECT_EQ(arena.reused_nodes(), 0u);
+  // Addresses are stable and distinct; values survive later allocations.
+  for (size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(nodes[i]->value, i);
+  }
+}
+
+TEST(VersionArenaTest, RecycledNodesAreReusedBeforeBumping) {
+  VersionArena arena;
+  VersionNode* a = arena.Allocate();
+  VersionNode* b = arena.Allocate();
+  a->next = b;
+  b->next = nullptr;
+  arena.Recycle(a);  // pushes the 2-node chain onto the free list
+  VersionNode* r1 = arena.Allocate();
+  VersionNode* r2 = arena.Allocate();
+  EXPECT_EQ(arena.reused_nodes(), 2u);
+  // LIFO reuse of exactly the recycled nodes, in some order.
+  EXPECT_TRUE((r1 == a && r2 == b) || (r1 == b && r2 == a));
+  // Free list exhausted: next allocation bumps again.
+  VersionNode* fresh = arena.Allocate();
+  EXPECT_NE(fresh, a);
+  EXPECT_NE(fresh, b);
+  EXPECT_EQ(arena.reused_nodes(), 2u);
+}
+
+TEST(VersionStoreTest, ChainsSurviveEpochHandOverAndSegmentDrop) {
+  // The arena travels with the sealed segment: resolving through the
+  // prev-link touches nodes owned by the sealed segment's arena, and
+  // dropping the last reference to the segment releases them all at once
+  // (ASan would flag any use-after-free here).
+  VersionStore store(10);
+  store.AddVersion(0, 100, 2);
+  std::shared_ptr<ChainDirectory> sealed = store.SealEpoch(3);
+  store.AddVersion(0, 200, 5);
+
+  // Reader older than the seal resolves into the sealed segment's arena.
+  EXPECT_EQ(store.ResolveVisible(0, 1, 400), 100u);
+  EXPECT_EQ(store.ResolveVisible(0, 4, 400), 200u);
+
+  // Retire the epoch: cut the prev-link, drop the last segment reference.
+  store.current()->DropPrev();
+  EXPECT_EQ(sealed.use_count(), 1);
+  sealed.reset();
+
+  // The current segment's own chains are untouched.
+  EXPECT_EQ(store.ResolveVisible(0, 4, 400), 200u);
+  EXPECT_EQ(store.ResolveVisible(0, 5, 400), 400u);
+}
+
+TEST(VersionStoreTest, RetiredChainOutlivesSealedSegment) {
+  // A retire-list entry keeps the sealed segment (and its arena) alive via
+  // the owner reference even after the store seals and drops the segment.
+  VersionStore store(10);
+  store.AddVersion(0, 1, 2);
+  store.AddVersion(0, 2, 3);
+  std::vector<RetiredChain> retired;
+  ASSERT_EQ(store.TruncateOlderThan(10, &retired), 2u);
+  ASSERT_EQ(retired.size(), 1u);
+
+  std::shared_ptr<ChainDirectory> sealed = store.SealEpoch(4);
+  store.current()->DropPrev();
+  sealed.reset();  // the retire list now holds the only reference
+
+  EXPECT_EQ(retired[0].head->ts, 3u);  // still valid memory
+  EXPECT_EQ(retired[0].owner->RecycleChain(retired[0].head), 2u);
+  retired.clear();  // drops the segment and its arena
 }
 
 TEST(VersionStoreTest, ConcurrentReadersDuringWrites) {
@@ -144,7 +237,7 @@ TEST(VersionStoreTest, ConcurrentReadersDuringWrites) {
 
   std::vector<std::thread> readers;
   for (int r = 0; r < 3; ++r) {
-    readers.emplace_back([&] {
+    readers.emplace_back([&, r] {
       Rng rng(r + 1);
       while (!stop.load(std::memory_order_acquire)) {
         const uint64_t read_ts = committed_ts.load(std::memory_order_acquire);
