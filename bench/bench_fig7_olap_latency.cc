@@ -58,6 +58,10 @@ int main(int argc, char** argv) {
   const size_t threads =
       static_cast<size_t>(flags.Int("threads", 8));
   const int reps = static_cast<int>(flags.Int("reps", 5));
+  // --query_api: additionally measure every OLAP transaction through the
+  // retired hand-written kernels and report old-vs-new latency (the CI
+  // smoke gates Q1/Q6 at query_api <= 1.1x handwritten).
+  const bool query_api = flags.Has("query_api");
   const std::string json_out = flags.Str("json_out", "");
   flags.RejectUnknown();
 
@@ -67,6 +71,7 @@ int main(int argc, char** argv) {
   report["flags"]["warmup"] = warmup;
   report["flags"]["threads"] = threads;
   report["flags"]["reps"] = reps;
+  report["flags"]["query_api"] = query_api;
 
   bench::PrintHeader(
       "Figure 7: OLAP transaction latency under OLTP pressure "
@@ -83,6 +88,9 @@ int main(int argc, char** argv) {
   };
 
   double latency_ms[3][7];
+  double latency_min_ms[3][7];
+  double reference_ms[3][7];
+  double reference_min_ms[3][7];
   for (int m = 0; m < 3; ++m) {
     ModeRun run = MakeRun(modes[m], rows, warmup);
     tpch::WorkloadConfig config;
@@ -90,8 +98,22 @@ int main(int argc, char** argv) {
     config.threads = threads;
     int k = 0;
     for (tpch::OlapKind kind : tpch::kAllOlapKinds) {
-      latency_ms[m][k++] =
-          run.driver->MeasureOlapLatency(kind, config, reps) / 1e6;
+      double min_nanos = 0;
+      latency_ms[m][k] =
+          run.driver->MeasureOlapLatency(
+              kind, config, reps, tpch::WorkloadDriver::OlapPath::kQueryLayer,
+              &min_nanos) /
+          1e6;
+      latency_min_ms[m][k] = min_nanos / 1e6;
+      if (query_api) {
+        reference_ms[m][k] =
+            run.driver->MeasureOlapLatency(
+                kind, config, reps,
+                tpch::WorkloadDriver::OlapPath::kReference, &min_nanos) /
+            1e6;
+        reference_min_ms[m][k] = min_nanos / 1e6;
+      }
+      ++k;
     }
     run.db->Stop();
   }
@@ -113,6 +135,36 @@ int main(int argc, char** argv) {
     row["ser_over_het"] = latency_ms[0][k] / latency_ms[2][k];
     row["si_over_het"] = latency_ms[1][k] / latency_ms[2][k];
     ++k;
+  }
+
+  if (query_api) {
+    std::printf("\nquery layer vs retired hand-written kernels "
+                "(heterogeneous, lower ratio = builder path faster)\n");
+    std::printf("%-16s %14s %14s %9s\n", "OLAP txn", "query_api[ms]",
+                "handwritten[ms]", "new/old");
+    k = 0;
+    for (tpch::OlapKind kind : tpch::kAllOlapKinds) {
+      std::printf("%-16s %14.3f %14.3f %8.2fx\n", tpch::OlapKindName(kind),
+                  latency_ms[2][k], reference_ms[2][k],
+                  latency_ms[2][k] / reference_ms[2][k]);
+      auto& row = report["query_api"].Append();
+      row["olap"] = tpch::OlapKindName(kind);
+      for (int m = 0; m < 3; ++m) {
+        const char* mode_name = m == 0   ? "homogeneous_serializable"
+                                : m == 1 ? "homogeneous_si"
+                                         : "heterogeneous";
+        row[std::string(mode_name) + "_query_api_ms"] = latency_ms[m][k];
+        row[std::string(mode_name) + "_handwritten_ms"] =
+            reference_ms[m][k];
+      }
+      row["heterogeneous_query_api_min_ms"] = latency_min_ms[2][k];
+      row["heterogeneous_handwritten_min_ms"] = reference_min_ms[2][k];
+      row["new_over_old_heterogeneous"] =
+          latency_ms[2][k] / reference_ms[2][k];
+      row["new_over_old_heterogeneous_min"] =
+          latency_min_ms[2][k] / reference_min_ms[2][k];
+      ++k;
+    }
   }
   report.Write(json_out);
   return 0;

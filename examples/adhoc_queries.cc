@@ -1,0 +1,168 @@
+// Ad-hoc analytics through the composable query API: a sensor-readings
+// schema (nothing TPC-H about it) is defined, loaded and queried entirely
+// with typed expressions and declarative pipelines — no hand-written scan
+// kernels. Shows:
+//   1. grouped roll-ups (Avg/Min/Max per station) on the fused kernels,
+//   2. parameterized filters re-run with different bindings,
+//   3. dictionary-encoded string equality,
+//   4. an expression aggregate outside the fused menu (vectorized path),
+// all running on the engine's virtual snapshots (heterogeneous mode).
+//
+//   build/examples/adhoc_queries
+#include <cstdio>
+
+#include "engine/database.h"
+#include "query/query.h"
+
+using namespace anker;
+using query::Avg;
+using query::Between;
+using query::Col;
+using query::Count;
+using query::DateDays;
+using query::ExprType;
+using query::F64;
+using query::Max;
+using query::Min;
+using query::Param;
+using query::Params;
+using query::Query;
+using query::QueryResult;
+using query::Str;
+using query::Sum;
+
+int main() {
+  // 1. Heterogeneous engine: OLAP runs on fine-granular virtual
+  //    snapshots; the queries never notice.
+  engine::DatabaseConfig config = engine::DatabaseConfig::ForMode(
+      txn::ProcessingMode::kHeterogeneousSerializable);
+  config.snapshot_interval_commits = 500;
+  auto created = engine::Database::Create(config);
+  ANKER_CHECK(created.ok());
+  engine::Database& db = *created.value();
+  db.Start();
+
+  // 2. A sensor-readings table: 100k readings from 4 stations.
+  constexpr size_t kRows = 100000;
+  auto table_result = db.CreateTable(
+      "readings",
+      {{"sensor_id", storage::ValueType::kInt64},
+       {"station", storage::ValueType::kDict32},
+       {"day", storage::ValueType::kDate},
+       {"temperature", storage::ValueType::kDouble},
+       {"humidity", storage::ValueType::kDouble},
+       {"power_watts", storage::ValueType::kDouble}},
+      kRows);
+  ANKER_CHECK(table_result.ok());
+  storage::Table* readings = table_result.value();
+
+  storage::Dictionary* stations = readings->GetDictionary("station");
+  const char* station_names[4] = {"arctic", "desert", "forest", "reef"};
+  for (const char* name : station_names) stations->GetOrAdd(name);
+
+  for (size_t row = 0; row < kRows; ++row) {
+    const uint32_t station = static_cast<uint32_t>(row % 4);
+    const double base = 5.0 + 12.0 * static_cast<double>(station);
+    readings->GetColumn("sensor_id")
+        ->LoadValue(row, storage::EncodeInt64(
+                             static_cast<int64_t>(row % 250)));
+    readings->GetColumn("station")
+        ->LoadValue(row, storage::EncodeDict(station));
+    readings->GetColumn("day")->LoadValue(
+        row, storage::EncodeDate(static_cast<int64_t>(row % 365)));
+    readings->GetColumn("temperature")
+        ->LoadValue(row, storage::EncodeDouble(
+                             base + static_cast<double>(row % 17) * 0.5));
+    readings->GetColumn("humidity")
+        ->LoadValue(row, storage::EncodeDouble(
+                             0.2 + 0.02 * static_cast<double>(row % 30)));
+    readings->GetColumn("power_watts")
+        ->LoadValue(row, storage::EncodeDouble(
+                             1.5 + 0.1 * static_cast<double>(row % 11)));
+  }
+
+  // 3. Per-station climate roll-up — a grouped query on the fused
+  //    kernels. One definition, executed per snapshot.
+  auto rollup = Query::On(readings)
+                    .Aggregate({Avg(Col("temperature")).As("avg_temp"),
+                                Min(Col("temperature")).As("min_temp"),
+                                Max(Col("temperature")).As("max_temp"),
+                                Count().As("readings")})
+                    .GroupBy({"station"})
+                    .Build();
+  ANKER_CHECK(rollup.ok());
+  auto rollup_result = db.Run(rollup.value(), Params());
+  ANKER_CHECK(rollup_result.ok());
+  std::printf("station climate roll-up (%zu rows scanned):\n",
+              static_cast<size_t>(rollup_result.value().rows_scanned));
+  std::printf("  %-8s %9s %9s %9s %9s\n", "station", "avg", "min", "max",
+              "count");
+  for (const QueryResult::Row& row : rollup_result.value().rows) {
+    std::printf("  %-8s %9.2f %9.2f %9.2f %9.0f\n",
+                stations->Decode(row.keys[0]).c_str(), row.values[0],
+                row.values[1], row.values[2], row.values[3]);
+  }
+
+  // 4. Parameterized window: summer energy draw, re-run for two windows
+  //    without rebuilding the plan.
+  auto energy =
+      Query::On(readings)
+          .Filter(Between(Col("day"), Param("from", ExprType::kDate),
+                          Param("to", ExprType::kDate)))
+          .Aggregate({Sum(Col("power_watts")).As("total_watts"),
+                      Count().As("n")})
+          .Build();
+  ANKER_CHECK(energy.ok());
+  for (const auto& [label, from, to] :
+       {std::tuple{"summer", int64_t{172}, int64_t{264}},
+        std::tuple{"winter", int64_t{0}, int64_t{58}}}) {
+    auto result = db.Run(energy.value(),
+                         Params().SetDate("from", from).SetDate("to", to));
+    ANKER_CHECK(result.ok());
+    std::printf("%s energy: %.1f watt-readings over %.0f samples\n", label,
+                result.value().Value("total_watts"),
+                result.value().Value("n"));
+  }
+
+  // 5. Dictionary equality by string, plus an expression aggregate
+  //    outside the fused menu (humidity-weighted temperature) — this one
+  //    lowers onto the vectorized selection path.
+  auto reef = Query::On(readings)
+                  .Filter(Col("station") == Str("reef"))
+                  .Filter(Col("humidity") > Param("min_hum",
+                                                  ExprType::kDouble))
+                  .Aggregate({Avg(Col("temperature") *
+                                  (F64(1.0) + Col("humidity")))
+                                  .As("muggy_index")})
+                  .Build();
+  ANKER_CHECK(reef.ok());
+  auto reef_result =
+      db.Run(reef.value(), Params().SetDouble("min_hum", 0.5));
+  ANKER_CHECK(reef_result.ok());
+  std::printf("reef muggy index (humid readings only): %.3f\n",
+              reef_result.value().Value("muggy_index"));
+
+  // 6. Queries keep reading their snapshot while OLTP writes land: the
+  //    same plan sees the mutation only once a new epoch is pinned.
+  auto txn = db.BeginOltp();
+  txn->Write(readings->GetColumn("power_watts"), 0,
+             storage::EncodeDouble(999.0));
+  ANKER_CHECK(db.Commit(txn.get()).ok());
+  auto after = db.Run(energy.value(),
+                      Params().SetDate("from", 0).SetDate("to", 364));
+  ANKER_CHECK(after.ok());
+  std::printf("after a committed write, full-year energy: %.1f "
+              "(tight rows: %zu)\n",
+              after.value().Value("total_watts"),
+              after.value().scan.tight_rows);
+
+  // Type errors surface as recoverable statuses, not crashes.
+  auto bad = Query::On(readings)
+                 .Filter(Col("station") + F64(1.0) > F64(0.0))
+                 .Aggregate({Count().As("n")})
+                 .Build();
+  std::printf("type checker: %s\n", bad.status().ToString().c_str());
+
+  db.Stop();
+  return 0;
+}

@@ -13,6 +13,21 @@ DatabaseConfig DatabaseConfig::ForMode(txn::ProcessingMode mode) {
   return config;
 }
 
+Status DatabaseConfig::Validate() const {
+  if (heterogeneous()) {
+    if (backend == snapshot::BufferBackend::kPlain) {
+      return Status::InvalidArgument(
+          "heterogeneous mode needs a snapshot-capable backend, got plain");
+    }
+  } else if (backend != snapshot::BufferBackend::kPlain) {
+    return Status::InvalidArgument(
+        std::string("homogeneous modes never snapshot; backend ") +
+        snapshot::BufferBackendName(backend) +
+        " would only add copy-on-write cost (use plain)");
+  }
+  return Status::OK();
+}
+
 ColumnReader OlapContext::Reader(const storage::Column* column) const {
   if (handle_ != nullptr) {
     return ColumnReader::ForSnapshot(handle_->GetColumn(column),
@@ -21,11 +36,30 @@ ColumnReader OlapContext::Reader(const storage::Column* column) const {
   return ColumnReader::ForLive(column, read_ts_);
 }
 
+Result<ColumnReader> OlapContext::TryReader(
+    const storage::Column* column) const {
+  if (handle_ != nullptr) {
+    const storage::ColumnSnapshot* snap = handle_->Find(column);
+    if (snap == nullptr) {
+      return Status::InvalidArgument("column '" + column->name() +
+                                     "' is not part of this OLAP "
+                                     "transaction's column set");
+    }
+    return ColumnReader::ForSnapshot(*snap, column->num_rows());
+  }
+  return ColumnReader::ForLive(column, read_ts_);
+}
+
+Result<std::unique_ptr<Database>> Database::Create(DatabaseConfig config) {
+  ANKER_RETURN_IF_ERROR(config.Validate());
+  return std::make_unique<Database>(config);
+}
+
 Database::Database(DatabaseConfig config)
     : config_(config), txn_manager_(config.mode) {
+  const Status valid = config_.Validate();
+  ANKER_CHECK_MSG(valid.ok(), valid.message().c_str());
   if (config_.heterogeneous()) {
-    ANKER_CHECK_MSG(config_.backend != snapshot::BufferBackend::kPlain,
-                    "heterogeneous mode needs a snapshot-capable backend");
     snapshot_manager_ = std::make_unique<SnapshotManager>(
         &txn_manager_.oracle(), &txn_manager_.registry());
     const uint64_t interval = config_.snapshot_interval_commits;

@@ -14,6 +14,13 @@
 #include "storage/catalog.h"
 #include "txn/transaction_manager.h"
 
+namespace anker::query {
+class Query;
+class SemiJoinQuery;
+class Params;
+struct QueryResult;
+}  // namespace anker::query
+
 namespace anker::engine {
 
 /// Engine configuration (paper Section 5.1's three setups plus knobs).
@@ -42,6 +49,14 @@ struct DatabaseConfig {
 
   /// Canonical configuration for a processing mode.
   static DatabaseConfig ForMode(txn::ProcessingMode mode);
+
+  /// Rejects mode/backend combinations that would silently misbehave:
+  /// heterogeneous processing requires a snapshot-capable backend, and the
+  /// homogeneous baselines never snapshot, so a copy-on-write backend
+  /// would only add fault-handling cost that the paper's baselines do not
+  /// pay (skewing every comparison against them). Checked by the Database
+  /// constructor; use Database::Create for a recoverable error.
+  Status Validate() const;
 };
 
 /// Read context of one OLAP transaction: under heterogeneous processing it
@@ -55,7 +70,17 @@ class OlapContext {
   ANKER_DISALLOW_COPY_AND_MOVE(OlapContext);
 
   /// Reader for a column that was declared in BeginOlap's column set.
+  /// CHECK-fails on out-of-set columns under heterogeneous processing —
+  /// the internal-invariant path for callers whose column set was
+  /// *inferred* (Database::Run derives it from the query plan, so a miss
+  /// is an engine bug, not bad input). Callers that assembled the column
+  /// set by hand should use TryReader.
   ColumnReader Reader(const storage::Column* column) const;
+
+  /// Recoverable sibling of Reader: returns InvalidArgument when `column`
+  /// was not part of the BeginOlap column set (heterogeneous mode; the
+  /// homogeneous modes read live data and can serve any column).
+  Result<ColumnReader> TryReader(const storage::Column* column) const;
 
   /// Scan execution options for this transaction's Folds: carries the
   /// engine's worker pool and scan_threads setting, so queries inherit
@@ -89,9 +114,15 @@ class OlapContext {
 /// disabled), matching the paper's evaluation baselines.
 class Database {
  public:
+  /// CHECK-fails on an invalid configuration (see DatabaseConfig::
+  /// Validate); use Create when the configuration comes from user input.
   explicit Database(DatabaseConfig config);
   ~Database();
   ANKER_DISALLOW_COPY_AND_MOVE(Database);
+
+  /// Validating factory: returns InvalidArgument instead of aborting on a
+  /// rejected mode/backend combination.
+  static Result<std::unique_ptr<Database>> Create(DatabaseConfig config);
 
   const DatabaseConfig& config() const { return config_; }
 
@@ -120,11 +151,28 @@ class Database {
   /// Begins an OLAP transaction over the given column set. Heterogeneous:
   /// acquires (and lazily materializes) the newest snapshot epoch.
   /// Homogeneous: reads the live data.
+  ///
+  /// Query-shaped callers should prefer Run: a query::Query already knows
+  /// every column it touches, so hand-maintaining the raw column vector
+  /// only invites drift between the set and the query body. BeginOlap
+  /// remains the entry point for free-form scans (and for Run itself).
   Result<std::unique_ptr<OlapContext>> BeginOlap(
       const std::vector<storage::Column*>& columns);
 
   /// Finishes an OLAP transaction (read-only commit; never aborts).
   Status FinishOlap(std::unique_ptr<OlapContext> ctx);
+
+  /// Runs a declarative query as one OLAP transaction: infers the column
+  /// set from the plan, pins the snapshot (heterogeneous) or live context
+  /// (homogeneous), executes with the engine's ScanOptions and returns the
+  /// typed result. Defined in src/query/run.cc.
+  Result<query::QueryResult> Run(const query::Query& query,
+                                 const query::Params& params);
+
+  /// Same for the two-pass aggregated semi join (one transaction covering
+  /// the build and both probe passes).
+  Result<query::QueryResult> Run(const query::SemiJoinQuery& query,
+                                 const query::Params& params);
 
   /// Starts background machinery (GC thread in homogeneous modes).
   void Start();

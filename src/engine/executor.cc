@@ -109,6 +109,35 @@ bool ScanDriver::BlockStable(size_t block,
   return true;
 }
 
+const uint64_t* ScanDriver::StageHinted(size_t i, size_t begin, size_t end,
+                                        const BlockScratch& scratch,
+                                        uint64_t* stage) const {
+  const size_t first = scratch.hint_first[i];
+  const size_t last = scratch.hint_last[i];
+  if (first == SIZE_MAX) {
+    // No relevant versions in this block for this reader: expose the raw
+    // span directly, no copy.
+    return raw_bases_[i] + begin;
+  }
+  const ColumnReader& reader = *readers_[i];
+  const uint64_t* raw = raw_bases_[i];
+  const size_t resolve_begin = std::max(begin, first);
+  const size_t resolve_end = std::min(end, last + 1);
+  for (size_t r = begin; r < resolve_begin; ++r) stage[r - begin] = raw[r];
+  for (size_t r = resolve_begin; r < resolve_end; ++r) {
+    stage[r - begin] = reader.Get(r);
+  }
+  for (size_t r = resolve_end; r < end; ++r) stage[r - begin] = raw[r];
+  return stage;
+}
+
+const uint64_t* ScanDriver::StageSafe(size_t i, size_t begin, size_t end,
+                                      uint64_t* stage) const {
+  const ColumnReader& reader = *readers_[i];
+  for (size_t r = begin; r < end; ++r) stage[r - begin] = reader.Get(r);
+  return stage;
+}
+
 double ScanColumnSum(const ColumnReader& reader, bool as_double,
                      ScanStats* stats, const ScanOptions& options) {
   ScanDriver driver({&reader});

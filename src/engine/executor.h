@@ -107,6 +107,20 @@ struct ScanStats {
   }
 };
 
+/// One block handed to ScanDriver::FoldBlockwise: contiguous per-column
+/// value spans for rows [begin, begin + rows). cols[i] points either
+/// directly into reader i's raw slot array (version-free blocks) or into
+/// per-participant scratch holding fully resolved values (versioned
+/// blocks) — the callback indexes cols[i][0 .. rows) and never sees
+/// version logic. Because versioned blocks are materialized up front, a
+/// blockwise consumer runs the *same* arithmetic over every block kind,
+/// which keeps results bit-identical across processing modes.
+struct ScanBlock {
+  const uint64_t* const* cols;
+  size_t begin = 0;
+  size_t rows = 0;
+};
+
 /// Per-scan execution knobs. Default-constructed options run the scan
 /// serially on the calling thread.
 struct ScanOptions {
@@ -255,12 +269,70 @@ class ScanDriver {
     });
   }
 
+  /// Blockwise sibling of Fold: `block_fn(Acc&, const ScanBlock&)` runs
+  /// once per 1024-row block over plain value arrays. Version handling is
+  /// inverted relative to Fold: instead of specializing the *row accessor*
+  /// per block kind, versioned blocks are resolved into per-participant
+  /// scratch before the callback runs, so the callback can use tight
+  /// (vectorizable) column-at-a-time loops unconditionally. This is the
+  /// substrate of the query layer's compiled kernels (src/query/). The
+  /// same seqlock protocol applies: a block that raced a commit is redone
+  /// from fully resolved data and the callback's partial Acc is discarded,
+  /// so block_fn must be side-effect free apart from its Acc.
+  template <typename Acc, typename BlockFn, typename MergeFn>
+  void FoldBlockwise(Acc* total, BlockFn&& block_fn, MergeFn&& merge,
+                     ScanStats* stats = nullptr,
+                     const ScanOptions& options = ScanOptions()) const {
+    const size_t num_blocks =
+        (num_rows_ + mvcc::kRowsPerBlock - 1) / mvcc::kRowsPerBlock;
+    const size_t morsel_blocks = std::max<size_t>(1, options.morsel_blocks);
+    const size_t num_morsels =
+        (num_blocks + morsel_blocks - 1) / morsel_blocks;
+    size_t parallelism =
+        options.pool != nullptr ? std::max<size_t>(1, options.max_threads) : 1;
+    parallelism = std::min(parallelism, num_morsels);
+
+    if (parallelism <= 1) {
+      BlockScratch scratch(readers_.size());
+      FoldBlocksStaged(0, num_blocks, total, block_fn, merge, stats,
+                       &scratch, options);
+      return;
+    }
+
+    std::atomic<size_t> next_morsel{0};
+    std::mutex merge_mutex;
+    options.pool->ParallelRun(parallelism, [&](size_t /*slot*/) {
+      Acc local{};
+      ScanStats local_stats;
+      BlockScratch scratch(readers_.size());
+      bool worked = false;
+      for (;;) {
+        const size_t morsel =
+            next_morsel.fetch_add(1, std::memory_order_relaxed);
+        const size_t block_begin = morsel * morsel_blocks;
+        if (block_begin >= num_blocks) break;
+        FoldBlocksStaged(block_begin,
+                         std::min(block_begin + morsel_blocks, num_blocks),
+                         &local, block_fn, merge, &local_stats, &scratch,
+                         options);
+        worked = true;
+      }
+      if (!worked) return;
+      std::lock_guard<std::mutex> guard(merge_mutex);
+      merge(*total, std::move(local));
+      if (stats != nullptr) stats->Merge(local_stats);
+    });
+  }
+
  private:
   enum class BlockMode { kTight, kHinted, kSafe };
 
   /// Per-participant classification scratch: seqlock counters and hint
   /// ranges for the block being scanned (absolute row ids). Stack-local to
-  /// each Fold participant, so concurrent scans never share state.
+  /// each Fold participant, so concurrent scans never share state. The
+  /// stage buffer (FoldBlockwise only) holds resolved values of versioned
+  /// blocks, one kRowsPerBlock span per reader, and is allocated lazily —
+  /// scans that only meet version-free blocks never touch it.
   struct BlockScratch {
     explicit BlockScratch(size_t num_readers)
         : seqs(num_readers),
@@ -269,6 +341,8 @@ class ScanDriver {
     std::vector<uint64_t> seqs;
     std::vector<size_t> hint_first;
     std::vector<size_t> hint_last;
+    std::vector<uint64_t> stage;
+    std::vector<const uint64_t*> block_cols;
   };
 
   struct Classification {
@@ -369,6 +443,84 @@ class ScanDriver {
       FoldSafe(begin, end, &local, row_fn);
       merge(*acc, std::move(local));
       if (stats != nullptr) stats->resolved_rows += end - begin;
+    }
+  }
+
+  /// Resolves reader `i`'s rows [begin, end) into stage memory for a
+  /// hinted block: raw copies outside the reader's versioned range, chain
+  /// resolution inside. Returns the span the ScanBlock should expose.
+  const uint64_t* StageHinted(size_t i, size_t begin, size_t end,
+                              const BlockScratch& scratch,
+                              uint64_t* stage) const;
+
+  /// Resolves reader `i`'s rows [begin, end) into stage memory through the
+  /// always-correct per-row path (safe blocks).
+  const uint64_t* StageSafe(size_t i, size_t begin, size_t end,
+                            uint64_t* stage) const;
+
+  /// Blockwise analogue of FoldBlocks: classify, expose raw spans for
+  /// version-free blocks and staged (resolved) spans otherwise, validate
+  /// via seqlock, redo from safe staging on instability.
+  template <typename Acc, typename BlockFn, typename MergeFn>
+  void FoldBlocksStaged(size_t block_begin, size_t block_end, Acc* acc,
+                        BlockFn& block_fn, MergeFn& merge, ScanStats* stats,
+                        BlockScratch* scratch,
+                        const ScanOptions& options) const {
+    const size_t num_readers = readers_.size();
+    scratch->block_cols.resize(num_readers);
+    for (size_t block = block_begin; block < block_end; ++block) {
+      const size_t begin = block * mvcc::kRowsPerBlock;
+      const size_t end = std::min(begin + mvcc::kRowsPerBlock, num_rows_);
+      const Classification cls = ClassifyBlock(block, scratch);
+      if (options.on_block_classified) options.on_block_classified(block);
+
+      if (cls.mode != BlockMode::kSafe) {
+        if (cls.mode == BlockMode::kTight) {
+          for (size_t i = 0; i < num_readers; ++i) {
+            scratch->block_cols[i] = raw_bases_[i] + begin;
+          }
+        } else {
+          EnsureStage(scratch);
+          for (size_t i = 0; i < num_readers; ++i) {
+            scratch->block_cols[i] = StageHinted(
+                i, begin, end, *scratch,
+                scratch->stage.data() + i * mvcc::kRowsPerBlock);
+          }
+        }
+        Acc local{};
+        block_fn(local,
+                 ScanBlock{scratch->block_cols.data(), begin, end - begin});
+        if (BlockStable(block, scratch->seqs)) {
+          merge(*acc, std::move(local));
+          if (stats != nullptr) {
+            if (cls.mode == BlockMode::kTight) {
+              stats->tight_rows += end - begin;
+            } else {
+              stats->hinted_rows += end - begin;
+            }
+          }
+          continue;
+        }
+        if (stats != nullptr) ++stats->seqlock_retries;
+        // Discard `local`, redo the block from fully resolved staging.
+      }
+
+      EnsureStage(scratch);
+      for (size_t i = 0; i < num_readers; ++i) {
+        scratch->block_cols[i] = StageSafe(
+            i, begin, end, scratch->stage.data() + i * mvcc::kRowsPerBlock);
+      }
+      Acc local{};
+      block_fn(local,
+               ScanBlock{scratch->block_cols.data(), begin, end - begin});
+      merge(*acc, std::move(local));
+      if (stats != nullptr) stats->resolved_rows += end - begin;
+    }
+  }
+
+  void EnsureStage(BlockScratch* scratch) const {
+    if (scratch->stage.empty()) {
+      scratch->stage.resize(readers_.size() * mvcc::kRowsPerBlock);
     }
   }
 

@@ -53,9 +53,18 @@ class SnapshotHandle {
   mvcc::Timestamp epoch_ts() const { return epoch_->epoch_ts(); }
 
   /// Snapshot of `column`; CHECK-fails if the column was not part of the
-  /// Acquire call (programming error in the query's column set).
+  /// Acquire call. This is the internal-invariant path: engine code that
+  /// *inferred* the column set (Database::Run) calls it. Callers handing
+  /// in user-provided column sets should use Find and surface a Status
+  /// (see OlapContext::TryReader).
   const storage::ColumnSnapshot& GetColumn(
       const storage::Column* column) const;
+
+  /// Snapshot of `column`, or nullptr when the column was not part of the
+  /// Acquire call — the recoverable sibling of GetColumn.
+  const storage::ColumnSnapshot* Find(const storage::Column* column) const {
+    return epoch_->Find(column);
+  }
 
  private:
   friend class SnapshotManager;

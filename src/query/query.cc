@@ -1,0 +1,500 @@
+#include "query/query.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace anker::query {
+
+Params& Params::SetInt(const std::string& name, int64_t value) {
+  values_[name] = Value{ExprType::kInt64, storage::EncodeInt64(value), "",
+                        false};
+  return *this;
+}
+Params& Params::SetDouble(const std::string& name, double value) {
+  values_[name] = Value{ExprType::kDouble, storage::EncodeDouble(value), "",
+                        false};
+  return *this;
+}
+Params& Params::SetDate(const std::string& name, int64_t days) {
+  values_[name] = Value{ExprType::kDate, storage::EncodeDate(days), "",
+                        false};
+  return *this;
+}
+Params& Params::SetDictCode(const std::string& name, uint32_t code) {
+  values_[name] = Value{ExprType::kDict, storage::EncodeDict(code), "",
+                        false};
+  return *this;
+}
+Params& Params::SetString(const std::string& name, std::string text) {
+  values_[name] = Value{ExprType::kDict, 0, std::move(text), true};
+  return *this;
+}
+
+const Params::Value* Params::Find(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+Agg Sum(Expr expr) { return Agg(AggKind::kSum, std::move(expr)); }
+Agg Count() { return Agg(AggKind::kCount, Expr()); }
+Agg Avg(Expr expr) { return Agg(AggKind::kAvg, std::move(expr)); }
+Agg Min(Expr expr) { return Agg(AggKind::kMin, std::move(expr)); }
+Agg Max(Expr expr) { return Agg(AggKind::kMax, std::move(expr)); }
+
+double QueryResult::Value(const std::string& name) const {
+  ANKER_CHECK_MSG(!rows.empty(), "QueryResult::Value on empty result");
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return rows[0].values[i];
+  }
+  ANKER_CHECK_MSG(false, ("unknown aggregate '" + name + "'").c_str());
+  return 0;
+}
+
+QueryBuilder Query::On(storage::Table* table) { return QueryBuilder(table); }
+
+QueryBuilder& QueryBuilder::Filter(Expr predicate) {
+  filter_ = filter_.valid() ? (std::move(filter_) && std::move(predicate))
+                            : std::move(predicate);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Aggregate(std::vector<Agg> aggs) {
+  for (Agg& agg : aggs) aggs_.push_back(std::move(agg));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::GroupBy(std::vector<std::string> columns) {
+  for (std::string& name : columns) group_by_.push_back(std::move(name));
+  return *this;
+}
+
+namespace {
+
+constexpr size_t kMaxTemps = 12;
+constexpr uint32_t kMaxGroups = 1024;
+
+uint32_t BitsFor(size_t domain) {
+  uint32_t bits = 1;
+  while ((size_t{1} << bits) < domain) ++bits;
+  return bits;
+}
+
+/// Flattens a multiplication chain into its factors.
+void MulFactors(const ExprNode* node, std::vector<const ExprNode*>* out) {
+  if (node->kind == ExprKind::kMul) {
+    MulFactors(node->lhs.get(), out);
+    MulFactors(node->rhs.get(), out);
+    return;
+  }
+  out->push_back(node);
+}
+
+bool IsLiteralOne(const ExprNode* node) {
+  return node->kind == ExprKind::kLiteral && !node->is_string &&
+         node->type == ExprType::kDouble &&
+         storage::DecodeDouble(node->raw) == 1.0;
+}
+
+bool IsDoubleCol(const ExprNode* node, const ColumnSet& cols) {
+  return node->kind == ExprKind::kColumn &&
+         cols.table()->HasColumn(node->name) &&
+         cols.table()->GetColumn(node->name)->type() ==
+             storage::ValueType::kDouble;
+}
+
+/// Classifies one multiplication factor for fused-form matching.
+enum class FactorKind { kCol, kOneMinusCol, kOnePlusCol, kOther };
+
+FactorKind ClassifyFactor(const ExprNode* node, const ColumnSet& cols,
+                          const ExprNode** col_out) {
+  if (IsDoubleCol(node, cols)) {
+    *col_out = node;
+    return FactorKind::kCol;
+  }
+  if (node->kind == ExprKind::kSub && IsLiteralOne(node->lhs.get()) &&
+      IsDoubleCol(node->rhs.get(), cols)) {
+    *col_out = node->rhs.get();
+    return FactorKind::kOneMinusCol;
+  }
+  if (node->kind == ExprKind::kAdd) {
+    if (IsLiteralOne(node->lhs.get()) &&
+        IsDoubleCol(node->rhs.get(), cols)) {
+      *col_out = node->rhs.get();
+      return FactorKind::kOnePlusCol;
+    }
+    if (IsLiteralOne(node->rhs.get()) &&
+        IsDoubleCol(node->lhs.get(), cols)) {
+      *col_out = node->lhs.get();
+      return FactorKind::kOnePlusCol;
+    }
+  }
+  return FactorKind::kOther;
+}
+
+/// Tries to match an aggregate input expression onto the fused form menu
+/// (double columns only — the kernels read raw slots as doubles).
+/// Returns kExpr when the shape is outside the menu.
+AggForm MatchForm(AggKind kind, const ExprNode* node, ColumnSet* cols,
+                  uint16_t* a, uint16_t* b, uint16_t* c) {
+  auto use = [&](const ExprNode* col_node, uint16_t* out) {
+    auto index = cols->Use(col_node->name);
+    ANKER_CHECK(index.ok());  // Registered during type checking.
+    *out = index.value();
+  };
+  if (kind == AggKind::kMin || kind == AggKind::kMax) {
+    if (IsDoubleCol(node, *cols)) {
+      use(node, a);
+      return kind == AggKind::kMin ? AggForm::kMin : AggForm::kMax;
+    }
+    return AggForm::kExpr;
+  }
+  // Sum / Avg shapes.
+  std::vector<const ExprNode*> factors;
+  MulFactors(node, &factors);
+  const ExprNode* cols_found[3] = {nullptr, nullptr, nullptr};
+  if (factors.size() == 1) {
+    const ExprNode* col = nullptr;
+    if (ClassifyFactor(factors[0], *cols, &col) == FactorKind::kCol) {
+      use(col, a);
+      return AggForm::kSum;
+    }
+    return AggForm::kExpr;
+  }
+  if (factors.size() == 2) {
+    const ExprNode* c0 = nullptr;
+    const ExprNode* c1 = nullptr;
+    const FactorKind k0 = ClassifyFactor(factors[0], *cols, &c0);
+    const FactorKind k1 = ClassifyFactor(factors[1], *cols, &c1);
+    if (k0 == FactorKind::kCol && k1 == FactorKind::kCol) {
+      use(c0, a);
+      use(c1, b);
+      return AggForm::kSumMul;
+    }
+    if (k0 == FactorKind::kCol && k1 == FactorKind::kOneMinusCol) {
+      use(c0, a);
+      use(c1, b);
+      return AggForm::kSumOneMinusMul;
+    }
+    if (k0 == FactorKind::kOneMinusCol && k1 == FactorKind::kCol) {
+      use(c1, a);
+      use(c0, b);
+      return AggForm::kSumOneMinusMul;
+    }
+    return AggForm::kExpr;
+  }
+  if (factors.size() == 3) {
+    // a * (1 - b) * (1 + c), factors in evaluation order.
+    const FactorKind k0 = ClassifyFactor(factors[0], *cols, &cols_found[0]);
+    const FactorKind k1 = ClassifyFactor(factors[1], *cols, &cols_found[1]);
+    const FactorKind k2 = ClassifyFactor(factors[2], *cols, &cols_found[2]);
+    if (k0 == FactorKind::kCol && k1 == FactorKind::kOneMinusCol &&
+        k2 == FactorKind::kOnePlusCol) {
+      use(cols_found[0], a);
+      use(cols_found[1], b);
+      use(cols_found[2], c);
+      return AggForm::kSumChargeMul;
+    }
+    return AggForm::kExpr;
+  }
+  return AggForm::kExpr;
+}
+
+/// Compiles an expression into the vectorized temp program with
+/// value-numbering CSE. Returns the temp index holding the (double)
+/// result.
+class VecCompiler {
+ public:
+  VecCompiler(CompiledQuery* plan, ColumnSet* cols)
+      : plan_(plan), cols_(cols) {}
+
+  Result<int> Compile(const std::shared_ptr<const ExprNode>& node) {
+    const std::string sig = Signature(node.get());
+    auto it = memo_.find(sig);
+    if (it != memo_.end()) return it->second;
+
+    VecInst inst;
+    if (IsConst(node.get())) {
+      inst.op = VecOp::kConst;
+      inst.cexpr = node;
+    } else if (node->kind == ExprKind::kColumn) {
+      auto col = cols_->Use(node->name);
+      if (!col.ok()) return col.status();
+      inst.col = col.value();
+      switch (cols_->columns()[col.value()]->type()) {
+        case storage::ValueType::kDouble:
+          inst.op = VecOp::kLoadF64;
+          break;
+        case storage::ValueType::kDict32:
+          inst.op = VecOp::kLoadDict;
+          break;
+        default:
+          inst.op = VecOp::kLoadI64;
+          break;
+      }
+    } else if (node->kind == ExprKind::kAdd ||
+               node->kind == ExprKind::kSub ||
+               node->kind == ExprKind::kMul) {
+      const bool lconst = IsConst(node->lhs.get());
+      const bool rconst = IsConst(node->rhs.get());
+      if (lconst && !rconst) {
+        auto temp = Compile(node->rhs);
+        if (!temp.ok()) return temp;
+        inst.a = static_cast<uint8_t>(temp.value());
+        inst.cexpr = node->lhs;
+        switch (node->kind) {
+          case ExprKind::kAdd: inst.op = VecOp::kAddC; break;
+          case ExprKind::kSub: inst.op = VecOp::kRsubC; break;
+          default: inst.op = VecOp::kMulC; break;
+        }
+      } else if (rconst && !lconst) {
+        auto temp = Compile(node->lhs);
+        if (!temp.ok()) return temp;
+        inst.a = static_cast<uint8_t>(temp.value());
+        inst.cexpr = node->rhs;
+        switch (node->kind) {
+          case ExprKind::kAdd: inst.op = VecOp::kAddC; break;
+          case ExprKind::kSub: inst.op = VecOp::kSubC; break;
+          default: inst.op = VecOp::kMulC; break;
+        }
+      } else {
+        auto lhs = Compile(node->lhs);
+        if (!lhs.ok()) return lhs;
+        auto rhs = Compile(node->rhs);
+        if (!rhs.ok()) return rhs;
+        inst.a = static_cast<uint8_t>(lhs.value());
+        inst.b = static_cast<uint8_t>(rhs.value());
+        switch (node->kind) {
+          case ExprKind::kAdd: inst.op = VecOp::kAdd; break;
+          case ExprKind::kSub: inst.op = VecOp::kSub; break;
+          default: inst.op = VecOp::kMul; break;
+        }
+      }
+    } else {
+      return Status::NotSupported(
+          "comparisons inside aggregate expressions are not supported");
+    }
+
+    if (plan_->num_temps >= kMaxTemps) {
+      return Status::NotSupported("aggregate expressions need more than " +
+                                  std::to_string(kMaxTemps) +
+                                  " temporaries");
+    }
+    inst.dst = static_cast<uint8_t>(plan_->num_temps++);
+    plan_->prog.push_back(inst);
+    memo_[sig] = inst.dst;
+    return static_cast<int>(inst.dst);
+  }
+
+ private:
+  static bool IsConst(const ExprNode* node) {
+    if (node == nullptr) return true;
+    if (node->kind == ExprKind::kColumn) return false;
+    return IsConst(node->lhs.get()) && IsConst(node->rhs.get());
+  }
+
+  std::string Signature(const ExprNode* node) {
+    if (node == nullptr) return "_";
+    std::string sig(1, static_cast<char>('A' + static_cast<int>(node->kind)));
+    switch (node->kind) {
+      case ExprKind::kColumn:
+        return sig + node->name;
+      case ExprKind::kLiteral:
+        return sig + std::to_string(node->raw);
+      case ExprKind::kParam:
+        return sig + node->name;
+      default:
+        return sig + "(" + Signature(node->lhs.get()) + "," +
+               Signature(node->rhs.get()) + ")";
+    }
+  }
+
+  CompiledQuery* plan_;
+  ColumnSet* cols_;
+  std::map<std::string, int> memo_;
+};
+
+}  // namespace
+
+Result<Query> QueryBuilder::Build() const {
+  if (table_ == nullptr) {
+    return Status::InvalidArgument("Query::On requires a table");
+  }
+  if (aggs_.empty()) {
+    return Status::InvalidArgument("a query needs at least one aggregate");
+  }
+
+  auto plan = std::make_shared<CompiledQuery>();
+  plan->table = table_;
+  ColumnSet cols(table_);
+
+  // ---- filter: type check, then split into simple + generic terms ----
+  if (filter_.valid()) {
+    auto type = TypeCheck(filter_, *table_);
+    if (!type.ok()) return type.status();
+    if (type.value() != ExprType::kBool) {
+      return Status::InvalidArgument(
+          std::string("filter must be boolean, got ") +
+          ExprTypeName(type.value()));
+    }
+    ANKER_RETURN_IF_ERROR(
+        LowerFilter(filter_, &cols, &plan->preds, &plan->generic_preds));
+  }
+
+  // ---- group key: packed small-domain dictionary codes ----
+  uint32_t total_bits = 0;
+  for (const std::string& name : group_by_) {
+    auto index = cols.Use(name);
+    if (!index.ok()) return index.status();
+    storage::Column* column = table_->GetColumn(name);
+    if (column->type() != storage::ValueType::kDict32) {
+      return Status::NotSupported(
+          "GroupBy supports dictionary-encoded columns, '" + name +
+          "' is " + ExprTypeName(ExprTypeFor(column->type())));
+    }
+    const storage::Dictionary* dict = table_->GetDictionary(name);
+    const uint32_t bits = BitsFor(std::max<size_t>(dict->size(), 2));
+    plan->key.cols.push_back(index.value());
+    plan->key.bits.push_back(bits);
+    plan->key_names.push_back(name);
+    total_bits += bits;
+    if (total_bits > 31 || (uint32_t{1} << total_bits) > kMaxGroups) {
+      return Status::NotSupported(
+          "GroupBy key domain exceeds " + std::to_string(kMaxGroups) +
+          " packed groups");
+    }
+  }
+  plan->key.num_groups = plan->key.grouped() ? (uint32_t{1} << total_bits)
+                                             : 1;
+
+  // ---- aggregates: type check, fused-form matching, temp program ----
+  VecCompiler compiler(plan.get(), &cols);
+  int declared_count_slot = -1;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const Agg& agg = aggs_[i];
+    AggSpec spec;
+    spec.kind = agg.kind();
+    spec.name = agg.name().empty() ? "agg" + std::to_string(i) : agg.name();
+    spec.slot = static_cast<int>(i);
+    for (size_t j = 0; j < i; ++j) {
+      if (plan->aggs[j].name == spec.name) {
+        return Status::InvalidArgument("duplicate aggregate name '" +
+                                       spec.name + "'");
+      }
+    }
+    if (agg.kind() == AggKind::kCount) {
+      spec.form = AggForm::kCount;
+      if (declared_count_slot < 0) declared_count_slot = spec.slot;
+    } else {
+      if (!agg.expr().valid()) {
+        return Status::InvalidArgument("aggregate '" + spec.name +
+                                       "' needs an input expression");
+      }
+      auto type = TypeCheck(agg.expr(), *table_);
+      if (!type.ok()) return type.status();
+      const bool minmax =
+          agg.kind() == AggKind::kMin || agg.kind() == AggKind::kMax;
+      const bool ok_type = type.value() == ExprType::kInt64 ||
+                           type.value() == ExprType::kDouble ||
+                           (minmax && type.value() == ExprType::kDate);
+      if (!ok_type) {
+        return Status::InvalidArgument(
+            std::string("cannot aggregate over ") +
+            ExprTypeName(type.value()) + " (aggregate '" + spec.name +
+            "')");
+      }
+      spec.expr = agg.expr();
+      spec.form = MatchForm(agg.kind(), agg.expr().node(), &cols, &spec.a,
+                            &spec.b, &spec.c);
+      if (spec.form == AggForm::kExpr) {
+        auto temp = compiler.Compile(agg.expr().shared());
+        if (!temp.ok()) return temp.status();
+        spec.temp = temp.value();
+      }
+    }
+    plan->aggs.push_back(std::move(spec));
+  }
+
+  // Grouped queries (group presence) and Avg (the divisor) need a row
+  // count; reuse a declared Count or append a hidden one.
+  bool needs_count = plan->key.grouped();
+  for (const AggSpec& spec : plan->aggs) {
+    if (spec.kind == AggKind::kAvg) needs_count = true;
+  }
+  plan->count_slot = declared_count_slot;
+  if (needs_count && plan->count_slot < 0) {
+    AggSpec hidden;
+    hidden.kind = AggKind::kCount;
+    hidden.form = AggForm::kCount;
+    hidden.name = "__count";
+    hidden.hidden = true;
+    hidden.slot = static_cast<int>(plan->aggs.size());
+    plan->count_slot = hidden.slot;
+    plan->aggs.push_back(std::move(hidden));
+  }
+
+  plan->num_slots = plan->aggs.size();
+  plan->total_slots = plan->num_slots * plan->key.num_groups;
+  if (plan->total_slots > kMaxTotalSlots) {
+    return Status::NotSupported(
+        "groups x aggregates exceeds the accumulator budget (" +
+        std::to_string(plan->total_slots) + " > " +
+        std::to_string(kMaxTotalSlots) + " slots)");
+  }
+
+  plan->columns = cols.columns();
+  plan->column_types = cols.types();
+
+  // ---- strategy selection ----
+  if (!plan->key.grouped()) {
+    plan->strategy = ExecStrategy::kVectorized;
+  } else {
+    // Fused kernels carry a fixed-size local predicate array; busier
+    // filters take the generic grouped path instead of being truncated.
+    bool fusable = plan->generic_preds.empty() &&
+                   plan->preds.size() <= kMaxFusedSimplePreds &&
+                   (plan->key.cols.size() == 1 || plan->key.cols.size() == 2);
+    std::vector<AggForm> forms;
+    for (const AggSpec& spec : plan->aggs) {
+      forms.push_back(spec.form);
+      if (spec.form == AggForm::kExpr) fusable = false;
+    }
+    if (fusable) {
+      // Operand-sharing pattern: flat operand position -> first
+      // occurrence of that column (the registry may carry a kernel with
+      // exactly this sharing baked in; see fused.cc).
+      std::vector<uint16_t> flat_cols;
+      std::vector<uint16_t> pattern;
+      std::vector<uint16_t> distinct;
+      for (const AggSpec& spec : plan->aggs) {
+        const size_t arity = FusedArity(spec.form);
+        const uint16_t operands[3] = {spec.a, spec.b, spec.c};
+        for (size_t o = 0; o < arity; ++o) {
+          flat_cols.push_back(operands[o]);
+          uint16_t slot = 0xffff;
+          for (size_t d = 0; d < distinct.size(); ++d) {
+            if (distinct[d] == operands[o]) {
+              slot = static_cast<uint16_t>(d);
+              break;
+            }
+          }
+          if (slot == 0xffff) {
+            slot = static_cast<uint16_t>(distinct.size());
+            distinct.push_back(operands[o]);
+          }
+          pattern.push_back(slot);
+        }
+      }
+      const FusedLookup lookup =
+          FindFusedKernel(forms, plan->key.cols.size(), pattern);
+      plan->fused = lookup.set;
+      plan->fused_vals = lookup.deduplicated ? distinct : flat_cols;
+    }
+    plan->strategy = plan->fused != nullptr ? ExecStrategy::kFusedGrouped
+                                            : ExecStrategy::kGroupedVec;
+  }
+
+  return Query(std::move(plan));
+}
+
+}  // namespace anker::query

@@ -1,0 +1,170 @@
+#ifndef ANKER_QUERY_QUERY_H_
+#define ANKER_QUERY_QUERY_H_
+
+// The composable query surface of the engine: typed expression trees
+// (query/expr.h) assembled into declarative scan pipelines that compile
+// onto the engine's block-specialized scan kernels. A workload becomes a
+// ~10-line definition instead of a hand-rolled fold:
+//
+//   auto q = Query::On(lineitem)
+//                .Filter(Col("l_shipdate") <= Param("cutoff", kDate))
+//                .Aggregate({Sum(Col("l_quantity")).As("sum_qty"),
+//                            Count().As("n")})
+//                .GroupBy({"l_returnflag", "l_linestatus"})
+//                .Build();
+//   auto result = db.Run(q.value(), Params().SetDate("cutoff", 2436));
+//
+// See docs/QUERY_API.md for the full builder reference and the lowering
+// rules onto the fused / vectorized kernels.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "query/expr.h"
+#include "query/plan.h"
+
+namespace anker::query {
+
+/// Per-execution parameter bindings for Param() placeholders. Chainable:
+///   Params().SetDate("start", 800).SetDouble("disc", 0.05)
+class Params {
+ public:
+  Params& SetInt(const std::string& name, int64_t value);
+  Params& SetDouble(const std::string& name, double value);
+  Params& SetDate(const std::string& name, int64_t days);
+  Params& SetDictCode(const std::string& name, uint32_t code);
+  /// Dictionary parameter by text; resolved through the compared column's
+  /// dictionary when the predicate is bound.
+  Params& SetString(const std::string& name, std::string text);
+
+  struct Value {
+    ExprType type = ExprType::kInt64;
+    uint64_t raw = 0;
+    std::string text;
+    bool is_string = false;
+  };
+
+  const Value* Find(const std::string& name) const;
+
+ private:
+  std::map<std::string, Value> values_;
+};
+
+/// One aggregate of a query's output, built by the factories below.
+class Agg {
+ public:
+  Agg() = default;
+  Agg(AggKind kind, Expr expr) : kind_(kind), expr_(std::move(expr)) {}
+
+  /// Names the output slot (defaults to agg<i> by position).
+  Agg As(std::string name) const {
+    Agg copy = *this;
+    copy.name_ = std::move(name);
+    return copy;
+  }
+
+  AggKind kind() const { return kind_; }
+  const Expr& expr() const { return expr_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  AggKind kind_ = AggKind::kCount;
+  Expr expr_;
+  std::string name_;
+};
+
+Agg Sum(Expr expr);
+Agg Count();
+Agg Avg(Expr expr);
+Agg Min(Expr expr);
+Agg Max(Expr expr);
+
+/// Result of one query execution: named aggregate slots per group row,
+/// plus the scan statistics of the underlying fold. Ungrouped queries
+/// yield exactly one row with empty key codes; grouped queries yield one
+/// row per non-empty group, ordered by packed key.
+struct QueryResult {
+  struct Row {
+    std::vector<uint32_t> keys;   ///< Dictionary codes of the group key.
+    std::vector<double> values;   ///< One per declared aggregate.
+  };
+
+  std::vector<std::string> columns;    ///< Aggregate names (declared order).
+  std::vector<std::string> key_names;  ///< Group-by column names.
+  std::vector<Row> rows;
+  uint64_t rows_scanned = 0;
+  engine::ScanStats scan;
+
+  /// Single-row convenience: value of the named aggregate in rows[0].
+  /// CHECK-fails when the result is empty or the name is unknown.
+  double Value(const std::string& name) const;
+};
+
+/// An immutable, compiled query plan. Cheap to copy (shared state),
+/// reusable across executions and threads; parameters vary per Run.
+class Query {
+ public:
+  Query() = default;
+
+  /// Entry point of the builder chain.
+  static class QueryBuilder On(storage::Table* table);
+
+  bool valid() const { return plan_ != nullptr; }
+  storage::Table* table() const { return plan_->table; }
+  /// Every column the query touches — the engine materializes snapshots
+  /// for exactly this set (fine-granular, per-column snapshotting).
+  const std::vector<storage::Column*>& columns() const {
+    return plan_->columns;
+  }
+  ExecStrategy strategy() const { return plan_->strategy; }
+
+  const CompiledQuery& plan() const { return *plan_; }
+
+ private:
+  friend class QueryBuilder;
+  explicit Query(std::shared_ptr<const CompiledQuery> plan)
+      : plan_(std::move(plan)) {}
+  std::shared_ptr<const CompiledQuery> plan_;
+};
+
+/// Collects the declarative pieces; Build() type-checks against the
+/// table's schema and lowers onto a physical strategy.
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(storage::Table* table) : table_(table) {}
+
+  /// Adds a filter; multiple calls conjoin.
+  QueryBuilder& Filter(Expr predicate);
+  /// Declares the aggregate outputs (required; appends).
+  QueryBuilder& Aggregate(std::vector<Agg> aggs);
+  /// Groups by dictionary-encoded columns with small code domains; the
+  /// packed key domain (product of rounded-up code domains) must stay
+  /// within 1024 groups.
+  QueryBuilder& GroupBy(std::vector<std::string> columns);
+
+  /// Type-checks and compiles. Errors: NotFound (unknown column),
+  /// InvalidArgument (type errors, non-boolean filter, duplicate names),
+  /// NotSupported (group domain too large, too many columns/temps).
+  Result<Query> Build() const;
+
+ private:
+  storage::Table* table_;
+  Expr filter_;
+  std::vector<Agg> aggs_;
+  std::vector<std::string> group_by_;
+};
+
+/// Executes a compiled query inside an existing OLAP transaction whose
+/// column set covers query.columns() (returns InvalidArgument otherwise).
+/// Most callers want Database::Run, which manages the transaction and
+/// infers the column set.
+Status Execute(const Query& query, const engine::OlapContext& ctx,
+               const Params& params, QueryResult* result);
+
+}  // namespace anker::query
+
+#endif  // ANKER_QUERY_QUERY_H_

@@ -1,0 +1,37 @@
+// Database::Run — the engine's query-shaped OLAP entry points. Lives in
+// the query layer (the engine header only forward-declares the query
+// types) so the engine target carries no compile-time dependency on the
+// query surface.
+#include "query/query.h"
+#include "query/semi_join.h"
+
+namespace anker::engine {
+
+namespace {
+
+template <typename QueryT>
+Result<query::QueryResult> RunImpl(Database* db, const QueryT& q,
+                                   const query::Params& params) {
+  auto ctx = db->BeginOlap(q.columns());
+  if (!ctx.ok()) return ctx.status();
+  query::QueryResult result;
+  const Status executed = query::Execute(q, *ctx.value(), params, &result);
+  const Status finished = db->FinishOlap(ctx.TakeValue());
+  if (!executed.ok()) return executed;
+  if (!finished.ok()) return finished;
+  return result;
+}
+
+}  // namespace
+
+Result<query::QueryResult> Database::Run(const query::Query& q,
+                                         const query::Params& params) {
+  return RunImpl(this, q, params);
+}
+
+Result<query::QueryResult> Database::Run(const query::SemiJoinQuery& q,
+                                         const query::Params& params) {
+  return RunImpl(this, q, params);
+}
+
+}  // namespace anker::engine

@@ -1,0 +1,259 @@
+#include "query/semi_join.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "query/plan.h"
+
+namespace anker::query {
+
+struct CompiledSemiJoin {
+  SemiJoinSpec spec;
+  // Build side.
+  std::vector<storage::Column*> build_columns;
+  std::vector<SimplePred> build_preds;
+  std::vector<GenericPred> build_generic;
+  uint16_t build_key_col = 0;
+  // Probe side (its own column space).
+  std::vector<storage::Column*> probe_columns;
+  uint16_t probe_key_col = 0;
+  // Union, for BeginOlap.
+  std::vector<storage::Column*> all_columns;
+};
+
+const std::vector<storage::Column*>& SemiJoinQuery::columns() const {
+  return plan_->all_columns;
+}
+
+Result<SemiJoinQuery> SemiJoinQuery::Build(SemiJoinSpec spec) {
+  if (spec.build_table == nullptr || spec.probe_table == nullptr) {
+    return Status::InvalidArgument("semi join needs build and probe tables");
+  }
+  auto plan = std::make_shared<CompiledSemiJoin>();
+
+  // ---- build side ----
+  ColumnSet build_cols(spec.build_table);
+  auto build_key = build_cols.Use(spec.build_key);
+  if (!build_key.ok()) return build_key.status();
+  plan->build_key_col = build_key.value();
+  if (spec.build_table->GetColumn(spec.build_key)->type() !=
+      storage::ValueType::kInt64) {
+    return Status::InvalidArgument("build key '" + spec.build_key +
+                                   "' must be an int64 column");
+  }
+  if (spec.build_filter.valid()) {
+    auto type = TypeCheck(spec.build_filter, *spec.build_table);
+    if (!type.ok()) return type.status();
+    if (type.value() != ExprType::kBool) {
+      return Status::InvalidArgument("build filter must be boolean");
+    }
+    ANKER_RETURN_IF_ERROR(LowerFilter(spec.build_filter, &build_cols,
+                                      &plan->build_preds,
+                                      &plan->build_generic));
+  }
+  plan->build_columns = build_cols.columns();
+
+  // ---- probe side ----
+  ColumnSet probe_cols(spec.probe_table);
+  auto probe_key = probe_cols.Use(spec.probe_key);
+  if (!probe_key.ok()) return probe_key.status();
+  plan->probe_key_col = probe_key.value();
+  if (spec.probe_table->GetColumn(spec.probe_key)->type() !=
+      storage::ValueType::kInt64) {
+    return Status::InvalidArgument("probe key '" + spec.probe_key +
+                                   "' must be an int64 column");
+  }
+  for (const Expr* expr : {&spec.avg_value, &spec.agg_value}) {
+    if (!expr->valid()) {
+      return Status::InvalidArgument(
+          "semi join needs avg_value and agg_value expressions");
+    }
+    auto type = TypeCheck(*expr, *spec.probe_table);
+    if (!type.ok()) return type.status();
+    if (type.value() != ExprType::kInt64 &&
+        type.value() != ExprType::kDouble) {
+      return Status::InvalidArgument(
+          "avg_value / agg_value must be numeric");
+    }
+    ANKER_RETURN_IF_ERROR(RegisterExprColumns(*expr, &probe_cols));
+  }
+  if (!spec.guard_scale.valid() || !IsConstExpr(spec.guard_scale)) {
+    return Status::InvalidArgument(
+        "guard_scale must be a constant expression (literals/params)");
+  }
+  plan->probe_columns = probe_cols.columns();
+
+  plan->all_columns = plan->build_columns;
+  for (storage::Column* column : plan->probe_columns) {
+    plan->all_columns.push_back(column);
+  }
+  plan->spec = std::move(spec);
+  return SemiJoinQuery(std::move(plan));
+}
+
+namespace {
+
+struct KeyStats {
+  double sum = 0;
+  uint64_t count = 0;
+};
+
+}  // namespace
+
+Status Execute(const SemiJoinQuery& query, const engine::OlapContext& ctx,
+               const Params& params, QueryResult* result) {
+  if (!query.valid()) return Status::InvalidArgument("invalid semi join");
+  const CompiledSemiJoin& plan = query.plan();
+
+  // Bind everything up front.
+  std::vector<BoundPred> build_preds;
+  ANKER_RETURN_IF_ERROR(BindPredsFor(plan.build_preds, plan.build_columns,
+                                     plan.spec.build_table, params,
+                                     &build_preds));
+  std::vector<BoundScalar> build_generic;
+  for (const GenericPred& pred : plan.build_generic) {
+    auto bound = BindScalarFor(pred.expr, plan.build_columns,
+                               plan.spec.build_table, params);
+    if (!bound.ok()) return bound.status();
+    build_generic.push_back(bound.TakeValue());
+  }
+  auto avg_value = BindScalarFor(plan.spec.avg_value, plan.probe_columns,
+                                 plan.spec.probe_table, params);
+  if (!avg_value.ok()) return avg_value.status();
+  auto agg_value = BindScalarFor(plan.spec.agg_value, plan.probe_columns,
+                                 plan.spec.probe_table, params);
+  if (!agg_value.ok()) return agg_value.status();
+  auto scale = EvalConstExpr(plan.spec.guard_scale.node(), params);
+  if (!scale.ok()) return scale.status();
+  const double guard_scale =
+      scale.value().type == ExprType::kDouble
+          ? storage::DecodeDouble(scale.value().raw)
+          : static_cast<double>(storage::DecodeInt64(scale.value().raw));
+
+  // Readers for both sides out of the one OLAP context.
+  auto make_readers = [&](const std::vector<storage::Column*>& columns,
+                          std::vector<engine::ColumnReader>* readers)
+      -> Status {
+    readers->reserve(columns.size());
+    for (storage::Column* column : columns) {
+      auto reader = ctx.TryReader(column);
+      if (!reader.ok()) return reader.status();
+      readers->push_back(reader.value());
+    }
+    return Status::OK();
+  };
+  std::vector<engine::ColumnReader> build_readers;
+  ANKER_RETURN_IF_ERROR(make_readers(plan.build_columns, &build_readers));
+  std::vector<engine::ColumnReader> probe_readers;
+  ANKER_RETURN_IF_ERROR(make_readers(plan.probe_columns, &probe_readers));
+
+  std::vector<const engine::ColumnReader*> build_ptrs;
+  for (const engine::ColumnReader& reader : build_readers) {
+    build_ptrs.push_back(&reader);
+  }
+  std::vector<const engine::ColumnReader*> probe_ptrs;
+  for (const engine::ColumnReader& reader : probe_readers) {
+    probe_ptrs.push_back(&reader);
+  }
+  engine::ScanDriver build_driver(build_ptrs);
+  engine::ScanDriver probe_driver(probe_ptrs);
+  const engine::ScanOptions options = ctx.scan_options();
+
+  // ---- build pass: qualifying key set ----
+  struct BuildAcc {
+    std::unordered_set<int64_t> keys;
+  };
+  BuildAcc qualifying{};
+  const uint16_t key_col = plan.build_key_col;
+  build_driver.FoldBlockwise<BuildAcc>(
+      &qualifying,
+      [&](BuildAcc& acc, const engine::ScanBlock& block) {
+        for (size_t i = 0; i < block.rows; ++i) {
+          if (!PredsPass(build_preds.data(), build_preds.size(), block.cols,
+                         i)) {
+            continue;
+          }
+          bool pass = true;
+          for (const BoundScalar& pred : build_generic) {
+            if (!EvalScalarBool(pred, block.cols, i)) {
+              pass = false;
+              break;
+            }
+          }
+          if (!pass) continue;
+          acc.keys.insert(
+              storage::DecodeInt64(block.cols[key_col][i]));
+        }
+      },
+      [](BuildAcc& into, BuildAcc&& from) { into.keys.merge(from.keys); },
+      nullptr, options);
+
+  // ---- probe pass 1: per-key average of avg_value ----
+  struct Pass1Acc {
+    std::unordered_map<int64_t, KeyStats> stats;
+  };
+  Pass1Acc per_key{};
+  const uint16_t probe_key = plan.probe_key_col;
+  probe_driver.FoldBlockwise<Pass1Acc>(
+      &per_key,
+      [&](Pass1Acc& acc, const engine::ScanBlock& block) {
+        for (size_t i = 0; i < block.rows; ++i) {
+          const int64_t key =
+              storage::DecodeInt64(block.cols[probe_key][i]);
+          if (qualifying.keys.count(key) == 0) continue;
+          KeyStats& stats = acc.stats[key];
+          stats.sum += EvalScalarDouble(avg_value.value(), block.cols, i);
+          ++stats.count;
+        }
+      },
+      [](Pass1Acc& into, Pass1Acc&& from) {
+        for (auto& [key, stats] : from.stats) {
+          KeyStats& s = into.stats[key];
+          s.sum += stats.sum;
+          s.count += stats.count;
+        }
+      },
+      nullptr, options);
+
+  // ---- probe pass 2: guarded aggregation ----
+  struct Pass2Acc {
+    double total = 0;
+    uint64_t rows = 0;
+  };
+  Pass2Acc total{};
+  engine::ScanStats stats;
+  probe_driver.FoldBlockwise<Pass2Acc>(
+      &total,
+      [&](Pass2Acc& acc, const engine::ScanBlock& block) {
+        acc.rows += block.rows;
+        for (size_t i = 0; i < block.rows; ++i) {
+          const int64_t key =
+              storage::DecodeInt64(block.cols[probe_key][i]);
+          auto it = per_key.stats.find(key);
+          if (it == per_key.stats.end() || it->second.count == 0) continue;
+          const double avg =
+              it->second.sum / static_cast<double>(it->second.count);
+          if (EvalScalarDouble(avg_value.value(), block.cols, i) <
+              guard_scale * avg) {
+            acc.total += EvalScalarDouble(agg_value.value(), block.cols, i);
+          }
+        }
+      },
+      [](Pass2Acc& into, Pass2Acc&& from) {
+        into.total += from.total;
+        into.rows += from.rows;
+      },
+      &stats, options);
+
+  result->columns = {plan.spec.result_name};
+  result->key_names.clear();
+  result->rows.clear();
+  QueryResult::Row row;
+  row.values.push_back(total.total);
+  result->rows.push_back(std::move(row));
+  result->rows_scanned = total.rows;
+  result->scan = stats;
+  return Status::OK();
+}
+
+}  // namespace anker::query

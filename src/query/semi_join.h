@@ -1,0 +1,74 @@
+#ifndef ANKER_QUERY_SEMI_JOIN_H_
+#define ANKER_QUERY_SEMI_JOIN_H_
+
+// Two-pass aggregated semi join: the declarative form of TPC-H Q17's
+// access pattern ("small-quantity-order revenue"). A build-side scan
+// collects the qualifying join keys; probe pass 1 computes a per-key
+// average of `avg_value`; probe pass 2 sums `agg_value` over the rows
+// whose `avg_value` stays below `guard_scale` times that per-key average:
+//
+//   SemiJoinSpec spec;
+//   spec.build_table = part;
+//   spec.build_filter = Col("p_brand") == Param("brand", kDict) && ...;
+//   spec.build_key = "p_partkey";
+//   spec.probe_table = lineitem;
+//   spec.probe_key = "l_partkey";
+//   spec.avg_value = Col("l_quantity");
+//   spec.guard_scale = F64(0.2);
+//   spec.agg_value = Col("l_extendedprice");
+//
+// All three passes run inside one OLAP transaction (one snapshot), so the
+// build and probe sides observe the same point in time.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "query/query.h"
+
+namespace anker::query {
+
+struct SemiJoinSpec {
+  storage::Table* build_table = nullptr;
+  Expr build_filter;              ///< Optional; boolean over build columns.
+  std::string build_key;          ///< Int64 key column of the build side.
+  storage::Table* probe_table = nullptr;
+  std::string probe_key;          ///< Int64 key column of the probe side.
+  Expr avg_value;                 ///< Numeric, averaged per key (pass 1).
+  Expr guard_scale;               ///< Const expr: threshold multiplier.
+  Expr agg_value;                 ///< Numeric, summed when below guard.
+  std::string result_name = "value";
+};
+
+struct CompiledSemiJoin;
+
+/// Immutable compiled plan; run it with Database::Run or Execute below.
+class SemiJoinQuery {
+ public:
+  SemiJoinQuery() = default;
+
+  /// Type-checks both sides and compiles the passes.
+  static Result<SemiJoinQuery> Build(SemiJoinSpec spec);
+
+  bool valid() const { return plan_ != nullptr; }
+  /// Union of build- and probe-side columns (the OLAP column set).
+  const std::vector<storage::Column*>& columns() const;
+
+  const CompiledSemiJoin& plan() const { return *plan_; }
+
+ private:
+  explicit SemiJoinQuery(std::shared_ptr<const CompiledSemiJoin> plan)
+      : plan_(std::move(plan)) {}
+  std::shared_ptr<const CompiledSemiJoin> plan_;
+};
+
+/// Executes inside an existing OLAP transaction covering columns().
+/// The result carries one row with the summed aggregate under
+/// spec.result_name; rows_scanned counts the final probe pass.
+Status Execute(const SemiJoinQuery& query, const engine::OlapContext& ctx,
+               const Params& params, QueryResult* result);
+
+}  // namespace anker::query
+
+#endif  // ANKER_QUERY_SEMI_JOIN_H_

@@ -1,18 +1,18 @@
 #include "tpch/queries.h"
 
-#include <unordered_map>
-#include <unordered_set>
-
 #include "tpch/schema.h"
 
 namespace anker::tpch {
 
-using engine::ColumnReader;
-using engine::ScanDriver;
-using storage::DecodeDate;
-using storage::DecodeDict;
-using storage::DecodeDouble;
-using storage::DecodeInt64;
+using query::Avg;
+using query::Col;
+using query::Count;
+using query::Expr;
+using query::ExprType;
+using query::F64;
+using query::I64;
+using query::Param;
+using query::Sum;
 
 const char* OlapKindName(OlapKind kind) {
   switch (kind) {
@@ -34,51 +34,141 @@ const char* OlapKindName(OlapKind kind) {
   return "unknown";
 }
 
+namespace {
+
+query::Query MustBuild(Result<query::Query> built, const char* what) {
+  ANKER_CHECK_MSG(built.ok(), (std::string(what) + ": " +
+                               built.status().ToString()).c_str());
+  return built.TakeValue();
+}
+
+/// Full-table sum over one column (the paper's table-scan transactions).
+query::Query ScanQuery(storage::Table* table, const char* column) {
+  return MustBuild(query::Query::On(table)
+                       .Aggregate({Sum(Col(column)).As("sum")})
+                       .Build(),
+                   "table scan");
+}
+
+}  // namespace
+
 TpchQueries::TpchQueries(engine::Database* db, const TpchInstance& instance)
     : db_(db), instance_(instance) {
+  storage::Table* li = instance_.lineitem;
+  storage::Table* orders = instance_.orders;
+  storage::Table* part = instance_.part;
+
+  // ---- Q1: pricing summary report --------------------------------------
+  // select l_returnflag, l_linestatus, sum(qty), sum(extprice),
+  //        sum(extprice*(1-disc)), sum(extprice*(1-disc)*(1+tax)),
+  //        sum(disc), count(*)
+  // from lineitem where l_shipdate <= '1998-12-01' - delta group by 1, 2.
+  const Expr price = Col("l_extendedprice");
+  const Expr disc = Col("l_discount");
+  q1_ = MustBuild(
+      query::Query::On(li)
+          .Filter(Col("l_shipdate") <= Param("cutoff", ExprType::kDate))
+          .Aggregate({Sum(Col("l_quantity")).As("sum_qty"),
+                      Sum(price).As("sum_base"),
+                      Sum(price * (F64(1.0) - disc)).As("sum_disc_price"),
+                      Sum(price * (F64(1.0) - disc) * (F64(1.0) + Col("l_tax")))
+                          .As("sum_charge"),
+                      Sum(disc).As("sum_discount"), Count().As("count")})
+          .GroupBy({"l_returnflag", "l_linestatus"})
+          .Build(),
+      "Q1");
+
+  // ---- Q4 (single-table form, per the paper): order priority checking --
+  // select o_orderpriority, count(*) from orders
+  // where o_orderdate in [d, d + 92 days) group by o_orderpriority.
+  q4_ = MustBuild(
+      query::Query::On(orders)
+          .Filter(Col("o_orderdate") >= Param("start", ExprType::kDate) &&
+                  Col("o_orderdate") <
+                      Param("start", ExprType::kDate) + I64(92))
+          .Aggregate({Count().As("order_count")})
+          .GroupBy({"o_orderpriority"})
+          .Build(),
+      "Q4");
+
+  // ---- Q6: forecasting revenue change ----------------------------------
+  // select sum(l_extendedprice * l_discount) from lineitem
+  // where l_shipdate in [d, d+1y), l_discount in [x-0.01, x+0.01],
+  //       l_quantity < q.
+  q6_ = MustBuild(
+      query::Query::On(li)
+          .Filter(Col("l_shipdate") >= Param("start", ExprType::kDate) &&
+                  Col("l_shipdate") <
+                      Param("start", ExprType::kDate) + I64(365) &&
+                  query::Between(Col("l_discount"),
+                                 Param("disc_lo", ExprType::kDouble),
+                                 Param("disc_hi", ExprType::kDouble)) &&
+                  Col("l_quantity") < Param("quantity", ExprType::kDouble))
+          .Aggregate({Sum(Col("l_extendedprice") * Col("l_discount"))
+                          .As("revenue")})
+          .Build(),
+      "Q6");
+
+  // ---- Q17: small-quantity-order revenue (two-pass semi join) ----------
+  // select sum(l_extendedprice) / 7.0 from lineitem, part
+  // where p_partkey = l_partkey and p_brand = B and p_container = C
+  //   and l_quantity < 0.2 * avg(l_quantity over same part).
+  query::SemiJoinSpec q17;
+  q17.build_table = part;
+  q17.build_filter =
+      Col("p_brand") == Param("brand", ExprType::kDict) &&
+      Col("p_container") == Param("container", ExprType::kDict);
+  q17.build_key = "p_partkey";
+  q17.probe_table = li;
+  q17.probe_key = "l_partkey";
+  q17.avg_value = Col("l_quantity");
+  q17.guard_scale = F64(0.2);
+  q17.agg_value = Col("l_extendedprice");
+  q17.result_name = "revenue";
+  auto built_q17 = query::SemiJoinQuery::Build(std::move(q17));
+  ANKER_CHECK_MSG(built_q17.ok(), built_q17.status().ToString().c_str());
+  q17_ = built_q17.TakeValue();
+
+  // ---- full-table scans ------------------------------------------------
+  scan_lineitem_ = ScanQuery(li, "l_extendedprice");
+  scan_orders_ = ScanQuery(orders, "o_totalprice");
+  scan_part_ = ScanQuery(part, "p_retailprice");
+
   // Collect the dictionary code domains Q17 samples from.
-  const storage::Dictionary* brands =
-      instance_.part->GetDictionary("p_brand");
+  const storage::Dictionary* brands = part->GetDictionary("p_brand");
   for (uint32_t code = 0; code < brands->size(); ++code) {
     brand_codes_.push_back(code);
   }
-  const storage::Dictionary* containers =
-      instance_.part->GetDictionary("p_container");
+  const storage::Dictionary* containers = part->GetDictionary("p_container");
   for (uint32_t code = 0; code < containers->size(); ++code) {
     container_codes_.push_back(code);
   }
 }
 
-std::vector<storage::Column*> TpchQueries::ColumnsFor(OlapKind kind) const {
-  storage::Table* li = instance_.lineitem;
-  storage::Table* orders = instance_.orders;
-  storage::Table* part = instance_.part;
+const query::Query& TpchQueries::QueryFor(OlapKind kind) const {
   switch (kind) {
     case OlapKind::kQ1:
-      return {li->GetColumn("l_shipdate"),     li->GetColumn("l_returnflag"),
-              li->GetColumn("l_linestatus"),   li->GetColumn("l_quantity"),
-              li->GetColumn("l_extendedprice"), li->GetColumn("l_discount"),
-              li->GetColumn("l_tax")};
+      return q1_;
     case OlapKind::kQ4:
-      return {orders->GetColumn("o_orderdate"),
-              orders->GetColumn("o_orderpriority")};
+      return q4_;
     case OlapKind::kQ6:
-      return {li->GetColumn("l_shipdate"), li->GetColumn("l_discount"),
-              li->GetColumn("l_quantity"),
-              li->GetColumn("l_extendedprice")};
-    case OlapKind::kQ17:
-      return {part->GetColumn("p_partkey"), part->GetColumn("p_brand"),
-              part->GetColumn("p_container"), li->GetColumn("l_partkey"),
-              li->GetColumn("l_quantity"),
-              li->GetColumn("l_extendedprice")};
+      return q6_;
     case OlapKind::kScanLineitem:
-      return {li->GetColumn("l_extendedprice")};
+      return scan_lineitem_;
     case OlapKind::kScanOrders:
-      return {orders->GetColumn("o_totalprice")};
+      return scan_orders_;
     case OlapKind::kScanPart:
-      return {part->GetColumn("p_retailprice")};
+      return scan_part_;
+    case OlapKind::kQ17:
+      break;
   }
-  return {};
+  ANKER_CHECK_MSG(false, "Q17 is a SemiJoinQuery, use Q17Query()");
+  return q1_;
+}
+
+std::vector<storage::Column*> TpchQueries::ColumnsFor(OlapKind kind) const {
+  if (kind == OlapKind::kQ17) return q17_.columns();
+  return QueryFor(kind).columns();
 }
 
 OlapParams TpchQueries::RandomParams(OlapKind /*kind*/, Rng* rng) const {
@@ -96,290 +186,83 @@ OlapParams TpchQueries::RandomParams(OlapKind /*kind*/, Rng* rng) const {
   return params;
 }
 
-OlapResult TpchQueries::Run(OlapKind kind, const engine::OlapContext& ctx,
-                            const OlapParams& params) const {
+query::Params TpchQueries::BindParams(OlapKind kind,
+                                      const OlapParams& params) const {
+  query::Params bound;
   switch (kind) {
     case OlapKind::kQ1:
-      return RunQ1(ctx, params);
+      bound.SetDate("cutoff", kShipDateMaxDays - params.q1_delta_days);
+      break;
     case OlapKind::kQ4:
-      return RunQ4(ctx, params);
+      bound.SetDate("start", params.q4_start_day);
+      break;
     case OlapKind::kQ6:
-      return RunQ6(ctx, params);
+      bound.SetDate("start", params.q6_start_day)
+          .SetDouble("disc_lo", params.q6_discount - 0.01001)
+          .SetDouble("disc_hi", params.q6_discount + 0.01001)
+          .SetDouble("quantity", params.q6_quantity);
+      break;
     case OlapKind::kQ17:
-      return RunQ17(ctx, params);
-    case OlapKind::kScanLineitem:
-      return RunScan(ctx, instance_.lineitem, "l_extendedprice");
-    case OlapKind::kScanOrders:
-      return RunScan(ctx, instance_.orders, "o_totalprice");
-    case OlapKind::kScanPart:
-      return RunScan(ctx, instance_.part, "p_retailprice");
+      bound.SetDictCode("brand", params.q17_brand_code)
+          .SetDictCode("container", params.q17_container_code);
+      break;
+    default:
+      break;
   }
-  return OlapResult{};
+  return bound;
 }
 
-// ---- Q1: pricing summary report ------------------------------------------
-// select l_returnflag, l_linestatus, sum(qty), sum(extprice),
-//        sum(extprice*(1-disc)), sum(extprice*(1-disc)*(1+tax)),
-//        avg(qty), avg(extprice), avg(disc), count(*)
-// from lineitem where l_shipdate <= '1998-12-01' - delta group by 1, 2.
-OlapResult TpchQueries::RunQ1(const engine::OlapContext& ctx,
-                              const OlapParams& params) const {
-  storage::Table* li = instance_.lineitem;
-  const ColumnReader shipdate = ctx.Reader(li->GetColumn("l_shipdate"));
-  const ColumnReader retflag = ctx.Reader(li->GetColumn("l_returnflag"));
-  const ColumnReader status = ctx.Reader(li->GetColumn("l_linestatus"));
-  const ColumnReader quantity = ctx.Reader(li->GetColumn("l_quantity"));
-  const ColumnReader extprice = ctx.Reader(li->GetColumn("l_extendedprice"));
-  const ColumnReader discount = ctx.Reader(li->GetColumn("l_discount"));
-  const ColumnReader tax = ctx.Reader(li->GetColumn("l_tax"));
-
-  const int64_t cutoff = kShipDateMaxDays - params.q1_delta_days;
-
-  // Group-by over (returnflag, linestatus): both domains are tiny dict
-  // codes, so a fixed 8x8 accumulator array replaces a hash table.
-  struct Group {
-    double sum_qty = 0, sum_base = 0, sum_disc = 0, sum_charge = 0,
-           sum_discount = 0;
-    uint64_t count = 0;
-  };
-  struct Acc {
-    Group groups[64];
-    uint64_t rows = 0;
-  };
-
-  ScanDriver driver({&shipdate, &retflag, &status, &quantity, &extprice,
-                     &discount, &tax});
-  OlapResult result;
-  Acc total{};
-  driver.Fold<Acc>(
-      &total,
-      [&](Acc& acc, const auto& row) {
-        ++acc.rows;
-        if (DecodeDate(row.Col(0)) > cutoff) return;
-        const uint32_t flag = DecodeDict(row.Col(1)) & 7;
-        const uint32_t ls = DecodeDict(row.Col(2)) & 7;
-        Group& g = acc.groups[flag * 8 + ls];
-        const double qty = DecodeDouble(row.Col(3));
-        const double price = DecodeDouble(row.Col(4));
-        const double disc = DecodeDouble(row.Col(5));
-        const double tx = DecodeDouble(row.Col(6));
-        g.sum_qty += qty;
-        g.sum_base += price;
-        g.sum_disc += price * (1.0 - disc);
-        g.sum_charge += price * (1.0 - disc) * (1.0 + tx);
-        g.sum_discount += disc;
-        ++g.count;
-      },
-      [](Acc& into, Acc&& from) {
-        into.rows += from.rows;
-        for (int i = 0; i < 64; ++i) {
-          into.groups[i].sum_qty += from.groups[i].sum_qty;
-          into.groups[i].sum_base += from.groups[i].sum_base;
-          into.groups[i].sum_disc += from.groups[i].sum_disc;
-          into.groups[i].sum_charge += from.groups[i].sum_charge;
-          into.groups[i].sum_discount += from.groups[i].sum_discount;
-          into.groups[i].count += from.groups[i].count;
-        }
-      },
-      &result.scan, ctx.scan_options());
-
-  result.rows_considered = total.rows;
-  for (const Group& g : total.groups) {
-    result.digest += g.sum_qty + g.sum_base + g.sum_disc + g.sum_charge +
-                     static_cast<double>(g.count);
+OlapResult TpchQueries::ToOlapResult(OlapKind kind,
+                                     const query::QueryResult& result) const {
+  OlapResult out;
+  out.rows_considered = result.rows_scanned;
+  out.scan = result.scan;
+  switch (kind) {
+    case OlapKind::kQ1:
+      // Checksum over the group rows: the four pricing sums plus the
+      // count, exactly the reference kernel's digest.
+      for (const query::QueryResult::Row& row : result.rows) {
+        out.digest += row.values[0] + row.values[1] + row.values[2] +
+                      row.values[3] + row.values[5];
+      }
+      break;
+    case OlapKind::kQ4:
+      for (const query::QueryResult::Row& row : result.rows) {
+        out.digest += row.values[0];
+      }
+      break;
+    case OlapKind::kQ17:
+      out.digest = result.rows[0].values[0] / 7.0;
+      break;
+    default:
+      out.digest = result.rows[0].values[0];
+      break;
   }
-  return result;
+  return out;
 }
 
-// ---- Q4 (single-table form, per the paper): order priority checking ------
-// select o_orderpriority, count(*) from orders
-// where o_orderdate in [d, d + 92 days) group by o_orderpriority.
-OlapResult TpchQueries::RunQ4(const engine::OlapContext& ctx,
-                              const OlapParams& params) const {
-  storage::Table* orders = instance_.orders;
-  const ColumnReader orderdate = ctx.Reader(orders->GetColumn("o_orderdate"));
-  const ColumnReader priority =
-      ctx.Reader(orders->GetColumn("o_orderpriority"));
-
-  const int64_t lo = params.q4_start_day;
-  const int64_t hi = params.q4_start_day + 92;
-
-  struct Acc {
-    uint64_t counts[16] = {0};
-    uint64_t rows = 0;
-  };
-  ScanDriver driver({&orderdate, &priority});
-  OlapResult result;
-  Acc total{};
-  driver.Fold<Acc>(
-      &total,
-      [&](Acc& acc, const auto& row) {
-        ++acc.rows;
-        const int64_t date = DecodeDate(row.Col(0));
-        if (date < lo || date >= hi) return;
-        ++acc.counts[DecodeDict(row.Col(1)) & 15];
-      },
-      [](Acc& into, Acc&& from) {
-        into.rows += from.rows;
-        for (int i = 0; i < 16; ++i) into.counts[i] += from.counts[i];
-      },
-      &result.scan, ctx.scan_options());
-
-  result.rows_considered = total.rows;
-  for (uint64_t count : total.counts) {
-    result.digest += static_cast<double>(count);
+OlapResult TpchQueries::Run(OlapKind kind, const engine::OlapContext& ctx,
+                            const OlapParams& params) const {
+  query::QueryResult result;
+  Status status;
+  if (kind == OlapKind::kQ17) {
+    status = query::Execute(q17_, ctx, BindParams(kind, params), &result);
+  } else {
+    status = query::Execute(QueryFor(kind), ctx, BindParams(kind, params),
+                            &result);
   }
-  return result;
+  ANKER_CHECK_MSG(status.ok(), status.ToString().c_str());
+  return ToOlapResult(kind, result);
 }
 
-// ---- Q6: forecasting revenue change ---------------------------------------
-// select sum(l_extendedprice * l_discount) from lineitem
-// where l_shipdate in [d, d+1y), l_discount in [x-0.01, x+0.01],
-//       l_quantity < q.
-OlapResult TpchQueries::RunQ6(const engine::OlapContext& ctx,
-                              const OlapParams& params) const {
-  storage::Table* li = instance_.lineitem;
-  const ColumnReader shipdate = ctx.Reader(li->GetColumn("l_shipdate"));
-  const ColumnReader discount = ctx.Reader(li->GetColumn("l_discount"));
-  const ColumnReader quantity = ctx.Reader(li->GetColumn("l_quantity"));
-  const ColumnReader extprice = ctx.Reader(li->GetColumn("l_extendedprice"));
-
-  const int64_t lo = params.q6_start_day;
-  const int64_t hi = params.q6_start_day + 365;
-  const double disc_lo = params.q6_discount - 0.01001;
-  const double disc_hi = params.q6_discount + 0.01001;
-
-  struct Acc {
-    double revenue = 0;
-    uint64_t rows = 0;
-  };
-  ScanDriver driver({&shipdate, &discount, &quantity, &extprice});
-  OlapResult result;
-  Acc total{};
-  driver.Fold<Acc>(
-      &total,
-      [&](Acc& acc, const auto& row) {
-        ++acc.rows;
-        const int64_t date = DecodeDate(row.Col(0));
-        if (date < lo || date >= hi) return;
-        const double disc = DecodeDouble(row.Col(1));
-        if (disc < disc_lo || disc > disc_hi) return;
-        if (DecodeDouble(row.Col(2)) >= params.q6_quantity) return;
-        acc.revenue += DecodeDouble(row.Col(3)) * disc;
-      },
-      [](Acc& into, Acc&& from) {
-        into.revenue += from.revenue;
-        into.rows += from.rows;
-      },
-      &result.scan, ctx.scan_options());
-
-  result.digest = total.revenue;
-  result.rows_considered = total.rows;
-  return result;
-}
-
-// ---- Q17: small-quantity-order revenue ------------------------------------
-// select sum(l_extendedprice) / 7.0 from lineitem, part
-// where p_partkey = l_partkey and p_brand = B and p_container = C
-//   and l_quantity < 0.2 * avg(l_quantity over same part).
-OlapResult TpchQueries::RunQ17(const engine::OlapContext& ctx,
-                               const OlapParams& params) const {
-  storage::Table* part = instance_.part;
-  storage::Table* li = instance_.lineitem;
-  const ColumnReader partkey = ctx.Reader(part->GetColumn("p_partkey"));
-  const ColumnReader brand = ctx.Reader(part->GetColumn("p_brand"));
-  const ColumnReader container = ctx.Reader(part->GetColumn("p_container"));
-  const ColumnReader l_partkey = ctx.Reader(li->GetColumn("l_partkey"));
-  const ColumnReader l_quantity = ctx.Reader(li->GetColumn("l_quantity"));
-  const ColumnReader l_extprice =
-      ctx.Reader(li->GetColumn("l_extendedprice"));
-
-  // Build side: qualifying part keys.
-  struct PartAcc {
-    std::unordered_set<int64_t> keys;
-  };
-  ScanDriver part_driver({&partkey, &brand, &container});
-  PartAcc qualifying{};
-  part_driver.Fold<PartAcc>(
-      &qualifying,
-      [&](PartAcc& acc, const auto& row) {
-        if (DecodeDict(row.Col(1)) != params.q17_brand_code) return;
-        if (DecodeDict(row.Col(2)) != params.q17_container_code) return;
-        acc.keys.insert(DecodeInt64(row.Col(0)));
-      },
-      [](PartAcc& into, PartAcc&& from) {
-        into.keys.merge(from.keys);
-      },
-      nullptr, ctx.scan_options());
-
-  // Probe pass 1: per-part quantity average over qualifying keys.
-  struct QtyStats {
-    double sum = 0;
-    uint64_t count = 0;
-  };
-  struct Pass1Acc {
-    std::unordered_map<int64_t, QtyStats> stats;
-  };
-  ScanDriver li_driver({&l_partkey, &l_quantity, &l_extprice});
-  Pass1Acc per_part{};
-  li_driver.Fold<Pass1Acc>(
-      &per_part,
-      [&](Pass1Acc& acc, const auto& row) {
-        const int64_t key = DecodeInt64(row.Col(0));
-        if (qualifying.keys.count(key) == 0) return;
-        QtyStats& stats = acc.stats[key];
-        stats.sum += DecodeDouble(row.Col(1));
-        ++stats.count;
-      },
-      [](Pass1Acc& into, Pass1Acc&& from) {
-        for (auto& [key, stats] : from.stats) {
-          QtyStats& s = into.stats[key];
-          s.sum += stats.sum;
-          s.count += stats.count;
-        }
-      },
-      nullptr, ctx.scan_options());
-
-  // Probe pass 2: revenue of small-quantity lineitems.
-  struct Pass2Acc {
-    double revenue = 0;
-    uint64_t rows = 0;
-  };
-  Pass2Acc total{};
-  li_driver.Fold<Pass2Acc>(
-      &total,
-      [&](Pass2Acc& acc, const auto& row) {
-        ++acc.rows;
-        const int64_t key = DecodeInt64(row.Col(0));
-        auto it = per_part.stats.find(key);
-        if (it == per_part.stats.end() || it->second.count == 0) return;
-        const double avg_qty =
-            it->second.sum / static_cast<double>(it->second.count);
-        if (DecodeDouble(row.Col(1)) < 0.2 * avg_qty) {
-          acc.revenue += DecodeDouble(row.Col(2));
-        }
-      },
-      [](Pass2Acc& into, Pass2Acc&& from) {
-        into.revenue += from.revenue;
-        into.rows += from.rows;
-      },
-      nullptr, ctx.scan_options());
-
-  OlapResult result;
-  result.digest = total.revenue / 7.0;
-  result.rows_considered = total.rows;
-  return result;
-}
-
-OlapResult TpchQueries::RunScan(const engine::OlapContext& ctx,
-                                storage::Table* table,
-                                const std::string& column_name) const {
-  const ColumnReader reader = ctx.Reader(table->GetColumn(column_name));
-  OlapResult result;
-  result.digest = engine::ScanColumnSum(reader, /*as_double=*/true,
-                                        &result.scan, ctx.scan_options());
-  result.rows_considered = reader.num_rows();
-  return result;
+Result<OlapResult> TpchQueries::RunOnEngine(OlapKind kind,
+                                            const OlapParams& params) const {
+  Result<query::QueryResult> result =
+      kind == OlapKind::kQ17
+          ? db_->Run(q17_, BindParams(kind, params))
+          : db_->Run(QueryFor(kind), BindParams(kind, params));
+  if (!result.ok()) return result.status();
+  return ToOlapResult(kind, result.value());
 }
 
 }  // namespace anker::tpch

@@ -7,6 +7,8 @@
 
 #include "common/rng.h"
 #include "engine/database.h"
+#include "query/query.h"
+#include "query/semi_join.h"
 #include "tpch/datagen.h"
 
 namespace anker::tpch {
@@ -59,40 +61,52 @@ struct OlapResult {
   engine::ScanStats scan;
 };
 
-/// Compiled handles on the workload queries: resolves tables, columns and
-/// dictionary codes once.
+/// The paper's workload queries, expressed as query-layer definitions
+/// (src/query/query.h): each is a declarative plan built once in the
+/// constructor and executed with per-transaction parameters. The previous
+/// hand-written fold kernels live on in tpch/reference_kernels.h for
+/// digest-equivalence tests and old-vs-new benchmarking.
 class TpchQueries {
  public:
   TpchQueries(engine::Database* db, const TpchInstance& instance);
 
   /// Columns a query touches; the engine materializes snapshots for
-  /// exactly this set (fine-granular, per-column snapshotting).
+  /// exactly this set (fine-granular, per-column snapshotting). Inferred
+  /// from the compiled plans — no hand-maintained column lists.
   std::vector<storage::Column*> ColumnsFor(OlapKind kind) const;
 
   /// Draws randomized parameters within the spec bounds.
   OlapParams RandomParams(OlapKind kind, Rng* rng) const;
 
-  /// Executes the query in the given OLAP context.
+  /// Maps OlapParams onto the plan's named parameters.
+  query::Params BindParams(OlapKind kind, const OlapParams& params) const;
+
+  /// Executes the query inside an existing OLAP context (used by tests
+  /// that pin one snapshot across several executions).
   OlapResult Run(OlapKind kind, const engine::OlapContext& ctx,
                  const OlapParams& params) const;
+
+  /// Executes the query as one engine-managed OLAP transaction via
+  /// Database::Run — the normal path for workload drivers.
+  Result<OlapResult> RunOnEngine(OlapKind kind,
+                                 const OlapParams& params) const;
+
+  /// The compiled plan of a single-table workload (everything but Q17).
+  const query::Query& QueryFor(OlapKind kind) const;
+  /// The compiled Q17 plan.
+  const query::SemiJoinQuery& Q17Query() const { return q17_; }
 
   const TpchInstance& instance() const { return instance_; }
 
  private:
-  OlapResult RunQ1(const engine::OlapContext& ctx,
-                   const OlapParams& params) const;
-  OlapResult RunQ4(const engine::OlapContext& ctx,
-                   const OlapParams& params) const;
-  OlapResult RunQ6(const engine::OlapContext& ctx,
-                   const OlapParams& params) const;
-  OlapResult RunQ17(const engine::OlapContext& ctx,
-                    const OlapParams& params) const;
-  OlapResult RunScan(const engine::OlapContext& ctx,
-                     storage::Table* table,
-                     const std::string& column_name) const;
+  /// Digest per kind, matching the reference kernels' checksums.
+  OlapResult ToOlapResult(OlapKind kind,
+                          const query::QueryResult& result) const;
 
   engine::Database* db_;
   TpchInstance instance_;
+  query::Query q1_, q4_, q6_, scan_lineitem_, scan_orders_, scan_part_;
+  query::SemiJoinQuery q17_;
   std::vector<uint32_t> brand_codes_;
   std::vector<uint32_t> container_codes_;
 };

@@ -1,0 +1,50 @@
+#ifndef ANKER_TPCH_REFERENCE_KERNELS_H_
+#define ANKER_TPCH_REFERENCE_KERNELS_H_
+
+// The retired hand-written OLAP kernels, kept verbatim as the reference
+// implementation the query layer is tested and benchmarked against:
+//  - tests/tpch/query_equivalence_test.cc asserts digest equality between
+//    these kernels and the query-layer definitions in every processing
+//    mode and buffer backend;
+//  - bench_fig7_olap_latency --query_api reports old-vs-new latency (CI
+//    gates the builder path at within 10% for Q1/Q6).
+// New workloads should NOT follow this pattern — write a query-layer
+// definition (src/query/query.h) instead.
+
+#include "engine/database.h"
+#include "tpch/datagen.h"
+#include "tpch/queries.h"
+
+namespace anker::tpch {
+
+/// Hand-rolled fold kernels for the 7 paper workloads, executing inside a
+/// caller-provided OLAP context.
+class ReferenceKernels {
+ public:
+  explicit ReferenceKernels(const TpchInstance& instance)
+      : instance_(instance) {}
+
+  /// Columns each kernel touches (same sets the query layer infers).
+  std::vector<storage::Column*> ColumnsFor(OlapKind kind) const;
+
+  OlapResult Run(OlapKind kind, const engine::OlapContext& ctx,
+                 const OlapParams& params) const;
+
+ private:
+  OlapResult RunQ1(const engine::OlapContext& ctx,
+                   const OlapParams& params) const;
+  OlapResult RunQ4(const engine::OlapContext& ctx,
+                   const OlapParams& params) const;
+  OlapResult RunQ6(const engine::OlapContext& ctx,
+                   const OlapParams& params) const;
+  OlapResult RunQ17(const engine::OlapContext& ctx,
+                    const OlapParams& params) const;
+  OlapResult RunScan(const engine::OlapContext& ctx, storage::Table* table,
+                     const std::string& column_name) const;
+
+  TpchInstance instance_;
+};
+
+}  // namespace anker::tpch
+
+#endif  // ANKER_TPCH_REFERENCE_KERNELS_H_

@@ -9,6 +9,7 @@
 #include "engine/database.h"
 #include "tpch/oltp_transactions.h"
 #include "tpch/queries.h"
+#include "tpch/reference_kernels.h"
 
 namespace anker::tpch {
 
@@ -46,16 +47,27 @@ class WorkloadDriver {
   /// the full OLAP set) on `config.threads` worker threads.
   WorkloadResult RunMixed(const WorkloadConfig& config);
 
+  /// Which OLAP implementation a measurement drives: the query-layer
+  /// plans (the engine's real path) or the retired hand-written kernels
+  /// (reference baseline for bench_fig7 --query_api).
+  enum class OlapPath { kQueryLayer, kReference };
+
   /// Figure 7 experiment: pressurizes the system with OLTP transactions on
   /// (threads-1) workers while one dedicated thread measures the latency
   /// of `kind`, fired `repetitions` times; returns mean latency in
   /// nanoseconds.
+  /// `min_nanos` (optional) receives the fastest repetition — a less
+  /// noise-sensitive statistic for A/B comparisons (CI uses it for the
+  /// query-layer vs hand-written gate).
   double MeasureOlapLatency(OlapKind kind, const WorkloadConfig& config,
-                            int repetitions = 5);
+                            int repetitions = 5,
+                            OlapPath path = OlapPath::kQueryLayer,
+                            double* min_nanos = nullptr);
 
   /// Runs one OLAP transaction end to end (begin, snapshot acquire,
   /// execute, commit); returns its result digest.
-  Result<OlapResult> RunOlapOnce(OlapKind kind, const OlapParams& params);
+  Result<OlapResult> RunOlapOnce(OlapKind kind, const OlapParams& params,
+                                 OlapPath path = OlapPath::kQueryLayer);
 
   /// Heterogeneous mode only (no-op otherwise): materializes a first
   /// snapshot of every column the OLAP set touches. The very first
@@ -67,12 +79,14 @@ class WorkloadDriver {
 
   OltpTransactions& oltp() { return oltp_; }
   TpchQueries& queries() { return queries_; }
+  ReferenceKernels& reference() { return reference_; }
 
  private:
   engine::Database* db_;
   TpchInstance instance_;
   OltpTransactions oltp_;
   TpchQueries queries_;
+  ReferenceKernels reference_;
 };
 
 }  // namespace anker::tpch

@@ -19,7 +19,14 @@ const char* ProcessingModeName(ProcessingMode mode) {
 TransactionManager::TransactionManager(ProcessingMode mode) : mode_(mode) {}
 
 std::unique_ptr<Transaction> TransactionManager::Begin(TxnType type) {
-  const mvcc::Timestamp start_ts = oracle_.Next();
+  // Start at the newest *fully applied* commit, not at a fresh oracle
+  // tick: a fresh tick can exceed the timestamp of a commit whose writes
+  // are still being materialized row by row, and a reader timestamped in
+  // that window would see half of the commit (a torn transfer). The
+  // watermark is bumped only after a commit's last write landed, so
+  // everything at or below start_ts is complete.
+  const mvcc::Timestamp start_ts =
+      visible_ts_.load(std::memory_order_acquire);
   const uint64_t serial = registry_.Begin(start_ts);
   return std::make_unique<Transaction>(
       next_txn_id_.fetch_add(1, std::memory_order_relaxed), start_ts, serial,
@@ -93,6 +100,11 @@ Status TransactionManager::Commit(Transaction* txn) {
   for (auto it = columns.rbegin(); it != columns.rend(); ++it) {
     (*it)->latch().UnlockShared();
   }
+
+  // Every write of this commit is materialized: make it visible to new
+  // readers (commits serialize under commit_mutex_, so the watermark is
+  // monotonic).
+  visible_ts_.store(commit_ts, std::memory_order_release);
 
   // 4. Publish the write set for later validators, then trim what no
   //    active transaction can need anymore.

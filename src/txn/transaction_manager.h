@@ -88,6 +88,11 @@ class TransactionManager {
   mvcc::TimestampOracle oracle_;
   mvcc::ActiveTxnRegistry registry_;
 
+  /// Read-visibility watermark: the newest commit timestamp whose writes
+  /// are all materialized. Begin() stamps transactions here (see the
+  /// comment there); bumped at the end of the commit critical section.
+  std::atomic<mvcc::Timestamp> visible_ts_{0};
+
   /// The paper's "list of recently committed transactions, that must be
   /// mutex protected ... to organize validation" — the commit mutex.
   std::mutex commit_mutex_;

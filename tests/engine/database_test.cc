@@ -157,7 +157,45 @@ TEST(DatabaseTest, HeterogeneousRequiresSnapshotBackend) {
   DatabaseConfig config;
   config.mode = txn::ProcessingMode::kHeterogeneousSerializable;
   config.backend = snapshot::BufferBackend::kPlain;
+  // The constructor treats an invalid configuration as a programming
+  // error; Database::Create is the recoverable path.
   EXPECT_DEATH(Database db(config), "snapshot-capable");
+  auto created = Database::Create(config);
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, ConfigValidateRejectsMismatchedModeBackendPairs) {
+  // Homogeneous baselines never snapshot: a copy-on-write backend would
+  // only add fault-handling cost and skew comparisons; rejected.
+  for (txn::ProcessingMode mode :
+       {txn::ProcessingMode::kHomogeneousSerializable,
+        txn::ProcessingMode::kHomogeneousSnapshotIsolation}) {
+    for (snapshot::BufferBackend backend :
+         {snapshot::BufferBackend::kPhysical,
+          snapshot::BufferBackend::kRewired,
+          snapshot::BufferBackend::kVmSnapshot}) {
+      DatabaseConfig config;
+      config.mode = mode;
+      config.backend = backend;
+      EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+    }
+  }
+  // Every ForMode default validates, and heterogeneous accepts any
+  // snapshot-capable backend.
+  for (txn::ProcessingMode mode :
+       {txn::ProcessingMode::kHomogeneousSerializable,
+        txn::ProcessingMode::kHomogeneousSnapshotIsolation,
+        txn::ProcessingMode::kHeterogeneousSerializable}) {
+    EXPECT_TRUE(DatabaseConfig::ForMode(mode).Validate().ok());
+  }
+  DatabaseConfig hetero;
+  hetero.mode = txn::ProcessingMode::kHeterogeneousSerializable;
+  hetero.backend = snapshot::BufferBackend::kPhysical;
+  EXPECT_TRUE(hetero.Validate().ok());
+  auto created = Database::Create(hetero);
+  ASSERT_TRUE(created.ok());
+  EXPECT_NE(created.value(), nullptr);
 }
 
 }  // namespace

@@ -337,5 +337,103 @@ TEST(ScanDriverTest, ConcurrentCommitsNeverLeakFutureValues) {
   committer.join();
 }
 
+// ---- FoldBlockwise: the blockwise sibling the query layer builds on ----
+
+double BlockwiseSum(const ScanDriver& driver, ScanStats* stats = nullptr,
+                    const ScanOptions& options = ScanOptions()) {
+  double total = 0.0;
+  driver.FoldBlockwise<double>(
+      &total,
+      [](double& acc, const ScanBlock& block) {
+        for (size_t i = 0; i < block.rows; ++i) {
+          acc += static_cast<double>(
+              storage::DecodeInt64(block.cols[0][i]));
+        }
+      },
+      [](double& into, double&& from) { into += from; }, stats, options);
+  return total;
+}
+
+TEST(FoldBlockwiseTest, TightBlocksExposeRawSpans) {
+  auto column = MakeColumn(3 * mvcc::kRowsPerBlock + 123);
+  const ColumnReader reader = ColumnReader::ForLive(column.get(), 100);
+  ScanDriver driver({&reader});
+  ScanStats stats;
+  const double n = 3.0 * mvcc::kRowsPerBlock + 123;
+  EXPECT_DOUBLE_EQ(BlockwiseSum(driver, &stats), n * (n - 1.0) / 2.0);
+  EXPECT_EQ(stats.tight_rows, static_cast<size_t>(n));
+  EXPECT_EQ(stats.hinted_rows, 0u);
+  EXPECT_EQ(stats.resolved_rows, 0u);
+}
+
+TEST(FoldBlockwiseTest, VersionedBlocksAreStagedAndResolved) {
+  auto column = MakeColumn(4 * mvcc::kRowsPerBlock);
+  // Version rows in block 1; an old reader must see pre-commit values.
+  const size_t victim = mvcc::kRowsPerBlock + 10;
+  column->ApplyCommittedWrite(victim, storage::EncodeInt64(-1000),
+                              /*commit_ts=*/50);
+  const ColumnReader reader = ColumnReader::ForLive(column.get(), 10);
+  ScanDriver driver({&reader});
+  ScanStats stats;
+  const double n = 4.0 * mvcc::kRowsPerBlock;
+  EXPECT_DOUBLE_EQ(BlockwiseSum(driver, &stats), n * (n - 1.0) / 2.0);
+  EXPECT_EQ(stats.hinted_rows, mvcc::kRowsPerBlock);
+  EXPECT_EQ(stats.tight_rows, 3 * mvcc::kRowsPerBlock);
+}
+
+TEST(FoldBlockwiseTest, NewReaderSeesCommittedValueThroughStaging) {
+  auto column = MakeColumn(2 * mvcc::kRowsPerBlock);
+  column->ApplyCommittedWrite(7, storage::EncodeInt64(1000000),
+                              /*commit_ts=*/50);
+  const ColumnReader reader = ColumnReader::ForLive(column.get(), 60);
+  ScanDriver driver({&reader});
+  const double n = 2.0 * mvcc::kRowsPerBlock;
+  EXPECT_DOUBLE_EQ(BlockwiseSum(driver),
+                   n * (n - 1.0) / 2.0 - 7.0 + 1000000.0);
+}
+
+TEST(FoldBlockwiseTest, InjectedCommitRetriesBlockSafely) {
+  auto column = MakeColumn(2 * mvcc::kRowsPerBlock);
+  const ColumnReader reader = ColumnReader::ForLive(column.get(), /*ts=*/10);
+  ScanDriver driver({&reader});
+
+  ScanOptions options;
+  bool injected = false;
+  options.on_block_classified = [&](size_t block) {
+    if (block == 0 && !injected) {
+      injected = true;
+      column->ApplyCommittedWrite(5, storage::EncodeInt64(-777),
+                                  /*commit_ts=*/50);
+    }
+  };
+  ScanStats stats;
+  const double n = 2.0 * mvcc::kRowsPerBlock;
+  EXPECT_DOUBLE_EQ(BlockwiseSum(driver, &stats, options),
+                   n * (n - 1.0) / 2.0);
+  ASSERT_TRUE(injected);
+  EXPECT_EQ(stats.seqlock_retries, 1u);
+  EXPECT_EQ(stats.resolved_rows, mvcc::kRowsPerBlock);
+}
+
+TEST(FoldBlockwiseTest, ParallelMatchesSerial) {
+  auto column = MakeColumn(64 * mvcc::kRowsPerBlock);
+  for (size_t block : {3u, 17u, 42u}) {
+    for (size_t i = 0; i < 5; ++i) {
+      const size_t row = block * mvcc::kRowsPerBlock + 100 + i * 7;
+      column->ApplyCommittedWrite(row, storage::EncodeInt64(-9), /*ts=*/50);
+    }
+  }
+  const ColumnReader reader = ColumnReader::ForLive(column.get(), 60);
+  ScanDriver driver({&reader});
+  const double serial = BlockwiseSum(driver);
+
+  ThreadPool pool(4);
+  ScanOptions options;
+  options.pool = &pool;
+  options.max_threads = 4;
+  options.morsel_blocks = 4;
+  EXPECT_DOUBLE_EQ(BlockwiseSum(driver, nullptr, options), serial);
+}
+
 }  // namespace
 }  // namespace anker::engine

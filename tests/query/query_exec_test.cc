@@ -1,0 +1,366 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "query/semi_join.h"
+
+namespace anker::query {
+namespace {
+
+/// Small sensor-style fixture: 5000 readings across 3 stations with
+/// deterministic values, loaded into a homogeneous (live-read) engine.
+struct SensorDb {
+  explicit SensorDb(txn::ProcessingMode mode =
+                        txn::ProcessingMode::kHomogeneousSerializable,
+                    size_t rows = 5000)
+      : num_rows(rows) {
+    engine::DatabaseConfig config = engine::DatabaseConfig::ForMode(mode);
+    // Trigger a snapshot epoch on every commit so heterogeneous tests see
+    // fresh epochs immediately.
+    config.snapshot_interval_commits = 1;
+    db = std::make_unique<engine::Database>(config);
+    db->Start();
+    auto created = db->CreateTable(
+        "readings",
+        {{"sensor_id", storage::ValueType::kInt64},
+         {"station", storage::ValueType::kDict32},
+         {"day", storage::ValueType::kDate},
+         {"temperature", storage::ValueType::kDouble},
+         {"humidity", storage::ValueType::kDouble}},
+        rows);
+    ANKER_CHECK(created.ok());
+    table = created.value();
+    storage::Dictionary* stations = table->GetDictionary("station");
+    const char* names[3] = {"alpha", "beta", "gamma"};
+    for (const char* name : names) stations->GetOrAdd(name);
+    for (size_t row = 0; row < rows; ++row) {
+      table->GetColumn("sensor_id")
+          ->LoadValue(row, storage::EncodeInt64(
+                               static_cast<int64_t>(row % 17)));
+      table->GetColumn("station")
+          ->LoadValue(row, storage::EncodeDict(
+                               static_cast<uint32_t>(row % 3)));
+      table->GetColumn("day")->LoadValue(
+          row, storage::EncodeDate(static_cast<int64_t>(row % 100)));
+      table->GetColumn("temperature")
+          ->LoadValue(row, storage::EncodeDouble(
+                               10.0 + static_cast<double>(row % 50)));
+      table->GetColumn("humidity")
+          ->LoadValue(row, storage::EncodeDouble(
+                               0.3 + 0.01 * static_cast<double>(row % 40)));
+    }
+  }
+
+  double Temperature(size_t row) const {
+    return 10.0 + static_cast<double>(row % 50);
+  }
+  int64_t Day(size_t row) const { return static_cast<int64_t>(row % 100); }
+
+  std::unique_ptr<engine::Database> db;
+  storage::Table* table = nullptr;
+  size_t num_rows;
+};
+
+TEST(QueryExecTest, UngroupedSumCountMatchesReference) {
+  SensorDb fx;
+  auto query = Query::On(fx.table)
+                   .Filter(Col("day") < Param("cutoff", ExprType::kDate))
+                   .Aggregate({Sum(Col("temperature")).As("sum_temp"),
+                               Count().As("n")})
+                   .Build();
+  ASSERT_TRUE(query.ok());
+  auto result = fx.db->Run(query.value(), Params().SetDate("cutoff", 40));
+  ASSERT_TRUE(result.ok());
+
+  double expected_sum = 0;
+  uint64_t expected_n = 0;
+  for (size_t row = 0; row < fx.num_rows; ++row) {
+    if (fx.Day(row) >= 40) continue;
+    expected_sum += fx.Temperature(row);
+    ++expected_n;
+  }
+  EXPECT_NEAR(result.value().Value("sum_temp"), expected_sum,
+              std::abs(expected_sum) * 1e-12);
+  EXPECT_DOUBLE_EQ(result.value().Value("n"),
+                   static_cast<double>(expected_n));
+  EXPECT_EQ(result.value().rows_scanned, fx.num_rows);
+}
+
+TEST(QueryExecTest, GroupedFusedMatchesReference) {
+  SensorDb fx;
+  auto query =
+      Query::On(fx.table)
+          .Aggregate({Sum(Col("temperature")).As("sum_temp"),
+                      Min(Col("temperature")).As("min_temp"),
+                      Max(Col("temperature")).As("max_temp"),
+                      Count().As("n")})
+          .GroupBy({"station"})
+          .Build();
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query.value().strategy(), ExecStrategy::kFusedGrouped);
+  auto result = fx.db->Run(query.value(), Params());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 3u);
+
+  for (const QueryResult::Row& row : result.value().rows) {
+    const uint32_t station = row.keys[0];
+    double sum = 0, mn = 1e300, mx = -1e300;
+    uint64_t n = 0;
+    for (size_t r = 0; r < fx.num_rows; ++r) {
+      if (r % 3 != station) continue;
+      const double t = fx.Temperature(r);
+      sum += t;
+      mn = std::min(mn, t);
+      mx = std::max(mx, t);
+      ++n;
+    }
+    EXPECT_NEAR(row.values[0], sum, std::abs(sum) * 1e-12);
+    EXPECT_DOUBLE_EQ(row.values[1], mn);
+    EXPECT_DOUBLE_EQ(row.values[2], mx);
+    EXPECT_DOUBLE_EQ(row.values[3], static_cast<double>(n));
+  }
+}
+
+TEST(QueryExecTest, AvgAndExprAggregatesUseHiddenCount) {
+  SensorDb fx;
+  // (temperature + humidity) is outside the fused menu: exercises the
+  // temp program and the grouped fallback, plus Avg's hidden count.
+  auto query = Query::On(fx.table)
+                   .Aggregate({Avg(Col("temperature") + Col("humidity"))
+                                   .As("avg_combined")})
+                   .GroupBy({"station"})
+                   .Build();
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query.value().strategy(), ExecStrategy::kGroupedVec);
+  auto result = fx.db->Run(query.value(), Params());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 3u);
+  ASSERT_EQ(result.value().columns.size(), 1u);  // hidden count not shown
+
+  for (const QueryResult::Row& row : result.value().rows) {
+    const uint32_t station = row.keys[0];
+    double sum = 0;
+    uint64_t n = 0;
+    for (size_t r = 0; r < fx.num_rows; ++r) {
+      if (r % 3 != station) continue;
+      sum += fx.Temperature(r) + (0.3 + 0.01 * static_cast<double>(r % 40));
+      ++n;
+    }
+    EXPECT_NEAR(row.values[0], sum / static_cast<double>(n), 1e-9);
+  }
+}
+
+TEST(QueryExecTest, DictEqualityByStringAndGenericOrPredicate) {
+  SensorDb fx;
+  // String equality lowers to a dict-code range; the OR stays generic.
+  auto query = Query::On(fx.table)
+                   .Filter(Col("station") == Str("beta"))
+                   .Filter(Col("day") < DateDays(10) ||
+                           Col("day") >= DateDays(90))
+                   .Aggregate({Count().As("n")})
+                   .Build();
+  ASSERT_TRUE(query.ok());
+  auto result = fx.db->Run(query.value(), Params());
+  ASSERT_TRUE(result.ok());
+  uint64_t expected = 0;
+  for (size_t r = 0; r < fx.num_rows; ++r) {
+    if (r % 3 != 1) continue;  // "beta" has code 1
+    if (fx.Day(r) < 10 || fx.Day(r) >= 90) ++expected;
+  }
+  EXPECT_DOUBLE_EQ(result.value().Value("n"),
+                   static_cast<double>(expected));
+}
+
+TEST(QueryExecTest, StringParameterResolvesThroughDictionary) {
+  SensorDb fx;
+  auto query = Query::On(fx.table)
+                   .Filter(Col("station") ==
+                           Param("which", ExprType::kDict))
+                   .Aggregate({Count().As("n")})
+                   .Build();
+  ASSERT_TRUE(query.ok());
+  auto result =
+      fx.db->Run(query.value(), Params().SetString("which", "gamma"));
+  ASSERT_TRUE(result.ok());
+  uint64_t expected = 0;
+  for (size_t r = 0; r < fx.num_rows; ++r) {
+    if (r % 3 == 2) ++expected;
+  }
+  EXPECT_DOUBLE_EQ(result.value().Value("n"),
+                   static_cast<double>(expected));
+
+  auto unknown =
+      fx.db->Run(query.value(), Params().SetString("which", "nope"));
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueryExecTest, MissingAndMistypedParamsFailRecoverably) {
+  SensorDb fx;
+  auto query = Query::On(fx.table)
+                   .Filter(Col("day") < Param("cutoff", ExprType::kDate))
+                   .Aggregate({Count().As("n")})
+                   .Build();
+  ASSERT_TRUE(query.ok());
+  auto missing = fx.db->Run(query.value(), Params());
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+
+  auto mistyped =
+      fx.db->Run(query.value(), Params().SetDouble("cutoff", 40.0));
+  ASSERT_FALSE(mistyped.ok());
+  EXPECT_EQ(mistyped.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryExecTest, EmptySelectionYieldsZeroRowUngrouped) {
+  SensorDb fx;
+  auto query = Query::On(fx.table)
+                   .Filter(Col("day") < DateDays(-5))
+                   .Aggregate({Sum(Col("temperature")).As("s"),
+                               Count().As("n")})
+                   .Build();
+  ASSERT_TRUE(query.ok());
+  auto result = fx.db->Run(query.value(), Params());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.value().Value("s"), 0.0);
+  EXPECT_DOUBLE_EQ(result.value().Value("n"), 0.0);
+}
+
+TEST(QueryExecTest, EmptyGroupsAreDropped) {
+  SensorDb fx;
+  auto query = Query::On(fx.table)
+                   .Filter(Col("station") == Str("alpha"))
+                   .Aggregate({Count().As("n")})
+                   .GroupBy({"station"})
+                   .Build();
+  ASSERT_TRUE(query.ok());
+  auto result = fx.db->Run(query.value(), Params());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  EXPECT_EQ(result.value().rows[0].keys[0], 0u);  // "alpha"
+}
+
+TEST(QueryExecTest, QueryRunsOnHeterogeneousSnapshots) {
+  SensorDb fx(txn::ProcessingMode::kHeterogeneousSerializable);
+  auto query = Query::On(fx.table)
+                   .Aggregate({Sum(Col("temperature")).As("s")})
+                   .Build();
+  ASSERT_TRUE(query.ok());
+  auto before = fx.db->Run(query.value(), Params());
+  ASSERT_TRUE(before.ok());
+
+  // Mutate a row; a new Run sees it, proving Run pins fresh epochs.
+  auto txn = fx.db->BeginOltp();
+  const double old_value = storage::DecodeDouble(
+      txn->Read(fx.table->GetColumn("temperature"), 0));
+  txn->Write(fx.table->GetColumn("temperature"), 0,
+             storage::EncodeDouble(old_value + 500.0));
+  ASSERT_TRUE(fx.db->Commit(txn.get()).ok());
+
+  auto after = fx.db->Run(query.value(), Params());
+  ASSERT_TRUE(after.ok());
+  EXPECT_NEAR(after.value().Value("s") - before.value().Value("s"), 500.0,
+              1e-6);
+  // The snapshot path must have scanned, not resolved, the clean column.
+  EXPECT_GT(after.value().scan.tight_rows, 0u);
+}
+
+TEST(QueryExecTest, ExecuteRejectsContextMissingColumns) {
+  SensorDb fx(txn::ProcessingMode::kHeterogeneousSerializable);
+  auto query = Query::On(fx.table)
+                   .Aggregate({Sum(Col("temperature")).As("s")})
+                   .Build();
+  ASSERT_TRUE(query.ok());
+  // An OLAP context over a different column set: Execute must surface a
+  // recoverable error (TryReader), not abort.
+  auto ctx = fx.db->BeginOlap({fx.table->GetColumn("humidity")});
+  ASSERT_TRUE(ctx.ok());
+  QueryResult result;
+  const Status status =
+      Execute(query.value(), *ctx.value(), Params(), &result);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(fx.db->FinishOlap(ctx.TakeValue()).ok());
+}
+
+TEST(QueryExecTest, TryReaderIsRecoverableReaderStillChecks) {
+  SensorDb fx(txn::ProcessingMode::kHeterogeneousSerializable);
+  auto ctx = fx.db->BeginOlap({fx.table->GetColumn("temperature")});
+  ASSERT_TRUE(ctx.ok());
+  auto in_set = ctx.value()->TryReader(fx.table->GetColumn("temperature"));
+  EXPECT_TRUE(in_set.ok());
+  auto out_of_set = ctx.value()->TryReader(fx.table->GetColumn("humidity"));
+  ASSERT_FALSE(out_of_set.ok());
+  EXPECT_EQ(out_of_set.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(fx.db->FinishOlap(ctx.TakeValue()).ok());
+}
+
+TEST(QueryExecTest, GroupDomainBudgetIsEnforced) {
+  SensorDb fx;
+  // Inflate two dictionaries beyond the packed-group budget.
+  auto wide = fx.db->CreateTable(
+      "wide",
+      {{"k1", storage::ValueType::kDict32},
+       {"k2", storage::ValueType::kDict32}},
+      16);
+  ASSERT_TRUE(wide.ok());
+  for (int i = 0; i < 40; ++i) {
+    wide.value()->GetDictionary("k1")->GetOrAdd("a" + std::to_string(i));
+    wide.value()->GetDictionary("k2")->GetOrAdd("b" + std::to_string(i));
+  }
+  auto query = Query::On(wide.value())
+                   .Aggregate({Count().As("n")})
+                   .GroupBy({"k1", "k2"})
+                   .Build();
+  ASSERT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(QueryExecTest, SemiJoinBuildValidatesKeysAndExprs) {
+  SensorDb fx;
+  SemiJoinSpec spec;
+  spec.build_table = fx.table;
+  spec.build_key = "temperature";  // not an int64 column
+  spec.probe_table = fx.table;
+  spec.probe_key = "sensor_id";
+  spec.avg_value = Col("temperature");
+  spec.guard_scale = F64(0.5);
+  spec.agg_value = Col("humidity");
+  auto bad_key = SemiJoinQuery::Build(spec);
+  ASSERT_FALSE(bad_key.ok());
+  EXPECT_EQ(bad_key.status().code(), StatusCode::kInvalidArgument);
+
+  spec.build_key = "sensor_id";
+  spec.guard_scale = Col("temperature");  // not constant
+  auto bad_scale = SemiJoinQuery::Build(spec);
+  ASSERT_FALSE(bad_scale.ok());
+  EXPECT_EQ(bad_scale.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseConfigValidationTest, RejectsMismatchedBackends) {
+  engine::DatabaseConfig hetero_plain;
+  hetero_plain.mode = txn::ProcessingMode::kHeterogeneousSerializable;
+  hetero_plain.backend = snapshot::BufferBackend::kPlain;
+  EXPECT_EQ(hetero_plain.Validate().code(), StatusCode::kInvalidArgument);
+  auto created = engine::Database::Create(hetero_plain);
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kInvalidArgument);
+
+  engine::DatabaseConfig homog_vm;
+  homog_vm.mode = txn::ProcessingMode::kHomogeneousSerializable;
+  homog_vm.backend = snapshot::BufferBackend::kVmSnapshot;
+  EXPECT_EQ(homog_vm.Validate().code(), StatusCode::kInvalidArgument);
+
+  engine::DatabaseConfig ok = engine::DatabaseConfig::ForMode(
+      txn::ProcessingMode::kHomogeneousSnapshotIsolation);
+  EXPECT_TRUE(ok.Validate().ok());
+  auto db = engine::Database::Create(ok);
+  ASSERT_TRUE(db.ok());
+  EXPECT_NE(db.value(), nullptr);
+}
+
+}  // namespace
+}  // namespace anker::query

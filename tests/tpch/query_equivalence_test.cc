@@ -1,0 +1,136 @@
+// Digest equivalence between the query-layer workload definitions and the
+// retired hand-written kernels (tpch/reference_kernels.h), across every
+// processing mode x buffer backend combination and under versioned data.
+// This is the contract of the query-API redesign: same snapshot, same
+// digest, for all 7 paper workloads.
+#include <gtest/gtest.h>
+
+#include "tpch/reference_kernels.h"
+#include "tpch/workload_driver.h"
+
+namespace anker::tpch {
+namespace {
+
+struct EngineSetup {
+  txn::ProcessingMode mode;
+  snapshot::BufferBackend backend;
+};
+
+std::string SetupName(const testing::TestParamInfo<EngineSetup>& info) {
+  std::string name;
+  switch (info.param.mode) {
+    case txn::ProcessingMode::kHomogeneousSerializable:
+      name = "HomogeneousSerializable";
+      break;
+    case txn::ProcessingMode::kHomogeneousSnapshotIsolation:
+      name = "HomogeneousSnapshotIsolation";
+      break;
+    case txn::ProcessingMode::kHeterogeneousSerializable:
+      name = "HeterogeneousSerializable";
+      break;
+  }
+  return name + "_" + snapshot::BufferBackendName(info.param.backend);
+}
+
+class QueryEquivalenceTest : public testing::TestWithParam<EngineSetup> {
+ protected:
+  void SetUp() override {
+    engine::DatabaseConfig config;
+    config.mode = GetParam().mode;
+    config.backend = GetParam().backend;
+    config.snapshot_interval_commits = 100;
+    ASSERT_TRUE(config.Validate().ok());
+    db_ = std::make_unique<engine::Database>(config);
+    db_->Start();
+    TpchConfig tpch;
+    tpch.lineitem_rows = 6000;
+    auto loaded = LoadTpch(db_.get(), tpch);
+    ASSERT_TRUE(loaded.ok());
+    instance_ = loaded.TakeValue();
+    queries_ = std::make_unique<TpchQueries>(db_.get(), instance_);
+    reference_ = std::make_unique<ReferenceKernels>(instance_);
+    oltp_ = std::make_unique<OltpTransactions>(db_.get(), instance_);
+  }
+
+  OlapParams FixedParams() const {
+    OlapParams params;
+    params.q1_delta_days = 90;
+    params.q4_start_day = 800;
+    params.q6_start_day = 400;
+    params.q6_discount = 0.05;
+    params.q6_quantity = 24.0;
+    params.q17_brand_code = 3;
+    params.q17_container_code = 7;
+    return params;
+  }
+
+  /// Runs both implementations inside the SAME OLAP transaction (same
+  /// snapshot / read timestamp) and asserts digest equality.
+  void ExpectEquivalent(OlapKind kind) {
+    const OlapParams params = FixedParams();
+    auto ctx = db_->BeginOlap(queries_->ColumnsFor(kind));
+    ASSERT_TRUE(ctx.ok()) << OlapKindName(kind);
+    const OlapResult ref = reference_->Run(kind, *ctx.value(), params);
+    const OlapResult via_query = queries_->Run(kind, *ctx.value(), params);
+    ASSERT_TRUE(db_->FinishOlap(ctx.TakeValue()).ok());
+
+    const double tolerance = std::abs(ref.digest) * 1e-9 + 1e-9;
+    EXPECT_NEAR(via_query.digest, ref.digest, tolerance)
+        << OlapKindName(kind);
+    EXPECT_EQ(via_query.rows_considered, ref.rows_considered)
+        << OlapKindName(kind);
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  TpchInstance instance_;
+  std::unique_ptr<TpchQueries> queries_;
+  std::unique_ptr<ReferenceKernels> reference_;
+  std::unique_ptr<OltpTransactions> oltp_;
+};
+
+TEST_P(QueryEquivalenceTest, AllWorkloadsMatchOnCleanData) {
+  for (OlapKind kind : kAllOlapKinds) ExpectEquivalent(kind);
+}
+
+TEST_P(QueryEquivalenceTest, AllWorkloadsMatchUnderVersionedData) {
+  // Build up version chains so the staged (hinted/safe) block paths are
+  // exercised, then compare again within one snapshot.
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) (void)oltp_->RunRandom(&rng);
+  for (OlapKind kind : kAllOlapKinds) ExpectEquivalent(kind);
+}
+
+TEST_P(QueryEquivalenceTest, EngineRunMatchesInContextExecution) {
+  // Database::Run (inferred column set, engine-managed transaction) must
+  // agree with in-context execution on quiescent data.
+  const OlapParams params = FixedParams();
+  for (OlapKind kind : kAllOlapKinds) {
+    auto via_engine = queries_->RunOnEngine(kind, params);
+    ASSERT_TRUE(via_engine.ok()) << OlapKindName(kind);
+    auto ctx = db_->BeginOlap(queries_->ColumnsFor(kind));
+    ASSERT_TRUE(ctx.ok());
+    const OlapResult in_ctx = queries_->Run(kind, *ctx.value(), params);
+    ASSERT_TRUE(db_->FinishOlap(ctx.TakeValue()).ok());
+    const double tolerance = std::abs(in_ctx.digest) * 1e-9 + 1e-9;
+    EXPECT_NEAR(via_engine.value().digest, in_ctx.digest, tolerance)
+        << OlapKindName(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndBackends, QueryEquivalenceTest,
+    testing::Values(
+        EngineSetup{txn::ProcessingMode::kHomogeneousSerializable,
+                    snapshot::BufferBackend::kPlain},
+        EngineSetup{txn::ProcessingMode::kHomogeneousSnapshotIsolation,
+                    snapshot::BufferBackend::kPlain},
+        EngineSetup{txn::ProcessingMode::kHeterogeneousSerializable,
+                    snapshot::BufferBackend::kPhysical},
+        EngineSetup{txn::ProcessingMode::kHeterogeneousSerializable,
+                    snapshot::BufferBackend::kRewired},
+        EngineSetup{txn::ProcessingMode::kHeterogeneousSerializable,
+                    snapshot::BufferBackend::kVmSnapshot}),
+    SetupName);
+
+}  // namespace
+}  // namespace anker::tpch

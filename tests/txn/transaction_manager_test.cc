@@ -203,6 +203,52 @@ TEST(TransactionManagerTest, ConcurrentCountersConsistent) {
   EXPECT_EQ(f.manager.registry().ActiveCount(), 0u);
 }
 
+TEST(TransactionManagerTest, ReadersNeverObserveTornCommits) {
+  // Regression: Begin() must not hand out a start timestamp beyond an
+  // in-flight commit whose writes are still being materialized row by
+  // row — a reader stamped in that window saw one half of a transfer
+  // (the read-visibility watermark fixes this). A writer moves value
+  // between two rows keeping the sum constant; readers check the sum.
+  // Wide transactions keep the commit's apply loop (the race window)
+  // open long enough for a reader to start inside it.
+  constexpr size_t kRows = 128;
+  constexpr int64_t kInitial = 1000;
+  Fixture f;
+  for (size_t row = 0; row < kRows; ++row) {
+    f.column->LoadValue(row, storage::EncodeInt64(kInitial));
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int64_t direction = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto txn = f.manager.Begin(TxnType::kOltp);
+      for (size_t row = 0; row < kRows; ++row) {
+        const int64_t value =
+            storage::DecodeInt64(txn->Read(f.column.get(), row));
+        const int64_t delta = row < kRows / 2 ? direction : -direction;
+        txn->Write(f.column.get(), row,
+                   storage::EncodeInt64(value + delta));
+      }
+      (void)f.manager.Commit(txn.get());
+      direction = -direction;
+    }
+  });
+
+  for (int round = 0; round < 3000; ++round) {
+    auto reader = f.manager.Begin(TxnType::kOlap);
+    int64_t sum = 0;
+    for (size_t row = 0; row < kRows; ++row) {
+      sum += storage::DecodeInt64(reader->Read(f.column.get(), row));
+    }
+    f.manager.Abort(reader.get());
+    ASSERT_EQ(sum, static_cast<int64_t>(kRows) * kInitial)
+        << "torn commit observed in round " << round;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
 TEST(TransactionManagerTest, SerialHistoryMatchesSequentialApplication) {
   // Single-threaded sequence of committed transactions must behave exactly
   // like applying the writes in commit order.
