@@ -10,14 +10,29 @@
 
 #include "bench/bench_util.h"
 #include "tpch/workload_driver.h"
+#include "wal/io_util.h"
 
 namespace anker {
 namespace {
 
+/// Durability setup for the WAL-overhead comparison (--durability): the
+/// CI gate runs the benchmark twice (off vs group_commit on tmpfs) and
+/// asserts the logged configuration stays within 1.10x.
+struct DurabilitySetup {
+  wal::DurabilityMode mode = wal::DurabilityMode::kOff;
+  std::string data_dir;
+};
+
 double RunThroughput(txn::ProcessingMode mode, size_t rows, uint64_t oltp,
-                     uint64_t olap, size_t threads) {
+                     uint64_t olap, size_t threads,
+                     const DurabilitySetup& durability) {
   engine::DatabaseConfig config = engine::DatabaseConfig::ForMode(mode);
   config.snapshot_interval_commits = 10000;
+  if (durability.mode != wal::DurabilityMode::kOff) {
+    config.durability = durability.mode;
+    config.data_dir = durability.data_dir;
+    wal::RemoveDirRecursive(config.data_dir);  // Fresh database per run.
+  }
   engine::Database db(config);
   db.Start();
   tpch::TpchConfig tpch;
@@ -33,6 +48,9 @@ double RunThroughput(txn::ProcessingMode mode, size_t rows, uint64_t oltp,
   workload.threads = threads;
   const tpch::WorkloadResult result = driver.RunMixed(workload);
   db.Stop();
+  if (durability.mode != wal::DurabilityMode::kOff) {
+    wal::RemoveDirRecursive(durability.data_dir);
+  }
   return result.throughput_tps;
 }
 
@@ -52,12 +70,30 @@ int main(int argc, char** argv) {
       flags.Int("oltp", flags.Has("full") ? 500000 : 150000));
   const size_t threads = static_cast<size_t>(flags.Int("threads", 8));
   const std::string json_out = flags.Str("json_out", "");
+  // WAL overhead comparison: --durability={off,lazy,group_commit} with
+  // --data_dir (use tmpfs, e.g. /dev/shm, to measure the protocol rather
+  // than the disk). --hetero_only / --oltp_only shrink the matrix for CI.
+  const std::string durability_name = flags.Str("durability", "off");
+  DurabilitySetup durability;
+  durability.data_dir = flags.Str("data_dir", "/tmp/anker_fig8_wal");
+  const bool hetero_only = flags.Has("hetero_only");
+  const bool oltp_only = flags.Has("oltp_only");
   flags.RejectUnknown();
+  if (durability_name == "lazy") {
+    durability.mode = wal::DurabilityMode::kLazy;
+  } else if (durability_name == "group_commit") {
+    durability.mode = wal::DurabilityMode::kGroupCommit;
+  } else if (durability_name != "off") {
+    std::fprintf(stderr, "unknown --durability=%s\n",
+                 durability_name.c_str());
+    return 64;
+  }
 
   bench::JsonReport report("fig8_throughput");
   report["flags"]["li_rows"] = rows;
   report["flags"]["oltp"] = oltp;
   report["flags"]["threads"] = threads;
+  report["flags"]["durability"] = durability_name;
 
   bench::PrintHeader(
       "Figure 8: transaction throughput (x1000 txns/sec)",
@@ -66,25 +102,29 @@ int main(int argc, char** argv) {
   std::printf("lineitem rows: %zu, %zu OLTP txns, %zu threads\n\n", rows,
               static_cast<size_t>(oltp), threads);
 
-  const txn::ProcessingMode modes[] = {
-      txn::ProcessingMode::kHomogeneousSerializable,
-      txn::ProcessingMode::kHomogeneousSnapshotIsolation,
-      txn::ProcessingMode::kHeterogeneousSerializable,
-  };
+  std::vector<txn::ProcessingMode> modes;
+  if (!hetero_only) {
+    modes.push_back(txn::ProcessingMode::kHomogeneousSerializable);
+    modes.push_back(txn::ProcessingMode::kHomogeneousSnapshotIsolation);
+  }
+  modes.push_back(txn::ProcessingMode::kHeterogeneousSerializable);
 
   std::printf("%-34s %18s %24s\n", "Configuration", "OLTP only [ktps]",
               "OLTP + 10 OLAP [ktps]");
   for (txn::ProcessingMode mode : modes) {
-    const double oltp_only =
-        RunThroughput(mode, rows, oltp, 0, threads) / 1000.0;
+    const double oltp_ktps =
+        RunThroughput(mode, rows, oltp, 0, threads, durability) / 1000.0;
     const double mixed =
-        RunThroughput(mode, rows, oltp, 10, threads) / 1000.0;
+        oltp_only
+            ? 0.0
+            : RunThroughput(mode, rows, oltp, 10, threads, durability) /
+                  1000.0;
     std::printf("%-34s %18.1f %24.1f\n", txn::ProcessingModeName(mode),
-                oltp_only, mixed);
+                oltp_ktps, mixed);
     std::fflush(stdout);
     auto& row = report["throughput"].Append();
     row["mode"] = txn::ProcessingModeName(mode);
-    row["oltp_only_ktps"] = oltp_only;
+    row["oltp_only_ktps"] = oltp_ktps;
     row["mixed_ktps"] = mixed;
   }
   report.Write(json_out);

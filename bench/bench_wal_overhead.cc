@@ -1,0 +1,170 @@
+// Durability price list: what the write-ahead log costs the OLTP side.
+//
+// Sweeps the three durability modes over the paper's OLTP workload
+// (heterogeneous configuration) on the same data directory — put it on
+// tmpfs (--data_dir=/dev/shm/...) to measure the protocol (serialization,
+// group-commit batching, flusher handoff) rather than a disk. Reports:
+//   - throughput per mode and the overhead ratio vs. durability=off,
+//   - fsync batching (commits per sync) under group commit,
+//   - checkpoint duration while OLTP keeps running (the non-stalling
+//     claim, quantified),
+//   - recovery time and digest equality after reopening the database.
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "tpch/workload_driver.h"
+#include "wal/io_util.h"
+
+namespace anker {
+namespace {
+
+struct ModeResult {
+  double ktps = 0;
+  double wall_seconds = 0;
+  uint64_t syncs = 0;
+  uint64_t commits = 0;
+  double checkpoint_seconds = 0;
+  double recovery_seconds = 0;
+  uint64_t digest = 0;
+  uint64_t recovered_digest = 0;
+};
+
+ModeResult RunMode(wal::DurabilityMode mode, const std::string& data_dir,
+                   size_t rows, uint64_t oltp, size_t threads) {
+  ModeResult result;
+  wal::RemoveDirRecursive(data_dir);
+
+  engine::DatabaseConfig config;  // Heterogeneous serializable.
+  config.snapshot_interval_commits = 10000;
+  if (mode != wal::DurabilityMode::kOff) {
+    config.durability = mode;
+    config.data_dir = data_dir;
+  }
+  {
+    engine::Database db(config);
+    db.Start();
+    tpch::TpchConfig tpch;
+    tpch.lineitem_rows = rows;
+    auto loaded = tpch::LoadTpch(&db, tpch);
+    ANKER_CHECK(loaded.ok());
+    tpch::WorkloadDriver driver(&db, loaded.value());
+    ANKER_CHECK(driver.WarmupSnapshots().ok());
+    if (mode != wal::DurabilityMode::kOff) {
+      ANKER_CHECK(db.Checkpoint().ok());  // Bootstrap: load becomes durable.
+    }
+
+    const uint64_t syncs_before =
+        db.log_writer() != nullptr ? db.log_writer()->sync_count() : 0;
+    tpch::WorkloadConfig workload;
+    workload.oltp_transactions = oltp;
+    workload.threads = threads;
+    const tpch::WorkloadResult run = driver.RunMixed(workload);
+    result.ktps = run.throughput_tps / 1000.0;
+    result.wall_seconds = run.wall_seconds;
+    result.commits = run.oltp_committed;
+    if (db.log_writer() != nullptr) {
+      result.syncs = db.log_writer()->sync_count() - syncs_before;
+    }
+
+    if (mode != wal::DurabilityMode::kOff) {
+      // Checkpoint under pressure: OLTP keeps running on 2 worker threads
+      // while the checkpoint streams the snapshot image.
+      std::atomic<bool> stop{false};
+      std::thread pressure([&] {
+        Rng rng(99);
+        while (!stop.load(std::memory_order_relaxed)) {
+          driver.oltp().RunRandom(&rng);
+        }
+      });
+      Timer timer;
+      ANKER_CHECK(db.Checkpoint().ok());
+      result.checkpoint_seconds = timer.ElapsedSeconds();
+      stop.store(true);
+      pressure.join();
+      result.digest = db.ContentDigest();
+    }
+    db.Stop();
+  }
+
+  if (mode != wal::DurabilityMode::kOff) {
+    Timer timer;
+    auto reopened = engine::Database::Open(config);
+    ANKER_CHECK(reopened.ok());
+    result.recovery_seconds = timer.ElapsedSeconds();
+    result.recovered_digest = reopened.value()->ContentDigest();
+  }
+  wal::RemoveDirRecursive(data_dir);
+  return result;
+}
+
+}  // namespace
+}  // namespace anker
+
+int main(int argc, char** argv) {
+  using namespace anker;
+  bench::Flags flags(argc, argv);
+  const size_t rows = static_cast<size_t>(
+      flags.Int("li_rows", flags.Has("full") ? 6000000 : 1000000));
+  const uint64_t oltp = static_cast<uint64_t>(
+      flags.Int("oltp", flags.Has("full") ? 500000 : 100000));
+  const size_t threads = static_cast<size_t>(flags.Int("threads", 8));
+  const std::string data_dir =
+      flags.Str("data_dir", "/tmp/anker_wal_overhead");
+  const std::string json_out = flags.Str("json_out", "");
+  flags.RejectUnknown();
+
+  bench::JsonReport report("wal_overhead");
+  report["flags"]["li_rows"] = rows;
+  report["flags"]["oltp"] = oltp;
+  report["flags"]["threads"] = threads;
+  report["flags"]["data_dir"] = data_dir;
+
+  bench::PrintHeader(
+      "WAL overhead: OLTP throughput under the three durability modes",
+      "group commit batches concurrent commits into shared fsyncs; on "
+      "tmpfs the whole protocol should cost < 10%");
+  std::printf("lineitem rows: %zu, %zu OLTP txns, %zu threads, dir %s\n\n",
+              rows, static_cast<size_t>(oltp), threads, data_dir.c_str());
+
+  const struct {
+    wal::DurabilityMode mode;
+    const char* name;
+  } kModes[] = {
+      {wal::DurabilityMode::kOff, "off"},
+      {wal::DurabilityMode::kLazy, "lazy"},
+      {wal::DurabilityMode::kGroupCommit, "group_commit"},
+  };
+
+  double off_ktps = 0;
+  std::printf("%-14s %12s %10s %16s %14s %12s\n", "durability",
+              "OLTP [ktps]", "vs off", "commits/fsync", "ckpt [ms]",
+              "recover [ms]");
+  for (const auto& m : kModes) {
+    const ModeResult r = RunMode(m.mode, data_dir, rows, oltp, threads);
+    if (m.mode == wal::DurabilityMode::kOff) off_ktps = r.ktps;
+    const double ratio = off_ktps > 0 ? off_ktps / r.ktps : 0.0;
+    const double batching =
+        r.syncs > 0 ? static_cast<double>(r.commits) / r.syncs : 0.0;
+    std::printf("%-14s %12.1f %9.3fx %16.1f %14.2f %12.2f\n", m.name,
+                r.ktps, ratio, batching, r.checkpoint_seconds * 1e3,
+                r.recovery_seconds * 1e3);
+    std::fflush(stdout);
+    auto& row = report["modes"].Append();
+    row["durability"] = m.name;
+    row["oltp_ktps"] = r.ktps;
+    row["overhead_vs_off"] = ratio;
+    row["commits_per_fsync"] = batching;
+    row["checkpoint_ms"] = r.checkpoint_seconds * 1e3;
+    row["recovery_ms"] = r.recovery_seconds * 1e3;
+    const bool digest_ok =
+        m.mode == wal::DurabilityMode::kOff || r.digest == r.recovered_digest;
+    row["recovered_digest_matches"] = digest_ok;
+    ANKER_CHECK(digest_ok);
+  }
+  report.Write(json_out);
+  return 0;
+}

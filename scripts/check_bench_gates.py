@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Consolidated performance gates over the BENCH_*.json reports.
+
+Replaces the inline-Python snippets that used to live in the CI workflow:
+one thresholds file (scripts/bench_gates.json), one checker, one summary
+table. Every standalone bench emits a machine-readable report via
+--json_out; CI collects them into one directory, runs this script, and
+uploads the reports as artifacts either way.
+
+Thresholds file format:
+  {"gates": [
+      {"name": "...", "description": "...",
+       "kind": "ratio",                 # metric = numerator / denominator
+       "numerator":   {"file": "...", "path": "a[0].b"},
+       "denominator": {"file": "...", "path": "a[key=value].b"},
+       "max": 1.10},
+      {"name": "...",
+       "kind": "value",                 # metric read directly
+       "value": {"file": "...", "path": "..."},
+       "max": 1.10}
+  ]}
+
+Path syntax: dot-separated member access; `[N]` indexes an array,
+`[key=value]` selects the array element whose member `key` stringifies to
+`value` (how per-mode rows are addressed).
+
+Exit code 0 iff every gate holds. A missing file or path is a hard
+failure — a gate that silently stops measuring is worse than a red build.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+_TOKEN = re.compile(r"([A-Za-z0-9_]+)((?:\[[^\]]+\])*)$")
+
+
+def resolve_path(doc, path):
+    node = doc
+    for part in path.split("."):
+        match = _TOKEN.match(part)
+        if not match:
+            raise KeyError(f"bad path token {part!r}")
+        name, selectors = match.groups()
+        if not isinstance(node, dict) or name not in node:
+            raise KeyError(f"no member {name!r}")
+        node = node[name]
+        for selector in re.findall(r"\[([^\]]+)\]", selectors):
+            if "=" in selector:
+                key, _, want = selector.partition("=")
+                matches = [e for e in node
+                           if isinstance(e, dict) and str(e.get(key)) == want]
+                if not matches:
+                    raise KeyError(f"no element with {key}={want!r}")
+                node = matches[0]
+            else:
+                node = node[int(selector)]
+    return node
+
+
+def read_metric(spec, directory):
+    path = os.path.join(directory, spec["file"])
+    with open(path) as f:
+        doc = json.load(f)
+    value = resolve_path(doc, spec["path"])
+    if not isinstance(value, (int, float)):
+        raise TypeError(f"{spec['file']}:{spec['path']} is not a number")
+    return float(value)
+
+
+def evaluate(gate, directory):
+    if gate["kind"] == "ratio":
+        numerator = read_metric(gate["numerator"], directory)
+        denominator = read_metric(gate["denominator"], directory)
+        if denominator == 0:
+            raise ZeroDivisionError("denominator metric is zero")
+        return numerator / denominator
+    if gate["kind"] == "value":
+        return read_metric(gate["value"], directory)
+    raise ValueError(f"unknown gate kind {gate['kind']!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--thresholds", required=True,
+                        help="path to the gates JSON (scripts/bench_gates.json)")
+    parser.add_argument("--dir", required=True,
+                        help="directory holding the BENCH_*.json reports")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated gate names to check (default all)")
+    args = parser.parse_args()
+
+    with open(args.thresholds) as f:
+        config = json.load(f)
+    only = set(args.only.split(",")) if args.only else None
+
+    failures = []
+    checked = 0
+    width = max((len(g["name"]) for g in config["gates"]), default=20)
+    for gate in config["gates"]:
+        if only is not None and gate["name"] not in only:
+            continue
+        checked += 1
+        try:
+            metric = evaluate(gate, args.dir)
+        except Exception as error:  # noqa: BLE001 — any miss fails the gate
+            print(f"FAIL  {gate['name']:<{width}}  unmeasurable: {error}")
+            failures.append(gate["name"])
+            continue
+        ok = True
+        bounds = []
+        if "max" in gate:
+            bounds.append(f"max {gate['max']:g}")
+            ok = ok and metric <= gate["max"]
+        if "min" in gate:
+            bounds.append(f"min {gate['min']:g}")
+            ok = ok and metric >= gate["min"]
+        verdict = "ok  " if ok else "FAIL"
+        print(f"{verdict}  {gate['name']:<{width}}  {metric:8.3f}  "
+              f"({', '.join(bounds)})  {gate.get('description', '')}")
+        if not ok:
+            failures.append(gate["name"])
+
+    if only is not None and checked < len(only):
+        missing = only - {g["name"] for g in config["gates"]}
+        print(f"FAIL  unknown gate name(s): {', '.join(sorted(missing))}")
+        failures.append("unknown-gates")
+
+    if failures:
+        print(f"\n{len(failures)} gate(s) failed: {', '.join(failures)}")
+        return 1
+    print(f"\nAll {checked} perf gate(s) hold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,21 @@
 #include <cstdio>
 #include <cstdlib>
 
+/// Set when compiling under ThreadSanitizer (-fsanitize=thread). The scan
+/// kernels' tight loops intentionally read column slots non-atomically
+/// and validate the block afterwards through a seqlock (the paper's
+/// tight-loop strategy); under ANKER_TSAN those reads are issued as
+/// relaxed atomic loads instead — same bytes, no compiler-level tearing —
+/// so TSan only reports *unintended* races. See RawSlotLoad in
+/// engine/executor.h.
+#if defined(__SANITIZE_THREAD__)
+#define ANKER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ANKER_TSAN 1
+#endif
+#endif
+
 /// Aborts the process with a message when an invariant is violated.
 /// Used for programming errors; recoverable errors use anker::Status.
 #define ANKER_CHECK(cond)                                                  \

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "wal/io_util.h"
+
 namespace anker::engine {
 
 DatabaseConfig DatabaseConfig::ForMode(txn::ProcessingMode mode) {
@@ -24,6 +26,15 @@ Status DatabaseConfig::Validate() const {
         std::string("homogeneous modes never snapshot; backend ") +
         snapshot::BufferBackendName(backend) +
         " would only add copy-on-write cost (use plain)");
+  }
+  if (durability != wal::DurabilityMode::kOff && data_dir.empty()) {
+    return Status::InvalidArgument(
+        std::string("durability=") + wal::DurabilityModeName(durability) +
+        " needs a data_dir for the write-ahead log");
+  }
+  if (checkpoint_interval_commits > 0 && data_dir.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint_interval_commits needs a data_dir to checkpoint into");
   }
   return Status::OK();
 }
@@ -52,21 +63,44 @@ Result<ColumnReader> OlapContext::TryReader(
 
 Result<std::unique_ptr<Database>> Database::Create(DatabaseConfig config) {
   ANKER_RETURN_IF_ERROR(config.Validate());
-  return std::make_unique<Database>(config);
+  // Environmental failures must come back as Status here, not as the
+  // plain constructor's CHECK-abort: configs (and data_dirs) reaching
+  // Create are user input.
+  std::unique_ptr<Database> db(new Database(std::move(config), OpenTag{}));
+  if (db->config_.durability != wal::DurabilityMode::kOff) {
+    if (wal::PathExists(db->config_.data_dir + "/CURRENT") ||
+        wal::PathExists(db->wal_dir())) {
+      return Status::AlreadyExists(
+          "data_dir already holds durable state; reopen it with "
+          "Database::Open");
+    }
+    ANKER_RETURN_IF_ERROR(db->StartWal(1));
+  }
+  return db;
 }
 
 Database::Database(DatabaseConfig config)
-    : config_(config), txn_manager_(config.mode) {
+    : Database(std::move(config), OpenTag{}) {
+  if (config_.durability != wal::DurabilityMode::kOff) {
+    // A plain constructor means "fresh database". Existing durable state
+    // must go through Open(), which replays it — silently truncating an
+    // old log here would be data loss.
+    ANKER_CHECK_MSG(
+        !wal::PathExists(config_.data_dir + "/CURRENT") &&
+            !wal::PathExists(wal_dir()),
+        "data_dir already holds durable state; reopen it with Database::Open");
+    const Status started = StartWal(1);
+    ANKER_CHECK_MSG(started.ok(), started.message().c_str());
+  }
+}
+
+Database::Database(DatabaseConfig config, OpenTag)
+    : config_(std::move(config)), txn_manager_(config_.mode) {
   const Status valid = config_.Validate();
   ANKER_CHECK_MSG(valid.ok(), valid.message().c_str());
   if (config_.heterogeneous()) {
     snapshot_manager_ = std::make_unique<SnapshotManager>(
         &txn_manager_.oracle(), &txn_manager_.registry());
-    const uint64_t interval = config_.snapshot_interval_commits;
-    SnapshotManager* manager = snapshot_manager_.get();
-    txn_manager_.SetCommitHook([manager, interval](uint64_t commits) {
-      if (interval > 0 && commits % interval == 0) manager->TriggerEpoch();
-    });
   } else {
     gc_ = std::make_unique<mvcc::GarbageCollector>(
         [this] {
@@ -78,6 +112,22 @@ Database::Database(DatabaseConfig config)
         },
         &txn_manager_.registry(), &txn_manager_.oracle(),
         config_.gc_interval_millis);
+  }
+  const uint64_t snap_interval =
+      config_.heterogeneous() ? config_.snapshot_interval_commits : 0;
+  const uint64_t ckpt_interval = config_.checkpoint_interval_commits;
+  if (snap_interval > 0 || ckpt_interval > 0) {
+    SnapshotManager* manager = snapshot_manager_.get();
+    txn_manager_.SetCommitHook(
+        [this, manager, snap_interval, ckpt_interval](uint64_t commits) {
+          if (snap_interval > 0 && manager != nullptr &&
+              commits % snap_interval == 0) {
+            manager->TriggerEpoch();
+          }
+          if (ckpt_interval > 0 && commits % ckpt_interval == 0) {
+            ScheduleCheckpoint();
+          }
+        });
   }
 }
 
@@ -108,15 +158,80 @@ ThreadPool& Database::worker_pool() {
   return *pool_;
 }
 
-Result<storage::Table*> Database::CreateTable(
+Result<storage::Table*> Database::PublishTable(
+    std::unique_ptr<storage::Table> table) {
+  storage::Table* raw = table.get();
+  // Stable ids must be in place before AddTable publishes the table: a
+  // concurrent thread may obtain it through the catalog and commit
+  // immediately, and the redo sink reads these ids lock-free.
+  const uint32_t table_id = static_cast<uint32_t>(tables_by_id_.size());
+  for (size_t j = 0; j < raw->num_columns(); ++j) {
+    raw->GetColumnAt(j)->SetStableId(table_id, static_cast<uint32_t>(j));
+  }
+  ANKER_RETURN_IF_ERROR(catalog_.AddTable(std::move(table)));
+  tables_by_id_.push_back(raw);
+  return raw;
+}
+
+Result<storage::Table*> Database::CreateTableInternal(
     const std::string& name, const std::vector<storage::ColumnDef>& schema,
     size_t num_rows) {
   auto table = storage::Table::Create(name, schema, num_rows,
                                       config_.backend);
   if (!table.ok()) return table.status();
-  storage::Table* raw = table.value().get();
-  ANKER_RETURN_IF_ERROR(catalog_.AddTable(table.TakeValue()));
-  return raw;
+  return PublishTable(table.TakeValue());
+}
+
+Result<storage::Table*> Database::CreateTable(
+    const std::string& name, const std::vector<storage::ColumnDef>& schema,
+    size_t num_rows) {
+  std::lock_guard<std::mutex> guard(create_table_mutex_);
+  if (log_ == nullptr) return CreateTableInternal(name, schema, num_rows);
+
+  // Durable path: the schema record must be in the log *before* the
+  // table becomes reachable through the catalog — a concurrent thread
+  // may obtain the table and commit immediately, and recovery refuses a
+  // log where a commit record precedes its table's kCreateTable record.
+  // The name is checked first (under this mutex, the only table-adding
+  // path besides single-threaded recovery) so a duplicate name cannot
+  // leave a stray schema record. The one remaining stray-record window is
+  // a failed group-commit WaitDurable below: the record may reach the
+  // disk although the create returns an error — acceptable, because a
+  // poisoned log fails every subsequent commit anyway and replaying the
+  // record after a restart merely creates an empty table with the schema
+  // the caller asked for.
+  if (catalog_.HasTable(name)) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  auto table = storage::Table::Create(name, schema, num_rows,
+                                      config_.backend);
+  if (!table.ok()) return table.status();
+
+  // Log the schema so a table created after the last checkpoint exists
+  // again before its commits replay. Note the bulk-load path
+  // (Column::LoadValue) is NOT logged: loaded data becomes durable with
+  // the first Checkpoint() — see docs/DURABILITY.md.
+  //
+  // The record is stamped with a fresh oracle tick: checkpoint truncation
+  // deletes segments whose newest timestamp the checkpoint covers, and an
+  // unstamped record could be the only durable trace of a table the
+  // in-flight checkpoint does not contain. Checkpoint() captures its
+  // table set under create_table_mutex_ *including* the snapshot pin, so
+  // a create that misses the capture draws its tick after ckpt_ts and the
+  // record (plus all the table's commits) outlives the truncation.
+  std::string payload;
+  wal::EncodeCreateTable(static_cast<uint32_t>(tables_by_id_.size()), name,
+                         num_rows, schema, &payload);
+  if (payload.size() > wal::kMaxRecordBytes) {
+    return Status::InvalidArgument(
+        "table schema exceeds the WAL record size limit");
+  }
+  const mvcc::Timestamp stamp = txn_manager_.oracle().Next();
+  const uint64_t lsn = log_->Append(payload, stamp);
+  if (config_.durability == wal::DurabilityMode::kGroupCommit) {
+    ANKER_RETURN_IF_ERROR(log_->WaitDurable(lsn));
+  }
+  return PublishTable(table.TakeValue());
 }
 
 Result<std::unique_ptr<OlapContext>> Database::BeginOlap(

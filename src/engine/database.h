@@ -1,6 +1,7 @@
 #ifndef ANKER_ENGINE_DATABASE_H_
 #define ANKER_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -13,6 +14,8 @@
 #include "mvcc/garbage_collector.h"
 #include "storage/catalog.h"
 #include "txn/transaction_manager.h"
+#include "wal/log_writer.h"
+#include "wal/wal_format.h"
 
 namespace anker::query {
 class Query;
@@ -42,6 +45,23 @@ struct DatabaseConfig {
   /// 0 = max(hardware concurrency, scan_threads). The pool is created
   /// lazily on first use and grows on demand, never shrinks.
   size_t worker_threads = 0;
+
+  /// Durability policy (see wal::DurabilityMode). Anything other than kOff
+  /// requires `data_dir` and turns every non-read-only commit into a redo
+  /// record in <data_dir>/wal/.
+  wal::DurabilityMode durability = wal::DurabilityMode::kOff;
+  /// Directory holding the WAL and checkpoints. With durability off it may
+  /// still be set to enable explicit Checkpoint() calls (backup-style
+  /// durability without a log).
+  std::string data_dir;
+  /// WAL segments rotate at this size.
+  size_t wal_segment_bytes = 8u << 20;
+  /// Lazy durability: background flush cadence in milliseconds.
+  int wal_flush_interval_millis = 5;
+  /// Automatic checkpoint cadence: every this many commits the engine
+  /// schedules a Checkpoint() on the worker pool (0 = manual only).
+  /// Requires data_dir.
+  uint64_t checkpoint_interval_commits = 0;
 
   bool heterogeneous() const {
     return mode == txn::ProcessingMode::kHeterogeneousSerializable;
@@ -107,15 +127,29 @@ class OlapContext {
   size_t scan_threads_ = 1;
 };
 
+/// Result of one Checkpoint() call.
+struct CheckpointResult {
+  mvcc::Timestamp checkpoint_ts = 0;
+  std::string directory;  ///< Published checkpoint directory.
+};
+
 /// The AnKerDB engine: a column-oriented main-memory MVCC store with a
 /// configurable processing model. Heterogeneous mode outsources OLAP
 /// transactions onto fine-granular virtual snapshots; homogeneous modes
 /// execute everything on the up-to-date representation (snapshots
 /// disabled), matching the paper's evaluation baselines.
+///
+/// Durability (src/wal/): with DatabaseConfig::durability enabled, every
+/// commit emits a redo record into a segmented write-ahead log, and
+/// Checkpoint() streams a snapshot-consistent image of all tables next to
+/// it. Database::Open() reverses the process after a crash: load the last
+/// checkpoint, replay the WAL tail, continue. See docs/DURABILITY.md.
 class Database {
  public:
   /// CHECK-fails on an invalid configuration (see DatabaseConfig::
   /// Validate); use Create when the configuration comes from user input.
+  /// Creates a *fresh* database: with durability enabled, data_dir must
+  /// not already contain one (reopen existing state with Open).
   explicit Database(DatabaseConfig config);
   ~Database();
   ANKER_DISALLOW_COPY_AND_MOVE(Database);
@@ -123,6 +157,35 @@ class Database {
   /// Validating factory: returns InvalidArgument instead of aborting on a
   /// rejected mode/backend combination.
   static Result<std::unique_ptr<Database>> Create(DatabaseConfig config);
+
+  /// Recovers a database from config.data_dir: loads the checkpoint that
+  /// CURRENT points at (if any), replays every WAL record with
+  /// commit_ts > checkpoint_ts through the normal transaction-manager
+  /// apply path, restores the timestamp oracle and visibility watermark,
+  /// truncates a torn log tail, and resumes logging into a fresh segment.
+  /// An empty directory yields an empty database — Open is the universal
+  /// entry point for durable instances.
+  static Result<std::unique_ptr<Database>> Open(DatabaseConfig config);
+
+  /// Writes a snapshot-consistent checkpoint of every table to data_dir
+  /// and truncates the WAL through its timestamp. OLTP never stalls: the
+  /// image is read off a virtual snapshot (heterogeneous) or through MVCC
+  /// reads at the transaction's start timestamp (homogeneous modes).
+  /// Serialized against itself; concurrent commits proceed. Always
+  /// rewrites the image — bulk loads and creates change state without
+  /// advancing commit timestamps, so there is no safe "nothing changed"
+  /// shortcut.
+  Result<CheckpointResult> Checkpoint();
+
+  /// FNV-1a digest over the committed state of every table (schema, latest
+  /// values, dictionary contents), tables in name order. Only meaningful
+  /// on a quiesced engine; tests and the crash harness use it to compare
+  /// recovered state against an in-memory reference run.
+  uint64_t ContentDigest() const;
+
+  /// The redo log writer, or nullptr with durability off (observability:
+  /// benches report fsync batching, tests force syncs).
+  wal::LogWriter* log_writer() { return log_.get(); }
 
   const DatabaseConfig& config() const { return config_; }
 
@@ -180,14 +243,67 @@ class Database {
   void Stop();
 
  private:
+  /// Tag for the deferred-WAL constructor Open() uses: recovery must load
+  /// the checkpoint and replay the log before the writer may touch the
+  /// segment files.
+  struct OpenTag {};
+  Database(DatabaseConfig config, OpenTag);
+
+  /// Assigns stable WAL ids and publishes a built table (catalog +
+  /// tables_by_id_). Shared tail of the runtime and recovery create
+  /// paths; caller holds create_table_mutex_ (or is single-threaded
+  /// recovery).
+  Result<storage::Table*> PublishTable(std::unique_ptr<storage::Table> table);
+
+  /// Creates the table and registers it for WAL addressing, without
+  /// logging a kCreateTable record (recovery re-creates tables from the
+  /// manifest/log and must not re-log them).
+  Result<storage::Table*> CreateTableInternal(
+      const std::string& name, const std::vector<storage::ColumnDef>& schema,
+      size_t num_rows);
+
+  /// Loads checkpoint + WAL from data_dir (Open's second phase).
+  Status Recover();
+
+  /// Opens the log writer at `first_segment_seq` and installs the
+  /// transaction manager's durability hooks. Recovery hands over the
+  /// surviving pre-crash segments so checkpoint truncation owns them.
+  Status StartWal(uint64_t first_segment_seq,
+                  const std::vector<wal::PriorSegment>& existing = {});
+
+  /// Serializes one commit's write set as a redo record and appends it
+  /// (called from the commit critical section via the durability sink).
+  uint64_t AppendCommitRecord(
+      mvcc::Timestamp commit_ts,
+      const std::vector<txn::Transaction::LocalWrite>& writes);
+
+  /// Commit-hook half of auto-checkpointing: schedules a Checkpoint() on
+  /// the worker pool unless one is already pending.
+  void ScheduleCheckpoint();
+
+  std::string wal_dir() const { return config_.data_dir + "/wal"; }
+
   DatabaseConfig config_;
   storage::Catalog catalog_;
   txn::TransactionManager txn_manager_;
   std::unique_ptr<SnapshotManager> snapshot_manager_;
   std::unique_ptr<mvcc::GarbageCollector> gc_;
+
+  // Durability state. tables_by_id_ fixes the WAL/checkpoint addressing
+  // (table_id = creation order, column_id = schema position; the reverse
+  // direction lives in each Column's stable id, readable lock-free on the
+  // commit path). Guarded by create_table_mutex_ against concurrent
+  // creates; Checkpoint() copies it under the same mutex.
+  std::unique_ptr<wal::LogWriter> log_;
+  std::vector<storage::Table*> tables_by_id_;
+  std::mutex create_table_mutex_;
+  std::mutex checkpoint_mutex_;
+  std::atomic<bool> checkpoint_pending_{false};
+
   std::mutex pool_mutex_;
-  /// Declared last: its destructor joins the workers before any engine
-  /// state they might still touch is torn down.
+  /// Declared last: its destructor joins the workers (including pending
+  /// checkpoint tasks) before any engine state they might still touch is
+  /// torn down.
   std::unique_ptr<ThreadPool> pool_;
   bool started_ = false;
 };

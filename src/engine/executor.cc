@@ -13,7 +13,7 @@ ColumnReader ColumnReader::ForSnapshot(const storage::ColumnSnapshot& snap,
 ColumnReader ColumnReader::ForLive(const storage::Column* column,
                                    mvcc::Timestamp read_ts) {
   return ColumnReader(column->raw_data(),
-                      column->versions()->current().get(), read_ts,
+                      column->versions()->current_raw(), read_ts,
                       column->num_rows(), /*allows_ts_skip=*/false);
 }
 
@@ -22,12 +22,13 @@ uint64_t ColumnReader::ResolveChain(size_t row, uint64_t slot) const {
   const mvcc::ChainDirectory* dir = dir_;
   while (dir != nullptr) {
     for (const mvcc::VersionNode* node = dir->Head(row); node != nullptr;
-         node = node->next) {
+         node = mvcc::LoadNext(node)) {
       if (node->ts <= read_ts_) return candidate;
       candidate = node->value;
     }
-    const mvcc::ChainDirectory* prev = dir->prev().get();
-    if (prev == nullptr || read_ts_ >= prev->seal_ts()) return candidate;
+    if (read_ts_ >= dir->prev_seal_ts()) return candidate;
+    const mvcc::ChainDirectory* prev = dir->prev_raw();
+    if (prev == nullptr) return candidate;
     dir = prev;
   }
   return candidate;
@@ -49,8 +50,7 @@ ScanDriver::ScanDriver(std::vector<const ColumnReader*> readers)
   for (size_t i = 0; i < readers_.size(); ++i) {
     const ColumnReader& reader = *readers_[i];
     needs_prev_[i] = reader.versioned() &&
-                     reader.dir()->prev() != nullptr &&
-                     reader.read_ts() < reader.dir()->prev()->seal_ts();
+                     reader.read_ts() < reader.dir()->prev_seal_ts();
   }
 }
 
@@ -114,20 +114,32 @@ const uint64_t* ScanDriver::StageHinted(size_t i, size_t begin, size_t end,
                                         uint64_t* stage) const {
   const size_t first = scratch.hint_first[i];
   const size_t last = scratch.hint_last[i];
+  const uint64_t* raw = raw_bases_[i];
   if (first == SIZE_MAX) {
+#ifdef ANKER_TSAN
+    // Kernels read spans with plain loads; stage via relaxed atomics.
+    for (size_t r = begin; r < end; ++r) {
+      stage[r - begin] = RawSlotLoad(raw + r);
+    }
+    return stage;
+#else
     // No relevant versions in this block for this reader: expose the raw
     // span directly, no copy.
-    return raw_bases_[i] + begin;
+    return raw + begin;
+#endif
   }
   const ColumnReader& reader = *readers_[i];
-  const uint64_t* raw = raw_bases_[i];
   const size_t resolve_begin = std::max(begin, first);
   const size_t resolve_end = std::min(end, last + 1);
-  for (size_t r = begin; r < resolve_begin; ++r) stage[r - begin] = raw[r];
+  for (size_t r = begin; r < resolve_begin; ++r) {
+    stage[r - begin] = RawSlotLoad(raw + r);
+  }
   for (size_t r = resolve_begin; r < resolve_end; ++r) {
     stage[r - begin] = reader.Get(r);
   }
-  for (size_t r = resolve_end; r < end; ++r) stage[r - begin] = raw[r];
+  for (size_t r = resolve_end; r < end; ++r) {
+    stage[r - begin] = RawSlotLoad(raw + r);
+  }
   return stage;
 }
 

@@ -16,6 +16,22 @@
 
 namespace anker::engine {
 
+/// Raw slot read of the tight/hinted scan kernels. Normally a plain load:
+/// intentionally racy against in-place committers and validated after the
+/// fact by the per-block seqlock (a block that raced a commit is
+/// discarded and redone through the safe kernel) — the paper's tight-loop
+/// contract. Under ThreadSanitizer the same read becomes a relaxed atomic
+/// load: identical bytes and codegen cost in the sanitized build only,
+/// and TSan stops flagging the one race the engine is designed to
+/// tolerate, so anything it still reports is a real ordering bug.
+inline uint64_t RawSlotLoad(const uint64_t* slot) {
+#ifdef ANKER_TSAN
+  return __atomic_load_n(slot, __ATOMIC_RELAXED);
+#else
+  return *slot;
+#endif
+}
+
 /// Read-path handle on one column: a raw slot array plus (optionally) the
 /// version chains and read timestamp needed to resolve versioned rows.
 /// Two flavors exist:
@@ -49,7 +65,7 @@ class ColumnReader {
   /// Raw slot value without any version checks. Only correct when the
   /// caller proved the row cannot carry a relevant version (tight loops).
   inline uint64_t GetRaw(size_t row) const {
-    return reinterpret_cast<const uint64_t*>(base_)[row];
+    return RawSlotLoad(reinterpret_cast<const uint64_t*>(base_) + row);
   }
 
   /// Raw slot array for specialized block kernels (see ScanDriver): valid
@@ -177,7 +193,9 @@ class ScanDriver {
   /// reader indirection.
   class TightRow {
    public:
-    inline uint64_t Col(size_t i) const { return cols_[i][row_]; }
+    inline uint64_t Col(size_t i) const {
+      return RawSlotLoad(cols_[i] + row_);
+    }
     size_t row() const { return row_; }
 
    private:
@@ -192,7 +210,7 @@ class ScanDriver {
    public:
     inline uint64_t Col(size_t i) const {
       if (row_ < hint_first_[i] || row_ > hint_last_[i]) {
-        return cols_[i][row_];
+        return RawSlotLoad(cols_[i] + row_);
       }
       return readers_[i]->Get(row_);
     }
@@ -476,9 +494,24 @@ class ScanDriver {
 
       if (cls.mode != BlockMode::kSafe) {
         if (cls.mode == BlockMode::kTight) {
+#ifdef ANKER_TSAN
+          // Downstream block kernels read the exposed spans with plain
+          // loads; under TSan, stage them through relaxed atomic copies
+          // instead of pointing into the live slot arrays.
+          EnsureStage(scratch);
+          for (size_t i = 0; i < num_readers; ++i) {
+            uint64_t* stage =
+                scratch->stage.data() + i * mvcc::kRowsPerBlock;
+            for (size_t r = begin; r < end; ++r) {
+              stage[r - begin] = RawSlotLoad(raw_bases_[i] + r);
+            }
+            scratch->block_cols[i] = stage;
+          }
+#else
           for (size_t i = 0; i < num_readers; ++i) {
             scratch->block_cols[i] = raw_bases_[i] + begin;
           }
+#endif
         } else {
           EnsureStage(scratch);
           for (size_t i = 0; i < num_readers; ++i) {

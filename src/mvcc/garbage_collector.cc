@@ -56,13 +56,21 @@ size_t GarbageCollector::CollectOnce() {
   // to every current and future reader.
   const Timestamp min_active =
       registry_->MinStartTs(/*fallback=*/oracle_->Current());
-  const uint64_t boundary = registry_->CurrentSerial();
 
   std::vector<RetiredChain> unlinked_chains;
   size_t unlinked = 0;
   for (VersionStore* store : stores_()) {
     unlinked += store->TruncateOlderThan(min_active, &unlinked_chains);
   }
+  // The drain boundary must be captured *after* the unlink: a reader that
+  // begins while the truncation runs can still walk into a suffix right
+  // before it is cut loose, and recycling may only happen once that
+  // reader has ended too. Readers beginning after this point start from
+  // the already-truncated heads and can never reach the retired nodes.
+  // (Capturing the serial before the unlink let such a reader slip past
+  // the `min_serial > boundary` drain check — a use-after-recycle found
+  // by the ThreadSanitizer CI job.)
+  const uint64_t boundary = registry_->CurrentSerial();
   if (!unlinked_chains.empty()) {
     std::lock_guard<std::mutex> guard(retired_mutex_);
     for (RetiredChain& chain : unlinked_chains) {

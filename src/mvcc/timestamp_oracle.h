@@ -29,6 +29,18 @@ class TimestampOracle {
     return counter_.load(std::memory_order_acquire) - 1;
   }
 
+  /// Moves the dispenser forward so every future Next() is strictly
+  /// greater than `ts`. Never moves it backward. Used by recovery to
+  /// restore the pre-crash timeline: replayed commits keep their logged
+  /// timestamps, and new transactions must start above all of them.
+  void AdvanceTo(Timestamp ts) {
+    Timestamp cur = counter_.load(std::memory_order_relaxed);
+    while (cur < ts + 1 && !counter_.compare_exchange_weak(
+                               cur, ts + 1, std::memory_order_acq_rel,
+                               std::memory_order_relaxed)) {
+    }
+  }
+
  private:
   std::atomic<Timestamp> counter_{1};
 };

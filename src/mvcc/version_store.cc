@@ -52,6 +52,8 @@ ChainDirectory::ChainDirectory(size_t num_rows,
     : num_rows_(num_rows),
       blocks_((num_rows + kRowsPerBlock - 1) / kRowsPerBlock),
       prev_(std::move(prev)) {
+  prev_raw_.store(prev_.get(), std::memory_order_relaxed);
+  if (prev_ != nullptr) prev_seal_ts_ = prev_->seal_ts();
   for (auto& block : blocks_) block.store(nullptr, std::memory_order_relaxed);
 }
 
@@ -118,7 +120,7 @@ void ChainDirectory::AddVersion(size_t row, uint64_t old_value,
   VersionNode* node = arena_.Allocate();
   node->value = old_value;
   node->ts = commit_ts;
-  node->next = block->heads[in_block].load(std::memory_order_relaxed);
+  StoreNext(node, block->heads[in_block].load(std::memory_order_relaxed));
   block->heads[in_block].store(node, std::memory_order_release);
   total_versions_.fetch_add(1, std::memory_order_relaxed);
 
@@ -170,23 +172,29 @@ size_t ChainDirectory::TruncateOlderThan(Timestamp min_active,
         if (head_slot.compare_exchange_strong(head, nullptr,
                                               std::memory_order_acq_rel)) {
           retired->push_back(head);
-          for (VersionNode* n = head; n != nullptr; n = n->next) ++unlinked;
+          for (const VersionNode* n = head; n != nullptr; n = LoadNext(n)) {
+            ++unlinked;
+          }
         }
         continue;
       }
       VersionNode* keep = head;  // Last node with ts > min_active.
-      while (keep->next != nullptr && keep->next->ts > min_active) {
-        keep = keep->next;
+      while (LoadNextMutable(keep) != nullptr &&
+             LoadNextMutable(keep)->ts > min_active) {
+        keep = LoadNextMutable(keep);
       }
-      VersionNode* dead = keep->next;
+      VersionNode* dead = LoadNextMutable(keep);
       if (dead != nullptr) {
         // Single GC thread + append-only writers (writers only ever push a
-        // new head; they never touch interior next pointers), so a plain
-        // store is safe. Readers already past `keep` continue into the
-        // retired suffix, which stays allocated until they drain.
-        keep->next = nullptr;
+        // new head; they never touch interior next pointers), so only the
+        // racing readers need the LoadNext annotation. Readers already
+        // past `keep` continue into the retired suffix, which stays
+        // allocated until they drain.
+        StoreNext(keep, nullptr);
         retired->push_back(dead);
-        for (VersionNode* n = dead; n != nullptr; n = n->next) ++unlinked;
+        for (const VersionNode* n = dead; n != nullptr; n = LoadNext(n)) {
+          ++unlinked;
+        }
       }
     }
   }
@@ -205,7 +213,9 @@ size_t ChainDirectory::RecycleChain(VersionNode* head) {
 
 VersionStore::VersionStore(size_t num_rows)
     : num_rows_(num_rows),
-      current_(std::make_shared<ChainDirectory>(num_rows, nullptr)) {}
+      current_(std::make_shared<ChainDirectory>(num_rows, nullptr)) {
+  current_raw_.store(current_.get(), std::memory_order_release);
+}
 
 void VersionStore::AddVersion(size_t row, uint64_t old_value,
                               Timestamp commit_ts) {
@@ -215,28 +225,33 @@ void VersionStore::AddVersion(size_t row, uint64_t old_value,
 uint64_t VersionStore::ResolveVisible(size_t row, Timestamp start_ts,
                                       uint64_t slot_value) const {
   uint64_t candidate = slot_value;
-  const ChainDirectory* dir = current_.get();
+  const ChainDirectory* dir = current_raw();
   while (dir != nullptr) {
     for (const VersionNode* node = dir->Head(row); node != nullptr;
-         node = node->next) {
+         node = LoadNext(node)) {
       if (node->ts <= start_ts) return candidate;
       candidate = node->value;
     }
     // Segments older than start_ts cannot carry nodes with ts > start_ts.
-    const ChainDirectory* prev = dir->prev().get();
-    if (prev == nullptr || start_ts >= prev->seal_ts()) return candidate;
+    // The cached seal timestamp decides without dereferencing prev (which
+    // may already be dropped); descending readers are guaranteed alive
+    // targets by the DropPrev precondition.
+    if (start_ts >= dir->prev_seal_ts()) return candidate;
+    const ChainDirectory* prev = dir->prev_raw();
+    if (prev == nullptr) return candidate;
     dir = prev;
   }
   return candidate;
 }
 
 Timestamp VersionStore::LastWriteTs(size_t row, Timestamp since) const {
-  const ChainDirectory* dir = current_.get();
+  const ChainDirectory* dir = current_raw();
   while (dir != nullptr) {
     const VersionNode* head = dir->Head(row);
     if (head != nullptr) return head->ts;
-    const ChainDirectory* prev = dir->prev().get();
-    if (prev == nullptr || since >= prev->seal_ts()) return kLoadTimestamp;
+    if (since >= dir->prev_seal_ts()) return kLoadTimestamp;
+    const ChainDirectory* prev = dir->prev_raw();
+    if (prev == nullptr) return kLoadTimestamp;
     dir = prev;
   }
   return kLoadTimestamp;
@@ -250,6 +265,9 @@ std::shared_ptr<ChainDirectory> VersionStore::SealEpoch(Timestamp seal_ts) {
   std::shared_ptr<ChainDirectory> sealed = current_;
   sealed->Seal(seal_ts);
   current_ = std::make_shared<ChainDirectory>(num_rows_, sealed);
+  // Publish only after the fresh directory is fully constructed: latch-
+  // free readers take this pointer without holding the column latch.
+  current_raw_.store(current_.get(), std::memory_order_release);
   return sealed;
 }
 

@@ -28,6 +28,41 @@ struct VersionNode {
   VersionNode* next;  ///< Older node, or nullptr.
 };
 
+/// Next-pointer access for chain walks that may race the homogeneous
+/// GC's suffix unlink (TruncateOlderThan stores nullptr into an interior
+/// `next` while readers traverse). Benign by design: the reader either
+/// continues into the retired suffix — valid, arena-owned memory until
+/// the retire list drains — or stops at the new chain end; both yield
+/// correct visibility. Plain accesses in normal builds; relaxed atomics
+/// under ThreadSanitizer (ANKER_TSAN) so only unintended races are
+/// reported.
+inline const VersionNode* LoadNext(const VersionNode* node) {
+#ifdef ANKER_TSAN
+  const VersionNode* next;
+  __atomic_load(&node->next, const_cast<VersionNode**>(&next),
+                __ATOMIC_RELAXED);
+  return next;
+#else
+  return node->next;
+#endif
+}
+inline VersionNode* LoadNextMutable(VersionNode* node) {
+#ifdef ANKER_TSAN
+  VersionNode* next;
+  __atomic_load(&node->next, &next, __ATOMIC_RELAXED);
+  return next;
+#else
+  return node->next;
+#endif
+}
+inline void StoreNext(VersionNode* node, VersionNode* next) {
+#ifdef ANKER_TSAN
+  __atomic_store(&node->next, &next, __ATOMIC_RELAXED);
+#else
+  node->next = next;
+#endif
+}
+
 /// Bump allocator for VersionNodes, owned by one ChainDirectory segment.
 /// Nodes are carved out of chunk-sized slabs, so AddVersion never hits the
 /// global heap on the commit critical path, and dropping the segment
@@ -122,14 +157,39 @@ class ChainDirectory {
   }
 
   /// Marks the directory immutable as of `seal_ts`: every node in this or
-  /// any older segment has ts <= seal_ts.
-  void Seal(Timestamp seal_ts) { seal_ts_ = seal_ts; }
-  Timestamp seal_ts() const { return seal_ts_; }
+  /// any older segment has ts <= seal_ts. Atomic because latch-free
+  /// readers (OLTP point reads) consult seal_ts while descending.
+  void Seal(Timestamp seal_ts) {
+    seal_ts_.store(seal_ts, std::memory_order_release);
+  }
+  Timestamp seal_ts() const {
+    return seal_ts_.load(std::memory_order_acquire);
+  }
 
   const std::shared_ptr<ChainDirectory>& prev() const { return prev_; }
+  /// Raw previous-segment pointer for latch-free readers: `prev_` (the
+  /// owning shared_ptr) may be reset by DropPrev under the column's
+  /// exclusive latch while a reader descends, and shared_ptr loads are
+  /// not atomic. The raw mirror is published with release/acquire;
+  /// lifetime is covered by the DropPrev precondition (no in-flight
+  /// reader is old enough to still need the dropped segment).
+  const ChainDirectory* prev_raw() const {
+    return prev_raw_.load(std::memory_order_acquire);
+  }
+  /// Seal timestamp of the previous segment, cached here at construction
+  /// (segments are sealed before the successor is created). Readers use
+  /// this to decide whether to descend *without touching prev at all* —
+  /// the previous segment may already be dropped and freed, and even a
+  /// read of its seal_ts field would be a use-after-free. 0 when the
+  /// directory has no predecessor, which reads as "nothing older can be
+  /// relevant".
+  Timestamp prev_seal_ts() const { return prev_seal_ts_; }
   /// Drops the link to the previous segment (when the previous epoch's
   /// snapshot is retired and no reader can need it anymore).
-  void DropPrev() { prev_.reset(); }
+  void DropPrev() {
+    prev_raw_.store(nullptr, std::memory_order_release);
+    prev_.reset();
+  }
 
   /// Homogeneous-mode GC: unlinks every node with ts <= `min_active` from
   /// every chain. Unlinked suffixes are handed to `retired`; they stay
@@ -164,7 +224,9 @@ class ChainDirectory {
   size_t num_rows_;
   std::vector<std::atomic<Block*>> blocks_;
   std::shared_ptr<ChainDirectory> prev_;
-  Timestamp seal_ts_ = kInfiniteTimestamp;
+  std::atomic<ChainDirectory*> prev_raw_{nullptr};
+  Timestamp prev_seal_ts_ = kLoadTimestamp;  ///< Immutable after ctor.
+  std::atomic<Timestamp> seal_ts_{kInfiniteTimestamp};
   std::atomic<size_t> total_versions_{0};
   VersionArena arena_;  ///< Owns every VersionNode linked in this segment.
 };
@@ -214,8 +276,19 @@ class VersionStore {
   /// exclusively.
   std::shared_ptr<ChainDirectory> SealEpoch(Timestamp seal_ts);
 
-  /// Current (unsealed) segment, e.g. for scan block metadata.
+  /// Current (unsealed) segment, e.g. for scan block metadata. Writer-side
+  /// accessor: callers hold the column latch (commit path, GC,
+  /// materialization), which excludes the SealEpoch swap.
   const std::shared_ptr<ChainDirectory>& current() const { return current_; }
+
+  /// Latch-free sibling of current() for readers (OLTP point reads, live
+  /// ColumnReaders): published with release by SealEpoch only after the
+  /// fresh directory is fully constructed, so an acquire load never
+  /// observes a half-built segment. The swapped-out segment stays
+  /// reachable (and alive) through the fresh one's prev chain.
+  const ChainDirectory* current_raw() const {
+    return current_raw_.load(std::memory_order_acquire);
+  }
 
   size_t num_rows() const { return num_rows_; }
 
@@ -235,6 +308,7 @@ class VersionStore {
  private:
   size_t num_rows_;
   std::shared_ptr<ChainDirectory> current_;
+  std::atomic<ChainDirectory*> current_raw_{nullptr};
 };
 
 }  // namespace anker::mvcc

@@ -3,6 +3,7 @@
 namespace anker::storage {
 
 Status Catalog::AddTable(std::unique_ptr<Table> table) {
+  std::lock_guard<std::mutex> guard(mutex_);
   const std::string& name = table->name();
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table already exists: " + name);
@@ -12,16 +13,19 @@ Status Catalog::AddTable(std::unique_ptr<Table> table) {
 }
 
 Table* Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mutex_);
   auto it = tables_.find(name);
   ANKER_CHECK_MSG(it != tables_.end(), name.c_str());
   return it->second.get();
 }
 
 bool Catalog::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mutex_);
   return tables_.count(name) > 0;
 }
 
 std::vector<Column*> Catalog::AllColumns() const {
+  std::lock_guard<std::mutex> guard(mutex_);
   std::vector<Column*> columns;
   for (const auto& [name, table] : tables_) {
     for (size_t i = 0; i < table->num_columns(); ++i) {
@@ -32,6 +36,7 @@ std::vector<Column*> Catalog::AllColumns() const {
 }
 
 std::vector<Table*> Catalog::AllTables() const {
+  std::lock_guard<std::mutex> guard(mutex_);
   std::vector<Table*> tables;
   for (const auto& [name, table] : tables_) tables.push_back(table.get());
   return tables;

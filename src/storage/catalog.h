@@ -2,6 +2,7 @@
 #define ANKER_STORAGE_CATALOG_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,8 +13,12 @@
 
 namespace anker::storage {
 
-/// Name -> Table registry for one database instance. Tables are registered
-/// during load; afterwards the catalog is read-only and safe to share.
+/// Name -> Table registry for one database instance. Mostly populated
+/// during load, but background machinery (the homogeneous GC walks
+/// AllColumns on its own thread, the checkpointer snapshots AllTables)
+/// can run while a table is still being added, so every access takes the
+/// registry mutex. Table objects themselves are stable once returned —
+/// the lock covers the map, not the tables.
 class Catalog {
  public:
   Catalog() = default;
@@ -30,9 +35,13 @@ class Catalog {
 
   std::vector<Table*> AllTables() const;
 
-  size_t num_tables() const { return tables_.size(); }
+  size_t num_tables() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return tables_.size();
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
 };
 

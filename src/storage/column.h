@@ -40,6 +40,19 @@ class Column {
   ValueType type() const { return type_; }
   size_t num_rows() const { return num_rows_; }
 
+  /// Stable (table, column) ordinal the engine assigns when it registers
+  /// the column for WAL addressing (table = creation order, column =
+  /// schema position); immutable afterwards. Read lock-free on the commit
+  /// path: registration happens-before any commit that can reference the
+  /// column, because callers only learn about the column through the
+  /// fully registered table.
+  void SetStableId(uint32_t table_id, uint32_t column_id) {
+    stable_table_id_ = table_id;
+    stable_column_id_ = column_id;
+  }
+  uint32_t stable_table_id() const { return stable_table_id_; }
+  uint32_t stable_column_id() const { return stable_column_id_; }
+
   /// Unversioned store used during the initial data load (timestamp 0).
   void LoadValue(size_t row, uint64_t raw);
 
@@ -91,6 +104,8 @@ class Column {
   std::unique_ptr<snapshot::SnapshotableBuffer> buffer_;
   std::unique_ptr<mvcc::VersionStore> versions_;
   size_t num_rows_;
+  uint32_t stable_table_id_ = 0;
+  uint32_t stable_column_id_ = 0;
   mutable Latch latch_;
 };
 

@@ -32,4 +32,18 @@ size_t Dictionary::size() const {
   return to_value_.size();
 }
 
+std::vector<std::string> Dictionary::Snapshot() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return to_value_;
+}
+
+void Dictionary::Preload(const std::vector<std::string>& entries) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ANKER_CHECK_MSG(to_value_.empty(), "Preload into a non-empty dictionary");
+  to_value_ = entries;
+  for (uint32_t code = 0; code < to_value_.size(); ++code) {
+    to_code_.emplace(to_value_[code], code);
+  }
+}
+
 }  // namespace anker::storage

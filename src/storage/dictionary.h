@@ -35,6 +35,15 @@ class Dictionary {
 
   size_t size() const;
 
+  /// All entries in code order (checkpoint serialization). The dictionary
+  /// is immutable after load, so the copy is a consistent image.
+  std::vector<std::string> Snapshot() const;
+
+  /// Bulk-loads a serialized dictionary image (recovery). The dictionary
+  /// must be empty; entry i receives code i, reproducing the image the
+  /// checkpoint was taken from.
+  void Preload(const std::vector<std::string>& entries);
+
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::string, uint32_t> to_code_;

@@ -70,4 +70,11 @@ Result<uint64_t> HashIndex::Lookup(uint64_t key) const {
 
 bool HashIndex::Contains(uint64_t key) const { return Lookup(key).ok(); }
 
+void HashIndex::ForEach(
+    const std::function<void(uint64_t key, uint64_t row)>& fn) const {
+  for (const Slot& slot : slots_) {
+    if (slot.occupied) fn(slot.key, slot.row);
+  }
+}
+
 }  // namespace anker::storage

@@ -2,6 +2,7 @@
 #define ANKER_STORAGE_HASH_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/macros.h"
@@ -28,6 +29,11 @@ class HashIndex {
 
   /// True iff the key is present.
   bool Contains(uint64_t key) const;
+
+  /// Visits every (key, row) pair in slot order (checkpoint
+  /// serialization). Thread-safe after load, like Lookup.
+  void ForEach(const std::function<void(uint64_t key, uint64_t row)>& fn)
+      const;
 
   size_t size() const { return size_; }
   size_t capacity() const { return slots_.size(); }

@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <algorithm>
+
 #include "vm/page.h"
 
 namespace anker::storage {
@@ -45,6 +47,15 @@ const Dictionary* Table::GetDictionary(const std::string& column_name) const {
   auto it = dictionaries_.find(column_name);
   ANKER_CHECK_MSG(it != dictionaries_.end(), column_name.c_str());
   return it->second.get();
+}
+
+std::vector<std::string> Table::DictionaryNames() const {
+  std::lock_guard<std::mutex> guard(dict_mutex_);
+  std::vector<std::string> names;
+  names.reserve(dictionaries_.size());
+  for (const auto& [name, dict] : dictionaries_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 void Table::CreatePrimaryIndex(size_t expected_keys) {

@@ -49,6 +49,10 @@ class Table {
   Dictionary* GetDictionary(const std::string& column_name);
   const Dictionary* GetDictionary(const std::string& column_name) const;
 
+  /// Names of columns that have a dictionary, sorted (deterministic
+  /// checkpoint manifests).
+  std::vector<std::string> DictionaryNames() const;
+
   /// Primary-key index management (built during load).
   void CreatePrimaryIndex(size_t expected_keys);
   HashIndex* primary_index() const { return primary_index_.get(); }

@@ -49,75 +49,147 @@ Status TransactionManager::Commit(Transaction* txn) {
     return Status::OK();
   }
 
+  // The WAL caps one record's size; reject before the critical section
+  // rather than CHECK-aborting the process inside it.
+  if (durability_sink_ && txn->writes().size() > max_durable_writes_) {
+    registry_.End(txn->registry_serial());
+    user_aborts_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument(
+        "write set exceeds the WAL record size limit (" +
+        std::to_string(txn->writes().size()) + " > " +
+        std::to_string(max_durable_writes_) + " writes)");
+  }
+
+  uint64_t durable_lsn = 0;
+  {
+    std::lock_guard<std::mutex> commit_guard(commit_mutex_);
+
+    // 1. First-committer-wins: a newer committed write to any slot in our
+    //    write set means our update was based on a stale version.
+    for (const Transaction::LocalWrite& write : txn->writes()) {
+      if (write.column->LastWriteTs(write.row, txn->start_ts()) >
+          txn->start_ts()) {
+        registry_.End(txn->registry_serial());
+        aborts_ww_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Aborted("write-write conflict");
+      }
+    }
+
+    // 2. Read-set validation via precision locking (serializable only).
+    if (isolation() == IsolationLevel::kSerializable) {
+      const Status validation = recent_.Validate(
+          txn->start_ts(), txn->point_reads(), txn->predicates());
+      if (!validation.ok()) {
+        registry_.End(txn->registry_serial());
+        aborts_validation_.fetch_add(1, std::memory_order_relaxed);
+        return validation;
+      }
+    }
+
+    // 3. Materialize. Shared latches on every touched column make the
+    //    commit atomic with respect to snapshot materialization (which
+    //    drains updaters with the exclusive latch). Latches are acquired
+    //    in a canonical order; snapshot creation takes one exclusive latch
+    //    at a time, so no lock-order cycle exists.
+    std::vector<storage::Column*> columns;
+    columns.reserve(txn->writes().size());
+    for (const Transaction::LocalWrite& write : txn->writes()) {
+      columns.push_back(write.column);
+    }
+    std::sort(columns.begin(), columns.end());
+    columns.erase(std::unique(columns.begin(), columns.end()),
+                  columns.end());
+    for (storage::Column* column : columns) column->latch().LockShared();
+
+    const mvcc::Timestamp commit_ts = oracle_.Next();
+    std::vector<WriteRecord> records;
+    records.reserve(txn->writes().size());
+    for (const Transaction::LocalWrite& write : txn->writes()) {
+      const uint64_t old_raw = write.column->ReadLatestRaw(write.row);
+      write.column->ApplyCommittedWrite(write.row, write.new_raw, commit_ts);
+      records.push_back(
+          WriteRecord{write.column, write.row, old_raw, write.new_raw});
+    }
+
+    for (auto it = columns.rbegin(); it != columns.rend(); ++it) {
+      (*it)->latch().UnlockShared();
+    }
+
+    // Every write of this commit is materialized: make it visible to new
+    // readers (commits serialize under commit_mutex_, so the watermark is
+    // monotonic).
+    visible_ts_.store(commit_ts, std::memory_order_release);
+
+    // 4. Emit the redo record. Still inside the critical section, so the
+    //    log receives records in commit-timestamp order; the (possibly
+    //    blocking) wait for the fsync happens after the lock is dropped.
+    if (durability_sink_) {
+      durable_lsn = durability_sink_(commit_ts, txn->writes());
+    }
+
+    // 5. Publish the write set for later validators, then trim what no
+    //    active transaction can need anymore.
+    if (isolation() == IsolationLevel::kSerializable) {
+      recent_.Record(commit_ts, std::move(records));
+      recent_.TrimOlderThan(registry_.MinStartTs(commit_ts));
+    }
+
+    registry_.End(txn->registry_serial());
+    const uint64_t commits =
+        commit_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (commit_hook_) commit_hook_(commits);
+  }
+
+  // 6. Group commit: acknowledge only once the record is on disk. Other
+  //    committers proceed through the critical section meanwhile and share
+  //    the next fsync.
+  if (durable_lsn != 0 && durability_wait_) {
+    ANKER_RETURN_IF_ERROR(durability_wait_(durable_lsn));
+  }
+  return Status::OK();
+}
+
+void TransactionManager::ReplayCommitted(
+    const std::vector<Transaction::LocalWrite>& writes,
+    mvcc::Timestamp commit_ts) {
   std::lock_guard<std::mutex> commit_guard(commit_mutex_);
-
-  // 1. First-committer-wins: a newer committed write to any slot in our
-  //    write set means our update was based on a stale version.
-  for (const Transaction::LocalWrite& write : txn->writes()) {
-    if (write.column->LastWriteTs(write.row, txn->start_ts()) >
-        txn->start_ts()) {
-      registry_.End(txn->registry_serial());
-      aborts_ww_.fetch_add(1, std::memory_order_relaxed);
-      return Status::Aborted("write-write conflict");
-    }
-  }
-
-  // 2. Read-set validation via precision locking (serializable only).
-  if (isolation() == IsolationLevel::kSerializable) {
-    const Status validation = recent_.Validate(
-        txn->start_ts(), txn->point_reads(), txn->predicates());
-    if (!validation.ok()) {
-      registry_.End(txn->registry_serial());
-      aborts_validation_.fetch_add(1, std::memory_order_relaxed);
-      return validation;
-    }
-  }
-
-  // 3. Materialize. Shared latches on every touched column make the commit
-  //    atomic with respect to snapshot materialization (which drains
-  //    updaters with the exclusive latch). Latches are acquired in a
-  //    canonical order; snapshot creation takes one exclusive latch at a
-  //    time, so no lock-order cycle exists.
   std::vector<storage::Column*> columns;
-  columns.reserve(txn->writes().size());
-  for (const Transaction::LocalWrite& write : txn->writes()) {
+  columns.reserve(writes.size());
+  for (const Transaction::LocalWrite& write : writes) {
     columns.push_back(write.column);
   }
   std::sort(columns.begin(), columns.end());
   columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
   for (storage::Column* column : columns) column->latch().LockShared();
 
-  const mvcc::Timestamp commit_ts = oracle_.Next();
-  std::vector<WriteRecord> records;
-  records.reserve(txn->writes().size());
-  for (const Transaction::LocalWrite& write : txn->writes()) {
-    const uint64_t old_raw = write.column->ReadLatestRaw(write.row);
+  // Keep the logged timestamp: version chains and visibility must come
+  // out exactly as they were when the record was written.
+  oracle_.AdvanceTo(commit_ts);
+  for (const Transaction::LocalWrite& write : writes) {
     write.column->ApplyCommittedWrite(write.row, write.new_raw, commit_ts);
-    records.push_back(
-        WriteRecord{write.column, write.row, old_raw, write.new_raw});
   }
 
   for (auto it = columns.rbegin(); it != columns.rend(); ++it) {
     (*it)->latch().UnlockShared();
   }
-
-  // Every write of this commit is materialized: make it visible to new
-  // readers (commits serialize under commit_mutex_, so the watermark is
-  // monotonic).
   visible_ts_.store(commit_ts, std::memory_order_release);
+  commit_count_.fetch_add(1, std::memory_order_relaxed);
+}
 
-  // 4. Publish the write set for later validators, then trim what no
-  //    active transaction can need anymore.
-  if (isolation() == IsolationLevel::kSerializable) {
-    recent_.Record(commit_ts, std::move(records));
-    recent_.TrimOlderThan(registry_.MinStartTs(commit_ts));
+void TransactionManager::RestoreDurableState(uint64_t commit_count,
+                                             uint64_t next_txn_id) {
+  commit_count_.store(commit_count, std::memory_order_relaxed);
+  uint64_t cur = next_txn_id_.load(std::memory_order_relaxed);
+  if (cur < next_txn_id) {
+    next_txn_id_.store(next_txn_id, std::memory_order_relaxed);
   }
-
-  registry_.End(txn->registry_serial());
-  const uint64_t commits =
-      commit_count_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (commit_hook_) commit_hook_(commits);
-  return Status::OK();
+  // The watermark tracks the newest fully applied commit; after a replay
+  // that is wherever the oracle got advanced to.
+  const mvcc::Timestamp current = oracle_.Current();
+  mvcc::Timestamp seen = visible_ts_.load(std::memory_order_relaxed);
+  if (seen < current) {
+    visible_ts_.store(current, std::memory_order_release);
+  }
 }
 
 TxnStats TransactionManager::stats() const {

@@ -75,12 +75,53 @@ class TransactionManager {
     commit_hook_ = std::move(hook);
   }
 
+  /// Durability integration (engine-installed when a WAL is configured).
+  /// `sink` runs inside the commit critical section after the write set
+  /// materialized: it serializes the redo record and returns its log
+  /// sequence number — appends therefore happen in commit-timestamp
+  /// order, which recovery replay depends on. `wait` runs after the
+  /// critical section (so one commit's fsync never blocks the next
+  /// committer) and returns only when the record is durable; under
+  /// group_commit the commit acknowledgement is deferred on it, under
+  /// lazy it is a no-op. A failed wait turns the commit Status into the
+  /// IO error — the write set is already applied in memory, but the
+  /// caller must not treat the transaction as durably committed.
+  using DurabilitySink = std::function<uint64_t(
+      mvcc::Timestamp commit_ts,
+      const std::vector<Transaction::LocalWrite>& writes)>;
+  using DurabilityWait = std::function<Status(uint64_t lsn)>;
+  /// `max_writes` bounds one transaction's loggable write set (the WAL
+  /// caps record sizes); an oversized transaction is rejected with a
+  /// Status before the commit protocol starts, instead of aborting the
+  /// process inside the critical section.
+  void SetDurabilityHooks(DurabilitySink sink, DurabilityWait wait,
+                          size_t max_writes = SIZE_MAX) {
+    durability_sink_ = std::move(sink);
+    durability_wait_ = std::move(wait);
+    max_durable_writes_ = max_writes;
+  }
+
+  /// Recovery path: re-applies one logged commit through the normal
+  /// materialization code (latches, version-chain pushes, visibility
+  /// watermark) with its *original* commit timestamp. No validation, no
+  /// hooks, no re-logging — the record already survived a crash once.
+  void ReplayCommitted(const std::vector<Transaction::LocalWrite>& writes,
+                       mvcc::Timestamp commit_ts);
+
+  /// Restores the counters a checkpoint manifest carries, so a recovered
+  /// engine continues the pre-crash numbering (snapshot-epoch cadence,
+  /// txn ids) instead of restarting from zero.
+  void RestoreDurableState(uint64_t commit_count, uint64_t next_txn_id);
+
   mvcc::TimestampOracle& oracle() { return oracle_; }
   mvcc::ActiveTxnRegistry& registry() { return registry_; }
 
   TxnStats stats() const;
   uint64_t committed_count() const {
     return commit_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t next_txn_id() const {
+    return next_txn_id_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -99,6 +140,9 @@ class TransactionManager {
   RecentCommitters recent_;
 
   std::function<void(uint64_t)> commit_hook_;
+  DurabilitySink durability_sink_;
+  DurabilityWait durability_wait_;
+  size_t max_durable_writes_ = SIZE_MAX;
 
   std::atomic<uint64_t> next_txn_id_{1};
   std::atomic<uint64_t> commit_count_{0};

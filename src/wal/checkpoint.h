@@ -1,0 +1,112 @@
+#ifndef ANKER_WAL_CHECKPOINT_H_
+#define ANKER_WAL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "mvcc/timestamp_oracle.h"
+#include "storage/column.h"
+#include "storage/hash_index.h"
+#include "storage/table.h"
+
+namespace anker::wal {
+
+/// Everything recovery needs to rebuild one table before replay: schema,
+/// dictionary contents and primary-index shape. Column *data* lives in
+/// per-column files next to the manifest.
+struct CheckpointTableMeta {
+  std::string name;
+  uint64_t num_rows = 0;
+  std::vector<storage::ColumnDef> schema;
+  /// (column name, dictionary entries in code order), sorted by column
+  /// name so manifests are byte-deterministic.
+  std::vector<std::pair<std::string, std::vector<std::string>>> dictionaries;
+  bool has_primary_index = false;
+  uint64_t index_entries = 0;
+};
+
+/// Manifest of one checkpoint. `checkpoint_ts` is the snapshot timestamp
+/// the column images are consistent at; recovery replays exactly the WAL
+/// records with commit_ts > checkpoint_ts on top. Tables appear in
+/// table-id order — ids are implicit positions, which is what keeps WAL
+/// ColumnRefs stable across restarts.
+struct CheckpointManifest {
+  mvcc::Timestamp checkpoint_ts = 0;
+  uint64_t commit_count = 0;
+  uint64_t next_txn_id = 1;
+  std::vector<CheckpointTableMeta> tables;
+};
+
+/// Streams one checkpoint into `<data_dir>/ckpt-<ts>.tmp/`, then publishes
+/// it atomically: fsync every file, rename the directory to its final
+/// name, flip `<data_dir>/CURRENT` (write-temp + rename + dir fsync) and
+/// prune older checkpoints. A crash at any point leaves either the old
+/// checkpoint current or the new one — never a half-written mix, because
+/// nothing references the new directory until CURRENT points at it.
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::string data_dir);
+  ANKER_DISALLOW_COPY_AND_MOVE(CheckpointWriter);
+
+  Status Begin(mvcc::Timestamp checkpoint_ts);
+
+  /// Column data from a contiguous snapshot image (clean snapshot: the
+  /// buffer view itself is the consistent state — zero-copy stream).
+  Status WriteColumnRaw(uint32_t table_id, uint32_t column_id,
+                        const uint64_t* data, size_t num_rows);
+
+  /// Column data resolved row by row (versioned snapshot columns, or live
+  /// reads under the homogeneous modes).
+  Status WriteColumnResolved(uint32_t table_id, uint32_t column_id,
+                             size_t num_rows,
+                             const std::function<uint64_t(size_t)>& read);
+
+  Status WriteIndex(uint32_t table_id, const storage::HashIndex& index);
+
+  /// Writes the manifest and publishes the checkpoint.
+  Status Finish(const CheckpointManifest& manifest);
+
+  /// Removes the temp directory after a failure (best effort).
+  void Abort();
+
+  /// Final directory name, e.g. "ckpt-41".
+  const std::string& dir_name() const { return dir_name_; }
+
+ private:
+  Status WriteBlob(const std::string& path, uint32_t magic,
+                   const std::function<Status(int fd, uint32_t* crc)>& body,
+                   uint64_t item_count);
+
+  const std::string data_dir_;
+  std::string dir_name_;
+  std::string tmp_path_;
+  bool begun_ = false;
+};
+
+/// Reads a checkpoint back. The manifest is trusted only after its CRC
+/// checks out; every column/index file carries its own checksum, verified
+/// while loading.
+class CheckpointReader {
+ public:
+  /// NotFound when `data_dir` has no CURRENT pointer (fresh directory).
+  static Result<CheckpointManifest> ReadManifest(const std::string& data_dir,
+                                                 std::string* ckpt_path);
+
+  /// Loads column data into `column` via its load path (timestamp-0
+  /// values; version chains start empty after recovery).
+  static Status LoadColumn(const std::string& ckpt_path, uint32_t table_id,
+                           uint32_t column_id, storage::Column* column);
+
+  static Status LoadIndex(const std::string& ckpt_path, uint32_t table_id,
+                          uint64_t expected_entries,
+                          storage::HashIndex* index);
+};
+
+}  // namespace anker::wal
+
+#endif  // ANKER_WAL_CHECKPOINT_H_

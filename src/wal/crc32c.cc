@@ -1,0 +1,75 @@
+#include "wal/crc32c.h"
+
+#include <array>
+
+namespace anker::wal {
+
+namespace {
+
+/// Reflected CRC-32C polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  // table[k][b]: CRC contribution of byte b seen k positions before the
+  // end of an 8-byte group (slicing-by-8).
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Tables() {
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = b;
+      for (int i = 0; i < 8; ++i) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][b] = crc;
+    }
+    for (size_t k = 1; k < 8; ++k) {
+      for (uint32_t b = 0; b < 256; ++b) {
+        const uint32_t prev = t[k - 1][b];
+        t[k][b] = (prev >> 8) ^ t[0][prev & 0xFF];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t seed, const void* data, size_t len) {
+  const Tables& tb = tables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+
+  // Byte-at-a-time until 8-byte alignment.
+  while (len > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFF];
+    --len;
+  }
+
+  // Slicing-by-8 over the aligned middle.
+  while (len >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, p, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    word = __builtin_bswap64(word);
+#endif
+    word ^= crc;
+    crc = tb.t[7][word & 0xFF] ^ tb.t[6][(word >> 8) & 0xFF] ^
+          tb.t[5][(word >> 16) & 0xFF] ^ tb.t[4][(word >> 24) & 0xFF] ^
+          tb.t[3][(word >> 32) & 0xFF] ^ tb.t[2][(word >> 40) & 0xFF] ^
+          tb.t[1][(word >> 48) & 0xFF] ^ tb.t[0][(word >> 56) & 0xFF];
+    p += 8;
+    len -= 8;
+  }
+
+  while (len > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFF];
+    --len;
+  }
+  return ~crc;
+}
+
+}  // namespace anker::wal

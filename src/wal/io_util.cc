@@ -1,0 +1,175 @@
+#include "wal/io_util.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace anker::wal {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " '" + path + "': " + ::strerror(errno));
+}
+
+}  // namespace
+
+Status EnsureDir(const std::string& path) {
+  std::string prefix;
+  prefix.reserve(path.size());
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') {
+      prefix.push_back(path[i]);
+      continue;
+    }
+    if (i < path.size()) prefix.push_back('/');
+    if (prefix.empty() || prefix == "/") continue;
+    std::string entry = prefix;
+    while (!entry.empty() && entry.back() == '/') entry.pop_back();
+    if (::mkdir(entry.c_str(), 0755) != 0) {
+      if (errno != EEXIST) return Errno("mkdir", entry);
+    } else {
+      // The new directory's entry is only durable once its parent is
+      // synced — without this, a crash before the first checkpoint can
+      // take the whole wal/ directory (and with it acknowledged
+      // commits) with it.
+      const size_t slash = entry.find_last_of('/');
+      const std::string parent =
+          slash == std::string::npos ? "."
+          : slash == 0               ? "/"
+                                     : entry.substr(0, slash);
+      ANKER_RETURN_IF_ERROR(SyncDir(parent));
+    }
+  }
+  return Status::OK();
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status WriteFully(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write: ") + ::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SyncFd(int fd) {
+  if (::fdatasync(fd) != 0) {
+    return Status::IoError(std::string("fdatasync: ") + ::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir", dir);
+  Status s = Status::OK();
+  if (::fsync(fd) != 0) {
+    s = Errno("fsync dir", dir);
+  }
+  ::close(fd);
+  return s;
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("open", path);
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = Errno("read", path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  Status s = WriteFully(fd, contents.data(), contents.size());
+  if (s.ok()) s = SyncFd(fd);
+  ::close(fd);
+  if (!s.ok()) {
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status r = Errno("rename", tmp);
+    ::unlink(tmp.c_str());
+    return r;
+  }
+  const size_t slash = path.find_last_of('/');
+  return SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+Status ListDir(const std::string& dir, std::vector<std::string>* names) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir", dir);
+  names->clear();
+  for (;;) {
+    errno = 0;
+    struct dirent* entry = ::readdir(d);
+    if (entry == nullptr) {
+      const int err = errno;
+      ::closedir(d);
+      if (err != 0) return Errno("readdir", dir);
+      return Status::OK();
+    }
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names->push_back(name);
+  }
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  struct stat st;
+  if (::lstat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::OK();
+    return Errno("lstat", path);
+  }
+  if (!S_ISDIR(st.st_mode)) return RemoveFile(path);
+  std::vector<std::string> names;
+  ANKER_RETURN_IF_ERROR(ListDir(path, &names));
+  for (const std::string& name : names) {
+    ANKER_RETURN_IF_ERROR(RemoveDirRecursive(path + "/" + name));
+  }
+  if (::rmdir(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("rmdir", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace anker::wal

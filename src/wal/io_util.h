@@ -1,0 +1,47 @@
+#ifndef ANKER_WAL_IO_UTIL_H_
+#define ANKER_WAL_IO_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace anker::wal {
+
+/// mkdir -p for one path (creates missing intermediate components).
+Status EnsureDir(const std::string& path);
+
+bool PathExists(const std::string& path);
+
+/// write(2) loop handling short writes and EINTR.
+Status WriteFully(int fd, const void* data, size_t len);
+
+/// fdatasync wrapper with a Status result.
+Status SyncFd(int fd);
+
+/// Opens `dir`, fsyncs it, closes it — makes directory entries (created,
+/// renamed or unlinked files) durable.
+Status SyncDir(const std::string& dir);
+
+/// Reads a whole file into `out`. NotFound if the file does not exist.
+Status ReadFile(const std::string& path, std::string* out);
+
+/// Durably replaces `path` with `contents`: write to a sibling temp file,
+/// fsync it, rename over `path`, fsync the directory. The visible file is
+/// always either the old or the new version, never a torn mix — this is
+/// how CURRENT flips between checkpoints.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+/// Names of directory entries (not recursive, no "."/"..").
+Status ListDir(const std::string& dir, std::vector<std::string>* names);
+
+/// Deletes a file; NotFound is not an error.
+Status RemoveFile(const std::string& path);
+
+/// rm -rf for a directory tree (used to drop obsolete checkpoints).
+Status RemoveDirRecursive(const std::string& path);
+
+}  // namespace anker::wal
+
+#endif  // ANKER_WAL_IO_UTIL_H_

@@ -1,0 +1,145 @@
+#include "wal/log_reader.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "wal/crc32c.h"
+#include "wal/io_util.h"
+
+namespace anker::wal {
+
+namespace {
+
+bool ParseSegmentName(const std::string& name, uint64_t* seq) {
+  unsigned long long parsed = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "wal-%llu.log%n", &parsed, &consumed) != 1 ||
+      consumed != static_cast<int>(name.size())) {
+    return false;
+  }
+  *seq = parsed;
+  return true;
+}
+
+/// Parses one segment image. Valid records are appended to `records`;
+/// `*valid_bytes` receives the length of the trustworthy prefix. Returns
+/// true iff the whole file parsed cleanly (header and every frame).
+bool ParseSegment(const std::string& data, uint64_t expected_seq,
+                  std::vector<WalRecord>* records, size_t* valid_bytes) {
+  *valid_bytes = 0;
+  std::string_view in(data);
+  uint64_t magic = 0;
+  uint32_t version = 0, pad = 0;
+  uint64_t seq = 0;
+  if (!GetU64(&in, &magic) || !GetU32(&in, &version) || !GetU32(&in, &pad) ||
+      !GetU64(&in, &seq) || magic != kSegmentMagic ||
+      version != kWalFormatVersion || seq != expected_seq) {
+    return false;
+  }
+  *valid_bytes = kSegmentHeaderBytes;
+  for (;;) {
+    if (in.empty()) return true;  // Clean end at a record boundary.
+    std::string_view frame = in;
+    uint32_t len = 0, masked_crc = 0;
+    if (!GetU32(&frame, &len) || !GetU32(&frame, &masked_crc)) return false;
+    if (len > kMaxRecordBytes || frame.size() < len) return false;
+    const std::string_view payload = frame.substr(0, len);
+    if (Crc32c(0, payload.data(), payload.size()) != UnmaskCrc(masked_crc)) {
+      return false;
+    }
+    WalRecord record;
+    if (!DecodeRecord(payload, &record).ok()) return false;
+    records->push_back(std::move(record));
+    in.remove_prefix(kRecordFrameBytes + len);
+    *valid_bytes += kRecordFrameBytes + len;
+  }
+}
+
+Status TruncateFile(const std::string& path, size_t bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(bytes)) != 0) {
+    return Status::IoError("cannot truncate torn WAL tail of " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<LogScanResult> LogReader::Scan(const std::string& wal_dir,
+                                      const RecordFn& fn, bool repair) {
+  LogScanResult result;
+  if (!PathExists(wal_dir)) return result;
+
+  std::vector<std::string> names;
+  ANKER_RETURN_IF_ERROR(ListDir(wal_dir, &names));
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  for (const std::string& name : names) {
+    uint64_t seq = 0;
+    if (ParseSegmentName(name, &seq)) {
+      segments.emplace_back(seq, wal_dir + "/" + name);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  if (segments.empty()) return result;
+  result.next_segment_seq = segments.back().first + 1;
+
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const bool is_last = (i + 1 == segments.size());
+    std::string data;
+    ANKER_RETURN_IF_ERROR(ReadFile(segments[i].second, &data));
+
+    std::vector<WalRecord> records;
+    size_t valid_bytes = 0;
+    const bool clean =
+        ParseSegment(data, segments[i].first, &records, &valid_bytes);
+    if (!clean && !is_last) {
+      char msg[256];
+      std::snprintf(msg, sizeof(msg),
+                    "WAL segment %" PRIu64
+                    " is corrupt at byte %zu but newer segments exist; "
+                    "refusing to recover past a mid-log hole",
+                    segments[i].first, valid_bytes);
+      return Status::IoError(msg);
+    }
+
+    PriorSegment prior;
+    prior.seq = segments[i].first;
+    prior.path = segments[i].second;
+    prior.has_records = !records.empty();
+    for (const WalRecord& record : records) {
+      if (record.type == RecordType::kCommit) {
+        result.max_commit_ts = std::max(result.max_commit_ts,
+                                        record.commit_ts);
+        prior.max_commit_ts = std::max(prior.max_commit_ts,
+                                       record.commit_ts);
+      }
+      ANKER_RETURN_IF_ERROR(fn(record));
+      ++result.records_read;
+    }
+    ++result.segments_read;
+
+    bool file_removed = false;
+    if (!clean) {
+      result.torn_tail = true;
+      if (repair) {
+        if (valid_bytes < kSegmentHeaderBytes) {
+          // Not even the header survived: drop the file entirely so the
+          // next scan does not trip over a headerless segment.
+          ANKER_RETURN_IF_ERROR(RemoveFile(segments[i].second));
+          file_removed = true;
+        } else {
+          ANKER_RETURN_IF_ERROR(
+              TruncateFile(segments[i].second, valid_bytes));
+        }
+        ANKER_RETURN_IF_ERROR(SyncDir(wal_dir));
+      }
+    }
+    if (!file_removed) result.segments.push_back(std::move(prior));
+  }
+  return result;
+}
+
+}  // namespace anker::wal

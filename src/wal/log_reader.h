@@ -1,0 +1,67 @@
+#ifndef ANKER_WAL_LOG_READER_H_
+#define ANKER_WAL_LOG_READER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wal/wal_format.h"
+
+namespace anker::wal {
+
+/// One scanned segment, as the log writer needs it to take ownership of
+/// pre-existing files: without this hand-off, checkpoint truncation (which
+/// walks the writer's closed-segment list) would never delete segments
+/// written before a recovery, and the log would grow across restarts.
+struct PriorSegment {
+  uint64_t seq = 0;
+  std::string path;
+  /// Newest commit timestamp among the segment's records (0 when it only
+  /// carries schema records — always safely covered by the next
+  /// checkpoint, which snapshots every recovered table).
+  mvcc::Timestamp max_commit_ts = 0;
+  bool has_records = false;
+};
+
+/// Outcome of a full log scan.
+struct LogScanResult {
+  uint64_t segments_read = 0;
+  uint64_t records_read = 0;
+  /// True when the newest segment ended in a torn or corrupt record (the
+  /// expected shape after a crash mid-append). The valid prefix before the
+  /// tear was delivered; everything after it is gone by design.
+  bool torn_tail = false;
+  /// Sequence number the log writer should continue with.
+  uint64_t next_segment_seq = 1;
+  /// Newest commit timestamp seen across all delivered records.
+  mvcc::Timestamp max_commit_ts = 0;
+  /// Surviving segment files in sequence order (post-repair).
+  std::vector<PriorSegment> segments;
+};
+
+/// Reads every WAL segment in sequence order and delivers decoded records
+/// in log order. Trust model:
+///  - a record is delivered only if its length is plausible, its CRC32C
+///    matches and its payload decodes;
+///  - a bad record (or truncated frame, or half-written segment header) in
+///    the NEWEST segment is a torn tail: the scan stops cleanly before it,
+///    and with `repair` the tail is physically truncated so the tear can
+///    never be misread as mid-log corruption by a later scan;
+///  - the same condition in any OLDER segment means real corruption —
+///    records that were once acknowledged would silently vanish while
+///    newer segments replay — and fails the scan with IoError.
+class LogReader {
+ public:
+  using RecordFn = std::function<Status(const WalRecord&)>;
+
+  /// Scans `wal_dir` (missing directory = empty log). Invokes `fn` for
+  /// every valid record; a non-OK return aborts the scan with that status.
+  static Result<LogScanResult> Scan(const std::string& wal_dir,
+                                    const RecordFn& fn, bool repair);
+};
+
+}  // namespace anker::wal
+
+#endif  // ANKER_WAL_LOG_READER_H_

@@ -1,0 +1,165 @@
+#include "wal/wal_format.h"
+
+#include <cstring>
+
+namespace anker::wal {
+
+const char* DurabilityModeName(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kOff:
+      return "off";
+    case DurabilityMode::kLazy:
+      return "lazy";
+    case DurabilityMode::kGroupCommit:
+      return "group_commit";
+  }
+  return "unknown";
+}
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out->append(buf, 8);
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+bool GetU8(std::string_view* in, uint8_t* v) {
+  if (in->size() < 1) return false;
+  *v = static_cast<uint8_t>((*in)[0]);
+  in->remove_prefix(1);
+  return true;
+}
+
+bool GetU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<uint32_t>(static_cast<uint8_t>((*in)[i])) << (8 * i);
+  }
+  *v = r;
+  in->remove_prefix(4);
+  return true;
+}
+
+bool GetU64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(static_cast<uint8_t>((*in)[i])) << (8 * i);
+  }
+  *v = r;
+  in->remove_prefix(8);
+  return true;
+}
+
+bool GetString(std::string_view* in, std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(in, &len)) return false;
+  if (in->size() < len) return false;
+  s->assign(in->data(), len);
+  in->remove_prefix(len);
+  return true;
+}
+
+void EncodeCommit(mvcc::Timestamp commit_ts,
+                  const std::vector<RedoWrite>& writes, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(RecordType::kCommit));
+  PutU64(out, commit_ts);
+  PutU32(out, static_cast<uint32_t>(writes.size()));
+  for (const RedoWrite& w : writes) {
+    PutU32(out, w.table_id);
+    PutU32(out, w.column_id);
+    PutU64(out, w.row);
+    PutU64(out, w.value);
+  }
+}
+
+void EncodeCreateTable(uint32_t table_id, const std::string& name,
+                       uint64_t num_rows,
+                       const std::vector<storage::ColumnDef>& schema,
+                       std::string* out) {
+  PutU8(out, static_cast<uint8_t>(RecordType::kCreateTable));
+  PutU32(out, table_id);
+  PutString(out, name);
+  PutU64(out, num_rows);
+  PutU32(out, static_cast<uint32_t>(schema.size()));
+  for (const storage::ColumnDef& def : schema) {
+    PutString(out, def.name);
+    PutU8(out, static_cast<uint8_t>(def.type));
+  }
+}
+
+Status DecodeRecord(std::string_view payload, WalRecord* record) {
+  const Status malformed = Status::IoError("malformed WAL record payload");
+  uint8_t type = 0;
+  if (!GetU8(&payload, &type)) return malformed;
+  switch (static_cast<RecordType>(type)) {
+    case RecordType::kCommit: {
+      record->type = RecordType::kCommit;
+      uint32_t n = 0;
+      if (!GetU64(&payload, &record->commit_ts)) return malformed;
+      if (!GetU32(&payload, &n)) return malformed;
+      // The count must be consistent with the bytes that actually follow
+      // (24 per write) before it sizes an allocation — a corrupt count
+      // that slips past the CRC must fail as IoError, not as bad_alloc.
+      if (static_cast<size_t>(n) * 24 != payload.size()) return malformed;
+      record->writes.clear();
+      record->writes.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        RedoWrite w;
+        if (!GetU32(&payload, &w.table_id) ||
+            !GetU32(&payload, &w.column_id) || !GetU64(&payload, &w.row) ||
+            !GetU64(&payload, &w.value)) {
+          return malformed;
+        }
+        record->writes.push_back(w);
+      }
+      break;
+    }
+    case RecordType::kCreateTable: {
+      record->type = RecordType::kCreateTable;
+      uint32_t ncols = 0;
+      if (!GetU32(&payload, &record->table_id) ||
+          !GetString(&payload, &record->table_name) ||
+          !GetU64(&payload, &record->num_rows) || !GetU32(&payload, &ncols)) {
+        return malformed;
+      }
+      // Each column entry is at least 5 bytes (length-prefixed name +
+      // type); bound the count before it sizes an allocation.
+      if (static_cast<size_t>(ncols) * 5 > payload.size()) return malformed;
+      record->schema.clear();
+      record->schema.reserve(ncols);
+      for (uint32_t i = 0; i < ncols; ++i) {
+        storage::ColumnDef def;
+        uint8_t vt = 0;
+        if (!GetString(&payload, &def.name) || !GetU8(&payload, &vt)) {
+          return malformed;
+        }
+        def.type = static_cast<storage::ValueType>(vt);
+        record->schema.push_back(std::move(def));
+      }
+      break;
+    }
+    default:
+      return Status::IoError("unknown WAL record type " +
+                             std::to_string(type));
+  }
+  if (!payload.empty()) return malformed;  // Trailing bytes: not our record.
+  return Status::OK();
+}
+
+}  // namespace anker::wal

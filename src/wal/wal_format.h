@@ -1,0 +1,120 @@
+#ifndef ANKER_WAL_WAL_FORMAT_H_
+#define ANKER_WAL_WAL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "mvcc/timestamp_oracle.h"
+#include "storage/table.h"
+
+namespace anker::wal {
+
+/// Durability policy of a database instance (DatabaseConfig::durability).
+enum class DurabilityMode {
+  /// No write-ahead log. Checkpoints may still be taken explicitly, but a
+  /// crash loses everything after the last one.
+  kOff,
+  /// Commits append redo records but return without waiting for the disk;
+  /// a background flusher syncs every few milliseconds. A crash may lose
+  /// the most recent acknowledged commits (bounded by the flush interval),
+  /// but recovery always yields a transaction-consistent prefix.
+  kLazy,
+  /// Commits block until their redo record is fsynced. A dedicated flusher
+  /// batches everything that arrived while the previous fsync ran into the
+  /// next one (group commit), so concurrent commit streams share syncs.
+  kGroupCommit,
+};
+
+const char* DurabilityModeName(DurabilityMode mode);
+
+/// Stable identity of a column inside the WAL: tables are numbered in
+/// creation order (checkpoint manifests and kCreateTable records preserve
+/// that order across restarts), columns by their position in the schema.
+struct ColumnRef {
+  uint32_t table_id = 0;
+  uint32_t column_id = 0;
+};
+
+/// One slot overwrite of a committed transaction (redo only — the paper's
+/// engine never needs undo: uncommitted writes live in transaction-local
+/// buffers and are discarded on abort, so the log holds committed state
+/// exclusively).
+struct RedoWrite {
+  uint32_t table_id = 0;
+  uint32_t column_id = 0;
+  uint64_t row = 0;
+  uint64_t value = 0;
+};
+
+enum class RecordType : uint8_t {
+  kCommit = 1,       ///< Redo write-set of one committed transaction.
+  kCreateTable = 2,  ///< Schema of a table created after the last checkpoint.
+};
+
+/// Decoded WAL record (tagged by `type`; only the matching member is set).
+struct WalRecord {
+  RecordType type = RecordType::kCommit;
+
+  // kCommit
+  mvcc::Timestamp commit_ts = 0;
+  std::vector<RedoWrite> writes;
+
+  // kCreateTable
+  uint32_t table_id = 0;
+  std::string table_name;
+  uint64_t num_rows = 0;
+  std::vector<storage::ColumnDef> schema;
+};
+
+// --- Little-endian encode/decode primitives -------------------------------
+// Shared by the log and the checkpoint manifest; appended to std::string
+// buffers so one commit's serialization is a single allocation-free append
+// chain once the buffer has warmed up.
+
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutString(std::string* out, std::string_view s);
+
+bool GetU8(std::string_view* in, uint8_t* v);
+bool GetU32(std::string_view* in, uint32_t* v);
+bool GetU64(std::string_view* in, uint64_t* v);
+bool GetString(std::string_view* in, std::string* s);
+
+// --- Record payloads ------------------------------------------------------
+
+/// Appends the payload (no frame) of a kCommit record to `out`.
+void EncodeCommit(mvcc::Timestamp commit_ts,
+                  const std::vector<RedoWrite>& writes, std::string* out);
+
+/// Appends the payload of a kCreateTable record to `out`.
+void EncodeCreateTable(uint32_t table_id, const std::string& name,
+                       uint64_t num_rows,
+                       const std::vector<storage::ColumnDef>& schema,
+                       std::string* out);
+
+/// Decodes a record payload. Returns IoError on malformed input (recovery
+/// treats a decode failure like a checksum failure: the log is not
+/// trustworthy past this point).
+Status DecodeRecord(std::string_view payload, WalRecord* record);
+
+// --- On-disk framing constants --------------------------------------------
+
+/// Segment file header: magic, format version, sequence number.
+inline constexpr uint64_t kSegmentMagic = 0x314C4157524B4E41ULL;  // "ANKRWAL1"
+inline constexpr uint32_t kWalFormatVersion = 1;
+inline constexpr size_t kSegmentHeaderBytes = 8 + 4 + 4 + 8;  // magic,ver,pad,seq
+
+/// Record frame: u32 payload length, u32 masked CRC32C(payload), payload.
+inline constexpr size_t kRecordFrameBytes = 8;
+/// Upper bound on one record's payload; anything larger in a length field
+/// is treated as corruption, which keeps a torn length word from sending
+/// the reader on a gigabyte-sized goose chase.
+inline constexpr uint32_t kMaxRecordBytes = 1u << 26;
+
+}  // namespace anker::wal
+
+#endif  // ANKER_WAL_WAL_FORMAT_H_

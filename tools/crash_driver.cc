@@ -1,0 +1,349 @@
+// Kill-point recovery workload driver (tools/crash_driver).
+//
+// Two subcommands, driven by scripts/crash_recovery_harness.py:
+//
+//   crash_driver --mode=run --dir=D [...]
+//     Creates a durable database in D, loads a deterministic ledger,
+//     writes the bootstrap checkpoint, prints "READY" and then hammers it
+//     with transfer transactions until SIGKILLed. After every
+//     acknowledged commit the worker appends the transaction's serial to
+//     an fsynced side file (acks-<t>.bin) — independent evidence of what
+//     the engine promised to keep.
+//
+//   crash_driver --mode=verify --dir=D [...]
+//     Recovers via Database::Open and checks, in order of strength:
+//       1. conservation: sum(balance) equals the loaded total — a torn
+//          transfer would break it (atomicity across rows and columns);
+//       2. durability: every acknowledged serial is present (group_commit
+//          only — lazy is allowed to lose a bounded recent suffix);
+//       3. exactness (single-threaded runs): the recovered ContentDigest
+//          equals a from-scratch in-memory re-simulation of exactly the
+//          recovered number of transactions — the state is not just
+//          plausible, it is bit-identical to a legal prefix.
+//
+// The workload is deterministic per (seed, thread, serial), which is what
+// makes check 3 possible without any channel between run and verify.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "engine/database.h"
+#include "wal/io_util.h"
+
+namespace anker {
+namespace {
+
+constexpr size_t kMetaRows = 16;  ///< Fixed: digest-stable across --threads.
+
+struct DriverOptions {
+  std::string dir;
+  wal::DurabilityMode durability = wal::DurabilityMode::kGroupCommit;
+  size_t threads = 1;
+  size_t accounts = 1024;
+  uint64_t seed = 7;
+  uint64_t ckpt_every = 4000;      ///< Auto-checkpoint cadence (commits).
+  size_t segment_bytes = 1 << 16;  ///< Small: kills land mid-rotation too.
+};
+
+int64_t InitialBalance(size_t row) {
+  return 1000 + static_cast<int64_t>((row * 37) % 1000);
+}
+
+int64_t ExpectedTotal(size_t accounts) {
+  int64_t total = 0;
+  for (size_t row = 0; row < accounts; ++row) total += InitialBalance(row);
+  return total;
+}
+
+engine::DatabaseConfig MakeConfig(const DriverOptions& options,
+                                  bool durable) {
+  engine::DatabaseConfig config;  // Heterogeneous default.
+  if (durable) {
+    config.durability = options.durability;
+    config.data_dir = options.dir;
+    config.wal_segment_bytes = options.segment_bytes;
+    config.checkpoint_interval_commits = options.ckpt_every;
+  }
+  return config;
+}
+
+Status CreateTables(engine::Database* db, const DriverOptions& options,
+                    storage::Table** ledger, storage::Table** meta) {
+  auto ledger_r = db->CreateTable(
+      "ledger", {{"balance", storage::ValueType::kInt64}}, options.accounts);
+  ANKER_RETURN_IF_ERROR(ledger_r.status());
+  *ledger = ledger_r.value();
+  auto meta_r = db->CreateTable(
+      "meta", {{"serial", storage::ValueType::kInt64}}, kMetaRows);
+  ANKER_RETURN_IF_ERROR(meta_r.status());
+  *meta = meta_r.value();
+  return Status::OK();
+}
+
+void LoadLedger(storage::Table* ledger, const DriverOptions& options) {
+  storage::Column* balance = ledger->GetColumn("balance");
+  for (size_t row = 0; row < options.accounts; ++row) {
+    balance->LoadValue(row, storage::EncodeInt64(InitialBalance(row)));
+  }
+}
+
+/// One transfer transaction, fully determined by (seed, thread, serial).
+/// Returns the commit status.
+Status RunTransfer(engine::Database* db, storage::Table* ledger,
+                   storage::Table* meta, const DriverOptions& options,
+                   size_t thread, uint64_t serial) {
+  Rng rng(options.seed ^ (0x9E3779B97F4A7C15ULL * (thread + 1)) ^
+          (0xC2B2AE3D27D4EB4FULL * serial));
+  storage::Column* balance = ledger->GetColumn("balance");
+  storage::Column* serial_col = meta->GetColumn("serial");
+
+  const uint64_t from = rng.NextBounded(options.accounts);
+  uint64_t to = rng.NextBounded(options.accounts - 1);
+  if (to >= from) ++to;
+  const int64_t amount = rng.NextInRange(1, 100);
+
+  auto txn = db->BeginOltp();
+  const int64_t from_balance =
+      storage::DecodeInt64(txn->Read(balance, from));
+  const int64_t to_balance = storage::DecodeInt64(txn->Read(balance, to));
+  txn->Write(balance, from, storage::EncodeInt64(from_balance - amount));
+  txn->Write(balance, to, storage::EncodeInt64(to_balance + amount));
+  txn->Write(serial_col, thread, storage::EncodeInt64(
+                                     static_cast<int64_t>(serial)));
+  return db->Commit(txn.get());
+}
+
+// --- run mode -------------------------------------------------------------
+
+int RunMode(const DriverOptions& options) {
+  engine::Database db(MakeConfig(options, /*durable=*/true));
+  db.Start();
+  storage::Table* ledger = nullptr;
+  storage::Table* meta = nullptr;
+  Status s = CreateTables(&db, options, &ledger, &meta);
+  if (!s.ok()) {
+    std::fprintf(stderr, "create tables: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  LoadLedger(ledger, options);
+  // Bootstrap checkpoint: the bulk load is not WAL-logged; this makes it
+  // durable before any transaction is acknowledged.
+  auto ckpt = db.Checkpoint();
+  if (!ckpt.ok()) {
+    std::fprintf(stderr, "bootstrap checkpoint: %s\n",
+                 ckpt.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("READY\n");
+  std::fflush(stdout);
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < options.threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::string ack_path =
+          options.dir + "/acks-" + std::to_string(t) + ".bin";
+      const int ack_fd =
+          ::open(ack_path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+      if (ack_fd < 0) {
+        failed.store(true);
+        return;
+      }
+      for (uint64_t serial = 1; !failed.load(std::memory_order_relaxed);
+           ++serial) {
+        for (;;) {  // Retry aborts: serial must eventually commit.
+          const Status commit =
+              RunTransfer(&db, ledger, meta, options, t, serial);
+          if (commit.ok()) break;
+          if (!commit.IsAborted()) {
+            std::fprintf(stderr, "thread %zu serial %" PRIu64 ": %s\n", t,
+                         serial, commit.ToString().c_str());
+            failed.store(true);
+            return;
+          }
+        }
+        // The commit is durable (group_commit) — only now acknowledge it
+        // in the side channel the verifier trusts.
+        uint64_t raw = serial;
+        if (::write(ack_fd, &raw, sizeof(raw)) != sizeof(raw) ||
+            ::fdatasync(ack_fd) != 0) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();  // Unreachable unless a worker failed.
+  return failed.load() ? 1 : 0;
+}
+
+// --- verify mode ----------------------------------------------------------
+
+uint64_t LastAckedSerial(const std::string& dir, size_t thread) {
+  std::string data;
+  const Status s =
+      wal::ReadFile(dir + "/acks-" + std::to_string(thread) + ".bin", &data);
+  if (!s.ok()) return 0;
+  const size_t records = data.size() / sizeof(uint64_t);  // Ignore torn tail.
+  if (records == 0) return 0;
+  uint64_t serial = 0;
+  std::memcpy(&serial, data.data() + (records - 1) * sizeof(uint64_t),
+              sizeof(serial));
+  return serial;
+}
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "VERIFY FAILED: %s\n", what);
+  return 2;
+}
+
+int VerifyMode(const DriverOptions& options) {
+  engine::DatabaseConfig config = MakeConfig(options, /*durable=*/true);
+  config.checkpoint_interval_commits = 0;  // Just inspect, no new work.
+  auto opened = engine::Database::Open(config);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "VERIFY FAILED: Open: %s\n",
+                 opened.status().ToString().c_str());
+    return 2;
+  }
+  engine::Database* db = opened.value().get();
+
+  if (!db->catalog().HasTable("ledger")) {
+    // Killed before the bootstrap checkpoint/creation became durable.
+    // Legal only if nothing was ever acknowledged.
+    for (size_t t = 0; t < options.threads; ++t) {
+      if (LastAckedSerial(options.dir, t) != 0) {
+        return Fail("acknowledged commits exist but no ledger recovered");
+      }
+    }
+    std::printf("OK (no durable state yet, nothing was acknowledged)\n");
+    return 0;
+  }
+
+  storage::Table* ledger = db->catalog().GetTable("ledger");
+  storage::Table* meta = db->catalog().GetTable("meta");
+  storage::Column* balance = ledger->GetColumn("balance");
+  storage::Column* serial_col = meta->GetColumn("serial");
+
+  // 1. Conservation: transfers move money, they never create or destroy it.
+  int64_t total = 0;
+  for (size_t row = 0; row < options.accounts; ++row) {
+    total += storage::DecodeInt64(balance->ReadLatestRaw(row));
+  }
+  if (total != ExpectedTotal(options.accounts)) {
+    std::fprintf(stderr,
+                 "VERIFY FAILED: balance sum %" PRId64 " != expected %" PRId64
+                 " (torn transaction)\n",
+                 total, ExpectedTotal(options.accounts));
+    return 2;
+  }
+
+  // 2. Durability of acknowledged commits (group_commit contract).
+  uint64_t recovered[kMetaRows] = {};
+  for (size_t t = 0; t < options.threads; ++t) {
+    recovered[t] = static_cast<uint64_t>(
+        storage::DecodeInt64(serial_col->ReadLatestRaw(t)));
+    const uint64_t acked = LastAckedSerial(options.dir, t);
+    if (options.durability == wal::DurabilityMode::kGroupCommit &&
+        recovered[t] < acked) {
+      std::fprintf(stderr,
+                   "VERIFY FAILED: thread %zu acked serial %" PRIu64
+                   " but recovered only %" PRIu64 "\n",
+                   t, acked, recovered[t]);
+      return 2;
+    }
+  }
+
+  // 3. Exactness: single-threaded runs are a deterministic function of the
+  //    recovered transaction count — re-simulate and compare digests.
+  if (options.threads == 1) {
+    engine::Database sim(MakeConfig(options, /*durable=*/false));
+    storage::Table* sim_ledger = nullptr;
+    storage::Table* sim_meta = nullptr;
+    const Status s = CreateTables(&sim, options, &sim_ledger, &sim_meta);
+    if (!s.ok()) return Fail("re-simulation setup failed");
+    LoadLedger(sim_ledger, options);
+    for (uint64_t serial = 1; serial <= recovered[0]; ++serial) {
+      const Status commit =
+          RunTransfer(&sim, sim_ledger, sim_meta, options, 0, serial);
+      if (!commit.ok()) return Fail("re-simulation commit aborted");
+    }
+    if (sim.ContentDigest() != db->ContentDigest()) {
+      std::fprintf(stderr,
+                   "VERIFY FAILED: digest mismatch after %" PRIu64
+                   " transactions: recovered %016" PRIx64
+                   " vs simulated %016" PRIx64 "\n",
+                   recovered[0], db->ContentDigest(), sim.ContentDigest());
+      return 2;
+    }
+  }
+
+  // The recovered instance must also be writable and re-checkpointable.
+  {
+    auto txn = db->BeginOltp();
+    const int64_t v = storage::DecodeInt64(txn->Read(balance, 0));
+    txn->Write(balance, 0, storage::EncodeInt64(v));
+    if (!db->Commit(txn.get()).ok()) {
+      return Fail("post-recovery commit failed");
+    }
+    auto ckpt = db->Checkpoint();
+    if (!ckpt.ok()) return Fail("post-recovery checkpoint failed");
+  }
+
+  uint64_t max_serial = 0;
+  for (size_t t = 0; t < options.threads; ++t) {
+    max_serial = std::max(max_serial, recovered[t]);
+  }
+  std::printf("OK (sum conserved, %zu thread(s), newest serial %" PRIu64
+              ")\n",
+              options.threads, max_serial);
+  return 0;
+}
+
+}  // namespace
+}  // namespace anker
+
+int main(int argc, char** argv) {
+  using namespace anker;
+  bench::Flags flags(argc, argv);
+  DriverOptions options;
+  const std::string mode = flags.Str("mode", "");
+  options.dir = flags.Str("dir", "");
+  const std::string durability = flags.Str("durability", "group_commit");
+  options.threads = static_cast<size_t>(flags.Int("threads", 1));
+  options.accounts = static_cast<size_t>(flags.Int("accounts", 1024));
+  options.seed = static_cast<uint64_t>(flags.Int("seed", 7));
+  options.ckpt_every = static_cast<uint64_t>(flags.Int("ckpt_every", 4000));
+  options.segment_bytes =
+      static_cast<size_t>(flags.Int("segment_bytes", 1 << 16));
+  flags.RejectUnknown();
+
+  if (options.dir.empty() || (mode != "run" && mode != "verify")) {
+    std::fprintf(stderr,
+                 "usage: crash_driver --mode=run|verify --dir=PATH "
+                 "[--durability=group_commit|lazy] [--threads=N] "
+                 "[--accounts=N] [--seed=N] [--ckpt_every=N] "
+                 "[--segment_bytes=N]\n");
+    return 64;
+  }
+  if (durability == "lazy") {
+    options.durability = wal::DurabilityMode::kLazy;
+  } else if (durability != "group_commit") {
+    std::fprintf(stderr, "unknown --durability=%s\n", durability.c_str());
+    return 64;
+  }
+  ANKER_CHECK(options.threads >= 1 && options.threads <= kMetaRows);
+  ANKER_CHECK(options.accounts >= 2);
+
+  return mode == "run" ? RunMode(options) : VerifyMode(options);
+}
