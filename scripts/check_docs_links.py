@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Intra-repo documentation link checker (CI: the docs-link-check step).
+
+Scans every tracked *.md file for markdown links and inline file
+references, and fails when:
+  - a relative link points at a file or directory that does not exist,
+  - a link's #anchor does not match any heading in the target document,
+  - a `path/to/file`-style inline code reference names a src/ docs/
+    scripts/ tools/ bench/ tests/ examples/ path that does not exist.
+
+External links (http/https/mailto) are not fetched — CI must not depend
+on the internet being nice. Anchors are slugified the way GitHub does
+(lowercase, spaces to dashes, punctuation dropped).
+
+Repo-meta files that are logs or upstream-generated (CHANGES.md,
+ISSUE.md, PAPER.md, PAPERS.md, SNIPPETS.md) are skipped: they quote
+external material and historical names, not maintained documentation.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SKIP_FILES = {"CHANGES.md", "ISSUE.md", "PAPER.md", "PAPERS.md",
+              "SNIPPETS.md"}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_PATH_RE = re.compile(
+    r"`((?:src|docs|scripts|tools|bench|tests|examples)/[A-Za-z0-9_./-]+)`")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading):
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- §]", "", slug, flags=re.UNICODE)
+    slug = slug.replace("§", "")
+    slug = re.sub(r"\s+", "-", slug.strip())
+    return slug
+
+
+def anchors_of(path, cache):
+    if path not in cache:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        cache[path] = {github_slug(h) for h in HEADING_RE.findall(text)}
+    return cache[path]
+
+
+def check_file(md_path, repo_root, anchor_cache):
+    errors = []
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    base = os.path.dirname(md_path)
+
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, anchor = target.partition("#")
+        if not target:  # Pure in-document anchor.
+            if anchor and github_slug(anchor) not in anchors_of(
+                    md_path, anchor_cache):
+                errors.append(f"{md_path}: broken anchor #{anchor}")
+            continue
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            errors.append(f"{md_path}: broken link {match.group(1)}")
+            continue
+        if anchor and resolved.endswith(".md"):
+            if github_slug(anchor) not in anchors_of(resolved, anchor_cache):
+                errors.append(
+                    f"{md_path}: broken anchor {target}#{anchor}")
+
+    for match in CODE_PATH_RE.finditer(text):
+        target = match.group(1).rstrip(".")
+        resolved = os.path.join(repo_root, target)
+        # Globby or placeholder-ish references ("BENCH_<name>.json") are
+        # prose, not paths.
+        if any(c in target for c in "*<>{}"):
+            continue
+        if not os.path.exists(resolved):
+            errors.append(f"{md_path}: stale file reference `{target}`")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    repo_root = os.path.abspath(args.root)
+
+    md_files = []
+    for dirpath, dirnames, filenames in os.walk(repo_root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in {".git", ".claude"}
+                       and not d.startswith("build")]
+        md_files.extend(os.path.join(dirpath, f) for f in filenames
+                        if f.endswith(".md") and f not in SKIP_FILES)
+
+    anchor_cache = {}
+    errors = []
+    for md in sorted(md_files):
+        errors.extend(check_file(md, repo_root, anchor_cache))
+
+    rel = lambda p: os.path.relpath(p, repo_root)
+    for error in errors:
+        print(f"FAIL  {error}")
+    print(f"checked {len(md_files)} markdown files"
+          f" ({', '.join(sorted(rel(m) for m in md_files)[:6])}, ...)")
+    if errors:
+        print(f"{len(errors)} broken reference(s)")
+        return 1
+    print("all intra-repo links and file references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

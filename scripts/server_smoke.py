@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""End-to-end lifecycle smoke for the network front-end.
+
+Proves the full operational story from docs/OPERATIONS.md in one run:
+
+  1. `anker_serve` starts on an empty data directory (ephemeral port),
+  2. a scripted `anker_cli` session creates a table, bulk-loads it,
+     builds the primary index, runs an OLTP transaction (BEGIN ->
+     keyed writes -> COMMIT) and checks a declarative aggregate,
+  3. SIGTERM: the server drains sessions, takes a checkpoint and exits 0
+     (stdout must show CHECKPOINT and EXIT OK),
+  4. a second `anker_serve` reopens the same directory (checkpoint + WAL
+     replay) and a fresh session must see the committed state,
+  5. SIGTERM again; both shutdowns must be clean.
+
+Used by ctest (server_smoke_harness) and by the CI server-smoke job.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+LISTEN_RE = re.compile(r"LISTENING host=\S+ port=(\d+)")
+
+
+class Server:
+    def __init__(self, binary, data_dir):
+        self.proc = subprocess.Popen(
+            [binary, "--port=0", f"--data_dir={data_dir}",
+             "--durability=group_commit"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        self.port = None
+        self.lines = []
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            self.lines.append(line)
+            match = LISTEN_RE.search(line)
+            if match:
+                self.port = int(match.group(1))
+                return
+        raise SystemExit(
+            f"server never reported LISTENING; output so far: {self.lines}")
+
+    def stop(self):
+        """SIGTERM, wait, return (exit_code, full_stdout)."""
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            out, _ = self.proc.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            raise SystemExit("server did not exit within 60s of SIGTERM")
+        return self.proc.returncode, "".join(self.lines) + (out or "")
+
+
+def run_cli(binary, port, script):
+    proc = subprocess.run(
+        [binary, f"--port={port}"], input=script, text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, timeout=120)
+    return proc.returncode, proc.stdout
+
+
+def expect(condition, message, output=""):
+    if not condition:
+        print(f"FAIL: {message}")
+        if output:
+            print("---- output ----")
+            print(output)
+        sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve", required=True, help="anker_serve binary")
+    parser.add_argument("--cli", required=True, help="anker_cli binary")
+    parser.add_argument("--workdir", default=None,
+                        help="data directory root (default: a fresh tmpdir)")
+    args = parser.parse_args()
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="anker-server-smoke-")
+    data_dir = os.path.join(workdir, "db")
+    shutil.rmtree(data_dir, ignore_errors=True)
+
+    rows = 64
+    ids = " ".join(str(i) for i in range(rows))
+    balances = " ".join("100" for _ in range(rows))
+
+    # ---- phase 1: fresh serve + scripted session -------------------------
+    server = Server(args.serve, data_dir)
+    script = f"""
+create accounts {rows} id:int64 balance:double
+load accounts id 0 {ids}
+load accounts balance 0 {balances}
+index accounts id
+begin
+write accounts balance 1 75.5 bykey
+write accounts balance 2 124.5 bykey
+commit
+read accounts balance 1 bykey
+query accounts sum(balance) count()
+"""
+    code, out = run_cli(args.cli, server.port, script)
+    expect(code == 0, f"phase-1 CLI session failed (exit {code})", out)
+    expect("VALUE 75.5" in out, "keyed read did not see the commit", out)
+    expect(f"sum(balance)={rows * 100}" in out,
+           "aggregate does not balance after the transfer", out)
+    expect(f"count()={rows}" in out, "count over all rows wrong", out)
+
+    code, out = server.stop()
+    expect(code == 0, f"phase-1 server exit code {code}", out)
+    expect("CHECKPOINT ts=" in out, "no shutdown checkpoint reported", out)
+    expect("EXIT OK" in out, "shutdown did not complete cleanly", out)
+    print("phase 1 OK: serve + session + checkpointed shutdown")
+
+    # ---- phase 2: reopen the same directory ------------------------------
+    server = Server(args.serve, data_dir)
+    opened = next((l for l in server.lines if l.startswith("OPENED")), "")
+    expect("tables=1" in opened, "reopen did not recover the table",
+           "".join(server.lines))
+    script = f"""
+read accounts balance 1 bykey
+read accounts balance 2 bykey
+query accounts sum(balance) count()
+"""
+    code, out = run_cli(args.cli, server.port, script)
+    expect(code == 0, f"phase-2 CLI session failed (exit {code})", out)
+    expect("VALUE 75.5" in out and "VALUE 124.5" in out,
+           "recovered state lost the committed writes", out)
+    expect(f"sum(balance)={rows * 100}" in out,
+           "recovered aggregate wrong", out)
+
+    code, out = server.stop()
+    expect(code == 0, f"phase-2 server exit code {code}", out)
+    expect("EXIT OK" in out, "second shutdown not clean", out)
+    print("phase 2 OK: checkpoint + WAL reopen served identical state")
+
+    if args.workdir is None:
+        shutil.rmtree(workdir, ignore_errors=True)
+    print("server smoke: all phases OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,18 @@ Status DatabaseConfig::Validate() const {
     return Status::InvalidArgument(
         "checkpoint_interval_commits needs a data_dir to checkpoint into");
   }
+  if (!data_dir.empty()) {
+    // Probe (and mkdir -p) the data directory up front: a config pointing
+    // at an uncreatable path (say /var/lib/anker without root) must come
+    // back as a recoverable error here, not as an IO failure deep inside
+    // Database::Open after half the engine is constructed.
+    const Status created = wal::EnsureDir(data_dir);
+    if (!created.ok()) {
+      return Status::InvalidArgument("data_dir '" + data_dir +
+                                     "' cannot be created: " +
+                                     created.message());
+    }
+  }
   return Status::OK();
 }
 
@@ -134,12 +146,14 @@ Database::Database(DatabaseConfig config, OpenTag)
 Database::~Database() { Stop(); }
 
 void Database::Start() {
+  std::lock_guard<std::mutex> guard(lifecycle_mutex_);
   if (started_) return;
   started_ = true;
   if (gc_ != nullptr) gc_->Start();
 }
 
 void Database::Stop() {
+  std::lock_guard<std::mutex> guard(lifecycle_mutex_);
   if (!started_) return;
   started_ = false;
   if (gc_ != nullptr) gc_->Stop();

@@ -74,8 +74,11 @@ struct DatabaseConfig {
   /// heterogeneous processing requires a snapshot-capable backend, and the
   /// homogeneous baselines never snapshot, so a copy-on-write backend
   /// would only add fault-handling cost that the paper's baselines do not
-  /// pay (skewing every comparison against them). Checked by the Database
-  /// constructor; use Database::Create for a recoverable error.
+  /// pay (skewing every comparison against them). Also probes data_dir
+  /// when set (mkdir -p): an uncreatable directory is reported here as a
+  /// recoverable InvalidArgument instead of surfacing as an IO error deep
+  /// inside Open/Checkpoint. Checked by the Database constructor; use
+  /// Database::Create / Database::Open for a recoverable error.
   Status Validate() const;
 };
 
@@ -299,6 +302,10 @@ class Database {
   std::mutex create_table_mutex_;
   std::mutex checkpoint_mutex_;
   std::atomic<bool> checkpoint_pending_{false};
+
+  /// Serializes Start/Stop (the server and its signal-driven shutdown
+  /// path may race them; both are idempotent under the lock).
+  std::mutex lifecycle_mutex_;
 
   std::mutex pool_mutex_;
   /// Declared last: its destructor joins the workers (including pending

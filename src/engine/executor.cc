@@ -21,10 +21,14 @@ uint64_t ColumnReader::ResolveChain(size_t row, uint64_t slot) const {
   uint64_t candidate = slot;
   const mvcc::ChainDirectory* dir = dir_;
   while (dir != nullptr) {
+    // Node payloads are read through the TSAN-annotated accessors: a
+    // commit may recycle-and-rewrite a node this walk still holds (see
+    // StoreNodePayload in ChainDirectory::AddVersion); the caller's
+    // seqlock validation rejects the block if that happened.
     for (const mvcc::VersionNode* node = dir->Head(row); node != nullptr;
          node = mvcc::LoadNext(node)) {
-      if (node->ts <= read_ts_) return candidate;
-      candidate = node->value;
+      if (mvcc::LoadNodeTs(node) <= read_ts_) return candidate;
+      candidate = mvcc::LoadNodeValue(node);
     }
     if (read_ts_ >= dir->prev_seal_ts()) return candidate;
     const mvcc::ChainDirectory* prev = dir->prev_raw();

@@ -118,8 +118,12 @@ void ChainDirectory::AddVersion(size_t row, uint64_t old_value,
   // runs inside the commit critical section, where a malloc would
   // serialize every committer behind the allocator.
   VersionNode* node = arena_.Allocate();
-  node->value = old_value;
-  node->ts = commit_ts;
+  // The node may be free-list recycled while a snapshot scan that raced
+  // past the old chain's unlink still traverses it; the scan's seqlock
+  // validation (Block::seq below) discards whatever it read. Payload
+  // stores go through the TSAN-annotated helper so only unintended races
+  // are reported.
+  StoreNodePayload(node, old_value, commit_ts);
   StoreNext(node, block->heads[in_block].load(std::memory_order_relaxed));
   block->heads[in_block].store(node, std::memory_order_release);
   total_versions_.fetch_add(1, std::memory_order_relaxed);

@@ -63,6 +63,42 @@ inline void StoreNext(VersionNode* node, VersionNode* next) {
 #endif
 }
 
+/// value/ts access for the same reason, one hazard further: the arena
+/// *recycles* retired nodes (Treiber free list), so a reader that raced
+/// past a chain's unlink can traverse a node while AddVersion rewrites
+/// its payload for a new row. The surrounding seqlock (Block::seq,
+/// validated by the scan fold before any value is used) makes the torn
+/// read harmless — the block retries — but the access itself is racy by
+/// design, so under TSan it must be a relaxed atomic like next above.
+inline uint64_t LoadNodeValue(const VersionNode* node) {
+#ifdef ANKER_TSAN
+  uint64_t value;
+  __atomic_load(&node->value, &value, __ATOMIC_RELAXED);
+  return value;
+#else
+  return node->value;
+#endif
+}
+inline Timestamp LoadNodeTs(const VersionNode* node) {
+#ifdef ANKER_TSAN
+  Timestamp ts;
+  __atomic_load(&node->ts, &ts, __ATOMIC_RELAXED);
+  return ts;
+#else
+  return node->ts;
+#endif
+}
+inline void StoreNodePayload(VersionNode* node, uint64_t value,
+                             Timestamp ts) {
+#ifdef ANKER_TSAN
+  __atomic_store(&node->value, &value, __ATOMIC_RELAXED);
+  __atomic_store(&node->ts, &ts, __ATOMIC_RELAXED);
+#else
+  node->value = value;
+  node->ts = ts;
+#endif
+}
+
 /// Bump allocator for VersionNodes, owned by one ChainDirectory segment.
 /// Nodes are carved out of chunk-sized slabs, so AddVersion never hits the
 /// global heap on the commit critical path, and dropping the segment

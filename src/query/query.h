@@ -48,7 +48,17 @@ class Params {
     bool is_string = false;
   };
 
+  /// Raw binding (wire deserialization; the typed setters above are the
+  /// ergonomic surface).
+  Params& Set(const std::string& name, Value value) {
+    values_[name] = std::move(value);
+    return *this;
+  }
+
   const Value* Find(const std::string& name) const;
+
+  /// All bindings, name-ordered (wire serialization iterates them).
+  const std::map<std::string, Value>& values() const { return values_; }
 
  private:
   std::map<std::string, Value> values_;

@@ -1,0 +1,256 @@
+#include "query/serialize.h"
+
+#include "wal/wal_format.h"
+
+namespace anker::query {
+
+namespace {
+
+using wal::GetString;
+using wal::GetU32;
+using wal::GetU64;
+using wal::GetU8;
+using wal::PutString;
+using wal::PutU32;
+using wal::PutU64;
+using wal::PutU8;
+
+Status Truncated() {
+  return Status::InvalidArgument("truncated wire query encoding");
+}
+
+// Node flags: which optional members follow.
+constexpr uint8_t kHasLhs = 1u << 0;
+constexpr uint8_t kHasRhs = 1u << 1;
+constexpr uint8_t kIsString = 1u << 2;
+
+bool ValidExprKind(uint8_t kind) {
+  return kind <= static_cast<uint8_t>(ExprKind::kOr);
+}
+
+bool ValidExprType(uint8_t type) {
+  return type <= static_cast<uint8_t>(ExprType::kBool);
+}
+
+bool ValidAggKind(uint8_t kind) {
+  return kind <= static_cast<uint8_t>(AggKind::kMax);
+}
+
+Status EncodeNode(const ExprNode* node, size_t depth, size_t* budget,
+                  std::string* out) {
+  if (node == nullptr) {
+    return Status::InvalidArgument("cannot encode an invalid expression");
+  }
+  if (depth > kMaxWireExprDepth) {
+    return Status::InvalidArgument("expression too deep for the wire");
+  }
+  if (*budget == 0) {
+    return Status::InvalidArgument("expression too large for the wire");
+  }
+  --*budget;
+  PutU8(out, static_cast<uint8_t>(node->kind));
+  PutU8(out, static_cast<uint8_t>(node->type));
+  uint8_t flags = 0;
+  if (node->lhs != nullptr) flags |= kHasLhs;
+  if (node->rhs != nullptr) flags |= kHasRhs;
+  if (node->is_string) flags |= kIsString;
+  PutU8(out, flags);
+  PutString(out, node->name);
+  PutU64(out, node->raw);
+  PutString(out, node->text);
+  if (node->lhs != nullptr) {
+    ANKER_RETURN_IF_ERROR(EncodeNode(node->lhs.get(), depth + 1, budget, out));
+  }
+  if (node->rhs != nullptr) {
+    ANKER_RETURN_IF_ERROR(EncodeNode(node->rhs.get(), depth + 1, budget, out));
+  }
+  return Status::OK();
+}
+
+Status DecodeNode(std::string_view* in, size_t depth, size_t* budget,
+                  std::shared_ptr<const ExprNode>* out) {
+  if (depth > kMaxWireExprDepth) {
+    return Status::InvalidArgument("wire expression too deep");
+  }
+  if (*budget == 0) {
+    return Status::InvalidArgument("wire expression has too many nodes");
+  }
+  --*budget;
+  uint8_t kind = 0, type = 0, flags = 0;
+  if (!GetU8(in, &kind) || !GetU8(in, &type) || !GetU8(in, &flags)) {
+    return Truncated();
+  }
+  if (!ValidExprKind(kind)) {
+    return Status::InvalidArgument("unknown expression kind tag on the wire");
+  }
+  if (!ValidExprType(type)) {
+    return Status::InvalidArgument("unknown expression type tag on the wire");
+  }
+  if ((flags & ~(kHasLhs | kHasRhs | kIsString)) != 0) {
+    return Status::InvalidArgument("unknown expression flag bits on the wire");
+  }
+  auto node = std::make_shared<ExprNode>();
+  node->kind = static_cast<ExprKind>(kind);
+  node->type = static_cast<ExprType>(type);
+  node->is_string = (flags & kIsString) != 0;
+  if (!GetString(in, &node->name) || !GetU64(in, &node->raw) ||
+      !GetString(in, &node->text)) {
+    return Truncated();
+  }
+  if ((flags & kHasLhs) != 0) {
+    std::shared_ptr<const ExprNode> lhs;
+    ANKER_RETURN_IF_ERROR(DecodeNode(in, depth + 1, budget, &lhs));
+    node->lhs = std::move(lhs);
+  }
+  if ((flags & kHasRhs) != 0) {
+    std::shared_ptr<const ExprNode> rhs;
+    ANKER_RETURN_IF_ERROR(DecodeNode(in, depth + 1, budget, &rhs));
+    node->rhs = std::move(rhs);
+  }
+  *out = std::move(node);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EncodeExpr(const Expr& expr, std::string* out) {
+  size_t budget = kMaxWireExprNodes;
+  return EncodeNode(expr.node(), 0, &budget, out);
+}
+
+Status DecodeExpr(std::string_view* in, Expr* expr) {
+  size_t budget = kMaxWireExprNodes;
+  std::shared_ptr<const ExprNode> root;
+  ANKER_RETURN_IF_ERROR(DecodeNode(in, 0, &budget, &root));
+  *expr = Expr(std::move(root));
+  return Status::OK();
+}
+
+Status EncodeWireQuery(const WireQuery& query, std::string* out) {
+  if (query.aggs.size() > kMaxWireQueryLists ||
+      query.group_by.size() > kMaxWireQueryLists) {
+    return Status::InvalidArgument("wire query lists too large");
+  }
+  PutString(out, query.table);
+  PutU8(out, query.filter.valid() ? 1 : 0);
+  if (query.filter.valid()) {
+    ANKER_RETURN_IF_ERROR(EncodeExpr(query.filter, out));
+  }
+  PutU32(out, static_cast<uint32_t>(query.aggs.size()));
+  for (const Agg& agg : query.aggs) {
+    PutU8(out, static_cast<uint8_t>(agg.kind()));
+    PutString(out, agg.name());
+    PutU8(out, agg.expr().valid() ? 1 : 0);
+    if (agg.expr().valid()) {
+      ANKER_RETURN_IF_ERROR(EncodeExpr(agg.expr(), out));
+    }
+  }
+  PutU32(out, static_cast<uint32_t>(query.group_by.size()));
+  for (const std::string& column : query.group_by) {
+    PutString(out, column);
+  }
+  return Status::OK();
+}
+
+Status DecodeWireQuery(std::string_view* in, WireQuery* query) {
+  *query = WireQuery();
+  uint8_t has_filter = 0;
+  if (!GetString(in, &query->table) || !GetU8(in, &has_filter)) {
+    return Truncated();
+  }
+  if (has_filter > 1) {
+    return Status::InvalidArgument("bad filter presence tag on the wire");
+  }
+  if (has_filter == 1) {
+    ANKER_RETURN_IF_ERROR(DecodeExpr(in, &query->filter));
+  }
+  uint32_t naggs = 0;
+  if (!GetU32(in, &naggs)) return Truncated();
+  if (naggs > kMaxWireQueryLists) {
+    return Status::InvalidArgument("too many aggregates on the wire");
+  }
+  for (uint32_t i = 0; i < naggs; ++i) {
+    uint8_t kind = 0, has_expr = 0;
+    std::string name;
+    if (!GetU8(in, &kind) || !GetString(in, &name) || !GetU8(in, &has_expr)) {
+      return Truncated();
+    }
+    if (!ValidAggKind(kind)) {
+      return Status::InvalidArgument("unknown aggregate kind tag on the wire");
+    }
+    if (has_expr > 1) {
+      return Status::InvalidArgument("bad aggregate expr tag on the wire");
+    }
+    Expr expr;
+    if (has_expr == 1) {
+      ANKER_RETURN_IF_ERROR(DecodeExpr(in, &expr));
+    }
+    query->aggs.push_back(
+        Agg(static_cast<AggKind>(kind), std::move(expr)).As(std::move(name)));
+  }
+  uint32_t ngroup = 0;
+  if (!GetU32(in, &ngroup)) return Truncated();
+  if (ngroup > kMaxWireQueryLists) {
+    return Status::InvalidArgument("too many group-by columns on the wire");
+  }
+  for (uint32_t i = 0; i < ngroup; ++i) {
+    std::string column;
+    if (!GetString(in, &column)) return Truncated();
+    query->group_by.push_back(std::move(column));
+  }
+  return Status::OK();
+}
+
+Result<Query> CompileWireQuery(const WireQuery& query,
+                               const storage::Catalog& catalog) {
+  if (!catalog.HasTable(query.table)) {
+    return Status::NotFound("unknown table: " + query.table);
+  }
+  QueryBuilder builder(catalog.GetTable(query.table));
+  if (query.filter.valid()) builder.Filter(query.filter);
+  builder.Aggregate(query.aggs);
+  if (!query.group_by.empty()) builder.GroupBy(query.group_by);
+  return builder.Build();
+}
+
+void EncodeParams(const Params& params, std::string* out) {
+  const auto& values = params.values();
+  PutU32(out, static_cast<uint32_t>(values.size()));
+  for (const auto& [name, value] : values) {
+    PutString(out, name);
+    PutU8(out, static_cast<uint8_t>(value.type));
+    PutU8(out, value.is_string ? 1 : 0);
+    PutU64(out, value.raw);
+    PutString(out, value.text);
+  }
+}
+
+Status DecodeParams(std::string_view* in, Params* params) {
+  *params = Params();
+  uint32_t count = 0;
+  if (!GetU32(in, &count)) return Truncated();
+  if (count > kMaxWireQueryLists) {
+    return Status::InvalidArgument("too many parameters on the wire");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name, text;
+    uint8_t type = 0, is_string = 0;
+    uint64_t raw = 0;
+    if (!GetString(in, &name) || !GetU8(in, &type) || !GetU8(in, &is_string) ||
+        !GetU64(in, &raw) || !GetString(in, &text)) {
+      return Truncated();
+    }
+    if (!ValidExprType(type) || is_string > 1) {
+      return Status::InvalidArgument("bad parameter tag on the wire");
+    }
+    Params::Value value;
+    value.type = static_cast<ExprType>(type);
+    value.raw = raw;
+    value.is_string = is_string == 1;
+    value.text = std::move(text);
+    params->Set(name, value);
+  }
+  return Status::OK();
+}
+
+}  // namespace anker::query

@@ -1,0 +1,78 @@
+#ifndef ANKER_QUERY_SERIALIZE_H_
+#define ANKER_QUERY_SERIALIZE_H_
+
+// Wire (de)serialization of the declarative query surface: expression
+// trees, aggregate specs, group-by lists and parameter bindings, in the
+// WAL's little-endian encode/decode idiom (wal/wal_format.h). This is
+// what lets a Query travel: the network front-end (src/server/) ships a
+// WireQuery + Params from the client library to anker_serve, which
+// recompiles it against the live catalog with the ordinary QueryBuilder —
+// the server never executes anything the in-process Build() would have
+// rejected.
+//
+// Format stability: the encoding carries explicit kind/type tags and
+// length-prefixed strings, and decoders reject unknown tags, oversized
+// trees and truncated input with a recoverable Status (never a CHECK) —
+// wire input is untrusted. Versioning rides on the server protocol's
+// HELLO version (docs/SERVER.md); the encoding itself is additive-only.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+
+namespace anker::query {
+
+/// Hard limits on a decoded expression tree. Anything larger is rejected
+/// as malformed: a legitimate query never gets close, and a hostile
+/// length field must not drive recursion depth or allocation size.
+inline constexpr size_t kMaxWireExprNodes = 4096;
+inline constexpr size_t kMaxWireExprDepth = 64;
+/// Upper bound on the declared aggregate / group-by list sizes.
+inline constexpr size_t kMaxWireQueryLists = 256;
+
+/// Appends the encoding of `expr` (which must be valid) to `out`.
+/// Fails with InvalidArgument when the tree exceeds the wire limits.
+Status EncodeExpr(const Expr& expr, std::string* out);
+
+/// Decodes one expression tree from the front of `*in`, consuming it.
+/// Fails with InvalidArgument on truncated input, unknown tags, or a
+/// tree exceeding the wire limits.
+Status DecodeExpr(std::string_view* in, Expr* expr);
+
+/// A declarative query in transit: everything QueryBuilder needs, plus
+/// the table name to resolve against the destination catalog.
+struct WireQuery {
+  std::string table;
+  Expr filter;  ///< Invalid handle = unfiltered scan.
+  std::vector<Agg> aggs;
+  std::vector<std::string> group_by;
+};
+
+Status EncodeWireQuery(const WireQuery& query, std::string* out);
+Status DecodeWireQuery(std::string_view* in, WireQuery* query);
+
+/// Captures an executable Query back into its wire form is not possible
+/// (plans are compiled, not reversible); clients assemble WireQuery
+/// directly from the same Expr/Agg pieces they would hand the builder.
+
+/// Compiles a decoded WireQuery against a catalog through the ordinary
+/// QueryBuilder: NotFound for an unknown table, and every Build() error
+/// (type errors, unknown columns, oversized group domains) surfaces
+/// unchanged.
+Result<Query> CompileWireQuery(const WireQuery& query,
+                               const storage::Catalog& catalog);
+
+/// Parameter bindings. Encoding preserves the declared type and, for
+/// string parameters, the text (resolved against the destination
+/// column's dictionary when the predicate binds, exactly like local
+/// execution).
+void EncodeParams(const Params& params, std::string* out);
+Status DecodeParams(std::string_view* in, Params* params);
+
+}  // namespace anker::query
+
+#endif  // ANKER_QUERY_SERIALIZE_H_

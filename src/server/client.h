@@ -1,0 +1,105 @@
+#ifndef ANKER_SERVER_CLIENT_H_
+#define ANKER_SERVER_CLIENT_H_
+
+// Blocking C++ client for the anker wire protocol: one TCP connection,
+// strict request/response (responses arrive in request order; queries
+// additionally stream result batches before their terminating frame).
+// Used by tools/anker_cli.cc, bench/bench_server_throughput.cc and the
+// loopback end-to-end tests; the walkthrough lives in docs/SERVER.md.
+//
+// Error surface: every remote failure comes back as the Status the
+// server would have produced in-process (wire error codes map 1:1 onto
+// StatusCode). BUSY backpressure surfaces as kResourceBusy — retryable
+// by construction. Transport-level failures (connection reset, framing
+// corruption) are kIoError and poison the client: every later call
+// fails fast until the caller reconnects.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace anker::server {
+
+struct ClientOptions {
+  std::string auth_token;
+  /// Send/receive timeout per socket operation; 0 = block forever.
+  int io_timeout_millis = 0;
+};
+
+class Client {
+ public:
+  /// Connects and completes the HELLO handshake.
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port,
+                                                 ClientOptions options = {});
+  ~Client();
+  ANKER_DISALLOW_COPY_AND_MOVE(Client);
+
+  Status Ping();
+
+  /// Transaction control (one open transaction per connection, mirroring
+  /// the server's session state machine).
+  Status Begin();
+  Status Commit();
+  Status Abort();
+
+  /// Point operations. With `by_key` the row is resolved through the
+  /// table's primary index; otherwise `key` is the row id.
+  Result<uint64_t> Read(const std::string& table, const std::string& column,
+                        uint64_t key, bool by_key = false);
+  Status Write(const std::string& table, const std::string& column,
+               uint64_t key, uint64_t raw, bool by_key = false);
+  Status WriteBatch(const std::vector<PointWrite>& writes);
+  /// One-round-trip auto-commit transaction (BEGIN + writes + COMMIT).
+  Status ExecTxn(const std::vector<PointWrite>& writes);
+
+  /// Ships a declarative query (query/serialize.h) and reassembles the
+  /// streamed result. Aggregate values travel as raw IEEE bits: the
+  /// returned rows are byte-identical to an in-process Database::Run.
+  Result<query::QueryResult> Query(const query::WireQuery& query,
+                                   const query::Params& params);
+
+  /// Schema / load surface.
+  Status CreateTable(const std::string& name, uint64_t num_rows,
+                     const std::vector<storage::ColumnDef>& schema);
+  Status Load(const std::string& table, const std::string& column,
+              uint64_t start_row, const std::vector<uint64_t>& values);
+  Status BuildIndex(const std::string& table, const std::string& key_column);
+  /// Appends dictionary entries to a dict32 column (code = position);
+  /// required before grouping on a column loaded with raw codes.
+  Status DefineDict(const std::string& table, const std::string& column,
+                    const std::vector<std::string>& values);
+  Result<std::vector<TableInfo>> ListTables();
+
+  /// Fire-and-wait raw round trip for tests and benches: sends one
+  /// already-encoded request payload, returns the raw response payload.
+  Result<std::string> RoundTrip(const std::string& request_payload);
+
+  /// Pipelining for benches: queue a request without reading responses...
+  Status SendOnly(const std::string& request_payload);
+  /// ...then collect one pending simple (non-query) response.
+  Result<std::string> ReceiveOne();
+
+ private:
+  Client() = default;
+
+  Status SendFrame(const std::string& payload);
+  /// Blocks until one complete frame arrives.
+  Status ReceiveFrame(std::string* payload);
+  /// Decodes kOk / kErr / kBusy into a Status; anything else is a
+  /// protocol error (poisons the client).
+  Status StatusResponse(const std::string& payload);
+
+  int fd_ = -1;
+  std::string inbox_;
+  Status poisoned_ = Status::OK();  ///< First transport failure, sticky.
+};
+
+}  // namespace anker::server
+
+#endif  // ANKER_SERVER_CLIENT_H_

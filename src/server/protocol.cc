@@ -1,0 +1,516 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+#include "wal/crc32c.h"
+#include "wal/wal_format.h"
+
+namespace anker::server {
+
+namespace {
+
+using wal::GetString;
+using wal::GetU32;
+using wal::GetU64;
+using wal::GetU8;
+using wal::PutString;
+using wal::PutU32;
+using wal::PutU64;
+using wal::PutU8;
+
+Status Truncated() { return Status::InvalidArgument("truncated message"); }
+
+Status ExpectDrained(std::string_view in) {
+  if (!in.empty()) {
+    return Status::InvalidArgument("trailing bytes after message body");
+  }
+  return Status::OK();
+}
+
+bool GetBool(std::string_view* in, bool* v) {
+  uint8_t byte = 0;
+  if (!GetU8(in, &byte) || byte > 1) return false;
+  *v = byte == 1;
+  return true;
+}
+
+}  // namespace
+
+bool IsRequestOp(uint8_t op) {
+  switch (static_cast<Op>(op)) {
+    case Op::kHello:
+    case Op::kPing:
+    case Op::kBegin:
+    case Op::kCommit:
+    case Op::kAbort:
+    case Op::kRead:
+    case Op::kWrite:
+    case Op::kWriteBatch:
+    case Op::kExecTxn:
+    case Op::kQuery:
+    case Op::kCreateTable:
+    case Op::kLoad:
+    case Op::kBuildIndex:
+    case Op::kListTables:
+    case Op::kDictDefine:
+      return true;
+    default:
+      return false;
+  }
+}
+
+WireError WireErrorFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireError::kOk;
+    case StatusCode::kInvalidArgument:
+      return WireError::kInvalidArgument;
+    case StatusCode::kNotFound:
+      return WireError::kNotFound;
+    case StatusCode::kAlreadyExists:
+      return WireError::kAlreadyExists;
+    case StatusCode::kOutOfRange:
+      return WireError::kOutOfRange;
+    case StatusCode::kIoError:
+      return WireError::kIoError;
+    case StatusCode::kAborted:
+      return WireError::kAborted;
+    case StatusCode::kResourceBusy:
+      return WireError::kResourceBusy;
+    case StatusCode::kNotSupported:
+      return WireError::kNotSupported;
+    case StatusCode::kInternal:
+      return WireError::kInternal;
+  }
+  return WireError::kInternal;
+}
+
+Status StatusFromWire(WireError code, std::string message) {
+  switch (code) {
+    case WireError::kOk:
+      return Status::OK();
+    case WireError::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case WireError::kNotFound:
+      return Status::NotFound(std::move(message));
+    case WireError::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case WireError::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case WireError::kIoError:
+      return Status::IoError(std::move(message));
+    case WireError::kAborted:
+      return Status::Aborted(std::move(message));
+    case WireError::kResourceBusy:
+      return Status::ResourceBusy(std::move(message));
+    case WireError::kNotSupported:
+      return Status::NotSupported(std::move(message));
+    case WireError::kInternal:
+      return Status::Internal(std::move(message));
+    case WireError::kBadHandshake:
+      return Status::InvalidArgument("handshake: " + message);
+    case WireError::kProtocolError:
+      return Status::InvalidArgument("protocol: " + message);
+  }
+  return Status::Internal(std::move(message));
+}
+
+void EncodeFrame(std::string_view payload, std::string* out) {
+  ANKER_CHECK_MSG(payload.size() <= kMaxFramePayload,
+                  "frame payload exceeds kMaxFramePayload");
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, wal::MaskCrc(wal::Crc32c(0, payload.data(), payload.size())));
+  out->append(payload);
+}
+
+FrameStatus DecodeFrame(std::string_view buffer, std::string_view* payload,
+                        size_t* consumed) {
+  if (buffer.size() < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+  uint32_t len = 0, masked = 0;
+  std::string_view header = buffer.substr(0, kFrameHeaderBytes);
+  GetU32(&header, &len);
+  GetU32(&header, &masked);
+  if (len > kMaxFramePayload) return FrameStatus::kCorrupt;
+  if (buffer.size() < kFrameHeaderBytes + len) return FrameStatus::kNeedMore;
+  std::string_view body = buffer.substr(kFrameHeaderBytes, len);
+  const uint32_t crc = wal::Crc32c(0, body.data(), body.size());
+  if (wal::MaskCrc(crc) != masked) return FrameStatus::kCorrupt;
+  *payload = body;
+  *consumed = kFrameHeaderBytes + len;
+  return FrameStatus::kOk;
+}
+
+void EncodeHello(const HelloMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kHello));
+  PutU64(out, kHelloMagic);
+  PutU32(out, msg.version);
+  PutString(out, msg.auth_token);
+}
+
+Status DecodeHello(std::string_view in, HelloMsg* msg) {
+  uint64_t magic = 0;
+  if (!GetU64(&in, &magic) || !GetU32(&in, &msg->version) ||
+      !GetString(&in, &msg->auth_token)) {
+    return Truncated();
+  }
+  if (magic != kHelloMagic) {
+    return Status::InvalidArgument("bad HELLO magic");
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeHelloOk(const HelloOkMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kHelloOk));
+  PutU32(out, msg.version);
+  PutString(out, msg.server_info);
+}
+
+Status DecodeHelloOk(std::string_view in, HelloOkMsg* msg) {
+  if (!GetU32(&in, &msg->version) || !GetString(&in, &msg->server_info)) {
+    return Truncated();
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeErr(Op op, const ErrMsg& msg, std::string* out) {
+  ANKER_CHECK(op == Op::kErr || op == Op::kBusy);
+  PutU8(out, static_cast<uint8_t>(op));
+  PutU8(out, static_cast<uint8_t>(msg.code));
+  PutString(out, msg.message);
+}
+
+Status DecodeErr(std::string_view in, ErrMsg* msg) {
+  uint8_t code = 0;
+  if (!GetU8(&in, &code) || !GetString(&in, &msg->message)) {
+    return Truncated();
+  }
+  msg->code = static_cast<WireError>(code);
+  return ExpectDrained(in);
+}
+
+void EncodePointRead(const PointReadMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kRead));
+  PutString(out, msg.table);
+  PutString(out, msg.column);
+  PutU8(out, msg.by_key ? 1 : 0);
+  PutU64(out, msg.key);
+}
+
+Status DecodePointRead(std::string_view in, PointReadMsg* msg) {
+  if (!GetString(&in, &msg->table) || !GetString(&in, &msg->column) ||
+      !GetBool(&in, &msg->by_key) || !GetU64(&in, &msg->key)) {
+    return Truncated();
+  }
+  return ExpectDrained(in);
+}
+
+namespace {
+
+void PutWriteBody(const PointWrite& write, std::string* out) {
+  PutString(out, write.table);
+  PutString(out, write.column);
+  PutU8(out, write.by_key ? 1 : 0);
+  PutU64(out, write.key);
+  PutU64(out, write.raw);
+}
+
+bool GetWriteBody(std::string_view* in, PointWrite* write) {
+  return GetString(in, &write->table) && GetString(in, &write->column) &&
+         GetBool(in, &write->by_key) && GetU64(in, &write->key) &&
+         GetU64(in, &write->raw);
+}
+
+/// Shared schema decode (CREATE_TABLE request, TABLES response):
+/// u32 count, then count x (name, u8 type tag), tags validated.
+Status GetSchema(std::string_view* in, std::vector<storage::ColumnDef>* out) {
+  uint32_t ncols = 0;
+  if (!GetU32(in, &ncols)) return Truncated();
+  if (ncols > 4096) {
+    return Status::InvalidArgument("bad schema column count");
+  }
+  out->clear();
+  for (uint32_t i = 0; i < ncols; ++i) {
+    storage::ColumnDef def;
+    uint8_t type = 0;
+    if (!GetString(in, &def.name) || !GetU8(in, &type)) return Truncated();
+    if (type > static_cast<uint8_t>(storage::ValueType::kDict32)) {
+      return Status::InvalidArgument("unknown column type tag");
+    }
+    def.type = static_cast<storage::ValueType>(type);
+    out->push_back(std::move(def));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeWrite(const PointWrite& write, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kWrite));
+  PutWriteBody(write, out);
+}
+
+Status DecodeWrite(std::string_view in, PointWrite* write) {
+  if (!GetWriteBody(&in, write)) return Truncated();
+  return ExpectDrained(in);
+}
+
+void EncodeWriteBatch(Op op, const std::vector<PointWrite>& writes,
+                      std::string* out) {
+  ANKER_CHECK(op == Op::kWriteBatch || op == Op::kExecTxn);
+  ANKER_CHECK(writes.size() <= kMaxWritesPerBatch);
+  PutU8(out, static_cast<uint8_t>(op));
+  PutU32(out, static_cast<uint32_t>(writes.size()));
+  for (const PointWrite& write : writes) PutWriteBody(write, out);
+}
+
+Status DecodeWriteBatch(std::string_view in, std::vector<PointWrite>* writes) {
+  uint32_t count = 0;
+  if (!GetU32(&in, &count)) return Truncated();
+  if (count > kMaxWritesPerBatch) {
+    return Status::InvalidArgument("write batch too large");
+  }
+  writes->clear();
+  writes->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PointWrite write;
+    if (!GetWriteBody(&in, &write)) return Truncated();
+    writes->push_back(std::move(write));
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeReadOk(uint64_t raw, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kReadOk));
+  PutU64(out, raw);
+}
+
+Status DecodeReadOk(std::string_view in, uint64_t* raw) {
+  if (!GetU64(&in, raw)) return Truncated();
+  return ExpectDrained(in);
+}
+
+Status EncodeQuery(const QueryMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kQuery));
+  ANKER_RETURN_IF_ERROR(query::EncodeWireQuery(msg.query, out));
+  query::EncodeParams(msg.params, out);
+  return Status::OK();
+}
+
+Status DecodeQuery(std::string_view in, QueryMsg* msg) {
+  ANKER_RETURN_IF_ERROR(query::DecodeWireQuery(&in, &msg->query));
+  ANKER_RETURN_IF_ERROR(query::DecodeParams(&in, &msg->params));
+  return ExpectDrained(in);
+}
+
+void EncodeQueryBatch(const query::QueryResult& result, size_t row_begin,
+                      size_t row_end, std::string* out) {
+  ANKER_CHECK(row_begin <= row_end && row_end <= result.rows.size());
+  PutU8(out, static_cast<uint8_t>(Op::kQueryBatch));
+  PutU32(out, static_cast<uint32_t>(row_end - row_begin));
+  for (size_t r = row_begin; r < row_end; ++r) {
+    const query::QueryResult::Row& row = result.rows[r];
+    PutU32(out, static_cast<uint32_t>(row.keys.size()));
+    for (uint32_t key : row.keys) PutU32(out, key);
+    PutU32(out, static_cast<uint32_t>(row.values.size()));
+    for (double value : row.values) {
+      PutU64(out, storage::EncodeDouble(value));
+    }
+  }
+}
+
+Status DecodeQueryBatch(std::string_view in, query::QueryResult* result) {
+  uint32_t nrows = 0;
+  if (!GetU32(&in, &nrows)) return Truncated();
+  if (nrows > kMaxFramePayload / 8) {
+    return Status::InvalidArgument("query batch row count implausible");
+  }
+  for (uint32_t r = 0; r < nrows; ++r) {
+    query::QueryResult::Row row;
+    uint32_t nkeys = 0;
+    if (!GetU32(&in, &nkeys) || nkeys > in.size() / 4 + 1) return Truncated();
+    row.keys.reserve(nkeys);
+    for (uint32_t k = 0; k < nkeys; ++k) {
+      uint32_t code = 0;
+      if (!GetU32(&in, &code)) return Truncated();
+      row.keys.push_back(code);
+    }
+    uint32_t nvals = 0;
+    if (!GetU32(&in, &nvals) || nvals > in.size() / 8 + 1) return Truncated();
+    row.values.reserve(nvals);
+    for (uint32_t v = 0; v < nvals; ++v) {
+      uint64_t raw = 0;
+      if (!GetU64(&in, &raw)) return Truncated();
+      row.values.push_back(storage::DecodeDouble(raw));
+    }
+    result->rows.push_back(std::move(row));
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeQueryDone(const query::QueryResult& result, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kQueryDone));
+  PutU32(out, static_cast<uint32_t>(result.columns.size()));
+  for (const std::string& name : result.columns) PutString(out, name);
+  PutU32(out, static_cast<uint32_t>(result.key_names.size()));
+  for (const std::string& name : result.key_names) PutString(out, name);
+  PutU64(out, result.rows_scanned);
+  PutU64(out, static_cast<uint64_t>(result.rows.size()));
+}
+
+Status DecodeQueryDone(std::string_view in, query::QueryResult* result) {
+  uint32_t ncols = 0;
+  if (!GetU32(&in, &ncols) || ncols > query::kMaxWireQueryLists) {
+    return Truncated();
+  }
+  result->columns.clear();
+  for (uint32_t i = 0; i < ncols; ++i) {
+    std::string name;
+    if (!GetString(&in, &name)) return Truncated();
+    result->columns.push_back(std::move(name));
+  }
+  uint32_t nkeys = 0;
+  if (!GetU32(&in, &nkeys) || nkeys > query::kMaxWireQueryLists) {
+    return Truncated();
+  }
+  result->key_names.clear();
+  for (uint32_t i = 0; i < nkeys; ++i) {
+    std::string name;
+    if (!GetString(&in, &name)) return Truncated();
+    result->key_names.push_back(std::move(name));
+  }
+  uint64_t total_rows = 0;
+  if (!GetU64(&in, &result->rows_scanned) || !GetU64(&in, &total_rows)) {
+    return Truncated();
+  }
+  if (total_rows != result->rows.size()) {
+    return Status::InvalidArgument("query stream lost rows in transit");
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeCreateTable(const CreateTableMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kCreateTable));
+  PutString(out, msg.name);
+  PutU64(out, msg.num_rows);
+  PutU32(out, static_cast<uint32_t>(msg.schema.size()));
+  for (const storage::ColumnDef& def : msg.schema) {
+    PutString(out, def.name);
+    PutU8(out, static_cast<uint8_t>(def.type));
+  }
+}
+
+Status DecodeCreateTable(std::string_view in, CreateTableMsg* msg) {
+  if (!GetString(&in, &msg->name) || !GetU64(&in, &msg->num_rows)) {
+    return Truncated();
+  }
+  if (msg->num_rows > kMaxWireTableRows) {
+    return Status::InvalidArgument(
+        "table row count exceeds the wire limit");
+  }
+  ANKER_RETURN_IF_ERROR(GetSchema(&in, &msg->schema));
+  return ExpectDrained(in);
+}
+
+void EncodeLoad(const LoadMsg& msg, std::string* out) {
+  ANKER_CHECK(msg.values.size() <= kMaxLoadValues);
+  PutU8(out, static_cast<uint8_t>(Op::kLoad));
+  PutString(out, msg.table);
+  PutString(out, msg.column);
+  PutU64(out, msg.start_row);
+  PutU32(out, static_cast<uint32_t>(msg.values.size()));
+  for (uint64_t value : msg.values) PutU64(out, value);
+}
+
+Status DecodeLoad(std::string_view in, LoadMsg* msg) {
+  if (!GetString(&in, &msg->table) || !GetString(&in, &msg->column) ||
+      !GetU64(&in, &msg->start_row)) {
+    return Truncated();
+  }
+  uint32_t count = 0;
+  if (!GetU32(&in, &count) || count > kMaxLoadValues) {
+    return Status::InvalidArgument("bad load value count");
+  }
+  msg->values.clear();
+  msg->values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t value = 0;
+    if (!GetU64(&in, &value)) return Truncated();
+    msg->values.push_back(value);
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeBuildIndex(const BuildIndexMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kBuildIndex));
+  PutString(out, msg.table);
+  PutString(out, msg.key_column);
+}
+
+Status DecodeBuildIndex(std::string_view in, BuildIndexMsg* msg) {
+  if (!GetString(&in, &msg->table) || !GetString(&in, &msg->key_column)) {
+    return Truncated();
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeDictDefine(const DictDefineMsg& msg, std::string* out) {
+  ANKER_CHECK(msg.values.size() <= kMaxLoadValues);
+  PutU8(out, static_cast<uint8_t>(Op::kDictDefine));
+  PutString(out, msg.table);
+  PutString(out, msg.column);
+  PutU32(out, static_cast<uint32_t>(msg.values.size()));
+  for (const std::string& value : msg.values) PutString(out, value);
+}
+
+Status DecodeDictDefine(std::string_view in, DictDefineMsg* msg) {
+  if (!GetString(&in, &msg->table) || !GetString(&in, &msg->column)) {
+    return Truncated();
+  }
+  uint32_t count = 0;
+  if (!GetU32(&in, &count) || count > kMaxLoadValues) {
+    return Status::InvalidArgument("bad dictionary entry count");
+  }
+  msg->values.clear();
+  msg->values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string value;
+    if (!GetString(&in, &value)) return Truncated();
+    msg->values.push_back(std::move(value));
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeTables(const std::vector<TableInfo>& tables, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kTables));
+  PutU32(out, static_cast<uint32_t>(tables.size()));
+  for (const TableInfo& info : tables) {
+    PutString(out, info.name);
+    PutU64(out, info.num_rows);
+    PutU8(out, info.has_primary_index ? 1 : 0);
+    PutU32(out, static_cast<uint32_t>(info.schema.size()));
+    for (const storage::ColumnDef& def : info.schema) {
+      PutString(out, def.name);
+      PutU8(out, static_cast<uint8_t>(def.type));
+    }
+  }
+}
+
+Status DecodeTables(std::string_view in, std::vector<TableInfo>* tables) {
+  uint32_t ntables = 0;
+  if (!GetU32(&in, &ntables) || ntables > 65536) {
+    return Status::InvalidArgument("bad table count");
+  }
+  tables->clear();
+  for (uint32_t t = 0; t < ntables; ++t) {
+    TableInfo info;
+    if (!GetString(&in, &info.name) || !GetU64(&in, &info.num_rows) ||
+        !GetBool(&in, &info.has_primary_index)) {
+      return Truncated();
+    }
+    ANKER_RETURN_IF_ERROR(GetSchema(&in, &info.schema));
+    tables->push_back(std::move(info));
+  }
+  return ExpectDrained(in);
+}
+
+}  // namespace anker::server

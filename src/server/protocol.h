@@ -1,0 +1,263 @@
+#ifndef ANKER_SERVER_PROTOCOL_H_
+#define ANKER_SERVER_PROTOCOL_H_
+
+// The anker wire protocol: CRC-framed, length-prefixed binary messages
+// over TCP. One frame carries one request or one response; the first
+// payload byte is the opcode. Framing reuses the WAL's integrity idiom —
+// little-endian fields (wal/wal_format.h) and masked CRC32C
+// (wal/crc32c.h) — so a torn or corrupted frame is detected before any
+// payload byte is interpreted. The full specification (frame layout,
+// opcode table, error codes, versioning rules) lives in docs/SERVER.md;
+// this header is its executable form.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "query/serialize.h"
+#include "storage/table.h"
+
+namespace anker::server {
+
+/// ---- frame layout --------------------------------------------------------
+/// | u32 payload_len | u32 masked CRC32C(payload) | payload bytes |
+/// A frame is only acted on once complete and checksum-verified.
+
+inline constexpr size_t kFrameHeaderBytes = 8;
+/// Upper bound on one frame's payload. Large enough for a maximal result
+/// batch or bulk load slice, small enough that a torn/hostile length
+/// field cannot drive a gigabyte allocation (same reasoning as
+/// wal::kMaxRecordBytes).
+inline constexpr uint32_t kMaxFramePayload = 4u << 20;
+
+/// Protocol version exchanged in HELLO. The server refuses other
+/// versions; see docs/SERVER.md for the compatibility rules.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Magic the client opens HELLO with ("ANKRNET1", little-endian), so a
+/// stray connection speaking another protocol is rejected on byte one.
+inline constexpr uint64_t kHelloMagic = 0x3154454E524B4E41ULL;
+
+/// ---- opcodes -------------------------------------------------------------
+/// Requests occupy 0x01..0x7f, responses 0x80..0xff: a peer can always
+/// tell which direction a frame belongs to.
+enum class Op : uint8_t {
+  // Session setup / liveness.
+  kHello = 0x01,  ///< magic, version, auth token. First frame, exactly once.
+  kPing = 0x02,
+
+  // Transaction control (one open OLTP transaction per session).
+  kBegin = 0x10,
+  kCommit = 0x11,
+  kAbort = 0x12,
+
+  // Point operations against the open transaction. `by_key` routes the
+  // row through the table's primary HashIndex; otherwise the key is the
+  // row id itself.
+  kRead = 0x13,
+  kWrite = 0x14,
+  kWriteBatch = 0x15,  ///< n writes in one frame (amortizes round trips).
+  kExecTxn = 0x16,     ///< BEGIN + n writes + COMMIT in one frame (1 RTT).
+
+  // Declarative queries (query/serialize.h payloads).
+  kQuery = 0x20,
+
+  // Schema / load surface (bootstrap and tooling).
+  kCreateTable = 0x30,
+  kLoad = 0x31,        ///< Unversioned bulk load of consecutive slots.
+  kBuildIndex = 0x32,  ///< Build the primary index over a key column.
+  kListTables = 0x33,
+  kDictDefine = 0x34,  ///< Append dictionary entries (code = position).
+
+  // Responses.
+  kHelloOk = 0x81,
+  kOk = 0x82,          ///< Generic success ack (BEGIN/COMMIT/WRITE/...).
+  kErr = 0x83,         ///< Error code + message; session usually survives.
+  kBusy = 0x84,        ///< Admission control: retry later.
+  kReadOk = 0x85,      ///< One raw slot value.
+  kQueryBatch = 0x86,  ///< A slice of result rows (0..n per query).
+  kQueryDone = 0x87,   ///< Result metadata + scan stats; ends the stream.
+  kPong = 0x88,
+  kTables = 0x89,      ///< ListTables response.
+};
+
+/// True iff `op` is a known request opcode (client -> server).
+bool IsRequestOp(uint8_t op);
+
+/// ---- wire error codes ----------------------------------------------------
+/// StatusCode travels as its underlying value (stable, documented in
+/// docs/SERVER.md); protocol-level failures get their own range so a
+/// client can distinguish "your transaction aborted" from "you broke the
+/// protocol".
+enum class WireError : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIoError = 5,
+  kAborted = 6,
+  kResourceBusy = 7,
+  kNotSupported = 8,
+  kInternal = 9,
+  // Protocol-level (no StatusCode equivalent).
+  kBadHandshake = 32,  ///< Malformed/missing HELLO, wrong magic or version.
+  kProtocolError = 33, ///< Op sequencing violation (e.g. op before HELLO).
+};
+
+WireError WireErrorFor(const Status& status);
+Status StatusFromWire(WireError code, std::string message);
+
+/// ---- framing -------------------------------------------------------------
+
+/// Appends one complete frame (header + payload) to `out`.
+/// CHECK-fails on a payload over kMaxFramePayload — building an
+/// oversized frame is a programming error on the sending side.
+void EncodeFrame(std::string_view payload, std::string* out);
+
+enum class FrameStatus {
+  kOk,       ///< One frame decoded; *consumed bytes were used.
+  kNeedMore, ///< Buffer holds a valid prefix; read more bytes.
+  kCorrupt,  ///< Oversized length or checksum mismatch; close the peer.
+};
+
+/// Attempts to decode one frame from the front of `buffer`. On kOk,
+/// `*payload` receives the payload bytes and `*consumed` the total frame
+/// size; on kNeedMore/kCorrupt both outputs are untouched.
+FrameStatus DecodeFrame(std::string_view buffer, std::string_view* payload,
+                        size_t* consumed);
+
+/// ---- message payloads ----------------------------------------------------
+/// Every message is `opcode byte + body`. Encoders append to a string;
+/// decoders consume a string_view positioned *after* the opcode byte and
+/// fail with InvalidArgument on malformed input (wire input is
+/// untrusted; nothing here CHECKs).
+
+struct HelloMsg {
+  uint32_t version = kProtocolVersion;
+  std::string auth_token;
+};
+void EncodeHello(const HelloMsg& msg, std::string* out);
+Status DecodeHello(std::string_view in, HelloMsg* msg);
+
+struct HelloOkMsg {
+  uint32_t version = kProtocolVersion;
+  std::string server_info;
+};
+void EncodeHelloOk(const HelloOkMsg& msg, std::string* out);
+Status DecodeHelloOk(std::string_view in, HelloOkMsg* msg);
+
+struct ErrMsg {
+  WireError code = WireError::kInternal;
+  std::string message;
+};
+void EncodeErr(Op op, const ErrMsg& msg, std::string* out);  ///< kErr/kBusy.
+Status DecodeErr(std::string_view in, ErrMsg* msg);
+
+/// One point write (kWrite carries one, kWriteBatch/kExecTxn carry n).
+struct PointWrite {
+  std::string table;
+  std::string column;
+  bool by_key = false;
+  uint64_t key = 0;
+  uint64_t raw = 0;
+};
+
+struct PointReadMsg {
+  std::string table;
+  std::string column;
+  bool by_key = false;
+  uint64_t key = 0;
+};
+void EncodePointRead(const PointReadMsg& msg, std::string* out);
+Status DecodePointRead(std::string_view in, PointReadMsg* msg);
+
+void EncodeWrite(const PointWrite& write, std::string* out);
+Status DecodeWrite(std::string_view in, PointWrite* write);
+
+/// kWriteBatch and kExecTxn share one body shape.
+inline constexpr uint32_t kMaxWritesPerBatch = 4096;
+void EncodeWriteBatch(Op op, const std::vector<PointWrite>& writes,
+                      std::string* out);
+Status DecodeWriteBatch(std::string_view in, std::vector<PointWrite>* writes);
+
+void EncodeReadOk(uint64_t raw, std::string* out);
+Status DecodeReadOk(std::string_view in, uint64_t* raw);
+
+struct QueryMsg {
+  query::WireQuery query;
+  query::Params params;
+};
+Status EncodeQuery(const QueryMsg& msg, std::string* out);
+Status DecodeQuery(std::string_view in, QueryMsg* msg);
+
+/// Result rows stream in batches; doubles travel as raw IEEE bits so the
+/// client reassembles aggregates byte-identically to an in-process Run.
+inline constexpr size_t kQueryBatchRows = 256;
+void EncodeQueryBatch(const query::QueryResult& result, size_t row_begin,
+                      size_t row_end, std::string* out);
+Status DecodeQueryBatch(std::string_view in, query::QueryResult* result);
+
+void EncodeQueryDone(const query::QueryResult& result, std::string* out);
+/// Fills names/stats; rows must already have arrived via batches.
+Status DecodeQueryDone(std::string_view in, query::QueryResult* result);
+
+/// Row-count ceiling for remotely created tables: 2^28 rows = 2 GiB per
+/// column. A bigger claim in a CREATE_TABLE frame is rejected at decode
+/// time — a remote peer must not be able to dictate an allocation that
+/// takes the process down (embedded callers are not subject to this cap).
+inline constexpr uint64_t kMaxWireTableRows = 1ull << 28;
+
+struct CreateTableMsg {
+  std::string name;
+  uint64_t num_rows = 0;
+  std::vector<storage::ColumnDef> schema;
+};
+void EncodeCreateTable(const CreateTableMsg& msg, std::string* out);
+Status DecodeCreateTable(std::string_view in, CreateTableMsg* msg);
+
+struct LoadMsg {
+  std::string table;
+  std::string column;
+  uint64_t start_row = 0;
+  std::vector<uint64_t> values;
+};
+inline constexpr size_t kMaxLoadValues = 65536;
+void EncodeLoad(const LoadMsg& msg, std::string* out);
+Status DecodeLoad(std::string_view in, LoadMsg* msg);
+
+struct BuildIndexMsg {
+  std::string table;
+  std::string key_column;
+};
+void EncodeBuildIndex(const BuildIndexMsg& msg, std::string* out);
+Status DecodeBuildIndex(std::string_view in, BuildIndexMsg* msg);
+
+/// Dictionary entries for a kDict32 column, appended in order (the code
+/// of each string is its position at insert time; re-sent strings keep
+/// their existing code). Group-by packing sizes its key domain from the
+/// dictionary, so remote loaders must define entries before grouping on
+/// a column they filled with raw codes.
+struct DictDefineMsg {
+  std::string table;
+  std::string column;
+  std::vector<std::string> values;
+};
+void EncodeDictDefine(const DictDefineMsg& msg, std::string* out);
+Status DecodeDictDefine(std::string_view in, DictDefineMsg* msg);
+
+struct TableInfo {
+  std::string name;
+  uint64_t num_rows = 0;
+  std::vector<storage::ColumnDef> schema;
+  bool has_primary_index = false;
+};
+void EncodeTables(const std::vector<TableInfo>& tables, std::string* out);
+Status DecodeTables(std::string_view in, std::vector<TableInfo>* tables);
+
+}  // namespace anker::server
+
+#endif  // ANKER_SERVER_PROTOCOL_H_

@@ -1,0 +1,891 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace anker::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One epoll_wait tick: bounds how stale idle-timeout and shutdown checks
+/// can get when no IO arrives.
+constexpr int kTickMillis = 100;
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+struct Server::Session {
+  int fd = -1;
+  enum class State { kAwaitHello, kReady } state = State::kAwaitHello;
+
+  /// Raw bytes read off the socket, not yet framed.
+  std::string inbox;
+  /// Encoded response frames awaiting write. Loop thread only.
+  std::string outbox;
+  bool want_write = false;  ///< EPOLLOUT currently registered.
+
+  /// Decoded request payloads awaiting execution (pipelining window).
+  std::deque<std::string> pending;
+  /// A dispatched operation is running on the worker pool; the pump stops
+  /// until it completes so responses keep request order.
+  bool busy = false;
+  /// Response frames built by the worker; handed to the loop thread
+  /// through Server::completed_ (the mutex orders the memory).
+  std::string dispatched_response;
+
+  bool close_after_flush = false;
+  bool closed = false;
+
+  /// The session's open OLTP transaction (at most one). Touched by the
+  /// loop thread and by the worker running this session's dispatched op,
+  /// never concurrently: `busy` serializes them.
+  std::unique_ptr<txn::Transaction> txn;
+
+  Clock::time_point last_active = Clock::now();
+};
+
+Server::Server(engine::Database* db, ServerConfig config)
+    : db_(db), config_(std::move(config)) {
+  ANKER_CHECK(db_ != nullptr);
+  if (config_.max_pipeline == 0) config_.max_pipeline = 1;
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  ANKER_CHECK_MSG(!running_.load(), "Server::Start called twice");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Status::IoError(ErrnoMessage("socket"));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Status::IoError(ErrnoMessage("bind"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const Status status = Status::IoError(ErrnoMessage("listen"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const Status status = Status::IoError(ErrnoMessage("epoll/eventfd"));
+    Shutdown();
+    return status;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  running_.store(true);
+  stopping_.store(false);
+  loop_ = std::thread([this] { EventLoop(); });
+  return Status::OK();
+}
+
+void Server::Shutdown() {
+  if (running_.load()) {
+    stopping_.store(true);
+    WakeLoop();
+    if (loop_.joinable()) loop_.join();
+    running_.store(false);
+  }
+  // A dispatched worker's last act is decrementing inflight_ (after its
+  // completion push); only then is it safe to tear down the fds and let
+  // the Server die.
+  while (inflight_.load() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> guard(stats_mutex_);
+  return stats_;
+}
+
+void Server::WakeLoop() {
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void Server::EventLoop() {
+  std::vector<epoll_event> events(64);
+  bool listener_open = true;
+  Clock::time_point stopping_since{};
+  while (true) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), kTickMillis);
+    if (n < 0 && errno != EINTR) break;
+
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto it = sessions_.find(fd);
+      if (it == sessions_.end()) continue;
+      std::shared_ptr<Session> session = it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseSession(session);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) FlushOutbox(session);
+      if ((events[i].events & EPOLLIN) != 0 && !session->closed) {
+        HandleReadable(session);
+      }
+    }
+
+    // Dispatched-op completions: restore the session to the loop.
+    std::vector<std::shared_ptr<Session>> completed;
+    {
+      std::lock_guard<std::mutex> guard(completed_mutex_);
+      completed.swap(completed_);
+    }
+    for (const std::shared_ptr<Session>& session : completed) {
+      session->busy = false;
+      if (session->closed) {
+        // The peer vanished while its op ran. CloseSession could not
+        // abort the transaction then (the worker owned it); do it now or
+        // the registry entry pins the GC watermark forever.
+        if (session->txn != nullptr) {
+          db_->Abort(session->txn.get());
+          session->txn.reset();
+        }
+        continue;
+      }
+      session->outbox.append(session->dispatched_response);
+      session->dispatched_response.clear();
+      FlushOutbox(session);
+      if (!session->closed) PumpSession(session);
+    }
+
+    // Idle-timeout sweep.
+    if (config_.idle_timeout_millis > 0) {
+      const auto deadline =
+          Clock::now() - std::chrono::milliseconds(config_.idle_timeout_millis);
+      std::vector<std::shared_ptr<Session>> idle;
+      for (const auto& [sfd, session] : sessions_) {
+        if (!session->busy && session->last_active < deadline) {
+          idle.push_back(session);
+        }
+      }
+      for (const std::shared_ptr<Session>& session : idle) {
+        CloseSession(session);
+      }
+    }
+
+    // Graceful shutdown: stop accepting, drain in-flight work, let every
+    // queued response reach its socket (a durable COMMIT's ack must not
+    // be discarded by the shutdown that raced it), leave when every
+    // session is gone. A peer that stops reading cannot hold the server
+    // hostage: after a drain deadline its session is cut regardless.
+    if (stopping_.load()) {
+      if (listener_open) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        listener_open = false;
+        stopping_since = Clock::now();
+      }
+      const bool force =
+          Clock::now() - stopping_since > std::chrono::seconds(5);
+      std::vector<std::shared_ptr<Session>> drainable;
+      for (const auto& [sfd, session] : sessions_) {
+        if (!session->busy) drainable.push_back(session);
+      }
+      for (const std::shared_ptr<Session>& session : drainable) {
+        FlushOutbox(session);
+        if (session->closed) continue;
+        if (session->outbox.empty() || force) {
+          CloseSession(session);
+        } else {
+          session->close_after_flush = true;  // EPOLLOUT finishes the job.
+        }
+      }
+      if (sessions_.empty() && inflight_.load() == 0) break;
+    }
+  }
+}
+
+void Server::HandleAccept() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;
+    if (stopping_.load() || sessions_.size() >= config_.max_sessions) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    sessions_[fd] = std::move(session);
+    std::lock_guard<std::mutex> guard(stats_mutex_);
+    ++stats_.sessions_accepted;
+  }
+}
+
+void Server::HandleReadable(const std::shared_ptr<Session>& session) {
+  char chunk[65536];
+  while (true) {
+    const ssize_t n = ::read(session->fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      session->inbox.append(chunk, static_cast<size_t>(n));
+      session->last_active = Clock::now();
+      continue;
+    }
+    if (n == 0) {  // Peer closed.
+      CloseSession(session);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseSession(session);
+    return;
+  }
+  IngestFrames(session);
+  if (!session->closed) PumpSession(session);
+  if (!session->closed) FlushOutbox(session);
+}
+
+void Server::IngestFrames(const std::shared_ptr<Session>& session) {
+  size_t offset = 0;
+  while (true) {
+    std::string_view rest(session->inbox.data() + offset,
+                          session->inbox.size() - offset);
+    std::string_view payload;
+    size_t consumed = 0;
+    const FrameStatus status = DecodeFrame(rest, &payload, &consumed);
+    if (status == FrameStatus::kNeedMore) break;
+    if (status == FrameStatus::kCorrupt) {
+      // The byte stream is no longer trustworthy; nothing can be framed,
+      // so nothing can be answered. Close.
+      {
+        std::lock_guard<std::mutex> guard(stats_mutex_);
+        ++stats_.protocol_errors;
+      }
+      CloseSession(session);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> guard(stats_mutex_);
+      ++stats_.frames_received;
+    }
+    if (session->pending.size() >= config_.max_pipeline) {
+      RespondError(session, Op::kErr, WireError::kProtocolError,
+                   "pipeline window exceeded");
+      session->close_after_flush = true;
+      {
+        std::lock_guard<std::mutex> guard(stats_mutex_);
+        ++stats_.protocol_errors;
+      }
+      break;
+    }
+    session->pending.emplace_back(payload);
+    offset += consumed;
+  }
+  session->inbox.erase(0, offset);
+}
+
+void Server::PumpSession(const std::shared_ptr<Session>& session) {
+  while (!session->busy && !session->closed && !session->close_after_flush &&
+         !session->pending.empty()) {
+    const std::string payload = std::move(session->pending.front());
+    session->pending.pop_front();
+    session->last_active = Clock::now();
+    ExecuteRequest(session, payload);
+  }
+  if (!session->closed) FlushOutbox(session);
+}
+
+void Server::Respond(const std::shared_ptr<Session>& session,
+                     std::string_view payload) {
+  EncodeFrame(payload, &session->outbox);
+}
+
+void Server::RespondError(const std::shared_ptr<Session>& session, Op op,
+                          WireError code, const std::string& message) {
+  std::string payload;
+  EncodeErr(op, {code, message}, &payload);
+  Respond(session, payload);
+}
+
+void Server::RespondStatus(const std::shared_ptr<Session>& session,
+                           const Status& status) {
+  if (status.ok()) {
+    std::string payload;
+    payload.push_back(static_cast<char>(Op::kOk));
+    Respond(session, payload);
+  } else {
+    RespondError(session, Op::kErr, WireErrorFor(status), status.message());
+  }
+}
+
+void Server::FlushOutbox(const std::shared_ptr<Session>& session) {
+  while (!session->outbox.empty()) {
+    const ssize_t n = ::send(session->fd, session->outbox.data(),
+                             session->outbox.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      session->outbox.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!session->want_write) {
+        session->want_write = true;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.fd = session->fd;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, session->fd, &ev);
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseSession(session);
+    return;
+  }
+  if (session->want_write) {
+    session->want_write = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = session->fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, session->fd, &ev);
+  }
+  if (session->close_after_flush) CloseSession(session);
+}
+
+void Server::CloseSession(const std::shared_ptr<Session>& session) {
+  if (session->closed) return;
+  session->closed = true;
+  if (session->txn != nullptr) {
+    // A dropped connection aborts its open transaction — local writes are
+    // simply discarded, nothing was visible to anyone.
+    if (!session->busy) {
+      db_->Abort(session->txn.get());
+      session->txn.reset();
+    }
+    // If busy, the worker owns the transaction right now; the completion
+    // handler sees closed == true and aborts it then — it must not leak,
+    // or its registry entry would pin the GC watermark for good.
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, session->fd, nullptr);
+  ::close(session->fd);
+  sessions_.erase(session->fd);
+  std::lock_guard<std::mutex> guard(stats_mutex_);
+  ++stats_.sessions_closed;
+}
+
+bool Server::ExecuteRequest(const std::shared_ptr<Session>& session,
+                            const std::string& payload) {
+  if (payload.empty() || !IsRequestOp(static_cast<uint8_t>(payload[0]))) {
+    RespondError(session, Op::kErr, WireError::kNotSupported,
+                 "unknown or non-request opcode");
+    return true;
+  }
+  const Op op = static_cast<Op>(payload[0]);
+  const std::string_view body(payload.data() + 1, payload.size() - 1);
+
+  // ---- handshake gate ----------------------------------------------------
+  if (session->state == Session::State::kAwaitHello) {
+    if (op != Op::kHello) {
+      RespondError(session, Op::kErr, WireError::kProtocolError,
+                   "first frame must be HELLO");
+      session->close_after_flush = true;
+      std::lock_guard<std::mutex> guard(stats_mutex_);
+      ++stats_.protocol_errors;
+      return true;
+    }
+    HelloMsg hello;
+    const Status decoded = DecodeHello(body, &hello);
+    if (!decoded.ok() || hello.version != kProtocolVersion ||
+        hello.auth_token != config_.auth_token) {
+      const char* why = !decoded.ok() ? "malformed HELLO"
+                        : hello.version != kProtocolVersion
+                            ? "unsupported protocol version"
+                            : "authentication failed";
+      RespondError(session, Op::kErr, WireError::kBadHandshake, why);
+      session->close_after_flush = true;
+      std::lock_guard<std::mutex> guard(stats_mutex_);
+      ++stats_.protocol_errors;
+      return true;
+    }
+    HelloOkMsg ok;
+    ok.server_info = std::string("anker ") +
+                     txn::ProcessingModeName(db_->config().mode);
+    std::string response;
+    EncodeHelloOk(ok, &response);
+    Respond(session, response);
+    session->state = Session::State::kReady;
+    return true;
+  }
+
+  switch (op) {
+    case Op::kHello: {
+      RespondError(session, Op::kErr, WireError::kProtocolError,
+                   "HELLO must be the first frame, exactly once");
+      session->close_after_flush = true;
+      std::lock_guard<std::mutex> guard(stats_mutex_);
+      ++stats_.protocol_errors;
+      return true;
+    }
+    case Op::kPing: {
+      std::string response;
+      response.push_back(static_cast<char>(Op::kPong));
+      Respond(session, response);
+      return true;
+    }
+    case Op::kBegin: {
+      if (session->txn != nullptr) {
+        RespondError(session, Op::kErr, WireError::kInvalidArgument,
+                     "transaction already open (no nesting)");
+        return true;
+      }
+      session->txn = db_->BeginOltp();
+      RespondStatus(session, Status::OK());
+      return true;
+    }
+    case Op::kAbort: {
+      if (session->txn == nullptr) {
+        RespondError(session, Op::kErr, WireError::kInvalidArgument,
+                     "no open transaction");
+        return true;
+      }
+      db_->Abort(session->txn.get());
+      session->txn.reset();
+      RespondStatus(session, Status::OK());
+      return true;
+    }
+    case Op::kRead: {
+      PointReadMsg msg;
+      const Status decoded = DecodePointRead(body, &msg);
+      if (!decoded.ok()) break;  // Malformed body: protocol error below.
+      auto value = DoRead(session.get(), msg);
+      if (!value.ok()) {
+        RespondStatus(session, value.status());
+      } else {
+        std::string response;
+        EncodeReadOk(value.value(), &response);
+        Respond(session, response);
+      }
+      return true;
+    }
+    case Op::kWrite: {
+      PointWrite write;
+      const Status decoded = DecodeWrite(body, &write);
+      if (!decoded.ok()) break;
+      if (session->txn == nullptr) {
+        RespondError(session, Op::kErr, WireError::kInvalidArgument,
+                     "no open transaction (BEGIN first)");
+        return true;
+      }
+      RespondStatus(session, DoWrite(session->txn.get(), write));
+      return true;
+    }
+    case Op::kWriteBatch: {
+      std::vector<PointWrite> writes;
+      const Status decoded = DecodeWriteBatch(body, &writes);
+      if (!decoded.ok()) break;
+      if (session->txn == nullptr) {
+        RespondError(session, Op::kErr, WireError::kInvalidArgument,
+                     "no open transaction (BEGIN first)");
+        return true;
+      }
+      Status applied = Status::OK();
+      for (const PointWrite& write : writes) {
+        applied = DoWrite(session->txn.get(), write);
+        if (!applied.ok()) break;
+      }
+      RespondStatus(session, applied);
+      return true;
+    }
+    case Op::kListTables: {
+      std::vector<TableInfo> infos;
+      for (storage::Table* table : db_->catalog().AllTables()) {
+        TableInfo info;
+        info.name = table->name();
+        info.num_rows = table->num_rows();
+        info.schema = table->schema();
+        info.has_primary_index = table->primary_index() != nullptr;
+        infos.push_back(std::move(info));
+      }
+      std::string response;
+      EncodeTables(infos, &response);
+      Respond(session, response);
+      return true;
+    }
+    case Op::kCommit: {
+      if (session->txn == nullptr) {
+        RespondError(session, Op::kErr, WireError::kInvalidArgument,
+                     "no open transaction");
+        return true;
+      }
+      break;  // Dispatched below.
+    }
+    case Op::kExecTxn:
+    case Op::kQuery:
+    case Op::kCreateTable:
+    case Op::kLoad:
+    case Op::kBuildIndex:
+    case Op::kDictDefine:
+      break;  // Dispatched below.
+    default:
+      break;
+  }
+
+  if (op == Op::kCommit || op == Op::kExecTxn || op == Op::kQuery ||
+      op == Op::kCreateTable || op == Op::kLoad || op == Op::kBuildIndex ||
+      op == Op::kDictDefine) {
+    // Admission control: these run on the worker pool (they may fsync or
+    // scan for a while). Beyond the inflight budget the client gets an
+    // explicit BUSY instead of an unbounded queue.
+    if (config_.max_inflight == 0 ||
+        inflight_.load() >= config_.max_inflight) {
+      RespondError(session, Op::kBusy, WireError::kResourceBusy,
+                   "server at max_inflight; retry");
+      std::lock_guard<std::mutex> guard(stats_mutex_);
+      ++stats_.busy_rejections;
+      return true;
+    }
+    inflight_.fetch_add(1);
+    session->busy = true;
+    db_->worker_pool().Submit(
+        [this, session, payload]() mutable {
+          RunDispatched(session, payload);
+        });
+    return false;
+  }
+
+  // Reaching here means a known request had a malformed body.
+  RespondError(session, Op::kErr, WireError::kProtocolError,
+               "malformed request body");
+  session->close_after_flush = true;
+  std::lock_guard<std::mutex> guard(stats_mutex_);
+  ++stats_.protocol_errors;
+  return true;
+}
+
+void Server::RunDispatched(std::shared_ptr<Session> session,
+                           std::string payload) {
+  session->dispatched_response.clear();
+  DispatchedResponse(session.get(), payload, &session->dispatched_response);
+  {
+    std::lock_guard<std::mutex> guard(completed_mutex_);
+    completed_.push_back(std::move(session));
+  }
+  WakeLoop();
+  // Last touch of `this`: Shutdown() spins on inflight_ before tearing
+  // the server down, so everything above stays valid.
+  inflight_.fetch_sub(1);
+}
+
+void Server::DispatchedResponse(Session* session, const std::string& payload,
+                                std::string* out) {
+  const Op op = static_cast<Op>(payload[0]);
+  const std::string_view body(payload.data() + 1, payload.size() - 1);
+  std::string response;
+
+  auto respond_status = [&](const Status& status) {
+    response.clear();
+    if (status.ok()) {
+      response.push_back(static_cast<char>(Op::kOk));
+    } else {
+      EncodeErr(Op::kErr, {WireErrorFor(status), status.message()}, &response);
+    }
+    EncodeFrame(response, out);
+  };
+
+  switch (op) {
+    case Op::kCommit: {
+      const Status committed = db_->Commit(session->txn.get());
+      session->txn.reset();
+      if (committed.ok()) {
+        std::lock_guard<std::mutex> guard(stats_mutex_);
+        ++stats_.commits_acked;
+      }
+      respond_status(committed);
+      return;
+    }
+    case Op::kExecTxn: {
+      std::vector<PointWrite> writes;
+      Status status = DecodeWriteBatch(body, &writes);
+      if (status.ok() && session->txn != nullptr) {
+        status = Status::InvalidArgument(
+            "EXEC_TXN is auto-commit; a transaction is open on this session");
+      }
+      if (status.ok()) {
+        auto txn = db_->BeginOltp();
+        for (const PointWrite& write : writes) {
+          status = DoWrite(txn.get(), write);
+          if (!status.ok()) break;
+        }
+        if (status.ok()) {
+          status = db_->Commit(txn.get());
+          if (status.ok()) {
+            std::lock_guard<std::mutex> guard(stats_mutex_);
+            ++stats_.commits_acked;
+          }
+        } else {
+          db_->Abort(txn.get());
+        }
+      }
+      respond_status(status);
+      return;
+    }
+    case Op::kQuery: {
+      QueryMsg msg;
+      Status status = DecodeQuery(body, &msg);
+      if (!status.ok()) {
+        respond_status(status);
+        return;
+      }
+      auto compiled = query::CompileWireQuery(msg.query, db_->catalog());
+      if (!compiled.ok()) {
+        respond_status(compiled.status());
+        return;
+      }
+      auto result = db_->Run(compiled.value(), msg.params);
+      if (!result.ok()) {
+        respond_status(result.status());
+        return;
+      }
+      const query::QueryResult& r = result.value();
+      for (size_t begin = 0; begin < r.rows.size();
+           begin += kQueryBatchRows) {
+        const size_t end = std::min(begin + kQueryBatchRows, r.rows.size());
+        response.clear();
+        EncodeQueryBatch(r, begin, end, &response);
+        EncodeFrame(response, out);
+      }
+      response.clear();
+      EncodeQueryDone(r, &response);
+      EncodeFrame(response, out);
+      std::lock_guard<std::mutex> guard(stats_mutex_);
+      ++stats_.queries_served;
+      return;
+    }
+    case Op::kCreateTable: {
+      CreateTableMsg msg;
+      Status status = DecodeCreateTable(body, &msg);
+      if (status.ok()) {
+        auto created = db_->CreateTable(msg.name, msg.schema,
+                                        static_cast<size_t>(msg.num_rows));
+        status = created.ok() ? Status::OK() : created.status();
+      }
+      respond_status(status);
+      return;
+    }
+    case Op::kLoad: {
+      LoadMsg msg;
+      Status status = DecodeLoad(body, &msg);
+      if (status.ok()) {
+        if (!db_->catalog().HasTable(msg.table)) {
+          status = Status::NotFound("unknown table: " + msg.table);
+        } else {
+          storage::Table* table = db_->catalog().GetTable(msg.table);
+          // Overflow-safe bounds check: start_row + n must not wrap (a
+          // hostile start_row near UINT64_MAX would otherwise slip past
+          // and abort the process inside Column::LoadValue's CHECK).
+          if (!table->HasColumn(msg.column)) {
+            status = Status::NotFound("unknown column: " + msg.column);
+          } else if (msg.start_row > table->num_rows() ||
+                     msg.values.size() >
+                         table->num_rows() - msg.start_row) {
+            status = Status::OutOfRange("load exceeds table row count");
+          } else {
+            storage::Column* column = table->GetColumn(msg.column);
+            for (size_t i = 0; i < msg.values.size(); ++i) {
+              column->LoadValue(msg.start_row + i, msg.values[i]);
+            }
+          }
+        }
+      }
+      respond_status(status);
+      return;
+    }
+    case Op::kBuildIndex: {
+      BuildIndexMsg msg;
+      Status status = DecodeBuildIndex(body, &msg);
+      if (status.ok()) {
+        // One build at a time (two sessions racing the exists-check would
+        // otherwise both construct); concurrent *readers* are safe
+        // because the index is built privately and only published —
+        // complete — via AdoptPrimaryIndex's release store.
+        std::lock_guard<std::mutex> guard(build_index_mutex_);
+        if (!db_->catalog().HasTable(msg.table)) {
+          status = Status::NotFound("unknown table: " + msg.table);
+        } else {
+          storage::Table* table = db_->catalog().GetTable(msg.table);
+          if (!table->HasColumn(msg.key_column)) {
+            status = Status::NotFound("unknown column: " + msg.key_column);
+          } else if (table->primary_index() != nullptr) {
+            status = Status::AlreadyExists("primary index already built");
+          } else {
+            storage::Column* column = table->GetColumn(msg.key_column);
+            auto index =
+                std::make_unique<storage::HashIndex>(table->num_rows());
+            for (size_t row = 0; row < table->num_rows() && status.ok();
+                 ++row) {
+              status = index->Insert(column->ReadLatestRaw(row), row);
+            }
+            if (status.ok()) table->AdoptPrimaryIndex(std::move(index));
+          }
+        }
+      }
+      respond_status(status);
+      return;
+    }
+    case Op::kDictDefine: {
+      DictDefineMsg msg;
+      Status status = DecodeDictDefine(body, &msg);
+      if (status.ok()) {
+        if (!db_->catalog().HasTable(msg.table)) {
+          status = Status::NotFound("unknown table: " + msg.table);
+        } else {
+          storage::Table* table = db_->catalog().GetTable(msg.table);
+          if (!table->HasColumn(msg.column) ||
+              table->GetColumn(msg.column)->type() !=
+                  storage::ValueType::kDict32) {
+            status = Status::InvalidArgument("'" + msg.column +
+                                             "' is not a dict32 column");
+          } else {
+            storage::Dictionary* dict = table->GetDictionary(msg.column);
+            for (const std::string& value : msg.values) {
+              dict->GetOrAdd(value);
+            }
+          }
+        }
+      }
+      respond_status(status);
+      return;
+    }
+    default:
+      respond_status(Status::Internal("non-dispatchable op dispatched"));
+      return;
+  }
+}
+
+namespace {
+
+Result<storage::Column*> ResolveColumn(engine::Database* db,
+                                       const std::string& table_name,
+                                       const std::string& column_name,
+                                       storage::Table** table_out) {
+  if (!db->catalog().HasTable(table_name)) {
+    return Status::NotFound("unknown table: " + table_name);
+  }
+  storage::Table* table = db->catalog().GetTable(table_name);
+  if (!table->HasColumn(column_name)) {
+    return Status::NotFound("unknown column: " + column_name);
+  }
+  if (table_out != nullptr) *table_out = table;
+  return table->GetColumn(column_name);
+}
+
+Result<uint64_t> ResolveRow(storage::Table* table, bool by_key,
+                            uint64_t key) {
+  if (by_key) {
+    storage::HashIndex* index = table->primary_index();
+    if (index == nullptr) {
+      return Status::InvalidArgument("table '" + table->name() +
+                                     "' has no primary index");
+    }
+    return index->Lookup(key);
+  }
+  if (key >= table->num_rows()) {
+    return Status::OutOfRange("row id out of range");
+  }
+  return key;
+}
+
+}  // namespace
+
+Status Server::DoWrite(txn::Transaction* txn, const PointWrite& write) {
+  storage::Table* table = nullptr;
+  auto column = ResolveColumn(db_, write.table, write.column, &table);
+  if (!column.ok()) return column.status();
+  auto row = ResolveRow(table, write.by_key, write.key);
+  if (!row.ok()) return row.status();
+  txn->Write(column.value(), row.value(), write.raw);
+  return Status::OK();
+}
+
+Result<uint64_t> Server::DoRead(Session* session, const PointReadMsg& msg) {
+  storage::Table* table = nullptr;
+  auto column = ResolveColumn(db_, msg.table, msg.column, &table);
+  if (!column.ok()) return column.status();
+  auto row = ResolveRow(table, msg.by_key, msg.key);
+  if (!row.ok()) return row.status();
+  if (session->txn != nullptr) {
+    return session->txn->Read(column.value(), row.value());
+  }
+  // Auto-commit read: a throwaway transaction gives a consistent
+  // committed view (the visibility watermark), unlike a raw slot load
+  // that could observe a half-materialized concurrent commit.
+  auto txn = db_->BeginOltp();
+  const uint64_t value = txn->Read(column.value(), row.value());
+  const Status committed = db_->Commit(txn.get());
+  if (!committed.ok()) return committed;
+  return value;
+}
+
+}  // namespace anker::server

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/macros.h"
 #include "common/timer.h"
 #include "vm/page.h"
 
@@ -171,13 +172,21 @@ Status VmSnapshotView::ForceCowPages(const Bitmap& pages) {
   // throughout: every 8-byte word is rewritten with itself atomically.
   ANKER_RETURN_IF_ERROR(region_.Protect(PROT_READ | PROT_WRITE));
   pages.ForEachRun([&](size_t first_page, size_t npages) {
-    volatile uint64_t* words = reinterpret_cast<volatile uint64_t*>(
-        region_.data() + first_page * kPageSize);
     const size_t nwords = npages * kPageSize / sizeof(uint64_t);
     for (size_t i = 0; i < nwords; i += kPageSize / sizeof(uint64_t)) {
       // One word per page is enough to trigger the copy-on-write; the OS
-      // copies the whole page.
-      words[i] = words[i];
+      // copies the whole page. Under TSan the self-rewrite is issued as
+      // an atomic no-op RMW: scans on this view may race it by design
+      // (same intentional-race class as RawSlotLoad), and the value
+      // never changes, so only unintended races should be reported.
+      uint64_t* word = reinterpret_cast<uint64_t*>(
+          region_.data() + (first_page * kPageSize) + i * sizeof(uint64_t));
+#ifdef ANKER_TSAN
+      __atomic_fetch_add(word, 0, __ATOMIC_RELAXED);
+#else
+      volatile uint64_t* vword = word;
+      *vword = *vword;
+#endif
     }
   });
   return region_.Protect(PROT_READ);

@@ -60,6 +60,14 @@ std::vector<std::string> Table::DictionaryNames() const {
 
 void Table::CreatePrimaryIndex(size_t expected_keys) {
   primary_index_ = std::make_unique<HashIndex>(expected_keys);
+  published_index_.store(primary_index_.get(), std::memory_order_release);
+}
+
+void Table::AdoptPrimaryIndex(std::unique_ptr<HashIndex> index) {
+  ANKER_CHECK_MSG(primary_index_ == nullptr,
+                  "primary index already built (immutable after load)");
+  primary_index_ = std::move(index);
+  published_index_.store(primary_index_.get(), std::memory_order_release);
 }
 
 }  // namespace anker::storage

@@ -1,6 +1,7 @@
 #ifndef ANKER_STORAGE_TABLE_H_
 #define ANKER_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -55,7 +56,17 @@ class Table {
 
   /// Primary-key index management (built during load).
   void CreatePrimaryIndex(size_t expected_keys);
-  HashIndex* primary_index() const { return primary_index_.get(); }
+  /// Publishes a fully built index (release-store; readers that observed
+  /// `primary_index() == nullptr` a moment earlier either still see none
+  /// or see the complete index, never one under construction). This is
+  /// how the network server attaches an index while point lookups from
+  /// other sessions may already be probing; in-process loaders use
+  /// CreatePrimaryIndex + Insert single-threaded, as before. CHECK-fails
+  /// if an index is already published (indexes are immutable after load).
+  void AdoptPrimaryIndex(std::unique_ptr<HashIndex> index);
+  HashIndex* primary_index() const {
+    return published_index_.load(std::memory_order_acquire);
+  }
 
   const std::vector<ColumnDef>& schema() const { return schema_; }
 
@@ -68,7 +79,9 @@ class Table {
   std::vector<std::unique_ptr<Column>> columns_;
   std::unordered_map<std::string, size_t> column_index_;
   std::unordered_map<std::string, std::unique_ptr<Dictionary>> dictionaries_;
-  std::unique_ptr<HashIndex> primary_index_;
+  std::unique_ptr<HashIndex> primary_index_;  ///< Owner.
+  /// Lock-free mirror primary_index() reads (see AdoptPrimaryIndex).
+  std::atomic<HashIndex*> published_index_{nullptr};
   mutable std::mutex dict_mutex_;
 };
 

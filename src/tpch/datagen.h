@@ -13,7 +13,7 @@ namespace anker::tpch {
 /// distributions (uniform quantities/discounts, date windows, the small
 /// dictionary domains the paper's OLTP transactions draw from) closely
 /// enough that selectivities of Q1/Q4/Q6/Q17 match the spec's shape.
-/// Substitution note (docs/ARCHITECTURE.md §7): the paper uses dbgen;
+/// Substitution note (docs/ARCHITECTURE.md §8): the paper uses dbgen;
 /// we generate in-process to keep the repo self-contained.
 struct TpchConfig {
   /// Number of LINEITEM rows; ORDERS ~ lineitem/4 (orders carry 1..7

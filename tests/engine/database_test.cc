@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "wal/io_util.h"
+
 #include "storage/value.h"
 
 namespace anker::engine {
@@ -196,6 +198,32 @@ TEST(DatabaseTest, ConfigValidateRejectsMismatchedModeBackendPairs) {
   auto created = Database::Create(hetero);
   ASSERT_TRUE(created.ok());
   EXPECT_NE(created.value(), nullptr);
+}
+
+TEST(DatabaseTest, ConfigValidateRejectsUncreatableDataDir) {
+  // An uncreatable data_dir (here: nested under a file) must come back
+  // as a recoverable InvalidArgument from Validate/Create/Open — not as
+  // an IO failure deep inside the engine. A creatable one is mkdir -p'd
+  // by the probe itself.
+  const std::string base = ::testing::TempDir() + "anker_validate_probe";
+  FILE* file = std::fopen(base.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fclose(file);
+
+  DatabaseConfig config;  // Heterogeneous default.
+  config.durability = wal::DurabilityMode::kGroupCommit;
+  config.data_dir = base + "/db";  // Parent is a regular file.
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Database::Create(config).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Database::Open(config).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(base.c_str());
+
+  config.data_dir = ::testing::TempDir() + "anker_validate_ok/nested/dir";
+  EXPECT_TRUE(config.Validate().ok());  // Created on the spot (mkdir -p).
+  EXPECT_TRUE(wal::PathExists(config.data_dir));
+  wal::RemoveDirRecursive(::testing::TempDir() + "anker_validate_ok");
 }
 
 }  // namespace

@@ -1,0 +1,301 @@
+// End-to-end loopback: a client-library session drives the full protocol
+// against a live server (schema, bulk load, primary index, BEGIN ->
+// keyed writes -> COMMIT, declarative queries) and every aggregate that
+// comes back over the wire must be *byte-identical* to an in-process
+// Database::Run against the same engine — the server adds transport,
+// never arithmetic.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "engine/database.h"
+#include "query/serialize.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/value.h"
+
+namespace anker::server {
+namespace {
+
+using storage::ValueType;
+
+class ServerE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine::DatabaseConfig config = engine::DatabaseConfig::ForMode(
+        txn::ProcessingMode::kHeterogeneousSerializable);
+    config.snapshot_interval_commits = 16;  // Exercise epoch turnover.
+    config.worker_threads = 4;
+    db_ = std::make_unique<engine::Database>(config);
+    db_->Start();
+    server_ = std::make_unique<Server>(db_.get(), ServerConfig{});
+    ASSERT_TRUE(server_->Start().ok());
+    auto connected = Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(connected.ok());
+    client_ = connected.TakeValue();
+  }
+
+  void TearDown() override {
+    client_.reset();
+    server_->Shutdown();
+    db_->Stop();
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(ServerE2eTest, FullSessionMatchesInProcessRun) {
+  const uint64_t rows = 512;
+
+  // ---- schema + load + index, all over the wire ------------------------
+  ASSERT_TRUE(client_
+                  ->CreateTable("accounts", rows,
+                                {{"id", ValueType::kInt64},
+                                 {"balance", ValueType::kDouble},
+                                 {"region", ValueType::kDict32}})
+                  .ok());
+  std::vector<uint64_t> ids, balances, regions;
+  for (uint64_t row = 0; row < rows; ++row) {
+    // Keys deliberately != row ids so by_key routing is observable.
+    ids.push_back(storage::EncodeInt64(static_cast<int64_t>(1000 + row)));
+    balances.push_back(
+        storage::EncodeDouble(100.0 + static_cast<double>(row % 7)));
+    regions.push_back(storage::EncodeDict(static_cast<uint32_t>(row % 3)));
+  }
+  ASSERT_TRUE(
+      client_->DefineDict("accounts", "region", {"emea", "apac", "amer"})
+          .ok());
+  ASSERT_TRUE(client_->Load("accounts", "id", 0, ids).ok());
+  ASSERT_TRUE(client_->Load("accounts", "balance", 0, balances).ok());
+  ASSERT_TRUE(client_->Load("accounts", "region", 0, regions).ok());
+  ASSERT_TRUE(client_->BuildIndex("accounts", "id").ok());
+
+  auto tables = client_->ListTables();
+  ASSERT_TRUE(tables.ok());
+  ASSERT_EQ(tables.value().size(), 1u);
+  EXPECT_EQ(tables.value()[0].name, "accounts");
+  EXPECT_EQ(tables.value()[0].num_rows, rows);
+  EXPECT_TRUE(tables.value()[0].has_primary_index);
+
+  // ---- OLTP over the wire: BEGIN -> keyed writes -> COMMIT -------------
+  ASSERT_TRUE(client_->Begin().ok());
+  ASSERT_TRUE(client_
+                  ->Write("accounts", "balance", 1001,
+                          storage::EncodeDouble(40.25), /*by_key=*/true)
+                  .ok());
+  ASSERT_TRUE(client_
+                  ->Write("accounts", "balance", 1002,
+                          storage::EncodeDouble(161.75), /*by_key=*/true)
+                  .ok());
+  // Transactional read sees own writes pre-commit.
+  auto own = client_->Read("accounts", "balance", 1001, /*by_key=*/true);
+  ASSERT_TRUE(own.ok());
+  EXPECT_EQ(own.value(), storage::EncodeDouble(40.25));
+  ASSERT_TRUE(client_->Commit().ok());
+
+  // A batch auto-commit transaction on top.
+  std::vector<PointWrite> batch;
+  for (uint64_t key : {1010ULL, 1011ULL, 1012ULL}) {
+    PointWrite write;
+    write.table = "accounts";
+    write.column = "balance";
+    write.by_key = true;
+    write.key = key;
+    write.raw = storage::EncodeDouble(500.0);
+    batch.push_back(std::move(write));
+  }
+  ASSERT_TRUE(client_->ExecTxn(batch).ok());
+
+  // ---- queries: wire result vs in-process Run, byte for byte -----------
+  struct Case {
+    const char* label;
+    query::WireQuery wire;
+    query::Params params;
+  };
+  std::vector<Case> cases;
+  {
+    Case ungrouped;
+    ungrouped.label = "ungrouped filtered sum";
+    ungrouped.wire.table = "accounts";
+    ungrouped.wire.filter =
+        query::Col("balance") >= query::Param("lo", query::ExprType::kDouble);
+    ungrouped.wire.aggs = {query::Sum(query::Col("balance")).As("total"),
+                           query::Count().As("n"),
+                           query::Min(query::Col("balance")).As("lo"),
+                           query::Max(query::Col("balance")).As("hi")};
+    ungrouped.params.SetDouble("lo", 100.0);
+    cases.push_back(ungrouped);
+
+    Case grouped;
+    grouped.label = "grouped avg by region";
+    grouped.wire.table = "accounts";
+    grouped.wire.aggs = {query::Avg(query::Col("balance")).As("mean"),
+                         query::Count().As("n")};
+    grouped.wire.group_by = {"region"};
+    cases.push_back(grouped);
+
+    Case arithmetic;
+    arithmetic.label = "expression aggregate";
+    arithmetic.wire.table = "accounts";
+    arithmetic.wire.filter = query::Col("id") <= query::I64(1300);
+    arithmetic.wire.aggs = {
+        query::Sum(query::Col("balance") *
+                   (query::F64(1.0) - query::F64(0.1)))
+            .As("discounted")};
+    cases.push_back(arithmetic);
+  }
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.label);
+    auto remote = client_->Query(c.wire, c.params);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+    auto compiled = query::CompileWireQuery(c.wire, db_->catalog());
+    ASSERT_TRUE(compiled.ok());
+    auto local = db_->Run(compiled.value(), c.params);
+    ASSERT_TRUE(local.ok());
+
+    const query::QueryResult& r = remote.value();
+    const query::QueryResult& l = local.value();
+    EXPECT_EQ(r.columns, l.columns);
+    EXPECT_EQ(r.key_names, l.key_names);
+    ASSERT_EQ(r.rows.size(), l.rows.size());
+    for (size_t row = 0; row < r.rows.size(); ++row) {
+      EXPECT_EQ(r.rows[row].keys, l.rows[row].keys);
+      ASSERT_EQ(r.rows[row].values.size(), l.rows[row].values.size());
+      for (size_t v = 0; v < r.rows[row].values.size(); ++v) {
+        EXPECT_EQ(storage::EncodeDouble(r.rows[row].values[v]),
+                  storage::EncodeDouble(l.rows[row].values[v]))
+            << "row " << row << " value " << v << " differs in bits";
+      }
+    }
+  }
+}
+
+TEST_F(ServerE2eTest, ResultStreamingSpansMultipleBatches) {
+  // A group domain wider than kQueryBatchRows forces the server to
+  // stream several kQueryBatch frames; the client must reassemble all of
+  // them (QueryDone cross-checks the row count).
+  const uint64_t rows = 2048;
+  ASSERT_TRUE(client_
+                  ->CreateTable("wide", rows,
+                                {{"g", ValueType::kDict32},
+                                 {"x", ValueType::kInt64}})
+                  .ok());
+  std::vector<uint64_t> groups, xs;
+  const uint32_t domain = 500;  // > kQueryBatchRows (256), < 1024 cap.
+  std::vector<std::string> entries;
+  for (uint32_t g = 0; g < domain; ++g) {
+    entries.push_back("g" + std::to_string(g));
+  }
+  ASSERT_TRUE(client_->DefineDict("wide", "g", entries).ok());
+  for (uint64_t row = 0; row < rows; ++row) {
+    groups.push_back(
+        storage::EncodeDict(static_cast<uint32_t>(row % domain)));
+    xs.push_back(storage::EncodeInt64(static_cast<int64_t>(row)));
+  }
+  ASSERT_TRUE(client_->Load("wide", "g", 0, groups).ok());
+  ASSERT_TRUE(client_->Load("wide", "x", 0, xs).ok());
+
+  query::WireQuery wire;
+  wire.table = "wide";
+  wire.aggs = {query::Sum(query::Col("x")).As("sum"),
+               query::Count().As("n")};
+  wire.group_by = {"g"};
+  auto remote = client_->Query(wire, query::Params());
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_EQ(remote.value().rows.size(), domain);
+
+  auto compiled = query::CompileWireQuery(wire, db_->catalog());
+  ASSERT_TRUE(compiled.ok());
+  auto local = db_->Run(compiled.value(), query::Params());
+  ASSERT_TRUE(local.ok());
+  ASSERT_EQ(remote.value().rows.size(), local.value().rows.size());
+  for (size_t row = 0; row < local.value().rows.size(); ++row) {
+    EXPECT_EQ(remote.value().rows[row].keys, local.value().rows[row].keys);
+    EXPECT_EQ(remote.value().rows[row].values,
+              local.value().rows[row].values);
+  }
+}
+
+TEST_F(ServerE2eTest, ConcurrentSessionsShareSnapshotEpochs) {
+  const uint64_t rows = 1024;
+  ASSERT_TRUE(client_
+                  ->CreateTable("t", rows,
+                                {{"k", ValueType::kInt64},
+                                 {"v", ValueType::kDouble}})
+                  .ok());
+  std::vector<uint64_t> ks, vs;
+  for (uint64_t row = 0; row < rows; ++row) {
+    ks.push_back(storage::EncodeInt64(static_cast<int64_t>(row)));
+    vs.push_back(storage::EncodeDouble(1.0));
+  }
+  ASSERT_TRUE(client_->Load("t", "k", 0, ks).ok());
+  ASSERT_TRUE(client_->Load("t", "v", 0, vs).ok());
+
+  // Writers and readers hammer the server from several sessions at once;
+  // every query must see a transaction-consistent sum (writers move value
+  // between two rows, preserving the total).
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      auto connected = Client::Connect("127.0.0.1", server_->port());
+      if (!connected.ok()) {
+        ++failures;
+        return;
+      }
+      uint64_t a = static_cast<uint64_t>(w) * 2, b = a + 1;
+      double moved = 0;
+      while (!stop.load()) {
+        std::vector<PointWrite> writes(2);
+        moved += 0.25;
+        writes[0] = {"t", "v", false, a, storage::EncodeDouble(1.0 - moved)};
+        writes[1] = {"t", "v", false, b, storage::EncodeDouble(1.0 + moved)};
+        const Status status = connected.value()->ExecTxn(writes);
+        if (!status.ok() && !status.IsAborted() &&
+            !status.IsResourceBusy()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      auto connected = Client::Connect("127.0.0.1", server_->port());
+      if (!connected.ok()) {
+        ++failures;
+        return;
+      }
+      query::WireQuery wire;
+      wire.table = "t";
+      wire.aggs = {query::Sum(query::Col("v")).As("total")};
+      for (int i = 0; i < 20; ++i) {
+        auto result = connected.value()->Query(wire, query::Params());
+        if (!result.ok()) {
+          if (result.status().IsResourceBusy()) continue;
+          ++failures;
+          return;
+        }
+        const double total = result.value().Value("total");
+        if (total != static_cast<double>(rows)) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (size_t i = 2; i < threads.size(); ++i) threads[i].join();
+  stop.store(true);
+  threads[0].join();
+  threads[1].join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(server_->stats().queries_served, 0u);
+}
+
+}  // namespace
+}  // namespace anker::server

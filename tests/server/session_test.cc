@@ -1,0 +1,315 @@
+// Session state-machine negatives, driven over real loopback sockets:
+// op before HELLO, double HELLO, double BEGIN, commit without a
+// transaction, oversized frames, corrupt CRCs, unknown opcodes, BUSY
+// admission, and auth rejection. The server must answer (or close) per
+// the rules in docs/SERVER.md and survive every abuse.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace anker::server {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerConfig config = {}) {
+    engine::DatabaseConfig db_config = engine::DatabaseConfig::ForMode(
+        txn::ProcessingMode::kHeterogeneousSerializable);
+    db_config.worker_threads = 4;
+    db_ = std::make_unique<engine::Database>(db_config);
+    auto table = db_->CreateTable("kv",
+                                  {{"k", storage::ValueType::kInt64},
+                                   {"v", storage::ValueType::kInt64}},
+                                  16);
+    ASSERT_TRUE(table.ok());
+    config.port = 0;
+    server_ = std::make_unique<Server>(db_.get(), std::move(config));
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+  }
+
+  /// Raw client socket (blocking) for protocol-abuse scenarios the
+  /// Client library refuses to produce.
+  int RawConnect() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server_->port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    timeval tv{5, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    return fd;
+  }
+
+  void SendRaw(int fd, std::string_view bytes) {
+    ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  void SendFramed(int fd, std::string_view payload) {
+    std::string frame;
+    EncodeFrame(payload, &frame);
+    SendRaw(fd, frame);
+  }
+
+  /// Reads one frame; empty optional-style flag via `closed`.
+  std::string ReceiveFramed(int fd, bool* closed) {
+    *closed = false;
+    std::string buffer;
+    char chunk[4096];
+    while (true) {
+      std::string_view payload;
+      size_t consumed = 0;
+      if (DecodeFrame(buffer, &payload, &consumed) == FrameStatus::kOk) {
+        return std::string(payload);
+      }
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        *closed = true;
+        return "";
+      }
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// True when the peer closes the connection (EOF) within the timeout.
+  bool WaitForClose(int fd) {
+    char byte;
+    while (true) {
+      const ssize_t n = ::recv(fd, &byte, 1, 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+    }
+  }
+
+  std::string ValidHello() {
+    std::string payload;
+    EncodeHello(HelloMsg{}, &payload);
+    return payload;
+  }
+
+  WireError ErrCodeOf(const std::string& payload) {
+    EXPECT_FALSE(payload.empty());
+    EXPECT_TRUE(static_cast<Op>(payload[0]) == Op::kErr ||
+                static_cast<Op>(payload[0]) == Op::kBusy);
+    ErrMsg msg;
+    EXPECT_TRUE(DecodeErr(std::string_view(payload).substr(1), &msg).ok());
+    return msg.code;
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(SessionTest, OpBeforeHelloIsRejectedAndClosed) {
+  StartServer();
+  const int fd = RawConnect();
+  SendFramed(fd, std::string(1, static_cast<char>(Op::kBegin)));
+  bool closed = false;
+  const std::string response = ReceiveFramed(fd, &closed);
+  ASSERT_FALSE(closed);
+  EXPECT_EQ(ErrCodeOf(response), WireError::kProtocolError);
+  EXPECT_TRUE(WaitForClose(fd));
+  ::close(fd);
+}
+
+TEST_F(SessionTest, SecondHelloIsRejectedAndClosed) {
+  StartServer();
+  const int fd = RawConnect();
+  SendFramed(fd, ValidHello());
+  bool closed = false;
+  std::string response = ReceiveFramed(fd, &closed);
+  ASSERT_FALSE(closed);
+  ASSERT_EQ(static_cast<Op>(response[0]), Op::kHelloOk);
+  SendFramed(fd, ValidHello());
+  response = ReceiveFramed(fd, &closed);
+  ASSERT_FALSE(closed);
+  EXPECT_EQ(ErrCodeOf(response), WireError::kProtocolError);
+  EXPECT_TRUE(WaitForClose(fd));
+  ::close(fd);
+}
+
+TEST_F(SessionTest, WrongVersionAndBadTokenFailHandshake) {
+  ServerConfig config;
+  config.auth_token = "sesame";
+  StartServer(config);
+
+  {  // Wrong token.
+    auto client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_FALSE(client.ok());
+  }
+  {  // Right token works.
+    ClientOptions options;
+    options.auth_token = "sesame";
+    auto client = Client::Connect("127.0.0.1", server_->port(), options);
+    EXPECT_TRUE(client.ok());
+    EXPECT_TRUE(client.value()->Ping().ok());
+  }
+  {  // Wrong protocol version.
+    const int fd = RawConnect();
+    std::string payload;
+    HelloMsg hello;
+    hello.version = 999;
+    hello.auth_token = "sesame";
+    EncodeHello(hello, &payload);
+    SendFramed(fd, payload);
+    bool closed = false;
+    const std::string response = ReceiveFramed(fd, &closed);
+    ASSERT_FALSE(closed);
+    EXPECT_EQ(ErrCodeOf(response), WireError::kBadHandshake);
+    EXPECT_TRUE(WaitForClose(fd));
+    ::close(fd);
+  }
+}
+
+TEST_F(SessionTest, DoubleBeginAndTxnlessOpsAreRecoverableErrors) {
+  StartServer();
+  auto connected = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(connected.ok());
+  Client& client = *connected.value();
+
+  // Ops that need a transaction, without one.
+  EXPECT_EQ(client.Commit().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.Abort().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.Write("kv", "v", 0, 1).code(),
+            StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(client.Begin().ok());
+  // Double BEGIN: rejected, session (and the open transaction) survive.
+  EXPECT_EQ(client.Begin().code(), StatusCode::kInvalidArgument);
+  // ExecTxn while a transaction is open: rejected.
+  PointWrite write;
+  write.table = "kv";
+  write.column = "v";
+  write.key = 0;
+  write.raw = 7;
+  EXPECT_EQ(client.ExecTxn({write}).code(), StatusCode::kInvalidArgument);
+  // The session still works: finish the transaction normally.
+  EXPECT_TRUE(client.Write("kv", "v", 0, 7).ok());
+  EXPECT_TRUE(client.Commit().ok());
+  auto value = client.Read("kv", "v", 0);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 7u);
+}
+
+TEST_F(SessionTest, UnknownTableColumnRowSurfaceTypedErrors) {
+  StartServer();
+  auto connected = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(connected.ok());
+  Client& client = *connected.value();
+  EXPECT_TRUE(client.Read("nope", "v", 0).status().IsNotFound());
+  EXPECT_TRUE(client.Read("kv", "nope", 0).status().IsNotFound());
+  EXPECT_EQ(client.Read("kv", "v", 999).status().code(),
+            StatusCode::kOutOfRange);
+  // by_key without an index.
+  EXPECT_EQ(client.Read("kv", "v", 0, /*by_key=*/true).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SessionTest, OversizedFrameClosesTheSession) {
+  StartServer();
+  const int fd = RawConnect();
+  // A header claiming a payload over the limit: the server must drop the
+  // connection without trying to read (or allocate) the body.
+  std::string header;
+  wal::PutU32(&header, kMaxFramePayload + 1);
+  wal::PutU32(&header, 0xdeadbeef);
+  SendRaw(fd, header);
+  EXPECT_TRUE(WaitForClose(fd));
+  ::close(fd);
+}
+
+TEST_F(SessionTest, CorruptCrcClosesTheSession) {
+  StartServer();
+  const int fd = RawConnect();
+  std::string frame;
+  EncodeFrame(ValidHello(), &frame);
+  frame[5] = static_cast<char>(frame[5] ^ 0x10);  // Break the CRC word.
+  SendRaw(fd, frame);
+  EXPECT_TRUE(WaitForClose(fd));
+  ::close(fd);
+}
+
+TEST_F(SessionTest, UnknownOpcodeIsNotSupportedButSurvivable) {
+  StartServer();
+  const int fd = RawConnect();
+  SendFramed(fd, ValidHello());
+  bool closed = false;
+  std::string response = ReceiveFramed(fd, &closed);
+  ASSERT_EQ(static_cast<Op>(response[0]), Op::kHelloOk);
+  SendFramed(fd, std::string(1, '\x7e'));  // Unassigned request opcode.
+  response = ReceiveFramed(fd, &closed);
+  ASSERT_FALSE(closed);
+  EXPECT_EQ(ErrCodeOf(response), WireError::kNotSupported);
+  // Session survives: ping still answers.
+  SendFramed(fd, std::string(1, static_cast<char>(Op::kPing)));
+  response = ReceiveFramed(fd, &closed);
+  ASSERT_FALSE(closed);
+  EXPECT_EQ(static_cast<Op>(response[0]), Op::kPong);
+  ::close(fd);
+}
+
+TEST_F(SessionTest, AdmissionControlAnswersBusy) {
+  ServerConfig config;
+  config.max_inflight = 0;  // Reject every dispatched op deterministically.
+  StartServer(config);
+  auto connected = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(connected.ok());
+  Client& client = *connected.value();
+  // Inline ops still work under full admission pressure...
+  ASSERT_TRUE(client.Begin().ok());
+  ASSERT_TRUE(client.Write("kv", "v", 1, 42).ok());
+  // ...but dispatched ones get explicit BUSY backpressure.
+  EXPECT_TRUE(client.Commit().IsResourceBusy());
+  query::WireQuery query;
+  query.table = "kv";
+  query.aggs = {query::Count().As("n")};
+  EXPECT_TRUE(client.Query(query, query::Params()).status().IsResourceBusy());
+  EXPECT_EQ(server_->stats().busy_rejections, 2u);
+}
+
+TEST_F(SessionTest, IdleSessionsAreReaped) {
+  ServerConfig config;
+  config.idle_timeout_millis = 200;
+  StartServer(config);
+  const int fd = RawConnect();
+  SendFramed(fd, ValidHello());
+  bool closed = false;
+  const std::string response = ReceiveFramed(fd, &closed);
+  ASSERT_EQ(static_cast<Op>(response[0]), Op::kHelloOk);
+  EXPECT_TRUE(WaitForClose(fd));  // No traffic: the server hangs up.
+  ::close(fd);
+}
+
+TEST_F(SessionTest, DroppedConnectionAbortsItsTransaction) {
+  StartServer();
+  {
+    auto connected = Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(connected.ok());
+    ASSERT_TRUE(connected.value()->Begin().ok());
+    ASSERT_TRUE(connected.value()->Write("kv", "v", 2, 99).ok());
+    // Client destructor closes the socket with the transaction open.
+  }
+  auto verify = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(verify.ok());
+  auto value = verify.value()->Read("kv", "v", 2);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 0u) << "uncommitted write leaked";
+}
+
+}  // namespace
+}  // namespace anker::server

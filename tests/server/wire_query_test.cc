@@ -1,0 +1,202 @@
+// Wire-query serialization: expression trees, aggregate specs, group-by
+// lists and parameter bindings must round-trip exactly, decode-reject
+// malformed input recoverably (never crash, never CHECK), and recompile
+// through CompileWireQuery into plans equivalent to locally built ones.
+#include "query/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "storage/value.h"
+
+namespace anker::query {
+namespace {
+
+using storage::ValueType;
+
+class WireQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine::DatabaseConfig config = engine::DatabaseConfig::ForMode(
+        txn::ProcessingMode::kHeterogeneousSerializable);
+    db_ = std::make_unique<engine::Database>(config);
+    auto table = db_->CreateTable("events",
+                                  {{"id", ValueType::kInt64},
+                                   {"price", ValueType::kDouble},
+                                   {"day", ValueType::kDate},
+                                   {"tag", ValueType::kDict32}},
+                                  256);
+    ASSERT_TRUE(table.ok());
+    table_ = table.value();
+    storage::Dictionary* dict = table_->GetDictionary("tag");
+    for (size_t row = 0; row < 256; ++row) {
+      table_->GetColumn("id")->LoadValue(
+          row, storage::EncodeInt64(static_cast<int64_t>(row)));
+      table_->GetColumn("price")->LoadValue(
+          row, storage::EncodeDouble(1.5 * static_cast<double>(row)));
+      table_->GetColumn("day")->LoadValue(
+          row, storage::EncodeDate(static_cast<int64_t>(row % 30)));
+      table_->GetColumn("tag")->LoadValue(
+          row, storage::EncodeDict(
+                   dict->GetOrAdd(row % 2 == 0 ? "even" : "odd")));
+    }
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  storage::Table* table_ = nullptr;
+};
+
+Expr RoundTrip(const Expr& expr) {
+  std::string wire;
+  EXPECT_TRUE(EncodeExpr(expr, &wire).ok());
+  std::string_view in(wire);
+  Expr decoded;
+  EXPECT_TRUE(DecodeExpr(&in, &decoded).ok());
+  EXPECT_TRUE(in.empty()) << "decoder left bytes behind";
+  return decoded;
+}
+
+void ExpectSameTree(const ExprNode* a, const ExprNode* b) {
+  ASSERT_EQ(a == nullptr, b == nullptr);
+  if (a == nullptr) return;
+  EXPECT_EQ(a->kind, b->kind);
+  EXPECT_EQ(a->type, b->type);
+  EXPECT_EQ(a->name, b->name);
+  EXPECT_EQ(a->raw, b->raw);
+  EXPECT_EQ(a->text, b->text);
+  EXPECT_EQ(a->is_string, b->is_string);
+  ExpectSameTree(a->lhs.get(), b->lhs.get());
+  ExpectSameTree(a->rhs.get(), b->rhs.get());
+}
+
+TEST_F(WireQueryTest, ExprRoundTripsEveryLeafAndOperator) {
+  const Expr expr =
+      (Col("price") * (F64(1.0) - Param("disc", ExprType::kDouble)) +
+       I64(7) - DateDays(100)) != Str("even") ||
+      (Between(Col("day"), DateDays(1), Param("hi", ExprType::kDate)) &&
+       Col("tag") == DictCode(3));
+  ExpectSameTree(expr.node(), RoundTrip(expr).node());
+}
+
+TEST_F(WireQueryTest, ExprRejectsOversizedTrees) {
+  Expr deep = I64(1);
+  for (int i = 0; i < 100; ++i) deep = deep + I64(1);
+  std::string wire;
+  EXPECT_FALSE(EncodeExpr(deep, &wire).ok());  // Depth cap on encode too.
+}
+
+TEST_F(WireQueryTest, ExprDecodeFuzzNeverCrashes) {
+  // Valid encodings with random corruptions plus raw garbage: the decoder
+  // must always return (Status or success), never crash or hang.
+  Rng rng(23);
+  const Expr seedexpr = Col("price") * F64(2.0) + Param("p", ExprType::kInt64);
+  std::string valid;
+  ASSERT_TRUE(EncodeExpr(seedexpr, &valid).ok());
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string bytes = valid;
+    const size_t flips = 1 + rng.NextBounded(4);
+    for (size_t f = 0; f < flips; ++f) {
+      bytes[rng.NextBounded(bytes.size())] =
+          static_cast<char>(rng.NextBounded(256));
+    }
+    std::string_view in(bytes);
+    Expr decoded;
+    (void)DecodeExpr(&in, &decoded);  // Either outcome is fine.
+  }
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string garbage(rng.NextBounded(64), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.NextBounded(256));
+    std::string_view in(garbage);
+    Expr decoded;
+    (void)DecodeExpr(&in, &decoded);
+  }
+}
+
+TEST_F(WireQueryTest, WireQueryRoundTripsAndRecompiles) {
+  WireQuery wire;
+  wire.table = "events";
+  wire.filter = Col("day") <= Param("cutoff", ExprType::kDate) &&
+                Col("price") > F64(10.0);
+  wire.aggs = {Sum(Col("price")).As("revenue"), Count().As("n"),
+               Avg(Col("price")).As("mean")};
+  wire.group_by = {"tag"};
+
+  std::string bytes;
+  ASSERT_TRUE(EncodeWireQuery(wire, &bytes).ok());
+  std::string_view in(bytes);
+  WireQuery decoded;
+  ASSERT_TRUE(DecodeWireQuery(&in, &decoded).ok());
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(decoded.table, "events");
+  ASSERT_EQ(decoded.aggs.size(), 3u);
+  EXPECT_EQ(decoded.aggs[0].name(), "revenue");
+  EXPECT_EQ(decoded.aggs[1].kind(), AggKind::kCount);
+  EXPECT_EQ(decoded.group_by, std::vector<std::string>{"tag"});
+
+  // The decoded form must execute identically to the locally built query.
+  auto local = Query::On(table_)
+                   .Filter(wire.filter)
+                   .Aggregate(wire.aggs)
+                   .GroupBy(wire.group_by)
+                   .Build();
+  ASSERT_TRUE(local.ok());
+  auto remote = CompileWireQuery(decoded, db_->catalog());
+  ASSERT_TRUE(remote.ok());
+
+  const Params params = Params().SetDate("cutoff", 15);
+  auto local_result = db_->Run(local.value(), params);
+  auto remote_result = db_->Run(remote.value(), params);
+  ASSERT_TRUE(local_result.ok());
+  ASSERT_TRUE(remote_result.ok());
+  ASSERT_EQ(local_result.value().rows.size(),
+            remote_result.value().rows.size());
+  for (size_t r = 0; r < local_result.value().rows.size(); ++r) {
+    EXPECT_EQ(local_result.value().rows[r].keys,
+              remote_result.value().rows[r].keys);
+    for (size_t v = 0; v < local_result.value().rows[r].values.size(); ++v) {
+      // Byte-identical, not approximately equal.
+      EXPECT_EQ(storage::EncodeDouble(local_result.value().rows[r].values[v]),
+                storage::EncodeDouble(
+                    remote_result.value().rows[r].values[v]));
+    }
+  }
+}
+
+TEST_F(WireQueryTest, CompileRejectsUnknownTableAndBadQueries) {
+  WireQuery wire;
+  wire.table = "nope";
+  wire.aggs = {Count().As("n")};
+  EXPECT_TRUE(CompileWireQuery(wire, db_->catalog()).status().IsNotFound());
+
+  wire.table = "events";
+  wire.filter = Col("missing_column") > I64(0);
+  EXPECT_FALSE(CompileWireQuery(wire, db_->catalog()).ok());
+}
+
+TEST_F(WireQueryTest, ParamsRoundTripAllTypes) {
+  Params params;
+  params.SetInt("i", -42)
+      .SetDouble("d", 2.75)
+      .SetDate("t", 9000)
+      .SetDictCode("c", 3)
+      .SetString("s", "Brand#23");
+  std::string bytes;
+  EncodeParams(params, &bytes);
+  std::string_view in(bytes);
+  Params decoded;
+  ASSERT_TRUE(DecodeParams(&in, &decoded).ok());
+  EXPECT_TRUE(in.empty());
+  ASSERT_EQ(decoded.values().size(), 5u);
+  for (const auto& [name, value] : params.values()) {
+    const Params::Value* got = decoded.Find(name);
+    ASSERT_NE(got, nullptr) << name;
+    EXPECT_EQ(got->type, value.type);
+    EXPECT_EQ(got->raw, value.raw);
+    EXPECT_EQ(got->text, value.text);
+    EXPECT_EQ(got->is_string, value.is_string);
+  }
+}
+
+}  // namespace
+}  // namespace anker::query

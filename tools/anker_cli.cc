@@ -1,0 +1,453 @@
+// anker_cli — interactive / scriptable REPL over the anker client
+// library. Reads one command per line from stdin (pipe a script for CI
+// smoke runs — scripts/server_smoke.py does exactly that), prints one
+// result line per command, and exits non-zero if any command failed.
+//
+//   anker_cli --port=4807 <<'EOF'
+//   create accounts 1000 id:int64 balance:double
+//   load accounts balance 0 100 100 100
+//   begin
+//   write accounts balance 1 250.5
+//   commit
+//   query accounts sum(balance) where id >= 0
+//   EOF
+//
+// Command reference: docs/SERVER.md ("The CLI").
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "query/serialize.h"
+#include "server/client.h"
+#include "storage/value.h"
+
+namespace {
+
+using namespace anker;
+
+struct Cli {
+  std::unique_ptr<server::Client> client;
+  /// Schema cache for typed value parsing (refreshed by `tables`/
+  /// `create`).
+  std::unordered_map<std::string, std::vector<storage::ColumnDef>> schemas;
+  bool echo = false;
+  int failures = 0;
+
+  storage::ValueType ColumnType(const std::string& table,
+                                const std::string& column, bool* known) {
+    *known = false;
+    auto it = schemas.find(table);
+    if (it == schemas.end()) return storage::ValueType::kInt64;
+    for (const storage::ColumnDef& def : it->second) {
+      if (def.name == column) {
+        *known = true;
+        return def.type;
+      }
+    }
+    return storage::ValueType::kInt64;
+  }
+
+  void RefreshSchemas() {
+    auto tables = client->ListTables();
+    if (!tables.ok()) return;
+    schemas.clear();
+    for (const server::TableInfo& info : tables.value()) {
+      schemas[info.name] = info.schema;
+    }
+  }
+};
+
+bool ParseType(const std::string& name, storage::ValueType* type) {
+  if (name == "int64") *type = storage::ValueType::kInt64;
+  else if (name == "double") *type = storage::ValueType::kDouble;
+  else if (name == "date") *type = storage::ValueType::kDate;
+  else if (name == "dict32") *type = storage::ValueType::kDict32;
+  else return false;
+  return true;
+}
+
+const char* TypeName(storage::ValueType type) {
+  switch (type) {
+    case storage::ValueType::kInt64: return "int64";
+    case storage::ValueType::kDouble: return "double";
+    case storage::ValueType::kDate: return "date";
+    case storage::ValueType::kDict32: return "dict32";
+  }
+  return "?";
+}
+
+uint64_t EncodeTyped(storage::ValueType type, const std::string& text) {
+  switch (type) {
+    case storage::ValueType::kDouble:
+      return storage::EncodeDouble(std::atof(text.c_str()));
+    case storage::ValueType::kDict32:
+      return storage::EncodeDict(
+          static_cast<uint32_t>(std::atoll(text.c_str())));
+    case storage::ValueType::kInt64:
+    case storage::ValueType::kDate:
+      return storage::EncodeInt64(std::atoll(text.c_str()));
+  }
+  return 0;
+}
+
+std::string DecodeTyped(storage::ValueType type, uint64_t raw) {
+  char buf[64];
+  switch (type) {
+    case storage::ValueType::kDouble:
+      std::snprintf(buf, sizeof(buf), "%.17g", storage::DecodeDouble(raw));
+      break;
+    case storage::ValueType::kDict32:
+      std::snprintf(buf, sizeof(buf), "%u", storage::DecodeDict(raw));
+      break;
+    case storage::ValueType::kInt64:
+    case storage::ValueType::kDate:
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(storage::DecodeInt64(raw)));
+      break;
+  }
+  return buf;
+}
+
+/// Parses "sum(col)" / "count()" / "avg(col)" / "min(col)" / "max(col)".
+bool ParseAgg(const std::string& token, query::Agg* agg) {
+  const size_t open = token.find('(');
+  if (open == std::string::npos || token.back() != ')') return false;
+  const std::string fn = token.substr(0, open);
+  const std::string arg = token.substr(open + 1,
+                                       token.size() - open - 2);
+  if (fn == "count" && arg.empty()) {
+    *agg = query::Count().As(token);
+    return true;
+  }
+  if (arg.empty()) return false;
+  if (fn == "sum") *agg = query::Sum(query::Col(arg)).As(token);
+  else if (fn == "avg") *agg = query::Avg(query::Col(arg)).As(token);
+  else if (fn == "min") *agg = query::Min(query::Col(arg)).As(token);
+  else if (fn == "max") *agg = query::Max(query::Col(arg)).As(token);
+  else return false;
+  return true;
+}
+
+/// Builds `Col(column) <op> literal` with the literal typed after the
+/// column's schema type.
+bool ParseCondition(Cli* cli, const std::string& table,
+                    const std::string& column, const std::string& op,
+                    const std::string& literal, query::Expr* out) {
+  bool known = false;
+  const storage::ValueType type = cli->ColumnType(table, column, &known);
+  query::Expr lhs = query::Col(column);
+  query::Expr rhs;
+  if (!literal.empty() && literal.front() == '"' && literal.back() == '"' &&
+      literal.size() >= 2) {
+    rhs = query::Str(literal.substr(1, literal.size() - 2));
+  } else if (known) {
+    switch (type) {
+      case storage::ValueType::kDouble:
+        rhs = query::F64(std::atof(literal.c_str()));
+        break;
+      case storage::ValueType::kDate:
+        rhs = query::DateDays(std::atoll(literal.c_str()));
+        break;
+      case storage::ValueType::kDict32:
+        rhs = query::DictCode(
+            static_cast<uint32_t>(std::atoll(literal.c_str())));
+        break;
+      case storage::ValueType::kInt64:
+        rhs = query::I64(std::atoll(literal.c_str()));
+        break;
+    }
+  } else if (literal.find('.') != std::string::npos) {
+    rhs = query::F64(std::atof(literal.c_str()));
+  } else {
+    rhs = query::I64(std::atoll(literal.c_str()));
+  }
+  if (op == "<") *out = lhs < rhs;
+  else if (op == "<=") *out = lhs <= rhs;
+  else if (op == ">") *out = lhs > rhs;
+  else if (op == ">=") *out = lhs >= rhs;
+  else if (op == "==" || op == "=") *out = lhs == rhs;
+  else if (op == "!=") *out = lhs != rhs;
+  else return false;
+  return true;
+}
+
+int RunCommand(Cli* cli, const std::vector<std::string>& tokens);
+
+void Fail(Cli* cli, const std::string& message) {
+  std::printf("ERR %s\n", message.c_str());
+  ++cli->failures;
+}
+
+int RunCommand(Cli* cli, const std::vector<std::string>& tokens) {
+  server::Client& client = *cli->client;
+  const std::string& cmd = tokens[0];
+
+  if (cmd == "quit" || cmd == "exit") return 1;
+  if (cmd == "help") {
+    std::printf(
+        "commands:\n"
+        "  tables | ping | begin | commit | abort | quit\n"
+        "  create <table> <rows> <col>:<type> ...   (types: int64 double "
+        "date dict32)\n"
+        "  index <table> <key_column>\n"
+        "  dict <table> <column> <v1> [v2 ...]   (entry code = position)\n"
+        "  load <table> <column> <start_row> <v1> [v2 ...]\n"
+        "  read <table> <column> <key> [bykey]\n"
+        "  write <table> <column> <key> <value> [bykey]\n"
+        "  query <table> <agg(col)> [...] [where <col> <op> <val> [and "
+        "...]] [group <c1,c2>]\n");
+    return 0;
+  }
+  if (cmd == "ping") {
+    const Status status = client.Ping();
+    if (status.ok()) std::printf("PONG\n");
+    else Fail(cli, status.ToString());
+    return 0;
+  }
+  if (cmd == "tables") {
+    auto tables = client.ListTables();
+    if (!tables.ok()) {
+      Fail(cli, tables.status().ToString());
+      return 0;
+    }
+    cli->RefreshSchemas();
+    for (const server::TableInfo& info : tables.value()) {
+      std::printf("TABLE %s rows=%llu index=%s", info.name.c_str(),
+                  static_cast<unsigned long long>(info.num_rows),
+                  info.has_primary_index ? "yes" : "no");
+      for (const storage::ColumnDef& def : info.schema) {
+        std::printf(" %s:%s", def.name.c_str(), TypeName(def.type));
+      }
+      std::printf("\n");
+    }
+    return 0;
+  }
+  if (cmd == "create") {
+    if (tokens.size() < 4) {
+      Fail(cli, "usage: create <table> <rows> <col>:<type> ...");
+      return 0;
+    }
+    std::vector<storage::ColumnDef> schema;
+    for (size_t i = 3; i < tokens.size(); ++i) {
+      const size_t colon = tokens[i].find(':');
+      storage::ColumnDef def;
+      if (colon == std::string::npos ||
+          !ParseType(tokens[i].substr(colon + 1), &def.type)) {
+        Fail(cli, "bad column spec: " + tokens[i]);
+        return 0;
+      }
+      def.name = tokens[i].substr(0, colon);
+      schema.push_back(std::move(def));
+    }
+    const Status status = client.CreateTable(
+        tokens[1], std::strtoull(tokens[2].c_str(), nullptr, 10), schema);
+    if (status.ok()) {
+      std::printf("OK\n");
+      cli->RefreshSchemas();
+    } else {
+      Fail(cli, status.ToString());
+    }
+    return 0;
+  }
+  if (cmd == "index") {
+    if (tokens.size() != 3) {
+      Fail(cli, "usage: index <table> <key_column>");
+      return 0;
+    }
+    const Status status = client.BuildIndex(tokens[1], tokens[2]);
+    if (status.ok()) std::printf("OK\n");
+    else Fail(cli, status.ToString());
+    return 0;
+  }
+  if (cmd == "dict") {
+    if (tokens.size() < 4) {
+      Fail(cli, "usage: dict <table> <column> <v1> [v2 ...]");
+      return 0;
+    }
+    const std::vector<std::string> values(tokens.begin() + 3, tokens.end());
+    const Status status = client.DefineDict(tokens[1], tokens[2], values);
+    if (status.ok()) std::printf("OK %zu entries\n", values.size());
+    else Fail(cli, status.ToString());
+    return 0;
+  }
+  if (cmd == "load") {
+    if (tokens.size() < 5) {
+      Fail(cli, "usage: load <table> <column> <start_row> <v1> [v2 ...]");
+      return 0;
+    }
+    bool known = false;
+    const storage::ValueType type =
+        cli->ColumnType(tokens[1], tokens[2], &known);
+    std::vector<uint64_t> values;
+    for (size_t i = 4; i < tokens.size(); ++i) {
+      values.push_back(EncodeTyped(type, tokens[i]));
+    }
+    const Status status = client.Load(
+        tokens[1], tokens[2],
+        std::strtoull(tokens[3].c_str(), nullptr, 10), values);
+    if (status.ok()) std::printf("OK %zu values\n", values.size());
+    else Fail(cli, status.ToString());
+    return 0;
+  }
+  if (cmd == "begin" || cmd == "commit" || cmd == "abort") {
+    const Status status = cmd == "begin"    ? client.Begin()
+                          : cmd == "commit" ? client.Commit()
+                                            : client.Abort();
+    if (status.ok()) std::printf("OK\n");
+    else Fail(cli, status.ToString());
+    return 0;
+  }
+  if (cmd == "read") {
+    if (tokens.size() < 4) {
+      Fail(cli, "usage: read <table> <column> <key> [bykey]");
+      return 0;
+    }
+    const bool by_key = tokens.size() > 4 && tokens[4] == "bykey";
+    auto value = client.Read(tokens[1], tokens[2],
+                             std::strtoull(tokens[3].c_str(), nullptr, 10),
+                             by_key);
+    if (!value.ok()) {
+      Fail(cli, value.status().ToString());
+      return 0;
+    }
+    bool known = false;
+    const storage::ValueType type =
+        cli->ColumnType(tokens[1], tokens[2], &known);
+    std::printf("VALUE %s\n", DecodeTyped(type, value.value()).c_str());
+    return 0;
+  }
+  if (cmd == "write") {
+    if (tokens.size() < 5) {
+      Fail(cli, "usage: write <table> <column> <key> <value> [bykey]");
+      return 0;
+    }
+    bool known = false;
+    const storage::ValueType type =
+        cli->ColumnType(tokens[1], tokens[2], &known);
+    const bool by_key = tokens.size() > 5 && tokens[5] == "bykey";
+    const Status status = client.Write(
+        tokens[1], tokens[2], std::strtoull(tokens[3].c_str(), nullptr, 10),
+        EncodeTyped(type, tokens[4]), by_key);
+    if (status.ok()) std::printf("OK\n");
+    else Fail(cli, status.ToString());
+    return 0;
+  }
+  if (cmd == "query") {
+    // query <table> <agg> [...] [where <col> <op> <val> [and ...]]
+    //       [group <c1,c2>]
+    if (tokens.size() < 3) {
+      Fail(cli, "usage: query <table> <agg(col)> ... [where ...] [group ...]");
+      return 0;
+    }
+    query::WireQuery wire;
+    wire.table = tokens[1];
+    size_t i = 2;
+    for (; i < tokens.size() && tokens[i] != "where" && tokens[i] != "group";
+         ++i) {
+      query::Agg agg;
+      if (!ParseAgg(tokens[i], &agg)) {
+        Fail(cli, "bad aggregate: " + tokens[i]);
+        return 0;
+      }
+      wire.aggs.push_back(std::move(agg));
+    }
+    if (i < tokens.size() && tokens[i] == "where") {
+      ++i;
+      while (i + 3 <= tokens.size()) {
+        query::Expr condition;
+        if (!ParseCondition(cli, wire.table, tokens[i], tokens[i + 1],
+                            tokens[i + 2], &condition)) {
+          Fail(cli, "bad condition at: " + tokens[i]);
+          return 0;
+        }
+        wire.filter =
+            wire.filter.valid() ? (wire.filter && condition) : condition;
+        i += 3;
+        if (i < tokens.size() && tokens[i] == "and") ++i;
+        else break;
+      }
+    }
+    if (i < tokens.size() && tokens[i] == "group") {
+      ++i;
+      if (i >= tokens.size()) {
+        Fail(cli, "group needs a column list");
+        return 0;
+      }
+      std::stringstream list(tokens[i]);
+      std::string column;
+      while (std::getline(list, column, ',')) {
+        wire.group_by.push_back(column);
+      }
+      ++i;
+    }
+    if (i < tokens.size()) {
+      Fail(cli, "trailing tokens after query");
+      return 0;
+    }
+    auto result = client.Query(wire, query::Params());
+    if (!result.ok()) {
+      Fail(cli, result.status().ToString());
+      return 0;
+    }
+    const query::QueryResult& r = result.value();
+    for (const query::QueryResult::Row& row : r.rows) {
+      std::printf("ROW");
+      for (size_t k = 0; k < row.keys.size(); ++k) {
+        std::printf(" %s=%u", r.key_names[k].c_str(), row.keys[k]);
+      }
+      for (size_t v = 0; v < row.values.size(); ++v) {
+        std::printf(" %s=%.17g", r.columns[v].c_str(), row.values[v]);
+      }
+      std::printf("\n");
+    }
+    std::printf("DONE rows=%zu scanned=%llu\n", r.rows.size(),
+                static_cast<unsigned long long>(r.rows_scanned));
+    return 0;
+  }
+  Fail(cli, "unknown command: " + cmd + " (try: help)");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace anker;
+  bench::Flags flags(argc, argv);
+  const std::string host = flags.Str("host", "127.0.0.1");
+  const uint16_t port = static_cast<uint16_t>(flags.Int("port", 4807));
+  server::ClientOptions options;
+  options.auth_token = flags.Str("auth_token", "");
+  options.io_timeout_millis =
+      static_cast<int>(flags.Int("timeout_ms", 30000));
+  Cli cli;
+  cli.echo = flags.Has("echo");
+  flags.RejectUnknown();
+
+  auto connected = server::Client::Connect(host, port, options);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "cannot connect to %s:%u: %s\n", host.c_str(), port,
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  cli.client = connected.TakeValue();
+  cli.RefreshSchemas();
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (cli.echo) std::printf("> %s\n", line.c_str());
+    std::vector<std::string> tokens;
+    std::stringstream stream(line);
+    std::string token;
+    while (stream >> token) tokens.push_back(token);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    if (RunCommand(&cli, tokens) != 0) break;
+    std::fflush(stdout);
+  }
+  return cli.failures == 0 ? 0 : 1;
+}

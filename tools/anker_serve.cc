@@ -1,0 +1,160 @@
+// anker_serve — the network front-end binary: one engine::Database behind
+// an epoll session server speaking the anker wire protocol (docs/
+// SERVER.md). Durable by default when --data_dir is given: opens existing
+// state (checkpoint + WAL replay) or starts fresh, and on SIGTERM/SIGINT
+// drains sessions, takes a final checkpoint and exits cleanly — the
+// lifecycle scripts/server_smoke.py exercises in CI.
+//
+//   anker_serve --port=4807 --data_dir=/tmp/anker-serve
+//               --durability=group_commit
+//
+// Operational guidance (tuning, monitoring, recovery drills):
+// docs/OPERATIONS.md.
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "server/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace anker;
+  bench::Flags flags(argc, argv);
+  server::ServerConfig server_config;
+  server_config.host = flags.Str("host", "127.0.0.1");
+  server_config.port = static_cast<uint16_t>(flags.Int("port", 4807));
+  server_config.auth_token = flags.Str("auth_token", "");
+  server_config.max_sessions =
+      static_cast<size_t>(flags.Int("max_sessions", 1024));
+  server_config.max_inflight =
+      static_cast<size_t>(flags.Int("max_inflight", 64));
+  server_config.max_pipeline =
+      static_cast<size_t>(flags.Int("max_pipeline", 64));
+  server_config.idle_timeout_millis =
+      static_cast<int>(flags.Int("idle_timeout_ms", 0));
+
+  engine::DatabaseConfig config = engine::DatabaseConfig::ForMode(
+      txn::ProcessingMode::kHeterogeneousSerializable);
+  config.data_dir = flags.Str("data_dir", "");
+  const std::string durability = flags.Str("durability", "group_commit");
+  config.snapshot_interval_commits =
+      static_cast<uint64_t>(flags.Int("snapshot_interval", 10000));
+  config.checkpoint_interval_commits =
+      static_cast<uint64_t>(flags.Int("checkpoint_interval", 0));
+  config.scan_threads = static_cast<size_t>(flags.Int("scan_threads", 0));
+  config.worker_threads =
+      static_cast<size_t>(flags.Int("worker_threads", 0));
+  flags.RejectUnknown();
+
+  if (config.worker_threads == 0) {
+    // Every admitted dispatched op occupies a pool thread (commits block
+    // inside the group-commit protocol; queries scan); size the pool so
+    // admission control — not thread starvation — is what limits
+    // concurrency, or cross-session group-commit batching cannot form.
+    config.worker_threads = server_config.max_inflight + 4;
+  }
+
+  if (config.data_dir.empty()) {
+    config.durability = wal::DurabilityMode::kOff;
+    std::printf("WARNING: no --data_dir; running in-memory only\n");
+  } else if (durability == "off") {
+    config.durability = wal::DurabilityMode::kOff;
+  } else if (durability == "lazy") {
+    config.durability = wal::DurabilityMode::kLazy;
+  } else if (durability == "group_commit") {
+    config.durability = wal::DurabilityMode::kGroupCommit;
+  } else {
+    std::fprintf(stderr, "unknown --durability=%s\n", durability.c_str());
+    return 2;
+  }
+  if (config.scan_threads == 0) {
+    config.scan_threads =
+        std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+
+  std::unique_ptr<engine::Database> db;
+  if (config.data_dir.empty()) {
+    auto created = engine::Database::Create(config);
+    if (!created.ok()) {
+      std::fprintf(stderr, "cannot create database: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    db = created.TakeValue();
+  } else {
+    // Open is the universal durable entry point: empty dir = fresh
+    // database, existing dir = checkpoint load + WAL replay.
+    auto opened = engine::Database::Open(config);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open database: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    db = opened.TakeValue();
+  }
+  db->Start();
+  std::printf("OPENED mode=%s durability=%s data_dir=%s tables=%zu\n",
+              txn::ProcessingModeName(config.mode),
+              wal::DurabilityModeName(config.durability),
+              config.data_dir.empty() ? "<none>" : config.data_dir.c_str(),
+              db->catalog().num_tables());
+
+  server::Server server(db.get(), server_config);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING host=%s port=%u\n", server_config.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Graceful shutdown: drain sessions, then make everything durable in
+  // one final checkpoint, then exit. An immediate SIGKILL instead of this
+  // path is also survivable (that is what the WAL is for) — the
+  // checkpoint just makes the next open instant.
+  std::printf("SHUTDOWN draining sessions\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  const server::ServerStats stats = server.stats();
+  std::printf(
+      "DRAINED sessions_accepted=%llu frames=%llu commits_acked=%llu "
+      "queries=%llu busy=%llu protocol_errors=%llu\n",
+      static_cast<unsigned long long>(stats.sessions_accepted),
+      static_cast<unsigned long long>(stats.frames_received),
+      static_cast<unsigned long long>(stats.commits_acked),
+      static_cast<unsigned long long>(stats.queries_served),
+      static_cast<unsigned long long>(stats.busy_rejections),
+      static_cast<unsigned long long>(stats.protocol_errors));
+  if (!config.data_dir.empty()) {
+    auto checkpoint = db->Checkpoint();
+    if (!checkpoint.ok()) {
+      std::fprintf(stderr, "shutdown checkpoint failed: %s\n",
+                   checkpoint.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("CHECKPOINT ts=%llu dir=%s\n",
+                static_cast<unsigned long long>(
+                    checkpoint.value().checkpoint_ts),
+                checkpoint.value().directory.c_str());
+  }
+  db->Stop();
+  std::printf("EXIT OK\n");
+  return 0;
+}
