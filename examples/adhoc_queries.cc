@@ -99,8 +99,9 @@ int main() {
               "count");
   for (const QueryResult::Row& row : rollup_result.value().rows) {
     std::printf("  %-8s %9.2f %9.2f %9.2f %9.0f\n",
-                stations->Decode(row.keys[0]).c_str(), row.values[0],
-                row.values[1], row.values[2], row.values[3]);
+                stations->Decode(static_cast<uint32_t>(row.keys[0])).c_str(),
+                row.values[0], row.values[1], row.values[2],
+                row.values[3]);
   }
 
   // 4. Parameterized window: summer energy draw, re-run for two windows

@@ -19,8 +19,8 @@
 
 namespace anker::query {
 class Query;
-class SemiJoinQuery;
 class Params;
+struct ExecOptions;
 struct QueryResult;
 }  // namespace anker::query
 
@@ -235,10 +235,11 @@ class Database {
   Result<query::QueryResult> Run(const query::Query& query,
                                  const query::Params& params);
 
-  /// Same for the two-pass aggregated semi join (one transaction covering
-  /// the build and both probe passes).
-  Result<query::QueryResult> Run(const query::SemiJoinQuery& query,
-                                 const query::Params& params);
+  /// Same with per-execution knobs (force_dag, spill budget, scan option
+  /// overrides; see query::ExecOptions).
+  Result<query::QueryResult> Run(const query::Query& query,
+                                 const query::Params& params,
+                                 const query::ExecOptions& options);
 
   /// Starts background machinery (GC thread in homogeneous modes).
   void Start();

@@ -5,12 +5,14 @@
 // entirely the engine's business: a block always arrives as plain value
 // spans, and the same arithmetic runs in every processing mode — which is
 // what keeps query results bit-identical across modes.
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
 #include <memory>
 #include <mutex>
 
+#include "query/dag.h"
 #include "query/query.h"
 
 namespace anker::query {
@@ -542,6 +544,8 @@ void Assemble(const BoundQuery& bound, const ExecAcc& total,
   const CompiledQuery& plan = *bound.plan;
   result->columns.clear();
   result->key_names = plan.key_names;
+  // Fast-path group keys are always packed dictionary codes.
+  result->key_types.assign(plan.key_names.size(), ExprType::kDict);
   result->rows.clear();
   result->rows_scanned = total.rows;
   result->scan = stats;
@@ -589,8 +593,29 @@ void Assemble(const BoundQuery& bound, const ExecAcc& total,
 
 Status Execute(const Query& query, const engine::OlapContext& ctx,
                const Params& params, QueryResult* result) {
+  return Execute(query, ctx, params, ExecOptions(), result);
+}
+
+Status Execute(const Query& query, const engine::OlapContext& ctx,
+               const Params& params, const ExecOptions& exec_options,
+               QueryResult* result) {
   if (!query.valid()) return Status::InvalidArgument("invalid query");
   const CompiledQuery& plan = query.plan();
+
+  // A binding the plan never references is a recoverable error, not a
+  // silent no-op (typo'd parameter names must surface).
+  for (const auto& entry : params.values()) {
+    if (!std::binary_search(plan.param_names.begin(),
+                            plan.param_names.end(), entry.first)) {
+      return Status::InvalidArgument("parameter '" + entry.first +
+                                     "' is not used by this query");
+    }
+  }
+
+  if (plan.strategy == ExecStrategy::kDag ||
+      (exec_options.force_dag && plan.dag != nullptr)) {
+    return ExecuteDag(plan, ctx, params, exec_options, result);
+  }
 
   BoundQuery bound;
   ANKER_RETURN_IF_ERROR(Bind(plan, params, &bound));
@@ -642,7 +667,9 @@ Status Execute(const Query& query, const engine::OlapContext& ctx,
 
   ExecAcc total{};
   engine::ScanStats stats;
-  const engine::ScanOptions options = ctx.scan_options();
+  const engine::ScanOptions options = exec_options.scan_options != nullptr
+                                          ? *exec_options.scan_options
+                                          : ctx.scan_options();
 
   switch (plan.strategy) {
     case ExecStrategy::kFusedGrouped: {
@@ -682,6 +709,8 @@ Status Execute(const Query& query, const engine::OlapContext& ctx,
           merge, &stats, options);
       break;
     }
+    case ExecStrategy::kDag:
+      return Status::Internal("kDag strategy reached the fast-path switch");
   }
 
   Assemble(bound, total, stats, result);

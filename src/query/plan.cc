@@ -394,6 +394,24 @@ Status BindPreds(const CompiledQuery& plan, const Params& params,
 
 namespace {
 
+/// The text of a string operand (Str literal or param bound as a string),
+/// if `node` is one.
+bool StringOperandText(const ExprNode* node, const Params& params,
+                       std::string* text) {
+  if (node->kind == ExprKind::kLiteral && node->is_string) {
+    *text = node->text;
+    return true;
+  }
+  if (node->kind == ExprKind::kParam) {
+    const Params::Value* value = params.Find(node->name);
+    if (value != nullptr && value->is_string) {
+      *text = value->text;
+      return true;
+    }
+  }
+  return false;
+}
+
 /// Clones an expression, folding params into literals and resolving
 /// column references to plan indexes (stored in `raw`, with the column's
 /// type recorded for decoding).
@@ -447,6 +465,61 @@ Result<std::shared_ptr<const ExprNode>> BindScalarNode(
       out->type = value.value().type;
       out->raw = value.value().raw;
       return std::shared_ptr<const ExprNode>(std::move(out));
+    }
+    case ExprKind::kEq:
+    case ExprKind::kNe: {
+      // Dictionary equality by text: resolve the string side through the
+      // compared column's dictionary (mirrors BindOnePred, so a dict
+      // equality nested under OR binds the same way a conjunct does).
+      std::string text;
+      const ExprNode* col_side = nullptr;
+      bool lhs_is_text = false;
+      if (StringOperandText(node->lhs.get(), params, &text)) {
+        col_side = node->rhs.get();
+        lhs_is_text = true;
+      } else if (StringOperandText(node->rhs.get(), params, &text)) {
+        col_side = node->lhs.get();
+      }
+      if (col_side != nullptr) {
+        if (col_side->kind != ExprKind::kColumn) {
+          return Status::InvalidArgument(
+              "string compare requires a dictionary column operand");
+        }
+        auto bound_col =
+            BindScalarNode(col_side, columns, table, params, cols);
+        if (!bound_col.ok()) return bound_col.status();
+        if (bound_col.value()->type != ExprType::kDict) {
+          return Status::InvalidArgument(
+              "string compare against non-dict column '" +
+              col_side->name + "'");
+        }
+        const storage::Dictionary* dict =
+            table != nullptr ? table->GetDictionary(col_side->name)
+                             : nullptr;
+        if (dict == nullptr) {
+          return Status::InvalidArgument(
+              "string compare against non-dict column '" +
+              col_side->name + "'");
+        }
+        auto code = dict->Lookup(text);
+        if (!code.ok()) {
+          return Status::NotFound("value '" + text +
+                                  "' not in dictionary of column '" +
+                                  col_side->name + "'");
+        }
+        auto lit_node = std::make_shared<ExprNode>();
+        lit_node->kind = ExprKind::kLiteral;
+        lit_node->type = ExprType::kDict;
+        lit_node->raw = storage::EncodeDict(code.value());
+        out->lhs = lhs_is_text
+                       ? std::shared_ptr<const ExprNode>(lit_node)
+                       : bound_col.TakeValue();
+        out->rhs = lhs_is_text
+                       ? bound_col.TakeValue()
+                       : std::shared_ptr<const ExprNode>(lit_node);
+        return std::shared_ptr<const ExprNode>(std::move(out));
+      }
+      [[fallthrough]];
     }
     default: {
       auto lhs =

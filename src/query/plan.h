@@ -3,7 +3,7 @@
 
 // Internal physical-plan structures of the query layer: what
 // QueryBuilder::Build compiles a declarative query into, and what the
-// executors in exec.cc / fused.cc / semi_join.cc consume. Nothing here is
+// executors in exec.cc / fused.cc / dag_exec.cc consume. Nothing here is
 // part of the public API surface (query.h re-exports only the handles).
 
 #include <cstdint>
@@ -31,6 +31,30 @@ enum class ExecStrategy : uint8_t {
   kFusedGrouped,
   kGroupedVec,
   kVectorized,
+  /// Operator DAG (query/dag.h): scans feeding partitioned hash joins,
+  /// hash aggregation, window functions and sort/top-k through
+  /// spill-capable tuple stores. Everything the fast paths cannot shape.
+  kDag,
+};
+
+/// Join types of the DAG's partitioned hash join.
+enum class JoinType : uint8_t {
+  kInner,
+  kLeftSemi,   ///< Probe row kept iff some build row matches.
+  kLeftAnti,   ///< Probe row kept iff no build row matches.
+  kLeftOuter,  ///< Unmatched probe rows padded with zeroed build columns.
+};
+
+/// Window function kinds (whole-partition frame; see QueryBuilder::
+/// Window).
+enum class WinFn : uint8_t {
+  kRank,
+  kRowNumber,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kCount,
 };
 
 /// Hard budget on a plan's accumulator slots (groups x aggregates,
@@ -57,8 +81,16 @@ enum class AggForm : uint8_t {
   kExpr,
 };
 
-/// Declared aggregate kinds (public builder surface).
-enum class AggKind : uint8_t { kSum, kCount, kAvg, kMin, kMax };
+/// Declared aggregate kinds (public builder surface). kCountDistinct is
+/// DAG-only: the fused fast paths carry no per-group distinct sets.
+enum class AggKind : uint8_t {
+  kSum,
+  kCount,
+  kAvg,
+  kMin,
+  kMax,
+  kCountDistinct,
+};
 
 /// A filter term of the shape `column <op> const-expr`, canonicalized to a
 /// typed interval. Bounds are const expressions (literals, params, and
@@ -200,6 +232,8 @@ struct FusedLookup {
 FusedLookup FindFusedKernel(const std::vector<AggForm>& forms, size_t nkeys,
                             const std::vector<uint16_t>& pattern);
 
+struct DagPlan;
+
 /// The immutable compiled plan behind a Query handle.
 struct CompiledQuery {
   storage::Table* table = nullptr;
@@ -220,6 +254,13 @@ struct CompiledQuery {
   /// Column index per value slot of the fused kernel's operand array
   /// (deduplicated when an operand-sharing pattern matched).
   std::vector<uint16_t> fused_vals;
+  /// Operator-DAG lowering of the same declaration (query/dag.h). Set on
+  /// every plan: kDag strategies execute it, fast-path strategies keep it
+  /// for ExecOptions::force_dag differential runs.
+  std::shared_ptr<const DagPlan> dag;
+  /// Every parameter name the plan (and its sub-plans) can bind, sorted:
+  /// Execute rejects bindings outside this set as recoverable errors.
+  std::vector<std::string> param_names;
 };
 
 /// ---- shared helpers (plan.cc) -------------------------------------------

@@ -4,6 +4,8 @@
 #include <limits>
 #include <map>
 
+#include "query/dag.h"
+
 namespace anker::query {
 
 Params& Params::SetInt(const std::string& name, int64_t value) {
@@ -41,6 +43,33 @@ Agg Count() { return Agg(AggKind::kCount, Expr()); }
 Agg Avg(Expr expr) { return Agg(AggKind::kAvg, std::move(expr)); }
 Agg Min(Expr expr) { return Agg(AggKind::kMin, std::move(expr)); }
 Agg Max(Expr expr) { return Agg(AggKind::kMax, std::move(expr)); }
+Agg CountDistinct(Expr expr) {
+  return Agg(AggKind::kCountDistinct, std::move(expr));
+}
+
+WindowDef WinRank(std::string name) {
+  return WindowDef{std::move(name), WinFn::kRank, Expr()};
+}
+WindowDef WinRowNumber(std::string name) {
+  return WindowDef{std::move(name), WinFn::kRowNumber, Expr()};
+}
+WindowDef WinCount(std::string name) {
+  return WindowDef{std::move(name), WinFn::kCount, Expr()};
+}
+WindowDef WinSum(Expr input, std::string name) {
+  return WindowDef{std::move(name), WinFn::kSum, std::move(input)};
+}
+WindowDef WinAvg(Expr input, std::string name) {
+  return WindowDef{std::move(name), WinFn::kAvg, std::move(input)};
+}
+WindowDef WinMin(Expr input, std::string name) {
+  return WindowDef{std::move(name), WinFn::kMin, std::move(input)};
+}
+WindowDef WinMax(Expr input, std::string name) {
+  return WindowDef{std::move(name), WinFn::kMax, std::move(input)};
+}
+
+JoinInput::JoinInput(const Query& sub) : sub_(sub.shared_plan()) {}
 
 double QueryResult::Value(const std::string& name) const {
   ANKER_CHECK_MSG(!rows.empty(), "QueryResult::Value on empty result");
@@ -52,6 +81,9 @@ double QueryResult::Value(const std::string& name) const {
 }
 
 QueryBuilder Query::On(storage::Table* table) { return QueryBuilder(table); }
+QueryBuilder Query::On(const Query& sub) { return QueryBuilder(sub); }
+
+QueryBuilder::QueryBuilder(const Query& sub) : sub_(sub.shared_plan()) {}
 
 QueryBuilder& QueryBuilder::Filter(Expr predicate) {
   filter_ = filter_.valid() ? (std::move(filter_) && std::move(predicate))
@@ -67,6 +99,83 @@ QueryBuilder& QueryBuilder::Aggregate(std::vector<Agg> aggs) {
 QueryBuilder& QueryBuilder::GroupBy(std::vector<std::string> columns) {
   for (std::string& name : columns) group_by_.push_back(std::move(name));
   return *this;
+}
+
+QueryBuilder& QueryBuilder::Join(JoinInput build, JoinType type,
+                                 std::vector<std::string> probe_keys,
+                                 std::vector<std::string> build_keys,
+                                 Expr residual) {
+  joins_.push_back(JoinClause{std::move(build), type, std::move(probe_keys),
+                              std::move(build_keys), std::move(residual)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Having(Expr predicate) {
+  having_ = having_.valid() ? (std::move(having_) && std::move(predicate))
+                            : std::move(predicate);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Window(std::vector<WindowDef> funcs,
+                                   std::vector<std::string> partition_by,
+                                   std::vector<SortSpec> order) {
+  has_window_ = true;
+  for (WindowDef& def : funcs) win_funcs_.push_back(std::move(def));
+  win_partition_ = std::move(partition_by);
+  win_order_ = std::move(order);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::PostFilter(Expr predicate) {
+  post_filter_ = post_filter_.valid()
+                     ? (std::move(post_filter_) && std::move(predicate))
+                     : std::move(predicate);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Select(std::vector<SelectItem> items) {
+  for (SelectItem& item : items) select_.push_back(std::move(item));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::OrderBy(std::vector<SortSpec> keys) {
+  for (SortSpec& key : keys) order_by_.push_back(std::move(key));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Limit(int64_t n) {
+  limit_ = n;
+  return *this;
+}
+
+bool QueryBuilder::NeedsDag() const {
+  if (sub_ != nullptr || !joins_.empty() || having_.valid() || has_window_ ||
+      post_filter_.valid() || !select_.empty() || !order_by_.empty() ||
+      limit_ >= 0 || aggs_.empty()) {
+    return true;
+  }
+  for (const Agg& agg : aggs_) {
+    if (agg.kind() == AggKind::kCountDistinct) return true;
+  }
+  return false;
+}
+
+Result<Query> QueryBuilder::Build() const {
+  // The DAG lowering performs the full name / type validation for every
+  // declarable shape, so it runs first unconditionally; its plan also
+  // backs force_dag differential runs and server-side recompilation.
+  auto dag = BuildDagQuery(*this);
+  if (!dag.ok()) return dag.status();
+  if (NeedsDag()) return dag;
+  // Single-table filtered-aggregate shape: try the fused / vectorized
+  // kernels and graft the DAG plan on for force_dag; shapes those kernels
+  // reject (non-dict group keys, wide domains) run as a DAG instead.
+  auto fast = BuildFastPath();
+  if (!fast.ok()) return dag;
+  std::shared_ptr<CompiledQuery> plan = fast.TakeValue();
+  plan->dag = dag.value().plan().dag;
+  plan->param_names = dag.value().plan().param_names;
+  return Query(std::shared_ptr<const CompiledQuery>(std::move(plan)));
 }
 
 namespace {
@@ -316,7 +425,7 @@ class VecCompiler {
 
 }  // namespace
 
-Result<Query> QueryBuilder::Build() const {
+Result<std::shared_ptr<CompiledQuery>> QueryBuilder::BuildFastPath() const {
   if (table_ == nullptr) {
     return Status::InvalidArgument("Query::On requires a table");
   }
@@ -442,6 +551,16 @@ Result<Query> QueryBuilder::Build() const {
         std::to_string(kMaxTotalSlots) + " slots)");
   }
 
+  // A plan referencing no column at all (bare unfiltered count) still
+  // needs one scan spine: the driver takes row count and block metadata
+  // from its readers. Same fallback as the DAG's BuildTableScan.
+  if (cols.columns().empty()) {
+    if (table_->schema().empty()) {
+      return Status::InvalidArgument("table '" + table_->name() +
+                                     "' has no columns");
+    }
+    ANKER_RETURN_IF_ERROR(cols.Use(table_->schema()[0].name).status());
+  }
   plan->columns = cols.columns();
   plan->column_types = cols.types();
 
@@ -494,7 +613,7 @@ Result<Query> QueryBuilder::Build() const {
                                             : ExecStrategy::kGroupedVec;
   }
 
-  return Query(std::move(plan));
+  return plan;
 }
 
 }  // namespace anker::query

@@ -2,20 +2,29 @@
 #define ANKER_QUERY_QUERY_H_
 
 // The composable query surface of the engine: typed expression trees
-// (query/expr.h) assembled into declarative scan pipelines that compile
-// onto the engine's block-specialized scan kernels. A workload becomes a
-// ~10-line definition instead of a hand-rolled fold:
+// (query/expr.h) assembled into declarative pipelines that compile onto a
+// physical operator DAG — morsel-parallel scans, partitioned hash joins,
+// hash aggregation, window functions and sort/top-k — or, for the
+// single-table filtered-aggregate shapes, directly onto the engine's
+// block-specialized scan kernels. A workload becomes a ~10-line
+// definition instead of a hand-rolled fold:
 //
 //   auto q = Query::On(lineitem)
-//                .Filter(Col("l_shipdate") <= Param("cutoff", kDate))
-//                .Aggregate({Sum(Col("l_quantity")).As("sum_qty"),
-//                            Count().As("n")})
-//                .GroupBy({"l_returnflag", "l_linestatus"})
+//                .Filter(Col("l_shipdate") > Param("cutoff", kDate))
+//                .Join({orders, Col("o_orderdate") < Param("cutoff2",
+//                                                          kDate)},
+//                      JoinType::kInner, {"l_orderkey"}, {"o_orderkey"})
+//                .Aggregate({Sum(Col("l_extendedprice") *
+//                                (F64(1.0) - Col("l_discount")))
+//                                .As("revenue")})
+//                .GroupBy({"l_orderkey"})
+//                .OrderBy({{"revenue", true}})
+//                .Limit(10)
 //                .Build();
-//   auto result = db.Run(q.value(), Params().SetDate("cutoff", 2436));
+//   auto result = db.Run(q.value(), Params().SetDate("cutoff", 2436)...);
 //
 // See docs/QUERY_API.md for the full builder reference and the lowering
-// rules onto the fused / vectorized kernels.
+// rules onto the fused / vectorized kernels and the operator DAG.
 
 #include <cstdint>
 #include <map>
@@ -31,6 +40,9 @@ namespace anker::query {
 
 /// Per-execution parameter bindings for Param() placeholders. Chainable:
 ///   Params().SetDate("start", 800).SetDouble("disc", 0.05)
+/// Binding a name the plan never references is reported by Execute /
+/// Database::Run as a recoverable InvalidArgument (a typo'd parameter
+/// name must not silently bind nothing).
 class Params {
  public:
   Params& SetInt(const std::string& name, int64_t value);
@@ -92,19 +104,89 @@ Agg Count();
 Agg Avg(Expr expr);
 Agg Min(Expr expr);
 Agg Max(Expr expr);
+/// Number of distinct values of `expr` per group (DAG-only: the fused
+/// fast paths never carry per-group distinct sets).
+Agg CountDistinct(Expr expr);
 
-/// Result of one query execution: named aggregate slots per group row,
-/// plus the scan statistics of the underlying fold. Ungrouped queries
-/// yield exactly one row with empty key codes; grouped queries yield one
-/// row per non-empty group, ordered by packed key.
+/// Sort key of OrderBy / window ordering: column name of the stage's
+/// output schema plus direction.
+struct SortSpec {
+  std::string column;
+  bool desc = false;
+};
+
+/// One window function declaration. Aggregate functions (sum/avg/min/
+/// max/count) are computed over the whole partition (no frame); kRank /
+/// kRowNumber additionally need the window's order keys.
+struct WindowDef {
+  std::string name;
+  WinFn fn = WinFn::kCount;
+  Expr input;  ///< Invalid for kRank / kRowNumber / kCount.
+};
+
+WindowDef WinRank(std::string name);
+WindowDef WinRowNumber(std::string name);
+WindowDef WinCount(std::string name);
+WindowDef WinSum(Expr input, std::string name);
+WindowDef WinAvg(Expr input, std::string name);
+WindowDef WinMin(Expr input, std::string name);
+WindowDef WinMax(Expr input, std::string name);
+
+/// One output column of a Select projection: a column of the current
+/// schema, optionally renamed (the aliasing point for self-joins).
+struct SelectItem {
+  std::string column;
+  std::string alias;  ///< Empty = keep the source name.
+};
+
+class Query;
+
+/// Build side of a Join: a base table (optionally pre-filtered — the
+/// filter runs inside the build scan) or a finished sub-query.
+class JoinInput {
+ public:
+  JoinInput(storage::Table* table) : table_(table) {}  // NOLINT: implicit.
+  JoinInput(storage::Table* table, Expr filter)
+      : table_(table), filter_(std::move(filter)) {}
+  JoinInput(const Query& sub);  // NOLINT: implicit.
+
+  storage::Table* table() const { return table_; }
+  const Expr& filter() const { return filter_; }
+  const std::shared_ptr<const CompiledQuery>& sub() const { return sub_; }
+
+ private:
+  storage::Table* table_ = nullptr;
+  Expr filter_;
+  std::shared_ptr<const CompiledQuery> sub_;
+};
+
+/// Per-execution knobs of Execute / Database::Run. Defaults match the
+/// plain overloads.
+struct ExecOptions {
+  /// Run through the operator DAG even when the plan compiled onto a
+  /// fused / vectorized fast path (differential testing).
+  bool force_dag = false;
+  /// Memory budget of one execution's intermediate tuple stores; above
+  /// it, completed chunks spill to anonymous temporary files.
+  size_t spill_threshold_bytes = size_t{256} << 20;
+  /// Overrides the transaction's scan options (thread pool, morsel size,
+  /// test hooks) for every scan of this execution.
+  const engine::ScanOptions* scan_options = nullptr;
+};
+
+/// Result of one query execution: named output columns per row, plus the
+/// scan statistics of the underlying folds. Double-typed outputs land in
+/// `values`; integer-domain outputs (group keys, dictionary codes, dates,
+/// int64 projections) land in `keys`, typed by `key_types`.
 struct QueryResult {
   struct Row {
-    std::vector<uint32_t> keys;   ///< Dictionary codes of the group key.
-    std::vector<double> values;   ///< One per declared aggregate.
+    std::vector<uint64_t> keys;   ///< Integer-domain outputs (see key_types).
+    std::vector<double> values;   ///< Double-typed outputs.
   };
 
-  std::vector<std::string> columns;    ///< Aggregate names (declared order).
-  std::vector<std::string> key_names;  ///< Group-by column names.
+  std::vector<std::string> columns;    ///< Names of the double outputs.
+  std::vector<std::string> key_names;  ///< Names of the integer outputs.
+  std::vector<ExprType> key_types;     ///< One per key column.
   std::vector<Row> rows;
   uint64_t rows_scanned = 0;
   engine::ScanStats scan;
@@ -122,50 +204,131 @@ class Query {
 
   /// Entry point of the builder chain.
   static class QueryBuilder On(storage::Table* table);
+  /// Pipelines over the rows another query produces (sub-query input).
+  static class QueryBuilder On(const Query& sub);
 
   bool valid() const { return plan_ != nullptr; }
   storage::Table* table() const { return plan_->table; }
-  /// Every column the query touches — the engine materializes snapshots
-  /// for exactly this set (fine-granular, per-column snapshotting).
+  /// Every column the query touches, across all of its scans — the engine
+  /// materializes snapshots for exactly this set.
   const std::vector<storage::Column*>& columns() const {
     return plan_->columns;
   }
   ExecStrategy strategy() const { return plan_->strategy; }
 
   const CompiledQuery& plan() const { return *plan_; }
+  const std::shared_ptr<const CompiledQuery>& shared_plan() const {
+    return plan_;
+  }
 
  private:
   friend class QueryBuilder;
+  friend Result<Query> BuildDagQuery(const QueryBuilder& builder);
   explicit Query(std::shared_ptr<const CompiledQuery> plan)
       : plan_(std::move(plan)) {}
   std::shared_ptr<const CompiledQuery> plan_;
 };
 
 /// Collects the declarative pieces; Build() type-checks against the
-/// table's schema and lowers onto a physical strategy.
+/// schemas involved and lowers onto a physical strategy: the fused /
+/// vectorized single-table kernels when the shape allows, the operator
+/// DAG otherwise. Stage order is fixed: input -> joins (declaration
+/// order) -> aggregate -> having -> window -> PostFilter -> Select ->
+/// OrderBy -> Limit. Filter() conjuncts are pushed to the earliest stage
+/// whose schema covers their columns (base scan, or after some join).
+/// Column names must be unambiguous across every input; rename through a
+/// Select in a sub-query where they are not (self-joins).
 class QueryBuilder {
  public:
   explicit QueryBuilder(storage::Table* table) : table_(table) {}
+  explicit QueryBuilder(const Query& sub);
 
   /// Adds a filter; multiple calls conjoin.
   QueryBuilder& Filter(Expr predicate);
-  /// Declares the aggregate outputs (required; appends).
+  /// Declares the aggregate outputs (appends).
   QueryBuilder& Aggregate(std::vector<Agg> aggs);
-  /// Groups by dictionary-encoded columns with small code domains; the
-  /// packed key domain (product of rounded-up code domains) must stay
-  /// within 1024 groups.
+  /// Groups the aggregates. The DAG's hash aggregation takes keys of any
+  /// type; the fused fast paths additionally require dictionary columns
+  /// with small packed domains.
   QueryBuilder& GroupBy(std::vector<std::string> columns);
 
+  /// Hash-joins the pipeline (probe side) against `build`. Key lists are
+  /// positional pairs of equal length and matching types. `residual` is
+  /// an extra boolean over the combined probe+build schema evaluated per
+  /// candidate pair (non-equi conditions). Inner and left-outer joins
+  /// append the build columns (minus its keys) to the schema; left-outer
+  /// additionally appends an int64 `__matched` flag (0 for the padded
+  /// probe-only rows, whose build columns are zeroed). Semi/anti joins
+  /// keep the probe schema only.
+  QueryBuilder& Join(JoinInput build, JoinType type,
+                     std::vector<std::string> probe_keys,
+                     std::vector<std::string> build_keys,
+                     Expr residual = Expr());
+
+  /// Filters groups after aggregation (over group keys + agg outputs).
+  QueryBuilder& Having(Expr predicate);
+
+  /// Appends window function outputs: every function is computed per
+  /// partition (whole-partition frame), with kRank / kRowNumber ordered
+  /// by `order`.
+  QueryBuilder& Window(std::vector<WindowDef> funcs,
+                       std::vector<std::string> partition_by,
+                       std::vector<SortSpec> order = {});
+
+  /// Filters rows after aggregation and window functions (may reference
+  /// window outputs).
+  QueryBuilder& PostFilter(Expr predicate);
+
+  /// Projects (and renames) the output schema. A query must declare
+  /// aggregates, a Select, or both.
+  QueryBuilder& Select(std::vector<SelectItem> items);
+
+  /// Sorts the final rows. Deterministic: ties break by the full row, so
+  /// top-k results are stable across execution strategies.
+  QueryBuilder& OrderBy(std::vector<SortSpec> keys);
+
+  /// Keeps the first `n` rows (after OrderBy when present).
+  QueryBuilder& Limit(int64_t n);
+
   /// Type-checks and compiles. Errors: NotFound (unknown column),
-  /// InvalidArgument (type errors, non-boolean filter, duplicate names),
-  /// NotSupported (group domain too large, too many columns/temps).
+  /// InvalidArgument (type errors, non-boolean filter, duplicate or
+  /// ambiguous names, key list mismatches), NotSupported (unsupported
+  /// shapes).
   Result<Query> Build() const;
 
+  /// One collected Join clause (consumed by the DAG lowering).
+  struct JoinClause {
+    JoinInput input;
+    JoinType type = JoinType::kInner;
+    std::vector<std::string> probe_keys;
+    std::vector<std::string> build_keys;
+    Expr residual;
+  };
+
  private:
-  storage::Table* table_;
+  friend Result<Query> BuildDagQuery(const QueryBuilder& builder);
+
+  /// The original single-table filtered-aggregate lowering (fused /
+  /// vectorized strategies). Fails on shapes only the DAG handles.
+  Result<std::shared_ptr<CompiledQuery>> BuildFastPath() const;
+  /// True when the declared shape can only run as a DAG.
+  bool NeedsDag() const;
+
+  storage::Table* table_ = nullptr;
+  std::shared_ptr<const CompiledQuery> sub_;
   Expr filter_;
   std::vector<Agg> aggs_;
   std::vector<std::string> group_by_;
+  std::vector<JoinClause> joins_;
+  Expr having_;
+  bool has_window_ = false;
+  std::vector<WindowDef> win_funcs_;
+  std::vector<std::string> win_partition_;
+  std::vector<SortSpec> win_order_;
+  Expr post_filter_;
+  std::vector<SelectItem> select_;
+  std::vector<SortSpec> order_by_;
+  int64_t limit_ = -1;
 };
 
 /// Executes a compiled query inside an existing OLAP transaction whose
@@ -174,6 +337,9 @@ class QueryBuilder {
 /// infers the column set.
 Status Execute(const Query& query, const engine::OlapContext& ctx,
                const Params& params, QueryResult* result);
+Status Execute(const Query& query, const engine::OlapContext& ctx,
+               const Params& params, const ExecOptions& options,
+               QueryResult* result);
 
 }  // namespace anker::query
 

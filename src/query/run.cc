@@ -3,19 +3,19 @@
 // types) so the engine target carries no compile-time dependency on the
 // query surface.
 #include "query/query.h"
-#include "query/semi_join.h"
 
 namespace anker::engine {
 
 namespace {
 
-template <typename QueryT>
-Result<query::QueryResult> RunImpl(Database* db, const QueryT& q,
-                                   const query::Params& params) {
+Result<query::QueryResult> RunImpl(Database* db, const query::Query& q,
+                                   const query::Params& params,
+                                   const query::ExecOptions& options) {
   auto ctx = db->BeginOlap(q.columns());
   if (!ctx.ok()) return ctx.status();
   query::QueryResult result;
-  const Status executed = query::Execute(q, *ctx.value(), params, &result);
+  const Status executed =
+      query::Execute(q, *ctx.value(), params, options, &result);
   const Status finished = db->FinishOlap(ctx.TakeValue());
   if (!executed.ok()) return executed;
   if (!finished.ok()) return finished;
@@ -26,12 +26,13 @@ Result<query::QueryResult> RunImpl(Database* db, const QueryT& q,
 
 Result<query::QueryResult> Database::Run(const query::Query& q,
                                          const query::Params& params) {
-  return RunImpl(this, q, params);
+  return RunImpl(this, q, params, query::ExecOptions());
 }
 
-Result<query::QueryResult> Database::Run(const query::SemiJoinQuery& q,
-                                         const query::Params& params) {
-  return RunImpl(this, q, params);
+Result<query::QueryResult> Database::Run(const query::Query& q,
+                                         const query::Params& params,
+                                         const query::ExecOptions& options) {
+  return RunImpl(this, q, params, options);
 }
 
 }  // namespace anker::engine

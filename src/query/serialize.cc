@@ -33,7 +33,15 @@ bool ValidExprType(uint8_t type) {
 }
 
 bool ValidAggKind(uint8_t kind) {
-  return kind <= static_cast<uint8_t>(AggKind::kMax);
+  return kind <= static_cast<uint8_t>(AggKind::kCountDistinct);
+}
+
+bool ValidJoinType(uint8_t type) {
+  return type <= static_cast<uint8_t>(JoinType::kLeftOuter);
+}
+
+bool ValidWinFn(uint8_t fn) {
+  return fn <= static_cast<uint8_t>(WinFn::kCount);
 }
 
 Status EncodeNode(const ExprNode* node, size_t depth, size_t* budget,
@@ -126,91 +134,326 @@ Status DecodeExpr(std::string_view* in, Expr* expr) {
   return Status::OK();
 }
 
-Status EncodeWireQuery(const WireQuery& query, std::string* out) {
-  if (query.aggs.size() > kMaxWireQueryLists ||
-      query.group_by.size() > kMaxWireQueryLists) {
+namespace {
+
+/// Optional-expression framing: presence byte, then the tree.
+Status PutOptExpr(const Expr& expr, std::string* out) {
+  PutU8(out, expr.valid() ? 1 : 0);
+  if (expr.valid()) ANKER_RETURN_IF_ERROR(EncodeExpr(expr, out));
+  return Status::OK();
+}
+
+Status GetOptExpr(std::string_view* in, Expr* expr) {
+  uint8_t has = 0;
+  if (!GetU8(in, &has)) return Truncated();
+  if (has > 1) {
+    return Status::InvalidArgument("bad presence tag on the wire");
+  }
+  if (has == 1) ANKER_RETURN_IF_ERROR(DecodeExpr(in, expr));
+  return Status::OK();
+}
+
+Status PutNameList(const std::vector<std::string>& names, std::string* out) {
+  if (names.size() > kMaxWireQueryLists) {
     return Status::InvalidArgument("wire query lists too large");
   }
-  PutString(out, query.table);
-  PutU8(out, query.filter.valid() ? 1 : 0);
-  if (query.filter.valid()) {
-    ANKER_RETURN_IF_ERROR(EncodeExpr(query.filter, out));
+  PutU32(out, static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) PutString(out, name);
+  return Status::OK();
+}
+
+Status GetNameList(std::string_view* in, std::vector<std::string>* names) {
+  uint32_t count = 0;
+  if (!GetU32(in, &count)) return Truncated();
+  if (count > kMaxWireQueryLists) {
+    return Status::InvalidArgument("wire query lists too large");
   }
-  PutU32(out, static_cast<uint32_t>(query.aggs.size()));
-  for (const Agg& agg : query.aggs) {
-    PutU8(out, static_cast<uint8_t>(agg.kind()));
-    PutString(out, agg.name());
-    PutU8(out, agg.expr().valid() ? 1 : 0);
-    if (agg.expr().valid()) {
-      ANKER_RETURN_IF_ERROR(EncodeExpr(agg.expr(), out));
-    }
-  }
-  PutU32(out, static_cast<uint32_t>(query.group_by.size()));
-  for (const std::string& column : query.group_by) {
-    PutString(out, column);
+  names->clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!GetString(in, &name)) return Truncated();
+    names->push_back(std::move(name));
   }
   return Status::OK();
 }
 
-Status DecodeWireQuery(std::string_view* in, WireQuery* query) {
+Status PutSortList(const std::vector<SortSpec>& keys, std::string* out) {
+  if (keys.size() > kMaxWireQueryLists) {
+    return Status::InvalidArgument("wire query lists too large");
+  }
+  PutU32(out, static_cast<uint32_t>(keys.size()));
+  for (const SortSpec& key : keys) {
+    PutString(out, key.column);
+    PutU8(out, key.desc ? 1 : 0);
+  }
+  return Status::OK();
+}
+
+Status GetSortList(std::string_view* in, std::vector<SortSpec>* keys) {
+  uint32_t count = 0;
+  if (!GetU32(in, &count)) return Truncated();
+  if (count > kMaxWireQueryLists) {
+    return Status::InvalidArgument("wire query lists too large");
+  }
+  keys->clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    SortSpec key;
+    uint8_t desc = 0;
+    if (!GetString(in, &key.column) || !GetU8(in, &desc)) return Truncated();
+    if (desc > 1) {
+      return Status::InvalidArgument("bad sort direction tag on the wire");
+    }
+    key.desc = desc == 1;
+    keys->push_back(std::move(key));
+  }
+  return Status::OK();
+}
+
+Status EncodeWireQueryInner(const WireQuery& query, size_t depth,
+                            std::string* out) {
+  if (depth > kMaxWireQueryDepth) {
+    return Status::InvalidArgument("wire query nests too deep");
+  }
+  if (query.aggs.size() > kMaxWireQueryLists ||
+      query.joins.size() > kMaxWireQueryLists ||
+      query.win_funcs.size() > kMaxWireQueryLists ||
+      query.select.size() > kMaxWireQueryLists) {
+    return Status::InvalidArgument("wire query lists too large");
+  }
+  PutString(out, query.table);
+  PutU8(out, query.sub != nullptr ? 1 : 0);
+  if (query.sub != nullptr) {
+    ANKER_RETURN_IF_ERROR(EncodeWireQueryInner(*query.sub, depth + 1, out));
+  }
+  ANKER_RETURN_IF_ERROR(PutOptExpr(query.filter, out));
+  PutU32(out, static_cast<uint32_t>(query.aggs.size()));
+  for (const Agg& agg : query.aggs) {
+    PutU8(out, static_cast<uint8_t>(agg.kind()));
+    PutString(out, agg.name());
+    ANKER_RETURN_IF_ERROR(PutOptExpr(agg.expr(), out));
+  }
+  ANKER_RETURN_IF_ERROR(PutNameList(query.group_by, out));
+  // ---- v2: the operator-DAG surface ----
+  PutU32(out, static_cast<uint32_t>(query.joins.size()));
+  for (const WireJoin& join : query.joins) {
+    PutU8(out, join.input.sub != nullptr ? 1 : 0);
+    if (join.input.sub != nullptr) {
+      ANKER_RETURN_IF_ERROR(
+          EncodeWireQueryInner(*join.input.sub, depth + 1, out));
+    } else {
+      PutString(out, join.input.table);
+      ANKER_RETURN_IF_ERROR(PutOptExpr(join.input.filter, out));
+    }
+    PutU8(out, static_cast<uint8_t>(join.type));
+    ANKER_RETURN_IF_ERROR(PutNameList(join.probe_keys, out));
+    ANKER_RETURN_IF_ERROR(PutNameList(join.build_keys, out));
+    ANKER_RETURN_IF_ERROR(PutOptExpr(join.residual, out));
+  }
+  ANKER_RETURN_IF_ERROR(PutOptExpr(query.having, out));
+  PutU8(out, query.has_window ? 1 : 0);
+  if (query.has_window) {
+    PutU32(out, static_cast<uint32_t>(query.win_funcs.size()));
+    for (const WindowDef& def : query.win_funcs) {
+      PutU8(out, static_cast<uint8_t>(def.fn));
+      PutString(out, def.name);
+      ANKER_RETURN_IF_ERROR(PutOptExpr(def.input, out));
+    }
+    ANKER_RETURN_IF_ERROR(PutNameList(query.win_partition, out));
+    ANKER_RETURN_IF_ERROR(PutSortList(query.win_order, out));
+  }
+  ANKER_RETURN_IF_ERROR(PutOptExpr(query.post_filter, out));
+  PutU32(out, static_cast<uint32_t>(query.select.size()));
+  for (const SelectItem& item : query.select) {
+    PutString(out, item.column);
+    PutString(out, item.alias);
+  }
+  ANKER_RETURN_IF_ERROR(PutSortList(query.order_by, out));
+  PutU64(out, static_cast<uint64_t>(query.limit));
+  return Status::OK();
+}
+
+Status DecodeWireQueryInner(std::string_view* in, size_t depth,
+                            WireQuery* query) {
+  if (depth > kMaxWireQueryDepth) {
+    return Status::InvalidArgument("wire query nests too deep");
+  }
   *query = WireQuery();
-  uint8_t has_filter = 0;
-  if (!GetString(in, &query->table) || !GetU8(in, &has_filter)) {
+  uint8_t has_sub = 0;
+  if (!GetString(in, &query->table) || !GetU8(in, &has_sub)) {
     return Truncated();
   }
-  if (has_filter > 1) {
-    return Status::InvalidArgument("bad filter presence tag on the wire");
+  if (has_sub > 1) {
+    return Status::InvalidArgument("bad sub-query tag on the wire");
   }
-  if (has_filter == 1) {
-    ANKER_RETURN_IF_ERROR(DecodeExpr(in, &query->filter));
+  if (has_sub == 1) {
+    query->sub = std::make_shared<WireQuery>();
+    ANKER_RETURN_IF_ERROR(
+        DecodeWireQueryInner(in, depth + 1, query->sub.get()));
   }
+  ANKER_RETURN_IF_ERROR(GetOptExpr(in, &query->filter));
   uint32_t naggs = 0;
   if (!GetU32(in, &naggs)) return Truncated();
   if (naggs > kMaxWireQueryLists) {
     return Status::InvalidArgument("too many aggregates on the wire");
   }
   for (uint32_t i = 0; i < naggs; ++i) {
-    uint8_t kind = 0, has_expr = 0;
+    uint8_t kind = 0;
     std::string name;
-    if (!GetU8(in, &kind) || !GetString(in, &name) || !GetU8(in, &has_expr)) {
-      return Truncated();
-    }
+    if (!GetU8(in, &kind) || !GetString(in, &name)) return Truncated();
     if (!ValidAggKind(kind)) {
       return Status::InvalidArgument("unknown aggregate kind tag on the wire");
     }
-    if (has_expr > 1) {
-      return Status::InvalidArgument("bad aggregate expr tag on the wire");
-    }
     Expr expr;
-    if (has_expr == 1) {
-      ANKER_RETURN_IF_ERROR(DecodeExpr(in, &expr));
-    }
+    ANKER_RETURN_IF_ERROR(GetOptExpr(in, &expr));
     query->aggs.push_back(
         Agg(static_cast<AggKind>(kind), std::move(expr)).As(std::move(name)));
   }
-  uint32_t ngroup = 0;
-  if (!GetU32(in, &ngroup)) return Truncated();
-  if (ngroup > kMaxWireQueryLists) {
-    return Status::InvalidArgument("too many group-by columns on the wire");
+  ANKER_RETURN_IF_ERROR(GetNameList(in, &query->group_by));
+  // ---- v2: the operator-DAG surface ----
+  uint32_t njoins = 0;
+  if (!GetU32(in, &njoins)) return Truncated();
+  if (njoins > kMaxWireQueryLists) {
+    return Status::InvalidArgument("too many joins on the wire");
   }
-  for (uint32_t i = 0; i < ngroup; ++i) {
-    std::string column;
-    if (!GetString(in, &column)) return Truncated();
-    query->group_by.push_back(std::move(column));
+  for (uint32_t i = 0; i < njoins; ++i) {
+    WireJoin join;
+    uint8_t input_is_sub = 0;
+    if (!GetU8(in, &input_is_sub)) return Truncated();
+    if (input_is_sub > 1) {
+      return Status::InvalidArgument("bad join input tag on the wire");
+    }
+    if (input_is_sub == 1) {
+      join.input.sub = std::make_shared<WireQuery>();
+      ANKER_RETURN_IF_ERROR(
+          DecodeWireQueryInner(in, depth + 1, join.input.sub.get()));
+    } else {
+      if (!GetString(in, &join.input.table)) return Truncated();
+      ANKER_RETURN_IF_ERROR(GetOptExpr(in, &join.input.filter));
+    }
+    uint8_t type = 0;
+    if (!GetU8(in, &type)) return Truncated();
+    if (!ValidJoinType(type)) {
+      return Status::InvalidArgument("unknown join type tag on the wire");
+    }
+    join.type = static_cast<JoinType>(type);
+    ANKER_RETURN_IF_ERROR(GetNameList(in, &join.probe_keys));
+    ANKER_RETURN_IF_ERROR(GetNameList(in, &join.build_keys));
+    ANKER_RETURN_IF_ERROR(GetOptExpr(in, &join.residual));
+    query->joins.push_back(std::move(join));
+  }
+  ANKER_RETURN_IF_ERROR(GetOptExpr(in, &query->having));
+  uint8_t has_window = 0;
+  if (!GetU8(in, &has_window)) return Truncated();
+  if (has_window > 1) {
+    return Status::InvalidArgument("bad window tag on the wire");
+  }
+  query->has_window = has_window == 1;
+  if (query->has_window) {
+    uint32_t nfuncs = 0;
+    if (!GetU32(in, &nfuncs)) return Truncated();
+    if (nfuncs > kMaxWireQueryLists) {
+      return Status::InvalidArgument("too many window functions on the wire");
+    }
+    for (uint32_t i = 0; i < nfuncs; ++i) {
+      WindowDef def;
+      uint8_t fn = 0;
+      if (!GetU8(in, &fn) || !GetString(in, &def.name)) return Truncated();
+      if (!ValidWinFn(fn)) {
+        return Status::InvalidArgument(
+            "unknown window function tag on the wire");
+      }
+      def.fn = static_cast<WinFn>(fn);
+      ANKER_RETURN_IF_ERROR(GetOptExpr(in, &def.input));
+      query->win_funcs.push_back(std::move(def));
+    }
+    ANKER_RETURN_IF_ERROR(GetNameList(in, &query->win_partition));
+    ANKER_RETURN_IF_ERROR(GetSortList(in, &query->win_order));
+  }
+  ANKER_RETURN_IF_ERROR(GetOptExpr(in, &query->post_filter));
+  uint32_t nselect = 0;
+  if (!GetU32(in, &nselect)) return Truncated();
+  if (nselect > kMaxWireQueryLists) {
+    return Status::InvalidArgument("too many select items on the wire");
+  }
+  for (uint32_t i = 0; i < nselect; ++i) {
+    SelectItem item;
+    if (!GetString(in, &item.column) || !GetString(in, &item.alias)) {
+      return Truncated();
+    }
+    query->select.push_back(std::move(item));
+  }
+  ANKER_RETURN_IF_ERROR(GetSortList(in, &query->order_by));
+  uint64_t limit = 0;
+  if (!GetU64(in, &limit)) return Truncated();
+  query->limit = static_cast<int64_t>(limit);
+  if (query->limit < -1) {
+    return Status::InvalidArgument("bad limit on the wire");
   }
   return Status::OK();
 }
 
+Result<Query> CompileWireQueryInner(const WireQuery& query,
+                                    const storage::Catalog& catalog,
+                                    size_t depth) {
+  if (depth > kMaxWireQueryDepth) {
+    return Status::InvalidArgument("wire query nests too deep");
+  }
+  std::unique_ptr<QueryBuilder> builder;
+  if (query.sub != nullptr) {
+    auto sub = CompileWireQueryInner(*query.sub, catalog, depth + 1);
+    if (!sub.ok()) return sub.status();
+    builder = std::make_unique<QueryBuilder>(sub.value());
+  } else {
+    if (!catalog.HasTable(query.table)) {
+      return Status::NotFound("unknown table: " + query.table);
+    }
+    builder = std::make_unique<QueryBuilder>(catalog.GetTable(query.table));
+  }
+  if (query.filter.valid()) builder->Filter(query.filter);
+  if (!query.aggs.empty()) builder->Aggregate(query.aggs);
+  if (!query.group_by.empty()) builder->GroupBy(query.group_by);
+  for (const WireJoin& join : query.joins) {
+    if (join.input.sub != nullptr) {
+      auto sub = CompileWireQueryInner(*join.input.sub, catalog, depth + 1);
+      if (!sub.ok()) return sub.status();
+      builder->Join(JoinInput(sub.value()), join.type, join.probe_keys,
+                    join.build_keys, join.residual);
+    } else {
+      if (!catalog.HasTable(join.input.table)) {
+        return Status::NotFound("unknown table: " + join.input.table);
+      }
+      storage::Table* build = catalog.GetTable(join.input.table);
+      builder->Join(join.input.filter.valid()
+                        ? JoinInput(build, join.input.filter)
+                        : JoinInput(build),
+                    join.type, join.probe_keys, join.build_keys,
+                    join.residual);
+    }
+  }
+  if (query.having.valid()) builder->Having(query.having);
+  if (query.has_window) {
+    builder->Window(query.win_funcs, query.win_partition, query.win_order);
+  }
+  if (query.post_filter.valid()) builder->PostFilter(query.post_filter);
+  if (!query.select.empty()) builder->Select(query.select);
+  if (!query.order_by.empty()) builder->OrderBy(query.order_by);
+  if (query.limit >= 0) builder->Limit(query.limit);
+  return builder->Build();
+}
+
+}  // namespace
+
+Status EncodeWireQuery(const WireQuery& query, std::string* out) {
+  return EncodeWireQueryInner(query, 0, out);
+}
+
+Status DecodeWireQuery(std::string_view* in, WireQuery* query) {
+  return DecodeWireQueryInner(in, 0, query);
+}
+
 Result<Query> CompileWireQuery(const WireQuery& query,
                                const storage::Catalog& catalog) {
-  if (!catalog.HasTable(query.table)) {
-    return Status::NotFound("unknown table: " + query.table);
-  }
-  QueryBuilder builder(catalog.GetTable(query.table));
-  if (query.filter.valid()) builder.Filter(query.filter);
-  builder.Aggregate(query.aggs);
-  if (!query.group_by.empty()) builder.GroupBy(query.group_by);
-  return builder.Build();
+  return CompileWireQueryInner(query, catalog, 0);
 }
 
 void EncodeParams(const Params& params, std::string* out) {

@@ -31,8 +31,11 @@ namespace anker::query {
 /// length field must not drive recursion depth or allocation size.
 inline constexpr size_t kMaxWireExprNodes = 4096;
 inline constexpr size_t kMaxWireExprDepth = 64;
-/// Upper bound on the declared aggregate / group-by list sizes.
+/// Upper bound on the declared aggregate / group-by / join / window /
+/// select / order list sizes.
 inline constexpr size_t kMaxWireQueryLists = 256;
+/// Sub-query nesting bound (pipeline inputs and join build sides).
+inline constexpr size_t kMaxWireQueryDepth = 4;
 
 /// Appends the encoding of `expr` (which must be valid) to `out`.
 /// Fails with InvalidArgument when the tree exceeds the wire limits.
@@ -43,13 +46,46 @@ Status EncodeExpr(const Expr& expr, std::string* out);
 /// tree exceeding the wire limits.
 Status DecodeExpr(std::string_view* in, Expr* expr);
 
+struct WireQuery;
+
+/// Build side of a wire Join: a named table (optionally pre-filtered) or
+/// a nested sub-query.
+struct WireJoinInput {
+  std::string table;  ///< Set iff `sub` is null.
+  Expr filter;        ///< Optional (table inputs only).
+  std::shared_ptr<WireQuery> sub;
+};
+
+/// One Join clause in transit (mirrors QueryBuilder::Join).
+struct WireJoin {
+  WireJoinInput input;
+  JoinType type = JoinType::kInner;
+  std::vector<std::string> probe_keys;
+  std::vector<std::string> build_keys;
+  Expr residual;  ///< Invalid handle = pure equi join.
+};
+
 /// A declarative query in transit: everything QueryBuilder needs, plus
-/// the table name to resolve against the destination catalog.
+/// the table name (or a nested sub-query input) to resolve against the
+/// destination catalog. The DAG surface (joins, having, window, post
+/// filter, select, order/limit) rides along since protocol v2; the
+/// single-table fields keep their v1 layout.
 struct WireQuery {
-  std::string table;
+  std::string table;  ///< Set iff `sub` is null.
+  std::shared_ptr<WireQuery> sub;
   Expr filter;  ///< Invalid handle = unfiltered scan.
   std::vector<Agg> aggs;
   std::vector<std::string> group_by;
+  std::vector<WireJoin> joins;
+  Expr having;  ///< Invalid handle = absent.
+  bool has_window = false;
+  std::vector<WindowDef> win_funcs;
+  std::vector<std::string> win_partition;
+  std::vector<SortSpec> win_order;
+  Expr post_filter;  ///< Invalid handle = absent.
+  std::vector<SelectItem> select;
+  std::vector<SortSpec> order_by;
+  int64_t limit = -1;  ///< -1 = unlimited.
 };
 
 Status EncodeWireQuery(const WireQuery& query, std::string* out);

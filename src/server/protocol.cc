@@ -310,7 +310,7 @@ void EncodeQueryBatch(const query::QueryResult& result, size_t row_begin,
   for (size_t r = row_begin; r < row_end; ++r) {
     const query::QueryResult::Row& row = result.rows[r];
     PutU32(out, static_cast<uint32_t>(row.keys.size()));
-    for (uint32_t key : row.keys) PutU32(out, key);
+    for (uint64_t key : row.keys) PutU64(out, key);
     PutU32(out, static_cast<uint32_t>(row.values.size()));
     for (double value : row.values) {
       PutU64(out, storage::EncodeDouble(value));
@@ -327,12 +327,12 @@ Status DecodeQueryBatch(std::string_view in, query::QueryResult* result) {
   for (uint32_t r = 0; r < nrows; ++r) {
     query::QueryResult::Row row;
     uint32_t nkeys = 0;
-    if (!GetU32(&in, &nkeys) || nkeys > in.size() / 4 + 1) return Truncated();
+    if (!GetU32(&in, &nkeys) || nkeys > in.size() / 8 + 1) return Truncated();
     row.keys.reserve(nkeys);
     for (uint32_t k = 0; k < nkeys; ++k) {
-      uint32_t code = 0;
-      if (!GetU32(&in, &code)) return Truncated();
-      row.keys.push_back(code);
+      uint64_t raw = 0;
+      if (!GetU64(&in, &raw)) return Truncated();
+      row.keys.push_back(raw);
     }
     uint32_t nvals = 0;
     if (!GetU32(&in, &nvals) || nvals > in.size() / 8 + 1) return Truncated();
@@ -353,6 +353,11 @@ void EncodeQueryDone(const query::QueryResult& result, std::string* out) {
   for (const std::string& name : result.columns) PutString(out, name);
   PutU32(out, static_cast<uint32_t>(result.key_names.size()));
   for (const std::string& name : result.key_names) PutString(out, name);
+  // One type tag per key column (v2: keys are typed 64-bit raws, not
+  // bare dictionary codes).
+  for (const query::ExprType type : result.key_types) {
+    PutU8(out, static_cast<uint8_t>(type));
+  }
   PutU64(out, result.rows_scanned);
   PutU64(out, static_cast<uint64_t>(result.rows.size()));
 }
@@ -377,6 +382,15 @@ Status DecodeQueryDone(std::string_view in, query::QueryResult* result) {
     std::string name;
     if (!GetString(&in, &name)) return Truncated();
     result->key_names.push_back(std::move(name));
+  }
+  result->key_types.clear();
+  for (uint32_t i = 0; i < nkeys; ++i) {
+    uint8_t tag = 0;
+    if (!GetU8(&in, &tag)) return Truncated();
+    if (tag > static_cast<uint8_t>(query::ExprType::kBool)) {
+      return Status::InvalidArgument("unknown key type tag");
+    }
+    result->key_types.push_back(static_cast<query::ExprType>(tag));
   }
   uint64_t total_rows = 0;
   if (!GetU64(&in, &result->rows_scanned) || !GetU64(&in, &total_rows)) {

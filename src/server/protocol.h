@@ -35,7 +35,10 @@ inline constexpr uint32_t kMaxFramePayload = 4u << 20;
 
 /// Protocol version exchanged in HELLO. The server refuses other
 /// versions; see docs/SERVER.md for the compatibility rules.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// v2: QUERY carries operator-DAG forms (joins, order/limit, window,
+/// select); QUERY_BATCH key slots widened to typed 64-bit raws and
+/// QUERY_DONE gained per-key type tags.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Magic the client opens HELLO with ("ANKRNET1", little-endian), so a
 /// stray connection speaking another protocol is rejected on byte one.

@@ -27,6 +27,22 @@ struct Domains {
   std::vector<std::string> brands;      // Brand#11 .. Brand#55
   std::vector<std::string> containers;  // e.g. "SM CASE"
   std::vector<std::string> types;       // e.g. "STANDARD ANODIZED TIN"
+  std::vector<std::string> segments{"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                    "HOUSEHOLD", "MACHINERY"};
+  std::vector<std::string> shipinstructs{"DELIVER IN PERSON", "COLLECT COD",
+                                         "NONE", "TAKE BACK RETURN"};
+  std::vector<std::string> colors{"almond", "azure",  "blue",   "chocolate",
+                                  "forest", "green",  "ivory",  "lavender",
+                                  "metal",  "peach",  "red",    "yellow"};
+  std::vector<std::string> regions{"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                   "MIDDLE EAST"};
+  std::vector<std::string> nations{
+      "ALGERIA",       "ARGENTINA", "BRAZIL",  "CANADA",  "EGYPT",
+      "ETHIOPIA",      "FRANCE",    "GERMANY", "INDIA",   "INDONESIA",
+      "IRAN",          "IRAQ",      "JAPAN",   "JORDAN",  "KENYA",
+      "MOROCCO",       "MOZAMBIQUE", "PERU",   "CHINA",   "ROMANIA",
+      "SAUDI ARABIA",  "VIETNAM",   "RUSSIA",  "UNITED KINGDOM",
+      "UNITED STATES"};
 
   Domains() {
     for (int m = 1; m <= 5; ++m) {
@@ -248,6 +264,193 @@ Result<TpchInstance> LoadTpch(engine::Database* db,
         ANKER_RETURN_IF_ERROR(li->primary_index()->Insert(
             LineitemKey(current_order, line), row));
       }
+    }
+  }
+
+  // ---- pass 2: dimension tables + surrogate columns ----------------------
+  // A second, independently seeded stream: the pass-1 draws above stay
+  // byte-identical to earlier revisions of the generator.
+  Rng rng2(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  instance.customer_rows = config.CustomerRows();
+  instance.supplier_rows = config.SupplierRows();
+  instance.partsupp_rows = config.PartsuppRows();
+  const int64_t supplier_rows =
+      static_cast<int64_t>(instance.supplier_rows);
+
+  // Register the full string domains on every dictionary column (appended
+  // after pass 1, so codes assigned there are unchanged): string-typed
+  // query parameters must resolve for any spec value, not just the ones a
+  // small instance happened to draw.
+  auto define_all = [](storage::Table* table, const char* column,
+                       const std::vector<std::string>& values) {
+    for (const std::string& v : values) {
+      table->GetDictionary(column)->GetOrAdd(v);
+    }
+  };
+  define_all(instance.part, "p_brand", domains.brands);
+  define_all(instance.part, "p_container", domains.containers);
+  define_all(instance.part, "p_type", domains.types);
+  define_all(instance.lineitem, "l_shipmode", domains.shipmodes);
+  define_all(instance.lineitem, "l_returnflag", domains.returnflags);
+  define_all(instance.lineitem, "l_linestatus", domains.linestatuses);
+  define_all(instance.orders, "o_orderstatus", domains.orderstatuses);
+  define_all(instance.orders, "o_orderpriority", domains.priorities);
+
+  // ---- REGION / NATION (fixed rows) --------------------------------------
+  {
+    auto table = db->CreateTable(kRegion, RegionSchema(),
+                                 domains.regions.size());
+    if (!table.ok()) return table.status();
+    instance.region = table.value();
+    for (size_t row = 0; row < domains.regions.size(); ++row) {
+      instance.region->GetColumn("r_regionkey")
+          ->LoadValue(row, EncodeInt64(static_cast<int64_t>(row)));
+      instance.region->GetColumn("r_name")
+          ->LoadValue(row, EncodeDict(Code(instance.region, "r_name",
+                                           domains.regions[row])));
+    }
+  }
+  {
+    auto table = db->CreateTable(kNation, NationSchema(),
+                                 domains.nations.size());
+    if (!table.ok()) return table.status();
+    instance.nation = table.value();
+    for (size_t row = 0; row < domains.nations.size(); ++row) {
+      instance.nation->GetColumn("n_nationkey")
+          ->LoadValue(row, EncodeInt64(static_cast<int64_t>(row)));
+      instance.nation->GetColumn("n_name")
+          ->LoadValue(row, EncodeDict(Code(instance.nation, "n_name",
+                                           domains.nations[row])));
+      instance.nation->GetColumn("n_regionkey")
+          ->LoadValue(row, EncodeInt64(static_cast<int64_t>(row % 5)));
+    }
+  }
+
+  // ---- SUPPLIER -----------------------------------------------------------
+  {
+    auto table = db->CreateTable(kSupplier, SupplierSchema(),
+                                 instance.supplier_rows);
+    if (!table.ok()) return table.status();
+    storage::Table* supp = table.value();
+    instance.supplier = supp;
+    for (size_t row = 0; row < instance.supplier_rows; ++row) {
+      supp->GetColumn("s_suppkey")
+          ->LoadValue(row, EncodeInt64(static_cast<int64_t>(row) + 1));
+      // Round-robin, not sampled: every nation holds suppliers even at
+      // test scale, so nation-parameterized queries (Q8/Q20/Q21) always
+      // have data to select.
+      supp->GetColumn("s_nationkey")
+          ->LoadValue(row, EncodeInt64(static_cast<int64_t>(row) % 25));
+      supp->GetColumn("s_acctbal")
+          ->LoadValue(row, EncodeDouble(
+                               rng2.NextDoubleInRange(-999.99, 9999.99)));
+      // ~10% of suppliers match the Q16 "Customer Complaints" pattern.
+      supp->GetColumn("s_is_complaint")
+          ->LoadValue(row, EncodeInt64(rng2.NextBounded(10) == 0 ? 1 : 0));
+    }
+  }
+
+  // ---- CUSTOMER -----------------------------------------------------------
+  {
+    auto table = db->CreateTable(kCustomer, CustomerSchema(),
+                                 instance.customer_rows);
+    if (!table.ok()) return table.status();
+    storage::Table* cust = table.value();
+    instance.customer = cust;
+    for (size_t row = 0; row < instance.customer_rows; ++row) {
+      const int64_t nation = rng2.NextInRange(0, 24);
+      cust->GetColumn("c_custkey")
+          ->LoadValue(row, EncodeInt64(static_cast<int64_t>(row) + 1));
+      cust->GetColumn("c_nationkey")->LoadValue(row, EncodeInt64(nation));
+      cust->GetColumn("c_mktsegment")
+          ->LoadValue(row, EncodeDict(Code(cust, "c_mktsegment",
+                                           domains.segments[rng2.NextBounded(
+                                               domains.segments.size())])));
+      cust->GetColumn("c_acctbal")
+          ->LoadValue(row, EncodeDouble(
+                               rng2.NextDoubleInRange(-999.99, 9999.99)));
+      // Phone country code = nationkey + 10, like dbgen.
+      cust->GetColumn("c_phone_cc")->LoadValue(row,
+                                               EncodeInt64(nation + 10));
+    }
+  }
+
+  // ---- PARTSUPP: 4 distinct suppliers per part ---------------------------
+  {
+    auto table = db->CreateTable(kPartsupp, PartsuppSchema(),
+                                 instance.partsupp_rows);
+    if (!table.ok()) return table.status();
+    storage::Table* ps = table.value();
+    instance.partsupp = ps;
+    size_t row = 0;
+    for (size_t p = 0; p < instance.part_rows; ++p) {
+      const int64_t partkey = static_cast<int64_t>(p) + 1;
+      for (int64_t i = 0; i < 4; ++i, ++row) {
+        ps->GetColumn("ps_partkey")->LoadValue(row, EncodeInt64(partkey));
+        ps->GetColumn("ps_suppkey")
+            ->LoadValue(row, EncodeInt64(PartsuppSupplier(partkey, i,
+                                                          supplier_rows)));
+        ps->GetColumn("ps_availqty")
+            ->LoadValue(row, EncodeDouble(static_cast<double>(
+                                 rng2.NextInRange(1, 9999))));
+        ps->GetColumn("ps_supplycost")
+            ->LoadValue(row,
+                        EncodeDouble(rng2.NextDoubleInRange(1.0, 1000.0)));
+      }
+    }
+  }
+
+  // ---- surrogate columns on the pass-1 tables ----------------------------
+  {
+    storage::Table* part = instance.part;
+    storage::Column* type = part->GetColumn("p_type");
+    const storage::Dictionary* types = part->GetDictionary("p_type");
+    for (size_t row = 0; row < instance.part_rows; ++row) {
+      part->GetColumn("p_name_color")
+          ->LoadValue(row, EncodeDict(Code(part, "p_name_color",
+                                           domains.colors[rng2.NextBounded(
+                                               domains.colors.size())])));
+      const std::string type_name = types->Decode(static_cast<uint32_t>(
+          storage::DecodeDict(type->ReadLatestRaw(row))));
+      part->GetColumn("p_is_promo")
+          ->LoadValue(row, EncodeInt64(
+                               type_name.rfind("PROMO", 0) == 0 ? 1 : 0));
+    }
+  }
+  {
+    storage::Table* orders = instance.orders;
+    storage::Column* date = orders->GetColumn("o_orderdate");
+    for (size_t row = 0; row < instance.orders_rows; ++row) {
+      const int64_t odate = storage::DecodeDate(date->ReadLatestRaw(row));
+      orders->GetColumn("o_orderyear")
+          ->LoadValue(row, EncodeInt64(1992 + odate / 365));
+      orders->GetColumn("o_comment_class")
+          ->LoadValue(row, EncodeInt64(rng2.NextInRange(0, 9)));
+    }
+  }
+  {
+    storage::Table* li = instance.lineitem;
+    storage::Column* shipdate = li->GetColumn("l_shipdate");
+    storage::Column* partkey = li->GetColumn("l_partkey");
+    for (size_t row = 0; row < instance.lineitem_rows; ++row) {
+      li->GetColumn("l_shipinstruct")
+          ->LoadValue(row,
+                      EncodeDict(Code(li, "l_shipinstruct",
+                                      domains.shipinstructs[rng2.NextBounded(
+                                          domains.shipinstructs.size())])));
+      const int64_t sdate =
+          storage::DecodeDate(shipdate->ReadLatestRaw(row));
+      li->GetColumn("l_shipyear")
+          ->LoadValue(row, EncodeInt64(1992 + sdate / 365));
+      // Re-align l_suppkey to one of the part's four PARTSUPP suppliers so
+      // the (l_partkey, l_suppkey) -> partsupp join has referential
+      // integrity (Q9/Q20); pass 1's draw stays in the stream unused.
+      const int64_t pkey =
+          storage::DecodeInt64(partkey->ReadLatestRaw(row));
+      li->GetColumn("l_suppkey")
+          ->LoadValue(row, EncodeInt64(PartsuppSupplier(
+                               pkey, rng2.NextInRange(0, 3),
+                               supplier_rows)));
     }
   }
 

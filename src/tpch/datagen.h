@@ -17,12 +17,27 @@ namespace anker::tpch {
 /// we generate in-process to keep the repo self-contained.
 struct TpchConfig {
   /// Number of LINEITEM rows; ORDERS ~ lineitem/4 (orders carry 1..7
-  /// lines), PART = lineitem/30 like TPC-H's 6M/200k ratio.
+  /// lines), PART = lineitem/30 like TPC-H's 6M/200k ratio. The dimension
+  /// tables derive from those: CUSTOMER matches the o_custkey domain,
+  /// SUPPLIER the l_suppkey domain, PARTSUPP carries 4 suppliers per part.
   size_t lineitem_rows = 60000;
   uint64_t seed = 42;
 
   size_t OrdersRows() const { return lineitem_rows / 4 + 1; }
   size_t PartRows() const { return lineitem_rows / 30 + 1; }
+  /// o_custkey is drawn from [1, OrdersRows()/10]; the extra 50% tail of
+  /// customer rows beyond that domain never places an order — the
+  /// "customers without orders" population Q13 and Q22 depend on (dbgen
+  /// reserves every third custkey the same way).
+  size_t CustomerRows() const {
+    const size_t active = OrdersRows() / 10 > 0 ? OrdersRows() / 10 : 1;
+    return active + active / 2;
+  }
+  /// At least one supplier per nation (25 nations, round-robin).
+  size_t SupplierRows() const {
+    return PartRows() / 20 > 25 ? PartRows() / 20 : 25;
+  }
+  size_t PartsuppRows() const { return PartRows() * 4; }
 };
 
 /// Row counts and key domains the workload driver needs.
@@ -30,13 +45,34 @@ struct TpchInstance {
   storage::Table* lineitem = nullptr;
   storage::Table* orders = nullptr;
   storage::Table* part = nullptr;
+  storage::Table* customer = nullptr;
+  storage::Table* supplier = nullptr;
+  storage::Table* partsupp = nullptr;
+  storage::Table* nation = nullptr;
+  storage::Table* region = nullptr;
   size_t lineitem_rows = 0;
   size_t orders_rows = 0;
   size_t part_rows = 0;
+  size_t customer_rows = 0;
+  size_t supplier_rows = 0;
+  size_t partsupp_rows = 0;
 };
 
-/// Creates and loads the three tables into `db`. Builds dictionaries and
-/// primary-key hash indexes. Deterministic for a fixed seed.
+/// The i-th supplier (0..3) stocking part `partkey` in PARTSUPP, and the
+/// value l_suppkey rows are aligned to. Deterministic, 4 distinct
+/// suppliers per part (the stride is < S/1 apart and strictly below S).
+inline int64_t PartsuppSupplier(int64_t partkey, int64_t i,
+                                int64_t supplier_rows) {
+  const int64_t step =
+      supplier_rows / 4 > 1 ? supplier_rows / 4 : 1;
+  return (partkey - 1 + i * step) % supplier_rows + 1;
+}
+
+/// Creates and loads all eight tables into `db`. Builds dictionaries and
+/// primary-key hash indexes on the three fact tables. Deterministic for a
+/// fixed seed; the original three-table value stream is byte-identical to
+/// earlier revisions (the dimension tables and surrogate columns are
+/// filled from a second, independently seeded stream).
 Result<TpchInstance> LoadTpch(engine::Database* db, const TpchConfig& config);
 
 }  // namespace anker::tpch

@@ -8,7 +8,7 @@
 #include "common/rng.h"
 #include "engine/database.h"
 #include "query/query.h"
-#include "query/semi_join.h"
+#include "query/serialize.h"
 #include "tpch/datagen.h"
 
 namespace anker::tpch {
@@ -91,10 +91,13 @@ class TpchQueries {
   Result<OlapResult> RunOnEngine(OlapKind kind,
                                  const OlapParams& params) const;
 
-  /// The compiled plan of a single-table workload (everything but Q17).
+  /// The compiled plan of a workload query. Q17 compiles onto the
+  /// operator DAG (semi join against the filtered PART scan, inner join
+  /// against a per-part average sub-query); everything else stays on the
+  /// single-table fast paths.
   const query::Query& QueryFor(OlapKind kind) const;
-  /// The compiled Q17 plan.
-  const query::SemiJoinQuery& Q17Query() const { return q17_; }
+  /// The compiled Q17 plan (alias of QueryFor(kQ17)).
+  const query::Query& Q17Query() const { return q17_; }
 
   const TpchInstance& instance() const { return instance_; }
 
@@ -105,10 +108,45 @@ class TpchQueries {
 
   engine::Database* db_;
   TpchInstance instance_;
-  query::Query q1_, q4_, q6_, scan_lineitem_, scan_orders_, scan_part_;
-  query::SemiJoinQuery q17_;
+  query::Query q1_, q4_, q6_, q17_, scan_lineitem_, scan_orders_, scan_part_;
   std::vector<uint32_t> brand_codes_;
   std::vector<uint32_t> container_codes_;
+};
+
+/// All 22 TPC-H queries, declared in wire form (query/serialize.h) and
+/// compiled against the live catalog through CompileWireQuery — exactly
+/// the path a networked client takes, so the same definition serves the
+/// in-process and over-the-wire differential tests. Queries follow the
+/// spec's join/aggregation structure over the subset schema; free-text
+/// predicates (LIKE patterns, date-part extraction) ride on the surrogate
+/// columns documented in tpch/schema.h, and substitution parameters are
+/// fixed to one representative binding per query (ParamsFor).
+class Tpch22 {
+ public:
+  static constexpr int kNumQueries = 22;
+
+  /// Requires the full eight-table instance (LoadTpch) in `db`.
+  explicit Tpch22(engine::Database* db);
+
+  /// Wire-form definition of query `q` (1-based).
+  const query::WireQuery& Wire(int q) const;
+  /// The compiled plan (CompileWireQuery of Wire(q)).
+  const query::Query& Compiled(int q) const;
+  /// The fixed substitution-parameter binding of query `q`.
+  query::Params ParamsFor(int q) const;
+  /// True when query `q` declares an ORDER BY (its row order is part of
+  /// the result; unordered queries compare as row multisets).
+  bool Ordered(int q) const;
+
+  /// FNV-1a digest over the result rows (keys + raw IEEE value bits).
+  /// Unordered results are canonically sorted first, so the digest is
+  /// bit-comparable across execution strategies and the wire.
+  static uint64_t RawDigest(const query::QueryResult& result, bool ordered);
+
+ private:
+  engine::Database* db_;
+  std::vector<query::WireQuery> wire_;
+  std::vector<query::Query> compiled_;
 };
 
 }  // namespace anker::tpch

@@ -21,6 +21,8 @@ const std::vector<ColumnDef>& LineitemSchema() {
       {"l_commitdate", ValueType::kDate},
       {"l_receiptdate", ValueType::kDate},
       {"l_shipmode", ValueType::kDict32},
+      {"l_shipinstruct", ValueType::kDict32},
+      {"l_shipyear", ValueType::kInt64},
   };
   return *schema;
 }
@@ -34,6 +36,8 @@ const std::vector<ColumnDef>& OrdersSchema() {
       {"o_orderdate", ValueType::kDate},
       {"o_orderpriority", ValueType::kDict32},
       {"o_shippriority", ValueType::kInt64},
+      {"o_orderyear", ValueType::kInt64},
+      {"o_comment_class", ValueType::kInt64},
   };
   return *schema;
 }
@@ -46,6 +50,56 @@ const std::vector<ColumnDef>& PartSchema() {
       {"p_container", ValueType::kDict32},
       {"p_type", ValueType::kDict32},
       {"p_retailprice", ValueType::kDouble},
+      {"p_name_color", ValueType::kDict32},
+      {"p_is_promo", ValueType::kInt64},
+  };
+  return *schema;
+}
+
+const std::vector<ColumnDef>& CustomerSchema() {
+  static const std::vector<ColumnDef>* schema = new std::vector<ColumnDef>{
+      {"c_custkey", ValueType::kInt64},
+      {"c_nationkey", ValueType::kInt64},
+      {"c_mktsegment", ValueType::kDict32},
+      {"c_acctbal", ValueType::kDouble},
+      {"c_phone_cc", ValueType::kInt64},
+  };
+  return *schema;
+}
+
+const std::vector<ColumnDef>& SupplierSchema() {
+  static const std::vector<ColumnDef>* schema = new std::vector<ColumnDef>{
+      {"s_suppkey", ValueType::kInt64},
+      {"s_nationkey", ValueType::kInt64},
+      {"s_acctbal", ValueType::kDouble},
+      {"s_is_complaint", ValueType::kInt64},
+  };
+  return *schema;
+}
+
+const std::vector<ColumnDef>& PartsuppSchema() {
+  static const std::vector<ColumnDef>* schema = new std::vector<ColumnDef>{
+      {"ps_partkey", ValueType::kInt64},
+      {"ps_suppkey", ValueType::kInt64},
+      {"ps_availqty", ValueType::kDouble},
+      {"ps_supplycost", ValueType::kDouble},
+  };
+  return *schema;
+}
+
+const std::vector<ColumnDef>& NationSchema() {
+  static const std::vector<ColumnDef>* schema = new std::vector<ColumnDef>{
+      {"n_nationkey", ValueType::kInt64},
+      {"n_name", ValueType::kDict32},
+      {"n_regionkey", ValueType::kInt64},
+  };
+  return *schema;
+}
+
+const std::vector<ColumnDef>& RegionSchema() {
+  static const std::vector<ColumnDef>* schema = new std::vector<ColumnDef>{
+      {"r_regionkey", ValueType::kInt64},
+      {"r_name", ValueType::kDict32},
   };
   return *schema;
 }

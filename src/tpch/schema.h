@@ -13,6 +13,11 @@ namespace anker::tpch {
 inline constexpr const char* kLineitem = "lineitem";
 inline constexpr const char* kOrders = "orders";
 inline constexpr const char* kPart = "part";
+inline constexpr const char* kCustomer = "customer";
+inline constexpr const char* kSupplier = "supplier";
+inline constexpr const char* kPartsupp = "partsupp";
+inline constexpr const char* kNation = "nation";
+inline constexpr const char* kRegion = "region";
 
 /// Dates are stored as days since 1992-01-01 (the TPC-H order-date epoch).
 /// START/END span the generator's o_orderdate range; shipdate etc. extend
@@ -22,14 +27,39 @@ inline constexpr int64_t kOrderDateMaxDays = 2405;    // ~1998-08-02
 inline constexpr int64_t kShipDateMaxDays = 2526;     // ~1998-12-01
 
 /// Schema of the LINEITEM subset (the columns the paper's workload
-/// touches, Section 5.2).
+/// touches, Section 5.2, plus the surrogate columns the TPC-H 22 suite
+/// derives from the free-text fields the subset does not store:
+/// l_shipinstruct replaces the spec's string column with a dictionary,
+/// l_shipyear pre-extracts year(l_shipdate) since the expression language
+/// has no date-part functions).
 const std::vector<storage::ColumnDef>& LineitemSchema();
 
-/// Schema of the ORDERS subset.
+/// Schema of the ORDERS subset. o_orderyear pre-extracts
+/// year(o_orderdate); o_comment_class stands in for the spec's comment
+/// LIKE-patterns (Q13) as a small integer class.
 const std::vector<storage::ColumnDef>& OrdersSchema();
 
-/// Schema of the PART subset.
+/// Schema of the PART subset. p_name_color stands in for the color word
+/// inside p_name (Q9); p_is_promo pre-computes "p_type like 'PROMO%'"
+/// (Q14).
 const std::vector<storage::ColumnDef>& PartSchema();
+
+/// Schema of the CUSTOMER subset. c_phone_cc is the phone country code
+/// (Q22), derived from the nation key exactly like the spec's generator.
+const std::vector<storage::ColumnDef>& CustomerSchema();
+
+/// Schema of the SUPPLIER subset. s_is_complaint pre-computes the Q16
+/// "comment like '%Customer%Complaints%'" predicate.
+const std::vector<storage::ColumnDef>& SupplierSchema();
+
+/// Schema of the PARTSUPP subset.
+const std::vector<storage::ColumnDef>& PartsuppSchema();
+
+/// Schema of NATION (25 fixed rows).
+const std::vector<storage::ColumnDef>& NationSchema();
+
+/// Schema of REGION (5 fixed rows).
+const std::vector<storage::ColumnDef>& RegionSchema();
 
 /// Composite primary key of a lineitem row: (l_orderkey, l_linenumber)
 /// packed into one u64 (linenumber is 1..7).

@@ -117,14 +117,16 @@ TEST(QueryBuildTest, AggregateOverDictIsRejected) {
   EXPECT_EQ(query.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(QueryBuildTest, GroupByNeedsDictColumns) {
+TEST(QueryBuildTest, GroupByNonDictFallsBackToDag) {
+  // The fused fast paths only pack dictionary keys; grouping by any other
+  // type compiles onto the DAG's hash aggregation instead of failing.
   auto table = MakeTable();
   auto query = Query::On(table.get())
                    .Aggregate({Count().As("n")})
                    .GroupBy({"price"})
                    .Build();
-  ASSERT_FALSE(query.ok());
-  EXPECT_EQ(query.status().code(), StatusCode::kNotSupported);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query.value().strategy(), ExecStrategy::kDag);
 }
 
 TEST(QueryBuildTest, DuplicateAggregateNamesAreRejected) {

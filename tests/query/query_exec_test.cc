@@ -4,8 +4,6 @@
 
 #include <cmath>
 
-#include "query/semi_join.h"
-
 namespace anker::query {
 namespace {
 
@@ -105,7 +103,7 @@ TEST(QueryExecTest, GroupedFusedMatchesReference) {
   ASSERT_EQ(result.value().rows.size(), 3u);
 
   for (const QueryResult::Row& row : result.value().rows) {
-    const uint32_t station = row.keys[0];
+    const uint32_t station = static_cast<uint32_t>(row.keys[0]);
     double sum = 0, mn = 1e300, mx = -1e300;
     uint64_t n = 0;
     for (size_t r = 0; r < fx.num_rows; ++r) {
@@ -140,7 +138,7 @@ TEST(QueryExecTest, AvgAndExprAggregatesUseHiddenCount) {
   ASSERT_EQ(result.value().columns.size(), 1u);  // hidden count not shown
 
   for (const QueryResult::Row& row : result.value().rows) {
-    const uint32_t station = row.keys[0];
+    const uint32_t station = static_cast<uint32_t>(row.keys[0]);
     double sum = 0;
     uint64_t n = 0;
     for (size_t r = 0; r < fx.num_rows; ++r) {
@@ -315,29 +313,120 @@ TEST(QueryExecTest, GroupDomainBudgetIsEnforced) {
                    .Aggregate({Count().As("n")})
                    .GroupBy({"k1", "k2"})
                    .Build();
-  ASSERT_FALSE(query.ok());
-  EXPECT_EQ(query.status().code(), StatusCode::kNotSupported);
+  // Domains past the packed-group budget leave the fused fast paths and
+  // compile onto the DAG's hash aggregation instead.
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query.value().strategy(), ExecStrategy::kDag);
+  auto result = fx.db->Run(query.value(), Params());
+  ASSERT_TRUE(result.ok());
+  // All 16 rows carry dictionary code 0 in both key columns.
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.value().Value("n"), 16.0);
 }
 
-TEST(QueryExecTest, SemiJoinBuildValidatesKeysAndExprs) {
+/// Companion dimension table for join tests. Column names are disjoint
+/// from the readings table (the DAG rejects ambiguous names).
+storage::Table* MakeLimits(SensorDb* fx) {
+  auto created = fx->db->CreateTable("limits",
+                                     {{"sid", storage::ValueType::kInt64},
+                                      {"t_max", storage::ValueType::kDouble}},
+                                     17);
+  ANKER_CHECK(created.ok());
+  storage::Table* limits = created.value();
+  for (size_t row = 0; row < 17; ++row) {
+    limits->GetColumn("sid")->LoadValue(
+        row, storage::EncodeInt64(static_cast<int64_t>(row)));
+    limits->GetColumn("t_max")->LoadValue(
+        row, storage::EncodeDouble(20.0 + static_cast<double>(row)));
+  }
+  return limits;
+}
+
+TEST(QueryExecTest, JoinBuildValidatesShapes) {
   SensorDb fx;
-  SemiJoinSpec spec;
-  spec.build_table = fx.table;
-  spec.build_key = "temperature";  // not an int64 column
-  spec.probe_table = fx.table;
-  spec.probe_key = "sensor_id";
-  spec.avg_value = Col("temperature");
-  spec.guard_scale = F64(0.5);
-  spec.agg_value = Col("humidity");
-  auto bad_key = SemiJoinQuery::Build(spec);
+  storage::Table* limits = MakeLimits(&fx);
+
+  // Mismatched key types: double probe key against an int64 build key.
+  auto bad_key = Query::On(fx.table)
+                     .Join(limits, JoinType::kLeftSemi, {"temperature"},
+                           {"sid"})
+                     .Aggregate({Count().As("n")})
+                     .Build();
   ASSERT_FALSE(bad_key.ok());
   EXPECT_EQ(bad_key.status().code(), StatusCode::kInvalidArgument);
 
-  spec.build_key = "sensor_id";
-  spec.guard_scale = Col("temperature");  // not constant
-  auto bad_scale = SemiJoinQuery::Build(spec);
-  ASSERT_FALSE(bad_scale.ok());
-  EXPECT_EQ(bad_scale.status().code(), StatusCode::kInvalidArgument);
+  // Key lists must pair up positionally.
+  auto bad_arity = Query::On(fx.table)
+                       .Join(limits, JoinType::kInner,
+                             {"sensor_id", "sensor_id"}, {"sid"})
+                       .Aggregate({Count().As("n")})
+                       .Build();
+  ASSERT_FALSE(bad_arity.ok());
+  EXPECT_EQ(bad_arity.status().code(), StatusCode::kInvalidArgument);
+
+  // Non-boolean residual.
+  auto bad_residual = Query::On(fx.table)
+                          .Join(limits, JoinType::kInner, {"sensor_id"},
+                                {"sid"}, Col("t_max") + F64(1.0))
+                          .Aggregate({Count().As("n")})
+                          .Build();
+  ASSERT_FALSE(bad_residual.ok());
+  EXPECT_EQ(bad_residual.status().code(), StatusCode::kInvalidArgument);
+
+  // A self join is ambiguous without renaming through a sub-query.
+  auto ambiguous = Query::On(fx.table)
+                       .Join(fx.table, JoinType::kInner, {"sensor_id"},
+                             {"sensor_id"})
+                       .Aggregate({Count().As("n")})
+                       .Build();
+  ASSERT_FALSE(ambiguous.ok());
+  EXPECT_EQ(ambiguous.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryExecTest, InnerJoinWithResidualMatchesReference) {
+  SensorDb fx;
+  storage::Table* limits = MakeLimits(&fx);
+  auto query = Query::On(fx.table)
+                   .Join(limits, JoinType::kInner, {"sensor_id"}, {"sid"},
+                         Col("temperature") < Col("t_max"))
+                   .Aggregate({Sum(Col("temperature")).As("s"),
+                               Count().As("n")})
+                   .Build();
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query.value().strategy(), ExecStrategy::kDag);
+  auto result = fx.db->Run(query.value(), Params());
+  ASSERT_TRUE(result.ok());
+
+  double expected_sum = 0;
+  uint64_t expected_n = 0;
+  for (size_t r = 0; r < fx.num_rows; ++r) {
+    const double t_max = 20.0 + static_cast<double>(r % 17);
+    if (fx.Temperature(r) < t_max) {
+      expected_sum += fx.Temperature(r);
+      ++expected_n;
+    }
+  }
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  EXPECT_NEAR(result.value().Value("s"), expected_sum,
+              std::abs(expected_sum) * 1e-12);
+  EXPECT_DOUBLE_EQ(result.value().Value("n"),
+                   static_cast<double>(expected_n));
+}
+
+TEST(QueryExecTest, UnboundParameterIsRejected) {
+  SensorDb fx;
+  auto query = Query::On(fx.table)
+                   .Filter(Col("day") < Param("cutoff", ExprType::kDate))
+                   .Aggregate({Count().As("n")})
+                   .Build();
+  ASSERT_TRUE(query.ok());
+  // Binding a name the plan never references must fail recoverably, not
+  // silently bind nothing.
+  auto typoed = fx.db->Run(query.value(),
+                           Params().SetDate("cutof", 40).SetDate("cutoff", 40));
+  ASSERT_FALSE(typoed.ok());
+  EXPECT_EQ(typoed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(typoed.status().message().find("cutof"), std::string::npos);
 }
 
 TEST(DatabaseConfigValidationTest, RejectsMismatchedBackends) {

@@ -399,7 +399,8 @@ int RunCommand(Cli* cli, const std::vector<std::string>& tokens) {
     for (const query::QueryResult::Row& row : r.rows) {
       std::printf("ROW");
       for (size_t k = 0; k < row.keys.size(); ++k) {
-        std::printf(" %s=%u", r.key_names[k].c_str(), row.keys[k]);
+        std::printf(" %s=%llu", r.key_names[k].c_str(),
+                    static_cast<unsigned long long>(row.keys[k]));
       }
       for (size_t v = 0; v < row.values.size(); ++v) {
         std::printf(" %s=%.17g", r.columns[v].c_str(), row.values[v]);
