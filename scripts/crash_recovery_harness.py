@@ -20,7 +20,6 @@ Exit code 0 iff every iteration recovered consistently.
 import argparse
 import os
 import random
-import select
 import shutil
 import signal
 import subprocess
@@ -28,29 +27,7 @@ import sys
 import tempfile
 import time
 
-
-def wait_for_ready(proc, timeout_s):
-    """Reads the driver's stdout until its READY line (bootstrap done).
-
-    select()-based so the deadline holds even when the driver wedges
-    without producing output — a blocking readline() would turn a hung
-    bootstrap into a hung CI job.
-    """
-    deadline = time.monotonic() + timeout_s
-    buffered = b""
-    while time.monotonic() < deadline:
-        if proc.poll() is not None:
-            return False
-        ready, _, _ = select.select([proc.stdout], [], [], 0.1)
-        if not ready:
-            continue
-        chunk = os.read(proc.stdout.fileno(), 4096)
-        if not chunk:
-            continue
-        buffered += chunk
-        if b"READY" in buffered.splitlines():
-            return True
-    return False
+from harness_common import sigkill, wait_for_line
 
 
 def run_iteration(args, iteration, rng):
@@ -79,15 +56,15 @@ def run_iteration(args, iteration, rng):
         stderr=subprocess.STDOUT,
     )
     try:
-        if not wait_for_ready(proc, timeout_s=60):
-            print(f"iter {iteration}: driver never became READY", flush=True)
+        if wait_for_line(proc, b"READY", timeout_s=60) is None:
+            print(f"iter {iteration}: driver never became READY "
+                  f"(seed={seed})", flush=True)
             return False
         # The randomized kill point: anywhere from "barely started" to
         # "thousands of commits and several checkpoints in".
         time.sleep(rng.uniform(0.0, args.max_run_ms / 1000.0))
     finally:
-        proc.kill()  # SIGKILL: no atexit, no flush, no destructor runs.
-        proc.wait()
+        sigkill(proc)
 
     verify = subprocess.run(
         [args.driver, "--mode=verify"] + common,
@@ -97,6 +74,8 @@ def run_iteration(args, iteration, rng):
     out = verify.stdout.decode(errors="replace").strip()
     print(f"iter {iteration} (threads={threads}): {out}", flush=True)
     if verify.returncode != 0:
+        print(f"iter {iteration}: replay with --seed {args.seed} "
+              f"(iteration seed {seed})", flush=True)
         return False
     shutil.rmtree(workdir, ignore_errors=True)
     return True
@@ -139,7 +118,7 @@ def main():
 
     if failures:
         print(f"FAILED: {failures}/{args.iterations} iterations "
-              f"(scratch kept at {args.workdir})")
+              f"(seed={args.seed}, scratch kept at {args.workdir})")
         return 1
     print(f"PASSED: {args.iterations}/{args.iterations} kill-point "
           f"iterations recovered consistently")

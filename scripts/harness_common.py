@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Shared process plumbing for the crash / replication harnesses.
+
+Every harness in this directory does the same four things: spawn a
+binary, wait for a readiness line on its stdout without risking a hung
+readline, SIGKILL it at an inconvenient moment, and drive `anker_cli`
+scripts against a port. Keeping those helpers here means a fix to the
+select() loop or the kill semantics lands in every drill at once.
+"""
+
+import os
+import re
+import select
+import signal
+import socket
+import subprocess
+import time
+
+LISTEN_RE = re.compile(r"LISTENING host=\S+ port=(\d+)")
+
+
+def wait_for_line(proc, needle, timeout_s):
+    """Reads proc.stdout (bytes) until a line containing `needle` appears.
+
+    Returns the buffered output on success, None on timeout or process
+    exit. select()-based so the deadline holds even when the process
+    wedges without producing output — a blocking readline() would turn
+    a hung bootstrap into a hung CI job.
+    """
+    deadline = time.monotonic() + timeout_s
+    buffered = b""
+    needle = needle if isinstance(needle, bytes) else needle.encode()
+    while time.monotonic() < deadline:
+        if any(needle in line for line in buffered.splitlines()):
+            return buffered
+        if proc.poll() is not None:
+            buffered += proc.stdout.read() or b""
+            if any(needle in line for line in buffered.splitlines()):
+                return buffered
+            return None
+        ready, _, _ = select.select([proc.stdout], [], [], 0.1)
+        if not ready:
+            continue
+        chunk = os.read(proc.stdout.fileno(), 4096)
+        if chunk:
+            buffered += chunk
+    return None
+
+
+def sigkill(proc):
+    """SIGKILL + reap: no atexit, no flush, no destructor runs."""
+    proc.kill()
+    proc.wait()
+
+
+def pick_port():
+    """Reserves an ephemeral port and releases it for the next bind.
+
+    Needed when a node must be restarted on the SAME address a peer
+    already dialed (a replica reconnecting to its primary); --port=0
+    would land the restart somewhere else.
+    """
+    with socket.socket() as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class ServeNode:
+    """One `anker_serve` process: spawn, await LISTENING, kill or drain."""
+
+    def __init__(self, binary, data_dir, extra_args=(), env_faults=None,
+                 fault_seed=0, timeout_s=60):
+        env = dict(os.environ)
+        env.pop("ANKER_FAULTS", None)
+        if env_faults:
+            env["ANKER_FAULTS"] = env_faults
+            env["ANKER_FAULT_SEED"] = str(fault_seed)
+        self.proc = subprocess.Popen(
+            [binary, f"--data_dir={data_dir}", "--durability=group_commit"]
+            + list(extra_args),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env)
+        self.port = None
+        self.startup = wait_for_line(self.proc, b"LISTENING", timeout_s)
+        if self.startup is not None:
+            match = LISTEN_RE.search(self.startup.decode(errors="replace"))
+            if match:
+                self.port = int(match.group(1))
+
+    def alive(self):
+        return self.proc.poll() is None
+
+    def kill(self):
+        sigkill(self.proc)
+
+    def terminate(self, timeout_s=60):
+        """SIGTERM and wait; returns (exit_code, remaining_stdout)."""
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            out, _ = self.proc.communicate(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            return -9, ""
+        return self.proc.returncode, (out or b"").decode(errors="replace")
+
+
+def run_cli(binary, port, script, timeout_s=120, extra_args=()):
+    """Feeds a scripted session to anker_cli; returns (code, stdout)."""
+    proc = subprocess.run(
+        [binary, f"--port={port}", "--echo"] + list(extra_args),
+        input=script, text=True, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, timeout=timeout_s)
+    return proc.returncode, proc.stdout
+
+
+def start_cli(binary, port, script, extra_args=()):
+    """Launches a scripted anker_cli session in the background.
+
+    Used when the harness needs to kill a server while the session is
+    mid-flight; pair with finish_cli() to collect what was acked.
+    """
+    proc = subprocess.Popen(
+        [binary, f"--port={port}", "--echo"] + list(extra_args),
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    proc.stdin.write(script)
+    proc.stdin.close()
+    proc.stdin = None  # communicate() must not re-flush the closed pipe.
+    return proc
+
+
+def finish_cli(proc, timeout_s=120):
+    """Waits for a start_cli() session; returns its full stdout."""
+    try:
+        out, _ = proc.communicate(timeout=timeout_s)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        out, _ = proc.communicate()
+    return out or ""

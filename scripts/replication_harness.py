@@ -1,0 +1,349 @@
+#!/usr/bin/env python3
+"""Randomized replication fault drill: kill, partition, promote, verify.
+
+Each iteration stands up a primary + read replica (`anker_serve
+--replica_of`), runs a scripted writer that records which commits the
+primary ACKED (commit OK + its COMMIT_OK LSN token), and then does
+something hostile, chosen round-robin so every class is exercised:
+
+  kill_primary     SIGKILL the primary mid-write, restart it, replica
+                   reconnects and resumes from its applied LSN.
+  kill_replica     SIGKILL the replica mid-stream, restart it; it
+                   recovers its local WAL mirror and resumes.
+  wal_fault        ANKER_FAULTS kills the primary *inside* WAL
+                   append/fsync — the worst possible torn-write moment.
+  ckpt_fault       ANKER_FAULTS kills the primary inside checkpoint
+                   publish — usually mid-bootstrap, so the replica's
+                   first FETCH_CHECKPOINT fails and must be retried.
+  repl_send_flaky  the primary's stream socket fails probabilistically
+                   (simulated partition); the replica must reconnect
+                   and converge through the flapping.
+  repl_recv_flaky  same, injected on the replica's receive path.
+  promote          SIGKILL the primary (replica runs with --sync_ack),
+                   PROMOTE the replica, and require every synchronously
+                   acked commit to be readable on the new primary —
+                   then prove it accepts writes.
+
+After the chaos every iteration asserts the two invariants that define
+the subsystem (ISSUE 7): no acknowledged commit is ever lost, and the
+surviving pair converges to identical content digests. Failures print
+the seed + iteration + scenario needed to replay deterministically.
+
+Usage:
+  replication_harness.py --serve build/tools/anker_serve \
+      --cli build/tools/anker_cli [--iterations 12] [--rounds 120] \
+      [--seed 1] [--workdir DIR]
+"""
+
+import argparse
+import os
+import random
+import re
+import shutil
+import signal
+import sys
+import tempfile
+import time
+
+from harness_common import ServeNode, finish_cli, pick_port, run_cli, \
+    start_cli
+
+SCENARIOS = [
+    "kill_primary", "kill_replica", "wal_fault", "ckpt_fault",
+    "repl_send_flaky", "repl_recv_flaky", "promote",
+]
+
+PRIMARY_FAULTS = {
+    "wal_fault": "wal.append:kill:0.002,wal.flush.pre:kill:0.008",
+    "ckpt_fault": "ckpt.publish.pre:kill:0.7",
+    "repl_send_flaky": "repl.send:fail:0.05",
+}
+REPLICA_FAULTS = {
+    "repl_recv_flaky": "repl.recv:fail:0.08",
+}
+
+
+class IterationFailure(Exception):
+    pass
+
+
+def expect(condition, message, output=""):
+    if not condition:
+        raise IterationFailure(
+            message + ("\n---- output ----\n" + output if output else ""))
+
+
+def parse_writer(out):
+    """Returns (last_acked_round, last_acked_lsn, last_attempted_round).
+
+    A round counts as ACKED only when its `commit` echoed OK *and* the
+    following `lastlsn` returned a larger token: the primary both
+    acknowledged the commit and handed out its durable LSN.
+    """
+    acked_round, acked_lsn, attempted = 0, 0, 0
+    committed = None
+    current = None
+    await_commit = False
+    for line in out.splitlines():
+        line = line.strip()
+        if line.startswith("> write "):
+            current = int(line.split()[-1])
+            attempted = max(attempted, current)
+            await_commit = False
+        elif line == "> commit":
+            await_commit = True
+        elif await_commit:
+            if line == "OK":
+                committed = current
+            await_commit = False
+        elif line.startswith("LSN ") and committed is not None:
+            lsn = int(line.split()[1])
+            if lsn > acked_lsn:
+                acked_round, acked_lsn = committed, lsn
+    return acked_round, acked_lsn, attempted
+
+
+def writer_script(rounds):
+    lines = []
+    for r in range(1, rounds + 1):
+        lines += ["begin", f"write acct val 0 {r}", "commit", "lastlsn"]
+    return "\n".join(lines) + "\n"
+
+
+def read_value(cli, port):
+    code, out = run_cli(cli, port, "read acct val 0\n")
+    match = re.search(r"VALUE (-?\d+)", out)
+    expect(match is not None, f"no VALUE from port {port}", out)
+    return int(match.group(1))
+
+
+def node_status(cli, port):
+    _, out = run_cli(cli, port, "status\n")
+    match = re.search(
+        r"STATUS role=(\S+) stream=(\S+) applied_lsn=(\d+) "
+        r"durable_lsn=(\d+)", out)
+    expect(match is not None, f"no STATUS from port {port}", out)
+    return {"role": match.group(1), "stream": match.group(2),
+            "applied_lsn": int(match.group(3)),
+            "durable_lsn": int(match.group(4))}
+
+
+def content_digest(cli, port):
+    _, out = run_cli(cli, port, "digest\n")
+    match = re.search(r"DIGEST ([0-9a-f]{16})", out)
+    expect(match is not None, f"no DIGEST from port {port}", out)
+    return match.group(1)
+
+
+def wait_applied(cli, port, lsn, attempts=3, timeout_ms=20000):
+    for _ in range(attempts):
+        _, out = run_cli(cli, port, f"waitlsn {lsn} {timeout_ms}\n")
+        if "OK applied" in out:
+            return
+    raise IterationFailure(f"replica never applied LSN {lsn}")
+
+
+class Iteration:
+    def __init__(self, args, index, rng):
+        self.args = args
+        self.rng = rng
+        self.scenario = SCENARIOS[index % len(SCENARIOS)]
+        self.workdir = os.path.join(args.workdir, f"iter-{index}")
+        shutil.rmtree(self.workdir, ignore_errors=True)
+        os.makedirs(self.workdir)
+        self.primary_dir = os.path.join(self.workdir, "primary")
+        self.replica_dir = os.path.join(self.workdir, "replica")
+        self.primary_port = pick_port()
+        self.replica_port = pick_port()
+        self.primary = None
+        self.replica = None
+
+    # -- topology ---------------------------------------------------------
+
+    def primary_args(self):
+        return [f"--port={self.primary_port}", "--heartbeat_ms=50",
+                "--ack_wait_ms=500", "--snapshot_interval=2000"]
+
+    def replica_args(self):
+        args = [f"--port={self.replica_port}",
+                f"--replica_of=127.0.0.1:{self.primary_port}",
+                "--replica_id=r1", "--stream_timeout_ms=1500",
+                "--ack_interval_ms=20"]
+        if self.scenario == "promote":
+            args.append("--sync_ack=1")
+        return args
+
+    def start_primary(self, faults=None):
+        self.primary = ServeNode(
+            self.args.serve, self.primary_dir, self.primary_args(),
+            env_faults=faults, fault_seed=self.rng.getrandbits(32))
+        expect(self.primary.port is not None, "primary never listened",
+               (self.primary.startup or b"").decode(errors="replace"))
+
+    def setup_schema(self):
+        zeros = " ".join("0" for _ in range(64))
+        run_cli(self.args.cli, self.primary_port,
+                f"create acct 64 val:int64\nload acct val 0 {zeros}\n")
+
+    def start_replica(self, faults=None):
+        self.replica = ServeNode(
+            self.args.serve, self.replica_dir, self.replica_args(),
+            env_faults=faults, fault_seed=self.rng.getrandbits(32))
+
+    def bring_up(self):
+        """Primary + schema + bootstrapped replica, surviving injected
+        deaths during setup or bootstrap (ckpt_fault usually kills the
+        primary inside the bootstrap checkpoint; wal_fault can kill it
+        during the schema commits). A node that died restarts CLEAN —
+        the drill is that recovery + a retried bootstrap succeed."""
+        self.start_primary(PRIMARY_FAULTS.get(self.scenario))
+        self.setup_schema()
+        for _ in range(3):
+            if not self.primary.alive():
+                self.start_primary()  # Clean restart on the same port.
+                self.setup_schema()
+            self.start_replica(REPLICA_FAULTS.get(self.scenario))
+            if self.replica.port is not None:
+                return
+            self.replica.kill()
+        raise IterationFailure("replica failed to bootstrap 3 times")
+
+    # -- the drill --------------------------------------------------------
+
+    def run_writer_with_chaos(self):
+        writer = start_cli(self.args.cli, self.primary_port,
+                           writer_script(self.args.rounds),
+                           extra_args=["--busy_retries=2"])
+        if self.scenario in ("kill_primary", "promote"):
+            time.sleep(self.rng.uniform(0.0, 0.25))
+            self.primary.kill()
+        elif self.scenario == "kill_replica":
+            time.sleep(self.rng.uniform(0.0, 0.25))
+            self.replica.kill()
+        out = finish_cli(writer)
+        acked_round, acked_lsn, attempted = parse_writer(out)
+        expect(attempted > 0, "writer never attempted a commit", out)
+        return acked_round, acked_lsn, attempted
+
+    def verify_converged(self, acked_round, attempted):
+        """Both nodes up (restarting any faulted/dead one cleanly), no
+        acked commit lost, replica catches up, digests identical."""
+        if not self.primary.alive() or self.scenario in PRIMARY_FAULTS:
+            if self.primary.alive():
+                self.primary.kill()
+            self.start_primary()
+        if not self.replica.alive() or self.scenario in REPLICA_FAULTS:
+            if self.replica.alive():
+                self.replica.kill()
+            self.start_replica()
+            expect(self.replica.port is not None,
+                   "replica did not restart",
+                   (self.replica.startup or b"").decode(errors="replace"))
+
+        value = read_value(self.args.cli, self.primary_port)
+        expect(acked_round <= value <= attempted,
+               f"durability violated: primary has {value}, "
+               f"acked {acked_round}, attempted {attempted}")
+
+        durable = node_status(self.args.cli, self.primary_port)
+        expect(durable["role"] == "primary", "primary lost its role")
+        wait_applied(self.args.cli, self.replica_port,
+                     durable["durable_lsn"])
+        replica_value = read_value(self.args.cli, self.replica_port)
+        expect(replica_value == value,
+               f"replica diverged: {replica_value} vs {value}")
+        expect(content_digest(self.args.cli, self.primary_port) ==
+               content_digest(self.args.cli, self.replica_port),
+               "content digests diverged after convergence")
+
+    def verify_promoted(self, acked_round, attempted):
+        """Failover: every synchronously-acked commit must survive on
+        the promoted replica, which must then accept writes."""
+        if self.primary.alive():
+            self.primary.kill()
+        _, out = run_cli(self.args.cli, self.replica_port, "promote\n")
+        expect("OK promoted" in out, "PROMOTE refused", out)
+        value = read_value(self.args.cli, self.replica_port)
+        expect(acked_round <= value <= attempted,
+               f"failover lost a sync-acked commit: promoted node has "
+               f"{value}, acked {acked_round}")
+        status = node_status(self.args.cli, self.replica_port)
+        expect(status["role"] == "promoted", "role not promoted")
+        epilogue = attempted + 1
+        _, out = run_cli(
+            self.args.cli, self.replica_port,
+            f"begin\nwrite acct val 0 {epilogue}\ncommit\n")
+        expect(out.count("OK") >= 3, "promoted node refused a write", out)
+        expect(read_value(self.args.cli, self.replica_port) == epilogue,
+               "write on promoted node not visible")
+
+    def run(self):
+        try:
+            self.bring_up()
+            acked_round, acked_lsn, attempted = self.run_writer_with_chaos()
+            if self.scenario == "promote":
+                self.verify_promoted(acked_round, attempted)
+            else:
+                self.verify_converged(acked_round, attempted)
+            return (f"acked={acked_round}@lsn{acked_lsn} "
+                    f"attempted={attempted}")
+        finally:
+            for node in (self.primary, self.replica):
+                if node is not None and node.alive():
+                    node.kill()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve", required=True,
+                        help="path to the anker_serve binary")
+    parser.add_argument("--cli", required=True,
+                        help="path to the anker_cli binary")
+    parser.add_argument("--iterations", type=int, default=12)
+    parser.add_argument("--rounds", type=int, default=120,
+                        help="writer commits per iteration")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a fresh tempdir; "
+                             "use tmpfs, e.g. /dev/shm, for speed)")
+    args = parser.parse_args()
+
+    for binary in (args.serve, args.cli):
+        if not os.path.exists(binary):
+            print(f"binary not found: {binary}")
+            return 2
+
+    owns_workdir = args.workdir is None
+    if owns_workdir:
+        args.workdir = tempfile.mkdtemp(prefix="anker_repl_")
+    os.makedirs(args.workdir, exist_ok=True)
+
+    failures = 0
+    for index in range(args.iterations):
+        rng = random.Random(args.seed + 1000 * index)
+        iteration = Iteration(args, index, rng)
+        try:
+            detail = iteration.run()
+            print(f"iter {index} ({iteration.scenario}): OK {detail}",
+                  flush=True)
+            shutil.rmtree(iteration.workdir, ignore_errors=True)
+        except IterationFailure as failure:
+            failures += 1
+            print(f"iter {index} ({iteration.scenario}): FAILED "
+                  f"[replay: --seed {args.seed}, iteration {index}]\n"
+                  f"{failure}", flush=True)
+
+    if owns_workdir and failures == 0:
+        shutil.rmtree(args.workdir, ignore_errors=True)
+    if failures:
+        print(f"FAILED: {failures}/{args.iterations} iterations "
+              f"(seed={args.seed}, scratch kept at {args.workdir})")
+        return 1
+    print(f"PASSED: {args.iterations}/{args.iterations} replication "
+          f"drill iterations (seed={args.seed})")
+    return 0
+
+
+if __name__ == "__main__":
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+    sys.exit(main())

@@ -1,0 +1,124 @@
+#include "common/fault_injector.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace anker {
+
+namespace {
+
+/// splitmix64 finalizer: a counter through this is a fine uniform source
+/// for fault rolls (no statistical ambition beyond "seeded and spread").
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+FaultInjector::FaultInjector() {
+  const char* spec = std::getenv("ANKER_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return;
+  uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  if (const char* s = std::getenv("ANKER_FAULT_SEED")) {
+    seed = static_cast<uint64_t>(std::strtoull(s, nullptr, 10));
+  }
+  Arm(spec, seed);
+}
+
+void FaultInjector::ArmForTest(const std::string& spec, uint64_t seed) {
+  Arm(spec, seed);
+}
+
+void FaultInjector::Arm(const std::string& spec, uint64_t seed) {
+  std::vector<Point> points;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    const size_t c1 = entry.find(':');
+    const size_t c2 = c1 == std::string::npos ? c1 : entry.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      std::fprintf(stderr, "anker: ignoring malformed ANKER_FAULTS entry %s\n",
+                   entry.c_str());
+      continue;
+    }
+    Point point;
+    point.name = entry.substr(0, c1);
+    const std::string action = entry.substr(c1 + 1, c2 - c1 - 1);
+    point.probability = std::atof(entry.c_str() + c2 + 1);
+    if (action == "kill") {
+      point.kill = true;
+    } else if (action != "fail") {
+      std::fprintf(stderr, "anker: ignoring unknown fault action %s\n",
+                   action.c_str());
+      continue;
+    }
+    if (point.probability <= 0.0) continue;
+    points.push_back(std::move(point));
+  }
+  const Table* next =
+      points.empty() ? nullptr : new Table{std::move(points)};
+  std::lock_guard<std::mutex> lock(arm_mutex_);
+  rng_state_.store(seed * 0x9E3779B97F4A7C15ULL + 1, std::memory_order_relaxed);
+  if (const Table* old = table_.exchange(next, std::memory_order_acq_rel)) {
+    retired_.emplace_back(old);
+  }
+}
+
+const FaultInjector::Point* FaultInjector::Find(const Table& table,
+                                                std::string_view point,
+                                                bool kill) {
+  for (const Point& p : table.points) {
+    if (p.kill == kill && p.name == point) return &p;
+  }
+  return nullptr;
+}
+
+bool FaultInjector::Roll(double probability) {
+  if (probability >= 1.0) return true;
+  const uint64_t z =
+      Mix(rng_state_.fetch_add(0x9E3779B97F4A7C15ULL,
+                               std::memory_order_relaxed));
+  // 53-bit mantissa draw in [0, 1).
+  const double draw = static_cast<double>(z >> 11) * 0x1.0p-53;
+  return draw < probability;
+}
+
+void FaultInjector::MaybeKill(std::string_view point) {
+  const Table* table = table_.load(std::memory_order_acquire);
+  if (table == nullptr) return;
+  const Point* p = Find(*table, point, /*kill=*/true);
+  if (p == nullptr || !Roll(p->probability)) return;
+  // SIGKILL semantics: no stdio flush, no atexit, no destructors. The
+  // write() is async-signal-safe-grade plumbing so harnesses can log
+  // which point fired without risking a deadlock in stdio.
+  char buf[128];
+  const int n = std::snprintf(buf, sizeof(buf), "anker: fault kill at %.*s\n",
+                              static_cast<int>(point.size()), point.data());
+  if (n > 0) {
+    const ssize_t ignored = ::write(2, buf, static_cast<size_t>(n));
+    (void)ignored;
+  }
+  ::_exit(137);
+}
+
+bool FaultInjector::ShouldFail(std::string_view point) {
+  const Table* table = table_.load(std::memory_order_acquire);
+  if (table == nullptr) return false;
+  const Point* p = Find(*table, point, /*kill=*/false);
+  return p != nullptr && Roll(p->probability);
+}
+
+}  // namespace anker

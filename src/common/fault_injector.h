@@ -1,0 +1,89 @@
+#ifndef ANKER_COMMON_FAULT_INJECTOR_H_
+#define ANKER_COMMON_FAULT_INJECTOR_H_
+
+// Process-wide fault injection for crash / partition drills. Production
+// binaries run with the injector disarmed (every probe compiles down to
+// one atomic pointer load); the replication and crash harnesses arm it
+// through the environment to make "the process dies mid-fsync" and "the
+// replication socket flakes" reproducible, seeded events instead of
+// hand-timed SIGKILLs.
+//
+// Arming (read once, at first use):
+//   ANKER_FAULTS="wal.flush.pre:kill:0.01,repl.send:fail:0.05"
+//   ANKER_FAULT_SEED=12345
+//
+// Each entry is `<point>:<action>:<probability>` where action is `kill`
+// (immediate _exit(137), no flush, no destructors — indistinguishable
+// from SIGKILL) or `fail` (the probe reports failure and the call site
+// surfaces a recoverable IO error — a simulated partition or disk hiccup).
+// Unknown points are accepted: the table is data, not code, so harnesses
+// can arm points added later without a lockstep upgrade.
+//
+// Call sites name their points as stable string literals; the registered
+// points are documented in docs/OPERATIONS.md (fault drill section).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anker {
+
+class FaultInjector {
+ public:
+  /// The process-wide injector (armed from the environment on first use).
+  static FaultInjector& Instance();
+
+  /// True when any fault point is armed. Cheap enough for hot paths.
+  bool armed() const {
+    return table_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Dies via _exit(137) with probability p when `point` is armed with
+  /// action `kill`. No-op otherwise.
+  void MaybeKill(std::string_view point);
+
+  /// Returns true with probability p when `point` is armed with action
+  /// `fail`: the caller must surface a recoverable error (never abort).
+  bool ShouldFail(std::string_view point);
+
+  /// Test hook: replaces the armed table from a spec string (same grammar
+  /// as ANKER_FAULTS). Passing "" disarms. Safe against concurrent probes:
+  /// the new table is published atomically and in-flight probes may still
+  /// act on the previous one.
+  void ArmForTest(const std::string& spec, uint64_t seed);
+
+ private:
+  struct Point {
+    std::string name;
+    bool kill = false;  ///< kill vs fail.
+    double probability = 0.0;
+  };
+  /// An immutable armed-point set. Probes read the current table through
+  /// one acquire load; re-arming publishes a fresh table and parks the old
+  /// one in retired_ (probes hold no epoch, so retired tables must outlive
+  /// the process — re-arming only happens in tests, so that is bounded).
+  struct Table {
+    std::vector<Point> points;
+  };
+
+  FaultInjector();
+  void Arm(const std::string& spec, uint64_t seed);
+  static const Point* Find(const Table& table, std::string_view point,
+                           bool kill);
+  bool Roll(double probability);
+
+  std::atomic<const Table*> table_{nullptr};  ///< null = disarmed.
+  std::mutex arm_mutex_;                      ///< serializes re-arming.
+  std::vector<std::unique_ptr<const Table>> retired_;
+  /// splitmix64 counter: fetch_add keeps rolls thread-safe without a lock
+  /// (probes run on commit and replication hot paths).
+  std::atomic<uint64_t> rng_state_{0x9E3779B97F4A7C15ULL};
+};
+
+}  // namespace anker
+
+#endif  // ANKER_COMMON_FAULT_INJECTOR_H_

@@ -2,9 +2,12 @@
 #define ANKER_ENGINE_DATABASE_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/macros.h"
@@ -192,6 +195,48 @@ class Database {
 
   const DatabaseConfig& config() const { return config_; }
 
+  /// Directory the WAL segments live in; the replication service points
+  /// its per-subscriber WalTailers here.
+  std::string wal_dir() const { return config_.data_dir + "/wal"; }
+
+  // --- Replication (WAL shipping) ---------------------------------------
+  //
+  // A replica applies records shipped from its primary through
+  // ApplyReplicated, which both replays them through the normal commit
+  // machinery and mirrors them into the local log under the primary's
+  // LSNs — so a replica restart is just Database::Open plus resuming the
+  // stream at applied_lsn() + 1, and promotion needs no renumbering.
+
+  /// Applies one shipped WAL record (raw payload, primary's LSN). Must be
+  /// called in LSN order from a single applier thread; records at or
+  /// below applied_lsn() are ignored (re-delivery after reconnect).
+  /// Requires durability to be on. Decode failures and table-id gaps are
+  /// recoverable IoErrors — hostile stream bytes must never abort the
+  /// process.
+  Status ApplyReplicated(uint64_t lsn, std::string_view payload);
+
+  /// Highest LSN fully applied to this engine (memory + local log
+  /// buffer). On a primary this tracks the log's own appends implicitly
+  /// and is not maintained; it is meaningful on replicas only.
+  uint64_t applied_lsn() const {
+    return applied_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until applied_lsn() >= lsn or the timeout elapses
+  /// (ResourceBusy — retryable, the stream may just be behind).
+  /// Read-your-writes on a replica: the client hands over the LSN token
+  /// its commit ack carried.
+  Status WaitAppliedLsn(uint64_t lsn, int timeout_millis);
+
+  /// Synchronous-acknowledgement hook: when set, every group-commit
+  /// durability wait additionally runs this after the local fsync — the
+  /// server installs a "wait until a replica acked lsn" function here.
+  /// An error return means the commit is durable locally but its
+  /// replication state is unknown ("commit uncertain"); the commit call
+  /// surfaces that error without acknowledging. Pass nullptr to clear.
+  using ReplicationWaiter = std::function<Status(uint64_t lsn)>;
+  void SetReplicationWaiter(ReplicationWaiter waiter);
+
   /// Creates an empty table; columns use the configured buffer backend.
   Result<storage::Table*> CreateTable(
       const std::string& name, const std::vector<storage::ColumnDef>& schema,
@@ -271,9 +316,21 @@ class Database {
 
   /// Opens the log writer at `first_segment_seq` and installs the
   /// transaction manager's durability hooks. Recovery hands over the
-  /// surviving pre-crash segments so checkpoint truncation owns them.
+  /// surviving pre-crash segments so checkpoint truncation owns them,
+  /// and `first_lsn` one past the highest LSN ever issued so LSNs stay
+  /// strictly increasing across restarts.
   Status StartWal(uint64_t first_segment_seq,
-                  const std::vector<wal::PriorSegment>& existing = {});
+                  const std::vector<wal::PriorSegment>& existing = {},
+                  uint64_t first_lsn = 1);
+
+  /// Applies one decoded WAL record: creates the table (recovery/replica
+  /// schema replay, with the table-id gap and bounds checks) or replays
+  /// the commit through the transaction manager. Records with
+  /// commit_ts <= skip_ts are already part of the checkpoint base image.
+  /// Caller serializes against CreateTable (create_table_mutex_, or
+  /// single-threaded recovery).
+  Status ApplyWalRecord(const wal::WalRecord& record,
+                        mvcc::Timestamp skip_ts);
 
   /// Serializes one commit's write set as a redo record and appends it
   /// (called from the commit critical section via the durability sink).
@@ -284,8 +341,6 @@ class Database {
   /// Commit-hook half of auto-checkpointing: schedules a Checkpoint() on
   /// the worker pool unless one is already pending.
   void ScheduleCheckpoint();
-
-  std::string wal_dir() const { return config_.data_dir + "/wal"; }
 
   DatabaseConfig config_;
   storage::Catalog catalog_;
@@ -303,6 +358,17 @@ class Database {
   std::mutex create_table_mutex_;
   std::mutex checkpoint_mutex_;
   std::atomic<bool> checkpoint_pending_{false};
+
+  // Replication state. applied_lsn_ is the replica apply watermark (set
+  // to the recovery high-water mark by StartWal so a resumed stream
+  // starts exactly where the local log ends); the waiter is the server's
+  // sync-ack hook, swapped under its mutex and invoked outside any
+  // engine lock.
+  std::atomic<uint64_t> applied_lsn_{0};
+  std::mutex applied_mutex_;
+  std::condition_variable applied_cv_;
+  std::mutex repl_waiter_mutex_;
+  std::shared_ptr<const ReplicationWaiter> replication_waiter_;
 
   /// Serializes Start/Stop (the server and its signal-driven shutdown
   /// path may race them; both are idempotent under the lock).

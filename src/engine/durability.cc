@@ -4,6 +4,7 @@
 // src/wal/; this file connects it to the catalog, the snapshot manager
 // and the transaction manager. Protocols: docs/DURABILITY.md.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "engine/database.h"
@@ -46,12 +47,14 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseConfig config) {
 Status Database::Recover() {
   // Phase 1: the checkpoint base image (if one was ever published).
   mvcc::Timestamp ckpt_ts = 0;
+  uint64_t ckpt_wal_lsn = 0;
   std::string ckpt_path;
   auto manifest = wal::CheckpointReader::ReadManifest(config_.data_dir,
                                                       &ckpt_path);
   if (manifest.ok()) {
     const wal::CheckpointManifest& m = manifest.value();
     ckpt_ts = m.checkpoint_ts;
+    ckpt_wal_lsn = m.wal_lsn;
     for (uint32_t table_id = 0; table_id < m.tables.size(); ++table_id) {
       const wal::CheckpointTableMeta& meta = m.tables[table_id];
       auto table_r =
@@ -84,61 +87,86 @@ Status Database::Recover() {
   // later scans cannot mistake it for mid-log corruption).
   auto scan = wal::LogReader::Scan(
       wal_dir(),
-      [&](const wal::WalRecord& record) -> Status {
-        if (record.type == wal::RecordType::kCreateTable) {
-          if (record.table_id < tables_by_id_.size()) {
-            return Status::OK();  // Already present via the checkpoint.
-          }
-          if (record.table_id != tables_by_id_.size()) {
-            return Status::IoError("WAL table-id gap: saw " +
-                                   std::to_string(record.table_id));
-          }
-          return CreateTableInternal(record.table_name, record.schema,
-                                     record.num_rows)
-              .status();
-        }
-        if (record.commit_ts <= ckpt_ts) return Status::OK();
-        std::vector<txn::Transaction::LocalWrite> writes;
-        writes.reserve(record.writes.size());
-        for (const wal::RedoWrite& w : record.writes) {
-          if (w.table_id >= tables_by_id_.size()) {
-            return Status::IoError("WAL redo references unknown table");
-          }
-          storage::Table* table = tables_by_id_[w.table_id];
-          if (w.column_id >= table->num_columns() ||
-              w.row >= table->num_rows()) {
-            return Status::IoError("WAL redo out of bounds for table " +
-                                   table->name());
-          }
-          writes.push_back(txn::Transaction::LocalWrite{
-              table->GetColumnAt(w.column_id), w.row, w.value});
-        }
-        txn_manager_.ReplayCommitted(writes, record.commit_ts);
-        return Status::OK();
+      [&](uint64_t /*lsn*/, const wal::WalRecord& record) -> Status {
+        return ApplyWalRecord(record, ckpt_ts);
       },
       /*repair=*/config_.durability != wal::DurabilityMode::kOff);
   if (!scan.ok()) return scan.status();
 
   // Phase 3: resume logging after everything that survived; the writer
-  // adopts the old segments so later checkpoints can truncate them.
+  // adopts the old segments so later checkpoints can truncate them. The
+  // first LSN must clear both the surviving log (scan) and the
+  // checkpoint's watermark (a fully truncated log leaves no frames to
+  // scan, but the manifest remembers how far LSNs ever got).
   if (config_.durability != wal::DurabilityMode::kOff) {
-    return StartWal(scan.value().next_segment_seq, scan.value().segments);
+    const uint64_t first_lsn =
+        std::max(scan.value().max_lsn, ckpt_wal_lsn) + 1;
+    return StartWal(scan.value().next_segment_seq, scan.value().segments,
+                    first_lsn);
   }
   return Status::OK();
 }
 
+Status Database::ApplyWalRecord(const wal::WalRecord& record,
+                                mvcc::Timestamp skip_ts) {
+  if (record.type == wal::RecordType::kCreateTable) {
+    if (record.table_id < tables_by_id_.size()) {
+      return Status::OK();  // Already present via the checkpoint.
+    }
+    if (record.table_id != tables_by_id_.size()) {
+      return Status::IoError("WAL table-id gap: saw " +
+                             std::to_string(record.table_id));
+    }
+    return CreateTableInternal(record.table_name, record.schema,
+                               record.num_rows)
+        .status();
+  }
+  if (record.commit_ts <= skip_ts) return Status::OK();
+  std::vector<txn::Transaction::LocalWrite> writes;
+  writes.reserve(record.writes.size());
+  for (const wal::RedoWrite& w : record.writes) {
+    if (w.table_id >= tables_by_id_.size()) {
+      return Status::IoError("WAL redo references unknown table");
+    }
+    storage::Table* table = tables_by_id_[w.table_id];
+    if (w.column_id >= table->num_columns() || w.row >= table->num_rows()) {
+      return Status::IoError("WAL redo out of bounds for table " +
+                             table->name());
+    }
+    writes.push_back(txn::Transaction::LocalWrite{
+        table->GetColumnAt(w.column_id), w.row, w.value});
+  }
+  txn_manager_.ReplayCommitted(writes, record.commit_ts);
+  return Status::OK();
+}
+
 Status Database::StartWal(uint64_t first_segment_seq,
-                          const std::vector<wal::PriorSegment>& existing) {
+                          const std::vector<wal::PriorSegment>& existing,
+                          uint64_t first_lsn) {
   wal::LogWriterOptions options;
   options.mode = config_.durability;
   options.segment_bytes = config_.wal_segment_bytes;
   options.flush_interval_millis = config_.wal_flush_interval_millis;
   log_ = std::make_unique<wal::LogWriter>(wal_dir(), options);
-  ANKER_RETURN_IF_ERROR(log_->Open(first_segment_seq, existing));
+  ANKER_RETURN_IF_ERROR(log_->Open(first_segment_seq, existing, first_lsn));
+  // Replica apply resumes exactly where the local log ends.
+  applied_lsn_.store(first_lsn - 1, std::memory_order_release);
 
   txn::TransactionManager::DurabilityWait wait;
   if (config_.durability == wal::DurabilityMode::kGroupCommit) {
-    wait = [this](uint64_t lsn) { return log_->WaitDurable(lsn); };
+    wait = [this](uint64_t lsn) {
+      ANKER_RETURN_IF_ERROR(log_->WaitDurable(lsn));
+      // Synchronous-ack replication composes after the local fsync: the
+      // record is durable here either way; a waiter error only withholds
+      // the acknowledgement ("commit uncertain").
+      std::shared_ptr<const ReplicationWaiter> waiter;
+      {
+        std::lock_guard<std::mutex> guard(repl_waiter_mutex_);
+        waiter = replication_waiter_;
+      }
+      if (waiter != nullptr) return (*waiter)(lsn);
+      return Status::OK();
+    };
   }
   // Per-write payload: table_id + column_id (4+4) + row + value (8+8);
   // the 13-byte record head and a safety margin are folded into the
@@ -151,6 +179,72 @@ Status Database::StartWal(uint64_t first_segment_seq,
       },
       std::move(wait), max_writes);
   return Status::OK();
+}
+
+Status Database::ApplyReplicated(uint64_t lsn, std::string_view payload) {
+  if (log_ == nullptr) {
+    return Status::InvalidArgument(
+        "ApplyReplicated needs durability enabled (the replica mirrors "
+        "the primary's log)");
+  }
+  if (lsn <= applied_lsn()) return Status::OK();  // Re-delivered; ignore.
+  if (lsn != applied_lsn() + 1) {
+    return Status::IoError("replication stream gap: expected LSN " +
+                           std::to_string(applied_lsn() + 1) + ", got " +
+                           std::to_string(lsn));
+  }
+  wal::WalRecord record;
+  ANKER_RETURN_IF_ERROR(wal::DecodeRecord(payload, &record));
+
+  // Apply to memory *before* mirroring into the local log: the local
+  // checkpoint samples appended_lsn() as its manifest wal_lsn, so every
+  // record the log admits to must already be visible to the snapshot pin
+  // that follows the sample. (A crash between the two loses the record
+  // from both memory and log; the stream re-ships it from applied+1.)
+  mvcc::Timestamp max_ts = 0;
+  if (record.type == wal::RecordType::kCreateTable) {
+    // Same mutex discipline as CreateTable: the checkpoint captures its
+    // table set and draws its pin under this lock, so the record's fresh
+    // stamp outlives any truncation by a checkpoint that missed the
+    // table.
+    std::lock_guard<std::mutex> guard(create_table_mutex_);
+    ANKER_RETURN_IF_ERROR(ApplyWalRecord(record, /*skip_ts=*/0));
+    max_ts = txn_manager_.oracle().Next();
+    log_->AppendReplicated(payload, max_ts, lsn);
+  } else {
+    ANKER_RETURN_IF_ERROR(ApplyWalRecord(record, /*skip_ts=*/0));
+    max_ts = record.commit_ts;
+    log_->AppendReplicated(payload, max_ts, lsn);
+  }
+
+  {
+    std::lock_guard<std::mutex> guard(applied_mutex_);
+    applied_lsn_.store(lsn, std::memory_order_release);
+  }
+  applied_cv_.notify_all();
+  return Status::OK();
+}
+
+Status Database::WaitAppliedLsn(uint64_t lsn, int timeout_millis) {
+  if (applied_lsn() >= lsn) return Status::OK();
+  std::unique_lock<std::mutex> lock(applied_mutex_);
+  const bool reached = applied_cv_.wait_for(
+      lock, std::chrono::milliseconds(timeout_millis),
+      [&] { return applied_lsn() >= lsn; });
+  if (reached) return Status::OK();
+  return Status::ResourceBusy(
+      "replica has not applied LSN " + std::to_string(lsn) + " yet (at " +
+      std::to_string(applied_lsn()) + "); retry or read stale");
+}
+
+void Database::SetReplicationWaiter(ReplicationWaiter waiter) {
+  std::lock_guard<std::mutex> guard(repl_waiter_mutex_);
+  if (waiter) {
+    replication_waiter_ =
+        std::make_shared<const ReplicationWaiter>(std::move(waiter));
+  } else {
+    replication_waiter_.reset();
+  }
 }
 
 uint64_t Database::AppendCommitRecord(
@@ -199,9 +293,17 @@ Result<CheckpointResult> Database::Checkpoint() {
   // can never delete the only durable trace of it.
   std::vector<storage::Table*> tables;
   std::unique_ptr<OlapContext> ctx;
+  uint64_t manifest_wal_lsn = 0;
   {
     std::lock_guard<std::mutex> create_guard(create_table_mutex_);
     tables = tables_by_id_;
+    // The replication watermark, sampled *before* the epoch trigger:
+    // every commit record with lsn <= the sample appended (and therefore
+    // stored its visible_ts) before the trigger, so the pin below covers
+    // it; every create-table record at or below the sample belongs to a
+    // completed create under this same mutex, so its table is in
+    // `tables`. Anything the image might miss has lsn > the sample.
+    if (log_ != nullptr) manifest_wal_lsn = log_->appended_lsn();
     // A fresh epoch makes the checkpoint as current as possible; OLAP
     // queries arriving meanwhile simply share it.
     if (snapshot_manager_ != nullptr) snapshot_manager_->TriggerEpoch();
@@ -232,6 +334,7 @@ Result<CheckpointResult> Database::Checkpoint() {
   // replay derives actual state from ckpt_ts, not from these counters.
   manifest.commit_count = txn_manager_.committed_count();
   manifest.next_txn_id = txn_manager_.next_txn_id();
+  manifest.wal_lsn = manifest_wal_lsn;
 
   for (uint32_t table_id = 0; s.ok() && table_id < tables.size();
        ++table_id) {

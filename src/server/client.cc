@@ -6,8 +6,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace anker::server {
 
@@ -49,6 +52,7 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
 
   std::unique_ptr<Client> client(new Client());
   client->fd_ = fd;
+  client->options_ = options;
 
   HelloMsg hello;
   hello.auth_token = options.auth_token;
@@ -157,10 +161,18 @@ Status Client::StatusResponse(const std::string& payload) {
 }
 
 Result<std::string> Client::RoundTrip(const std::string& request_payload) {
-  ANKER_RETURN_IF_ERROR(SendFrame(request_payload));
-  std::string response;
-  ANKER_RETURN_IF_ERROR(ReceiveFrame(&response));
-  return response;
+  int backoff = std::max(1, options_.busy_backoff_initial_millis);
+  for (int attempt = 0;; ++attempt) {
+    ANKER_RETURN_IF_ERROR(SendFrame(request_payload));
+    std::string response;
+    ANKER_RETURN_IF_ERROR(ReceiveFrame(&response));
+    if (attempt >= options_.busy_retry_budget || response.empty() ||
+        static_cast<Op>(response[0]) != Op::kBusy) {
+      return response;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    backoff = std::min(backoff * 2, options_.busy_backoff_max_millis);
+  }
 }
 
 Status Client::SendOnly(const std::string& request_payload) {
@@ -201,10 +213,25 @@ Status Client::Begin() {
   return StatusResponse(response.value());
 }
 
+Status Client::CommitResponse(const std::string& payload) {
+  if (!payload.empty() && static_cast<Op>(payload[0]) == Op::kCommitOk) {
+    uint64_t lsn = 0;
+    const Status decoded =
+        DecodeCommitOk(std::string_view(payload).substr(1), &lsn);
+    if (!decoded.ok()) {
+      poisoned_ = decoded;
+      return poisoned_;
+    }
+    last_commit_lsn_ = lsn;
+    return Status::OK();
+  }
+  return StatusResponse(payload);
+}
+
 Status Client::Commit() {
   auto response = RoundTrip(OpOnly(Op::kCommit));
   if (!response.ok()) return response.status();
-  return StatusResponse(response.value());
+  return CommitResponse(response.value());
 }
 
 Status Client::Abort() {
@@ -263,7 +290,7 @@ Status Client::ExecTxn(const std::vector<PointWrite>& writes) {
   EncodeWriteBatch(Op::kExecTxn, writes, &payload);
   auto response = RoundTrip(payload);
   if (!response.ok()) return response.status();
-  return StatusResponse(response.value());
+  return CommitResponse(response.value());
 }
 
 Result<query::QueryResult> Client::Query(const query::WireQuery& query,
@@ -365,6 +392,59 @@ Status Client::DefineDict(const std::string& table,
   auto response = RoundTrip(payload);
   if (!response.ok()) return response.status();
   return StatusResponse(response.value());
+}
+
+Status Client::WaitLsn(uint64_t lsn, uint32_t timeout_millis) {
+  WaitLsnMsg msg;
+  msg.lsn = lsn;
+  msg.timeout_millis = timeout_millis;
+  std::string payload;
+  EncodeWaitLsn(msg, &payload);
+  auto response = RoundTrip(payload);
+  if (!response.ok()) return response.status();
+  return StatusResponse(response.value());
+}
+
+Result<ReplicaStatusOkMsg> Client::ReplicaStatus() {
+  auto response = RoundTrip(OpOnly(Op::kReplicaStatus));
+  if (!response.ok()) return response.status();
+  if (!response.value().empty() &&
+      static_cast<Op>(response.value()[0]) == Op::kReplicaStatusOk) {
+    ReplicaStatusOkMsg status;
+    ANKER_RETURN_IF_ERROR(DecodeReplicaStatusOk(
+        std::string_view(response.value()).substr(1), &status));
+    return status;
+  }
+  return StatusResponse(response.value());
+}
+
+Status Client::Promote() {
+  auto response = RoundTrip(OpOnly(Op::kPromote));
+  if (!response.ok()) return response.status();
+  return StatusResponse(response.value());
+}
+
+Status Client::CheckpointNow() {
+  auto response = RoundTrip(OpOnly(Op::kCheckpointNow));
+  if (!response.ok()) return response.status();
+  return StatusResponse(response.value());
+}
+
+Result<uint64_t> Client::Digest() {
+  auto response = RoundTrip(OpOnly(Op::kDigest));
+  if (!response.ok()) return response.status();
+  if (!response.value().empty() &&
+      static_cast<Op>(response.value()[0]) == Op::kDigestOk) {
+    uint64_t digest = 0;
+    ANKER_RETURN_IF_ERROR(
+        DecodeDigestOk(std::string_view(response.value()).substr(1), &digest));
+    return digest;
+  }
+  return StatusResponse(response.value());
+}
+
+void Client::ShutdownSocket() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 Result<std::vector<TableInfo>> Client::ListTables() {

@@ -29,6 +29,15 @@ struct ClientOptions {
   std::string auth_token;
   /// Send/receive timeout per socket operation; 0 = block forever.
   int io_timeout_millis = 0;
+  /// Opt-in retry budget for BUSY responses: RoundTrip-style operations
+  /// re-send up to this many times with bounded exponential backoff
+  /// before surfacing kResourceBusy. 0 (default) = no retries. BUSY is
+  /// emitted *before* the server runs an operation (admission control),
+  /// so re-sending is safe; callers enabling this on COMMIT/EXEC_TXN
+  /// accept at-least-once submission if a sync-ack gate times out.
+  int busy_retry_budget = 0;
+  int busy_backoff_initial_millis = 5;
+  int busy_backoff_max_millis = 500;
 };
 
 class Client {
@@ -76,6 +85,26 @@ class Client {
                     const std::vector<std::string>& values);
   Result<std::vector<TableInfo>> ListTables();
 
+  /// Replication / operations surface (protocol v3).
+  /// Blocks until the node has applied `lsn` (read-your-writes against a
+  /// replica: pass last_commit_lsn() from the primary connection).
+  /// kResourceBusy when the wait times out — the replica is lagging.
+  Status WaitLsn(uint64_t lsn, uint32_t timeout_millis);
+  Result<ReplicaStatusOkMsg> ReplicaStatus();
+  /// Controlled failover: flips a replica writable. See docs/OPERATIONS.md.
+  Status Promote();
+  Status CheckpointNow();
+  /// Whole-database content digest; meaningful on a quiesced node.
+  Result<uint64_t> Digest();
+
+  /// LSN of the last COMMIT/EXEC_TXN acknowledged on this connection
+  /// (0 before any durable commit) — the read-your-writes token.
+  uint64_t last_commit_lsn() const { return last_commit_lsn_; }
+
+  /// Unblocks any thread stuck in recv/send on this client (the fd stays
+  /// owned and is closed by the destructor). Safe from another thread.
+  void ShutdownSocket();
+
   /// Fire-and-wait raw round trip for tests and benches: sends one
   /// already-encoded request payload, returns the raw response payload.
   Result<std::string> RoundTrip(const std::string& request_payload);
@@ -94,9 +123,13 @@ class Client {
   /// Decodes kOk / kErr / kBusy into a Status; anything else is a
   /// protocol error (poisons the client).
   Status StatusResponse(const std::string& payload);
+  /// kOk or kCommitOk (stashing the LSN) → OK; else StatusResponse.
+  Status CommitResponse(const std::string& payload);
 
   int fd_ = -1;
   std::string inbox_;
+  ClientOptions options_;
+  uint64_t last_commit_lsn_ = 0;
   Status poisoned_ = Status::OK();  ///< First transport failure, sticky.
 };
 

@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "wal/crc32c.h"
@@ -53,6 +54,13 @@ bool IsRequestOp(uint8_t op) {
     case Op::kBuildIndex:
     case Op::kListTables:
     case Op::kDictDefine:
+    case Op::kReplicateHello:
+    case Op::kFetchCheckpoint:
+    case Op::kReplicaStatus:
+    case Op::kWaitLsn:
+    case Op::kPromote:
+    case Op::kCheckpointNow:
+    case Op::kDigest:
       return true;
     default:
       return false;
@@ -111,6 +119,10 @@ Status StatusFromWire(WireError code, std::string message) {
       return Status::InvalidArgument("handshake: " + message);
     case WireError::kProtocolError:
       return Status::InvalidArgument("protocol: " + message);
+    case WireError::kReadOnlyReplica:
+      // Retryable by reconnecting to the primary; kResourceBusy keeps it
+      // in the "try elsewhere / try later" class rather than a hard fail.
+      return Status::ResourceBusy("read-only replica: " + message);
   }
   return Status::Internal(std::move(message));
 }
@@ -524,6 +536,205 @@ Status DecodeTables(std::string_view in, std::vector<TableInfo>* tables) {
     ANKER_RETURN_IF_ERROR(GetSchema(&in, &info.schema));
     tables->push_back(std::move(info));
   }
+  return ExpectDrained(in);
+}
+
+void EncodeReplicateHello(const ReplicateHelloMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kReplicateHello));
+  PutString(out, msg.replica_id);
+  PutU64(out, msg.start_lsn);
+  PutU8(out, msg.sync_ack ? 1 : 0);
+}
+
+Status DecodeReplicateHello(std::string_view in, ReplicateHelloMsg* msg) {
+  if (!GetString(&in, &msg->replica_id) || !GetU64(&in, &msg->start_lsn) ||
+      !GetBool(&in, &msg->sync_ack)) {
+    return Truncated();
+  }
+  if (msg->replica_id.empty() || msg->replica_id.size() > 256) {
+    return Status::InvalidArgument("bad replica id");
+  }
+  if (msg->start_lsn == 0) {
+    return Status::InvalidArgument("replication start LSN must be >= 1");
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeReplicaStatus(const ReplicaStatusMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kReplicaStatus));
+  PutU64(out, msg.durable_lsn);
+  PutU64(out, msg.applied_lsn);
+}
+
+Status DecodeReplicaStatus(std::string_view in, ReplicaStatusMsg* msg) {
+  if (!GetU64(&in, &msg->durable_lsn) || !GetU64(&in, &msg->applied_lsn)) {
+    return Truncated();
+  }
+  if (msg->applied_lsn > msg->durable_lsn) {
+    // A record becomes visible only after it was mirrored; a claim to
+    // have applied past its own durable watermark is lying or corrupt —
+    // and would drag the primary's retention floor forward incorrectly.
+    return Status::InvalidArgument("replica ack: applied > durable");
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeLogStream(uint64_t primary_durable_lsn,
+                     const std::vector<StreamRecord>& records,
+                     std::string* out) {
+  ANKER_CHECK(records.size() <= kMaxLogStreamRecords);
+  PutU8(out, static_cast<uint8_t>(Op::kLogStream));
+  PutU64(out, primary_durable_lsn);
+  PutU32(out, static_cast<uint32_t>(records.size()));
+  for (const StreamRecord& record : records) {
+    PutU64(out, record.lsn);
+    PutString(out, record.payload);
+  }
+}
+
+Status DecodeLogStream(std::string_view in, uint64_t* primary_durable_lsn,
+                       std::vector<StreamRecord>* records) {
+  uint32_t count = 0;
+  if (!GetU64(&in, primary_durable_lsn) || !GetU32(&in, &count)) {
+    return Truncated();
+  }
+  if (count > kMaxLogStreamRecords) {
+    return Status::InvalidArgument("log stream record count implausible");
+  }
+  records->clear();
+  records->reserve(count);
+  uint64_t prev_lsn = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    StreamRecord record;
+    if (!GetU64(&in, &record.lsn) || !GetString(&in, &record.payload)) {
+      return Truncated();
+    }
+    if (record.lsn == 0 || record.lsn <= prev_lsn) {
+      return Status::InvalidArgument("log stream LSNs not increasing");
+    }
+    if (record.lsn > *primary_durable_lsn) {
+      return Status::InvalidArgument(
+          "log stream record beyond the durable watermark");
+    }
+    if (record.payload.size() > wal::kMaxRecordBytes) {
+      return Status::InvalidArgument("log stream record implausibly large");
+    }
+    prev_lsn = record.lsn;
+    records->push_back(std::move(record));
+  }
+  return ExpectDrained(in);
+}
+
+namespace {
+
+/// A checkpoint file travels as a relative path ("ckpt-12/MANIFEST",
+/// "CURRENT"). Reject anything that could escape the replica's data_dir.
+bool SafeRelativePath(const std::string& path) {
+  if (path.empty() || path.size() > 4096 || path.front() == '/') return false;
+  size_t begin = 0;
+  while (begin <= path.size()) {
+    const size_t end = std::min(path.find('/', begin), path.size());
+    const std::string_view part(path.data() + begin, end - begin);
+    if (part.empty() || part == "." || part == "..") return false;
+    begin = end + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodeCkptChunk(const CkptChunkMsg& msg, std::string* out) {
+  ANKER_CHECK(msg.data.size() <= kMaxCkptChunkBytes);
+  PutU8(out, static_cast<uint8_t>(Op::kCkptChunk));
+  PutString(out, msg.file);
+  PutU64(out, msg.offset);
+  PutU8(out, msg.last ? 1 : 0);
+  PutString(out, msg.data);
+}
+
+Status DecodeCkptChunk(std::string_view in, CkptChunkMsg* msg) {
+  if (!GetString(&in, &msg->file) || !GetU64(&in, &msg->offset) ||
+      !GetBool(&in, &msg->last) || !GetString(&in, &msg->data)) {
+    return Truncated();
+  }
+  if (!SafeRelativePath(msg->file)) {
+    return Status::InvalidArgument("unsafe checkpoint file path");
+  }
+  if (msg->data.size() > kMaxCkptChunkBytes) {
+    return Status::InvalidArgument("checkpoint chunk too large");
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeCkptDone(uint32_t file_count, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kCkptDone));
+  PutU32(out, file_count);
+}
+
+Status DecodeCkptDone(std::string_view in, uint32_t* file_count) {
+  if (!GetU32(&in, file_count)) return Truncated();
+  return ExpectDrained(in);
+}
+
+void EncodeWaitLsn(const WaitLsnMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kWaitLsn));
+  PutU64(out, msg.lsn);
+  PutU32(out, msg.timeout_millis);
+}
+
+Status DecodeWaitLsn(std::string_view in, WaitLsnMsg* msg) {
+  if (!GetU64(&in, &msg->lsn) || !GetU32(&in, &msg->timeout_millis)) {
+    return Truncated();
+  }
+  if (msg->timeout_millis > 60'000) {
+    // A remote peer must not be able to park a server slot for hours.
+    msg->timeout_millis = 60'000;
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeCommitOk(uint64_t lsn, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kCommitOk));
+  PutU64(out, lsn);
+}
+
+Status DecodeCommitOk(std::string_view in, uint64_t* lsn) {
+  if (!GetU64(&in, lsn)) return Truncated();
+  return ExpectDrained(in);
+}
+
+void EncodeReplicaStatusOk(const ReplicaStatusOkMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kReplicaStatusOk));
+  PutU8(out, static_cast<uint8_t>(msg.role));
+  PutU8(out, msg.stream_connected ? 1 : 0);
+  PutU64(out, msg.applied_lsn);
+  PutU64(out, msg.durable_lsn);
+  PutU64(out, msg.staleness_millis);
+  PutString(out, msg.primary_addr);
+}
+
+Status DecodeReplicaStatusOk(std::string_view in, ReplicaStatusOkMsg* msg) {
+  uint8_t role = 0;
+  if (!GetU8(&in, &role) || !GetBool(&in, &msg->stream_connected) ||
+      !GetU64(&in, &msg->applied_lsn) || !GetU64(&in, &msg->durable_lsn) ||
+      !GetU64(&in, &msg->staleness_millis) ||
+      !GetString(&in, &msg->primary_addr)) {
+    return Truncated();
+  }
+  if (role > static_cast<uint8_t>(NodeRole::kPromoted)) {
+    return Status::InvalidArgument("unknown node role");
+  }
+  msg->role = static_cast<NodeRole>(role);
+  return ExpectDrained(in);
+}
+
+void EncodeDigestOk(uint64_t digest, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kDigestOk));
+  PutU64(out, digest);
+}
+
+Status DecodeDigestOk(std::string_view in, uint64_t* digest) {
+  if (!GetU64(&in, digest)) return Truncated();
   return ExpectDrained(in);
 }
 

@@ -38,7 +38,12 @@ inline constexpr uint32_t kMaxFramePayload = 4u << 20;
 /// v2: QUERY carries operator-DAG forms (joins, order/limit, window,
 /// select); QUERY_BATCH key slots widened to typed 64-bit raws and
 /// QUERY_DONE gained per-key type tags.
-inline constexpr uint32_t kProtocolVersion = 2;
+/// v3: replication surface (REPLICATE_HELLO / FETCH_CHECKPOINT /
+/// LOG_STREAM / REPLICA_STATUS, plus WAIT_LSN / PROMOTE / CHECKPOINT_NOW
+/// / DIGEST); COMMIT and EXEC_TXN now acknowledge with COMMIT_OK
+/// carrying the commit's WAL LSN (the read-your-writes token); writes on
+/// a replica fail with the READ_ONLY_REPLICA error code.
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /// Magic the client opens HELLO with ("ANKRNET1", little-endian), so a
 /// stray connection speaking another protocol is rejected on byte one.
@@ -75,6 +80,15 @@ enum class Op : uint8_t {
   kListTables = 0x33,
   kDictDefine = 0x34,  ///< Append dictionary entries (code = position).
 
+  // Replication / operations surface (v3).
+  kReplicateHello = 0x40,   ///< Subscribe this connection to the WAL stream.
+  kFetchCheckpoint = 0x41,  ///< Stream the newest checkpoint's files.
+  kReplicaStatus = 0x42,    ///< Stream ack (replica -> primary) or probe.
+  kWaitLsn = 0x43,          ///< Block until applied_lsn >= lsn (replica).
+  kPromote = 0x44,          ///< Flip a replica writable (operator action).
+  kCheckpointNow = 0x45,    ///< Force a checkpoint (pre-bootstrap).
+  kDigest = 0x46,           ///< Content digest of all visible data.
+
   // Responses.
   kHelloOk = 0x81,
   kOk = 0x82,          ///< Generic success ack (BEGIN/COMMIT/WRITE/...).
@@ -85,6 +99,14 @@ enum class Op : uint8_t {
   kQueryDone = 0x87,   ///< Result metadata + scan stats; ends the stream.
   kPong = 0x88,
   kTables = 0x89,      ///< ListTables response.
+
+  // Replication / operations responses (v3).
+  kLogStream = 0x8a,        ///< A batch of WAL records (empty = heartbeat).
+  kCkptChunk = 0x8b,        ///< One slice of one checkpoint file.
+  kCkptDone = 0x8c,         ///< Checkpoint transfer complete.
+  kCommitOk = 0x8d,         ///< Commit ack carrying the commit's WAL LSN.
+  kReplicaStatusOk = 0x8e,  ///< Role, watermarks, staleness.
+  kDigestOk = 0x8f,         ///< Content digest value.
 };
 
 /// True iff `op` is a known request opcode (client -> server).
@@ -109,6 +131,9 @@ enum class WireError : uint8_t {
   // Protocol-level (no StatusCode equivalent).
   kBadHandshake = 32,  ///< Malformed/missing HELLO, wrong magic or version.
   kProtocolError = 33, ///< Op sequencing violation (e.g. op before HELLO).
+  /// Write-class op sent to a read replica. Recoverable: the session
+  /// survives and reads keep working — redirect writes to the primary.
+  kReadOnlyReplica = 34,
 };
 
 WireError WireErrorFor(const Status& status);
@@ -260,6 +285,101 @@ struct TableInfo {
 };
 void EncodeTables(const std::vector<TableInfo>& tables, std::string* out);
 Status DecodeTables(std::string_view in, std::vector<TableInfo>* tables);
+
+/// ---- replication messages (v3) -------------------------------------------
+/// The subscription handshake, checkpoint transfer and record stream for
+/// WAL shipping. All of these decoders face a network peer — a hostile
+/// or corrupt frame must come back as InvalidArgument, never abort.
+
+/// kReplicateHello: turns the connection into a log-stream subscription.
+struct ReplicateHelloMsg {
+  std::string replica_id;   ///< Stable name for logs and the ack registry.
+  uint64_t start_lsn = 1;   ///< First LSN the subscriber still needs.
+  bool sync_ack = false;    ///< Gate primary commit acks on this replica.
+};
+void EncodeReplicateHello(const ReplicateHelloMsg& msg, std::string* out);
+Status DecodeReplicateHello(std::string_view in, ReplicateHelloMsg* msg);
+
+/// kReplicaStatus: as a request on a streaming connection it is the
+/// replica's ack (both watermarks); as a plain session request it probes
+/// a node's role and staleness (fields ignored).
+struct ReplicaStatusMsg {
+  uint64_t durable_lsn = 0;  ///< Highest LSN fsynced into the local mirror.
+  uint64_t applied_lsn = 0;  ///< Highest LSN visible to reads.
+};
+void EncodeReplicaStatus(const ReplicaStatusMsg& msg, std::string* out);
+Status DecodeReplicaStatus(std::string_view in, ReplicaStatusMsg* msg);
+
+/// kLogStream: one batch of shipped records. `primary_durable_lsn` lets
+/// an empty batch double as a heartbeat that still advances the
+/// replica's view of how far behind it is.
+struct StreamRecord {
+  uint64_t lsn = 0;
+  std::string payload;
+};
+inline constexpr uint32_t kMaxLogStreamRecords = 4096;
+void EncodeLogStream(uint64_t primary_durable_lsn,
+                     const std::vector<StreamRecord>& records,
+                     std::string* out);
+/// Rejects lying counts, oversized payloads, zero or non-increasing
+/// LSNs — any of which would otherwise poison the replica's apply loop.
+Status DecodeLogStream(std::string_view in, uint64_t* primary_durable_lsn,
+                       std::vector<StreamRecord>* records);
+
+/// kCkptChunk: one slice of one checkpoint file, in path order. `file`
+/// is a relative path under the data directory (e.g. "ckpt-12/MANIFEST"
+/// or "CURRENT"); the decoder rejects absolute paths and ".." traversal
+/// so a hostile primary cannot write outside the replica's data_dir.
+struct CkptChunkMsg {
+  std::string file;
+  uint64_t offset = 0;
+  bool last = false;  ///< Final chunk of this file.
+  std::string data;
+};
+inline constexpr uint32_t kMaxCkptChunkBytes = 1u << 20;
+void EncodeCkptChunk(const CkptChunkMsg& msg, std::string* out);
+Status DecodeCkptChunk(std::string_view in, CkptChunkMsg* msg);
+
+/// kCkptDone: ends a FETCH_CHECKPOINT transfer.
+void EncodeCkptDone(uint32_t file_count, std::string* out);
+Status DecodeCkptDone(std::string_view in, uint32_t* file_count);
+
+/// kWaitLsn: block (bounded) until the replica has applied `lsn` — the
+/// read-your-writes barrier, using the LSN from a COMMIT_OK ack.
+struct WaitLsnMsg {
+  uint64_t lsn = 0;
+  uint32_t timeout_millis = 0;
+};
+void EncodeWaitLsn(const WaitLsnMsg& msg, std::string* out);
+Status DecodeWaitLsn(std::string_view in, WaitLsnMsg* msg);
+
+/// kCommitOk: success ack for COMMIT / EXEC_TXN carrying the commit
+/// record's WAL LSN (0 when the transaction wrote nothing or durability
+/// is off).
+void EncodeCommitOk(uint64_t lsn, std::string* out);
+Status DecodeCommitOk(std::string_view in, uint64_t* lsn);
+
+enum class NodeRole : uint8_t {
+  kPrimary = 0,
+  kReplica = 1,
+  kPromoted = 2,  ///< Was a replica; now writable after PROMOTE.
+};
+
+/// kReplicaStatusOk: the probe response.
+struct ReplicaStatusOkMsg {
+  NodeRole role = NodeRole::kPrimary;
+  bool stream_connected = false;     ///< Replica only: stream currently up.
+  uint64_t applied_lsn = 0;
+  uint64_t durable_lsn = 0;
+  uint64_t staleness_millis = 0;     ///< Time since last stream progress.
+  std::string primary_addr;          ///< Replica only: upstream host:port.
+};
+void EncodeReplicaStatusOk(const ReplicaStatusOkMsg& msg, std::string* out);
+Status DecodeReplicaStatusOk(std::string_view in, ReplicaStatusOkMsg* msg);
+
+/// kDigestOk: Database::ContentDigest over all visible data.
+void EncodeDigestOk(uint64_t digest, std::string* out);
+Status DecodeDigestOk(std::string_view in, uint64_t* digest);
 
 }  // namespace anker::server
 

@@ -1,0 +1,211 @@
+#ifndef ANKER_SERVER_REPLICATION_H_
+#define ANKER_SERVER_REPLICATION_H_
+
+// WAL-shipping replication over the anker wire protocol (v3).
+//
+// Primary side — ReplicationMaster: the Server hands it a connection
+// that sent REPLICATE_HELLO; the master detaches the socket from the
+// epoll loop onto a dedicated streamer thread that tails the live WAL
+// (wal::WalTailer), ships durable records as LOG_STREAM frames, emits
+// empty LOG_STREAM heartbeats while idle, and drains REPLICA_STATUS
+// acks coming the other way. Acked LSNs feed two mechanisms:
+//  - the retention floor (LogWriter::SetRetainLsn): checkpoint
+//    truncation never deletes a segment the slowest replica still
+//    needs;
+//  - the optional sync-ack commit gate (Database::SetReplicationWaiter):
+//    when a subscriber asked for sync_ack, local commits withhold their
+//    ack until that replica confirmed the commit's LSN durable — or a
+//    bounded wait expires with a "commit uncertain" ResourceBusy (the
+//    record IS durable locally either way).
+//
+// Replica side — ReplicaController: runs next to a read-only Server
+// over the same Database. A fetch thread connects to the primary,
+// streams the tail from applied_lsn()+1, applies records through
+// Database::ApplyReplicated (memory first, then the local WAL mirror),
+// and acks its own durable/applied watermarks. Reconnects use capped
+// exponential backoff and resume from the applied watermark; a primary
+// that stops heartbeating is detected by the receive timeout and the
+// replica degrades to serving stale reads (staleness is reported via
+// REPLICA_STATUS) until the stream heals or an operator promotes it.
+//
+// Bootstrap: FetchCheckpointInto copies the primary's newest checkpoint
+// (forced fresh with CHECKPOINT_NOW, so non-WAL-logged bulk loads are
+// captured) into an empty data_dir; Database::Open then recovers from
+// it exactly as if it were local.
+//
+// docs/OPERATIONS.md carries the runbook: topology, knobs, staleness
+// bounds, promotion and the split-brain caveats.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "engine/database.h"
+#include "server/client.h"
+#include "server/protocol.h"
+
+namespace anker::server {
+
+struct ReplicationMasterConfig {
+  /// Idle streamer connections send an empty LOG_STREAM this often, so
+  /// replicas can tell "caught up" from "primary dead".
+  int heartbeat_millis = 500;
+  /// Sync-ack commit gate: how long a commit waits for a sync replica's
+  /// durable ack before reporting "commit uncertain" (ResourceBusy).
+  int ack_wait_millis = 2000;
+  /// Per-frame batching budget for shipped records.
+  size_t max_batch_bytes = 1u << 20;
+};
+
+/// Primary-side subscriber registry + streamer threads. Thread-safe.
+class ReplicationMaster {
+ public:
+  ReplicationMaster(engine::Database* db, ReplicationMasterConfig config);
+  ~ReplicationMaster();
+  ANKER_DISALLOW_COPY_AND_MOVE(ReplicationMaster);
+
+  /// Takes ownership of `fd` (a connected, HELLO-completed socket whose
+  /// last request was REPLICATE_HELLO) and starts streaming on a
+  /// dedicated thread. `residual_inbox` is any bytes already read off
+  /// the socket beyond that request (early acks). Fails (and leaves the
+  /// fd to the caller) when the database has durability off.
+  Status Subscribe(int fd, std::string residual_inbox,
+                   const ReplicateHelloMsg& hello);
+
+  /// Stops every streamer and joins the threads. Idempotent.
+  void Stop();
+
+  size_t connected_subscribers() const;
+
+  /// Primary's answer to a REPLICA_STATUS probe.
+  ReplicaStatusOkMsg PrimaryStatus() const;
+
+ private:
+  struct Subscriber {
+    uint64_t acked_durable = 0;
+    uint64_t acked_applied = 0;
+    bool sync_ack = false;
+    bool connected = false;
+    int fd = -1;  ///< Live socket while connected (for Stop()).
+  };
+
+  void StreamLoop(int fd, std::string inbox, ReplicateHelloMsg hello);
+  /// Parses acks buffered in `inbox`; false on a protocol violation.
+  bool DrainAcks(const std::string& id, std::string* inbox);
+  void RecordAck(const std::string& id, const ReplicaStatusMsg& ack);
+  /// Recomputes the WAL retention floor from all acked watermarks.
+  /// Caller holds mutex_.
+  void UpdateRetainLocked();
+  /// The sync-ack commit gate installed as the Database's replication
+  /// waiter while any sync subscriber is registered.
+  Status WaitSyncAck(uint64_t lsn);
+  void MarkDisconnected(const std::string& id);
+
+  engine::Database* db_;
+  const ReplicationMasterConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ack_cv_;
+  /// Keyed by replica_id; an entry persists across reconnects so the
+  /// retention floor keeps protecting a briefly-offline replica. (A
+  /// permanently dead replica pins the WAL until the primary restarts —
+  /// an operator decision, see docs/OPERATIONS.md.)
+  std::map<std::string, Subscriber> subscribers_;
+  size_t sync_subscribers_ = 0;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
+};
+
+struct ReplicaConfig {
+  std::string primary_host = "127.0.0.1";
+  uint16_t primary_port = 0;
+  std::string auth_token;
+  /// Stable identity in the primary's registry (retention floor, logs).
+  std::string replica_id = "replica";
+  /// Ask the primary to gate its commit acks on this replica's acks.
+  bool sync_ack = false;
+  /// No frame (record or heartbeat) for this long = primary presumed
+  /// dead; drop the connection and re-dial with backoff.
+  int stream_timeout_millis = 3000;
+  /// Local-mirror fsync + ack cadence while records are flowing.
+  int ack_interval_millis = 200;
+  int backoff_initial_millis = 100;
+  int backoff_max_millis = 5000;
+};
+
+/// Replica-side stream consumer. Owns one background fetch thread.
+class ReplicaController {
+ public:
+  ReplicaController(engine::Database* db, ReplicaConfig config);
+  ~ReplicaController();
+  ANKER_DISALLOW_COPY_AND_MOVE(ReplicaController);
+
+  /// One-shot bootstrap for an empty data_dir: asks the primary for a
+  /// fresh checkpoint (CHECKPOINT_NOW + FETCH_CHECKPOINT) and installs
+  /// it locally. Call before Database::Open. A data_dir that already
+  /// has state recovers locally instead — do not call this on it.
+  static Status Bootstrap(const ReplicaConfig& config,
+                          const std::string& data_dir);
+
+  void Start();
+  void Stop();
+
+  /// Controlled failover: stops the stream, makes the local mirror
+  /// durable, and flips this node writable. Irreversible. The caller
+  /// must ensure the old primary is actually dead or fenced — two
+  /// writable heads fork history (docs/OPERATIONS.md, split brain).
+  Status Promote();
+
+  /// True until promoted: the serving layer refuses write-class ops.
+  bool read_only() const { return !promoted_.load(); }
+
+  ReplicaStatusOkMsg Status_() const;
+
+ private:
+  void FetchLoop();
+  /// One connect -> subscribe -> apply session; returns when the stream
+  /// breaks or stop/promote is requested.
+  void RunSession();
+  /// Fsync the local mirror and send a REPLICA_STATUS ack.
+  Status SendAck(Client* client);
+
+  engine::Database* db_;
+  const ReplicaConfig config_;
+
+  std::thread fetcher_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> promoted_{false};
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> needs_rebootstrap_{false};
+
+  mutable std::mutex mutex_;
+  Client* live_client_ = nullptr;  ///< For Stop() to cut a blocked recv.
+  std::chrono::steady_clock::time_point last_progress_ =
+      std::chrono::steady_clock::now();
+};
+
+/// Client side of FETCH_CHECKPOINT: sends the request on `client` and
+/// writes the streamed files under `data_dir`, publishing CURRENT last
+/// (atomically, after everything else is fsynced) so a crash mid-fetch
+/// never leaves a data_dir pointing at a half-written checkpoint.
+Status FetchCheckpointInto(Client* client, const std::string& data_dir);
+
+/// Server side of FETCH_CHECKPOINT: appends the newest checkpoint's
+/// files as CKPT_CHUNK frames plus the trailing CKPT_DONE to `out`.
+/// NotFound when the data_dir has no checkpoint yet (the caller should
+/// suggest CHECKPOINT_NOW); IoError when a file vanishes mid-read (the
+/// checkpoint was pruned by a newer one — the fetcher simply retries).
+Status EncodeCheckpointStream(const std::string& data_dir, std::string* out);
+
+}  // namespace anker::server
+
+#endif  // ANKER_SERVER_REPLICATION_H_

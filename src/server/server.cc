@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -8,9 +9,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+
+#include "server/replication.h"
 
 namespace anker::server {
 
@@ -116,6 +120,13 @@ Status Server::Start() {
   ev.data.fd = wake_fd_;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
+  if (db_->log_writer() != nullptr && config_.replica == nullptr) {
+    ReplicationMasterConfig repl;
+    repl.heartbeat_millis = config_.repl_heartbeat_millis;
+    repl.ack_wait_millis = config_.repl_ack_wait_millis;
+    replication_ = std::make_unique<ReplicationMaster>(db_, repl);
+  }
+
   running_.store(true);
   stopping_.store(false);
   loop_ = std::thread([this] { EventLoop(); });
@@ -129,6 +140,9 @@ void Server::Shutdown() {
     if (loop_.joinable()) loop_.join();
     running_.store(false);
   }
+  // Streamer threads own their (detached) sockets; stop them before the
+  // fds below go away. Safe when never created (replica / no WAL).
+  if (replication_ != nullptr) replication_->Stop();
   // A dispatched worker's last act is decrementing inflight_ (after its
   // completion push); only then is it safe to tear down the fds and let
   // the Server die.
@@ -479,6 +493,20 @@ bool Server::ExecuteRequest(const std::shared_ptr<Session>& session,
     return true;
   }
 
+  // ---- read-only replica gate --------------------------------------------
+  // Writes belong on the primary; the wire error is recoverable (maps to
+  // kResourceBusy client-side) so callers can fail over rather than die.
+  // Reads, BEGIN/COMMIT of read-only transactions and the ops surface
+  // stay available — that is the point of a read replica.
+  if (config_.replica != nullptr && config_.replica->read_only() &&
+      (op == Op::kWrite || op == Op::kWriteBatch || op == Op::kExecTxn ||
+       op == Op::kCreateTable || op == Op::kLoad || op == Op::kBuildIndex ||
+       op == Op::kDictDefine)) {
+    RespondError(session, Op::kErr, WireError::kReadOnlyReplica,
+                 "writes go to the primary (or PROMOTE this node)");
+    return true;
+  }
+
   switch (op) {
     case Op::kHello: {
       RespondError(session, Op::kErr, WireError::kProtocolError,
@@ -573,6 +601,82 @@ bool Server::ExecuteRequest(const std::shared_ptr<Session>& session,
       Respond(session, response);
       return true;
     }
+    case Op::kReplicaStatus: {
+      if (!body.empty()) break;  // Acks only belong on stream connections.
+      ReplicaStatusOkMsg status;  // Durability off: all-zero primary.
+      if (config_.replica != nullptr) {
+        status = config_.replica->Status_();
+      } else if (replication_ != nullptr) {
+        status = replication_->PrimaryStatus();
+      }
+      std::string response;
+      EncodeReplicaStatusOk(status, &response);
+      Respond(session, response);
+      return true;
+    }
+    case Op::kReplicateHello: {
+      ReplicateHelloMsg hello;
+      const Status decoded = DecodeReplicateHello(body, &hello);
+      if (!decoded.ok()) break;
+      if (replication_ == nullptr) {
+        RespondError(session, Op::kErr, WireError::kNotSupported,
+                     config_.replica != nullptr
+                         ? "replicas do not serve the stream; subscribe to "
+                           "the primary"
+                         : "durability is off: no WAL to ship");
+        session->close_after_flush = true;
+        return true;
+      }
+      if (session->txn != nullptr) {
+        db_->Abort(session->txn.get());
+        session->txn.reset();
+      }
+      // Hand the socket to a dedicated streamer thread: detach it from
+      // the epoll loop, make it blocking, flush anything still queued,
+      // subscribe. Frames the replica pipelined behind the subscription
+      // (early acks) travel along, re-framed.
+      const int fd = session->fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+      const int flags = ::fcntl(fd, F_GETFL, 0);
+      if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+      bool flushed = true;
+      while (!session->outbox.empty()) {
+        const ssize_t n = ::send(fd, session->outbox.data(),
+                                 session->outbox.size(), MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          flushed = false;
+          break;
+        }
+        session->outbox.erase(0, static_cast<size_t>(n));
+      }
+      std::string residual;
+      for (const std::string& queued : session->pending) {
+        EncodeFrame(queued, &residual);
+      }
+      session->pending.clear();
+      residual.append(session->inbox);
+      session->inbox.clear();
+      const Status subscribed =
+          flushed ? replication_->Subscribe(fd, std::move(residual), hello)
+                  : Status::IoError("peer went away before the stream");
+      if (!subscribed.ok()) {
+        std::string errbody, frame;
+        EncodeErr(Op::kErr,
+                  {WireErrorFor(subscribed), subscribed.message()}, &errbody);
+        EncodeFrame(errbody, &frame);
+        [[maybe_unused]] ssize_t n =
+            ::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+        ::close(fd);
+      }
+      // Either way the loop no longer owns this fd.
+      sessions_.erase(fd);
+      session->closed = true;
+      session->fd = -1;
+      std::lock_guard<std::mutex> guard(stats_mutex_);
+      ++stats_.sessions_closed;
+      return true;
+    }
     case Op::kCommit: {
       if (session->txn == nullptr) {
         RespondError(session, Op::kErr, WireError::kInvalidArgument,
@@ -587,6 +691,11 @@ bool Server::ExecuteRequest(const std::shared_ptr<Session>& session,
     case Op::kLoad:
     case Op::kBuildIndex:
     case Op::kDictDefine:
+    case Op::kFetchCheckpoint:
+    case Op::kWaitLsn:
+    case Op::kPromote:
+    case Op::kCheckpointNow:
+    case Op::kDigest:
       break;  // Dispatched below.
     default:
       break;
@@ -594,7 +703,9 @@ bool Server::ExecuteRequest(const std::shared_ptr<Session>& session,
 
   if (op == Op::kCommit || op == Op::kExecTxn || op == Op::kQuery ||
       op == Op::kCreateTable || op == Op::kLoad || op == Op::kBuildIndex ||
-      op == Op::kDictDefine) {
+      op == Op::kDictDefine || op == Op::kFetchCheckpoint ||
+      op == Op::kWaitLsn || op == Op::kPromote || op == Op::kCheckpointNow ||
+      op == Op::kDigest) {
     // Admission control: these run on the worker pool (they may fsync or
     // scan for a while). Beyond the inflight budget the client gets an
     // explicit BUSY instead of an unbounded queue.
@@ -657,10 +768,18 @@ void Server::DispatchedResponse(Session* session, const std::string& payload,
   switch (op) {
     case Op::kCommit: {
       const Status committed = db_->Commit(session->txn.get());
+      // The commit's WAL LSN is the read-your-writes token: a client can
+      // hand it to a replica's WAIT_LSN before reading there.
+      const uint64_t lsn = session->txn->durable_lsn();
       session->txn.reset();
       if (committed.ok()) {
-        std::lock_guard<std::mutex> guard(stats_mutex_);
-        ++stats_.commits_acked;
+        {
+          std::lock_guard<std::mutex> guard(stats_mutex_);
+          ++stats_.commits_acked;
+        }
+        EncodeCommitOk(lsn, &response);
+        EncodeFrame(response, out);
+        return;
       }
       respond_status(committed);
       return;
@@ -681,8 +800,13 @@ void Server::DispatchedResponse(Session* session, const std::string& payload,
         if (status.ok()) {
           status = db_->Commit(txn.get());
           if (status.ok()) {
-            std::lock_guard<std::mutex> guard(stats_mutex_);
-            ++stats_.commits_acked;
+            {
+              std::lock_guard<std::mutex> guard(stats_mutex_);
+              ++stats_.commits_acked;
+            }
+            EncodeCommitOk(txn->durable_lsn(), &response);
+            EncodeFrame(response, out);
+            return;
           }
         } else {
           db_->Abort(txn.get());
@@ -816,6 +940,49 @@ void Server::DispatchedResponse(Session* session, const std::string& payload,
         }
       }
       respond_status(status);
+      return;
+    }
+    case Op::kFetchCheckpoint: {
+      // Frames (CKPT_CHUNK* + CKPT_DONE) append directly; on failure
+      // nothing was appended and the error travels instead.
+      const Status streamed =
+          EncodeCheckpointStream(db_->config().data_dir, out);
+      if (!streamed.ok()) respond_status(streamed);
+      return;
+    }
+    case Op::kWaitLsn: {
+      WaitLsnMsg msg;
+      Status status = DecodeWaitLsn(body, &msg);
+      if (status.ok()) {
+        wal::LogWriter* log = db_->log_writer();
+        uint64_t high = db_->applied_lsn();
+        if (log != nullptr) high = std::max(high, log->appended_lsn());
+        if (msg.lsn <= high) {
+          // Applied (replica) or allocated locally (primary / promoted).
+        } else if (config_.replica != nullptr &&
+                   config_.replica->read_only()) {
+          status = db_->WaitAppliedLsn(msg.lsn, msg.timeout_millis);
+        } else {
+          status = Status::OutOfRange("LSN not allocated on this node");
+        }
+      }
+      respond_status(status);
+      return;
+    }
+    case Op::kPromote: {
+      respond_status(config_.replica != nullptr
+                         ? config_.replica->Promote()
+                         : Status::InvalidArgument("not a replica"));
+      return;
+    }
+    case Op::kCheckpointNow: {
+      auto ckpt = db_->Checkpoint();
+      respond_status(ckpt.ok() ? Status::OK() : ckpt.status());
+      return;
+    }
+    case Op::kDigest: {
+      EncodeDigestOk(db_->ContentDigest(), &response);
+      EncodeFrame(response, out);
       return;
     }
     default:

@@ -34,6 +34,9 @@
 
 namespace anker::server {
 
+class ReplicationMaster;
+class ReplicaController;
+
 struct ServerConfig {
   /// Listen address. Defaults stay loopback-only: exposing the engine
   /// beyond the host is an explicit operator decision (docs/OPERATIONS.md).
@@ -57,6 +60,15 @@ struct ServerConfig {
   size_t max_pipeline = 64;
   /// Sessions idle longer than this are closed; 0 disables the timeout.
   int idle_timeout_millis = 0;
+  /// Replication (v3). The heartbeat/ack knobs shape the streamer threads
+  /// this server spawns for subscribed replicas (no-ops when durability
+  /// is off — REPLICATE_HELLO is then refused).
+  int repl_heartbeat_millis = 500;
+  int repl_ack_wait_millis = 2000;
+  /// Set when this server fronts a replica: write-class requests are
+  /// refused with kReadOnlyReplica until promotion, REPLICA_STATUS and
+  /// WAIT_LSN consult the controller. Not owned; must outlive the server.
+  ReplicaController* replica = nullptr;
 };
 
 /// Monotonic counters, readable while the server runs.
@@ -135,6 +147,10 @@ class Server {
 
   engine::Database* db_;
   ServerConfig config_;
+
+  /// Primary-side WAL shipping (created by Start when the database has a
+  /// WAL and this server is not fronting a replica).
+  std::unique_ptr<ReplicationMaster> replication_;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

@@ -64,6 +64,13 @@ class Transaction {
   const std::vector<PointRead>& point_reads() const { return point_reads_; }
   const std::vector<PredicateRange>& predicates() const { return predicates_; }
 
+  /// WAL LSN of this transaction's commit record, set by the commit
+  /// protocol once the record is appended (0 for read-only transactions
+  /// or when durability is off). Clients use it as a read-your-writes
+  /// token against replica applied watermarks.
+  uint64_t durable_lsn() const { return durable_lsn_; }
+  void set_durable_lsn(uint64_t lsn) { durable_lsn_ = lsn; }
+
  private:
   struct SlotKey {
     const void* column;
@@ -83,6 +90,7 @@ class Transaction {
   mvcc::Timestamp start_ts_;
   uint64_t registry_serial_;
   TxnType type_;
+  uint64_t durable_lsn_ = 0;
 
   std::vector<LocalWrite> writes_;
   std::unordered_map<SlotKey, size_t, SlotKeyHash> write_lookup_;

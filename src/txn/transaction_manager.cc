@@ -125,6 +125,7 @@ Status TransactionManager::Commit(Transaction* txn) {
     //    blocking) wait for the fsync happens after the lock is dropped.
     if (durability_sink_) {
       durable_lsn = durability_sink_(commit_ts, txn->writes());
+      txn->set_durable_lsn(durable_lsn);
     }
 
     // 5. Publish the write set for later validators, then trim what no

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/fault_injector.h"
 #include "wal/crc32c.h"
 #include "wal/io_util.h"
 #include "wal/wal_format.h"
@@ -21,7 +22,9 @@ namespace {
 
 constexpr uint32_t kColumnMagic = 0x314C4341u;    // "ACL1"
 constexpr uint32_t kIndexMagic = 0x31584941u;     // "AIX1"
-constexpr uint64_t kManifestMagic = 0x3154464D524B4E41ULL;  // "ANKRMFT1"
+// v2 ("ANKRMFT2"): manifests carry the covered WAL LSN (wal_lsn) so
+// replicas know where to resume the log stream after a bootstrap.
+constexpr uint64_t kManifestMagic = 0x3254464D524B4E41ULL;  // "ANKRMFT2"
 constexpr size_t kBlobHeaderBytes = 4 + 4 + 8;
 
 std::string CheckpointDirName(mvcc::Timestamp ts) {
@@ -48,6 +51,7 @@ void EncodeManifest(const CheckpointManifest& m, std::string* out) {
   PutU64(out, m.checkpoint_ts);
   PutU64(out, m.commit_count);
   PutU64(out, m.next_txn_id);
+  PutU64(out, m.wal_lsn);
   PutU32(out, static_cast<uint32_t>(m.tables.size()));
   for (const CheckpointTableMeta& t : m.tables) {
     PutString(out, t.name);
@@ -74,7 +78,8 @@ Status DecodeManifest(std::string_view in, CheckpointManifest* m) {
   uint32_t ntables = 0;
   if (!GetU64(&in, &magic) || magic != kManifestMagic ||
       !GetU64(&in, &m->checkpoint_ts) || !GetU64(&in, &m->commit_count) ||
-      !GetU64(&in, &m->next_txn_id) || !GetU32(&in, &ntables)) {
+      !GetU64(&in, &m->next_txn_id) || !GetU64(&in, &m->wal_lsn) ||
+      !GetU32(&in, &ntables)) {
     return malformed;
   }
   m->tables.clear();
@@ -295,6 +300,7 @@ Status CheckpointWriter::Finish(const CheckpointManifest& manifest) {
   ANKER_RETURN_IF_ERROR(SyncDir(tmp_path_));
 
   const std::string final_path = data_dir_ + "/" + dir_name_;
+  FaultInjector::Instance().MaybeKill("ckpt.publish.pre");
   if (::rename(tmp_path_.c_str(), final_path.c_str()) != 0) {
     return Status::IoError("cannot publish checkpoint " + final_path);
   }
@@ -303,6 +309,7 @@ Status CheckpointWriter::Finish(const CheckpointManifest& manifest) {
   // Point CURRENT at the new checkpoint; only now is it live.
   ANKER_RETURN_IF_ERROR(
       AtomicWriteFile(data_dir_ + "/CURRENT", dir_name_ + "\n"));
+  FaultInjector::Instance().MaybeKill("ckpt.publish.post");
 
   // Prune every other checkpoint (and stale temp directories).
   std::vector<std::string> names;

@@ -39,6 +39,13 @@ struct CheckpointManifest {
   mvcc::Timestamp checkpoint_ts = 0;
   uint64_t commit_count = 0;
   uint64_t next_txn_id = 1;
+  /// Highest WAL LSN guaranteed covered by this image: every record with
+  /// lsn <= wal_lsn is either a commit at or below checkpoint_ts or a
+  /// schema record for a table in `tables`. A replica bootstrapping from
+  /// this checkpoint resumes the log stream at wal_lsn + 1; recovery
+  /// also uses it to keep LSNs monotonic when the whole log was
+  /// truncated away.
+  uint64_t wal_lsn = 0;
   std::vector<CheckpointTableMeta> tables;
 };
 

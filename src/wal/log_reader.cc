@@ -25,11 +25,16 @@ bool ParseSegmentName(const std::string& name, uint64_t* seq) {
   return true;
 }
 
-/// Parses one segment image. Valid records are appended to `records`;
-/// `*valid_bytes` receives the length of the trustworthy prefix. Returns
-/// true iff the whole file parsed cleanly (header and every frame).
+/// Parses one segment image. Valid records are appended to `records`
+/// (paired with their LSN); `*valid_bytes` receives the length of the
+/// trustworthy prefix. LSNs must be strictly increasing — `*prev_lsn`
+/// carries the last accepted LSN across segments, and a regression is
+/// treated like any other corruption at that point. Returns true iff the
+/// whole file parsed cleanly (header and every frame).
 bool ParseSegment(const std::string& data, uint64_t expected_seq,
-                  std::vector<WalRecord>* records, size_t* valid_bytes) {
+                  uint64_t* prev_lsn,
+                  std::vector<std::pair<uint64_t, WalRecord>>* records,
+                  size_t* valid_bytes) {
   *valid_bytes = 0;
   std::string_view in(data);
   uint64_t magic = 0;
@@ -45,15 +50,23 @@ bool ParseSegment(const std::string& data, uint64_t expected_seq,
     if (in.empty()) return true;  // Clean end at a record boundary.
     std::string_view frame = in;
     uint32_t len = 0, masked_crc = 0;
-    if (!GetU32(&frame, &len) || !GetU32(&frame, &masked_crc)) return false;
-    if (len > kMaxRecordBytes || frame.size() < len) return false;
-    const std::string_view payload = frame.substr(0, len);
-    if (Crc32c(0, payload.data(), payload.size()) != UnmaskCrc(masked_crc)) {
+    uint64_t lsn = 0;
+    if (!GetU32(&frame, &len) || !GetU32(&frame, &masked_crc) ||
+        !GetU64(&frame, &lsn)) {
       return false;
     }
+    if (len > kMaxRecordBytes || frame.size() < len) return false;
+    // The CRC covers the LSN and the payload (everything after the CRC
+    // word itself).
+    const char* crc_begin = in.data() + 8;
+    if (Crc32c(0, crc_begin, 8 + len) != UnmaskCrc(masked_crc)) {
+      return false;
+    }
+    if (lsn <= *prev_lsn) return false;
     WalRecord record;
-    if (!DecodeRecord(payload, &record).ok()) return false;
-    records->push_back(std::move(record));
+    if (!DecodeRecord(frame.substr(0, len), &record).ok()) return false;
+    *prev_lsn = lsn;
+    records->emplace_back(lsn, std::move(record));
     in.remove_prefix(kRecordFrameBytes + len);
     *valid_bytes += kRecordFrameBytes + len;
   }
@@ -86,15 +99,16 @@ Result<LogScanResult> LogReader::Scan(const std::string& wal_dir,
   if (segments.empty()) return result;
   result.next_segment_seq = segments.back().first + 1;
 
+  uint64_t prev_lsn = 0;
   for (size_t i = 0; i < segments.size(); ++i) {
     const bool is_last = (i + 1 == segments.size());
     std::string data;
     ANKER_RETURN_IF_ERROR(ReadFile(segments[i].second, &data));
 
-    std::vector<WalRecord> records;
+    std::vector<std::pair<uint64_t, WalRecord>> records;
     size_t valid_bytes = 0;
-    const bool clean =
-        ParseSegment(data, segments[i].first, &records, &valid_bytes);
+    const bool clean = ParseSegment(data, segments[i].first, &prev_lsn,
+                                    &records, &valid_bytes);
     if (!clean && !is_last) {
       char msg[256];
       std::snprintf(msg, sizeof(msg),
@@ -109,14 +123,16 @@ Result<LogScanResult> LogReader::Scan(const std::string& wal_dir,
     prior.seq = segments[i].first;
     prior.path = segments[i].second;
     prior.has_records = !records.empty();
-    for (const WalRecord& record : records) {
+    for (const auto& [lsn, record] : records) {
       if (record.type == RecordType::kCommit) {
         result.max_commit_ts = std::max(result.max_commit_ts,
                                         record.commit_ts);
         prior.max_commit_ts = std::max(prior.max_commit_ts,
                                        record.commit_ts);
       }
-      ANKER_RETURN_IF_ERROR(fn(record));
+      result.max_lsn = std::max(result.max_lsn, lsn);
+      prior.max_lsn = std::max(prior.max_lsn, lsn);
+      ANKER_RETURN_IF_ERROR(fn(lsn, record));
       ++result.records_read;
     }
     ++result.segments_read;

@@ -22,6 +22,10 @@ struct PriorSegment {
   /// carries schema records — always safely covered by the next
   /// checkpoint, which snapshots every recovered table).
   mvcc::Timestamp max_commit_ts = 0;
+  /// Newest LSN in the segment (0 when empty). Checkpoint truncation may
+  /// only delete a segment once every LSN in it is at or below the
+  /// replication retention floor (LogWriter::SetRetainLsn).
+  uint64_t max_lsn = 0;
   bool has_records = false;
 };
 
@@ -37,6 +41,9 @@ struct LogScanResult {
   uint64_t next_segment_seq = 1;
   /// Newest commit timestamp seen across all delivered records.
   mvcc::Timestamp max_commit_ts = 0;
+  /// Newest LSN seen across all delivered records (0 for an empty log).
+  /// The writer resumes at max_lsn + 1 so LSNs never repeat.
+  uint64_t max_lsn = 0;
   /// Surviving segment files in sequence order (post-repair).
   std::vector<PriorSegment> segments;
 };
@@ -54,7 +61,7 @@ struct LogScanResult {
 ///    newer segments replay — and fails the scan with IoError.
 class LogReader {
  public:
-  using RecordFn = std::function<Status(const WalRecord&)>;
+  using RecordFn = std::function<Status(uint64_t lsn, const WalRecord&)>;
 
   /// Scans `wal_dir` (missing directory = empty log). Invokes `fn` for
   /// every valid record; a non-OK return aborts the scan with that status.

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/fault_injector.h"
 #include "wal/crc32c.h"
 #include "wal/io_util.h"
 
@@ -42,8 +43,10 @@ LogWriter::LogWriter(std::string wal_dir, LogWriterOptions options)
 LogWriter::~LogWriter() { Stop(); }
 
 Status LogWriter::Open(uint64_t first_segment_seq,
-                       const std::vector<PriorSegment>& existing) {
+                       const std::vector<PriorSegment>& existing,
+                       uint64_t first_lsn) {
   ANKER_CHECK(!opened_);
+  ANKER_CHECK(first_lsn >= 1);
   ANKER_RETURN_IF_ERROR(EnsureDir(wal_dir_));
   {
     std::lock_guard<std::mutex> file_guard(file_mutex_);
@@ -53,10 +56,17 @@ Status LogWriter::Open(uint64_t first_segment_seq,
     for (const PriorSegment& prior : existing) {
       ANKER_CHECK(prior.seq < first_segment_seq);
       closed_.push_back(Segment{prior.seq, prior.path, prior.max_commit_ts,
-                                prior.has_records});
+                                prior.max_lsn, prior.has_records});
     }
     ANKER_RETURN_IF_ERROR(OpenSegment(first_segment_seq));
   }
+  next_lsn_ = first_lsn;
+  // Everything below first_lsn was recovered from disk, so it is durable
+  // by definition. Leaving the watermarks at 0 would make a restarted
+  // primary report durable_lsn=0 and refuse to ship its recovered tail
+  // to replicas until the next fresh commit.
+  buffered_lsn_ = first_lsn - 1;
+  durable_lsn_.store(first_lsn - 1, std::memory_order_release);
   opened_ = true;
   flusher_ = std::thread([this] { FlusherLoop(); });
   return Status::OK();
@@ -65,17 +75,35 @@ Status LogWriter::Open(uint64_t first_segment_seq,
 uint64_t LogWriter::Append(std::string_view payload, mvcc::Timestamp max_ts) {
   ANKER_CHECK(opened_);
   ANKER_CHECK(payload.size() <= kMaxRecordBytes);
+  FaultInjector::Instance().MaybeKill("wal.append");
   buffer_lock_.lock();
+  const uint64_t lsn = next_lsn_++;
   PutU32(&pending_, static_cast<uint32_t>(payload.size()));
   PutU32(&pending_, 0);  // CRC placeholder — filled in at flush time.
+  PutU64(&pending_, lsn);
   pending_.append(payload.data(), payload.size());
-  pending_boundaries_.emplace_back(pending_.size(), max_ts);
-  const uint64_t lsn = next_lsn_++;
+  pending_boundaries_.push_back(PendingRecord{pending_.size(), max_ts, lsn});
   buffered_lsn_ = lsn;
   buffer_lock_.unlock();
   // No flusher wake-up: under group commit the waiter flushes itself
   // (leader), under lazy durability the background cadence handles it.
   return lsn;
+}
+
+void LogWriter::AppendReplicated(std::string_view payload,
+                                 mvcc::Timestamp max_ts, uint64_t lsn) {
+  ANKER_CHECK(opened_);
+  ANKER_CHECK(payload.size() <= kMaxRecordBytes);
+  buffer_lock_.lock();
+  ANKER_CHECK_MSG(lsn >= next_lsn_, "replicated LSN would regress the log");
+  next_lsn_ = lsn + 1;
+  PutU32(&pending_, static_cast<uint32_t>(payload.size()));
+  PutU32(&pending_, 0);  // CRC placeholder — filled in at flush time.
+  PutU64(&pending_, lsn);
+  pending_.append(payload.data(), payload.size());
+  pending_boundaries_.push_back(PendingRecord{pending_.size(), max_ts, lsn});
+  buffered_lsn_ = lsn;
+  buffer_lock_.unlock();
 }
 
 bool LogWriter::TryLeadFlush() {
@@ -100,8 +128,7 @@ bool LogWriter::TryLeadFlush() {
 
   buffer_lock_.lock();
   std::string batch = std::move(pending_);
-  std::vector<std::pair<size_t, mvcc::Timestamp>> boundaries =
-      std::move(pending_boundaries_);
+  std::vector<PendingRecord> boundaries = std::move(pending_boundaries_);
   pending_ = std::move(spare_);
   pending_boundaries_ = std::move(spare_boundaries_);
   pending_.clear();
@@ -122,19 +149,20 @@ bool LogWriter::TryLeadFlush() {
   }
 
   // Checksum every record in the batch — off the commit path, in the
-  // shadow of whatever the committers are doing next.
+  // shadow of whatever the committers are doing next. The CRC covers the
+  // LSN word and the payload (bytes 8.. of the frame).
   size_t start = 0;
-  for (const auto& [end, ts] : boundaries) {
-    (void)ts;
-    const size_t payload_off = start + kRecordFrameBytes;
+  for (const PendingRecord& record : boundaries) {
+    const size_t crc_off = start + 8;
     const uint32_t crc =
-        MaskCrc(Crc32c(0, batch.data() + payload_off, end - payload_off));
+        MaskCrc(Crc32c(0, batch.data() + crc_off, record.end - crc_off));
     for (int i = 0; i < 4; ++i) {
       batch[start + 4 + i] = static_cast<char>(crc >> (8 * i));
     }
-    start = end;
+    start = record.end;
   }
 
+  FaultInjector::Instance().MaybeKill("wal.flush.pre");
   Status s;
   {
     std::lock_guard<std::mutex> file_guard(file_mutex_);
@@ -145,6 +173,7 @@ bool LogWriter::TryLeadFlush() {
       s = SyncFd(fd_);
     }
   }
+  FaultInjector::Instance().MaybeKill("wal.flush.post");
   sync_count_.fetch_add(1, std::memory_order_relaxed);
 
   if (s.ok()) {
@@ -301,8 +330,7 @@ void LogWriter::FlusherLoop() {
 }
 
 Status LogWriter::WriteAndMaybeRotate(
-    const std::string& data,
-    const std::vector<std::pair<size_t, mvcc::Timestamp>>& boundaries) {
+    const std::string& data, const std::vector<PendingRecord>& boundaries) {
   size_t written = 0;
   size_t record = 0;
   while (record < boundaries.size()) {
@@ -315,21 +343,24 @@ Status LogWriter::WriteAndMaybeRotate(
     // Largest run of records that fits the remaining budget (at least one).
     size_t run_end = record;
     mvcc::Timestamp run_max_ts = 0;
+    uint64_t run_max_lsn = 0;
     while (run_end < boundaries.size()) {
-      const size_t bytes_through = boundaries[run_end].first - written;
+      const size_t bytes_through = boundaries[run_end].end - written;
       if (run_end > record &&
           current_bytes_ + bytes_through > options_.segment_bytes) {
         break;
       }
-      run_max_ts = std::max(run_max_ts, boundaries[run_end].second);
+      run_max_ts = std::max(run_max_ts, boundaries[run_end].max_ts);
+      run_max_lsn = std::max(run_max_lsn, boundaries[run_end].lsn);
       ++run_end;
       if (current_bytes_ + bytes_through >= options_.segment_bytes) break;
     }
-    const size_t end_offset = boundaries[run_end - 1].first;
+    const size_t end_offset = boundaries[run_end - 1].end;
     ANKER_RETURN_IF_ERROR(
         WriteFully(fd_, data.data() + written, end_offset - written));
     current_bytes_ += end_offset - written;
     current_.max_ts = std::max(current_.max_ts, run_max_ts);
+    current_.max_lsn = std::max(current_.max_lsn, run_max_lsn);
     current_.has_records = true;
     written = end_offset;
     record = run_end;
@@ -345,7 +376,7 @@ Status LogWriter::OpenSegment(uint64_t seq) {
   if (fd_ < 0) {
     return Status::IoError("cannot create WAL segment " + path);
   }
-  current_ = Segment{seq, path, 0, false};
+  current_ = Segment{seq, path, 0, 0, false};
   std::string header;
   PutU64(&header, kSegmentMagic);
   PutU32(&header, kWalFormatVersion);
@@ -375,9 +406,15 @@ Status LogWriter::TruncateThrough(mvcc::Timestamp ckpt_ts) {
     ANKER_RETURN_IF_ERROR(CloseSegment());
     ANKER_RETURN_IF_ERROR(OpenSegment(current_.seq + 1));
   }
+  // Replication retention: a segment whose newest LSN is above the floor
+  // still feeds some replica's tail — covered-by-checkpoint or not, it
+  // must stay on disk until every connected replica acknowledges past it.
+  const uint64_t retain = retain_lsn_.load(std::memory_order_acquire);
   bool removed = false;
   for (auto it = closed_.begin(); it != closed_.end();) {
-    if (!it->has_records || it->max_ts <= ckpt_ts) {
+    const bool ckpt_covered = !it->has_records || it->max_ts <= ckpt_ts;
+    const bool replicas_past = !it->has_records || it->max_lsn <= retain;
+    if (ckpt_covered && replicas_past) {
       ANKER_RETURN_IF_ERROR(RemoveFile(it->path));
       it = closed_.erase(it);
       removed = true;

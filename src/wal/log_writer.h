@@ -65,16 +65,31 @@ class LogWriter {
   /// for appending and starts the flusher. Recovery passes the sequence
   /// after the highest existing segment plus the surviving pre-crash
   /// segments (from the recovery scan) so checkpoint truncation owns and
-  /// eventually deletes them; a fresh database passes 1 and nothing.
+  /// eventually deletes them, and `first_lsn` one past the highest LSN
+  /// ever issued (scan max_lsn and checkpoint wal_lsn) so LSNs stay
+  /// strictly increasing across restarts; a fresh database passes 1, 1
+  /// and nothing.
   Status Open(uint64_t first_segment_seq,
-              const std::vector<PriorSegment>& existing = {});
+              const std::vector<PriorSegment>& existing = {},
+              uint64_t first_lsn = 1);
 
   /// Buffers one framed record; returns its LSN (strictly increasing,
-  /// starting at 1). `max_ts` is the newest commit timestamp in the
-  /// record; the writer tracks it per segment so checkpoint truncation
-  /// knows which segments a checkpoint fully covers. Runs inside the
-  /// commit critical section — pure memory work, no locks that sleep.
+  /// durable in the frame itself since WAL format v2). `max_ts` is the
+  /// newest commit timestamp in the record; the writer tracks it per
+  /// segment so checkpoint truncation knows which segments a checkpoint
+  /// fully covers. Runs inside the commit critical section — pure memory
+  /// work, no locks that sleep.
   uint64_t Append(std::string_view payload, mvcc::Timestamp max_ts);
+
+  /// Replica-side append: buffers a record shipped from the primary under
+  /// the primary's LSN, keeping the local log LSN-identical to the
+  /// primary's so a replica restart resumes the stream from its own scan
+  /// and promotion needs no renumbering. `lsn` must exceed every LSN
+  /// appended so far (the apply loop filters duplicates); CHECK-enforced
+  /// because a regression here would corrupt the log's monotonicity
+  /// invariant, not just one record.
+  void AppendReplicated(std::string_view payload, mvcc::Timestamp max_ts,
+                        uint64_t lsn);
 
   /// Blocks until everything up to `lsn` is on disk: leads the flush
   /// itself when no flush is in flight, otherwise spins briefly and then
@@ -86,8 +101,20 @@ class LogWriter {
 
   /// Checkpoint truncation: syncs, rotates to a fresh segment, then
   /// deletes every closed segment whose newest record is covered by the
-  /// checkpoint (max_ts <= ckpt_ts).
+  /// checkpoint (max_ts <= ckpt_ts) AND acknowledged by every connected
+  /// replica (max_lsn <= the SetRetainLsn floor).
   Status TruncateThrough(mvcc::Timestamp ckpt_ts);
+
+  /// Replication retention floor: segments holding any record with
+  /// lsn > `lsn` survive checkpoint truncation, so the slowest connected
+  /// replica can always resume its tail from disk. UINT64_MAX (the
+  /// default) means "no replicas — truncate freely".
+  void SetRetainLsn(uint64_t lsn) {
+    retain_lsn_.store(lsn, std::memory_order_release);
+  }
+  uint64_t retain_lsn() const {
+    return retain_lsn_.load(std::memory_order_acquire);
+  }
 
   uint64_t durable_lsn() const {
     return durable_lsn_.load(std::memory_order_acquire);
@@ -127,7 +154,17 @@ class LogWriter {
     uint64_t seq = 0;
     std::string path;
     mvcc::Timestamp max_ts = 0;
+    uint64_t max_lsn = 0;
     bool has_records = false;
+  };
+
+  /// One buffered record's bookkeeping: its end offset within pending_,
+  /// its newest commit timestamp and its LSN (per-segment LSN ranges feed
+  /// the replication retention floor).
+  struct PendingRecord {
+    size_t end = 0;
+    mvcc::Timestamp max_ts = 0;
+    uint64_t lsn = 0;
   };
 
   void FlusherLoop();
@@ -140,11 +177,10 @@ class LogWriter {
 
   /// Writes `data` into the current segment, rotating at record
   /// boundaries. Caller holds file_mutex_. `boundaries` holds the byte
-  /// offsets (within `data`) where records end, paired with the record's
-  /// max_ts.
-  Status WriteAndMaybeRotate(
-      const std::string& data,
-      const std::vector<std::pair<size_t, mvcc::Timestamp>>& boundaries);
+  /// offsets (within `data`) where records end, with each record's
+  /// max_ts and LSN.
+  Status WriteAndMaybeRotate(const std::string& data,
+                             const std::vector<PendingRecord>& boundaries);
   Status OpenSegment(uint64_t seq);
   Status CloseSegment();
 
@@ -154,16 +190,17 @@ class LogWriter {
   // Append buffer (buffer_lock_).
   mutable SpinLock buffer_lock_;
   std::string pending_;
-  std::vector<std::pair<size_t, mvcc::Timestamp>> pending_boundaries_;
+  std::vector<PendingRecord> pending_boundaries_;
   /// Drained batch buffers cycle back here so Append never reallocates
   /// once warm (an alloc inside the commit section would tax every txn).
   std::string spare_;
-  std::vector<std::pair<size_t, mvcc::Timestamp>> spare_boundaries_;
+  std::vector<PendingRecord> spare_boundaries_;
   uint64_t next_lsn_ = 1;
   uint64_t buffered_lsn_ = 0;  ///< Last LSN sitting in pending_.
 
   // Lock-free state.
   std::atomic<uint64_t> durable_lsn_{0};
+  std::atomic<uint64_t> retain_lsn_{UINT64_MAX};
   std::atomic<bool> flushing_{false};
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> sync_count_{0};

@@ -105,11 +105,17 @@ Status DecodeRecord(std::string_view payload, WalRecord* record);
 
 /// Segment file header: magic, format version, sequence number.
 inline constexpr uint64_t kSegmentMagic = 0x314C4157524B4E41ULL;  // "ANKRWAL1"
-inline constexpr uint32_t kWalFormatVersion = 1;
+/// v2: every record frame carries its LSN, making LSNs durable and
+/// strictly increasing across restarts — the watermark WAL shipping
+/// resumes from and commit acknowledgements hand to clients as
+/// read-your-writes tokens.
+inline constexpr uint32_t kWalFormatVersion = 2;
 inline constexpr size_t kSegmentHeaderBytes = 8 + 4 + 4 + 8;  // magic,ver,pad,seq
 
-/// Record frame: u32 payload length, u32 masked CRC32C(payload), payload.
-inline constexpr size_t kRecordFrameBytes = 8;
+/// Record frame: u32 payload length, u32 masked CRC32C(lsn + payload),
+/// u64 lsn, payload. The CRC covers the LSN so a torn or bit-flipped LSN
+/// can never be mistaken for a valid replication watermark.
+inline constexpr size_t kRecordFrameBytes = 16;
 /// Upper bound on one record's payload; anything larger in a length field
 /// is treated as corruption, which keeps a torn length word from sending
 /// the reader on a gigabyte-sized goose chase.

@@ -1,0 +1,72 @@
+#include "common/fault_injector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace anker {
+namespace {
+
+TEST(FaultInjectorTest, DisarmedIsInert) {
+  FaultInjector& fi = FaultInjector::Instance();
+  fi.ArmForTest("", 0);
+  EXPECT_FALSE(fi.armed());
+  EXPECT_FALSE(fi.ShouldFail("wal.flush.pre"));
+  fi.MaybeKill("wal.flush.pre");  // Must be a no-op.
+}
+
+TEST(FaultInjectorTest, CertainFailureFires) {
+  FaultInjector& fi = FaultInjector::Instance();
+  fi.ArmForTest("wal.flush.pre:fail:1.0", 1);
+  EXPECT_TRUE(fi.armed());
+  EXPECT_TRUE(fi.ShouldFail("wal.flush.pre"));
+  // Other points (and the kill table) stay untouched.
+  EXPECT_FALSE(fi.ShouldFail("ckpt.publish.pre"));
+  fi.MaybeKill("wal.flush.pre");  // fail-action point never kills.
+  fi.ArmForTest("", 0);
+}
+
+TEST(FaultInjectorTest, ProbabilityRoughlyHolds) {
+  FaultInjector& fi = FaultInjector::Instance();
+  fi.ArmForTest("repl.send:fail:0.25", 42);
+  int hits = 0;
+  const int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (fi.ShouldFail("repl.send")) ++hits;
+  }
+  // 0.25 +- generous slack; splitmix64 is well distributed.
+  EXPECT_GT(hits, kDraws / 8);
+  EXPECT_LT(hits, kDraws / 2);
+  fi.ArmForTest("", 0);
+}
+
+TEST(FaultInjectorTest, SeedMakesDrawsDeterministic) {
+  FaultInjector& fi = FaultInjector::Instance();
+  std::vector<bool> first;
+  fi.ArmForTest("p:fail:0.5", 7);
+  for (int i = 0; i < 256; ++i) first.push_back(fi.ShouldFail("p"));
+  fi.ArmForTest("p:fail:0.5", 7);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(fi.ShouldFail("p"), first[i]) << i;
+  fi.ArmForTest("", 0);
+}
+
+TEST(FaultInjectorTest, MalformedEntriesAreSkipped) {
+  FaultInjector& fi = FaultInjector::Instance();
+  // Bad action, missing probability, empty entry: none may arm a point
+  // (and none may crash the parser); the one valid entry still works.
+  fi.ArmForTest("a:boom:0.5,,b:fail,c:fail:1.0", 3);
+  EXPECT_FALSE(fi.ShouldFail("a"));
+  EXPECT_FALSE(fi.ShouldFail("b"));
+  EXPECT_TRUE(fi.ShouldFail("c"));
+  fi.ArmForTest("", 0);
+}
+
+TEST(FaultInjectorDeathTest, KillActionExitsWith137) {
+  FaultInjector& fi = FaultInjector::Instance();
+  fi.ArmForTest("die.here:kill:1.0", 9);
+  EXPECT_EXIT(fi.MaybeKill("die.here"), ::testing::ExitedWithCode(137), "");
+  fi.ArmForTest("", 0);
+}
+
+}  // namespace
+}  // namespace anker

@@ -1,0 +1,275 @@
+// Protocol v3 (replication) codec hardening: every decoder round-trips
+// its encoder, and every hostile body — truncations at each length,
+// lying counts, absurd or non-monotonic LSNs, path traversal, oversize
+// payloads — is rejected with a recoverable InvalidArgument. A decoder
+// that aborts or over-reads here would let one malicious replica (or a
+// bit-flipped stream) take down a primary.
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/protocol.h"
+
+namespace anker::server {
+namespace {
+
+/// Every truncation of a valid body must fail cleanly (the frame layer
+/// guarantees length integrity, so a short body is always hostile).
+template <typename DecodeFn>
+void AllTruncationsRejected(std::string_view body, DecodeFn decode) {
+  for (size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(decode(body.substr(0, len)).ok())
+        << "truncation to " << len << " of " << body.size() << " accepted";
+  }
+}
+
+TEST(ReplProtocolTest, ReplicateHelloRoundTrip) {
+  ReplicateHelloMsg msg;
+  msg.replica_id = "replica-7";
+  msg.start_lsn = 12345;
+  msg.sync_ack = true;
+  std::string payload;
+  EncodeReplicateHello(msg, &payload);
+  ASSERT_EQ(static_cast<Op>(payload[0]), Op::kReplicateHello);
+
+  ReplicateHelloMsg out;
+  ASSERT_TRUE(
+      DecodeReplicateHello(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.replica_id, "replica-7");
+  EXPECT_EQ(out.start_lsn, 12345u);
+  EXPECT_TRUE(out.sync_ack);
+
+  AllTruncationsRejected(std::string_view(payload).substr(1),
+                         [](std::string_view in) {
+                           ReplicateHelloMsg m;
+                           return DecodeReplicateHello(in, &m);
+                         });
+}
+
+TEST(ReplProtocolTest, ReplicateHelloRejectsHostileFields) {
+  const auto reject = [](ReplicateHelloMsg msg) {
+    std::string payload;
+    EncodeReplicateHello(msg, &payload);
+    ReplicateHelloMsg out;
+    const Status s =
+        DecodeReplicateHello(std::string_view(payload).substr(1), &out);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  };
+  ReplicateHelloMsg empty_id;
+  empty_id.replica_id = "";
+  empty_id.start_lsn = 1;
+  reject(empty_id);
+  ReplicateHelloMsg huge_id;
+  huge_id.replica_id = std::string(4096, 'x');
+  huge_id.start_lsn = 1;
+  reject(huge_id);
+  ReplicateHelloMsg zero_lsn;
+  zero_lsn.replica_id = "r";
+  zero_lsn.start_lsn = 0;  // LSNs start at 1; 0 is always a lie.
+  reject(zero_lsn);
+}
+
+TEST(ReplProtocolTest, ReplicaStatusRejectsAppliedAheadOfDurable) {
+  ReplicaStatusMsg msg;
+  msg.durable_lsn = 10;
+  msg.applied_lsn = 11;  // Would drag the retention floor forward.
+  std::string payload;
+  EncodeReplicaStatus(msg, &payload);
+  ReplicaStatusMsg out;
+  EXPECT_FALSE(
+      DecodeReplicaStatus(std::string_view(payload).substr(1), &out).ok());
+
+  msg.applied_lsn = 10;
+  payload.clear();
+  EncodeReplicaStatus(msg, &payload);
+  ASSERT_TRUE(
+      DecodeReplicaStatus(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.durable_lsn, 10u);
+  EXPECT_EQ(out.applied_lsn, 10u);
+}
+
+TEST(ReplProtocolTest, LogStreamRoundTripIncludingHeartbeat) {
+  std::vector<StreamRecord> records;
+  records.push_back({5, "alpha"});
+  records.push_back({6, std::string(1000, 'b')});
+  records.push_back({9, ""});  // Gaps are legal (retention, batching).
+  std::string payload;
+  EncodeLogStream(42, records, &payload);
+  ASSERT_EQ(static_cast<Op>(payload[0]), Op::kLogStream);
+
+  uint64_t durable = 0;
+  std::vector<StreamRecord> out;
+  ASSERT_TRUE(
+      DecodeLogStream(std::string_view(payload).substr(1), &durable, &out)
+          .ok());
+  EXPECT_EQ(durable, 42u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].lsn, 5u);
+  EXPECT_EQ(out[1].payload.size(), 1000u);
+
+  // Heartbeat: zero records is valid and decodes to an empty batch.
+  payload.clear();
+  EncodeLogStream(7, {}, &payload);
+  ASSERT_TRUE(
+      DecodeLogStream(std::string_view(payload).substr(1), &durable, &out)
+          .ok());
+  EXPECT_EQ(durable, 7u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ReplProtocolTest, LogStreamRejectsHostileBodies) {
+  uint64_t durable = 0;
+  std::vector<StreamRecord> out;
+  const auto decode = [&](std::string_view in) {
+    return DecodeLogStream(in, &durable, &out);
+  };
+
+  // Non-monotonic LSNs: replay or reordering attack.
+  std::string payload;
+  EncodeLogStream(100, {{5, "a"}, {5, "b"}}, &payload);
+  EXPECT_FALSE(decode(std::string_view(payload).substr(1)).ok());
+  payload.clear();
+  EncodeLogStream(100, {{6, "a"}, {5, "b"}}, &payload);
+  EXPECT_FALSE(decode(std::string_view(payload).substr(1)).ok());
+
+  // A record claiming to be beyond the primary's own durable watermark.
+  payload.clear();
+  EncodeLogStream(4, {{5, "a"}}, &payload);
+  EXPECT_FALSE(decode(std::string_view(payload).substr(1)).ok());
+
+  // LSN zero.
+  payload.clear();
+  EncodeLogStream(4, {{0, "a"}}, &payload);
+  EXPECT_FALSE(decode(std::string_view(payload).substr(1)).ok());
+
+  // Lying record count: count says 2, bytes carry 1.
+  payload.clear();
+  EncodeLogStream(10, {{1, "x"}, {2, "y"}}, &payload);
+  std::string truncated = payload.substr(1, payload.size() - 1 - 10);
+  EXPECT_FALSE(decode(truncated).ok());
+
+  // Lying payload length inside a record: length prefix larger than the
+  // remaining bytes must not over-read.
+  AllTruncationsRejected(std::string_view(payload).substr(1), decode);
+}
+
+TEST(ReplProtocolTest, LogStreamFuzzNeverCrashes) {
+  std::mt19937_64 rng(0xA11CE5EEDULL);
+  std::string payload;
+  EncodeLogStream(1000, {{1, "seed"}, {2, std::string(64, 'z')}}, &payload);
+  // Mutate the valid body at random positions; decode must never abort
+  // or over-read — any outcome other than a clean Status is a bug.
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = payload.substr(1);
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] ^= static_cast<char>(1u << (rng() % 8));
+    }
+    if (rng() % 4 == 0) mutated.resize(rng() % (mutated.size() + 1));
+    uint64_t durable = 0;
+    std::vector<StreamRecord> out;
+    DecodeLogStream(mutated, &durable, &out);  // Status either way: fine.
+  }
+}
+
+TEST(ReplProtocolTest, CkptChunkRejectsPathTraversal) {
+  CkptChunkMsg msg;
+  msg.offset = 0;
+  msg.last = true;
+  msg.data = "payload";
+  CkptChunkMsg out;
+  for (const char* hostile :
+       {"../../etc/passwd", "/etc/passwd", "ckpt/../../../x", "a//b",
+        "ckpt/./x", "", "ckpt/"}) {
+    msg.file = hostile;
+    std::string payload;
+    EncodeCkptChunk(msg, &payload);
+    const Status s =
+        DecodeCkptChunk(std::string_view(payload).substr(1), &out);
+    EXPECT_FALSE(s.ok()) << "accepted hostile path: " << hostile;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  }
+  msg.file = "ckpt-000042/wal_lsn";
+  std::string payload;
+  EncodeCkptChunk(msg, &payload);
+  ASSERT_TRUE(DecodeCkptChunk(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.file, "ckpt-000042/wal_lsn");
+  EXPECT_EQ(out.data, "payload");
+  EXPECT_TRUE(out.last);
+
+  AllTruncationsRejected(std::string_view(payload).substr(1),
+                         [&](std::string_view in) {
+                           CkptChunkMsg m;
+                           return DecodeCkptChunk(in, &m);
+                         });
+}
+
+TEST(ReplProtocolTest, WaitLsnClampsAbsurdTimeouts) {
+  WaitLsnMsg msg;
+  msg.lsn = 99;
+  msg.timeout_millis = 0xFFFFFFFF;  // A hostile "wait forever".
+  std::string payload;
+  EncodeWaitLsn(msg, &payload);
+  WaitLsnMsg out;
+  ASSERT_TRUE(DecodeWaitLsn(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.lsn, 99u);
+  EXPECT_LE(out.timeout_millis, 60'000u);  // Bounded worker occupancy.
+}
+
+TEST(ReplProtocolTest, StatusAndCommitOkRoundTrip) {
+  ReplicaStatusOkMsg msg;
+  msg.role = NodeRole::kPromoted;
+  msg.stream_connected = true;
+  msg.applied_lsn = 7;
+  msg.durable_lsn = 7;
+  msg.staleness_millis = 1234;
+  msg.primary_addr = "10.0.0.1:4807";
+  std::string payload;
+  EncodeReplicaStatusOk(msg, &payload);
+  ReplicaStatusOkMsg out;
+  ASSERT_TRUE(
+      DecodeReplicaStatusOk(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.role, NodeRole::kPromoted);
+  EXPECT_EQ(out.primary_addr, "10.0.0.1:4807");
+
+  // A role byte beyond the enum is hostile.
+  std::string bent = payload.substr(1);
+  bent[0] = 0x7f;
+  EXPECT_FALSE(DecodeReplicaStatusOk(bent, &out).ok());
+
+  std::string commit_ok;
+  EncodeCommitOk(0xDEADBEEF, &commit_ok);
+  uint64_t lsn = 0;
+  ASSERT_TRUE(
+      DecodeCommitOk(std::string_view(commit_ok).substr(1), &lsn).ok());
+  EXPECT_EQ(lsn, 0xDEADBEEFu);
+  std::string digest_ok;
+  EncodeDigestOk(0x1234, &digest_ok);
+  uint64_t digest = 0;
+  ASSERT_TRUE(
+      DecodeDigestOk(std::string_view(digest_ok).substr(1), &digest).ok());
+  EXPECT_EQ(digest, 0x1234u);
+}
+
+TEST(ReplProtocolTest, NewRequestOpsAreRecognized) {
+  for (const Op op : {Op::kReplicateHello, Op::kFetchCheckpoint,
+                      Op::kReplicaStatus, Op::kWaitLsn, Op::kPromote,
+                      Op::kCheckpointNow, Op::kDigest}) {
+    EXPECT_TRUE(IsRequestOp(static_cast<uint8_t>(op)));
+  }
+  EXPECT_FALSE(IsRequestOp(static_cast<uint8_t>(Op::kLogStream)));
+  EXPECT_FALSE(IsRequestOp(static_cast<uint8_t>(Op::kCommitOk)));
+}
+
+TEST(ReplProtocolTest, ReadOnlyReplicaErrorMapsToRecoverable) {
+  const Status s =
+      StatusFromWire(WireError::kReadOnlyReplica, "writes go to the primary");
+  EXPECT_TRUE(s.IsResourceBusy()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace anker::server

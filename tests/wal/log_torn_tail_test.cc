@@ -59,7 +59,7 @@ class TornTailTest : public ::testing::Test {
   std::pair<uint64_t, bool> ScanCount(Status* status = nullptr) {
     uint64_t count = 0;
     auto result = LogReader::Scan(
-        wal_dir_, [&](const WalRecord&) {
+        wal_dir_, [&](uint64_t, const WalRecord&) {
           ++count;
           return Status::OK();
         },
@@ -164,7 +164,7 @@ TEST_F(TornTailTest, RepairTruncatesTheTear) {
 
   uint64_t count = 0;
   auto result = LogReader::Scan(
-      wal_dir_, [&](const WalRecord&) {
+      wal_dir_, [&](uint64_t, const WalRecord&) {
         ++count;
         return Status::OK();
       },
@@ -200,12 +200,16 @@ TEST_F(TornTailTest, SegmentRotationPreservesAllRecords) {
   EXPECT_GT(names.size(), 3u) << "expected multiple segments";
 
   mvcc::Timestamp last_ts = 0;
+  uint64_t last_lsn = 0;
   auto result = LogReader::Scan(
       wal_dir_,
-      [&](const WalRecord& record) {
-        // Replay order must be commit order, across segment boundaries.
+      [&](uint64_t lsn, const WalRecord& record) {
+        // Replay order must be commit order, across segment boundaries,
+        // and LSNs must march in lockstep.
         EXPECT_GT(record.commit_ts, last_ts);
+        EXPECT_EQ(lsn, last_lsn + 1);
         last_ts = record.commit_ts;
+        last_lsn = lsn;
         return Status::OK();
       },
       /*repair=*/false);

@@ -1,0 +1,298 @@
+// WAL tailing under the conditions replication actually meets: live
+// appends, segment rotation mid-tail, resume points landing mid-segment,
+// and checkpoint truncation racing an active tail (the retention floor
+// is what keeps the race benign).
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "wal/io_util.h"
+#include "wal/log_writer.h"
+#include "wal/wal_tail.h"
+
+namespace anker::wal {
+namespace {
+
+class WalTailTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/anker_tail_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    wal_dir_ = dir_ + "/wal";
+  }
+  void TearDown() override { RemoveDirRecursive(dir_); }
+
+  static std::string Payload(int i) {
+    std::string payload;
+    EncodeCommit(static_cast<mvcc::Timestamp>(i),
+                 {{0, 0, static_cast<uint64_t>(i), 1000ULL + i}}, &payload);
+    return payload;
+  }
+
+  /// Appends records ts/value = lo..hi and syncs.
+  static void AppendRange(LogWriter* writer, int lo, int hi) {
+    for (int i = lo; i <= hi; ++i) {
+      writer->Append(Payload(i), static_cast<mvcc::Timestamp>(i));
+    }
+    ASSERT_TRUE(writer->Sync().ok());
+  }
+
+  std::string dir_;
+  std::string wal_dir_;
+};
+
+TEST_F(WalTailTest, DeliversDurableRecordsInOrder) {
+  LogWriterOptions options;
+  options.mode = DurabilityMode::kGroupCommit;
+  LogWriter writer(wal_dir_, options);
+  ASSERT_TRUE(writer.Open(1).ok());
+  AppendRange(&writer, 1, 20);
+
+  WalTailer tail(wal_dir_);
+  ASSERT_TRUE(tail.Seek(1, writer.durable_lsn() + 1).ok());
+  std::vector<TailRecord> got;
+  ASSERT_TRUE(tail.Poll(writer.durable_lsn(), SIZE_MAX, &got).ok());
+  ASSERT_EQ(got.size(), 20u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].lsn, i + 1);
+    EXPECT_EQ(got[i].payload, Payload(static_cast<int>(i) + 1));
+  }
+  // Caught up: another poll delivers nothing.
+  got.clear();
+  ASSERT_TRUE(tail.Poll(writer.durable_lsn(), SIZE_MAX, &got).ok());
+  EXPECT_TRUE(got.empty());
+  writer.Stop();
+}
+
+TEST_F(WalTailTest, NeverShipsBeyondTheDurableWatermark) {
+  LogWriterOptions options;
+  options.mode = DurabilityMode::kLazy;
+  options.flush_interval_millis = 10000;  // Effectively never.
+  LogWriter writer(wal_dir_, options);
+  ASSERT_TRUE(writer.Open(1).ok());
+  for (int i = 1; i <= 5; ++i) {
+    writer.Append(Payload(i), static_cast<mvcc::Timestamp>(i));
+  }
+  // Buffered but not flushed: nothing is durable, nothing ships.
+  WalTailer tail(wal_dir_);
+  ASSERT_TRUE(tail.Seek(1, writer.durable_lsn() + 1).ok());
+  std::vector<TailRecord> got;
+  ASSERT_TRUE(tail.Poll(writer.durable_lsn(), SIZE_MAX, &got).ok());
+  EXPECT_TRUE(got.empty());
+
+  ASSERT_TRUE(writer.Sync().ok());
+  ASSERT_TRUE(tail.Poll(writer.durable_lsn(), SIZE_MAX, &got).ok());
+  EXPECT_EQ(got.size(), 5u);
+  writer.Stop();
+}
+
+TEST_F(WalTailTest, FollowsAcrossSegmentRotation) {
+  LogWriterOptions options;
+  options.mode = DurabilityMode::kGroupCommit;
+  options.segment_bytes = 256;  // Tiny: rotate every few records.
+  LogWriter writer(wal_dir_, options);
+  ASSERT_TRUE(writer.Open(1).ok());
+
+  WalTailer tail(wal_dir_);
+  ASSERT_TRUE(tail.Seek(1, writer.durable_lsn() + 1).ok());
+
+  // Interleave appends with polls so the tail crosses rotation points
+  // while the writer is live — exactly the replication steady state.
+  uint64_t delivered = 0;
+  for (int batch = 0; batch < 10; ++batch) {
+    AppendRange(&writer, batch * 20 + 1, batch * 20 + 20);
+    std::vector<TailRecord> got;
+    ASSERT_TRUE(tail.Poll(writer.durable_lsn(), SIZE_MAX, &got).ok());
+    for (const TailRecord& r : got) {
+      EXPECT_EQ(r.lsn, delivered + 1);
+      ++delivered;
+    }
+  }
+  EXPECT_EQ(delivered, 200u);
+
+  std::vector<std::string> names;
+  ASSERT_TRUE(ListDir(wal_dir_, &names).ok());
+  EXPECT_GT(names.size(), 3u) << "expected multiple segments";
+  writer.Stop();
+}
+
+TEST_F(WalTailTest, ResumeLandsMidSegment) {
+  LogWriterOptions options;
+  options.mode = DurabilityMode::kGroupCommit;
+  LogWriter writer(wal_dir_, options);
+  ASSERT_TRUE(writer.Open(1).ok());
+  AppendRange(&writer, 1, 10);  // One segment, ten records.
+
+  WalTailer tail(wal_dir_);
+  ASSERT_TRUE(tail.Seek(6, writer.durable_lsn() + 1).ok());
+  std::vector<TailRecord> got;
+  ASSERT_TRUE(tail.Poll(writer.durable_lsn(), SIZE_MAX, &got).ok());
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(got.front().lsn, 6u);
+  EXPECT_EQ(got.back().lsn, 10u);
+  writer.Stop();
+}
+
+TEST_F(WalTailTest, ResumeInMiddleSegmentOfRotatedLog) {
+  LogWriterOptions options;
+  options.mode = DurabilityMode::kGroupCommit;
+  options.segment_bytes = 256;
+  LogWriter writer(wal_dir_, options);
+  ASSERT_TRUE(writer.Open(1).ok());
+  AppendRange(&writer, 1, 100);
+
+  // Resume from every tenth LSN: each lands in some interior segment.
+  for (uint64_t start = 11; start <= 91; start += 10) {
+    WalTailer tail(wal_dir_);
+    ASSERT_TRUE(tail.Seek(start, writer.durable_lsn() + 1).ok())
+        << "start " << start;
+    std::vector<TailRecord> got;
+    ASSERT_TRUE(tail.Poll(writer.durable_lsn(), SIZE_MAX, &got).ok());
+    ASSERT_EQ(got.size(), 100 - start + 1) << "start " << start;
+    EXPECT_EQ(got.front().lsn, start);
+    EXPECT_EQ(got.back().lsn, 100u);
+  }
+  writer.Stop();
+}
+
+TEST_F(WalTailTest, ResumeAtLiveEndAndAheadOfWriter) {
+  LogWriterOptions options;
+  options.mode = DurabilityMode::kGroupCommit;
+  LogWriter writer(wal_dir_, options);
+  ASSERT_TRUE(writer.Open(1).ok());
+  AppendRange(&writer, 1, 4);
+
+  // Exactly at the live end: fine, waits for new records.
+  WalTailer at_end(wal_dir_);
+  ASSERT_TRUE(at_end.Seek(5, writer.durable_lsn() + 1).ok());
+  std::vector<TailRecord> got;
+  ASSERT_TRUE(at_end.Poll(writer.durable_lsn(), SIZE_MAX, &got).ok());
+  EXPECT_TRUE(got.empty());
+  AppendRange(&writer, 5, 6);
+  ASSERT_TRUE(at_end.Poll(writer.durable_lsn(), SIZE_MAX, &got).ok());
+  EXPECT_EQ(got.size(), 2u);
+
+  // Beyond the live end: the follower claims history this log never
+  // wrote — divergence, not a wait.
+  WalTailer ahead(wal_dir_);
+  EXPECT_EQ(ahead.Seek(42, writer.durable_lsn() + 1).code(),
+            StatusCode::kOutOfRange);
+  writer.Stop();
+}
+
+TEST_F(WalTailTest, TruncationRespectsTheRetentionFloor) {
+  LogWriterOptions options;
+  options.mode = DurabilityMode::kGroupCommit;
+  options.segment_bytes = 256;
+  LogWriter writer(wal_dir_, options);
+  ASSERT_TRUE(writer.Open(1).ok());
+  AppendRange(&writer, 1, 100);
+
+  // A replica acked through LSN 30: truncation must keep every segment
+  // holding records past 30, no matter how far the checkpoint got.
+  writer.SetRetainLsn(30);
+  ASSERT_TRUE(writer.TruncateThrough(/*ckpt_ts=*/100).ok());
+
+  WalTailer tail(wal_dir_);
+  ASSERT_TRUE(tail.Seek(31, writer.durable_lsn() + 1).ok());
+  std::vector<TailRecord> got;
+  ASSERT_TRUE(tail.Poll(writer.durable_lsn(), SIZE_MAX, &got).ok());
+  ASSERT_FALSE(got.empty());
+  EXPECT_EQ(got.front().lsn, 31u);
+  EXPECT_EQ(got.back().lsn, 100u);
+
+  // Floor lifted (replica caught up / unregistered): the next truncation
+  // is free to drop history, and a stale resume point must be refused —
+  // the subscriber re-bootstraps from a checkpoint instead of limping on
+  // with a hole.
+  writer.SetRetainLsn(UINT64_MAX);
+  ASSERT_TRUE(writer.TruncateThrough(/*ckpt_ts=*/100).ok());
+  WalTailer stale(wal_dir_);
+  EXPECT_EQ(stale.Seek(1, writer.durable_lsn() + 1).code(),
+            StatusCode::kOutOfRange);
+  writer.Stop();
+}
+
+TEST_F(WalTailTest, TruncationRacingAnActiveTail) {
+  LogWriterOptions options;
+  options.mode = DurabilityMode::kGroupCommit;
+  options.segment_bytes = 256;
+  LogWriter writer(wal_dir_, options);
+  ASSERT_TRUE(writer.Open(1).ok());
+  AppendRange(&writer, 1, 50);
+
+  // The tail has consumed half the log when a checkpoint truncates. The
+  // floor (its acked LSN) keeps everything it still needs on disk.
+  WalTailer tail(wal_dir_);
+  ASSERT_TRUE(tail.Seek(1, writer.durable_lsn() + 1).ok());
+  std::vector<TailRecord> got;
+  ASSERT_TRUE(tail.Poll(writer.durable_lsn(), 25 * 64, &got).ok());
+  ASSERT_FALSE(got.empty());
+  const uint64_t acked = got.back().lsn;
+  ASSERT_LT(acked, 50u);
+
+  writer.SetRetainLsn(acked);
+  ASSERT_TRUE(writer.TruncateThrough(/*ckpt_ts=*/50).ok());
+  AppendRange(&writer, 51, 60);
+
+  // The tail continues across the truncation without a gap.
+  for (;;) {
+    std::vector<TailRecord> more;
+    ASSERT_TRUE(tail.Poll(writer.durable_lsn(), SIZE_MAX, &more).ok());
+    if (more.empty()) break;
+    for (const TailRecord& r : more) {
+      EXPECT_EQ(r.lsn, got.back().lsn + 1);
+      got.push_back(r);
+    }
+  }
+  EXPECT_EQ(got.back().lsn, 60u);
+  writer.Stop();
+}
+
+TEST_F(WalTailTest, EmptyLogSeeksOnlyAtTheLiveEnd) {
+  LogWriterOptions options;
+  options.mode = DurabilityMode::kGroupCommit;
+  LogWriter writer(wal_dir_, options);
+  ASSERT_TRUE(writer.Open(1).ok());  // Segment exists, zero records.
+
+  WalTailer tail(wal_dir_);
+  EXPECT_TRUE(tail.Seek(1, writer.durable_lsn() + 1).ok());
+  // Claiming older history against an empty log is a truncation hole.
+  WalTailer stale(wal_dir_);
+  EXPECT_EQ(stale.Seek(1, /*durable_next_lsn=*/7).code(),
+            StatusCode::kOutOfRange);
+  writer.Stop();
+}
+
+TEST_F(WalTailTest, ReplicatedAppendsPreserveForeignLsns) {
+  // A replica's log mirrors the primary's LSNs; a tail over *that* log
+  // (cascading reads, promotion) must see the original numbering.
+  LogWriterOptions options;
+  options.mode = DurabilityMode::kGroupCommit;
+  LogWriter writer(wal_dir_, options);
+  ASSERT_TRUE(writer.Open(1, {}, /*first_lsn=*/41).ok());
+  for (int i = 0; i < 5; ++i) {
+    writer.AppendReplicated(Payload(i + 1),
+                            static_cast<mvcc::Timestamp>(i + 1),
+                            /*lsn=*/41 + static_cast<uint64_t>(i));
+  }
+  ASSERT_TRUE(writer.Sync().ok());
+  EXPECT_EQ(writer.appended_lsn(), 45u);
+
+  WalTailer tail(wal_dir_);
+  ASSERT_TRUE(tail.Seek(41, writer.durable_lsn() + 1).ok());
+  std::vector<TailRecord> got;
+  ASSERT_TRUE(tail.Poll(writer.durable_lsn(), SIZE_MAX, &got).ok());
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(got.front().lsn, 41u);
+  EXPECT_EQ(got.back().lsn, 45u);
+  writer.Stop();
+}
+
+}  // namespace
+}  // namespace anker::wal

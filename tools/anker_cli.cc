@@ -201,7 +201,72 @@ int RunCommand(Cli* cli, const std::vector<std::string>& tokens) {
         "  read <table> <column> <key> [bykey]\n"
         "  write <table> <column> <key> <value> [bykey]\n"
         "  query <table> <agg(col)> [...] [where <col> <op> <val> [and "
-        "...]] [group <c1,c2>]\n");
+        "...]] [group <c1,c2>]\n"
+        "  status | digest | checkpoint | promote | waitlsn <lsn> "
+        "[timeout_ms] | lastlsn\n");
+    return 0;
+  }
+  if (cmd == "status") {
+    auto status = client.ReplicaStatus();
+    if (!status.ok()) {
+      Fail(cli, status.status().ToString());
+      return 0;
+    }
+    const server::ReplicaStatusOkMsg& s = status.value();
+    const char* role = s.role == server::NodeRole::kPrimary    ? "primary"
+                       : s.role == server::NodeRole::kReplica  ? "replica"
+                                                               : "promoted";
+    std::printf(
+        "STATUS role=%s stream=%s applied_lsn=%llu durable_lsn=%llu "
+        "staleness_ms=%llu primary=%s\n",
+        role, s.stream_connected ? "connected" : "down",
+        static_cast<unsigned long long>(s.applied_lsn),
+        static_cast<unsigned long long>(s.durable_lsn),
+        static_cast<unsigned long long>(s.staleness_millis),
+        s.primary_addr.empty() ? "-" : s.primary_addr.c_str());
+    return 0;
+  }
+  if (cmd == "digest") {
+    auto digest = client.Digest();
+    if (digest.ok()) {
+      std::printf("DIGEST %016llx\n",
+                  static_cast<unsigned long long>(digest.value()));
+    } else {
+      Fail(cli, digest.status().ToString());
+    }
+    return 0;
+  }
+  if (cmd == "checkpoint") {
+    const Status status = client.CheckpointNow();
+    if (status.ok()) std::printf("OK\n");
+    else Fail(cli, status.ToString());
+    return 0;
+  }
+  if (cmd == "promote") {
+    const Status status = client.Promote();
+    if (status.ok()) std::printf("OK promoted\n");
+    else Fail(cli, status.ToString());
+    return 0;
+  }
+  if (cmd == "waitlsn") {
+    if (tokens.size() < 2) {
+      Fail(cli, "usage: waitlsn <lsn> [timeout_ms]");
+      return 0;
+    }
+    const uint64_t lsn = std::strtoull(tokens[1].c_str(), nullptr, 10);
+    const uint32_t timeout_ms =
+        tokens.size() > 2
+            ? static_cast<uint32_t>(std::strtoul(tokens[2].c_str(),
+                                                 nullptr, 10))
+            : 5000;
+    const Status status = client.WaitLsn(lsn, timeout_ms);
+    if (status.ok()) std::printf("OK applied\n");
+    else Fail(cli, status.ToString());
+    return 0;
+  }
+  if (cmd == "lastlsn") {
+    std::printf("LSN %llu\n",
+                static_cast<unsigned long long>(client.last_commit_lsn()));
     return 0;
   }
   if (cmd == "ping") {
@@ -426,6 +491,11 @@ int main(int argc, char** argv) {
   options.auth_token = flags.Str("auth_token", "");
   options.io_timeout_millis =
       static_cast<int>(flags.Int("timeout_ms", 30000));
+  // Opt-in BUSY retry: bounded exponential backoff inside the client, so
+  // scripted runs survive admission-control spikes without hand-rolled
+  // retry loops.
+  options.busy_retry_budget =
+      static_cast<int>(flags.Int("busy_retries", 0));
   Cli cli;
   cli.echo = flags.Has("echo");
   flags.RejectUnknown();

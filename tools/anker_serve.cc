@@ -8,7 +8,15 @@
 //   anker_serve --port=4807 --data_dir=/tmp/anker-serve
 //               --durability=group_commit
 //
-// Operational guidance (tuning, monitoring, recovery drills):
+// Replica mode (--replica_of=host:port) turns the node into a read
+// replica: it bootstraps an empty data_dir from the primary's newest
+// checkpoint, then streams and applies the primary's WAL, serving
+// read-only sessions until PROMOTE flips it writable.
+//
+//   anker_serve --port=4808 --data_dir=/tmp/anker-replica
+//               --replica_of=127.0.0.1:4807 --replica_id=r1
+//
+// Operational guidance (tuning, monitoring, recovery drills, failover):
 // docs/OPERATIONS.md.
 #include <csignal>
 #include <cstdio>
@@ -16,7 +24,9 @@
 
 #include "bench/bench_util.h"
 #include "engine/database.h"
+#include "server/replication.h"
 #include "server/server.h"
+#include "wal/io_util.h"
 
 namespace {
 
@@ -53,7 +63,41 @@ int main(int argc, char** argv) {
   config.scan_threads = static_cast<size_t>(flags.Int("scan_threads", 0));
   config.worker_threads =
       static_cast<size_t>(flags.Int("worker_threads", 0));
+
+  // Replication knobs. --replica_of selects replica mode; the rest tune
+  // the primary-side streamers (heartbeat/ack gate) or the replica-side
+  // fetcher (timeouts, ack cadence).
+  const std::string replica_of = flags.Str("replica_of", "");
+  server::ReplicaConfig replica_config;
+  replica_config.replica_id = flags.Str("replica_id", "replica");
+  replica_config.sync_ack = flags.Int("sync_ack", 0) != 0;
+  replica_config.stream_timeout_millis =
+      static_cast<int>(flags.Int("stream_timeout_ms", 3000));
+  replica_config.ack_interval_millis =
+      static_cast<int>(flags.Int("ack_interval_ms", 200));
+  server_config.repl_heartbeat_millis =
+      static_cast<int>(flags.Int("heartbeat_ms", 500));
+  server_config.repl_ack_wait_millis =
+      static_cast<int>(flags.Int("ack_wait_ms", 2000));
   flags.RejectUnknown();
+
+  if (!replica_of.empty()) {
+    const size_t colon = replica_of.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= replica_of.size()) {
+      std::fprintf(stderr, "--replica_of must be host:port\n");
+      return 2;
+    }
+    replica_config.primary_host = replica_of.substr(0, colon);
+    replica_config.primary_port =
+        static_cast<uint16_t>(std::atoi(replica_of.c_str() + colon + 1));
+    replica_config.auth_token = server_config.auth_token;
+    if (config.data_dir.empty() || durability == "off") {
+      std::fprintf(stderr,
+                   "replica mode needs --data_dir and durability on (the "
+                   "replica keeps a local WAL mirror)\n");
+      return 2;
+    }
+  }
 
   if (config.worker_threads == 0) {
     // Every admitted dispatched op occupies a pool thread (commits block
@@ -79,6 +123,27 @@ int main(int argc, char** argv) {
   if (config.scan_threads == 0) {
     config.scan_threads =
         std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+
+  if (!replica_of.empty()) {
+    // An empty data_dir bootstraps from the primary's newest checkpoint;
+    // one with local state recovers locally and resumes the stream from
+    // its own applied watermark.
+    const bool has_state =
+        wal::PathExists(config.data_dir + "/CURRENT") ||
+        wal::PathExists(config.data_dir + "/wal");
+    if (!has_state) {
+      std::printf("BOOTSTRAP from=%s\n", replica_of.c_str());
+      std::fflush(stdout);
+      const Status fetched =
+          server::ReplicaController::Bootstrap(replica_config,
+                                               config.data_dir);
+      if (!fetched.ok()) {
+        std::fprintf(stderr, "bootstrap failed: %s\n",
+                     fetched.ToString().c_str());
+        return 1;
+      }
+    }
   }
 
   std::unique_ptr<engine::Database> db;
@@ -108,6 +173,19 @@ int main(int argc, char** argv) {
               config.data_dir.empty() ? "<none>" : config.data_dir.c_str(),
               db->catalog().num_tables());
 
+  std::unique_ptr<server::ReplicaController> replica;
+  if (!replica_of.empty()) {
+    replica = std::make_unique<server::ReplicaController>(db.get(),
+                                                          replica_config);
+    replica->Start();
+    server_config.replica = replica.get();
+    std::printf("ROLE replica primary=%s id=%s applied_lsn=%llu\n",
+                replica_of.c_str(), replica_config.replica_id.c_str(),
+                static_cast<unsigned long long>(db->applied_lsn()));
+  } else {
+    std::printf("ROLE primary\n");
+  }
+
   server::Server server(db.get(), server_config);
   const Status started = server.Start();
   if (!started.ok()) {
@@ -132,6 +210,9 @@ int main(int argc, char** argv) {
   std::printf("SHUTDOWN draining sessions\n");
   std::fflush(stdout);
   server.Shutdown();
+  // Stop the stream after the serving layer: no session can observe the
+  // controller mid-teardown, and everything applied so far is kept.
+  if (replica != nullptr) replica->Stop();
   const server::ServerStats stats = server.stats();
   std::printf(
       "DRAINED sessions_accepted=%llu frames=%llu commits_acked=%llu "
