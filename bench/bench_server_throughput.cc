@@ -55,8 +55,12 @@ ConnResult RunConnection(uint16_t port, size_t txns, size_t writes_per_txn,
     ANKER_CHECK_MSG(response.ok(), "bench client lost the connection");
     result.latency.Record(outstanding.front().ElapsedNanos());
     outstanding.pop_front();
-    if (!response.value().empty() &&
-        static_cast<server::Op>(response.value()[0]) == server::Op::kOk) {
+    const server::Op op = response.value().empty()
+                              ? server::Op::kErr
+                              : static_cast<server::Op>(response.value()[0]);
+    // kCommitOk carries the commit's WAL LSN; kOk is the pre-durability
+    // ack shape. Either way the transaction was applied and acked.
+    if (op == server::Op::kOk || op == server::Op::kCommitOk) {
       ++result.commits;
     } else {
       ++result.errors;  // Aborts (ww-conflict) and BUSY both land here.

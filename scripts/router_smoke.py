@@ -1,0 +1,320 @@
+#!/usr/bin/env python3
+"""Scale-out smoke: a 3-shard cluster behind anker_router.
+
+Proves the scale-out runbook from docs/OPERATIONS.md end to end:
+
+  1. three `anker_serve` shards start on ephemeral ports; a TPC-H-style
+     lineitem table is split across them by the SAME splitmix64 hash the
+     router uses (re-implemented below — the shard_map_test pins the
+     vectors, this file proves a loader can reproduce the placement),
+  2. an `anker_router` fronts them from a generated shard map; Q1-, Q6-
+     and Q18-shaped queries through the router must be BYTE-IDENTICAL to
+     a single-node reference server holding the full table (partial-agg
+     re-aggregation, AVG finalize, top-k re-sort/re-limit are all exact),
+  3. single-shard transactions pass through at 1 RTT — asserted via the
+     router's passthrough_txns counter, which only moves on forwarded
+     commits,
+  4. `anker_cli --server=a,b` fails over past a dead endpoint,
+  5. SIGKILL one shard: writes routed to it surface as ResourceBusy
+     (recoverable), a strict router refuses scatter queries, and an
+     --allow_partial=1 router answers from the surviving shards,
+  6. SIGTERM: routers drain and exit 0; shards were never coupled to the
+     router's lifecycle.
+
+Used by ctest (router_smoke_harness) and by the CI router-smoke job.
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+from harness_common import (LISTEN_RE, ServeNode, pick_port, run_cli,
+                            wait_for_line)
+
+MASK = (1 << 64) - 1
+
+
+def mix64(x):
+    """splitmix64 finalizer — must match ShardMap::Mix64 exactly."""
+    x = (x + 0x9E3779B97F4A7C15) & MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK
+    return x ^ (x >> 31)
+
+
+# Pinned in tests/shard/shard_map_test.cc; a drift here means this file
+# would load rows onto the wrong shard and every routed read would miss.
+assert mix64(0) == 0xE220A8397B1DCDAF
+assert mix64(0xDEADBEEF) == 0x4ADFB90F68C9EB9B
+
+
+def expect(condition, message, output=""):
+    if not condition:
+        print(f"FAIL: {message}")
+        if output:
+            print("---- output ----")
+            print(output)
+        sys.exit(1)
+
+
+def retry(fn, attempts=30, delay=0.25, what="condition"):
+    """Calls fn() until it returns a non-None value; None keeps trying."""
+    last = None
+    for _ in range(attempts):
+        result = fn()
+        if result is not None:
+            return result
+        time.sleep(delay)
+        last = result
+    raise SystemExit(f"retry exhausted waiting for {what}: {last}")
+
+
+class RouterNode:
+    """One `anker_router` process: spawn, await LISTENING, drain."""
+
+    def __init__(self, binary, shard_map, extra_args=()):
+        self.proc = subprocess.Popen(
+            [binary, "--port=0", f"--shard_map={shard_map}"]
+            + list(extra_args),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        self.port = None
+        startup = wait_for_line(self.proc, b"LISTENING", 60)
+        if startup is not None:
+            match = LISTEN_RE.search(startup.decode(errors="replace"))
+            if match:
+                self.port = int(match.group(1))
+        expect(self.port is not None, "router never reported LISTENING",
+               (startup or b"").decode(errors="replace"))
+
+    def terminate(self, timeout_s=60):
+        self.proc.terminate()
+        try:
+            out, _ = self.proc.communicate(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            return -9, ""
+        return self.proc.returncode, (out or b"").decode(errors="replace")
+
+
+def query_rows(out):
+    """ROW lines plus the DONE row count (scan totals may legitimately
+    differ in how they accumulate, row content and order may not)."""
+    rows = [l for l in out.splitlines() if l.startswith("ROW")]
+    done = [l.split(" scanned=")[0] for l in out.splitlines()
+            if l.startswith("DONE")]
+    return rows + done
+
+
+def parse_counter(out, name):
+    for line in out.splitlines():
+        if line.startswith("ROUTER "):
+            for field in line.split():
+                if field.startswith(f"{name}="):
+                    return int(field.split("=", 1)[1], 0)
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve", required=True, help="anker_serve binary")
+    parser.add_argument("--router", required=True,
+                        help="anker_router binary")
+    parser.add_argument("--cli", required=True, help="anker_cli binary")
+    parser.add_argument("--workdir", default=None)
+    args = parser.parse_args()
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="anker-router-smoke-")
+
+    # ---- the dataset: dyadic values so every merge is exact -------------
+    # Keys 1..240 hash-split over 3 shards; quantities are small integers,
+    # prices/discounts multiples of 2^-4 — float sums are order-invariant,
+    # which is what lets us demand BYTE-identical router output.
+    num_shards = 3
+    keys = list(range(1, 241))
+    data = {k: {"l_quantity": float((k % 40) + 1),
+                "l_extendedprice": k * 0.25,
+                "l_discount": (k % 5) * 0.0625,
+                "l_returnflag": k % 3} for k in keys}
+    shard_of = {k: mix64(k) % num_shards for k in keys}
+    columns = ("l_orderkey:int64 l_quantity:double l_extendedprice:double "
+               "l_discount:double l_returnflag:int64")
+
+    def load_script(subset):
+        lines = [f"create lineitem {len(subset)} {columns}"]
+        lines.append("load lineitem l_orderkey 0 "
+                     + " ".join(str(k) for k in subset))
+        for col in ("l_quantity", "l_extendedprice", "l_discount"):
+            lines.append(f"load lineitem {col} 0 "
+                         + " ".join(repr(data[k][col]) for k in subset))
+        lines.append("load lineitem l_returnflag 0 "
+                     + " ".join(str(data[k]["l_returnflag"])
+                                for k in subset))
+        lines.append("index lineitem l_orderkey")
+        return "\n".join(lines) + "\n"
+
+    # ---- phase 1: bring-up (runbook step 1) -----------------------------
+    shards = []
+    for s in range(num_shards):
+        node = ServeNode(args.serve, os.path.join(workdir, f"shard{s}"),
+                        extra_args=["--port=0"])
+        expect(node.port is not None, f"shard {s} never came up")
+        shards.append(node)
+    reference = ServeNode(args.serve, os.path.join(workdir, "reference"),
+                          extra_args=["--port=0"])
+    expect(reference.port is not None, "reference server never came up")
+
+    for s, node in enumerate(shards):
+        subset = sorted(k for k in keys if shard_of[k] == s)
+        expect(len(subset) > 0, f"hash starved shard {s} outright")
+        code, out = run_cli(args.cli, node.port, load_script(subset))
+        expect(code == 0, f"loading shard {s} failed", out)
+    code, out = run_cli(args.cli, reference.port, load_script(keys))
+    expect(code == 0, "loading the reference server failed", out)
+
+    shard_map = os.path.join(workdir, "shards.conf")
+    with open(shard_map, "w") as f:
+        f.write("version 1\n")
+        for node in shards:
+            f.write(f"shard 127.0.0.1:{node.port}\n")
+        f.write("table lineitem partition l_orderkey\n")
+
+    strict = RouterNode(args.router, shard_map)
+    partial = RouterNode(args.router, shard_map, ["--allow_partial=1"])
+    print(f"phase 1 OK: {num_shards} shards + 2 routers up, "
+          f"{len(keys)} rows hash-split")
+
+    # ---- phase 2: scatter-gather equivalence ----------------------------
+    q1 = ("query lineitem sum(l_quantity) avg(l_quantity) "
+          "sum(l_extendedprice) count() group l_returnflag "
+          "order l_returnflag")
+    q6 = ("query lineitem sum(l_extendedprice) "
+          "where l_quantity < 24 and l_discount >= 0.125")
+    q18 = ("query lineitem sum(l_quantity) group l_orderkey "
+           "order sum(l_quantity):desc,l_orderkey limit 10")
+    for name, q in (("Q1", q1), ("Q6", q6), ("Q18", q18)):
+        code, ref_out = run_cli(args.cli, reference.port, q + "\n")
+        expect(code == 0, f"{name} failed on the reference node", ref_out)
+        code, routed_out = run_cli(args.cli, strict.port, q + "\n")
+        expect(code == 0, f"{name} failed through the router", routed_out)
+        ref_rows, routed_rows = query_rows(ref_out), query_rows(routed_out)
+        expect(ref_rows == routed_rows,
+               f"{name} router output diverges from single-node",
+               "reference:\n" + "\n".join(ref_rows)
+               + "\nrouter:\n" + "\n".join(routed_rows))
+        expect(len(ref_rows) > 1, f"{name} produced no rows", ref_out)
+    print("phase 2 OK: Q1/Q6/Q18 byte-identical to the single-node run")
+
+    # ---- phase 3: 1-RTT pass-through ------------------------------------
+    code, out = run_cli(args.cli, strict.port, "routerstatus\n")
+    expect(code == 0, "routerstatus failed", out)
+    before = parse_counter(out, "passthrough_txns")
+    expect(before is not None, "no passthrough_txns counter", out)
+
+    txn_keys = [k for k in keys if shard_of[k] == 0][:2]
+    script = ""
+    for k in txn_keys:
+        script += (f"begin\nwrite lineitem l_quantity {k} 99.5 bykey\n"
+                   f"commit\nread lineitem l_quantity {k} bykey\n")
+    script += "routerstatus\n"
+    code, out = run_cli(args.cli, strict.port, script)
+    expect(code == 0, "routed transactions failed", out)
+    expect(out.count("VALUE 99.5") == len(txn_keys),
+           "routed commit not visible through the router", out)
+    after = parse_counter(out, "passthrough_txns")
+    # Exactly one forwarded frame per commit: the router added no extra
+    # round trips, and nothing else (queries, reads) touched the counter.
+    expect(after == before + len(txn_keys),
+           f"passthrough_txns moved {before}->{after}, expected "
+           f"+{len(txn_keys)} (1 RTT per transaction)", out)
+    # The write really landed on the owning shard, not somewhere a
+    # scatter read would paper over.
+    code, out = run_cli(args.cli, shards[0].port,
+                        f"read lineitem l_quantity {txn_keys[0]} bykey\n")
+    expect(code == 0 and "VALUE 99.5" in out,
+           "owning shard does not hold the routed write", out)
+    print("phase 3 OK: transactions passed through at 1 RTT")
+
+    # ---- phase 4: client-side failover ----------------------------------
+    dead = pick_port()
+    proc = subprocess.run(
+        [args.cli, f"--server=127.0.0.1:{dead},127.0.0.1:{strict.port}"],
+        input="ping\n", text=True, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, timeout=60)
+    expect(proc.returncode == 0 and "PONG" in proc.stdout,
+           "--server failover did not reach the second endpoint",
+           proc.stdout)
+    print("phase 4 OK: --server list failed over past a dead endpoint")
+
+    # ---- phase 5: shard loss (runbook: shard-down drill) ----------------
+    victim = 2
+    victim_key = next(k for k in keys if shard_of[k] == victim)
+    live_sum = sum(data[k]["l_extendedprice"] for k in keys
+                   if shard_of[k] != victim)
+    shards[victim].kill()
+
+    def write_is_busy():
+        code, out = run_cli(
+            args.cli, strict.port,
+            f"begin\nwrite lineitem l_quantity {victim_key} 1.0 bykey\n")
+        expect(code != 0, "write to a dead shard was acked", out)
+        # First contact over a stale pooled connection can surface as
+        # IoError; once the pool re-dials it must be ResourceBusy.
+        return out if "ResourceBusy" in out else None
+    out = retry(write_is_busy, what="BUSY on writes to the dead shard")
+
+    def strict_query_refused():
+        code, out = run_cli(args.cli, strict.port,
+                            "query lineitem sum(l_extendedprice)\n")
+        expect(code != 0, "strict router answered with a shard down", out)
+        return out if "ResourceBusy" in out else None
+    retry(strict_query_refused, what="BUSY on strict scatter queries")
+
+    def partial_query_answers():
+        code, out = run_cli(args.cli, partial.port,
+                            "query lineitem sum(l_extendedprice)\n"
+                            "routerstatus\n")
+        if code != 0:  # Stale pooled connection: retry reconnects.
+            return None
+        want = "sum(l_extendedprice)=" + ("%.17g" % live_sum)
+        expect(want in out, "partial answer is not the live-shard union",
+               out + f"\nwanted: {want}")
+        expect(f"healthy={num_shards - 1}" in out,
+               "routerstatus does not report the dead shard", out)
+        return out
+    retry(partial_query_answers, what="partial query over live shards")
+
+    # A single-shard txn on a LIVE shard keeps working throughout.
+    live_key = next(k for k in keys if shard_of[k] == 0)
+    code, out = run_cli(
+        args.cli, strict.port,
+        f"begin\nwrite lineitem l_quantity {live_key} 7.5 bykey\ncommit\n"
+        f"read lineitem l_quantity {live_key} bykey\n")
+    expect(code == 0 and "VALUE 7.5" in out,
+           "live shard lost service while a peer was down", out)
+    print("phase 5 OK: dead shard = recoverable BUSY; "
+          "--allow_partial=1 serves the survivors")
+
+    # ---- phase 6: clean drain -------------------------------------------
+    for name, node in (("strict", strict), ("partial", partial)):
+        code, out = node.terminate()
+        expect(code == 0, f"{name} router exit code {code}", out)
+        expect("EXIT OK" in out, f"{name} router drain not clean", out)
+        expect("DRAINED" in out, f"{name} router printed no drain stats",
+               out)
+    for s in (0, 1):
+        code, out = shards[s].terminate()
+        expect(code == 0, f"shard {s} exit code {code}", out)
+    reference.terminate()
+    print("phase 6 OK: routers drained; surviving shards shut down clean")
+
+    if args.workdir is None:
+        shutil.rmtree(workdir, ignore_errors=True)
+    print("router smoke: all phases OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -962,16 +962,19 @@ Status ExecuteDag(const CompiledQuery& plan, const engine::OlapContext& ctx,
   result->columns.clear();
   result->key_names.clear();
   result->key_types.clear();
+  result->interleave.clear();
   result->rows.clear();
   std::vector<size_t> value_slots;
   std::vector<size_t> key_slots;
   for (size_t c = 0; c < dag.schema.size(); ++c) {
     if (dag.schema[c].type == ExprType::kDouble) {
       result->columns.push_back(dag.schema[c].name);
+      result->interleave.push_back(1);
       value_slots.push_back(c);
     } else {
       result->key_names.push_back(dag.schema[c].name);
       result->key_types.push_back(dag.schema[c].type);
+      result->interleave.push_back(0);
       key_slots.push_back(c);
     }
   }

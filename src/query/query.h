@@ -187,6 +187,12 @@ struct QueryResult {
   std::vector<std::string> columns;    ///< Names of the double outputs.
   std::vector<std::string> key_names;  ///< Names of the integer outputs.
   std::vector<ExprType> key_types;     ///< One per key column.
+  /// Key/value interleave of the producing plan's output schema: one tag
+  /// per output column in schema order (0 = key slot, 1 = value slot).
+  /// Empty means "keys then values". Lets a consumer that re-sorts rows
+  /// (the shard router's merge) reproduce the engine's full-row tiebreak
+  /// order exactly. Filled by the DAG executor; travels in QUERY_DONE.
+  std::vector<uint8_t> interleave;
   std::vector<Row> rows;
   uint64_t rows_scanned = 0;
   engine::ScanStats scan;

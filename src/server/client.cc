@@ -443,6 +443,29 @@ Result<uint64_t> Client::Digest() {
   return StatusResponse(response.value());
 }
 
+Status Client::DecommissionReplica(const std::string& replica_id) {
+  DecommissionReplicaMsg msg;
+  msg.replica_id = replica_id;
+  std::string payload;
+  EncodeDecommissionReplica(msg, &payload);
+  auto response = RoundTrip(payload);
+  if (!response.ok()) return response.status();
+  return StatusResponse(response.value());
+}
+
+Result<RouterStatusOkMsg> Client::RouterStatus() {
+  auto response = RoundTrip(OpOnly(Op::kRouterStatus));
+  if (!response.ok()) return response.status();
+  if (!response.value().empty() &&
+      static_cast<Op>(response.value()[0]) == Op::kRouterStatusOk) {
+    RouterStatusOkMsg status;
+    ANKER_RETURN_IF_ERROR(DecodeRouterStatusOk(
+        std::string_view(response.value()).substr(1), &status));
+    return status;
+  }
+  return StatusResponse(response.value());
+}
+
 void Client::ShutdownSocket() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }

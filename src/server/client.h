@@ -97,6 +97,15 @@ class Client {
   /// Whole-database content digest; meaningful on a quiesced node.
   Result<uint64_t> Digest();
 
+  /// Sharding / operations surface (protocol v4).
+  /// Erases a permanently-departed replica from a primary's retention
+  /// registry so WAL truncation stops protecting its resume point.
+  /// InvalidArgument while that replica is still connected.
+  Status DecommissionReplica(const std::string& replica_id);
+  /// Routing counters from a shard router; NotSupported on an engine
+  /// server (the probe doubles as "is this endpoint a router").
+  Result<RouterStatusOkMsg> RouterStatus();
+
   /// LSN of the last COMMIT/EXEC_TXN acknowledged on this connection
   /// (0 before any durable commit) — the read-your-writes token.
   uint64_t last_commit_lsn() const { return last_commit_lsn_; }

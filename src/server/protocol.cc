@@ -61,6 +61,8 @@ bool IsRequestOp(uint8_t op) {
     case Op::kPromote:
     case Op::kCheckpointNow:
     case Op::kDigest:
+    case Op::kRouterStatus:
+    case Op::kDecommissionReplica:
       return true;
     default:
       return false;
@@ -175,10 +177,13 @@ void EncodeHelloOk(const HelloOkMsg& msg, std::string* out) {
   PutU8(out, static_cast<uint8_t>(Op::kHelloOk));
   PutU32(out, msg.version);
   PutString(out, msg.server_info);
+  PutU32(out, msg.flags);
+  PutU64(out, msg.shard_map_digest);
 }
 
 Status DecodeHelloOk(std::string_view in, HelloOkMsg* msg) {
-  if (!GetU32(&in, &msg->version) || !GetString(&in, &msg->server_info)) {
+  if (!GetU32(&in, &msg->version) || !GetString(&in, &msg->server_info) ||
+      !GetU32(&in, &msg->flags) || !GetU64(&in, &msg->shard_map_digest)) {
     return Truncated();
   }
   return ExpectDrained(in);
@@ -372,6 +377,11 @@ void EncodeQueryDone(const query::QueryResult& result, std::string* out) {
   }
   PutU64(out, result.rows_scanned);
   PutU64(out, static_cast<uint64_t>(result.rows.size()));
+  // v4: the output schema's key/value interleave (one byte per output
+  // column in DAG schema order; 0 = key slot, 1 = value slot). Empty
+  // means "keys then values" — the pre-v4 assumption.
+  PutU32(out, static_cast<uint32_t>(result.interleave.size()));
+  for (const uint8_t tag : result.interleave) PutU8(out, tag);
 }
 
 Status DecodeQueryDone(std::string_view in, query::QueryResult* result) {
@@ -410,6 +420,23 @@ Status DecodeQueryDone(std::string_view in, query::QueryResult* result) {
   }
   if (total_rows != result->rows.size()) {
     return Status::InvalidArgument("query stream lost rows in transit");
+  }
+  uint32_t ninter = 0;
+  if (!GetU32(&in, &ninter)) return Truncated();
+  if (ninter != 0 && ninter != ncols + nkeys) {
+    return Status::InvalidArgument("interleave length mismatch");
+  }
+  result->interleave.clear();
+  uint32_t value_tags = 0;
+  for (uint32_t i = 0; i < ninter; ++i) {
+    uint8_t tag = 0;
+    if (!GetU8(&in, &tag)) return Truncated();
+    if (tag > 1) return Status::InvalidArgument("bad interleave tag");
+    value_tags += tag;
+    result->interleave.push_back(tag);
+  }
+  if (ninter != 0 && (value_tags != ncols || ninter - value_tags != nkeys)) {
+    return Status::InvalidArgument("interleave tag counts mismatch");
   }
   return ExpectDrained(in);
 }
@@ -735,6 +762,51 @@ void EncodeDigestOk(uint64_t digest, std::string* out) {
 
 Status DecodeDigestOk(std::string_view in, uint64_t* digest) {
   if (!GetU64(&in, digest)) return Truncated();
+  return ExpectDrained(in);
+}
+
+void EncodeDecommissionReplica(const DecommissionReplicaMsg& msg,
+                               std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kDecommissionReplica));
+  PutString(out, msg.replica_id);
+}
+
+Status DecodeDecommissionReplica(std::string_view in,
+                                 DecommissionReplicaMsg* msg) {
+  if (!GetString(&in, &msg->replica_id)) return Truncated();
+  if (msg->replica_id.empty() || msg->replica_id.size() > 256) {
+    return Status::InvalidArgument("bad replica id");
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeRouterStatusOk(const RouterStatusOkMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kRouterStatusOk));
+  PutU32(out, msg.shard_count);
+  PutU32(out, msg.healthy_shards);
+  PutU32(out, msg.shard_map_version);
+  PutU64(out, msg.shard_map_digest);
+  PutU8(out, msg.allow_partial ? 1 : 0);
+  PutU64(out, msg.passthrough_txns);
+  PutU64(out, msg.scatter_queries);
+  PutU64(out, msg.single_shard_queries);
+  PutU64(out, msg.fanout_ops);
+}
+
+Status DecodeRouterStatusOk(std::string_view in, RouterStatusOkMsg* msg) {
+  if (!GetU32(&in, &msg->shard_count) || !GetU32(&in, &msg->healthy_shards) ||
+      !GetU32(&in, &msg->shard_map_version) ||
+      !GetU64(&in, &msg->shard_map_digest) ||
+      !GetBool(&in, &msg->allow_partial) ||
+      !GetU64(&in, &msg->passthrough_txns) ||
+      !GetU64(&in, &msg->scatter_queries) ||
+      !GetU64(&in, &msg->single_shard_queries) ||
+      !GetU64(&in, &msg->fanout_ops)) {
+    return Truncated();
+  }
+  if (msg->healthy_shards > msg->shard_count) {
+    return Status::InvalidArgument("healthy shard count exceeds shard count");
+  }
   return ExpectDrained(in);
 }
 

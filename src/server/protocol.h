@@ -43,7 +43,13 @@ inline constexpr uint32_t kMaxFramePayload = 4u << 20;
 /// / DIGEST); COMMIT and EXEC_TXN now acknowledge with COMMIT_OK
 /// carrying the commit's WAL LSN (the read-your-writes token); writes on
 /// a replica fail with the READ_ONLY_REPLICA error code.
-inline constexpr uint32_t kProtocolVersion = 3;
+/// v4: sharding surface. HELLO_OK gained a flags word (bit 0 = "this
+/// endpoint is a shard router") and the router's shard-map digest;
+/// QUERY_DONE gained the result's column interleave (DAG schema order of
+/// key/value outputs, so a router can re-sort merged rows exactly);
+/// ROUTER_STATUS exposes routing counters; DECOMMISSION_REPLICA drops a
+/// permanently-departed replica from the primary's retention registry.
+inline constexpr uint32_t kProtocolVersion = 4;
 
 /// Magic the client opens HELLO with ("ANKRNET1", little-endian), so a
 /// stray connection speaking another protocol is rejected on byte one.
@@ -89,6 +95,10 @@ enum class Op : uint8_t {
   kCheckpointNow = 0x45,    ///< Force a checkpoint (pre-bootstrap).
   kDigest = 0x46,           ///< Content digest of all visible data.
 
+  // Sharding / operations surface (v4).
+  kRouterStatus = 0x47,        ///< Routing counters + shard map health.
+  kDecommissionReplica = 0x48, ///< Drop a departed replica's retention pin.
+
   // Responses.
   kHelloOk = 0x81,
   kOk = 0x82,          ///< Generic success ack (BEGIN/COMMIT/WRITE/...).
@@ -107,6 +117,9 @@ enum class Op : uint8_t {
   kCommitOk = 0x8d,         ///< Commit ack carrying the commit's WAL LSN.
   kReplicaStatusOk = 0x8e,  ///< Role, watermarks, staleness.
   kDigestOk = 0x8f,         ///< Content digest value.
+
+  // Sharding / operations responses (v4).
+  kRouterStatusOk = 0x90,   ///< Routing counters + shard map health.
 };
 
 /// True iff `op` is a known request opcode (client -> server).
@@ -171,9 +184,17 @@ struct HelloMsg {
 void EncodeHello(const HelloMsg& msg, std::string* out);
 Status DecodeHello(std::string_view in, HelloMsg* msg);
 
+/// HELLO_OK flags word (v4).
+inline constexpr uint32_t kHelloFlagRouter = 1u << 0;
+
 struct HelloOkMsg {
   uint32_t version = kProtocolVersion;
   std::string server_info;
+  /// kHelloFlag* bits; 0 for a plain engine server.
+  uint32_t flags = 0;
+  /// Router only: digest of the active shard map, so clients (and the
+  /// smoke harness) can pin the topology they loaded against.
+  uint64_t shard_map_digest = 0;
 };
 void EncodeHelloOk(const HelloOkMsg& msg, std::string* out);
 Status DecodeHelloOk(std::string_view in, HelloOkMsg* msg);
@@ -380,6 +401,42 @@ Status DecodeReplicaStatusOk(std::string_view in, ReplicaStatusOkMsg* msg);
 /// kDigestOk: Database::ContentDigest over all visible data.
 void EncodeDigestOk(uint64_t digest, std::string* out);
 Status DecodeDigestOk(std::string_view in, uint64_t* digest);
+
+/// ---- sharding messages (v4) ----------------------------------------------
+
+/// kDecommissionReplica: operator action on a primary — erase a
+/// permanently-departed replica from the retention registry so the WAL
+/// retention floor stops protecting its resume point. Refused while the
+/// replica is still connected.
+struct DecommissionReplicaMsg {
+  std::string replica_id;
+};
+void EncodeDecommissionReplica(const DecommissionReplicaMsg& msg,
+                               std::string* out);
+Status DecodeDecommissionReplica(std::string_view in,
+                                 DecommissionReplicaMsg* msg);
+
+/// kRouterStatusOk: a shard router's routing counters and topology
+/// health. A plain engine server refuses kRouterStatus with
+/// kNotSupported — the probe doubles as "is this endpoint a router".
+struct RouterStatusOkMsg {
+  uint32_t shard_count = 0;
+  uint32_t healthy_shards = 0;
+  uint32_t shard_map_version = 0;
+  uint64_t shard_map_digest = 0;
+  bool allow_partial = false;
+  /// Single-shard EXEC_TXN/BEGIN-session ops forwarded verbatim (1 RTT
+  /// through the router — the pass-through fast path).
+  uint64_t passthrough_txns = 0;
+  /// QUERYs executed by scatter-gather + merge.
+  uint64_t scatter_queries = 0;
+  /// QUERYs satisfied by a single shard (replicated-only plans).
+  uint64_t single_shard_queries = 0;
+  /// DDL/load ops fanned out to every shard.
+  uint64_t fanout_ops = 0;
+};
+void EncodeRouterStatusOk(const RouterStatusOkMsg& msg, std::string* out);
+Status DecodeRouterStatusOk(std::string_view in, RouterStatusOkMsg* msg);
 
 }  // namespace anker::server
 

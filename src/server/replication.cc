@@ -131,6 +131,40 @@ void ReplicationMaster::Stop() {
   db_->SetReplicationWaiter(nullptr);
 }
 
+Status ReplicationMaster::Decommission(const std::string& replica_id) {
+  bool clear_waiter = false;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = subscribers_.find(replica_id);
+    if (it == subscribers_.end()) {
+      return Status::NotFound("unknown replica id: " + replica_id);
+    }
+    if (it->second.connected) {
+      return Status::InvalidArgument(
+          "replica '" + replica_id +
+          "' is still connected; stop it before decommissioning");
+    }
+    subscribers_.erase(it);
+    sync_subscribers_ = 0;
+    for (const auto& [id, s] : subscribers_) {
+      if (s.sync_ack) ++sync_subscribers_;
+    }
+    clear_waiter = sync_subscribers_ == 0;
+    wal::LogWriter* log = db_->log_writer();
+    if (log != nullptr && subscribers_.empty()) {
+      // UpdateRetainLocked never touches the floor with an empty map;
+      // the last decommission must release it explicitly.
+      log->SetRetainLsn(UINT64_MAX);
+    } else {
+      UpdateRetainLocked();
+    }
+  }
+  // Outside the lock: the waiter callback itself takes mutex_.
+  if (clear_waiter) db_->SetReplicationWaiter(nullptr);
+  ack_cv_.notify_all();
+  return Status::OK();
+}
+
 size_t ReplicationMaster::connected_subscribers() const {
   std::lock_guard<std::mutex> guard(mutex_);
   size_t n = 0;

@@ -84,6 +84,15 @@ class ReplicationMaster {
   /// Stops every streamer and joins the threads. Idempotent.
   void Stop();
 
+  /// Operator action (DECOMMISSION_REPLICA): erases a permanently-
+  /// departed replica from the registry so the WAL retention floor stops
+  /// protecting its resume point — without a primary restart. NotFound
+  /// for an unknown id; InvalidArgument while the replica is still
+  /// connected (shut its stream first — a live subscriber must keep its
+  /// retention guarantee). When the last subscriber goes, the floor
+  /// resets to "no replicas — truncate freely".
+  Status Decommission(const std::string& replica_id);
+
   size_t connected_subscribers() const;
 
   /// Primary's answer to a REPLICA_STATUS probe.
@@ -116,9 +125,9 @@ class ReplicationMaster {
   mutable std::mutex mutex_;
   std::condition_variable ack_cv_;
   /// Keyed by replica_id; an entry persists across reconnects so the
-  /// retention floor keeps protecting a briefly-offline replica. (A
-  /// permanently dead replica pins the WAL until the primary restarts —
-  /// an operator decision, see docs/OPERATIONS.md.)
+  /// retention floor keeps protecting a briefly-offline replica. A
+  /// permanently dead replica pins the WAL until an operator issues
+  /// DECOMMISSION_REPLICA (see docs/OPERATIONS.md).
   std::map<std::string, Subscriber> subscribers_;
   size_t sync_subscribers_ = 0;
   std::vector<std::thread> threads_;

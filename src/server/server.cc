@@ -677,6 +677,28 @@ bool Server::ExecuteRequest(const std::shared_ptr<Session>& session,
       ++stats_.sessions_closed;
       return true;
     }
+    case Op::kRouterStatus: {
+      // Answered (negatively) so a client can probe whether an endpoint
+      // is a router or a plain engine server.
+      RespondError(session, Op::kErr, WireError::kNotSupported,
+                   "not a shard router");
+      return true;
+    }
+    case Op::kDecommissionReplica: {
+      DecommissionReplicaMsg msg;
+      const Status decoded = DecodeDecommissionReplica(body, &msg);
+      if (!decoded.ok()) break;  // Malformed body: protocol error below.
+      RespondStatus(
+          session,
+          replication_ != nullptr
+              ? replication_->Decommission(msg.replica_id)
+              : Status::NotSupported(
+                    config_.replica != nullptr
+                        ? "replicas hold no retention registry; "
+                          "decommission on the primary"
+                        : "durability is off: no replication state"));
+      return true;
+    }
     case Op::kCommit: {
       if (session->txn == nullptr) {
         RespondError(session, Op::kErr, WireError::kInvalidArgument,

@@ -1,0 +1,94 @@
+#include "shard/backend_pool.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace anker::shard {
+
+BackendPool::BackendPool(std::vector<ShardEndpoint> shards,
+                         BackendPoolConfig config)
+    : shards_(std::move(shards)), config_(std::move(config)) {
+  ANKER_CHECK(!shards_.empty());
+  backends_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    backends_.push_back(std::make_unique<Backend>());
+  }
+}
+
+Result<std::unique_ptr<server::Client>> BackendPool::Acquire(size_t shard) {
+  ANKER_CHECK(shard < backends_.size());
+  Backend& backend = *backends_[shard];
+  {
+    std::lock_guard<std::mutex> guard(backend.mutex);
+    if (!backend.idle.empty()) {
+      std::unique_ptr<server::Client> client =
+          std::move(backend.idle.back());
+      backend.idle.pop_back();
+      return client;
+    }
+    if (backend.dial_failures > 0 && Clock::now() < backend.retry_after) {
+      return Status::ResourceBusy(
+          "shard " + std::to_string(shard) + " (" + shards_[shard].host +
+          ":" + std::to_string(shards_[shard].port) +
+          ") is down; reconnect backoff in effect");
+    }
+  }
+
+  // Dial outside the lock: a slow or timing-out connect must not stall
+  // other workers' traffic to this shard (they will dial their own).
+  auto dialed = server::Client::Connect(shards_[shard].host,
+                                        shards_[shard].port, config_.client);
+  std::lock_guard<std::mutex> guard(backend.mutex);
+  if (dialed.ok()) {
+    backend.dial_failures = 0;
+    return std::move(dialed.value());
+  }
+  ++backend.dial_failures;
+  const int shift = std::min(backend.dial_failures - 1, 16);
+  const int64_t backoff =
+      std::min(static_cast<int64_t>(config_.backoff_initial_millis) << shift,
+               static_cast<int64_t>(config_.backoff_max_millis));
+  backend.retry_after = Clock::now() + std::chrono::milliseconds(backoff);
+  return Status::ResourceBusy("shard " + std::to_string(shard) + " (" +
+                              shards_[shard].host + ":" +
+                              std::to_string(shards_[shard].port) +
+                              ") unreachable: " + dialed.status().message());
+}
+
+void BackendPool::Release(size_t shard,
+                         std::unique_ptr<server::Client> client) {
+  ANKER_CHECK(shard < backends_.size());
+  if (client == nullptr) return;
+  Backend& backend = *backends_[shard];
+  std::lock_guard<std::mutex> guard(backend.mutex);
+  if (backend.idle.size() < config_.max_idle_per_shard) {
+    backend.idle.push_back(std::move(client));
+  }
+  // else: destructor closes the surplus connection.
+}
+
+void BackendPool::Discard(std::unique_ptr<server::Client> client) {
+  client.reset();
+}
+
+bool BackendPool::ProbeHealthy(size_t shard) {
+  auto client = Acquire(shard);
+  if (!client.ok()) return false;
+  const Status pinged = client.value()->Ping();
+  if (pinged.ok()) {
+    Release(shard, std::move(client.value()));
+    return true;
+  }
+  return false;
+}
+
+size_t BackendPool::CountHealthy() {
+  size_t healthy = 0;
+  for (size_t shard = 0; shard < backends_.size(); ++shard) {
+    if (ProbeHealthy(shard)) ++healthy;
+  }
+  return healthy;
+}
+
+}  // namespace anker::shard

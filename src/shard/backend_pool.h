@@ -1,0 +1,92 @@
+#ifndef ANKER_SHARD_BACKEND_POOL_H_
+#define ANKER_SHARD_BACKEND_POOL_H_
+
+// Per-shard connection pools for the router's backend side. Each shard
+// keeps a small free-list of connected Clients; Acquire hands one out
+// (dialing a fresh connection when the list is empty), Release returns
+// a healthy one, Discard drops a connection whose transport failed.
+//
+// Shard-down handling: a failed dial opens a capped-exponential-backoff
+// window during which further Acquires fail fast with kResourceBusy —
+// the router maps that to a BUSY wire response, so writes against a
+// down shard surface as the same recoverable backpressure clients
+// already retry on. The first dial after the window either heals the
+// shard (backoff resets) or extends it.
+//
+// Thread safety: fully thread-safe; workers acquire concurrently (a
+// scatter-gather holds one connection per shard at once). The dial
+// itself runs outside the lock so a slow connect never blocks other
+// shards' traffic.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "server/client.h"
+#include "shard/shard_map.h"
+
+namespace anker::shard {
+
+struct BackendPoolConfig {
+  /// Options for every backend connection (auth token, IO timeout). The
+  /// busy_retry_budget should stay 0: BUSY must travel back to the real
+  /// client, which owns the retry policy.
+  server::ClientOptions client;
+  int backoff_initial_millis = 50;
+  int backoff_max_millis = 2000;
+  /// Idle connections kept per shard; extras are closed on Release.
+  size_t max_idle_per_shard = 8;
+};
+
+class BackendPool {
+ public:
+  BackendPool(std::vector<ShardEndpoint> shards, BackendPoolConfig config);
+  ANKER_DISALLOW_COPY_AND_MOVE(BackendPool);
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardEndpoint& endpoint(size_t shard) const { return shards_[shard]; }
+
+  /// A pooled connection or a fresh dial. kResourceBusy while the shard
+  /// is inside its reconnect-backoff window or the dial fails (which
+  /// opens/extends the window).
+  Result<std::unique_ptr<server::Client>> Acquire(size_t shard);
+
+  /// Returns a connection that completed its work normally.
+  void Release(size_t shard, std::unique_ptr<server::Client> client);
+
+  /// Drops a connection whose transport failed mid-operation. The next
+  /// Acquire re-dials immediately (one failure on an established
+  /// connection does not open the backoff window — the dial verdict
+  /// does).
+  void Discard(std::unique_ptr<server::Client> client);
+
+  /// Health probe: a pooled/fresh connection answering PING. Cheap when
+  /// the shard is inside backoff (fails fast without touching the
+  /// network).
+  bool ProbeHealthy(size_t shard);
+
+  /// Shards currently answering PING (drives ROUTER_STATUS).
+  size_t CountHealthy();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Backend {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<server::Client>> idle;
+    int dial_failures = 0;          ///< Consecutive; resets on success.
+    Clock::time_point retry_after;  ///< Backoff gate while failing.
+  };
+
+  const std::vector<ShardEndpoint> shards_;
+  const BackendPoolConfig config_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+};
+
+}  // namespace anker::shard
+
+#endif  // ANKER_SHARD_BACKEND_POOL_H_

@@ -1,0 +1,600 @@
+#include "shard/router_core.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "query/merge.h"
+
+namespace anker::shard {
+
+namespace {
+
+using server::Op;
+using server::WireError;
+
+std::string OpOnly(Op op) {
+  std::string payload;
+  payload.push_back(static_cast<char>(op));
+  return payload;
+}
+
+/// Streams a complete query result as the wire frames the engine server
+/// would send: n QUERY_BATCH frames followed by QUERY_DONE.
+void AppendResultFrames(const query::QueryResult& result, std::string* out) {
+  std::string response;
+  for (size_t begin = 0; begin < result.rows.size();
+       begin += server::kQueryBatchRows) {
+    const size_t end =
+        std::min(begin + server::kQueryBatchRows, result.rows.size());
+    response.clear();
+    server::EncodeQueryBatch(result, begin, end, &response);
+    server::EncodeFrame(response, out);
+  }
+  response.clear();
+  server::EncodeQueryDone(result, &response);
+  server::EncodeFrame(response, out);
+}
+
+bool IsOkResponse(const std::string& payload) {
+  return !payload.empty() && static_cast<Op>(payload[0]) == Op::kOk;
+}
+
+}  // namespace
+
+RouterCore::RouterCore(const ShardMap* map, BackendPool* pool,
+                       RouterCoreConfig config)
+    : map_(map), pool_(pool), config_(config) {
+  ANKER_CHECK(map_ != nullptr && pool_ != nullptr);
+  ANKER_CHECK(map_->num_shards() == pool_->num_shards());
+}
+
+void RouterCore::RespondError(WireError code, const std::string& message,
+                              std::string* out) {
+  std::string payload;
+  // BUSY keeps its dedicated opcode so client-side retry loops engage.
+  const Op op = code == WireError::kResourceBusy ? Op::kBusy : Op::kErr;
+  server::EncodeErr(op, {code, message}, &payload);
+  server::EncodeFrame(payload, out);
+}
+
+void RouterCore::RespondStatus(const Status& status, std::string* out) {
+  if (status.ok()) {
+    server::EncodeFrame(OpOnly(Op::kOk), out);
+  } else {
+    RespondError(server::WireErrorFor(status), status.message(), out);
+  }
+}
+
+bool RouterCore::ForwardVerbatim(server::Client* client,
+                                 const std::string& payload,
+                                 std::string* out) {
+  auto response = client->RoundTrip(payload);
+  if (!response.ok()) return false;
+  server::EncodeFrame(response.value(), out);
+  return true;
+}
+
+Result<std::pair<size_t, std::unique_ptr<server::Client>>>
+RouterCore::AcquireAny() {
+  Status last = Status::ResourceBusy("no shards configured");
+  for (size_t shard = 0; shard < pool_->num_shards(); ++shard) {
+    auto client = pool_->Acquire(shard);
+    if (client.ok()) return std::make_pair(shard, std::move(client.value()));
+    last = client.status();
+  }
+  return last;
+}
+
+void RouterCore::Handle(SessionState* session, const std::string& payload,
+                        std::string* out) {
+  if (payload.empty() ||
+      !server::IsRequestOp(static_cast<uint8_t>(payload[0]))) {
+    RespondError(WireError::kNotSupported, "unknown or non-request opcode",
+                 out);
+    return;
+  }
+  const Op op = static_cast<Op>(payload[0]);
+  switch (op) {
+    case Op::kPing:
+      server::EncodeFrame(OpOnly(Op::kPong), out);
+      return;
+    case Op::kHello:
+      RespondError(WireError::kProtocolError,
+                   "HELLO must be the first frame, exactly once", out);
+      return;
+    case Op::kBegin:
+    case Op::kCommit:
+    case Op::kAbort:
+      HandleTxnOp(session, op, payload, out);
+      return;
+    case Op::kRead:
+      HandleRead(session, payload, out);
+      return;
+    case Op::kWrite:
+    case Op::kWriteBatch: {
+      std::vector<server::PointWrite> writes;
+      const std::string_view body(payload.data() + 1, payload.size() - 1);
+      Status decoded;
+      if (op == Op::kWrite) {
+        server::PointWrite write;
+        decoded = server::DecodeWrite(body, &write);
+        if (decoded.ok()) writes.push_back(std::move(write));
+      } else {
+        decoded = server::DecodeWriteBatch(body, &writes);
+      }
+      if (!decoded.ok()) {
+        RespondError(WireError::kProtocolError, "malformed request body",
+                     out);
+        return;
+      }
+      if (!session->in_txn) {
+        RespondError(WireError::kInvalidArgument,
+                     "no open transaction (BEGIN first)", out);
+        return;
+      }
+      const int shard = ShardForWrites(writes, out);
+      if (shard < 0) return;
+      if (!EnsurePinned(session, static_cast<size_t>(shard), out)) return;
+      if (!ForwardVerbatim(session->txn_client.get(), payload, out)) {
+        pool_->Discard(std::move(session->txn_client));
+        session->in_txn = false;
+        session->pinned_shard = -1;
+        RespondError(WireError::kResourceBusy,
+                     "shard connection lost; transaction aborted", out);
+      }
+      return;
+    }
+    case Op::kExecTxn:
+      HandleExecTxn(session, payload, out);
+      return;
+    case Op::kQuery:
+      HandleQuery(payload, out);
+      return;
+    case Op::kCreateTable:
+    case Op::kLoad:
+    case Op::kBuildIndex:
+    case Op::kDictDefine:
+      HandleFanout(op, payload, out);
+      return;
+    case Op::kListTables:
+      HandleListTables(payload, out);
+      return;
+    case Op::kRouterStatus: {
+      std::string response;
+      server::EncodeRouterStatusOk(StatusSnapshot(), &response);
+      server::EncodeFrame(response, out);
+      return;
+    }
+    default:
+      // Replication / per-node operations surface: these act on one
+      // node's WAL, checkpoints or role — meaningless through a router.
+      RespondError(WireError::kNotSupported,
+                   "not served by the router; connect to the shard's "
+                   "engine server directly",
+                   out);
+      return;
+  }
+}
+
+void RouterCore::HandleTxnOp(SessionState* session, Op op,
+                             const std::string& payload, std::string* out) {
+  if (op == Op::kBegin) {
+    if (session->in_txn) {
+      RespondError(WireError::kInvalidArgument,
+                   "transaction already open (no nesting)", out);
+      return;
+    }
+    // Acknowledged locally; the session pins to a shard at its first
+    // keyed operation (a BEGIN alone costs no backend round trip).
+    session->in_txn = true;
+    session->pinned_shard = -1;
+    RespondStatus(Status::OK(), out);
+    return;
+  }
+  if (!session->in_txn) {
+    RespondError(WireError::kInvalidArgument, "no open transaction", out);
+    return;
+  }
+  if (session->txn_client == nullptr) {
+    // Untouched transaction: nothing reached any shard.
+    session->in_txn = false;
+    if (op == Op::kCommit) {
+      std::string response;
+      server::EncodeCommitOk(0, &response);
+      server::EncodeFrame(response, out);
+    } else {
+      RespondStatus(Status::OK(), out);
+    }
+    return;
+  }
+  const size_t shard = static_cast<size_t>(session->pinned_shard);
+  const bool forwarded =
+      ForwardVerbatim(session->txn_client.get(), payload, out);
+  if (forwarded) {
+    pool_->Release(shard, std::move(session->txn_client));
+    if (op == Op::kCommit) passthrough_txns_.fetch_add(1);
+  } else {
+    pool_->Discard(std::move(session->txn_client));
+    RespondStatus(
+        op == Op::kCommit
+            ? Status::IoError(
+                  "shard connection lost; commit outcome unknown")
+            : Status::OK(),  // A lost ABORT aborted anyway (server-side).
+        out);
+  }
+  session->in_txn = false;
+  session->pinned_shard = -1;
+  return;
+}
+
+void RouterCore::HandleRead(SessionState* session, const std::string& payload,
+                            std::string* out) {
+  server::PointReadMsg msg;
+  const std::string_view body(payload.data() + 1, payload.size() - 1);
+  if (!server::DecodePointRead(body, &msg).ok()) {
+    RespondError(WireError::kProtocolError, "malformed request body", out);
+    return;
+  }
+  const std::string* partition_key = map_->PartitionKey(msg.table);
+  if (partition_key != nullptr && !msg.by_key) {
+    RespondError(WireError::kNotSupported,
+                 "row ids are shard-local; address partitioned tables "
+                 "by key through the router",
+                 out);
+    return;
+  }
+
+  if (session->in_txn) {
+    if (partition_key == nullptr) {
+      // Replicated table inside a transaction: read it on the pinned
+      // shard (any copy is equivalent; the pinned one sees txn writes
+      // to partitioned tables alongside).
+      if (session->txn_client == nullptr) {
+        auto any = AcquireAny();
+        if (!any.ok()) {
+          RespondStatus(any.status(), out);
+          return;
+        }
+        // Pin here too: later keyed ops must agree with this read's
+        // transactional view.
+        session->pinned_shard = static_cast<int>(any.value().first);
+        session->txn_client = std::move(any.value().second);
+        auto begun = session->txn_client->RoundTrip(OpOnly(Op::kBegin));
+        if (!begun.ok() || !IsOkResponse(begun.value())) {
+          pool_->Discard(std::move(session->txn_client));
+          session->in_txn = false;
+          session->pinned_shard = -1;
+          RespondError(WireError::kResourceBusy,
+                       "shard refused transaction open", out);
+          return;
+        }
+      }
+    } else {
+      const size_t shard = map_->ShardFor(msg.key);
+      if (!EnsurePinned(session, shard, out)) return;
+    }
+    if (!ForwardVerbatim(session->txn_client.get(), payload, out)) {
+      pool_->Discard(std::move(session->txn_client));
+      session->in_txn = false;
+      session->pinned_shard = -1;
+      RespondError(WireError::kResourceBusy,
+                   "shard connection lost; transaction aborted", out);
+    }
+    return;
+  }
+
+  // Auto-commit read: one round trip to the owning (or any) shard.
+  size_t shard = 0;
+  std::unique_ptr<server::Client> client;
+  if (partition_key != nullptr) {
+    shard = map_->ShardFor(msg.key);
+    auto acquired = pool_->Acquire(shard);
+    if (!acquired.ok()) {
+      RespondStatus(acquired.status(), out);
+      return;
+    }
+    client = std::move(acquired.value());
+  } else {
+    auto any = AcquireAny();
+    if (!any.ok()) {
+      RespondStatus(any.status(), out);
+      return;
+    }
+    shard = any.value().first;
+    client = std::move(any.value().second);
+  }
+  if (ForwardVerbatim(client.get(), payload, out)) {
+    pool_->Release(shard, std::move(client));
+  } else {
+    pool_->Discard(std::move(client));
+    RespondError(WireError::kResourceBusy, "shard connection lost", out);
+  }
+}
+
+int RouterCore::ShardForWrites(const std::vector<server::PointWrite>& writes,
+                               std::string* out) {
+  int shard = -1;
+  for (const server::PointWrite& write : writes) {
+    const std::string* partition_key = map_->PartitionKey(write.table);
+    if (partition_key == nullptr) {
+      RespondError(WireError::kNotSupported,
+                   "writes to replicated tables are not routable (every "
+                   "shard holds a copy); load them out of band",
+                   out);
+      return -1;
+    }
+    if (!write.by_key) {
+      RespondError(WireError::kNotSupported,
+                   "row ids are shard-local; address partitioned tables "
+                   "by key through the router",
+                   out);
+      return -1;
+    }
+    const int owner = static_cast<int>(map_->ShardFor(write.key));
+    if (shard == -1) shard = owner;
+    if (owner != shard) {
+      RespondError(WireError::kNotSupported,
+                   "transaction spans shards " + std::to_string(shard) +
+                       " and " + std::to_string(owner) +
+                       "; cross-shard 2PC is not supported yet",
+                   out);
+      return -1;
+    }
+  }
+  return shard;
+}
+
+bool RouterCore::EnsurePinned(SessionState* session, size_t shard,
+                              std::string* out) {
+  if (session->txn_client != nullptr) {
+    if (session->pinned_shard == static_cast<int>(shard)) return true;
+    RespondError(WireError::kNotSupported,
+                 "transaction is pinned to shard " +
+                     std::to_string(session->pinned_shard) +
+                     " but this operation belongs to shard " +
+                     std::to_string(shard) +
+                     "; cross-shard 2PC is not supported yet",
+                 out);
+    return false;
+  }
+  auto client = pool_->Acquire(shard);
+  if (!client.ok()) {
+    RespondStatus(client.status(), out);
+    return false;
+  }
+  auto begun = client.value()->RoundTrip(OpOnly(Op::kBegin));
+  if (!begun.ok() || !IsOkResponse(begun.value())) {
+    pool_->Discard(std::move(client.value()));
+    RespondError(WireError::kResourceBusy, "shard refused transaction open",
+                 out);
+    return false;
+  }
+  session->pinned_shard = static_cast<int>(shard);
+  session->txn_client = std::move(client.value());
+  return true;
+}
+
+void RouterCore::HandleExecTxn(SessionState* session,
+                               const std::string& payload, std::string* out) {
+  std::vector<server::PointWrite> writes;
+  const std::string_view body(payload.data() + 1, payload.size() - 1);
+  if (!server::DecodeWriteBatch(body, &writes).ok()) {
+    RespondError(WireError::kProtocolError, "malformed request body", out);
+    return;
+  }
+  if (session->in_txn) {
+    RespondError(WireError::kInvalidArgument,
+                 "EXEC_TXN is auto-commit; a transaction is open on this "
+                 "session",
+                 out);
+    return;
+  }
+  if (writes.empty()) {
+    // An empty transaction commits vacuously; no shard needs to hear
+    // about it (LSN 0 = "wrote nothing", same as the engine server).
+    std::string response;
+    server::EncodeCommitOk(0, &response);
+    server::EncodeFrame(response, out);
+    return;
+  }
+  const int shard = ShardForWrites(writes, out);
+  if (shard < 0) return;
+  auto client = pool_->Acquire(static_cast<size_t>(shard));
+  if (!client.ok()) {
+    RespondStatus(client.status(), out);
+    return;
+  }
+  // The pass-through fast path: the ORIGINAL request bytes go to the
+  // owning shard and its response comes back verbatim — one
+  // router->shard round trip, no re-encode.
+  if (ForwardVerbatim(client.value().get(), payload, out)) {
+    pool_->Release(static_cast<size_t>(shard), std::move(client.value()));
+    passthrough_txns_.fetch_add(1);
+  } else {
+    pool_->Discard(std::move(client.value()));
+    RespondStatus(Status::IoError(
+                      "shard connection lost; transaction outcome unknown"),
+                  out);
+  }
+}
+
+void RouterCore::HandleQuery(const std::string& payload, std::string* out) {
+  server::QueryMsg msg;
+  const std::string_view body(payload.data() + 1, payload.size() - 1);
+  if (!server::DecodeQuery(body, &msg).ok()) {
+    RespondError(WireError::kProtocolError, "malformed request body", out);
+    return;
+  }
+  const query::ScatterPlan plan =
+      query::PlanScatter(msg.query, map_->partitioned());
+
+  if (plan.mode == query::ScatterMode::kUnsupported) {
+    RespondError(WireError::kNotSupported,
+                 "cross-shard query: " + plan.reason, out);
+    return;
+  }
+
+  if (plan.mode == query::ScatterMode::kSingleShard) {
+    // Replicated-only plan: any one healthy shard holds the answer.
+    auto any = AcquireAny();
+    if (!any.ok()) {
+      RespondStatus(any.status(), out);
+      return;
+    }
+    auto result = any.value().second->Query(msg.query, msg.params);
+    if (!result.ok()) {
+      // The client may be poisoned (mid-stream failure); drop it.
+      pool_->Discard(std::move(any.value().second));
+      RespondStatus(result.status(), out);
+      return;
+    }
+    pool_->Release(any.value().first, std::move(any.value().second));
+    AppendResultFrames(result.value(), out);
+    single_shard_queries_.fetch_add(1);
+    return;
+  }
+
+  // Scatter: every shard runs plan.shard_query; the router merges.
+  std::vector<query::QueryResult> parts;
+  for (size_t shard = 0; shard < pool_->num_shards(); ++shard) {
+    auto client = pool_->Acquire(shard);
+    if (!client.ok()) {
+      if (config_.allow_partial) continue;  // Merge over the live subset.
+      RespondStatus(client.status(), out);
+      return;
+    }
+    auto result = client.value()->Query(plan.shard_query, msg.params);
+    if (!result.ok()) {
+      pool_->Discard(std::move(client.value()));
+      const StatusCode code = result.status().code();
+      if (config_.allow_partial && (code == StatusCode::kIoError ||
+                                    code == StatusCode::kResourceBusy)) {
+        continue;  // Shard died mid-query / is overloaded: skip it.
+      }
+      RespondStatus(result.status(), out);
+      return;
+    }
+    pool_->Release(shard, std::move(client.value()));
+    parts.push_back(std::move(result.value()));
+  }
+  if (parts.empty()) {
+    RespondError(WireError::kResourceBusy, "no shard reachable", out);
+    return;
+  }
+  query::QueryResult merged;
+  const Status merged_ok =
+      query::MergeShardResults(plan, std::move(parts), &merged);
+  if (!merged_ok.ok()) {
+    RespondStatus(merged_ok, out);
+    return;
+  }
+  AppendResultFrames(merged, out);
+  scatter_queries_.fetch_add(1);
+}
+
+void RouterCore::HandleFanout(Op op, const std::string& payload,
+                              std::string* out) {
+  const std::string_view body(payload.data() + 1, payload.size() - 1);
+  // Partitioned-table schema/load ops are the loader's job: rows are
+  // positional per shard, so the router cannot split them faithfully.
+  if (op == Op::kCreateTable) {
+    server::CreateTableMsg msg;
+    if (!server::DecodeCreateTable(body, &msg).ok()) {
+      RespondError(WireError::kProtocolError, "malformed request body", out);
+      return;
+    }
+    if (map_->PartitionKey(msg.name) != nullptr) {
+      RespondError(WireError::kNotSupported,
+                   "create partitioned tables on each shard directly "
+                   "(per-shard row counts differ)",
+                   out);
+      return;
+    }
+  } else if (op == Op::kLoad) {
+    server::LoadMsg msg;
+    if (!server::DecodeLoad(body, &msg).ok()) {
+      RespondError(WireError::kProtocolError, "malformed request body", out);
+      return;
+    }
+    if (map_->PartitionKey(msg.table) != nullptr) {
+      RespondError(WireError::kNotSupported,
+                   "loads are positional; split partitioned-table loads "
+                   "at the loader",
+                   out);
+      return;
+    }
+  }
+
+  // All shards must apply DDL/loads: a partial fan-out would fork the
+  // replicated schema, so the first unreachable shard fails the op.
+  for (size_t shard = 0; shard < pool_->num_shards(); ++shard) {
+    auto client = pool_->Acquire(shard);
+    if (!client.ok()) {
+      RespondStatus(client.status(), out);
+      return;
+    }
+    auto response = client.value()->RoundTrip(payload);
+    if (!response.ok()) {
+      pool_->Discard(std::move(client.value()));
+      RespondError(WireError::kResourceBusy,
+                   "shard " + std::to_string(shard) +
+                       " connection lost during fan-out",
+                   out);
+      return;
+    }
+    pool_->Release(shard, std::move(client.value()));
+    if (!IsOkResponse(response.value())) {
+      // First failure wins; its response travels back verbatim.
+      server::EncodeFrame(response.value(), out);
+      return;
+    }
+  }
+  server::EncodeFrame(OpOnly(Op::kOk), out);
+  fanout_ops_.fetch_add(1);
+}
+
+void RouterCore::HandleListTables(const std::string& payload,
+                                  std::string* out) {
+  auto any = AcquireAny();
+  if (!any.ok()) {
+    RespondStatus(any.status(), out);
+    return;
+  }
+  if (ForwardVerbatim(any.value().second.get(), payload, out)) {
+    pool_->Release(any.value().first, std::move(any.value().second));
+  } else {
+    pool_->Discard(std::move(any.value().second));
+    RespondError(WireError::kResourceBusy, "shard connection lost", out);
+  }
+}
+
+void RouterCore::AbandonSession(SessionState* session) {
+  if (session->txn_client != nullptr) {
+    auto aborted = session->txn_client->RoundTrip(OpOnly(Op::kAbort));
+    if (aborted.ok() && IsOkResponse(aborted.value())) {
+      pool_->Release(static_cast<size_t>(session->pinned_shard),
+                     std::move(session->txn_client));
+    } else {
+      pool_->Discard(std::move(session->txn_client));
+    }
+  }
+  session->in_txn = false;
+  session->pinned_shard = -1;
+}
+
+server::RouterStatusOkMsg RouterCore::StatusSnapshot() {
+  server::RouterStatusOkMsg msg;
+  msg.shard_count = static_cast<uint32_t>(map_->num_shards());
+  msg.healthy_shards = static_cast<uint32_t>(pool_->CountHealthy());
+  msg.shard_map_version = map_->version();
+  msg.shard_map_digest = map_->digest();
+  msg.allow_partial = config_.allow_partial;
+  msg.passthrough_txns = passthrough_txns_.load();
+  msg.scatter_queries = scatter_queries_.load();
+  msg.single_shard_queries = single_shard_queries_.load();
+  msg.fanout_ops = fanout_ops_.load();
+  return msg;
+}
+
+}  // namespace anker::shard

@@ -1,0 +1,134 @@
+#ifndef ANKER_SHARD_ROUTER_CORE_H_
+#define ANKER_SHARD_ROUTER_CORE_H_
+
+// The routing brain behind the router's wire front-end: one decoded
+// request payload in, response frame(s) out. Kept free of sockets and
+// epoll so tests can drive it directly against in-process shards.
+//
+// Routing rules (docs/SERVER.md has the client-facing contract):
+//  - EXEC_TXN: decoded just far enough to find the single owning shard,
+//    then the ORIGINAL payload bytes are forwarded verbatim — one
+//    router->shard round trip (the pass-through fast path, counted in
+//    passthrough_txns). Writes that span shards or touch replicated
+//    tables are refused with kNotSupported (cross-shard 2PC is the next
+//    slice).
+//  - BEGIN is acknowledged locally; the session pins to the shard that
+//    owns the first keyed operation, and every later op in the
+//    transaction must land on the same shard. COMMIT/ABORT forward to
+//    the pinned shard (an untouched transaction commits locally).
+//  - READ outside a transaction routes to the owning shard
+//    (replicated tables: any healthy shard). Row-id addressing is
+//    refused for partitioned tables — row ids are shard-local.
+//  - CREATE_TABLE / LOAD (replicated tables) and BUILD_INDEX /
+//    DICT_DEFINE (all tables) fan out to every shard; the first failure
+//    wins. CREATE_TABLE/LOAD of a partitioned table is refused: rows
+//    are positional, so splitting a load is the loader's job (the
+//    smoke harness loads shards directly).
+//  - QUERY: PlanScatter (query/merge.h) classifies the plan;
+//    single-shard plans forward to one healthy shard, scatterable plans
+//    run on every shard and merge at the router, cross-shard plans
+//    come back as a recoverable kNotSupported.
+//  - A down shard surfaces as BUSY (kResourceBusy) for anything that
+//    must reach it. Queries optionally tolerate missing shards
+//    (allow_partial): the merged result then covers the live subset.
+//  - Replication/operations surface (REPLICATE_HELLO, FETCH_CHECKPOINT,
+//    WAIT_LSN, PROMOTE, CHECKPOINT_NOW, DIGEST, DECOMMISSION_REPLICA):
+//    refused — those are per-node operator actions; connect to the
+//    shard's engine server directly.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "shard/backend_pool.h"
+#include "shard/shard_map.h"
+
+namespace anker::shard {
+
+struct RouterCoreConfig {
+  /// QUERY behavior when a shard is down: false = refuse with BUSY;
+  /// true = merge over the reachable shards (results may under-count).
+  bool allow_partial = false;
+};
+
+class RouterCore {
+ public:
+  /// Per-client-session routing state. Owned by the front-end session;
+  /// the one-request-at-a-time session discipline serializes access.
+  struct SessionState {
+    bool in_txn = false;
+    /// Shard owning the open transaction; -1 until the first keyed op.
+    int pinned_shard = -1;
+    /// Live backend connection holding the open transaction.
+    std::unique_ptr<server::Client> txn_client;
+  };
+
+  /// `map` and `pool` must outlive the core.
+  RouterCore(const ShardMap* map, BackendPool* pool,
+             RouterCoreConfig config);
+  ANKER_DISALLOW_COPY_AND_MOVE(RouterCore);
+
+  /// Handles one post-handshake request payload (opcode + body),
+  /// appending complete response frame(s) to `out`. May block on
+  /// backend IO — run on a worker thread.
+  void Handle(SessionState* session, const std::string& payload,
+              std::string* out);
+
+  /// Session teardown (peer vanished): abort any pinned transaction on
+  /// its shard and return the connection.
+  void AbandonSession(SessionState* session);
+
+  /// ROUTER_STATUS payload. Probing health touches the network.
+  server::RouterStatusOkMsg StatusSnapshot();
+
+  const ShardMap& map() const { return *map_; }
+
+ private:
+  void HandleTxnOp(SessionState* session, server::Op op,
+                   const std::string& payload, std::string* out);
+  void HandleRead(SessionState* session, const std::string& payload,
+                  std::string* out);
+  void HandleExecTxn(SessionState* session, const std::string& payload,
+                     std::string* out);
+  void HandleQuery(const std::string& payload, std::string* out);
+  void HandleFanout(server::Op op, const std::string& payload,
+                    std::string* out);
+  void HandleListTables(const std::string& payload, std::string* out);
+
+  /// Owning shard for a batch of writes; negative = refused (response
+  /// already appended).
+  int ShardForWrites(const std::vector<server::PointWrite>& writes,
+                     std::string* out);
+  /// Pins `session` to `shard`, opening the backend transaction.
+  /// False = refused/failed (response already appended).
+  bool EnsurePinned(SessionState* session, size_t shard, std::string* out);
+  /// Round-trips `payload` on `client`, forwarding the raw response
+  /// verbatim. False on transport failure (client is poisoned — the
+  /// caller must discard it; a BUSY/error response is still `true`).
+  bool ForwardVerbatim(server::Client* client, const std::string& payload,
+                       std::string* out);
+  /// Acquires any healthy shard, preferring low indices.
+  Result<std::pair<size_t, std::unique_ptr<server::Client>>> AcquireAny();
+
+  void RespondStatus(const Status& status, std::string* out);
+  void RespondError(server::WireError code, const std::string& message,
+                    std::string* out);
+
+  const ShardMap* map_;
+  BackendPool* pool_;
+  const RouterCoreConfig config_;
+
+  std::atomic<uint64_t> passthrough_txns_{0};
+  std::atomic<uint64_t> scatter_queries_{0};
+  std::atomic<uint64_t> single_shard_queries_{0};
+  std::atomic<uint64_t> fanout_ops_{0};
+};
+
+}  // namespace anker::shard
+
+#endif  // ANKER_SHARD_ROUTER_CORE_H_

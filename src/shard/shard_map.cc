@@ -1,0 +1,177 @@
+#include "shard/shard_map.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace anker::shard {
+
+namespace {
+
+/// Strips a trailing comment and surrounding whitespace.
+std::string CleanLine(std::string line) {
+  const size_t hash = line.find('#');
+  if (hash != std::string::npos) line.erase(hash);
+  const size_t begin = line.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const size_t end = line.find_last_not_of(" \t\r");
+  return line.substr(begin, end - begin + 1);
+}
+
+Status ParseEndpoint(const std::string& text, ShardEndpoint* out) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= text.size()) {
+    return Status::InvalidArgument("shard endpoint must be host:port: " +
+                                   text);
+  }
+  out->host = text.substr(0, colon);
+  uint64_t port = 0;
+  for (size_t i = colon + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad shard port: " + text);
+    }
+    port = port * 10 + static_cast<uint64_t>(c - '0');
+    if (port > 65535) return Status::InvalidArgument("bad shard port: " + text);
+  }
+  if (port == 0) return Status::InvalidArgument("bad shard port: " + text);
+  out->port = static_cast<uint16_t>(port);
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t ShardMap::Mix64(uint64_t key) {
+  // splitmix64 finalizer (public domain, Vigna): fixed constants, no
+  // platform dependence — the routing function is part of the protocol.
+  uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Result<ShardMap> ShardMap::Parse(const std::string& text) {
+  ShardMap map;
+  bool saw_version = false;
+  std::istringstream lines(text);
+  std::string raw;
+  size_t lineno = 0;
+  while (std::getline(lines, raw)) {
+    ++lineno;
+    const std::string line = CleanLine(std::move(raw));
+    if (line.empty()) continue;
+    std::istringstream words(line);
+    std::string keyword;
+    words >> keyword;
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument("shard map line " +
+                                     std::to_string(lineno) + ": " + why);
+    };
+    if (keyword == "version") {
+      uint64_t version = 0;
+      if (!(words >> version) || version == 0 || version > UINT32_MAX) {
+        return bad("version must be a positive 32-bit integer");
+      }
+      if (saw_version) return bad("duplicate version line");
+      saw_version = true;
+      map.version_ = static_cast<uint32_t>(version);
+    } else if (keyword == "shard") {
+      std::string endpoint_text;
+      if (!(words >> endpoint_text)) return bad("shard needs host:port");
+      ShardEndpoint endpoint;
+      const Status parsed = ParseEndpoint(endpoint_text, &endpoint);
+      if (!parsed.ok()) return bad(parsed.message());
+      map.shards_.push_back(std::move(endpoint));
+    } else if (keyword == "table") {
+      std::string table, kind;
+      if (!(words >> table >> kind)) {
+        return bad("table needs: <name> partition <col> | <name> replicated");
+      }
+      // Replicated is the default; the entry just pins it explicitly.
+      // Either way a duplicate entry is a config bug worth refusing.
+      static const std::string kReplicatedSentinel;
+      std::string key;
+      if (kind == "partition") {
+        if (!(words >> key) || key.empty()) {
+          return bad("partition needs a key column");
+        }
+      } else if (kind != "replicated") {
+        return bad("unknown table kind: " + kind);
+      }
+      if (map.partitioned_.count(table) != 0 ||
+          map.replicated_marks_.count(table) != 0) {
+        return bad("duplicate table entry: " + table);
+      }
+      if (kind == "partition") {
+        map.partitioned_[table] = key;
+      } else {
+        map.replicated_marks_.insert(table);
+      }
+    } else {
+      return bad("unknown keyword: " + keyword);
+    }
+    std::string trailing;
+    if (words >> trailing) return bad("trailing tokens: " + trailing);
+  }
+  if (!saw_version) {
+    return Status::InvalidArgument("shard map has no version line");
+  }
+  if (map.shards_.empty()) {
+    return Status::InvalidArgument("shard map names no shards");
+  }
+  return map;
+}
+
+Result<ShardMap> ShardMap::LoadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot read shard map: " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return Parse(text.str());
+}
+
+Status ShardMap::ValidateReload(const ShardMap& next) const {
+  if (next.num_shards() != num_shards()) {
+    return Status::InvalidArgument(
+        "shard map reload changes the shard count (" +
+        std::to_string(num_shards()) + " -> " +
+        std::to_string(next.num_shards()) +
+        "); rehoming keys requires data migration");
+  }
+  if (next.version() <= version()) {
+    return Status::InvalidArgument(
+        "shard map reload must increase the version (" +
+        std::to_string(version()) + " -> " +
+        std::to_string(next.version()) + ")");
+  }
+  return Status::OK();
+}
+
+const std::string* ShardMap::PartitionKey(const std::string& table) const {
+  const auto it = partitioned_.find(table);
+  return it == partitioned_.end() ? nullptr : &it->second;
+}
+
+std::string ShardMap::Canonical() const {
+  std::string out = "version " + std::to_string(version_) + "\n";
+  for (const ShardEndpoint& shard : shards_) {
+    out += "shard " + shard.host + ":" + std::to_string(shard.port) + "\n";
+  }
+  // partitioned_ is an ordered map: name order is already canonical.
+  // Explicit `replicated` marks are semantic no-ops and stay out.
+  for (const auto& [table, key] : partitioned_) {
+    out += "table " + table + " partition " + key + "\n";
+  }
+  return out;
+}
+
+uint64_t ShardMap::digest() const {
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a.
+  for (const char c : Canonical()) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace anker::shard

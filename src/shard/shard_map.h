@@ -1,0 +1,87 @@
+#ifndef ANKER_SHARD_SHARD_MAP_H_
+#define ANKER_SHARD_SHARD_MAP_H_
+
+// The router's static, versioned shard topology: which backend engine
+// servers exist and how tables spread across them. Loaded from a small
+// line-based config file:
+//
+//   # comment, blank lines ignored
+//   version 3
+//   shard 127.0.0.1:7101
+//   shard 127.0.0.1:7102
+//   table lineitem partition l_orderkey
+//   table nation replicated
+//
+// Tables not named in the file are replicated (every shard holds the
+// full copy); `partition` tables are hash-split on one key column:
+// shard = Mix64(key) % num_shards. Mix64 is the splitmix64 finalizer —
+// a fixed, platform-independent bijection, so routing is deterministic
+// across router restarts and reimplementable by loaders (the smoke
+// harness splits TPC-H rows with the same function in Python).
+//
+// Reload discipline: the map is static for a running router except for
+// explicit operator reloads, which must keep the shard count (moving a
+// key's home requires data migration this slice does not do) and must
+// increase the version. `digest()` is a canonical-form FNV-1a over the
+// topology; HELLO_OK carries it so clients can pin what they loaded
+// against.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/merge.h"
+
+namespace anker::shard {
+
+struct ShardEndpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+class ShardMap {
+ public:
+  /// Parses the config text. InvalidArgument on syntax errors, missing
+  /// or non-positive version, zero shards, duplicate table entries.
+  static Result<ShardMap> Parse(const std::string& text);
+  static Result<ShardMap> LoadFile(const std::string& path);
+
+  /// Reload gate: `next` must keep this map's shard count (rehoming
+  /// keys needs data migration) and strictly increase the version.
+  Status ValidateReload(const ShardMap& next) const;
+
+  /// splitmix64 finalizer: the fixed hash behind key -> shard.
+  static uint64_t Mix64(uint64_t key);
+
+  size_t ShardFor(uint64_t key) const {
+    return static_cast<size_t>(Mix64(key) % shards_.size());
+  }
+
+  /// Partition key column for `table`; nullptr when replicated.
+  const std::string* PartitionKey(const std::string& table) const;
+
+  uint32_t version() const { return version_; }
+  size_t num_shards() const { return shards_.size(); }
+  const std::vector<ShardEndpoint>& shards() const { return shards_; }
+  /// Table -> partition key, in the shape PlanScatter consumes.
+  const query::PartitionMap& partitioned() const { return partitioned_; }
+
+  /// Canonical serialization (sorted, normalized) the digest hashes.
+  std::string Canonical() const;
+  /// FNV-1a over Canonical(); advertised in the router's HELLO_OK.
+  uint64_t digest() const;
+
+ private:
+  uint32_t version_ = 0;
+  std::vector<ShardEndpoint> shards_;
+  query::PartitionMap partitioned_;
+  /// Tables pinned `replicated` explicitly — semantically the default,
+  /// tracked only to refuse duplicate/conflicting table lines.
+  std::set<std::string> replicated_marks_;
+};
+
+}  // namespace anker::shard
+
+#endif  // ANKER_SHARD_SHARD_MAP_H_

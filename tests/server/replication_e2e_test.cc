@@ -258,6 +258,68 @@ TEST_F(ReplicationE2eTest, SyncAckGatesCommitsOnReplicaDurability) {
   EXPECT_EQ(read_back.value(), storage::EncodeInt64(6));
 }
 
+TEST_F(ReplicationE2eTest, DecommissionReleasesDepartedReplicaRetention) {
+  StartPrimary();
+  auto primary = Dial(primary_server_->port());
+  ASSERT_NE(primary, nullptr);
+  ASSERT_TRUE(primary
+                  ->CreateTable("acct", 64,
+                                {{"bal", storage::ValueType::kInt64}})
+                  .ok());
+  StartReplica();
+  auto replica = Dial(replica_server_->port());
+  ASSERT_NE(replica, nullptr);
+
+  ASSERT_TRUE(primary->ExecTxn({{"acct", "bal", false, 1,
+                                 storage::EncodeInt64(9)}}).ok());
+  ASSERT_TRUE(replica->WaitLsn(primary->last_commit_lsn(), 5000).ok());
+
+  // Unknown id: the registry only knows replicas that ever subscribed.
+  const Status unknown = primary->DecommissionReplica("never-registered");
+  EXPECT_EQ(unknown.code(), StatusCode::kNotFound) << unknown.ToString();
+
+  // While the stream is live the retention pin is load-bearing: refused.
+  const Status live = primary->DecommissionReplica("r1");
+  EXPECT_EQ(live.code(), StatusCode::kInvalidArgument) << live.ToString();
+
+  // The op lives on the primary; a replica has no retention registry.
+  const Status wrong_node = replica->DecommissionReplica("r1");
+  EXPECT_EQ(wrong_node.code(), StatusCode::kNotSupported)
+      << wrong_node.ToString();
+
+  // Permanently retire the replica (fetcher gone, never coming back).
+  controller_->Stop();
+  // The streamer notices the dropped socket on its next heartbeat; poll
+  // until the subscriber flips to disconnected and the erase succeeds.
+  Status gone = Status::OK();
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    gone = primary->DecommissionReplica("r1");
+    if (gone.ok() || gone.code() != StatusCode::kInvalidArgument) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(gone.ok()) << gone.ToString();
+
+  // Idempotence check: the id is really gone from the registry.
+  const Status again = primary->DecommissionReplica("r1");
+  EXPECT_EQ(again.code(), StatusCode::kNotFound) << again.ToString();
+  auto pstat = primary->ReplicaStatus();
+  ASSERT_TRUE(pstat.ok());
+  EXPECT_FALSE(pstat.value().stream_connected);
+
+  // The floor is released: with no subscribers pinning the WAL, the
+  // primary keeps committing and checkpoint truncation may reclaim
+  // segments the departed replica would have needed. Commits must not
+  // block or trip over the erased registry entry.
+  for (uint64_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(primary->ExecTxn({{"acct", "bal", false, i % 64,
+                                   storage::EncodeInt64(100 + i)}}).ok());
+  }
+  ASSERT_TRUE(primary->CheckpointNow().ok());
+  auto read_back = primary->Read("acct", "bal", 31);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), storage::EncodeInt64(131));
+}
+
 TEST_F(ReplicationE2eTest, BusyRetryBudgetRetriesThenSurfaces) {
   // max_inflight=0 pins every dispatched op to the BUSY path.
   StartPrimary(/*max_inflight=*/0);

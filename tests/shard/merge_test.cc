@@ -1,0 +1,263 @@
+// Scatter planning + partial merging (query/merge.h): the classifier
+// must route each plan shape to the cheapest safe mode — and refuse,
+// recoverably, anything that genuinely needs rows from two shards in
+// one operator — and the mergers must reproduce the single-node result
+// bit-for-bit on exact-arithmetic workloads.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "query/merge.h"
+#include "query/query.h"
+#include "storage/value.h"
+
+namespace anker::query {
+namespace {
+
+PartitionMap LineitemOrders() {
+  return {{"lineitem", "l_orderkey"}, {"orders", "o_orderkey"}};
+}
+
+// ---- classification -------------------------------------------------------
+
+TEST(ScatterPlanTest, ReplicatedOnlyIsSingleShard) {
+  WireQuery q;
+  q.table = "nation";
+  q.aggs.push_back(Sum(Col("n_regionkey")).As("s"));
+  const ScatterPlan plan = PlanScatter(q, LineitemOrders());
+  EXPECT_EQ(plan.mode, ScatterMode::kSingleShard);
+}
+
+TEST(ScatterPlanTest, GroupByPartitionKeyIsConcat) {
+  // Q18 shape: lineitem grouped on its own partition key — every group
+  // lives whole on one shard, so shard top-k survives the merge.
+  WireQuery q;
+  q.table = "lineitem";
+  q.aggs.push_back(Sum(Col("l_quantity")).As("qty"));
+  q.group_by.push_back("l_orderkey");
+  q.order_by.push_back({"qty", /*desc=*/true});
+  q.limit = 100;
+  const ScatterPlan plan = PlanScatter(q, LineitemOrders());
+  ASSERT_EQ(plan.mode, ScatterMode::kConcat) << plan.reason;
+  // Shards run the ORIGINAL query (including their local top-k).
+  EXPECT_EQ(plan.shard_query.limit, 100);
+  ASSERT_EQ(plan.shard_query.order_by.size(), 1u);
+  // The router re-sorts and re-limits the union.
+  ASSERT_EQ(plan.order_by.size(), 1u);
+  EXPECT_TRUE(plan.order_by[0].desc);
+  EXPECT_EQ(plan.limit, 100);
+}
+
+TEST(ScatterPlanTest, GlobalAggregateFallsBackToPartials) {
+  // Q6 shape: one global SUM over the partitioned table.
+  WireQuery q;
+  q.table = "lineitem";
+  q.aggs.push_back(Sum(Col("l_extendedprice") * Col("l_discount")).As("rev"));
+  const ScatterPlan plan = PlanScatter(q, LineitemOrders());
+  ASSERT_EQ(plan.mode, ScatterMode::kPartialAgg) << plan.reason;
+  ASSERT_EQ(plan.agg_kinds.size(), 1u);
+  EXPECT_EQ(plan.agg_kinds[0], AggKind::kSum);
+  EXPECT_FALSE(plan.hidden_count);  // No AVG -> no hidden count.
+  EXPECT_EQ(plan.shard_query.aggs.size(), 1u);
+}
+
+TEST(ScatterPlanTest, AvgRewritesToSumPlusHiddenCount) {
+  // Q1 shape: grouped on a NON-aligned column with an AVG in the mix.
+  WireQuery q;
+  q.table = "lineitem";
+  q.aggs.push_back(Sum(Col("l_quantity")).As("sum_qty"));
+  q.aggs.push_back(Avg(Col("l_quantity")).As("avg_qty"));
+  q.aggs.push_back(Count().As("count_order"));
+  q.group_by.push_back("l_returnflag");
+  q.order_by.push_back({"l_returnflag", false});
+  const ScatterPlan plan = PlanScatter(q, LineitemOrders());
+  ASSERT_EQ(plan.mode, ScatterMode::kPartialAgg) << plan.reason;
+  EXPECT_TRUE(plan.hidden_count);
+  // Shard query: AVG became SUM (same name), hidden COUNT appended,
+  // order/limit stripped (the router orders the merged groups).
+  ASSERT_EQ(plan.shard_query.aggs.size(), 4u);
+  EXPECT_EQ(plan.shard_query.aggs[1].kind(), AggKind::kSum);
+  EXPECT_EQ(plan.shard_query.aggs[1].name(), "avg_qty");
+  EXPECT_EQ(plan.shard_query.aggs[3].kind(), AggKind::kCount);
+  EXPECT_TRUE(plan.shard_query.order_by.empty());
+  // Merge kinds keep the ORIGINAL semantics for finalization.
+  ASSERT_EQ(plan.agg_kinds.size(), 3u);
+  EXPECT_EQ(plan.agg_kinds[1], AggKind::kAvg);
+  ASSERT_EQ(plan.order_by.size(), 1u);
+}
+
+TEST(ScatterPlanTest, RefusesGenuinelyCrossShardPlans) {
+  const PartitionMap layout = LineitemOrders();
+  // COUNT(DISTINCT) over a scattered stream.
+  WireQuery distinct;
+  distinct.table = "lineitem";
+  distinct.aggs.push_back(CountDistinct(Col("l_suppkey")).As("d"));
+  EXPECT_EQ(PlanScatter(distinct, layout).mode, ScatterMode::kUnsupported);
+
+  // Join of two partitioned tables without a co-partitioned key pair.
+  WireQuery bad_join;
+  bad_join.table = "lineitem";
+  WireJoin join;
+  join.input.table = "orders";
+  join.probe_keys = {"l_suppkey"};   // Not the partition key.
+  join.build_keys = {"o_orderkey"};
+  bad_join.joins.push_back(join);
+  const ScatterPlan refused = PlanScatter(bad_join, layout);
+  EXPECT_EQ(refused.mode, ScatterMode::kUnsupported);
+  EXPECT_FALSE(refused.reason.empty());
+
+  // Same join through the partition keys: co-partitioned, concat-safe.
+  WireQuery good_join = bad_join;
+  good_join.joins[0].probe_keys = {"l_orderkey"};
+  EXPECT_EQ(PlanScatter(good_join, layout).mode, ScatterMode::kConcat);
+
+  // Semi join against a partitioned build side from a replicated probe.
+  WireQuery semi;
+  semi.table = "nation";
+  WireJoin semi_join;
+  semi_join.input.table = "orders";
+  semi_join.type = JoinType::kLeftSemi;
+  semi_join.probe_keys = {"n_nationkey"};
+  semi_join.build_keys = {"o_custkey"};
+  semi.joins.push_back(semi_join);
+  EXPECT_EQ(PlanScatter(semi, layout).mode, ScatterMode::kUnsupported);
+
+  // The reserved merge column name.
+  WireQuery reserved;
+  reserved.table = "lineitem";
+  reserved.aggs.push_back(Sum(Col("l_quantity")).As("__shard_count"));
+  EXPECT_EQ(PlanScatter(reserved, layout).mode, ScatterMode::kUnsupported);
+}
+
+TEST(ScatterPlanTest, InnerJoinAgainstPartitionedBuildTransfersAlignment) {
+  // Replicated probe INNER-joined into a partitioned build side pins
+  // each output row to the build row's shard; grouping on the
+  // transferred key stays shard-local.
+  const PartitionMap layout = LineitemOrders();
+  WireQuery q;
+  q.table = "nation";
+  WireJoin join;
+  join.input.table = "orders";
+  join.probe_keys = {"n_nationkey"};
+  join.build_keys = {"o_orderkey"};
+  q.joins.push_back(join);
+  q.aggs.push_back(Count().As("c"));
+  q.group_by.push_back("n_nationkey");  // Aligned via the key transfer.
+  EXPECT_EQ(PlanScatter(q, layout).mode, ScatterMode::kConcat);
+}
+
+// ---- merging --------------------------------------------------------------
+
+QueryResult GroupedResult(
+    std::vector<std::pair<uint64_t, std::vector<double>>> rows,
+    std::vector<std::string> columns, uint64_t scanned) {
+  QueryResult r;
+  r.columns = std::move(columns);
+  r.key_names = {"g"};
+  r.key_types = {ExprType::kInt64};
+  r.rows_scanned = scanned;
+  for (auto& [key, values] : rows) {
+    QueryResult::Row row;
+    row.keys = {key};
+    row.values = std::move(values);
+    r.rows.push_back(std::move(row));
+  }
+  return r;
+}
+
+TEST(MergeTest, ConcatReSortsAndReLimitsExactly) {
+  ScatterPlan plan;
+  plan.mode = ScatterMode::kConcat;
+  plan.order_by = {{"v", /*desc=*/true}};
+  plan.limit = 3;
+  // Shard-local top-3s; the global top-3 interleaves both shards.
+  QueryResult a = GroupedResult({{1, {10.0}}, {3, {6.0}}, {5, {2.0}}},
+                                {"v"}, 100);
+  QueryResult b = GroupedResult({{2, {8.0}}, {4, {6.0}}, {6, {1.0}}},
+                                {"v"}, 50);
+  QueryResult out;
+  ASSERT_TRUE(MergeShardResults(plan, {a, b}, &out).ok());
+  ASSERT_EQ(out.rows.size(), 3u);
+  EXPECT_EQ(out.rows[0].keys[0], 1u);
+  EXPECT_EQ(out.rows[1].keys[0], 2u);
+  // The 6.0-tie breaks on the full row in schema order: key 3 < key 4.
+  EXPECT_EQ(out.rows[2].keys[0], 3u);
+  EXPECT_EQ(out.rows_scanned, 150u);
+}
+
+TEST(MergeTest, PartialAggReAggregatesAndFinalizesAvg) {
+  ScatterPlan plan;
+  plan.mode = ScatterMode::kPartialAgg;
+  plan.agg_kinds = {AggKind::kSum, AggKind::kAvg, AggKind::kMin,
+                    AggKind::kMax, AggKind::kCount};
+  plan.hidden_count = true;
+  // Per-shard partials: sum, avg-as-sum, min, max, count, hidden count.
+  const std::vector<std::string> cols = {"s", "a", "lo", "hi", "n",
+                                         "__shard_count"};
+  QueryResult a = GroupedResult(
+      {{1, {10.0, 6.0, 2.0, 9.0, 3.0, 3.0}},
+       {2, {4.0, 4.0, 4.0, 4.0, 1.0, 1.0}}},
+      cols, 10);
+  QueryResult b = GroupedResult(
+      {{1, {5.0, 2.0, 1.0, 5.0, 1.0, 1.0}},
+       {3, {7.0, 7.0, 7.0, 7.0, 2.0, 2.0}}},
+      cols, 20);
+  QueryResult out;
+  ASSERT_TRUE(MergeShardResults(plan, {a, b}, &out).ok());
+  ASSERT_EQ(out.rows.size(), 3u);  // Groups 1, 2, 3 in key order.
+  EXPECT_EQ(out.rows_scanned, 30u);
+  // Hidden count dropped from the schema.
+  ASSERT_EQ(out.columns.size(), 5u);
+  EXPECT_EQ(out.columns.back(), "n");
+  const QueryResult::Row& g1 = out.rows[0];
+  ASSERT_EQ(g1.keys[0], 1u);
+  ASSERT_EQ(g1.values.size(), 5u);
+  EXPECT_EQ(g1.values[0], 15.0);        // Sum of sums.
+  EXPECT_EQ(g1.values[1], 8.0 / 4.0);   // AVG = global sum / global count.
+  EXPECT_EQ(g1.values[2], 1.0);         // Min of mins.
+  EXPECT_EQ(g1.values[3], 9.0);         // Max of maxes.
+  EXPECT_EQ(g1.values[4], 4.0);         // Count of counts.
+  // Single-shard groups pass through finalization unchanged.
+  EXPECT_EQ(out.rows[1].values[1], 4.0);
+  EXPECT_EQ(out.rows[2].values[1], 3.5);
+}
+
+TEST(MergeTest, MergeRefusesSchemaDisagreementAndWrongModes) {
+  ScatterPlan concat;
+  concat.mode = ScatterMode::kConcat;
+  QueryResult a = GroupedResult({{1, {1.0}}}, {"v"}, 1);
+  QueryResult b = GroupedResult({{2, {2.0}}}, {"other_name"}, 1);
+  QueryResult out;
+  const Status mismatch = MergeShardResults(concat, {a, b}, &out);
+  EXPECT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.code(), StatusCode::kInternal);
+
+  ScatterPlan single;
+  single.mode = ScatterMode::kSingleShard;
+  EXPECT_FALSE(MergeShardResults(single, {a}, &out).ok());
+
+  // Missing sort column in the shard schema: Internal, not a crash.
+  ScatterPlan bad_sort;
+  bad_sort.mode = ScatterMode::kConcat;
+  bad_sort.order_by = {{"missing", false}};
+  EXPECT_FALSE(MergeShardResults(bad_sort, {a}, &out).ok());
+}
+
+TEST(MergeTest, SingleShardDegenerateMergeIsIdentityPlusSort) {
+  // One reachable shard under --allow_partial: merge still runs, and
+  // must behave as identity (plus the ordering obligations).
+  ScatterPlan plan;
+  plan.mode = ScatterMode::kConcat;
+  plan.order_by = {{"g", false}};
+  QueryResult only = GroupedResult({{3, {1.0}}, {1, {2.0}}}, {"v"}, 7);
+  QueryResult out;
+  ASSERT_TRUE(MergeShardResults(plan, {only}, &out).ok());
+  ASSERT_EQ(out.rows.size(), 2u);
+  EXPECT_EQ(out.rows[0].keys[0], 1u);
+  EXPECT_EQ(out.rows_scanned, 7u);
+}
+
+}  // namespace
+}  // namespace anker::query

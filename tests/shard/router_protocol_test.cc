@@ -1,0 +1,226 @@
+// Protocol v4 (shard routing) codec hardening, in the repl_protocol_test
+// mold: the extended HELLO_OK (flags + shard map digest), the router
+// status counters, the decommission request, and the QUERY_DONE
+// interleave tags all round-trip their encoders and reject every
+// truncation and mutation with a clean Status — a router sits on the
+// network edge, so a decoder that aborts or over-reads is a remote DoS.
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "query/query.h"
+#include "server/protocol.h"
+
+namespace anker::server {
+namespace {
+
+template <typename DecodeFn>
+void AllTruncationsRejected(std::string_view body, DecodeFn decode) {
+  for (size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(decode(body.substr(0, len)).ok())
+        << "truncation to " << len << " of " << body.size() << " accepted";
+  }
+}
+
+TEST(RouterProtocolTest, HelloOkCarriesRouterFlagsAndDigest) {
+  HelloOkMsg msg;
+  msg.server_info = "anker-router";
+  msg.flags = kHelloFlagRouter;
+  msg.shard_map_digest = 0x123456789ABCDEF0ULL;
+  std::string payload;
+  EncodeHelloOk(msg, &payload);
+  ASSERT_EQ(static_cast<Op>(payload[0]), Op::kHelloOk);
+
+  HelloOkMsg out;
+  ASSERT_TRUE(DecodeHelloOk(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.version, kProtocolVersion);
+  EXPECT_EQ(out.server_info, "anker-router");
+  EXPECT_EQ(out.flags, kHelloFlagRouter);
+  EXPECT_EQ(out.shard_map_digest, 0x123456789ABCDEF0ULL);
+
+  AllTruncationsRejected(std::string_view(payload).substr(1),
+                         [](std::string_view in) {
+                           HelloOkMsg m;
+                           return DecodeHelloOk(in, &m);
+                         });
+}
+
+TEST(RouterProtocolTest, PlainServerHelloOkDecodesWithZeroFlags) {
+  HelloOkMsg msg;
+  msg.server_info = "anker";
+  std::string payload;
+  EncodeHelloOk(msg, &payload);
+  HelloOkMsg out;
+  ASSERT_TRUE(DecodeHelloOk(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.flags, 0u);
+  EXPECT_EQ(out.shard_map_digest, 0u);
+}
+
+TEST(RouterProtocolTest, RouterStatusOkRoundTrip) {
+  RouterStatusOkMsg msg;
+  msg.shard_count = 3;
+  msg.healthy_shards = 2;
+  msg.shard_map_version = 7;
+  msg.shard_map_digest = 0xFEEDFACECAFEBEEFULL;
+  msg.allow_partial = true;
+  msg.passthrough_txns = 1000;
+  msg.scatter_queries = 42;
+  msg.single_shard_queries = 9;
+  msg.fanout_ops = 5;
+  std::string payload;
+  EncodeRouterStatusOk(msg, &payload);
+  ASSERT_EQ(static_cast<Op>(payload[0]), Op::kRouterStatusOk);
+
+  RouterStatusOkMsg out;
+  ASSERT_TRUE(
+      DecodeRouterStatusOk(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.shard_count, 3u);
+  EXPECT_EQ(out.healthy_shards, 2u);
+  EXPECT_EQ(out.shard_map_version, 7u);
+  EXPECT_EQ(out.shard_map_digest, 0xFEEDFACECAFEBEEFULL);
+  EXPECT_TRUE(out.allow_partial);
+  EXPECT_EQ(out.passthrough_txns, 1000u);
+  EXPECT_EQ(out.scatter_queries, 42u);
+  EXPECT_EQ(out.single_shard_queries, 9u);
+  EXPECT_EQ(out.fanout_ops, 5u);
+
+  AllTruncationsRejected(std::string_view(payload).substr(1),
+                         [](std::string_view in) {
+                           RouterStatusOkMsg m;
+                           return DecodeRouterStatusOk(in, &m);
+                         });
+}
+
+TEST(RouterProtocolTest, DecommissionReplicaRejectsHostileIds) {
+  DecommissionReplicaMsg msg;
+  msg.replica_id = "replica-b";
+  std::string payload;
+  EncodeDecommissionReplica(msg, &payload);
+  ASSERT_EQ(static_cast<Op>(payload[0]), Op::kDecommissionReplica);
+  DecommissionReplicaMsg out;
+  ASSERT_TRUE(
+      DecodeDecommissionReplica(std::string_view(payload).substr(1), &out)
+          .ok());
+  EXPECT_EQ(out.replica_id, "replica-b");
+
+  const auto reject = [](const std::string& id) {
+    DecommissionReplicaMsg hostile;
+    hostile.replica_id = id;
+    std::string body;
+    EncodeDecommissionReplica(hostile, &body);
+    DecommissionReplicaMsg decoded;
+    const Status s =
+        DecodeDecommissionReplica(std::string_view(body).substr(1), &decoded);
+    EXPECT_FALSE(s.ok()) << "accepted replica_id: " << id;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  };
+  reject("");                      // No name.
+  reject(std::string(4096, 'x'));  // Absurd length.
+
+  AllTruncationsRejected(std::string_view(payload).substr(1),
+                         [](std::string_view in) {
+                           DecommissionReplicaMsg m;
+                           return DecodeDecommissionReplica(in, &m);
+                         });
+}
+
+TEST(RouterProtocolTest, QueryDoneRoundTripsInterleave) {
+  query::QueryResult result;
+  result.columns = {"sum_qty", "avg_qty"};
+  result.key_names = {"l_returnflag", "l_linestatus"};
+  result.key_types = {query::ExprType::kDict, query::ExprType::kDict};
+  result.interleave = {0, 0, 1, 1};
+  result.rows_scanned = 123456;
+  std::string payload;
+  EncodeQueryDone(result, &payload);
+  ASSERT_EQ(static_cast<Op>(payload[0]), Op::kQueryDone);
+
+  query::QueryResult out;
+  ASSERT_TRUE(DecodeQueryDone(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.columns, result.columns);
+  EXPECT_EQ(out.key_names, result.key_names);
+  EXPECT_EQ(out.interleave, (std::vector<uint8_t>{0, 0, 1, 1}));
+  EXPECT_EQ(out.rows_scanned, 123456u);
+
+  // Legacy shape: no interleave travels as an empty vector, and the
+  // consumer falls back to keys-then-values ordering.
+  query::QueryResult plain;
+  plain.columns = {"v"};
+  std::string plain_payload;
+  EncodeQueryDone(plain, &plain_payload);
+  query::QueryResult plain_out;
+  ASSERT_TRUE(
+      DecodeQueryDone(std::string_view(plain_payload).substr(1), &plain_out)
+          .ok());
+  EXPECT_TRUE(plain_out.interleave.empty());
+}
+
+TEST(RouterProtocolTest, QueryDoneRejectsInterleaveCountLies) {
+  // An interleave whose length disagrees with cols+keys is hostile: a
+  // consumer indexing by it would walk off the row vectors.
+  query::QueryResult result;
+  result.columns = {"v"};
+  result.key_names = {"k"};
+  result.key_types = {query::ExprType::kInt64};
+  result.interleave = {0, 1, 1};  // Lies: 3 tags for 2 output columns.
+  std::string lying;
+  EncodeQueryDone(result, &lying);
+  query::QueryResult decoded;
+  const Status s =
+      DecodeQueryDone(std::string_view(lying).substr(1), &decoded);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+
+  result.interleave = {0, 1};
+  std::string payload;
+  EncodeQueryDone(result, &payload);
+
+  AllTruncationsRejected(std::string_view(payload).substr(1),
+                         [](std::string_view in) {
+                           query::QueryResult m;
+                           return DecodeQueryDone(in, &m);
+                         });
+}
+
+TEST(RouterProtocolTest, NewOpsClassifyCorrectly) {
+  EXPECT_TRUE(IsRequestOp(static_cast<uint8_t>(Op::kRouterStatus)));
+  EXPECT_TRUE(IsRequestOp(static_cast<uint8_t>(Op::kDecommissionReplica)));
+  EXPECT_FALSE(IsRequestOp(static_cast<uint8_t>(Op::kRouterStatusOk)));
+}
+
+TEST(RouterProtocolTest, FuzzedBodiesNeverCrashDecoders) {
+  std::mt19937_64 rng(0x5EEDC0DEULL);
+  RouterStatusOkMsg status;
+  status.shard_count = 3;
+  status.passthrough_txns = 99;
+  std::string status_payload;
+  EncodeRouterStatusOk(status, &status_payload);
+  HelloOkMsg hello;
+  hello.server_info = "anker-router";
+  hello.flags = kHelloFlagRouter;
+  hello.shard_map_digest = 42;
+  std::string hello_payload;
+  EncodeHelloOk(hello, &hello_payload);
+
+  for (int round = 0; round < 2000; ++round) {
+    for (const std::string* base : {&status_payload, &hello_payload}) {
+      std::string mutated = base->substr(1);
+      const int flips = 1 + static_cast<int>(rng() % 8);
+      for (int f = 0; f < flips; ++f) {
+        mutated[rng() % mutated.size()] ^=
+            static_cast<char>(1u << (rng() % 8));
+      }
+      if (rng() % 4 == 0) mutated.resize(rng() % (mutated.size() + 1));
+      RouterStatusOkMsg s;
+      DecodeRouterStatusOk(mutated, &s);  // Any clean Status is fine.
+      HelloOkMsg h;
+      DecodeHelloOk(mutated, &h);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anker::server

@@ -1,0 +1,152 @@
+// Shard map invariants the router's correctness hangs off: the routing
+// hash is a fixed public function (deterministic across restarts and
+// reimplementable by loaders), keys spread evenly enough that no shard
+// silently becomes the hot one, and the reload gate refuses topology
+// changes that would re-home keys without a data migration.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shard/shard_map.h"
+
+namespace anker::shard {
+namespace {
+
+ShardMap MustParse(const std::string& text) {
+  auto parsed = ShardMap::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.TakeValue();
+}
+
+TEST(ShardMapTest, ParsesFullConfig) {
+  const ShardMap map = MustParse(
+      "# topology for the smoke cluster\n"
+      "version 3\n"
+      "shard 127.0.0.1:7101   # first\n"
+      "shard 127.0.0.1:7102\n"
+      "\n"
+      "table lineitem partition l_orderkey\n"
+      "table nation replicated\n");
+  EXPECT_EQ(map.version(), 3u);
+  ASSERT_EQ(map.num_shards(), 2u);
+  EXPECT_EQ(map.shards()[0].host, "127.0.0.1");
+  EXPECT_EQ(map.shards()[1].port, 7102);
+  ASSERT_NE(map.PartitionKey("lineitem"), nullptr);
+  EXPECT_EQ(*map.PartitionKey("lineitem"), "l_orderkey");
+  // Replicated — both the explicit mark and the unlisted default.
+  EXPECT_EQ(map.PartitionKey("nation"), nullptr);
+  EXPECT_EQ(map.PartitionKey("never_mentioned"), nullptr);
+}
+
+TEST(ShardMapTest, RejectsMalformedConfigs) {
+  const char* hostile[] = {
+      "shard 127.0.0.1:7101\n",                        // No version.
+      "version 0\nshard h:1\n",                        // Version 0.
+      "version 1\nversion 2\nshard h:1\n",             // Duplicate version.
+      "version 1\n",                                   // No shards.
+      "version 1\nshard localhost\n",                  // No port.
+      "version 1\nshard h:0\n",                        // Port 0.
+      "version 1\nshard h:99999\n",                    // Port overflow.
+      "version 1\nshard h:12x4\n",                     // Non-digit port.
+      "version 1\nshard h:1\ntable t partition\n",     // Missing key.
+      "version 1\nshard h:1\ntable t sharded k\n",     // Unknown kind.
+      "version 1\nshard h:1\ntable t partition a\ntable t replicated\n",
+      "version 1\nshard h:1\ntable t replicated\ntable t replicated\n",
+      "version 1\nshard h:1 extra\n",                  // Trailing tokens.
+      "version 1\nshard h:1\nbogus line\n",            // Unknown keyword.
+  };
+  for (const char* text : hostile) {
+    EXPECT_FALSE(ShardMap::Parse(text).ok()) << "accepted:\n" << text;
+  }
+}
+
+TEST(ShardMapTest, Mix64MatchesFixedVectors) {
+  // The routing hash is part of the protocol: these vectors pin the
+  // exact splitmix64-finalizer output so a refactor can't silently
+  // re-home every key (scripts/router_smoke.py re-implements the same
+  // function in Python and must agree).
+  EXPECT_EQ(ShardMap::Mix64(0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(ShardMap::Mix64(1), 0x910a2dec89025cc1ULL);
+  EXPECT_EQ(ShardMap::Mix64(2), 0x975835de1c9756ceULL);
+  EXPECT_EQ(ShardMap::Mix64(0xDEADBEEFULL), 0x4adfb90f68c9eb9bULL);
+}
+
+TEST(ShardMapTest, RoutingIsDeterministicAcrossInstances) {
+  const std::string text =
+      "version 1\nshard a:1\nshard b:2\nshard c:3\n"
+      "table t partition k\n";
+  const ShardMap first = MustParse(text);
+  const ShardMap second = MustParse(text);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    ASSERT_EQ(first.ShardFor(key), second.ShardFor(key)) << key;
+    ASSERT_LT(first.ShardFor(key), 3u);
+  }
+}
+
+TEST(ShardMapTest, HashDistributionIsRoughlyUniform) {
+  const ShardMap map = MustParse(
+      "version 1\nshard a:1\nshard b:2\nshard c:3\n");
+  // Sequential keys are the adversarial-but-realistic input (TPC-H
+  // orderkeys); a multiplicative-hash bias would show up here.
+  std::vector<size_t> counts(3, 0);
+  const size_t kKeys = 30000;
+  for (uint64_t key = 1; key <= kKeys; ++key) ++counts[map.ShardFor(key)];
+  for (size_t shard = 0; shard < counts.size(); ++shard) {
+    const double share = static_cast<double>(counts[shard]) / kKeys;
+    EXPECT_GT(share, 0.30) << "shard " << shard << " starved";
+    EXPECT_LT(share, 0.37) << "shard " << shard << " overloaded";
+  }
+}
+
+TEST(ShardMapTest, ReloadGateRejectsShardCountChangesAndStaleVersions) {
+  const ShardMap current =
+      MustParse("version 2\nshard a:1\nshard b:2\n");
+  // Adding or removing a shard re-homes keys: refused.
+  EXPECT_FALSE(current
+                   .ValidateReload(MustParse(
+                       "version 3\nshard a:1\nshard b:2\nshard c:3\n"))
+                   .ok());
+  EXPECT_FALSE(
+      current.ValidateReload(MustParse("version 3\nshard a:1\n")).ok());
+  // Same or lower version: refused (stale config pushed twice).
+  EXPECT_FALSE(current
+                   .ValidateReload(MustParse("version 2\nshard a:1\nshard b:2\n"))
+                   .ok());
+  EXPECT_FALSE(current
+                   .ValidateReload(MustParse("version 1\nshard a:1\nshard b:2\n"))
+                   .ok());
+  // Same count, higher version: the one legal reload shape.
+  EXPECT_TRUE(current
+                  .ValidateReload(MustParse(
+                      "version 3\nshard a:1\nshard x:9\n"
+                      "table t partition k\n"))
+                  .ok());
+}
+
+TEST(ShardMapTest, DigestCoversTopologyButNotReplicatedMarks) {
+  const ShardMap base = MustParse(
+      "version 1\nshard a:1\nshard b:2\ntable t partition k\n");
+  // An explicit `replicated` mark is a semantic no-op: same digest.
+  const ShardMap marked = MustParse(
+      "version 1\nshard a:1\nshard b:2\ntable t partition k\n"
+      "table nation replicated\n");
+  EXPECT_EQ(base.digest(), marked.digest());
+  // Version, endpoints, and partitioning all perturb the digest.
+  EXPECT_NE(base.digest(),
+            MustParse("version 2\nshard a:1\nshard b:2\n"
+                      "table t partition k\n")
+                .digest());
+  EXPECT_NE(base.digest(),
+            MustParse("version 1\nshard a:1\nshard b:3\n"
+                      "table t partition k\n")
+                .digest());
+  EXPECT_NE(base.digest(),
+            MustParse("version 1\nshard a:1\nshard b:2\n"
+                      "table t partition other\n")
+                .digest());
+}
+
+}  // namespace
+}  // namespace anker::shard

@@ -202,8 +202,12 @@ int RunCommand(Cli* cli, const std::vector<std::string>& tokens) {
         "  write <table> <column> <key> <value> [bykey]\n"
         "  query <table> <agg(col)> [...] [where <col> <op> <val> [and "
         "...]] [group <c1,c2>]\n"
+        "        [order <c1[:desc],c2...>] [limit <n>]\n"
         "  status | digest | checkpoint | promote | waitlsn <lsn> "
-        "[timeout_ms] | lastlsn\n");
+        "[timeout_ms] | lastlsn\n"
+        "  decommission <replica_id>   (primary only: drop a departed "
+        "replica's WAL pin)\n"
+        "  routerstatus   (shard router only: routing counters + health)\n");
     return 0;
   }
   if (cmd == "status") {
@@ -224,6 +228,36 @@ int RunCommand(Cli* cli, const std::vector<std::string>& tokens) {
         static_cast<unsigned long long>(s.durable_lsn),
         static_cast<unsigned long long>(s.staleness_millis),
         s.primary_addr.empty() ? "-" : s.primary_addr.c_str());
+    return 0;
+  }
+  if (cmd == "decommission") {
+    if (tokens.size() != 2) {
+      Fail(cli, "usage: decommission <replica_id>");
+      return 0;
+    }
+    const Status status = client.DecommissionReplica(tokens[1]);
+    if (status.ok()) std::printf("OK decommissioned %s\n", tokens[1].c_str());
+    else Fail(cli, status.ToString());
+    return 0;
+  }
+  if (cmd == "routerstatus") {
+    auto status = client.RouterStatus();
+    if (!status.ok()) {
+      Fail(cli, status.status().ToString());
+      return 0;
+    }
+    const server::RouterStatusOkMsg& s = status.value();
+    std::printf(
+        "ROUTER shards=%u healthy=%u map_version=%u map_digest=%016llx "
+        "allow_partial=%d passthrough_txns=%llu scatter_queries=%llu "
+        "single_shard_queries=%llu fanout_ops=%llu\n",
+        s.shard_count, s.healthy_shards, s.shard_map_version,
+        static_cast<unsigned long long>(s.shard_map_digest),
+        s.allow_partial ? 1 : 0,
+        static_cast<unsigned long long>(s.passthrough_txns),
+        static_cast<unsigned long long>(s.scatter_queries),
+        static_cast<unsigned long long>(s.single_shard_queries),
+        static_cast<unsigned long long>(s.fanout_ops));
     return 0;
   }
   if (cmd == "digest") {
@@ -413,7 +447,9 @@ int RunCommand(Cli* cli, const std::vector<std::string>& tokens) {
     query::WireQuery wire;
     wire.table = tokens[1];
     size_t i = 2;
-    for (; i < tokens.size() && tokens[i] != "where" && tokens[i] != "group";
+    for (; i < tokens.size() && tokens[i] != "where" &&
+           tokens[i] != "group" && tokens[i] != "order" &&
+           tokens[i] != "limit";
          ++i) {
       query::Agg agg;
       if (!ParseAgg(tokens[i], &agg)) {
@@ -451,6 +487,36 @@ int RunCommand(Cli* cli, const std::vector<std::string>& tokens) {
       }
       ++i;
     }
+    if (i < tokens.size() && tokens[i] == "order") {
+      ++i;
+      if (i >= tokens.size()) {
+        Fail(cli, "order needs a column list");
+        return 0;
+      }
+      std::stringstream list(tokens[i]);
+      std::string key;
+      while (std::getline(list, key, ',')) {
+        query::SortSpec spec;
+        const size_t colon = key.rfind(":desc");
+        if (colon != std::string::npos && colon + 5 == key.size()) {
+          spec.column = key.substr(0, colon);
+          spec.desc = true;
+        } else {
+          spec.column = key;
+        }
+        wire.order_by.push_back(std::move(spec));
+      }
+      ++i;
+    }
+    if (i < tokens.size() && tokens[i] == "limit") {
+      ++i;
+      if (i >= tokens.size()) {
+        Fail(cli, "limit needs a row count");
+        return 0;
+      }
+      wire.limit = std::atoll(tokens[i].c_str());
+      ++i;
+    }
     if (i < tokens.size()) {
       Fail(cli, "trailing tokens after query");
       return 0;
@@ -482,11 +548,42 @@ int RunCommand(Cli* cli, const std::vector<std::string>& tokens) {
 
 }  // namespace
 
+namespace {
+
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Parses "--server=h1:p1,h2:p2,..." into an ordered failover list; a
+/// bare "--host/--port" pair becomes a one-entry list.
+bool ParseEndpoints(const std::string& list, std::vector<Endpoint>* out) {
+  std::stringstream stream(list);
+  std::string entry;
+  while (std::getline(stream, entry, ',')) {
+    if (entry.empty()) continue;
+    const size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == entry.size()) {
+      return false;
+    }
+    const long port = std::atol(entry.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) return false;
+    out->push_back({entry.substr(0, colon), static_cast<uint16_t>(port)});
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace anker;
   bench::Flags flags(argc, argv);
   const std::string host = flags.Str("host", "127.0.0.1");
   const uint16_t port = static_cast<uint16_t>(flags.Int("port", 4807));
+  // Comma-separated endpoint list; the CLI connects to the first
+  // endpoint that answers (failover for replica sets / router pairs).
+  const std::string server_list = flags.Str("server", "");
   server::ClientOptions options;
   options.auth_token = flags.Str("auth_token", "");
   options.io_timeout_millis =
@@ -500,13 +597,27 @@ int main(int argc, char** argv) {
   cli.echo = flags.Has("echo");
   flags.RejectUnknown();
 
-  auto connected = server::Client::Connect(host, port, options);
-  if (!connected.ok()) {
-    std::fprintf(stderr, "cannot connect to %s:%u: %s\n", host.c_str(), port,
-                 connected.status().ToString().c_str());
-    return 1;
+  std::vector<Endpoint> endpoints;
+  if (!server_list.empty()) {
+    if (!ParseEndpoints(server_list, &endpoints)) {
+      std::fprintf(stderr, "bad --server list: %s\n", server_list.c_str());
+      return 1;
+    }
+  } else {
+    endpoints.push_back({host, port});
   }
-  cli.client = connected.TakeValue();
+  for (const Endpoint& endpoint : endpoints) {
+    auto connected =
+        server::Client::Connect(endpoint.host, endpoint.port, options);
+    if (connected.ok()) {
+      cli.client = connected.TakeValue();
+      break;
+    }
+    std::fprintf(stderr, "cannot connect to %s:%u: %s\n",
+                 endpoint.host.c_str(), endpoint.port,
+                 connected.status().ToString().c_str());
+  }
+  if (!cli.client) return 1;
   cli.RefreshSchemas();
 
   std::string line;
