@@ -200,6 +200,8 @@ def main():
         expect(code == 0, f"{name} failed on the reference node", ref_out)
         code, routed_out = run_cli(args.cli, strict.port, q + "\n")
         expect(code == 0, f"{name} failed through the router", routed_out)
+        expect("PARTIAL" not in routed_out,
+               f"{name} marked partial with all shards healthy", routed_out)
         ref_rows, routed_rows = query_rows(ref_out), query_rows(routed_out)
         expect(ref_rows == routed_rows,
                f"{name} router output diverges from single-node",
@@ -282,6 +284,10 @@ def main():
         want = "sum(l_extendedprice)=" + ("%.17g" % live_sum)
         expect(want in out, "partial answer is not the live-shard union",
                out + f"\nwanted: {want}")
+        # The degraded answer must be wire-marked, not silently served:
+        # QUERY_DONE carries the skipped-shard count.
+        expect("PARTIAL shards_missing=1" in out,
+               "partial answer is not marked as degraded", out)
         expect(f"healthy={num_shards - 1}" in out,
                "routerstatus does not report the dead shard", out)
         return out

@@ -23,6 +23,14 @@ constexpr char kHiddenCountName[] = "__shard_count";
 struct StreamInfo {
   bool ok = false;          ///< false: cross-shard; `reason` says why.
   std::string reason;
+  /// !ok: the refusal is the ROOT query's own aggregation over a
+  /// partitioned stream — the one shape PlanScatter can repair with
+  /// router-side partial aggregation. Never set for a refusal that
+  /// originates inside a nested sub-query or join input: those
+  /// partials would feed another operator on the shard, so each shard
+  /// would aggregate over its partition alone and the merged answer
+  /// would be silently wrong.
+  bool root_agg = false;
   bool replicated = false;  ///< Identical rows on every shard.
   /// !replicated: the shard streams partition the global stream, and
   /// equal values in these output columns only occur on one shard.
@@ -163,11 +171,13 @@ StreamInfo AnalyzeStream(const WireQuery& q, const PartitionMap& partitioned,
       if (aligned_keys.empty()) {
         // Root-level: the caller falls back to partial aggregation.
         // Nested: the partials would feed another operator — refuse.
-        return Unsupported(
+        StreamInfo refusal = Unsupported(
             q.group_by.empty()
                 ? "global aggregate over a partitioned stream"
                 : "group-by without a partition-aligned key over a "
                   "partitioned stream");
+        refusal.root_agg = !nested;
+        return refusal;
       }
       info.aligned = std::move(aligned_keys);
       // q.having filters complete shard-local groups: fine.
@@ -517,15 +527,12 @@ ScatterPlan PlanScatter(const WireQuery& query,
     return plan;
   }
 
-  // The only refusal the router can repair itself: a root-level
-  // aggregation over a disjoint stream merges from shard partials.
-  const bool root_agg_refusal =
-      !query.aggs.empty() &&
-      (info.reason == "global aggregate over a partitioned stream" ||
-       info.reason ==
-           "group-by without a partition-aligned key over a "
-           "partitioned stream");
-  if (!root_agg_refusal) {
+  // The only refusal the router can repair itself: the ROOT query's
+  // own aggregation over a disjoint stream merges from shard partials.
+  // The flag — not the reason text — carries that decision: a nested
+  // sub-query's aggregate produces the same reason, but its partials
+  // feed another operator and must stay kUnsupported.
+  if (!info.root_agg) {
     plan.reason = info.reason;
     return plan;
   }

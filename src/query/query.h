@@ -195,6 +195,12 @@ struct QueryResult {
   std::vector<uint8_t> interleave;
   std::vector<Row> rows;
   uint64_t rows_scanned = 0;
+  /// Shards that did NOT contribute to this result (down or failing
+  /// mid-query under the router's --allow_partial). 0 = complete. A
+  /// non-zero count means aggregates under-count and rows are missing;
+  /// travels in QUERY_DONE so clients can tell degraded from complete.
+  /// Always 0 from a single engine server.
+  uint32_t shards_missing = 0;
   engine::ScanStats scan;
 
   /// Single-row convenience: value of the named aggregate in rows[0].

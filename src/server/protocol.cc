@@ -382,6 +382,9 @@ void EncodeQueryDone(const query::QueryResult& result, std::string* out) {
   // means "keys then values" — the pre-v4 assumption.
   PutU32(out, static_cast<uint32_t>(result.interleave.size()));
   for (const uint8_t tag : result.interleave) PutU8(out, tag);
+  // v4: shards that did not contribute (router --allow_partial with a
+  // shard down). 0 = complete; a plain engine server always sends 0.
+  PutU32(out, result.shards_missing);
 }
 
 Status DecodeQueryDone(std::string_view in, query::QueryResult* result) {
@@ -438,6 +441,7 @@ Status DecodeQueryDone(std::string_view in, query::QueryResult* result) {
   if (ninter != 0 && (value_tags != ncols || ninter - value_tags != nkeys)) {
     return Status::InvalidArgument("interleave tag counts mismatch");
   }
+  if (!GetU32(&in, &result->shards_missing)) return Truncated();
   return ExpectDrained(in);
 }
 

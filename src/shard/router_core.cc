@@ -78,7 +78,14 @@ bool RouterCore::ForwardVerbatim(server::Client* client,
 Result<std::pair<size_t, std::unique_ptr<server::Client>>>
 RouterCore::AcquireAny() {
   Status last = Status::ResourceBusy("no shards configured");
-  for (size_t shard = 0; shard < pool_->num_shards(); ++shard) {
+  // Round-robin start point: any-shard work (replicated reads,
+  // single-shard queries, LIST_TABLES) spreads across healthy
+  // backends instead of piling onto shard 0.
+  const size_t shards = pool_->num_shards();
+  const size_t start =
+      any_cursor_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < shards; ++i) {
+    const size_t shard = (start + i) % shards;
     auto client = pool_->Acquire(shard);
     if (client.ok()) return std::make_pair(shard, std::move(client.value()));
     last = client.status();
@@ -457,10 +464,14 @@ void RouterCore::HandleQuery(const std::string& payload, std::string* out) {
 
   // Scatter: every shard runs plan.shard_query; the router merges.
   std::vector<query::QueryResult> parts;
+  uint32_t skipped = 0;
   for (size_t shard = 0; shard < pool_->num_shards(); ++shard) {
     auto client = pool_->Acquire(shard);
     if (!client.ok()) {
-      if (config_.allow_partial) continue;  // Merge over the live subset.
+      if (config_.allow_partial) {
+        ++skipped;  // Merge over the live subset.
+        continue;
+      }
       RespondStatus(client.status(), out);
       return;
     }
@@ -470,7 +481,8 @@ void RouterCore::HandleQuery(const std::string& payload, std::string* out) {
       const StatusCode code = result.status().code();
       if (config_.allow_partial && (code == StatusCode::kIoError ||
                                     code == StatusCode::kResourceBusy)) {
-        continue;  // Shard died mid-query / is overloaded: skip it.
+        ++skipped;  // Shard died mid-query / is overloaded: skip it.
+        continue;
       }
       RespondStatus(result.status(), out);
       return;
@@ -489,6 +501,10 @@ void RouterCore::HandleQuery(const std::string& payload, std::string* out) {
     RespondStatus(merged_ok, out);
     return;
   }
+  // Degraded results are wire-visible: QUERY_DONE carries the count of
+  // shards whose rows are absent, so a client can never mistake a
+  // partial SUM/COUNT for the complete answer.
+  merged.shards_missing = skipped;
   AppendResultFrames(merged, out);
   scatter_queries_.fetch_add(1);
 }

@@ -30,7 +30,9 @@
 //    come back as a recoverable kNotSupported.
 //  - A down shard surfaces as BUSY (kResourceBusy) for anything that
 //    must reach it. Queries optionally tolerate missing shards
-//    (allow_partial): the merged result then covers the live subset.
+//    (allow_partial): the merged result then covers the live subset,
+//    with the number of skipped shards reported in QUERY_DONE's
+//    shards_missing field so clients can tell degraded from complete.
 //  - Replication/operations surface (REPLICATE_HELLO, FETCH_CHECKPOINT,
 //    WAIT_LSN, PROMOTE, CHECKPOINT_NOW, DIGEST, DECOMMISSION_REPLICA):
 //    refused — those are per-node operator actions; connect to the
@@ -52,7 +54,8 @@ namespace anker::shard {
 
 struct RouterCoreConfig {
   /// QUERY behavior when a shard is down: false = refuse with BUSY;
-  /// true = merge over the reachable shards (results may under-count).
+  /// true = merge over the reachable shards (results may under-count;
+  /// the skipped-shard count travels back in QUERY_DONE).
   bool allow_partial = false;
 };
 
@@ -112,7 +115,8 @@ class RouterCore {
   /// caller must discard it; a BUSY/error response is still `true`).
   bool ForwardVerbatim(server::Client* client, const std::string& payload,
                        std::string* out);
-  /// Acquires any healthy shard, preferring low indices.
+  /// Acquires any healthy shard, round-robin so any-shard traffic
+  /// (replicated reads, single-shard queries) spreads the load.
   Result<std::pair<size_t, std::unique_ptr<server::Client>>> AcquireAny();
 
   void RespondStatus(const Status& status, std::string* out);
@@ -122,6 +126,9 @@ class RouterCore {
   const ShardMap* map_;
   BackendPool* pool_;
   const RouterCoreConfig config_;
+
+  /// Round-robin start point for AcquireAny (wraps modulo shards).
+  std::atomic<size_t> any_cursor_{0};
 
   std::atomic<uint64_t> passthrough_txns_{0};
   std::atomic<uint64_t> scatter_queries_{0};

@@ -63,6 +63,58 @@ TEST(ScatterPlanTest, GlobalAggregateFallsBackToPartials) {
   EXPECT_EQ(plan.shard_query.aggs.size(), 1u);
 }
 
+TEST(ScatterPlanTest, NestedAggregateRefusalIsNotRepairable) {
+  const PartitionMap layout = LineitemOrders();
+  // MAX over a sub-query that itself computes a global SUM of the
+  // partitioned table. The shard query would evaluate the nested SUM
+  // over one partition only, so merging the shard MAXes would be
+  // silently wrong — this must stay kUnsupported, never kPartialAgg,
+  // even though the root has aggregates and the refusal reason reads
+  // the same as the repairable root-level one.
+  WireQuery nested;
+  nested.sub = std::make_shared<WireQuery>();
+  nested.sub->table = "lineitem";
+  nested.sub->aggs.push_back(Sum(Col("l_quantity")).As("total"));
+  nested.aggs.push_back(Max(Col("total")).As("m"));
+  const ScatterPlan plan = PlanScatter(nested, layout);
+  EXPECT_EQ(plan.mode, ScatterMode::kUnsupported);
+  EXPECT_FALSE(plan.reason.empty());
+
+  // Same shape with a non-aligned GROUP BY inside the sub-query.
+  WireQuery grouped;
+  grouped.sub = std::make_shared<WireQuery>();
+  grouped.sub->table = "lineitem";
+  grouped.sub->aggs.push_back(Sum(Col("l_quantity")).As("qty"));
+  grouped.sub->group_by.push_back("l_suppkey");  // Not the partition key.
+  grouped.aggs.push_back(Max(Col("qty")).As("m"));
+  EXPECT_EQ(PlanScatter(grouped, layout).mode, ScatterMode::kUnsupported);
+
+  // The aggregate refusal hiding inside a JOIN input is just as
+  // unrepairable: the build side's partials would feed the join.
+  WireQuery joined;
+  joined.table = "nation";
+  WireJoin join;
+  join.input.sub = std::make_shared<WireQuery>();
+  join.input.sub->table = "lineitem";
+  join.input.sub->aggs.push_back(Sum(Col("l_quantity")).As("qty"));
+  join.probe_keys = {"n_nationkey"};
+  join.build_keys = {"qty"};
+  joined.joins.push_back(join);
+  joined.aggs.push_back(Count().As("c"));
+  EXPECT_EQ(PlanScatter(joined, layout).mode, ScatterMode::kUnsupported);
+
+  // Control: a partitioned but aggregate-free sub-query feeding a root
+  // aggregate IS the repairable shape — the flag must survive the
+  // nesting, not just the flat case.
+  WireQuery repairable;
+  repairable.sub = std::make_shared<WireQuery>();
+  repairable.sub->table = "lineitem";
+  repairable.sub->filter = Col("l_quantity") > I64(10);
+  repairable.aggs.push_back(Sum(Col("l_extendedprice")).As("rev"));
+  EXPECT_EQ(PlanScatter(repairable, layout).mode,
+            ScatterMode::kPartialAgg);
+}
+
 TEST(ScatterPlanTest, AvgRewritesToSumPlusHiddenCount) {
   // Q1 shape: grouped on a NON-aligned column with an AVG in the mix.
   WireQuery q;

@@ -280,6 +280,7 @@ TEST_F(RouterE2eTest, ScatterGatherMatchesUnionOfShards) {
   auto merged = client_->Query(sum, query::Params());
   ASSERT_TRUE(merged.ok()) << merged.status().ToString();
   ASSERT_EQ(merged.value().rows.size(), 1u);
+  EXPECT_EQ(merged.value().shards_missing, 0u);  // Complete answer.
   EXPECT_EQ(merged.value().Value("s"), expect_sum);
   EXPECT_EQ(merged.value().Value("n"), static_cast<double>(expect_rows));
   EXPECT_EQ(merged.value().Value("a"),
@@ -419,6 +420,8 @@ TEST_F(RouterE2eTest, DownShardMeansBusyWritesAndPartialQueriesOptIn) {
   }
   ASSERT_TRUE(partial_ok);
   EXPECT_EQ(partial_result.Value("s"), shard0_sum);
+  // The degraded result is wire-marked: one shard's rows are absent.
+  EXPECT_EQ(partial_result.shards_missing, 1u);
 
   partial_client.reset();
   partial_router.Shutdown();

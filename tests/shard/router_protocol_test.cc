@@ -134,6 +134,7 @@ TEST(RouterProtocolTest, QueryDoneRoundTripsInterleave) {
   result.key_types = {query::ExprType::kDict, query::ExprType::kDict};
   result.interleave = {0, 0, 1, 1};
   result.rows_scanned = 123456;
+  result.shards_missing = 2;  // Degraded (--allow_partial) result.
   std::string payload;
   EncodeQueryDone(result, &payload);
   ASSERT_EQ(static_cast<Op>(payload[0]), Op::kQueryDone);
@@ -144,18 +145,22 @@ TEST(RouterProtocolTest, QueryDoneRoundTripsInterleave) {
   EXPECT_EQ(out.key_names, result.key_names);
   EXPECT_EQ(out.interleave, (std::vector<uint8_t>{0, 0, 1, 1}));
   EXPECT_EQ(out.rows_scanned, 123456u);
+  EXPECT_EQ(out.shards_missing, 2u);
 
   // Legacy shape: no interleave travels as an empty vector, and the
-  // consumer falls back to keys-then-values ordering.
+  // consumer falls back to keys-then-values ordering. A complete
+  // result travels shards_missing = 0.
   query::QueryResult plain;
   plain.columns = {"v"};
   std::string plain_payload;
   EncodeQueryDone(plain, &plain_payload);
   query::QueryResult plain_out;
+  plain_out.shards_missing = 7;  // Decode must overwrite, not keep.
   ASSERT_TRUE(
       DecodeQueryDone(std::string_view(plain_payload).substr(1), &plain_out)
           .ok());
   EXPECT_TRUE(plain_out.interleave.empty());
+  EXPECT_EQ(plain_out.shards_missing, 0u);
 }
 
 TEST(RouterProtocolTest, QueryDoneRejectsInterleaveCountLies) {

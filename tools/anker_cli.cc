@@ -538,8 +538,15 @@ int RunCommand(Cli* cli, const std::vector<std::string>& tokens) {
       }
       std::printf("\n");
     }
-    std::printf("DONE rows=%zu scanned=%llu\n", r.rows.size(),
-                static_cast<unsigned long long>(r.rows_scanned));
+    if (r.shards_missing > 0) {
+      std::printf("DONE rows=%zu scanned=%llu PARTIAL shards_missing=%u\n",
+                  r.rows.size(),
+                  static_cast<unsigned long long>(r.rows_scanned),
+                  r.shards_missing);
+    } else {
+      std::printf("DONE rows=%zu scanned=%llu\n", r.rows.size(),
+                  static_cast<unsigned long long>(r.rows_scanned));
+    }
     return 0;
   }
   Fail(cli, "unknown command: " + cmd + " (try: help)");
