@@ -49,11 +49,15 @@ struct ConnResult {
 };
 
 /// One client connection against the router: `txns` pipelined EXEC_TXN
-/// frames, each writing `writes_per_txn` slots of ONE key (single-shard
-/// by construction — the pass-through path, not scatter-gather).
+/// frames. By default each writes `writes_per_txn` slots of ONE key
+/// (single-shard by construction — the 1-RTT pass-through path). With
+/// `cross_shard_pct` > 0, that fraction of transactions instead spans
+/// TWO keys on different shards, forcing the router onto the
+/// intent-based 2PC path (prepare fan-out + commit fan-out).
 ConnResult RunConnection(uint16_t router_port, size_t txns,
                          size_t writes_per_txn, size_t pipeline,
-                         size_t rows, uint64_t seed) {
+                         size_t rows, size_t num_shards,
+                         size_t cross_shard_pct, uint64_t seed) {
   ConnResult result;
   auto connected = server::Client::Connect("127.0.0.1", router_port);
   ANKER_CHECK_MSG(connected.ok(), "bench client cannot reach the router");
@@ -78,6 +82,15 @@ ConnResult RunConnection(uint16_t router_port, size_t txns,
 
   for (size_t t = 0; t < txns; ++t) {
     const uint64_t key = rng.NextBounded(rows);
+    uint64_t second_key = key;
+    if (num_shards > 1 && rng.NextBounded(100) < cross_shard_pct) {
+      // A partner on a DIFFERENT shard: this transaction takes the
+      // prepare/commit fan-out instead of the pass-through.
+      const size_t home = shard::ShardMap::Mix64(key) % num_shards;
+      do {
+        second_key = rng.NextBounded(rows);
+      } while (shard::ShardMap::Mix64(second_key) % num_shards == home);
+    }
     std::vector<server::PointWrite> writes;
     writes.reserve(writes_per_txn);
     for (size_t w = 0; w < writes_per_txn; ++w) {
@@ -85,7 +98,7 @@ ConnResult RunConnection(uint16_t router_port, size_t txns,
       write.table = "accounts";
       write.column = "balance";
       write.by_key = true;
-      write.key = key;
+      write.key = (w % 2 == 0) ? key : second_key;
       write.raw = storage::EncodeDouble(100.0 + static_cast<double>(t % 97));
       writes.push_back(std::move(write));
     }
@@ -106,12 +119,14 @@ struct ClusterResult {
   double p50_us = 0;
   double p99_us = 0;
   uint64_t passthrough_txns = 0;
+  uint64_t twopc_txns = 0;
 };
 
 /// Stands up shards + router, runs the client fleet, tears down.
 ClusterResult RunCluster(size_t num_shards, size_t rows, size_t connections,
                          size_t txns_per_conn, size_t writes_per_txn,
                          size_t pipeline, size_t shard_workers,
+                         size_t cross_shard_pct,
                          wal::DurabilityMode durability,
                          const std::vector<std::string>& data_dirs) {
   // ---- shards: hash-partitioned accounts(id, balance), indexed --------
@@ -189,8 +204,8 @@ ClusterResult RunCluster(size_t num_shards, size_t rows, size_t connections,
   for (size_t c = 0; c < connections; ++c) {
     threads.emplace_back([&, c] {
       results[c] = RunConnection(router.port(), txns_per_conn,
-                                 writes_per_txn, pipeline, rows,
-                                 /*seed=*/1000 + c);
+                                 writes_per_txn, pipeline, rows, num_shards,
+                                 cross_shard_pct, /*seed=*/1000 + c);
     });
   }
   for (std::thread& thread : threads) thread.join();
@@ -205,7 +220,9 @@ ClusterResult RunCluster(size_t num_shards, size_t rows, size_t connections,
   }
   out.p50_us = latency.Percentile(50) / 1e3;
   out.p99_us = latency.Percentile(99) / 1e3;
-  out.passthrough_txns = core.StatusSnapshot().passthrough_txns;
+  const server::RouterStatusOkMsg status = core.StatusSnapshot();
+  out.passthrough_txns = status.passthrough_txns;
+  out.twopc_txns = status.twopc_txns;
 
   router.Shutdown();
   servers.clear();
@@ -238,6 +255,15 @@ int main(int argc, char** argv) {
   const size_t repeats = static_cast<size_t>(flags.Int("repeats", 1));
   const size_t shard_workers =
       static_cast<size_t>(flags.Int("shard_workers", 2));
+  // Percentage of transactions that span TWO shards (the 2PC path).
+  // 0 keeps the classic pure pass-through sweep; >0 adds one extra
+  // sweep point at max shards running the mixed workload, and reports
+  // its throughput relative to the pure point (`router_2pc_overhead`
+  // gate: a cross-shard mix must keep at least a quarter of the
+  // pass-through rate — 2 prepares + 2 commits + an HLC stamp, not a
+  // cluster-wide stall).
+  const size_t cross_shard_pct =
+      static_cast<size_t>(flags.Int("cross_shard_pct", 0));
   const std::string durability = flags.Str("durability", "group_commit");
   // Comma-separated list, one entry per shard (round-robin when shorter).
   // Shared-nothing scale-out puts every shard's WAL on its own device;
@@ -280,58 +306,103 @@ int main(int argc, char** argv) {
   report["flags"]["pipeline"] = pipeline;
   report["flags"]["repeats"] = repeats;
   report["flags"]["shard_workers"] = shard_workers;
+  report["flags"]["cross_shard_pct"] = cross_shard_pct;
   report["flags"]["durability"] = durability;
   report["flags"]["data_dirs"] = data_dir_list;
 
-  std::printf("%8s %6s %12s %12s %12s %10s %10s %10s\n", "shards", "rep",
-              "commits", "ktps", "passthrough", "p50 [us]", "p99 [us]",
-              "errors");
-  std::vector<ClusterResult> best(max_shards + 1);
-  std::vector<double> best_ktps(max_shards + 1, 0.0);
+  // Sweep points: the pure pass-through scaling ladder, plus (when
+  // --cross_shard_pct > 0) one mixed point at max shards whose ratio
+  // against the pure max-shard point is the 2PC overhead metric.
+  struct Point {
+    size_t shards;
+    size_t pct;
+  };
+  std::vector<Point> points;
+  for (size_t shards = 1; shards <= max_shards; ++shards) {
+    points.push_back({shards, 0});
+  }
+  if (cross_shard_pct > 0 && max_shards > 1) {
+    points.push_back({max_shards, cross_shard_pct});
+  }
+
+  std::printf("%8s %6s %6s %12s %12s %12s %8s %10s %10s %10s\n", "shards",
+              "xs%", "rep", "commits", "ktps", "passthrough", "2pc",
+              "p50 [us]", "p99 [us]", "errors");
+  std::vector<ClusterResult> best(points.size());
+  std::vector<double> best_ktps(points.size(), 0.0);
   for (size_t rep = 0; rep < repeats; ++rep) {
-    for (size_t shards = 1; shards <= max_shards; ++shards) {
+    for (size_t p = 0; p < points.size(); ++p) {
       const ClusterResult r =
-          RunCluster(shards, rows, connections, txns_per_conn,
-                     writes_per_txn, pipeline, shard_workers, mode,
-                     data_dirs);
+          RunCluster(points[p].shards, rows, connections, txns_per_conn,
+                     writes_per_txn, pipeline, shard_workers, points[p].pct,
+                     mode, data_dirs);
       const double ktps = r.commits / r.seconds / 1000.0;
-      // Every acked commit went through the 1-RTT pass-through path; a
-      // counter short-fall would mean the router silently re-planned
-      // them.
-      ANKER_CHECK_MSG(r.passthrough_txns >= r.commits,
-                      "commits bypassed the pass-through path");
-      std::printf("%8zu %6zu %12llu %12.1f %12llu %10.1f %10.1f %10llu\n",
-                  shards, rep + 1,
-                  static_cast<unsigned long long>(r.commits), ktps,
-                  static_cast<unsigned long long>(r.passthrough_txns),
-                  r.p50_us, r.p99_us,
-                  static_cast<unsigned long long>(r.errors));
+      if (points[p].pct == 0) {
+        // Every acked commit went through the 1-RTT pass-through path;
+        // a counter short-fall would mean the router silently
+        // re-planned them.
+        ANKER_CHECK_MSG(r.passthrough_txns >= r.commits,
+                        "commits bypassed the pass-through path");
+      } else {
+        // Mixed mode: each commit was EITHER a pass-through or a 2PC,
+        // and the cross-shard fraction must actually have exercised
+        // the prepare/commit fan-out.
+        ANKER_CHECK_MSG(r.passthrough_txns + r.twopc_txns >= r.commits,
+                        "commits bypassed both router commit paths");
+        ANKER_CHECK_MSG(r.twopc_txns > 0,
+                        "cross_shard_pct > 0 but no 2PC ever ran");
+      }
+      std::printf(
+          "%8zu %6zu %6zu %12llu %12.1f %12llu %8llu %10.1f %10.1f %10llu\n",
+          points[p].shards, points[p].pct, rep + 1,
+          static_cast<unsigned long long>(r.commits), ktps,
+          static_cast<unsigned long long>(r.passthrough_txns),
+          static_cast<unsigned long long>(r.twopc_txns), r.p50_us, r.p99_us,
+          static_cast<unsigned long long>(r.errors));
       std::fflush(stdout);
-      if (ktps > best_ktps[shards]) {
-        best_ktps[shards] = ktps;
-        best[shards] = r;
+      if (ktps > best_ktps[p]) {
+        best_ktps[p] = ktps;
+        best[p] = r;
       }
     }
   }
 
   double best_ratio = 0;
-  for (size_t shards = 1; shards <= max_shards; ++shards) {
-    const ClusterResult& r = best[shards];
+  double pure_max_ktps = 0;
+  for (size_t p = 0; p < points.size(); ++p) {
+    const ClusterResult& r = best[p];
     auto& row = report["runs"].Append();
-    row["shards"] = shards;
+    row["shards"] = points[p].shards;
+    row["cross_shard_pct"] = points[p].pct;
     row["commits"] = r.commits;
     row["errors"] = r.errors;
-    row["commit_ktps"] = best_ktps[shards];
+    row["commit_ktps"] = best_ktps[p];
     row["p50_us"] = r.p50_us;
     row["p99_us"] = r.p99_us;
     row["passthrough_txns"] = r.passthrough_txns;
-    if (shards > 1 && best_ktps[1] > 0) {
-      best_ratio = std::max(best_ratio, best_ktps[shards] / best_ktps[1]);
+    row["twopc_txns"] = r.twopc_txns;
+    if (points[p].pct == 0) {
+      if (points[p].shards == 1) continue;
+      if (points[p].shards == max_shards) pure_max_ktps = best_ktps[p];
+      if (best_ktps[0] > 0) {
+        best_ratio = std::max(best_ratio, best_ktps[p] / best_ktps[0]);
+      }
     }
   }
   report["scaling_over_one_shard"] = best_ratio;
   std::printf("\nscaling over one shard: %.2fx (best of %zu per point)\n",
               best_ratio, repeats);
+  if (cross_shard_pct > 0 && max_shards > 1 && pure_max_ktps > 0) {
+    const double overhead = best_ktps.back() / pure_max_ktps;
+    auto& mixed = report["cross_shard"];
+    mixed["pct"] = cross_shard_pct;
+    mixed["commit_ktps"] = best_ktps.back();
+    mixed["twopc_txns"] = best.back().twopc_txns;
+    mixed["throughput_vs_passthrough"] = overhead;
+    std::printf("mixed workload (%zu%% cross-shard): %.1f ktps, %.2fx the "
+                "pure pass-through rate\n",
+                cross_shard_pct, best_ktps.back(), overhead);
+  }
 
   report.Write(json_out);
   return 0;

@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""Cross-shard 2PC chaos gauntlet: kill the coordinator, prove atomicity.
+
+Stands up a 2-shard cluster behind `anker_router` and runs
+`twopc_driver --mode=run` — a loop of zero-sum balance transfers where
+the two accounts always live on DIFFERENT shards, so every transaction
+takes the intent-based two-phase commit path. Then it gets hostile,
+round-robin over three scenarios:
+
+  prepare_post  ANKER_FAULTS SIGKILLs the ROUTER at 2pc.prepare.post —
+                right after a shard acked a prepare. Intents exist on
+                some shards, no commit decision anywhere: the classic
+                "coordinator died before deciding" wound. Readers must
+                escalate the undecided transaction to a durable abort.
+  commit_pre    SIGKILLs the router at 2pc.commit.pre — possibly after
+                the primary already committed. The transaction IS
+                committed; secondary intents must heal lazily through
+                the primary's recorded outcome.
+  shard_kill    SIGKILLs a random SHARD mid-traffic and restarts it on
+                the same port: WAL recovery must resurrect prepared
+                transactions (intents included) before serving.
+
+After every round a fault-free router is stood up and
+`twopc_driver --mode=verify` asserts the two invariants that define the
+subsystem: sum(balance) over all accounts equals exactly
+accounts * 1000 (no transfer ever half-applied), and — once the
+verifier's reads have forced lazy resolution — every shard reports
+pending_intents == 0 (no intent is orphaned forever). The final verify
+additionally demands that at least one transfer was acked end to end,
+so a gauntlet that never made progress cannot pass vacuously.
+
+Used by ctest (twopc_drill_harness, small) and by the CI
+shard-2pc-drill job (more iterations). Failures print the seed +
+scenario needed to replay deterministically.
+
+Usage:
+  twopc_harness.py --serve build/tools/anker_serve \
+      --router build/tools/anker_router --cli build/tools/anker_cli \
+      --driver build/tools/twopc_driver [--iterations 6] [--run-ms 1500]
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+from harness_common import (LISTEN_RE, ServeNode, pick_port, run_cli,
+                            sigkill, wait_for_line)
+
+MASK = (1 << 64) - 1
+
+SCENARIOS = ["prepare_post", "commit_pre", "shard_kill"]
+ROUTER_FAULTS = {
+    # High enough that a busy transfer loop trips it within a second or
+    # two, low enough that a handful of transactions commit first.
+    "prepare_post": "2pc.prepare.post:kill:0.04",
+    "commit_pre": "2pc.commit.pre:kill:0.04",
+}
+
+NUM_SHARDS = 2
+INITIAL_BALANCE = 1000
+
+
+def mix64(x):
+    """splitmix64 finalizer — must match ShardMap::Mix64 exactly."""
+    x = (x + 0x9E3779B97F4A7C15) & MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK
+    return x ^ (x >> 31)
+
+
+assert mix64(0) == 0xE220A8397B1DCDAF  # pinned in shard_map_test.cc
+
+
+def expect(condition, message, output=""):
+    if not condition:
+        print(f"FAIL: {message}")
+        if output:
+            print("---- output ----")
+            print(output)
+        sys.exit(1)
+
+
+class RouterNode:
+    """One `anker_router` process, optionally running under ANKER_FAULTS."""
+
+    def __init__(self, binary, shard_map, env_faults=None, fault_seed=0):
+        env = dict(os.environ)
+        env.pop("ANKER_FAULTS", None)
+        if env_faults:
+            env["ANKER_FAULTS"] = env_faults
+            env["ANKER_FAULT_SEED"] = str(fault_seed)
+        self.proc = subprocess.Popen(
+            [binary, "--port=0", f"--shard_map={shard_map}"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env)
+        self.port = None
+        startup = wait_for_line(self.proc, b"LISTENING", 60)
+        if startup is not None:
+            match = LISTEN_RE.search(startup.decode(errors="replace"))
+            if match:
+                self.port = int(match.group(1))
+        expect(self.port is not None, "router never reported LISTENING",
+               (startup or b"").decode(errors="replace"))
+
+    def alive(self):
+        return self.proc.poll() is None
+
+    def kill(self):
+        sigkill(self.proc)
+
+    def terminate(self, timeout_s=60):
+        self.proc.terminate()
+        try:
+            out, _ = self.proc.communicate(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            return -9, ""
+        return self.proc.returncode, (out or b"").decode(errors="replace")
+
+
+def seed_script(keys):
+    """anker_cli script creating this shard's slice of `acct`.
+
+    Ends with an explicit checkpoint: schema and the primary index only
+    persist through the checkpoint manifest, and the shard_kill rounds
+    SIGKILL shards that never got a graceful shutdown checkpoint.
+    """
+    lines = [f"create acct {len(keys)} id:int64 balance:int64",
+             "load acct id 0 " + " ".join(str(k) for k in keys),
+             "load acct balance 0 "
+             + " ".join(str(INITIAL_BALANCE) for _ in keys),
+             "index acct id",
+             "checkpoint"]
+    return "\n".join(lines) + "\n"
+
+
+def start_shard(args, workdir, index, port):
+    node = ServeNode(args.serve, os.path.join(workdir, f"shard{index}"),
+                     extra_args=[f"--port={port}"])
+    expect(node.port == port, f"shard {index} not on pinned port {port}",
+           (node.startup or b"").decode(errors="replace"))
+    return node
+
+
+def run_verify(args, router_port, shard_ports, ack_file, min_acks, label):
+    proc = subprocess.run(
+        [args.driver, "--mode=verify", f"--port={router_port}",
+         "--shard_ports=" + ",".join(str(p) for p in shard_ports),
+         f"--ack_file={ack_file}", f"--accounts={args.accounts}",
+         f"--min_acks={min_acks}"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        timeout=120)
+    expect(proc.returncode == 0, f"verify failed after {label}",
+           proc.stdout)
+    return proc.stdout.strip()
+
+
+def start_driver(args, router_port, shard_ports, ack_file, seed):
+    proc = subprocess.Popen(
+        [args.driver, "--mode=run", f"--port={router_port}",
+         "--shard_ports=" + ",".join(str(p) for p in shard_ports),
+         f"--ack_file={ack_file}", f"--accounts={args.accounts}",
+         f"--seed={seed}"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    ready = wait_for_line(proc, b"READY", 60)
+    expect(ready is not None, "driver never reported READY",
+           (ready or b"").decode(errors="replace"))
+    return proc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve", required=True)
+    parser.add_argument("--router", required=True)
+    parser.add_argument("--cli", required=True)
+    parser.add_argument("--driver", required=True)
+    parser.add_argument("--iterations", type=int, default=6,
+                        help="chaos rounds, round-robin over scenarios")
+    parser.add_argument("--run-ms", type=int, default=1500,
+                        help="traffic window per round before the kill")
+    parser.add_argument("--accounts", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workdir", default=None)
+    args = parser.parse_args()
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="anker-2pc-drill-")
+    ack_file = os.path.join(workdir, "acks.bin")
+
+    # ---- bring-up: 2 shards on pinned ports + seeded acct table ---------
+    shard_ports = [pick_port() for _ in range(NUM_SHARDS)]
+    shards = [start_shard(args, workdir, s, shard_ports[s])
+              for s in range(NUM_SHARDS)]
+    keys_of = {s: sorted(k for k in range(1, args.accounts + 1)
+                         if mix64(k) % NUM_SHARDS == s)
+               for s in range(NUM_SHARDS)}
+    for s in range(NUM_SHARDS):
+        expect(len(keys_of[s]) > 0, f"hash starved shard {s} outright")
+        code, out = run_cli(args.cli, shard_ports[s],
+                            seed_script(keys_of[s]))
+        expect(code == 0, f"seeding shard {s} failed", out)
+
+    shard_map = os.path.join(workdir, "shards.conf")
+    with open(shard_map, "w") as f:
+        f.write("version 1\n")
+        for port in shard_ports:
+            f.write(f"shard 127.0.0.1:{port}\n")
+        f.write("table acct partition id\n")
+    print(f"bring-up OK: {NUM_SHARDS} shards, {args.accounts} accounts "
+          f"at {INITIAL_BALANCE} each")
+
+    # Baseline sanity before any chaos: sum conserved, no intents.
+    clean = RouterNode(args.router, shard_map)
+    run_verify(args, clean.port, shard_ports, ack_file, 0, "bring-up")
+    clean.terminate()
+
+    # ---- the gauntlet ---------------------------------------------------
+    rounds_hit = 0
+    for iteration in range(args.iterations):
+        scenario = SCENARIOS[iteration % len(SCENARIOS)]
+        fault_seed = args.seed * 1000 + iteration
+        faults = ROUTER_FAULTS.get(scenario)
+        router = RouterNode(args.router, shard_map, env_faults=faults,
+                            fault_seed=fault_seed)
+        driver = start_driver(args, router.port, shard_ports, ack_file,
+                              seed=fault_seed)
+
+        if scenario == "shard_kill":
+            time.sleep(args.run_ms / 1000.0)
+            victim = iteration % NUM_SHARDS
+            shards[victim].kill()
+            time.sleep(0.5)  # let in-flight 2PCs trip over the corpse
+            shards[victim] = start_shard(args, workdir, victim,
+                                         shard_ports[victim])
+            time.sleep(args.run_ms / 1000.0)
+            sigkill(driver)
+            router_code, _ = router.terminate()
+            expect(router_code == 0,
+                   f"[{scenario} #{iteration}] router did not survive "
+                   f"a shard kill (exit {router_code})")
+        else:
+            # The fault point fires inside the 2PC loops; wait for the
+            # router to drop dead under the driver's traffic.
+            deadline = time.monotonic() + 30
+            while router.alive() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            died = not router.alive()
+            sigkill(driver)
+            if not died:
+                router.kill()
+            expect(died,
+                   f"[{scenario} #{iteration}] fault point never fired "
+                   f"(seed {fault_seed}) — is MaybeKill wired in?")
+            rounds_hit += 1
+
+        # Fault-free router: the verifier's reads force lazy resolution
+        # of whatever the dead coordinator left behind.
+        fresh = RouterNode(args.router, shard_map)
+        summary = run_verify(args, fresh.port, shard_ports, ack_file, 0,
+                             f"{scenario} #{iteration} (seed {fault_seed})")
+        fresh.terminate()
+        print(f"round {iteration} [{scenario}] OK: {summary}")
+
+    # ---- final verify: progress is mandatory ----------------------------
+    final = RouterNode(args.router, shard_map)
+    summary = run_verify(args, final.port, shard_ports, ack_file, 1,
+                         "the full gauntlet")
+    code, out = final.terminate()
+    expect(code == 0, f"final router exit code {code}", out)
+    for s, node in enumerate(shards):
+        code, out = node.terminate()
+        expect(code == 0, f"shard {s} exit code {code}", out)
+    expect(rounds_hit > 0, "no router-kill round ever ran")
+
+    if args.workdir is None:
+        shutil.rmtree(workdir, ignore_errors=True)
+    print(f"2pc drill: {args.iterations} rounds OK — {summary}")
+
+
+if __name__ == "__main__":
+    main()

@@ -332,11 +332,22 @@ class Database {
   Status ApplyWalRecord(const wal::WalRecord& record,
                         mvcc::Timestamp skip_ts);
 
+  /// Maps one record's redo writes back to live column pointers with the
+  /// bounds checks hostile bytes require (recovery and replica apply).
+  Status ResolveRedoWrites(const std::vector<wal::RedoWrite>& redo,
+                           std::vector<txn::Transaction::LocalWrite>* writes);
+
   /// Serializes one commit's write set as a redo record and appends it
   /// (called from the commit critical section via the durability sink).
   uint64_t AppendCommitRecord(
       mvcc::Timestamp commit_ts,
       const std::vector<txn::Transaction::LocalWrite>& writes);
+
+  /// 2PC siblings of AppendCommitRecord (the distributed sinks).
+  uint64_t AppendPrepareRecord(const mvcc::PreparedTxn& txn);
+  uint64_t AppendCommitPreparedRecord(
+      uint64_t gtid, mvcc::Timestamp commit_ts, mvcc::Timestamp apply_ts,
+      const std::vector<mvcc::IntentWrite>& writes);
 
   /// Commit-hook half of auto-checkpointing: schedules a Checkpoint() on
   /// the worker pool unless one is already pending.

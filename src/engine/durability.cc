@@ -77,6 +77,39 @@ Status Database::Recover() {
     }
     txn_manager_.oracle().AdvanceTo(ckpt_ts);
     txn_manager_.RestoreDurableState(m.commit_count, m.next_txn_id);
+    // 2PC state: the outcome ledger first (so a WAL-tail zombie prepare
+    // of an already-decided transaction is fenced), then the pending
+    // intents — re-staged through the replay path, which also advances
+    // the oracle past every restored prepare timestamp.
+    for (const wal::CheckpointTxnOutcome& o : m.outcomes) {
+      if (o.outcome > static_cast<uint8_t>(mvcc::TxnOutcome::kAborted)) {
+        return Status::IoError("checkpoint manifest: bad txn outcome");
+      }
+      txn_manager_.intents().RecordOutcome(
+          o.gtid, static_cast<mvcc::TxnOutcome>(o.outcome), o.commit_ts);
+    }
+    for (const wal::CheckpointPreparedTxn& p : m.prepared) {
+      mvcc::PreparedTxn txn;
+      txn.gtid = p.gtid;
+      txn.primary_shard = p.primary_shard;
+      txn.start_ts = p.start_ts;
+      txn.prepare_ts = p.prepare_ts;
+      txn.writes.reserve(p.writes.size());
+      for (const wal::RedoWrite& w : p.writes) {
+        if (w.table_id >= tables_by_id_.size()) {
+          return Status::IoError("checkpoint intent references unknown table");
+        }
+        storage::Table* table = tables_by_id_[w.table_id];
+        if (w.column_id >= table->num_columns() ||
+            w.row >= table->num_rows()) {
+          return Status::IoError("checkpoint intent out of bounds for table " +
+                                 table->name());
+        }
+        txn.writes.push_back(mvcc::IntentWrite{table->GetColumnAt(w.column_id),
+                                               w.row, w.value});
+      }
+      txn_manager_.ReplayPrepare(std::move(txn));
+    }
   } else if (!manifest.status().IsNotFound()) {
     return manifest.status();
   }
@@ -107,24 +140,12 @@ Status Database::Recover() {
   return Status::OK();
 }
 
-Status Database::ApplyWalRecord(const wal::WalRecord& record,
-                                mvcc::Timestamp skip_ts) {
-  if (record.type == wal::RecordType::kCreateTable) {
-    if (record.table_id < tables_by_id_.size()) {
-      return Status::OK();  // Already present via the checkpoint.
-    }
-    if (record.table_id != tables_by_id_.size()) {
-      return Status::IoError("WAL table-id gap: saw " +
-                             std::to_string(record.table_id));
-    }
-    return CreateTableInternal(record.table_name, record.schema,
-                               record.num_rows)
-        .status();
-  }
-  if (record.commit_ts <= skip_ts) return Status::OK();
-  std::vector<txn::Transaction::LocalWrite> writes;
-  writes.reserve(record.writes.size());
-  for (const wal::RedoWrite& w : record.writes) {
+Status Database::ResolveRedoWrites(
+    const std::vector<wal::RedoWrite>& redo,
+    std::vector<txn::Transaction::LocalWrite>* writes) {
+  writes->clear();
+  writes->reserve(redo.size());
+  for (const wal::RedoWrite& w : redo) {
     if (w.table_id >= tables_by_id_.size()) {
       return Status::IoError("WAL redo references unknown table");
     }
@@ -133,11 +154,72 @@ Status Database::ApplyWalRecord(const wal::WalRecord& record,
       return Status::IoError("WAL redo out of bounds for table " +
                              table->name());
     }
-    writes.push_back(txn::Transaction::LocalWrite{
+    writes->push_back(txn::Transaction::LocalWrite{
         table->GetColumnAt(w.column_id), w.row, w.value});
   }
-  txn_manager_.ReplayCommitted(writes, record.commit_ts);
   return Status::OK();
+}
+
+Status Database::ApplyWalRecord(const wal::WalRecord& record,
+                                mvcc::Timestamp skip_ts) {
+  std::vector<txn::Transaction::LocalWrite> writes;
+  switch (record.type) {
+    case wal::RecordType::kCreateTable: {
+      if (record.table_id < tables_by_id_.size()) {
+        return Status::OK();  // Already present via the checkpoint.
+      }
+      if (record.table_id != tables_by_id_.size()) {
+        return Status::IoError("WAL table-id gap: saw " +
+                               std::to_string(record.table_id));
+      }
+      return CreateTableInternal(record.table_name, record.schema,
+                                 record.num_rows)
+          .status();
+    }
+    case wal::RecordType::kCommit: {
+      if (record.commit_ts <= skip_ts) return Status::OK();
+      ANKER_RETURN_IF_ERROR(ResolveRedoWrites(record.writes, &writes));
+      txn_manager_.ReplayCommitted(writes, record.commit_ts);
+      return Status::OK();
+    }
+    case wal::RecordType::kPrepare: {
+      // At or below the checkpoint the manifest is authoritative: the
+      // transaction is either in its pending section (restored already)
+      // or decided in its ledger — re-staging from a stale record could
+      // re-lock rows whose outcome fell out of the evicting ledger.
+      if (record.prepare_ts <= skip_ts) return Status::OK();
+      ANKER_RETURN_IF_ERROR(ResolveRedoWrites(record.writes, &writes));
+      mvcc::PreparedTxn txn;
+      txn.gtid = record.gtid;
+      txn.primary_shard = record.primary_shard;
+      txn.start_ts = record.start_ts;
+      txn.prepare_ts = record.prepare_ts;
+      txn.writes.reserve(writes.size());
+      for (const txn::Transaction::LocalWrite& w : writes) {
+        txn.writes.push_back(mvcc::IntentWrite{w.column, w.row, w.new_raw});
+      }
+      txn_manager_.ReplayPrepare(std::move(txn));
+      return Status::OK();
+    }
+    case wal::RecordType::kCommitPrepared: {
+      // The record is self-contained (it carries the write set), so this
+      // never depends on the matching kPrepare having survived. Below the
+      // checkpoint only the outcome matters — the image already holds the
+      // writes; the call still unstages a manifest-restored intent twin.
+      const bool apply = record.apply_ts > skip_ts;
+      if (apply) {
+        ANKER_RETURN_IF_ERROR(ResolveRedoWrites(record.writes, &writes));
+      }
+      txn_manager_.ReplayCommitPrepared(record.gtid, record.commit_ts,
+                                        record.apply_ts, writes, apply);
+      return Status::OK();
+    }
+    case wal::RecordType::kAbortPrepared: {
+      txn_manager_.ReplayAbortPrepared(record.gtid, record.apply_ts);
+      return Status::OK();
+    }
+  }
+  return Status::IoError("WAL record with unknown type");
 }
 
 Status Database::StartWal(uint64_t first_segment_seq,
@@ -178,6 +260,21 @@ Status Database::StartWal(uint64_t first_segment_seq,
         return AppendCommitRecord(commit_ts, writes);
       },
       std::move(wait), max_writes);
+  txn_manager_.SetDistributedHooks(
+      [this](const mvcc::PreparedTxn& txn) {
+        return AppendPrepareRecord(txn);
+      },
+      [this](uint64_t gtid, mvcc::Timestamp commit_ts,
+             mvcc::Timestamp apply_ts,
+             const std::vector<mvcc::IntentWrite>& writes) {
+        return AppendCommitPreparedRecord(gtid, commit_ts, apply_ts, writes);
+      },
+      [this](uint64_t gtid, mvcc::Timestamp abort_ts) {
+        static thread_local std::string buf;
+        buf.clear();
+        wal::EncodeAbortPrepared(gtid, abort_ts, &buf);
+        return log_->Append(buf, abort_ts);
+      });
   return Status::OK();
 }
 
@@ -213,7 +310,20 @@ Status Database::ApplyReplicated(uint64_t lsn, std::string_view payload) {
     log_->AppendReplicated(payload, max_ts, lsn);
   } else {
     ANKER_RETURN_IF_ERROR(ApplyWalRecord(record, /*skip_ts=*/0));
-    max_ts = record.commit_ts;
+    // The truncation watermark must cover the record's own stamp: the
+    // local prepare/apply timestamp for 2PC records, commit_ts otherwise.
+    switch (record.type) {
+      case wal::RecordType::kPrepare:
+        max_ts = record.prepare_ts;
+        break;
+      case wal::RecordType::kCommitPrepared:
+      case wal::RecordType::kAbortPrepared:
+        max_ts = record.apply_ts;
+        break;
+      default:
+        max_ts = record.commit_ts;
+        break;
+    }
     log_->AppendReplicated(payload, max_ts, lsn);
   }
 
@@ -265,6 +375,38 @@ uint64_t Database::AppendCommitRecord(
   }
   wal::EncodeCommit(commit_ts, redo, &buf);
   return log_->Append(buf, commit_ts);
+}
+
+uint64_t Database::AppendPrepareRecord(const mvcc::PreparedTxn& txn) {
+  static thread_local std::string buf;
+  static thread_local std::vector<wal::RedoWrite> redo;
+  buf.clear();
+  redo.clear();
+  for (const mvcc::IntentWrite& w : txn.writes) {
+    redo.push_back(wal::RedoWrite{w.column->stable_table_id(),
+                                  w.column->stable_column_id(), w.row,
+                                  w.new_raw});
+  }
+  wal::EncodePrepare(txn.gtid, txn.primary_shard, txn.start_ts,
+                     txn.prepare_ts, redo, &buf);
+  return log_->Append(buf, txn.prepare_ts);
+}
+
+uint64_t Database::AppendCommitPreparedRecord(
+    uint64_t gtid, mvcc::Timestamp commit_ts, mvcc::Timestamp apply_ts,
+    const std::vector<mvcc::IntentWrite>& writes) {
+  static thread_local std::string buf;
+  static thread_local std::vector<wal::RedoWrite> redo;
+  buf.clear();
+  redo.clear();
+  for (const mvcc::IntentWrite& w : writes) {
+    redo.push_back(wal::RedoWrite{w.column->stable_table_id(),
+                                  w.column->stable_column_id(), w.row,
+                                  w.new_raw});
+  }
+  wal::EncodeCommitPrepared(gtid, commit_ts, apply_ts, redo, &buf);
+  // Truncation keys off the *local* apply stamp, exactly like a commit.
+  return log_->Append(buf, apply_ts);
 }
 
 void Database::ScheduleCheckpoint() {
@@ -335,6 +477,32 @@ Result<CheckpointResult> Database::Checkpoint() {
   manifest.commit_count = txn_manager_.committed_count();
   manifest.next_txn_id = txn_manager_.next_txn_id();
   manifest.wal_lsn = manifest_wal_lsn;
+
+  // 2PC state: pending intents are invisible to the column image by
+  // construction, so the manifest carries them (plus the outcome ledger
+  // that fences zombies). Snapshotted after the pin — a transaction
+  // decided since then replays from its self-contained kCommitPrepared /
+  // kAbortPrepared record, whose local stamp is above ckpt_ts and thus
+  // survives the truncation below.
+  for (const mvcc::PreparedTxn& txn : txn_manager_.intents().SnapshotPending()) {
+    wal::CheckpointPreparedTxn p;
+    p.gtid = txn.gtid;
+    p.primary_shard = txn.primary_shard;
+    p.start_ts = txn.start_ts;
+    p.prepare_ts = txn.prepare_ts;
+    p.writes.reserve(txn.writes.size());
+    for (const mvcc::IntentWrite& w : txn.writes) {
+      p.writes.push_back(wal::RedoWrite{w.column->stable_table_id(),
+                                        w.column->stable_column_id(), w.row,
+                                        w.new_raw});
+    }
+    manifest.prepared.push_back(std::move(p));
+  }
+  for (const mvcc::IntentTable::OutcomeEntry& e :
+       txn_manager_.intents().SnapshotOutcomes()) {
+    manifest.outcomes.push_back(wal::CheckpointTxnOutcome{
+        e.gtid, static_cast<uint8_t>(e.outcome), e.commit_ts});
+  }
 
   for (uint32_t table_id = 0; s.ok() && table_id < tables.size();
        ++table_id) {

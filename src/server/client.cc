@@ -242,7 +242,7 @@ Status Client::Abort() {
 
 Result<uint64_t> Client::Read(const std::string& table,
                               const std::string& column, uint64_t key,
-                              bool by_key) {
+                              bool by_key, IntentPendingMsg* intent) {
   PointReadMsg msg;
   msg.table = table;
   msg.column = column;
@@ -258,6 +258,14 @@ Result<uint64_t> Client::Read(const std::string& table,
     ANKER_RETURN_IF_ERROR(
         DecodeReadOk(std::string_view(response.value()).substr(1), &raw));
     return raw;
+  }
+  if (!response.value().empty() &&
+      static_cast<Op>(response.value()[0]) == Op::kIntentPending) {
+    IntentPendingMsg pending;
+    ANKER_RETURN_IF_ERROR(DecodeIntentPending(
+        std::string_view(response.value()).substr(1), &pending));
+    if (intent != nullptr) *intent = pending;
+    return Status::ResourceBusy("read blocked by unresolved write intent");
   }
   return StatusResponse(response.value());
 }
@@ -414,6 +422,83 @@ Result<ReplicaStatusOkMsg> Client::ReplicaStatus() {
     ANKER_RETURN_IF_ERROR(DecodeReplicaStatusOk(
         std::string_view(response.value()).substr(1), &status));
     return status;
+  }
+  return StatusResponse(response.value());
+}
+
+Status Client::PrepareTxn(uint64_t gtid, uint32_t primary_shard,
+                          const std::vector<PointWrite>& writes,
+                          uint64_t* prepare_ts, uint64_t* lsn) {
+  PrepareTxnMsg msg;
+  msg.gtid = gtid;
+  msg.primary_shard = primary_shard;
+  msg.writes = writes;
+  std::string payload;
+  EncodePrepareTxn(msg, &payload);
+  auto response = RoundTrip(payload);
+  if (!response.ok()) return response.status();
+  if (!response.value().empty() &&
+      static_cast<Op>(response.value()[0]) == Op::kPreparedOk) {
+    PreparedOkMsg ok;
+    ANKER_RETURN_IF_ERROR(
+        DecodePreparedOk(std::string_view(response.value()).substr(1), &ok));
+    if (prepare_ts != nullptr) *prepare_ts = ok.prepare_ts;
+    if (lsn != nullptr) *lsn = ok.lsn;
+    return Status::OK();
+  }
+  return StatusResponse(response.value());
+}
+
+Status Client::CommitPrepared(uint64_t gtid, uint64_t commit_ts,
+                              uint64_t* lsn) {
+  CommitPreparedMsg msg;
+  msg.gtid = gtid;
+  msg.commit_ts = commit_ts;
+  std::string payload;
+  EncodeCommitPrepared(msg, &payload);
+  auto response = RoundTrip(payload);
+  if (!response.ok()) return response.status();
+  if (!response.value().empty() &&
+      static_cast<Op>(response.value()[0]) == Op::kCommitOk) {
+    uint64_t commit_lsn = 0;
+    ANKER_RETURN_IF_ERROR(DecodeCommitOk(
+        std::string_view(response.value()).substr(1), &commit_lsn));
+    if (lsn != nullptr) *lsn = commit_lsn;
+    // Idempotent duplicates ack with lsn 0 — don't regress the
+    // read-your-writes token with that.
+    if (commit_lsn != 0) last_commit_lsn_ = commit_lsn;
+    return Status::OK();
+  }
+  return StatusResponse(response.value());
+}
+
+Status Client::AbortPrepared(uint64_t gtid) {
+  AbortPreparedMsg msg;
+  msg.gtid = gtid;
+  std::string payload;
+  EncodeAbortPrepared(msg, &payload);
+  auto response = RoundTrip(payload);
+  if (!response.ok()) return response.status();
+  return StatusResponse(response.value());
+}
+
+Status Client::ResolveIntent(uint64_t gtid, bool abort_pending,
+                             uint8_t* outcome, uint64_t* commit_ts) {
+  ResolveIntentMsg msg;
+  msg.gtid = gtid;
+  msg.abort_pending = abort_pending;
+  std::string payload;
+  EncodeResolveIntent(msg, &payload);
+  auto response = RoundTrip(payload);
+  if (!response.ok()) return response.status();
+  if (!response.value().empty() &&
+      static_cast<Op>(response.value()[0]) == Op::kResolvedOk) {
+    ResolvedOkMsg ok;
+    ANKER_RETURN_IF_ERROR(
+        DecodeResolvedOk(std::string_view(response.value()).substr(1), &ok));
+    if (outcome != nullptr) *outcome = ok.outcome;
+    if (commit_ts != nullptr) *commit_ts = ok.commit_ts;
+    return Status::OK();
   }
   return StatusResponse(response.value());
 }

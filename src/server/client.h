@@ -59,8 +59,13 @@ class Client {
 
   /// Point operations. With `by_key` the row is resolved through the
   /// table's primary index; otherwise `key` is the row id.
+  /// A read that lands on an unresolved 2PC write intent returns
+  /// kResourceBusy; when `intent` is non-null it carries the blocking
+  /// transaction's gtid + primary shard so the caller can resolve via
+  /// ResolveIntent on the primary and retry.
   Result<uint64_t> Read(const std::string& table, const std::string& column,
-                        uint64_t key, bool by_key = false);
+                        uint64_t key, bool by_key = false,
+                        IntentPendingMsg* intent = nullptr);
   Status Write(const std::string& table, const std::string& column,
                uint64_t key, uint64_t raw, bool by_key = false);
   Status WriteBatch(const std::vector<PointWrite>& writes);
@@ -105,6 +110,23 @@ class Client {
   /// Routing counters from a shard router; NotSupported on an engine
   /// server (the probe doubles as "is this endpoint a router").
   Result<RouterStatusOkMsg> RouterStatus();
+
+  /// Cross-shard 2PC surface (protocol v5) — normally driven by the
+  /// shard router; exposed here for harnesses and tests.
+  /// Phase one: stage `writes` as intents under `gtid`. On OK the
+  /// shard's prepare stamp and durable kPrepare LSN are returned.
+  Status PrepareTxn(uint64_t gtid, uint32_t primary_shard,
+                    const std::vector<PointWrite>& writes,
+                    uint64_t* prepare_ts = nullptr, uint64_t* lsn = nullptr);
+  /// Phase two: materialize (idempotent; duplicate → OK with lsn 0)...
+  Status CommitPrepared(uint64_t gtid, uint64_t commit_ts,
+                        uint64_t* lsn = nullptr);
+  /// ...or discard. Unknown gtids are fenced with a durable tombstone.
+  Status AbortPrepared(uint64_t gtid);
+  /// Outcome query at the primary shard. `abort_pending` escalates an
+  /// undecided transaction to a durable abort (dead-router recovery).
+  Status ResolveIntent(uint64_t gtid, bool abort_pending,
+                       uint8_t* outcome, uint64_t* commit_ts = nullptr);
 
   /// LSN of the last COMMIT/EXEC_TXN acknowledged on this connection
   /// (0 before any durable commit) — the read-your-writes token.

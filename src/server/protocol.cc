@@ -63,6 +63,10 @@ bool IsRequestOp(uint8_t op) {
     case Op::kDigest:
     case Op::kRouterStatus:
     case Op::kDecommissionReplica:
+    case Op::kPrepareTxn:
+    case Op::kCommitPrepared:
+    case Op::kAbortPrepared:
+    case Op::kResolveIntent:
       return true;
     default:
       return false;
@@ -742,6 +746,7 @@ void EncodeReplicaStatusOk(const ReplicaStatusOkMsg& msg, std::string* out) {
   PutU64(out, msg.durable_lsn);
   PutU64(out, msg.staleness_millis);
   PutString(out, msg.primary_addr);
+  PutU64(out, msg.pending_intents);
 }
 
 Status DecodeReplicaStatusOk(std::string_view in, ReplicaStatusOkMsg* msg) {
@@ -749,7 +754,8 @@ Status DecodeReplicaStatusOk(std::string_view in, ReplicaStatusOkMsg* msg) {
   if (!GetU8(&in, &role) || !GetBool(&in, &msg->stream_connected) ||
       !GetU64(&in, &msg->applied_lsn) || !GetU64(&in, &msg->durable_lsn) ||
       !GetU64(&in, &msg->staleness_millis) ||
-      !GetString(&in, &msg->primary_addr)) {
+      !GetString(&in, &msg->primary_addr) ||
+      !GetU64(&in, &msg->pending_intents)) {
     return Truncated();
   }
   if (role > static_cast<uint8_t>(NodeRole::kPromoted)) {
@@ -795,6 +801,8 @@ void EncodeRouterStatusOk(const RouterStatusOkMsg& msg, std::string* out) {
   PutU64(out, msg.scatter_queries);
   PutU64(out, msg.single_shard_queries);
   PutU64(out, msg.fanout_ops);
+  PutU64(out, msg.twopc_txns);
+  PutU64(out, msg.intent_resolutions);
 }
 
 Status DecodeRouterStatusOk(std::string_view in, RouterStatusOkMsg* msg) {
@@ -805,11 +813,120 @@ Status DecodeRouterStatusOk(std::string_view in, RouterStatusOkMsg* msg) {
       !GetU64(&in, &msg->passthrough_txns) ||
       !GetU64(&in, &msg->scatter_queries) ||
       !GetU64(&in, &msg->single_shard_queries) ||
-      !GetU64(&in, &msg->fanout_ops)) {
+      !GetU64(&in, &msg->fanout_ops) || !GetU64(&in, &msg->twopc_txns) ||
+      !GetU64(&in, &msg->intent_resolutions)) {
     return Truncated();
   }
   if (msg->healthy_shards > msg->shard_count) {
     return Status::InvalidArgument("healthy shard count exceeds shard count");
+  }
+  return ExpectDrained(in);
+}
+
+void EncodePrepareTxn(const PrepareTxnMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kPrepareTxn));
+  PutU64(out, msg.gtid);
+  PutU32(out, msg.primary_shard);
+  PutU32(out, static_cast<uint32_t>(msg.writes.size()));
+  for (const PointWrite& write : msg.writes) PutWriteBody(write, out);
+}
+
+Status DecodePrepareTxn(std::string_view in, PrepareTxnMsg* msg) {
+  uint32_t count = 0;
+  if (!GetU64(&in, &msg->gtid) || !GetU32(&in, &msg->primary_shard) ||
+      !GetU32(&in, &count)) {
+    return Truncated();
+  }
+  if (count == 0 || count > kMaxWritesPerBatch) {
+    return Status::InvalidArgument("bad prepare write count");
+  }
+  msg->writes.clear();
+  msg->writes.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PointWrite write;
+    if (!GetWriteBody(&in, &write)) return Truncated();
+    msg->writes.push_back(std::move(write));
+  }
+  return ExpectDrained(in);
+}
+
+void EncodePreparedOk(const PreparedOkMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kPreparedOk));
+  PutU64(out, msg.prepare_ts);
+  PutU64(out, msg.lsn);
+}
+
+Status DecodePreparedOk(std::string_view in, PreparedOkMsg* msg) {
+  if (!GetU64(&in, &msg->prepare_ts) || !GetU64(&in, &msg->lsn)) {
+    return Truncated();
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeCommitPrepared(const CommitPreparedMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kCommitPrepared));
+  PutU64(out, msg.gtid);
+  PutU64(out, msg.commit_ts);
+}
+
+Status DecodeCommitPrepared(std::string_view in, CommitPreparedMsg* msg) {
+  if (!GetU64(&in, &msg->gtid) || !GetU64(&in, &msg->commit_ts)) {
+    return Truncated();
+  }
+  if (msg->commit_ts == 0) {
+    return Status::InvalidArgument("commit_ts must be nonzero");
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeAbortPrepared(const AbortPreparedMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kAbortPrepared));
+  PutU64(out, msg.gtid);
+}
+
+Status DecodeAbortPrepared(std::string_view in, AbortPreparedMsg* msg) {
+  if (!GetU64(&in, &msg->gtid)) return Truncated();
+  return ExpectDrained(in);
+}
+
+void EncodeResolveIntent(const ResolveIntentMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kResolveIntent));
+  PutU64(out, msg.gtid);
+  PutU8(out, msg.abort_pending ? 1 : 0);
+}
+
+Status DecodeResolveIntent(std::string_view in, ResolveIntentMsg* msg) {
+  if (!GetU64(&in, &msg->gtid) || !GetBool(&in, &msg->abort_pending)) {
+    return Truncated();
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeResolvedOk(const ResolvedOkMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kResolvedOk));
+  PutU8(out, msg.outcome);
+  PutU64(out, msg.commit_ts);
+}
+
+Status DecodeResolvedOk(std::string_view in, ResolvedOkMsg* msg) {
+  if (!GetU8(&in, &msg->outcome) || !GetU64(&in, &msg->commit_ts)) {
+    return Truncated();
+  }
+  if (msg->outcome > 2) {
+    return Status::InvalidArgument("unknown txn outcome");
+  }
+  return ExpectDrained(in);
+}
+
+void EncodeIntentPending(const IntentPendingMsg& msg, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(Op::kIntentPending));
+  PutU64(out, msg.gtid);
+  PutU32(out, msg.primary_shard);
+}
+
+Status DecodeIntentPending(std::string_view in, IntentPendingMsg* msg) {
+  if (!GetU64(&in, &msg->gtid) || !GetU32(&in, &msg->primary_shard)) {
+    return Truncated();
   }
   return ExpectDrained(in);
 }

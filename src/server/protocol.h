@@ -49,7 +49,14 @@ inline constexpr uint32_t kMaxFramePayload = 4u << 20;
 /// key/value outputs, so a router can re-sort merged rows exactly);
 /// ROUTER_STATUS exposes routing counters; DECOMMISSION_REPLICA drops a
 /// permanently-departed replica from the primary's retention registry.
-inline constexpr uint32_t kProtocolVersion = 4;
+/// v5: cross-shard 2PC surface (PREPARE_TXN / COMMIT_PREPARED /
+/// ABORT_PREPARED / RESOLVE_INTENT with the PREPARED_OK / RESOLVED_OK /
+/// INTENT_PENDING responses); READ can now answer INTENT_PENDING when
+/// the slot carries an unresolved write intent; REPLICA_STATUS_OK grew
+/// the node's pending-intent count and ROUTER_STATUS_OK its 2PC
+/// counters (both appended fields — safe, handshakes require exact
+/// version equality).
+inline constexpr uint32_t kProtocolVersion = 5;
 
 /// Magic the client opens HELLO with ("ANKRNET1", little-endian), so a
 /// stray connection speaking another protocol is rejected on byte one.
@@ -99,6 +106,12 @@ enum class Op : uint8_t {
   kRouterStatus = 0x47,        ///< Routing counters + shard map health.
   kDecommissionReplica = 0x48, ///< Drop a departed replica's retention pin.
 
+  // Cross-shard 2PC surface (v5; router -> shard, docs/SERVER.md).
+  kPrepareTxn = 0x49,      ///< Stage a write set as intents (phase one).
+  kCommitPrepared = 0x4a,  ///< Materialize a prepared write set (phase two).
+  kAbortPrepared = 0x4b,   ///< Discard a prepared write set (phase two).
+  kResolveIntent = 0x4c,   ///< Ask the primary shard for a txn's outcome.
+
   // Responses.
   kHelloOk = 0x81,
   kOk = 0x82,          ///< Generic success ack (BEGIN/COMMIT/WRITE/...).
@@ -120,6 +133,11 @@ enum class Op : uint8_t {
 
   // Sharding / operations responses (v4).
   kRouterStatusOk = 0x90,   ///< Routing counters + shard map health.
+
+  // Cross-shard 2PC responses (v5).
+  kPreparedOk = 0x91,      ///< Prepare ack: local prepare_ts + durable LSN.
+  kResolvedOk = 0x92,      ///< RESOLVE_INTENT answer: outcome + commit_ts.
+  kIntentPending = 0x93,   ///< READ hit an unresolved intent; go resolve it.
 };
 
 /// True iff `op` is a known request opcode (client -> server).
@@ -394,6 +412,9 @@ struct ReplicaStatusOkMsg {
   uint64_t durable_lsn = 0;
   uint64_t staleness_millis = 0;     ///< Time since last stream progress.
   std::string primary_addr;          ///< Replica only: upstream host:port.
+  /// Prepared-but-undecided cross-shard transactions staged on this node
+  /// (v5). The 2PC drill asserts this drains to zero after recovery.
+  uint64_t pending_intents = 0;
 };
 void EncodeReplicaStatusOk(const ReplicaStatusOkMsg& msg, std::string* out);
 Status DecodeReplicaStatusOk(std::string_view in, ReplicaStatusOkMsg* msg);
@@ -434,9 +455,84 @@ struct RouterStatusOkMsg {
   uint64_t single_shard_queries = 0;
   /// DDL/load ops fanned out to every shard.
   uint64_t fanout_ops = 0;
+  /// Cross-shard EXEC_TXNs committed through the 2PC path (v5).
+  uint64_t twopc_txns = 0;
+  /// Reader-driven intent resolutions the router performed (v5).
+  uint64_t intent_resolutions = 0;
 };
 void EncodeRouterStatusOk(const RouterStatusOkMsg& msg, std::string* out);
 Status DecodeRouterStatusOk(std::string_view in, RouterStatusOkMsg* msg);
+
+/// ---- cross-shard 2PC messages (v5) ---------------------------------------
+/// The router is the coordinator; shards only ever see these four ops.
+/// `gtid` is the router-issued global transaction id — unique per
+/// attempt, never reused after a decision.
+
+/// kPrepareTxn: stage `writes` as intents on this shard (phase one). The
+/// ack (kPreparedOk) is only sent after the kPrepare WAL record is
+/// durable — the router commits on the strength of it.
+struct PrepareTxnMsg {
+  uint64_t gtid = 0;
+  /// Shard index whose engine decides (and remembers) the outcome.
+  uint32_t primary_shard = 0;
+  std::vector<PointWrite> writes;
+};
+void EncodePrepareTxn(const PrepareTxnMsg& msg, std::string* out);
+Status DecodePrepareTxn(std::string_view in, PrepareTxnMsg* msg);
+
+/// kPreparedOk: phase-one ack.
+struct PreparedOkMsg {
+  uint64_t prepare_ts = 0;  ///< Shard-local prepare stamp (HLC input).
+  uint64_t lsn = 0;         ///< Durable kPrepare record LSN.
+};
+void EncodePreparedOk(const PreparedOkMsg& msg, std::string* out);
+Status DecodePreparedOk(std::string_view in, PreparedOkMsg* msg);
+
+/// kCommitPrepared: materialize the staged writes (phase two). Answered
+/// with kCommitOk carrying the kCommitPrepared record's LSN (0 on an
+/// idempotent duplicate).
+struct CommitPreparedMsg {
+  uint64_t gtid = 0;
+  uint64_t commit_ts = 0;  ///< Router HLC stamp (> every prepare_ts).
+};
+void EncodeCommitPrepared(const CommitPreparedMsg& msg, std::string* out);
+Status DecodeCommitPrepared(std::string_view in, CommitPreparedMsg* msg);
+
+/// kAbortPrepared: discard the staged writes (phase two). Answered with
+/// kOk; aborting an unknown gtid fences it (durable tombstone).
+struct AbortPreparedMsg {
+  uint64_t gtid = 0;
+};
+void EncodeAbortPrepared(const AbortPreparedMsg& msg, std::string* out);
+Status DecodeAbortPrepared(std::string_view in, AbortPreparedMsg* msg);
+
+/// kResolveIntent: outcome query at the primary shard. `abort_pending`
+/// escalates a still-undecided transaction to a durable abort — the
+/// caller is a reader whose coordinating router died.
+struct ResolveIntentMsg {
+  uint64_t gtid = 0;
+  bool abort_pending = false;
+};
+void EncodeResolveIntent(const ResolveIntentMsg& msg, std::string* out);
+Status DecodeResolveIntent(std::string_view in, ResolveIntentMsg* msg);
+
+/// kResolvedOk: the primary's answer (mvcc::TxnOutcome on the wire).
+struct ResolvedOkMsg {
+  uint8_t outcome = 0;      ///< 0 = pending, 1 = committed, 2 = aborted.
+  uint64_t commit_ts = 0;   ///< Committed only: the router's HLC stamp.
+};
+void EncodeResolvedOk(const ResolvedOkMsg& msg, std::string* out);
+Status DecodeResolvedOk(std::string_view in, ResolvedOkMsg* msg);
+
+/// kIntentPending: a READ hit an unresolved intent whose prepare stamp
+/// is at or below the reader's snapshot. The caller resolves via the
+/// primary shard and retries.
+struct IntentPendingMsg {
+  uint64_t gtid = 0;
+  uint32_t primary_shard = 0;
+};
+void EncodeIntentPending(const IntentPendingMsg& msg, std::string* out);
+Status DecodeIntentPending(std::string_view in, IntentPendingMsg* msg);
 
 }  // namespace anker::server
 

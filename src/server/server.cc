@@ -501,7 +501,9 @@ bool Server::ExecuteRequest(const std::shared_ptr<Session>& session,
   if (config_.replica != nullptr && config_.replica->read_only() &&
       (op == Op::kWrite || op == Op::kWriteBatch || op == Op::kExecTxn ||
        op == Op::kCreateTable || op == Op::kLoad || op == Op::kBuildIndex ||
-       op == Op::kDictDefine)) {
+       op == Op::kDictDefine || op == Op::kPrepareTxn ||
+       op == Op::kCommitPrepared || op == Op::kAbortPrepared ||
+       op == Op::kResolveIntent)) {
     RespondError(session, Op::kErr, WireError::kReadOnlyReplica,
                  "writes go to the primary (or PROMOTE this node)");
     return true;
@@ -547,8 +549,19 @@ bool Server::ExecuteRequest(const std::shared_ptr<Session>& session,
       PointReadMsg msg;
       const Status decoded = DecodePointRead(body, &msg);
       if (!decoded.ok()) break;  // Malformed body: protocol error below.
-      auto value = DoRead(session.get(), msg);
-      if (!value.ok()) {
+      mvcc::IntentInfo intent;
+      auto value = DoRead(session.get(), msg, &intent);
+      if (!value.ok() && intent.gtid != 0) {
+        // The slot carries an unresolved write intent below the reader's
+        // snapshot: the outcome is not decidable here. Bounce the reader
+        // to the primary shard instead of guessing.
+        IntentPendingMsg pending;
+        pending.gtid = intent.gtid;
+        pending.primary_shard = intent.primary_shard;
+        std::string response;
+        EncodeIntentPending(pending, &response);
+        Respond(session, response);
+      } else if (!value.ok()) {
         RespondStatus(session, value.status());
       } else {
         std::string response;
@@ -609,6 +622,7 @@ bool Server::ExecuteRequest(const std::shared_ptr<Session>& session,
       } else if (replication_ != nullptr) {
         status = replication_->PrimaryStatus();
       }
+      status.pending_intents = db_->txn_manager().intents().PendingCount();
       std::string response;
       EncodeReplicaStatusOk(status, &response);
       Respond(session, response);
@@ -718,6 +732,10 @@ bool Server::ExecuteRequest(const std::shared_ptr<Session>& session,
     case Op::kPromote:
     case Op::kCheckpointNow:
     case Op::kDigest:
+    case Op::kPrepareTxn:
+    case Op::kCommitPrepared:
+    case Op::kAbortPrepared:
+    case Op::kResolveIntent:
       break;  // Dispatched below.
     default:
       break;
@@ -727,7 +745,9 @@ bool Server::ExecuteRequest(const std::shared_ptr<Session>& session,
       op == Op::kCreateTable || op == Op::kLoad || op == Op::kBuildIndex ||
       op == Op::kDictDefine || op == Op::kFetchCheckpoint ||
       op == Op::kWaitLsn || op == Op::kPromote || op == Op::kCheckpointNow ||
-      op == Op::kDigest) {
+      op == Op::kDigest || op == Op::kPrepareTxn ||
+      op == Op::kCommitPrepared || op == Op::kAbortPrepared ||
+      op == Op::kResolveIntent) {
     // Admission control: these run on the worker pool (they may fsync or
     // scan for a while). Beyond the inflight budget the client gets an
     // explicit BUSY instead of an unbounded queue.
@@ -770,6 +790,14 @@ void Server::RunDispatched(std::shared_ptr<Session> session,
   // the server down, so everything above stays valid.
   inflight_.fetch_sub(1);
 }
+
+namespace {
+Result<storage::Column*> ResolveColumn(engine::Database* db,
+                                       const std::string& table_name,
+                                       const std::string& column_name,
+                                       storage::Table** table_out);
+Result<uint64_t> ResolveRow(storage::Table* table, bool by_key, uint64_t key);
+}  // namespace
 
 void Server::DispatchedResponse(Session* session, const std::string& payload,
                                 std::string* out) {
@@ -1007,6 +1035,94 @@ void Server::DispatchedResponse(Session* session, const std::string& payload,
       EncodeFrame(response, out);
       return;
     }
+    case Op::kPrepareTxn: {
+      PrepareTxnMsg msg;
+      Status status = DecodePrepareTxn(body, &msg);
+      std::vector<txn::Transaction::LocalWrite> writes;
+      if (status.ok()) {
+        writes.reserve(msg.writes.size());
+        for (const PointWrite& write : msg.writes) {
+          storage::Table* table = nullptr;
+          auto column = ResolveColumn(db_, write.table, write.column, &table);
+          if (!column.ok()) {
+            status = column.status();
+            break;
+          }
+          auto row = ResolveRow(table, write.by_key, write.key);
+          if (!row.ok()) {
+            status = row.status();
+            break;
+          }
+          writes.push_back({column.value(), row.value(), write.raw});
+        }
+      }
+      mvcc::Timestamp prepare_ts = 0;
+      uint64_t lsn = 0;
+      if (status.ok()) {
+        status = db_->txn_manager().PrepareDistributed(
+            msg.gtid, msg.primary_shard, writes, &prepare_ts, &lsn);
+      }
+      if (status.ok()) {
+        PreparedOkMsg ok;
+        ok.prepare_ts = prepare_ts;
+        ok.lsn = lsn;
+        EncodePreparedOk(ok, &response);
+        EncodeFrame(response, out);
+        return;
+      }
+      respond_status(status);
+      return;
+    }
+    case Op::kCommitPrepared: {
+      CommitPreparedMsg msg;
+      Status status = DecodeCommitPrepared(body, &msg);
+      uint64_t lsn = 0;
+      if (status.ok()) {
+        status = db_->txn_manager().CommitPrepared(msg.gtid, msg.commit_ts,
+                                                   &lsn);
+      }
+      if (status.ok()) {
+        {
+          std::lock_guard<std::mutex> guard(stats_mutex_);
+          ++stats_.commits_acked;
+        }
+        EncodeCommitOk(lsn, &response);
+        EncodeFrame(response, out);
+        return;
+      }
+      respond_status(status);
+      return;
+    }
+    case Op::kAbortPrepared: {
+      AbortPreparedMsg msg;
+      Status status = DecodeAbortPrepared(body, &msg);
+      uint64_t lsn = 0;
+      if (status.ok()) {
+        status = db_->txn_manager().AbortPrepared(msg.gtid, &lsn);
+      }
+      respond_status(status);
+      return;
+    }
+    case Op::kResolveIntent: {
+      ResolveIntentMsg msg;
+      Status status = DecodeResolveIntent(body, &msg);
+      mvcc::TxnOutcome outcome = mvcc::TxnOutcome::kPending;
+      mvcc::Timestamp commit_ts = 0;
+      if (status.ok()) {
+        status = db_->txn_manager().ResolveOutcome(msg.gtid, msg.abort_pending,
+                                                   &outcome, &commit_ts);
+      }
+      if (status.ok()) {
+        ResolvedOkMsg ok;
+        ok.outcome = static_cast<uint8_t>(outcome);
+        ok.commit_ts = commit_ts;
+        EncodeResolvedOk(ok, &response);
+        EncodeFrame(response, out);
+        return;
+      }
+      respond_status(status);
+      return;
+    }
     default:
       respond_status(Status::Internal("non-dispatchable op dispatched"));
       return;
@@ -1058,14 +1174,41 @@ Status Server::DoWrite(txn::Transaction* txn, const PointWrite& write) {
   return Status::OK();
 }
 
-Result<uint64_t> Server::DoRead(Session* session, const PointReadMsg& msg) {
+Result<uint64_t> Server::DoRead(Session* session, const PointReadMsg& msg,
+                                mvcc::IntentInfo* blocking_intent) {
   storage::Table* table = nullptr;
   auto column = ResolveColumn(db_, msg.table, msg.column, &table);
   if (!column.ok()) return column.status();
   auto row = ResolveRow(table, msg.by_key, msg.key);
   if (!row.ok()) return row.status();
+  // A prepared-but-undecided write intent makes the slot's latest value
+  // unknowable: if the transaction committed at its primary, sister
+  // shards may already serve the new state, so answering with the old
+  // version here would tear the cross-shard snapshot (money disappears
+  // from a transfer mid-resolution). Auto-commit reads therefore bounce
+  // on ANY pending intent — the caller resolves through the primary and
+  // retries. An explicit transaction whose snapshot predates the
+  // prepare is the one safe exception: the intent's outcome can only
+  // materialize above prepare_ts, provably outside that snapshot.
+  auto blocked_by_intent = [&](const txn::Transaction* txn) {
+    if (blocking_intent == nullptr) return false;
+    mvcc::IntentInfo info;
+    if (!db_->txn_manager().intents().Lookup(column.value(), row.value(),
+                                             &info)) {
+      return false;
+    }
+    if (txn != nullptr && txn->start_ts() < info.prepare_ts) return false;
+    *blocking_intent = info;
+    return true;
+  };
   if (session->txn != nullptr) {
+    if (blocked_by_intent(session->txn.get())) {
+      return Status::ResourceBusy("read blocked by unresolved write intent");
+    }
     return session->txn->Read(column.value(), row.value());
+  }
+  if (blocked_by_intent(nullptr)) {
+    return Status::ResourceBusy("read blocked by unresolved write intent");
   }
   // Auto-commit read: a throwaway transaction gives a consistent
   // committed view (the visibility watermark), unlike a raw slot load

@@ -30,6 +30,7 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "engine/database.h"
+#include "mvcc/intent_table.h"
 #include "server/protocol.h"
 
 namespace anker::server {
@@ -138,7 +139,11 @@ class Server {
   /// Engine helpers (worker or loop thread; engine objects are
   /// thread-safe).
   Status DoWrite(txn::Transaction* txn, const PointWrite& write);
-  Result<uint64_t> DoRead(Session* session, const PointReadMsg& msg);
+  /// `blocking_intent` (optional) is filled when the read is refused
+  /// because an unresolved 2PC write intent covers the slot below the
+  /// reader's snapshot; the caller bounces the client to the primary.
+  Result<uint64_t> DoRead(Session* session, const PointReadMsg& msg,
+                          mvcc::IntentInfo* blocking_intent = nullptr);
   /// Appends the response frames for one dispatched request to `out`.
   void DispatchedResponse(Session* session, const std::string& payload,
                           std::string* out);

@@ -1,9 +1,12 @@
 #include "shard/router_core.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "query/merge.h"
 
 namespace anker::shard {
@@ -40,11 +43,26 @@ bool IsOkResponse(const std::string& payload) {
   return !payload.empty() && static_cast<Op>(payload[0]) == Op::kOk;
 }
 
+bool IsBusyResponse(const std::string& payload) {
+  return !payload.empty() && static_cast<Op>(payload[0]) == Op::kBusy;
+}
+
+/// Wall-clock-seeded base for global transaction ids: the high bits
+/// change across router incarnations so a restarted router's counter
+/// does not replay a predecessor's gtids (collisions would only cost a
+/// retryable abort anyway — the shard's tombstone refuses them).
+uint64_t GtidBase() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const uint64_t micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+  return micros << 20;  // Room for ~1M transactions per microsecond tick.
+}
+
 }  // namespace
 
 RouterCore::RouterCore(const ShardMap* map, BackendPool* pool,
                        RouterCoreConfig config)
-    : map_(map), pool_(pool), config_(config) {
+    : map_(map), pool_(pool), config_(config), gtid_base_(GtidBase()) {
   ANKER_CHECK(map_ != nullptr && pool_ != nullptr);
   ANKER_CHECK(map_->num_shards() == pool_->num_shards());
 }
@@ -69,10 +87,24 @@ void RouterCore::RespondStatus(const Status& status, std::string* out) {
 bool RouterCore::ForwardVerbatim(server::Client* client,
                                  const std::string& payload,
                                  std::string* out) {
-  auto response = client->RoundTrip(payload);
-  if (!response.ok()) return false;
-  server::EncodeFrame(response.value(), out);
-  return true;
+  // Router-side BUSY absorption, mirroring Client::RetryPolicy: the
+  // shard emits BUSY from admission control *before* running anything,
+  // so re-sending the same bytes is safe for every op that reaches
+  // here. The pooled clients keep a zero budget — the router owns the
+  // backoff so one overloaded shard doesn't multiply retries per hop.
+  int backoff_millis = config_.busy_backoff_initial_millis;
+  for (int attempt = 0;; ++attempt) {
+    auto response = client->RoundTrip(payload);
+    if (!response.ok()) return false;
+    if (!IsBusyResponse(response.value()) ||
+        attempt >= config_.busy_retry_budget) {
+      server::EncodeFrame(response.value(), out);
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_millis));
+    backoff_millis =
+        std::min(backoff_millis * 2, config_.busy_backoff_max_millis);
+  }
 }
 
 Result<std::pair<size_t, std::unique_ptr<server::Client>>>
@@ -281,7 +313,9 @@ void RouterCore::HandleRead(SessionState* session, const std::string& payload,
       const size_t shard = map_->ShardFor(msg.key);
       if (!EnsurePinned(session, shard, out)) return;
     }
-    if (!ForwardVerbatim(session->txn_client.get(), payload, out)) {
+    if (!ForwardReadResolving(session->txn_client.get(),
+                              static_cast<size_t>(session->pinned_shard),
+                              payload, out)) {
       pool_->Discard(std::move(session->txn_client));
       session->in_txn = false;
       session->pinned_shard = -1;
@@ -311,12 +345,90 @@ void RouterCore::HandleRead(SessionState* session, const std::string& payload,
     shard = any.value().first;
     client = std::move(any.value().second);
   }
-  if (ForwardVerbatim(client.get(), payload, out)) {
+  if (ForwardReadResolving(client.get(), shard, payload, out)) {
     pool_->Release(shard, std::move(client));
   } else {
     pool_->Discard(std::move(client));
     RespondError(WireError::kResourceBusy, "shard connection lost", out);
   }
+}
+
+bool RouterCore::ForwardReadResolving(server::Client* client, size_t shard,
+                                      const std::string& payload,
+                                      std::string* out) {
+  (void)shard;
+  int backoff_millis = config_.busy_backoff_initial_millis;
+  for (int attempt = 0; attempt <= config_.intent_resolve_attempts;
+       ++attempt) {
+    auto response = client->RoundTrip(payload);
+    if (!response.ok()) return false;
+    if (IsBusyResponse(response.value()) &&
+        attempt < config_.busy_retry_budget) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_millis));
+      backoff_millis =
+          std::min(backoff_millis * 2, config_.busy_backoff_max_millis);
+      continue;
+    }
+    if (response.value().empty() ||
+        static_cast<Op>(response.value()[0]) != Op::kIntentPending) {
+      server::EncodeFrame(response.value(), out);
+      return true;
+    }
+    // The read landed on an unresolved 2PC intent: its coordinating
+    // router may be gone, so this router resolves on the reader's
+    // behalf — ask the primary shard for the outcome, apply it at the
+    // holding shard, retry the read. The final attempt escalates a
+    // still-undecided transaction to a durable abort (the coordinator
+    // is presumed dead; the primary's tombstone fences it).
+    server::IntentPendingMsg pending;
+    const std::string_view body =
+        std::string_view(response.value()).substr(1);
+    if (!server::DecodeIntentPending(body, &pending).ok()) {
+      server::EncodeFrame(response.value(), out);
+      return true;
+    }
+    const bool escalate = attempt + 1 >= config_.intent_resolve_attempts;
+    bool decided = false;
+    const Status resolved = ResolveIntentOnce(
+        pending.gtid, pending.primary_shard, client, escalate, &decided);
+    if (!resolved.ok() || !decided) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_millis));
+      backoff_millis =
+          std::min(backoff_millis * 2, config_.busy_backoff_max_millis);
+    }
+  }
+  RespondError(WireError::kResourceBusy,
+               "read blocked by an unresolved write intent", out);
+  return true;
+}
+
+Status RouterCore::ResolveIntentOnce(uint64_t gtid, size_t primary_shard,
+                                     server::Client* holder,
+                                     bool abort_pending, bool* decided) {
+  *decided = false;
+  if (primary_shard >= pool_->num_shards()) {
+    return Status::InvalidArgument("intent names an unknown primary shard");
+  }
+  auto primary = pool_->Acquire(primary_shard);
+  if (!primary.ok()) return primary.status();
+  uint8_t outcome = 0;
+  uint64_t commit_ts = 0;
+  const Status resolved =
+      primary.value()->ResolveIntent(gtid, abort_pending, &outcome,
+                                     &commit_ts);
+  if (resolved.code() == StatusCode::kIoError) {
+    pool_->Discard(std::move(primary.value()));
+  } else {
+    pool_->Release(primary_shard, std::move(primary.value()));
+  }
+  if (!resolved.ok()) return resolved;
+  if (outcome == 0) return Status::OK();  // Still undecided.
+  *decided = true;
+  intent_resolutions_.fetch_add(1);
+  // Land the outcome at the shard whose intent blocked the read; both
+  // phase-two ops are idempotent, so racing another resolver is fine.
+  return outcome == 1 ? holder->CommitPrepared(gtid, commit_ts, nullptr)
+                      : holder->AbortPrepared(gtid);
 }
 
 int RouterCore::ShardForWrites(const std::vector<server::PointWrite>& writes,
@@ -405,9 +517,14 @@ void RouterCore::HandleExecTxn(SessionState* session,
     server::EncodeFrame(response, out);
     return;
   }
-  const int shard = ShardForWrites(writes, out);
-  if (shard < 0) return;
-  auto client = pool_->Acquire(static_cast<size_t>(shard));
+  std::vector<std::pair<size_t, std::vector<server::PointWrite>>> groups;
+  if (!PartitionWrites(writes, &groups, out)) return;
+  if (groups.size() > 1) {
+    TwoPhaseCommit(groups, out);
+    return;
+  }
+  const size_t shard = groups.front().first;
+  auto client = pool_->Acquire(shard);
   if (!client.ok()) {
     RespondStatus(client.status(), out);
     return;
@@ -416,7 +533,7 @@ void RouterCore::HandleExecTxn(SessionState* session,
   // owning shard and its response comes back verbatim — one
   // router->shard round trip, no re-encode.
   if (ForwardVerbatim(client.value().get(), payload, out)) {
-    pool_->Release(static_cast<size_t>(shard), std::move(client.value()));
+    pool_->Release(shard, std::move(client.value()));
     passthrough_txns_.fetch_add(1);
   } else {
     pool_->Discard(std::move(client.value()));
@@ -424,6 +541,194 @@ void RouterCore::HandleExecTxn(SessionState* session,
                       "shard connection lost; transaction outcome unknown"),
                   out);
   }
+}
+
+bool RouterCore::PartitionWrites(
+    const std::vector<server::PointWrite>& writes,
+    std::vector<std::pair<size_t, std::vector<server::PointWrite>>>* groups,
+    std::string* out) {
+  groups->clear();
+  for (const server::PointWrite& write : writes) {
+    const std::string* partition_key = map_->PartitionKey(write.table);
+    if (partition_key == nullptr) {
+      RespondError(WireError::kNotSupported,
+                   "writes to replicated tables are not routable (every "
+                   "shard holds a copy); load them out of band",
+                   out);
+      return false;
+    }
+    if (!write.by_key) {
+      RespondError(WireError::kNotSupported,
+                   "row ids are shard-local; address partitioned tables "
+                   "by key through the router",
+                   out);
+      return false;
+    }
+    const size_t owner = map_->ShardFor(write.key);
+    auto group = std::find_if(
+        groups->begin(), groups->end(),
+        [owner](const auto& entry) { return entry.first == owner; });
+    if (group == groups->end()) {
+      groups->emplace_back(owner, std::vector<server::PointWrite>{});
+      group = std::prev(groups->end());
+    }
+    group->second.push_back(write);
+  }
+  // Primary shard = lowest participating index: every router derives
+  // the same commit point from the same write set, so a reader's lazy
+  // resolution and the coordinator always agree on where the outcome
+  // lives.
+  std::sort(groups->begin(), groups->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return true;
+}
+
+void RouterCore::AbortPreparedFanout(
+    uint64_t gtid,
+    const std::vector<std::pair<size_t, std::vector<server::PointWrite>>>&
+        groups) {
+  // Best-effort: every participant gets ABORT_PREPARED. A shard whose
+  // prepare never landed fences the gtid with a durable tombstone, so a
+  // delayed PREPARE_TXN racing this abort is refused rather than
+  // resurrecting the transaction. Unreachable shards are left for lazy
+  // reader-driven resolution.
+  for (const auto& [shard, writes] : groups) {
+    (void)writes;
+    auto client = pool_->Acquire(shard);
+    if (!client.ok()) continue;
+    const Status aborted = client.value()->AbortPrepared(gtid);
+    if (aborted.ok() || aborted.code() != StatusCode::kIoError) {
+      pool_->Release(shard, std::move(client.value()));
+    } else {
+      pool_->Discard(std::move(client.value()));
+    }
+  }
+}
+
+void RouterCore::TwoPhaseCommit(
+    const std::vector<std::pair<size_t, std::vector<server::PointWrite>>>&
+        groups,
+    std::string* out) {
+  anker::FaultInjector& faults = anker::FaultInjector::Instance();
+  const uint64_t gtid = gtid_base_ + gtid_counter_.fetch_add(1) + 1;
+  const uint32_t primary_shard = static_cast<uint32_t>(groups.front().first);
+
+  // Phase one: stage durable write intents on every participant. Each
+  // ack carries the shard's prepare stamp, folded into the HLC.
+  std::vector<std::unique_ptr<server::Client>> clients(groups.size());
+  uint64_t max_prepare_ts = 0;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    const auto& [shard, writes] = groups[i];
+    auto acquired = pool_->Acquire(shard);
+    Status prepared = acquired.status();
+    if (prepared.ok()) {
+      clients[i] = std::move(acquired.value());
+      uint64_t prepare_ts = 0;
+      int backoff_millis = config_.busy_backoff_initial_millis;
+      for (int attempt = 0;; ++attempt) {
+        // PREPARE_TXN is idempotent (a duplicate staged gtid acks OK),
+        // so BUSY — emitted before the shard does any work — retries
+        // the same way every other forwarded op does.
+        prepared = clients[i]->PrepareTxn(gtid, primary_shard, writes,
+                                          &prepare_ts, nullptr);
+        if (prepared.code() != StatusCode::kResourceBusy ||
+            attempt >= config_.busy_retry_budget) {
+          break;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff_millis));
+        backoff_millis =
+            std::min(backoff_millis * 2, config_.busy_backoff_max_millis);
+      }
+      if (prepared.ok()) max_prepare_ts = std::max(max_prepare_ts, prepare_ts);
+    }
+    if (!prepared.ok()) {
+      // Unwind: nothing is decided until the primary's COMMIT_PREPARED
+      // is durable, so aborting here is always correct.
+      for (size_t j = 0; j < clients.size(); ++j) {
+        if (clients[j] == nullptr) continue;
+        pool_->Release(groups[j].first, std::move(clients[j]));
+      }
+      AbortPreparedFanout(gtid, groups);
+      RespondStatus(
+          prepared.code() == StatusCode::kIoError
+              ? Status::ResourceBusy("shard " +
+                                     std::to_string(groups[i].first) +
+                                     " unreachable during prepare; "
+                                     "transaction aborted")
+              : prepared,
+          out);
+      return;
+    }
+    faults.MaybeKill("2pc.prepare.post");
+  }
+
+  // Decision: one HLC stamp above every prepare stamp. Nothing durable
+  // records it yet — a crash before the primary's ack below aborts the
+  // transaction (lazy resolution escalates undecided intents to abort).
+  const uint64_t commit_ts = oracle_.CommitStamp(max_prepare_ts);
+
+  // Phase two: the primary shard (groups.front()) is the commit point —
+  // its durable COMMIT_PREPARED record decides the transaction. The
+  // remaining participants are then told best-effort; any that miss the
+  // memo are healed by reader-driven resolution through the primary.
+  uint64_t primary_lsn = 0;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    faults.MaybeKill("2pc.commit.pre");
+    uint64_t lsn = 0;
+    Status committed = Status::OK();
+    int backoff_millis = config_.busy_backoff_initial_millis;
+    for (int attempt = 0;; ++attempt) {
+      committed = clients[i]->CommitPrepared(gtid, commit_ts, &lsn);
+      if (committed.code() != StatusCode::kResourceBusy ||
+          attempt >= config_.busy_retry_budget) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_millis));
+      backoff_millis =
+          std::min(backoff_millis * 2, config_.busy_backoff_max_millis);
+    }
+    if (committed.code() == StatusCode::kIoError) {
+      pool_->Discard(std::move(clients[i]));
+    }
+    if (i == 0) {
+      if (!committed.ok()) {
+        // The commit point did not ack. Transport loss leaves the
+        // outcome genuinely unknown (the record may be durable), so
+        // intents stay for lazy resolution; a clean refusal means the
+        // transaction never committed — unwind it.
+        for (size_t j = 1; j < clients.size(); ++j) {
+          if (clients[j] != nullptr) {
+            pool_->Release(groups[j].first, std::move(clients[j]));
+          }
+        }
+        if (committed.code() == StatusCode::kIoError) {
+          RespondStatus(
+              Status::IoError("primary shard connection lost; "
+                              "transaction outcome unknown"),
+              out);
+        } else {
+          AbortPreparedFanout(gtid, groups);
+          RespondStatus(committed, out);
+        }
+        return;
+      }
+      primary_lsn = lsn;
+    }
+    if (clients[i] != nullptr) {
+      pool_->Release(groups[i].first, std::move(clients[i]));
+    }
+    // A failed secondary after the primary's ack does NOT fail the
+    // transaction — it is committed; the straggler's intents resolve
+    // lazily.
+  }
+
+  twopc_txns_.fetch_add(1);
+  // The LSN is the primary shard's commit record: read-your-writes
+  // waits (WAIT_LSN) against the commit point, where the outcome lives.
+  std::string response;
+  server::EncodeCommitOk(primary_lsn, &response);
+  server::EncodeFrame(response, out);
 }
 
 void RouterCore::HandleQuery(const std::string& payload, std::string* out) {
@@ -610,6 +915,8 @@ server::RouterStatusOkMsg RouterCore::StatusSnapshot() {
   msg.scatter_queries = scatter_queries_.load();
   msg.single_shard_queries = single_shard_queries_.load();
   msg.fanout_ops = fanout_ops_.load();
+  msg.twopc_txns = twopc_txns_.load();
+  msg.intent_resolutions = intent_resolutions_.load();
   return msg;
 }
 

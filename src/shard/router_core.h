@@ -6,12 +6,18 @@
 // epoll so tests can drive it directly against in-process shards.
 //
 // Routing rules (docs/SERVER.md has the client-facing contract):
-//  - EXEC_TXN: decoded just far enough to find the single owning shard,
-//    then the ORIGINAL payload bytes are forwarded verbatim — one
-//    router->shard round trip (the pass-through fast path, counted in
-//    passthrough_txns). Writes that span shards or touch replicated
-//    tables are refused with kNotSupported (cross-shard 2PC is the next
-//    slice).
+//  - EXEC_TXN: decoded just far enough to find the owning shard(s).
+//    Single-shard batches forward the ORIGINAL payload bytes verbatim —
+//    one router->shard round trip (the pass-through fast path, counted
+//    in passthrough_txns). Batches spanning shards run intent-based 2PC
+//    (counted in twopc_txns): PREPARE_TXN fan-out stages durable write
+//    intents on every participant, the router's TimestampOracle folds
+//    the prepare stamps into one HLC commit stamp, and COMMIT_PREPARED
+//    lands on the primary shard (lowest participating index — the
+//    durable commit point) before fanning to the rest. A router death
+//    mid-protocol leaves intents that readers resolve lazily through
+//    the primary (see HandleRead). Writes touching replicated tables
+//    are still refused.
 //  - BEGIN is acknowledged locally; the session pins to the shard that
 //    owns the first keyed operation, and every later op in the
 //    transaction must land on the same shard. COMMIT/ABORT forward to
@@ -49,6 +55,7 @@
 #include "server/protocol.h"
 #include "shard/backend_pool.h"
 #include "shard/shard_map.h"
+#include "shard/timestamp_oracle.h"
 
 namespace anker::shard {
 
@@ -57,6 +64,17 @@ struct RouterCoreConfig {
   /// true = merge over the reachable shards (results may under-count;
   /// the skipped-shard count travels back in QUERY_DONE).
   bool allow_partial = false;
+  /// Router-side retry budget for shard BUSY responses, mirroring the
+  /// client's RetryPolicy (the pooled backend clients keep budget 0 so
+  /// the router owns the policy). BUSY is emitted before the shard runs
+  /// an operation, so re-sending is always safe. 0 = surface BUSY.
+  int busy_retry_budget = 4;
+  int busy_backoff_initial_millis = 5;
+  int busy_backoff_max_millis = 200;
+  /// Attempts to resolve a read-blocking intent through its primary
+  /// shard before escalating the transaction to a durable abort (the
+  /// coordinating router is presumed dead at that point).
+  int intent_resolve_attempts = 5;
 };
 
 class RouterCore {
@@ -107,6 +125,35 @@ class RouterCore {
   /// already appended).
   int ShardForWrites(const std::vector<server::PointWrite>& writes,
                      std::string* out);
+  /// Splits a write batch by owning shard. False = refused (replicated
+  /// table or row-id addressing; response already appended).
+  bool PartitionWrites(
+      const std::vector<server::PointWrite>& writes,
+      std::vector<std::pair<size_t, std::vector<server::PointWrite>>>* groups,
+      std::string* out);
+  /// Runs a multi-shard EXEC_TXN as intent-based 2PC.
+  void TwoPhaseCommit(
+      const std::vector<std::pair<size_t, std::vector<server::PointWrite>>>&
+          groups,
+      std::string* out);
+  /// Best-effort ABORT_PREPARED fan-out to `groups` (phase-one unwind).
+  /// Unknown gtids are fenced with durable tombstones, so shards whose
+  /// prepare never arrived are safe to abort too.
+  void AbortPreparedFanout(
+      uint64_t gtid,
+      const std::vector<std::pair<size_t, std::vector<server::PointWrite>>>&
+          groups);
+  /// Forwards a READ, resolving kIntentPending responses through the
+  /// intent's primary shard (lazy resolution for dead coordinators)
+  /// and retrying. Same contract as ForwardVerbatim.
+  bool ForwardReadResolving(server::Client* client, size_t shard,
+                            const std::string& payload, std::string* out);
+  /// One resolution round: asks `primary_shard` for the outcome of
+  /// `gtid` and applies it at `holder` (the shard whose intent blocked
+  /// the read). OK with `*decided=false` while still pending.
+  Status ResolveIntentOnce(uint64_t gtid, size_t primary_shard,
+                           server::Client* holder, bool abort_pending,
+                           bool* decided);
   /// Pins `session` to `shard`, opening the backend transaction.
   /// False = refused/failed (response already appended).
   bool EnsurePinned(SessionState* session, size_t shard, std::string* out);
@@ -134,6 +181,17 @@ class RouterCore {
   std::atomic<uint64_t> scatter_queries_{0};
   std::atomic<uint64_t> single_shard_queries_{0};
   std::atomic<uint64_t> fanout_ops_{0};
+  std::atomic<uint64_t> twopc_txns_{0};
+  std::atomic<uint64_t> intent_resolutions_{0};
+
+  /// HLC for cross-shard commit stamps (see timestamp_oracle.h).
+  TimestampOracle oracle_;
+  /// Global transaction ids: wall-clock-seeded base + counter. A
+  /// collision with a fenced gtid from a previous router incarnation is
+  /// refused by the shard's tombstone and surfaces as a retryable
+  /// abort, so uniqueness is best-effort by construction.
+  const uint64_t gtid_base_;
+  std::atomic<uint64_t> gtid_counter_{0};
 };
 
 }  // namespace anker::shard

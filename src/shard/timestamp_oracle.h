@@ -1,0 +1,61 @@
+#ifndef ANKER_SHARD_TIMESTAMP_ORACLE_H_
+#define ANKER_SHARD_TIMESTAMP_ORACLE_H_
+
+// Hybrid-logical-clock commit stamp for the router's 2PC coordinator.
+//
+// Each shard runs its own local MVCC clock; a cross-shard commit needs
+// one global stamp that is (a) larger than every participating shard's
+// prepare stamp, so CommitPrepared's AdvanceTo never moves a shard
+// clock backwards, and (b) monotone across the transactions one router
+// coordinates, so its commit order is reconstructible from stamps.
+// The classic HLC merge gives both: observe every prepare stamp, then
+// tick past the maximum seen so far.
+//
+// The stamp is METADATA, not a global serialization point: each shard
+// materializes the writes at its own local apply stamp (see
+// TransactionManager::CommitPrepared), and atomicity comes from intents
+// gating readers until phase two lands. Two routers coordinating
+// disjoint transactions therefore need no shared oracle.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace anker::shard {
+
+class TimestampOracle {
+ public:
+  TimestampOracle() = default;
+  ANKER_DISALLOW_COPY_AND_MOVE(TimestampOracle);
+
+  /// Fold an observed remote stamp (a shard's prepare_ts) into the
+  /// clock. Cheap and lock-free; call once per prepare ack.
+  void Observe(uint64_t remote_ts) {
+    uint64_t seen = clock_.load(std::memory_order_relaxed);
+    while (seen < remote_ts &&
+           !clock_.compare_exchange_weak(seen, remote_ts,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Issue the next commit stamp: strictly greater than every stamp
+  /// observed or issued before this call.
+  uint64_t Next() { return clock_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  /// Convenience for the 2PC hot path: Observe + Next in one call.
+  uint64_t CommitStamp(uint64_t max_prepare_ts) {
+    Observe(max_prepare_ts);
+    return Next();
+  }
+
+  uint64_t now() const { return clock_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> clock_{0};
+};
+
+}  // namespace anker::shard
+
+#endif  // ANKER_SHARD_TIMESTAMP_ORACLE_H_

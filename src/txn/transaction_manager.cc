@@ -65,8 +65,18 @@ Status TransactionManager::Commit(Transaction* txn) {
     std::lock_guard<std::mutex> commit_guard(commit_mutex_);
 
     // 1. First-committer-wins: a newer committed write to any slot in our
-    //    write set means our update was based on a stale version.
+    //    write set means our update was based on a stale version. A slot
+    //    locked by a prepared distributed transaction is busy — its
+    //    outcome is undecided, so neither conflict-abort nor proceed is
+    //    sound; the caller retries once the intent resolves.
     for (const Transaction::LocalWrite& write : txn->writes()) {
+      mvcc::IntentInfo intent;
+      if (intents_.Lookup(write.column, write.row, &intent)) {
+        registry_.End(txn->registry_serial());
+        aborts_ww_.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceBusy(
+            "slot is locked by a prepared cross-shard transaction");
+      }
       if (write.column->LastWriteTs(write.row, txn->start_ts()) >
           txn->start_ts()) {
         registry_.End(txn->registry_serial());
@@ -175,6 +185,254 @@ void TransactionManager::ReplayCommitted(
   }
   visible_ts_.store(commit_ts, std::memory_order_release);
   commit_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::vector<storage::Column*> SortedUniqueColumns(
+    const std::vector<mvcc::IntentWrite>& writes) {
+  std::vector<storage::Column*> columns;
+  columns.reserve(writes.size());
+  for (const mvcc::IntentWrite& write : writes) {
+    columns.push_back(write.column);
+  }
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+  return columns;
+}
+
+}  // namespace
+
+Status TransactionManager::PrepareDistributed(
+    uint64_t gtid, uint32_t primary_shard,
+    const std::vector<Transaction::LocalWrite>& writes,
+    mvcc::Timestamp* prepare_ts, uint64_t* durable_lsn) {
+  *durable_lsn = 0;
+  if (writes.empty()) {
+    return Status::InvalidArgument("empty distributed write set");
+  }
+  if (prepare_sink_ && writes.size() > max_durable_writes_) {
+    return Status::InvalidArgument(
+        "write set exceeds the WAL record size limit");
+  }
+  {
+    std::lock_guard<std::mutex> commit_guard(commit_mutex_);
+    mvcc::PreparedTxn txn;
+    txn.gtid = gtid;
+    txn.primary_shard = primary_shard;
+    // The router's EXEC_TXN writes are blind (no reads travel with the
+    // prepare), so the snapshot stamp is the current watermark and the
+    // first-committer-wins check against it is vacuous by construction:
+    // nothing can have committed after a timestamp drawn under the same
+    // mutex that serializes commits.
+    txn.start_ts = visible_ts_.load(std::memory_order_acquire);
+    txn.writes.reserve(writes.size());
+    for (const Transaction::LocalWrite& write : writes) {
+      txn.writes.push_back(
+          mvcc::IntentWrite{write.column, write.row, write.new_raw});
+    }
+    txn.prepare_ts = oracle_.Next();
+    *prepare_ts = txn.prepare_ts;
+    const mvcc::PreparedTxn logged = txn;  // Place() consumes the struct.
+    ANKER_RETURN_IF_ERROR(intents_.Place(std::move(txn)));
+    if (prepare_sink_) *durable_lsn = prepare_sink_(logged);
+  }
+  // The prepare acknowledgement is a durability promise — the router
+  // commits on the strength of it — so it waits for the fsync like a
+  // commit acknowledgement does.
+  if (*durable_lsn != 0 && durability_wait_) {
+    ANKER_RETURN_IF_ERROR(durability_wait_(*durable_lsn));
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::CommitPrepared(uint64_t gtid,
+                                          mvcc::Timestamp commit_ts,
+                                          uint64_t* durable_lsn) {
+  *durable_lsn = 0;
+  if (commit_ts == 0) {
+    return Status::InvalidArgument("commit timestamp must be positive");
+  }
+  {
+    std::lock_guard<std::mutex> commit_guard(commit_mutex_);
+    mvcc::Timestamp decided_ts = 0;
+    switch (intents_.OutcomeOf(gtid, &decided_ts)) {
+      case mvcc::TxnOutcome::kCommitted:
+        return Status::OK();  // Duplicate COMMIT_PREPARED: already done.
+      case mvcc::TxnOutcome::kAborted:
+        return Status::Aborted("prepared transaction was aborted");
+      case mvcc::TxnOutcome::kPending:
+        break;
+    }
+    mvcc::PreparedTxn txn;
+    if (!intents_.Remove(gtid, &txn)) {
+      return Status::NotFound("unknown prepared transaction");
+    }
+
+    const std::vector<storage::Column*> columns =
+        SortedUniqueColumns(txn.writes);
+    for (storage::Column* column : columns) column->latch().LockShared();
+
+    // Materialize at a locally drawn apply_ts >= the router's commit_ts,
+    // NOT at commit_ts itself: the local oracle may already be past it,
+    // and checkpoint/replay consistency ("skip iff apply_ts <= ckpt_ts")
+    // only holds for timestamps issued by this shard's own monotonic
+    // sequence. The global commit_ts travels as metadata in the WAL
+    // record; atomicity across shards is the intents' job, not the
+    // clocks'.
+    oracle_.AdvanceTo(commit_ts - 1);
+    const mvcc::Timestamp apply_ts = oracle_.Next();
+    std::vector<WriteRecord> records;
+    records.reserve(txn.writes.size());
+    for (const mvcc::IntentWrite& write : txn.writes) {
+      const uint64_t old_raw = write.column->ReadLatestRaw(write.row);
+      write.column->ApplyCommittedWrite(write.row, write.new_raw, apply_ts);
+      records.push_back(
+          WriteRecord{write.column, write.row, old_raw, write.new_raw});
+    }
+    for (auto it = columns.rbegin(); it != columns.rend(); ++it) {
+      (*it)->latch().UnlockShared();
+    }
+    visible_ts_.store(apply_ts, std::memory_order_release);
+
+    if (commit_prepared_sink_) {
+      *durable_lsn =
+          commit_prepared_sink_(gtid, commit_ts, apply_ts, txn.writes);
+    }
+    if (isolation() == IsolationLevel::kSerializable) {
+      recent_.Record(apply_ts, std::move(records));
+      recent_.TrimOlderThan(registry_.MinStartTs(apply_ts));
+    }
+    intents_.RecordOutcome(gtid, mvcc::TxnOutcome::kCommitted, commit_ts);
+    const uint64_t commits =
+        commit_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (commit_hook_) commit_hook_(commits);
+  }
+  if (*durable_lsn != 0 && durability_wait_) {
+    ANKER_RETURN_IF_ERROR(durability_wait_(*durable_lsn));
+  }
+  return Status::OK();
+}
+
+uint64_t TransactionManager::AbortPreparedLocked(uint64_t gtid) {
+  mvcc::PreparedTxn txn;
+  intents_.Remove(gtid, &txn);  // May be absent (unknown gtid): fine.
+  const mvcc::Timestamp abort_ts = oracle_.Next();
+  uint64_t lsn = 0;
+  if (abort_prepared_sink_) lsn = abort_prepared_sink_(gtid, abort_ts);
+  intents_.RecordOutcome(gtid, mvcc::TxnOutcome::kAborted, 0);
+  return lsn;
+}
+
+Status TransactionManager::AbortPrepared(uint64_t gtid,
+                                         uint64_t* durable_lsn) {
+  *durable_lsn = 0;
+  {
+    std::lock_guard<std::mutex> commit_guard(commit_mutex_);
+    switch (intents_.OutcomeOf(gtid, nullptr)) {
+      case mvcc::TxnOutcome::kCommitted:
+        // Never undo applied data: a commit decision is final.
+        return Status::InvalidArgument(
+            "prepared transaction already committed");
+      case mvcc::TxnOutcome::kAborted:
+        return Status::OK();  // Duplicate abort.
+      case mvcc::TxnOutcome::kPending:
+        break;
+    }
+    // Unknown gtids get a durable aborted tombstone too: the router died
+    // before this shard's prepare landed, and the tombstone fences any
+    // zombie PREPARE_TXN still in flight.
+    *durable_lsn = AbortPreparedLocked(gtid);
+  }
+  if (*durable_lsn != 0 && durability_wait_) {
+    ANKER_RETURN_IF_ERROR(durability_wait_(*durable_lsn));
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::ResolveOutcome(uint64_t gtid, bool abort_pending,
+                                          mvcc::TxnOutcome* outcome,
+                                          mvcc::Timestamp* commit_ts) {
+  uint64_t abort_lsn = 0;
+  {
+    std::lock_guard<std::mutex> commit_guard(commit_mutex_);
+    *commit_ts = 0;
+    const mvcc::TxnOutcome decided = intents_.OutcomeOf(gtid, commit_ts);
+    if (decided != mvcc::TxnOutcome::kPending) {
+      *outcome = decided;
+      return Status::OK();
+    }
+    mvcc::PreparedTxn txn;
+    if (intents_.Get(gtid, &txn)) {
+      if (!abort_pending) {
+        *outcome = mvcc::TxnOutcome::kPending;  // Coordinator may be alive.
+        return Status::OK();
+      }
+      // Escalation: the caller waited long enough to declare the
+      // coordinator dead. Abort durably — the commit point is this
+      // shard's ledger, so once the tombstone lands no COMMIT_PREPARED
+      // can succeed.
+      abort_lsn = AbortPreparedLocked(gtid);
+      *outcome = mvcc::TxnOutcome::kAborted;
+    } else {
+      // Never prepared here (or the ledger already evicted a decided
+      // entry — kMaxOutcomes is sized so no live resolution hits that).
+      // The prepare cannot commit anymore once the tombstone is durable.
+      abort_lsn = AbortPreparedLocked(gtid);
+      *outcome = mvcc::TxnOutcome::kAborted;
+    }
+  }
+  if (abort_lsn != 0 && durability_wait_) {
+    ANKER_RETURN_IF_ERROR(durability_wait_(abort_lsn));
+  }
+  return Status::OK();
+}
+
+void TransactionManager::ReplayPrepare(mvcc::PreparedTxn txn) {
+  std::lock_guard<std::mutex> commit_guard(commit_mutex_);
+  oracle_.AdvanceTo(txn.prepare_ts);
+  if (intents_.OutcomeOf(txn.gtid, nullptr) != mvcc::TxnOutcome::kPending) {
+    return;  // Decided later in the log (or in the manifest ledger).
+  }
+  const Status placed = intents_.Place(std::move(txn));
+  (void)placed;  // Idempotent re-stage; conflicts cannot arise on replay.
+}
+
+void TransactionManager::ReplayCommitPrepared(
+    uint64_t gtid, mvcc::Timestamp commit_ts, mvcc::Timestamp apply_ts,
+    const std::vector<Transaction::LocalWrite>& writes, bool apply_writes) {
+  std::lock_guard<std::mutex> commit_guard(commit_mutex_);
+  mvcc::PreparedTxn txn;
+  intents_.Remove(gtid, &txn);  // Clear the staged twin if present.
+  intents_.RecordOutcome(gtid, mvcc::TxnOutcome::kCommitted, commit_ts);
+  if (!apply_writes) return;  // Checkpoint image already contains them.
+
+  std::vector<storage::Column*> columns;
+  columns.reserve(writes.size());
+  for (const Transaction::LocalWrite& write : writes) {
+    columns.push_back(write.column);
+  }
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+  for (storage::Column* column : columns) column->latch().LockShared();
+  oracle_.AdvanceTo(apply_ts);
+  for (const Transaction::LocalWrite& write : writes) {
+    write.column->ApplyCommittedWrite(write.row, write.new_raw, apply_ts);
+  }
+  for (auto it = columns.rbegin(); it != columns.rend(); ++it) {
+    (*it)->latch().UnlockShared();
+  }
+  visible_ts_.store(apply_ts, std::memory_order_release);
+  commit_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TransactionManager::ReplayAbortPrepared(uint64_t gtid,
+                                             mvcc::Timestamp abort_ts) {
+  std::lock_guard<std::mutex> commit_guard(commit_mutex_);
+  oracle_.AdvanceTo(abort_ts);
+  mvcc::PreparedTxn txn;
+  intents_.Remove(gtid, &txn);
+  intents_.RecordOutcome(gtid, mvcc::TxnOutcome::kAborted, 0);
 }
 
 void TransactionManager::RestoreDurableState(uint64_t commit_count,

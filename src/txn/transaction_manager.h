@@ -9,6 +9,7 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "mvcc/active_txn_registry.h"
+#include "mvcc/intent_table.h"
 #include "mvcc/timestamp_oracle.h"
 #include "txn/recent_committers.h"
 #include "txn/transaction.h"
@@ -108,6 +109,74 @@ class TransactionManager {
   void ReplayCommitted(const std::vector<Transaction::LocalWrite>& writes,
                        mvcc::Timestamp commit_ts);
 
+  // --- Cross-shard two-phase commit (docs/SERVER.md "2PC surface") ------
+  //
+  // The router coordinates: PREPARE_TXN stages a write set as intents,
+  // COMMIT_PREPARED materializes it, ABORT_PREPARED discards it, and
+  // RESOLVE_INTENT asks the primary shard what happened. Writes are
+  // applied at a LOCALLY drawn apply_ts >= the router's global commit_ts
+  // (HLC metadata): every checkpoint/replay/GC invariant is then
+  // identical to a normal commit's, and cross-shard atomicity comes from
+  // the intents gating readers, not from equal timestamps.
+
+  /// Durability sinks for the three 2PC record types, engine-installed
+  /// alongside the commit sink (same in-critical-section contract).
+  using PrepareSink = std::function<uint64_t(const mvcc::PreparedTxn& txn)>;
+  using CommitPreparedSink = std::function<uint64_t(
+      uint64_t gtid, mvcc::Timestamp commit_ts, mvcc::Timestamp apply_ts,
+      const std::vector<mvcc::IntentWrite>& writes)>;
+  using AbortPreparedSink =
+      std::function<uint64_t(uint64_t gtid, mvcc::Timestamp abort_ts)>;
+  void SetDistributedHooks(PrepareSink prepare, CommitPreparedSink commit,
+                           AbortPreparedSink abort) {
+    prepare_sink_ = std::move(prepare);
+    commit_prepared_sink_ = std::move(commit);
+    abort_prepared_sink_ = std::move(abort);
+  }
+
+  /// Phase one: stages `writes` as intents under this shard's commit
+  /// mutex, draws a local prepare timestamp, and logs a kPrepare record.
+  /// kResourceBusy on an intent conflict, kAborted if the gtid was
+  /// already resolved as aborted (zombie fencing). On OK the staged rows
+  /// are locked until the outcome arrives.
+  Status PrepareDistributed(uint64_t gtid, uint32_t primary_shard,
+                            const std::vector<Transaction::LocalWrite>& writes,
+                            mvcc::Timestamp* prepare_ts,
+                            uint64_t* durable_lsn);
+
+  /// Phase two, commit: materializes the staged writes at a fresh local
+  /// apply_ts >= commit_ts and records the outcome. Idempotent — a
+  /// duplicate returns OK with *durable_lsn = 0. kAborted if the
+  /// transaction was resolved as aborted, kNotFound for an unknown gtid.
+  Status CommitPrepared(uint64_t gtid, mvcc::Timestamp commit_ts,
+                        uint64_t* durable_lsn);
+
+  /// Phase two, abort: discards the staged writes. Aborting an unknown
+  /// gtid records a durable aborted tombstone (fences zombie prepares);
+  /// aborting a committed gtid is kInvalidArgument; duplicates are OK.
+  Status AbortPrepared(uint64_t gtid, uint64_t* durable_lsn);
+
+  /// Outcome query serving RESOLVE_INTENT at the primary. For a pending
+  /// transaction, `abort_pending` escalates: the caller (a reader whose
+  /// router died) aborts it durably rather than waiting forever. An
+  /// unknown gtid resolves as aborted (and leaves a durable tombstone) —
+  /// its prepare never reached this shard, so it cannot have committed.
+  Status ResolveOutcome(uint64_t gtid, bool abort_pending,
+                        mvcc::TxnOutcome* outcome,
+                        mvcc::Timestamp* commit_ts);
+
+  /// Recovery twins (no logging, idempotent, ledger-aware).
+  void ReplayPrepare(mvcc::PreparedTxn txn);
+  void ReplayCommitPrepared(uint64_t gtid, mvcc::Timestamp commit_ts,
+                            mvcc::Timestamp apply_ts,
+                            const std::vector<Transaction::LocalWrite>& writes,
+                            bool apply_writes);
+  void ReplayAbortPrepared(uint64_t gtid, mvcc::Timestamp abort_ts);
+
+  /// Intent table (reader-side lookups, checkpoint snapshot/restore).
+  mvcc::IntentTable& intents() { return intents_; }
+  const mvcc::IntentTable& intents() const { return intents_; }
+
   /// Restores the counters a checkpoint manifest carries, so a recovered
   /// engine continues the pre-crash numbering (snapshot-epoch cadence,
   /// txn ids) instead of restarting from zero.
@@ -143,6 +212,16 @@ class TransactionManager {
   DurabilitySink durability_sink_;
   DurabilityWait durability_wait_;
   size_t max_durable_writes_ = SIZE_MAX;
+
+  mvcc::IntentTable intents_;
+  PrepareSink prepare_sink_;
+  CommitPreparedSink commit_prepared_sink_;
+  AbortPreparedSink abort_prepared_sink_;
+
+  /// Shared by AbortPrepared / ResolveOutcome / zombie fencing: discards
+  /// pending intents (if any), logs kAbortPrepared, records the aborted
+  /// outcome. Caller holds commit_mutex_.
+  uint64_t AbortPreparedLocked(uint64_t gtid);
 
   std::atomic<uint64_t> next_txn_id_{1};
   std::atomic<uint64_t> commit_count_{0};

@@ -70,6 +70,28 @@ void EncodeManifest(const CheckpointManifest& m, std::string* out) {
     PutU8(out, t.has_primary_index ? 1 : 0);
     PutU64(out, t.index_entries);
   }
+  // 2PC section (always written by this version; older manifests simply
+  // end here and decode with empty vectors).
+  PutU32(out, static_cast<uint32_t>(m.prepared.size()));
+  for (const CheckpointPreparedTxn& p : m.prepared) {
+    PutU64(out, p.gtid);
+    PutU32(out, p.primary_shard);
+    PutU64(out, p.start_ts);
+    PutU64(out, p.prepare_ts);
+    PutU32(out, static_cast<uint32_t>(p.writes.size()));
+    for (const RedoWrite& w : p.writes) {
+      PutU32(out, w.table_id);
+      PutU32(out, w.column_id);
+      PutU64(out, w.row);
+      PutU64(out, w.value);
+    }
+  }
+  PutU32(out, static_cast<uint32_t>(m.outcomes.size()));
+  for (const CheckpointTxnOutcome& o : m.outcomes) {
+    PutU64(out, o.gtid);
+    PutU8(out, o.outcome);
+    PutU64(out, o.commit_ts);
+  }
 }
 
 Status DecodeManifest(std::string_view in, CheckpointManifest* m) {
@@ -122,6 +144,42 @@ Status DecodeManifest(std::string_view in, CheckpointManifest* m) {
     }
     t.has_primary_index = has_index != 0;
     m->tables.push_back(std::move(t));
+  }
+  m->prepared.clear();
+  m->outcomes.clear();
+  if (in.empty()) return Status::OK();  // Pre-2PC manifest: no section.
+  uint32_t nprepared = 0;
+  if (!GetU32(&in, &nprepared)) return malformed;
+  m->prepared.reserve(nprepared);
+  for (uint32_t i = 0; i < nprepared; ++i) {
+    CheckpointPreparedTxn p;
+    uint32_t nwrites = 0;
+    if (!GetU64(&in, &p.gtid) || !GetU32(&in, &p.primary_shard) ||
+        !GetU64(&in, &p.start_ts) || !GetU64(&in, &p.prepare_ts) ||
+        !GetU32(&in, &nwrites)) {
+      return malformed;
+    }
+    p.writes.reserve(nwrites);
+    for (uint32_t w = 0; w < nwrites; ++w) {
+      RedoWrite write;
+      if (!GetU32(&in, &write.table_id) || !GetU32(&in, &write.column_id) ||
+          !GetU64(&in, &write.row) || !GetU64(&in, &write.value)) {
+        return malformed;
+      }
+      p.writes.push_back(write);
+    }
+    m->prepared.push_back(std::move(p));
+  }
+  uint32_t noutcomes = 0;
+  if (!GetU32(&in, &noutcomes)) return malformed;
+  m->outcomes.reserve(noutcomes);
+  for (uint32_t i = 0; i < noutcomes; ++i) {
+    CheckpointTxnOutcome o;
+    if (!GetU64(&in, &o.gtid) || !GetU8(&in, &o.outcome) ||
+        !GetU64(&in, &o.commit_ts)) {
+      return malformed;
+    }
+    m->outcomes.push_back(o);
   }
   if (!in.empty()) return malformed;
   return Status::OK();

@@ -9,10 +9,12 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "mvcc/intent_table.h"
 #include "mvcc/timestamp_oracle.h"
 #include "storage/column.h"
 #include "storage/hash_index.h"
 #include "storage/table.h"
+#include "wal/wal_format.h"
 
 namespace anker::wal {
 
@@ -28,6 +30,26 @@ struct CheckpointTableMeta {
   std::vector<std::pair<std::string, std::vector<std::string>>> dictionaries;
   bool has_primary_index = false;
   uint64_t index_entries = 0;
+};
+
+/// A prepared-but-undecided cross-shard transaction captured by a
+/// checkpoint: column data never holds intents (they are invisible by
+/// construction), so the manifest must carry them or a restart would
+/// silently drop the locks — and with them atomicity.
+struct CheckpointPreparedTxn {
+  uint64_t gtid = 0;
+  uint32_t primary_shard = 0;
+  mvcc::Timestamp start_ts = 0;
+  mvcc::Timestamp prepare_ts = 0;
+  std::vector<RedoWrite> writes;
+};
+
+/// One decided entry of the intent table's outcome ledger (FIFO order is
+/// preserved so a restore rebuilds the same eviction sequence).
+struct CheckpointTxnOutcome {
+  uint64_t gtid = 0;
+  uint8_t outcome = 0;  ///< mvcc::TxnOutcome.
+  mvcc::Timestamp commit_ts = 0;
 };
 
 /// Manifest of one checkpoint. `checkpoint_ts` is the snapshot timestamp
@@ -47,6 +69,10 @@ struct CheckpointManifest {
   /// truncated away.
   uint64_t wal_lsn = 0;
   std::vector<CheckpointTableMeta> tables;
+  /// 2PC state (appended after the tables section; absent in pre-2PC
+  /// manifests, which decode with both vectors empty).
+  std::vector<CheckpointPreparedTxn> prepared;
+  std::vector<CheckpointTxnOutcome> outcomes;
 };
 
 /// Streams one checkpoint into `<data_dir>/ckpt-<ts>.tmp/`, then publishes

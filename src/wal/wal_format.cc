@@ -103,6 +103,72 @@ void EncodeCreateTable(uint32_t table_id, const std::string& name,
   }
 }
 
+namespace {
+
+void PutRedoWrites(const std::vector<RedoWrite>& writes, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(writes.size()));
+  for (const RedoWrite& w : writes) {
+    PutU32(out, w.table_id);
+    PutU32(out, w.column_id);
+    PutU64(out, w.row);
+    PutU64(out, w.value);
+  }
+}
+
+/// Decodes a count-prefixed redo write-set that must consume the REST of
+/// the payload exactly (every record type stores its write-set last).
+bool GetRedoWritesDrained(std::string_view* payload,
+                          std::vector<RedoWrite>* writes) {
+  uint32_t n = 0;
+  if (!GetU32(payload, &n)) return false;
+  // The count must be consistent with the bytes that actually follow
+  // (24 per write) before it sizes an allocation — a corrupt count
+  // that slips past the CRC must fail as IoError, not as bad_alloc.
+  if (static_cast<size_t>(n) * 24 != payload->size()) return false;
+  writes->clear();
+  writes->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    RedoWrite w;
+    if (!GetU32(payload, &w.table_id) || !GetU32(payload, &w.column_id) ||
+        !GetU64(payload, &w.row) || !GetU64(payload, &w.value)) {
+      return false;
+    }
+    writes->push_back(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodePrepare(uint64_t gtid, uint32_t primary_shard,
+                   mvcc::Timestamp start_ts, mvcc::Timestamp prepare_ts,
+                   const std::vector<RedoWrite>& writes, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(RecordType::kPrepare));
+  PutU64(out, gtid);
+  PutU32(out, primary_shard);
+  PutU64(out, start_ts);
+  PutU64(out, prepare_ts);
+  PutRedoWrites(writes, out);
+}
+
+void EncodeCommitPrepared(uint64_t gtid, mvcc::Timestamp commit_ts,
+                          mvcc::Timestamp apply_ts,
+                          const std::vector<RedoWrite>& writes,
+                          std::string* out) {
+  PutU8(out, static_cast<uint8_t>(RecordType::kCommitPrepared));
+  PutU64(out, gtid);
+  PutU64(out, commit_ts);
+  PutU64(out, apply_ts);
+  PutRedoWrites(writes, out);
+}
+
+void EncodeAbortPrepared(uint64_t gtid, mvcc::Timestamp abort_ts,
+                         std::string* out) {
+  PutU8(out, static_cast<uint8_t>(RecordType::kAbortPrepared));
+  PutU64(out, gtid);
+  PutU64(out, abort_ts);
+}
+
 Status DecodeRecord(std::string_view payload, WalRecord* record) {
   const Status malformed = Status::IoError("malformed WAL record payload");
   uint8_t type = 0;
@@ -110,23 +176,36 @@ Status DecodeRecord(std::string_view payload, WalRecord* record) {
   switch (static_cast<RecordType>(type)) {
     case RecordType::kCommit: {
       record->type = RecordType::kCommit;
-      uint32_t n = 0;
       if (!GetU64(&payload, &record->commit_ts)) return malformed;
-      if (!GetU32(&payload, &n)) return malformed;
-      // The count must be consistent with the bytes that actually follow
-      // (24 per write) before it sizes an allocation — a corrupt count
-      // that slips past the CRC must fail as IoError, not as bad_alloc.
-      if (static_cast<size_t>(n) * 24 != payload.size()) return malformed;
-      record->writes.clear();
-      record->writes.reserve(n);
-      for (uint32_t i = 0; i < n; ++i) {
-        RedoWrite w;
-        if (!GetU32(&payload, &w.table_id) ||
-            !GetU32(&payload, &w.column_id) || !GetU64(&payload, &w.row) ||
-            !GetU64(&payload, &w.value)) {
-          return malformed;
-        }
-        record->writes.push_back(w);
+      if (!GetRedoWritesDrained(&payload, &record->writes)) return malformed;
+      break;
+    }
+    case RecordType::kPrepare: {
+      record->type = RecordType::kPrepare;
+      if (!GetU64(&payload, &record->gtid) ||
+          !GetU32(&payload, &record->primary_shard) ||
+          !GetU64(&payload, &record->start_ts) ||
+          !GetU64(&payload, &record->prepare_ts)) {
+        return malformed;
+      }
+      if (!GetRedoWritesDrained(&payload, &record->writes)) return malformed;
+      break;
+    }
+    case RecordType::kCommitPrepared: {
+      record->type = RecordType::kCommitPrepared;
+      if (!GetU64(&payload, &record->gtid) ||
+          !GetU64(&payload, &record->commit_ts) ||
+          !GetU64(&payload, &record->apply_ts)) {
+        return malformed;
+      }
+      if (!GetRedoWritesDrained(&payload, &record->writes)) return malformed;
+      break;
+    }
+    case RecordType::kAbortPrepared: {
+      record->type = RecordType::kAbortPrepared;
+      if (!GetU64(&payload, &record->gtid) ||
+          !GetU64(&payload, &record->apply_ts)) {
+        return malformed;
       }
       break;
     }

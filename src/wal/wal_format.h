@@ -52,21 +52,41 @@ struct RedoWrite {
 enum class RecordType : uint8_t {
   kCommit = 1,       ///< Redo write-set of one committed transaction.
   kCreateTable = 2,  ///< Schema of a table created after the last checkpoint.
+  /// Phase one of a cross-shard transaction: the write-set is staged as
+  /// intents (locked, invisible) and must survive a crash so the router
+  /// — or a later reader via RESOLVE_INTENT — can finish the job.
+  kPrepare = 3,
+  /// Phase two: the prepared write-set became visible. Carries the full
+  /// redo write-set again so replay never depends on the matching
+  /// kPrepare still being in the log (checkpoints prune aggressively).
+  kCommitPrepared = 4,
+  /// Phase two, abort flavor: the prepared intents were discarded.
+  kAbortPrepared = 5,
 };
 
 /// Decoded WAL record (tagged by `type`; only the matching member is set).
 struct WalRecord {
   RecordType type = RecordType::kCommit;
 
-  // kCommit
+  // kCommit (and kCommitPrepared: the global commit timestamp)
   mvcc::Timestamp commit_ts = 0;
-  std::vector<RedoWrite> writes;
+  std::vector<RedoWrite> writes;  ///< kCommit, kPrepare, kCommitPrepared.
 
   // kCreateTable
   uint32_t table_id = 0;
   std::string table_name;
   uint64_t num_rows = 0;
   std::vector<storage::ColumnDef> schema;
+
+  // kPrepare / kCommitPrepared / kAbortPrepared
+  uint64_t gtid = 0;           ///< Router-issued global transaction id.
+  uint32_t primary_shard = 0;  ///< kPrepare: where the outcome is decided.
+  mvcc::Timestamp start_ts = 0;    ///< kPrepare: local snapshot stamp.
+  mvcc::Timestamp prepare_ts = 0;  ///< kPrepare: local prepare stamp.
+  /// kCommitPrepared: the shard-local timestamp the writes materialized
+  /// at (>= commit_ts). Replay skips on apply_ts like a normal commit.
+  /// kAbortPrepared reuses this field for the local abort stamp.
+  mvcc::Timestamp apply_ts = 0;
 };
 
 // --- Little-endian encode/decode primitives -------------------------------
@@ -95,6 +115,21 @@ void EncodeCreateTable(uint32_t table_id, const std::string& name,
                        uint64_t num_rows,
                        const std::vector<storage::ColumnDef>& schema,
                        std::string* out);
+
+/// Appends the payload of a kPrepare record to `out`.
+void EncodePrepare(uint64_t gtid, uint32_t primary_shard,
+                   mvcc::Timestamp start_ts, mvcc::Timestamp prepare_ts,
+                   const std::vector<RedoWrite>& writes, std::string* out);
+
+/// Appends the payload of a kCommitPrepared record to `out`.
+void EncodeCommitPrepared(uint64_t gtid, mvcc::Timestamp commit_ts,
+                          mvcc::Timestamp apply_ts,
+                          const std::vector<RedoWrite>& writes,
+                          std::string* out);
+
+/// Appends the payload of a kAbortPrepared record to `out`.
+void EncodeAbortPrepared(uint64_t gtid, mvcc::Timestamp abort_ts,
+                         std::string* out);
 
 /// Decodes a record payload. Returns IoError on malformed input (recovery
 /// treats a decode failure like a checksum failure: the log is not

@@ -1,0 +1,248 @@
+// Protocol v5 (cross-shard 2PC) codec hardening, in the same spirit as
+// repl_protocol_test.cc: every decoder round-trips its encoder, every
+// truncation of a valid body is rejected cleanly, and the hostile-field
+// validations (empty or oversize write sets, zero commit stamps,
+// unknown outcome codes) fire with recoverable InvalidArgument. These
+// four opcodes carry the atomic-commit protocol between router and
+// shards — a decoder that aborts here lets one bad coordinator take
+// down a shard mid-2PC.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/protocol.h"
+
+namespace anker::server {
+namespace {
+
+/// Every truncation of a valid body must fail cleanly (the frame layer
+/// guarantees length integrity, so a short body is always hostile).
+template <typename DecodeFn>
+void AllTruncationsRejected(std::string_view body, DecodeFn decode) {
+  for (size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(decode(body.substr(0, len)).ok())
+        << "truncation to " << len << " of " << body.size() << " accepted";
+  }
+}
+
+std::vector<PointWrite> SampleWrites() {
+  std::vector<PointWrite> writes;
+  for (uint64_t i = 0; i < 3; ++i) {
+    PointWrite write;
+    write.table = "accounts";
+    write.column = "balance";
+    write.key = 100 + i;
+    write.raw = 0xfeedface00ULL + i;
+    write.by_key = (i % 2) == 0;
+    writes.push_back(std::move(write));
+  }
+  return writes;
+}
+
+TEST(TwopcProtocolTest, PrepareTxnRoundTrip) {
+  PrepareTxnMsg msg;
+  msg.gtid = 0xabcdef0123456789ULL;
+  msg.primary_shard = 3;
+  msg.writes = SampleWrites();
+  std::string payload;
+  EncodePrepareTxn(msg, &payload);
+  ASSERT_EQ(static_cast<Op>(payload[0]), Op::kPrepareTxn);
+
+  PrepareTxnMsg out;
+  ASSERT_TRUE(
+      DecodePrepareTxn(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.gtid, msg.gtid);
+  EXPECT_EQ(out.primary_shard, 3u);
+  ASSERT_EQ(out.writes.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.writes[i].table, msg.writes[i].table);
+    EXPECT_EQ(out.writes[i].column, msg.writes[i].column);
+    EXPECT_EQ(out.writes[i].key, msg.writes[i].key);
+    EXPECT_EQ(out.writes[i].raw, msg.writes[i].raw);
+    EXPECT_EQ(out.writes[i].by_key, msg.writes[i].by_key);
+  }
+
+  AllTruncationsRejected(std::string_view(payload).substr(1),
+                         [](std::string_view in) {
+                           PrepareTxnMsg m;
+                           return DecodePrepareTxn(in, &m);
+                         });
+}
+
+TEST(TwopcProtocolTest, PrepareTxnRejectsHostileWriteCounts) {
+  // An empty prepare is meaningless (the engine refuses it too) and a
+  // lying count larger than the batch cap must die at the decoder.
+  PrepareTxnMsg empty;
+  empty.gtid = 1;
+  std::string payload;
+  EncodePrepareTxn(empty, &payload);
+  PrepareTxnMsg out;
+  const Status refused =
+      DecodePrepareTxn(std::string_view(payload).substr(1), &out);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TwopcProtocolTest, PreparedOkRoundTrip) {
+  PreparedOkMsg msg;
+  msg.prepare_ts = 777;
+  msg.lsn = 424242;
+  std::string payload;
+  EncodePreparedOk(msg, &payload);
+  ASSERT_EQ(static_cast<Op>(payload[0]), Op::kPreparedOk);
+
+  PreparedOkMsg out;
+  ASSERT_TRUE(
+      DecodePreparedOk(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.prepare_ts, 777u);
+  EXPECT_EQ(out.lsn, 424242u);
+
+  AllTruncationsRejected(std::string_view(payload).substr(1),
+                         [](std::string_view in) {
+                           PreparedOkMsg m;
+                           return DecodePreparedOk(in, &m);
+                         });
+}
+
+TEST(TwopcProtocolTest, CommitPreparedRoundTripAndRejectsZeroStamp) {
+  CommitPreparedMsg msg;
+  msg.gtid = 99;
+  msg.commit_ts = 1234;
+  std::string payload;
+  EncodeCommitPrepared(msg, &payload);
+  ASSERT_EQ(static_cast<Op>(payload[0]), Op::kCommitPrepared);
+
+  CommitPreparedMsg out;
+  ASSERT_TRUE(
+      DecodeCommitPrepared(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.gtid, 99u);
+  EXPECT_EQ(out.commit_ts, 1234u);
+
+  AllTruncationsRejected(std::string_view(payload).substr(1),
+                         [](std::string_view in) {
+                           CommitPreparedMsg m;
+                           return DecodeCommitPrepared(in, &m);
+                         });
+
+  // commit_ts 0 can never be a real HLC stamp; a zero here means a
+  // corrupted or hand-rolled coordinator and must not reach the engine.
+  msg.commit_ts = 0;
+  payload.clear();
+  EncodeCommitPrepared(msg, &payload);
+  const Status refused =
+      DecodeCommitPrepared(std::string_view(payload).substr(1), &out);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TwopcProtocolTest, AbortPreparedRoundTrip) {
+  AbortPreparedMsg msg;
+  msg.gtid = 0x1122334455667788ULL;
+  std::string payload;
+  EncodeAbortPrepared(msg, &payload);
+  ASSERT_EQ(static_cast<Op>(payload[0]), Op::kAbortPrepared);
+
+  AbortPreparedMsg out;
+  ASSERT_TRUE(
+      DecodeAbortPrepared(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.gtid, msg.gtid);
+
+  AllTruncationsRejected(std::string_view(payload).substr(1),
+                         [](std::string_view in) {
+                           AbortPreparedMsg m;
+                           return DecodeAbortPrepared(in, &m);
+                         });
+}
+
+TEST(TwopcProtocolTest, ResolveIntentRoundTrip) {
+  ResolveIntentMsg msg;
+  msg.gtid = 31337;
+  msg.abort_pending = true;
+  std::string payload;
+  EncodeResolveIntent(msg, &payload);
+  ASSERT_EQ(static_cast<Op>(payload[0]), Op::kResolveIntent);
+
+  ResolveIntentMsg out;
+  ASSERT_TRUE(
+      DecodeResolveIntent(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.gtid, 31337u);
+  EXPECT_TRUE(out.abort_pending);
+
+  AllTruncationsRejected(std::string_view(payload).substr(1),
+                         [](std::string_view in) {
+                           ResolveIntentMsg m;
+                           return DecodeResolveIntent(in, &m);
+                         });
+}
+
+TEST(TwopcProtocolTest, ResolvedOkRoundTripAndRejectsUnknownOutcome) {
+  for (uint8_t outcome = 0; outcome <= 2; ++outcome) {
+    ResolvedOkMsg msg;
+    msg.outcome = outcome;
+    msg.commit_ts = outcome == 1 ? 555 : 0;
+    std::string payload;
+    EncodeResolvedOk(msg, &payload);
+    ASSERT_EQ(static_cast<Op>(payload[0]), Op::kResolvedOk);
+
+    ResolvedOkMsg out;
+    ASSERT_TRUE(
+        DecodeResolvedOk(std::string_view(payload).substr(1), &out).ok());
+    EXPECT_EQ(out.outcome, outcome);
+    EXPECT_EQ(out.commit_ts, msg.commit_ts);
+
+    AllTruncationsRejected(std::string_view(payload).substr(1),
+                           [](std::string_view in) {
+                             ResolvedOkMsg m;
+                             return DecodeResolvedOk(in, &m);
+                           });
+  }
+
+  // Outcome codes above kAborted are a future-protocol leak or
+  // corruption; the decoder refuses rather than letting the router
+  // misapply an intent.
+  ResolvedOkMsg msg;
+  msg.outcome = 3;
+  std::string payload;
+  EncodeResolvedOk(msg, &payload);
+  ResolvedOkMsg out;
+  const Status refused =
+      DecodeResolvedOk(std::string_view(payload).substr(1), &out);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TwopcProtocolTest, IntentPendingRoundTrip) {
+  IntentPendingMsg msg;
+  msg.gtid = 808;
+  msg.primary_shard = 2;
+  std::string payload;
+  EncodeIntentPending(msg, &payload);
+  ASSERT_EQ(static_cast<Op>(payload[0]), Op::kIntentPending);
+
+  IntentPendingMsg out;
+  ASSERT_TRUE(
+      DecodeIntentPending(std::string_view(payload).substr(1), &out).ok());
+  EXPECT_EQ(out.gtid, 808u);
+  EXPECT_EQ(out.primary_shard, 2u);
+
+  AllTruncationsRejected(std::string_view(payload).substr(1),
+                         [](std::string_view in) {
+                           IntentPendingMsg m;
+                           return DecodeIntentPending(in, &m);
+                         });
+}
+
+TEST(TwopcProtocolTest, TwopcOpsAreRequestOps) {
+  EXPECT_TRUE(IsRequestOp(static_cast<uint8_t>(Op::kPrepareTxn)));
+  EXPECT_TRUE(IsRequestOp(static_cast<uint8_t>(Op::kCommitPrepared)));
+  EXPECT_TRUE(IsRequestOp(static_cast<uint8_t>(Op::kAbortPrepared)));
+  EXPECT_TRUE(IsRequestOp(static_cast<uint8_t>(Op::kResolveIntent)));
+  EXPECT_FALSE(IsRequestOp(static_cast<uint8_t>(Op::kPreparedOk)));
+  EXPECT_FALSE(IsRequestOp(static_cast<uint8_t>(Op::kResolvedOk)));
+  EXPECT_FALSE(IsRequestOp(static_cast<uint8_t>(Op::kIntentPending)));
+}
+
+}  // namespace
+}  // namespace anker::server

@@ -2,7 +2,8 @@
 // a live RouterServer, driven through the ordinary client library. The
 // routing contract under test: fan-out DDL reaches every shard,
 // single-shard transactions pass through (and count as pass-throughs),
-// cross-shard writes are refused recoverably, scatter-gather queries
+// cross-shard EXEC_TXN commits atomically via 2PC (and counts as a
+// twopc_txn, NOT a pass-through), scatter-gather queries
 // merge to exactly the union of the shard answers, and a down shard
 // degrades to BUSY for writes — or a partial answer when the router
 // runs with allow_partial.
@@ -201,11 +202,21 @@ TEST_F(RouterE2eTest, SingleShardTxnsPassThroughAndCrossShardIsRefused) {
   ASSERT_TRUE(on_shard.ok());
   EXPECT_EQ(on_shard.value(), storage::EncodeDouble(100.0));
 
-  // A batch spanning both shards: recoverable refusal, nothing written.
+  // A batch spanning both shards commits atomically via 2PC; both
+  // writes are visible on their owning shards afterwards.
   std::vector<server::PointWrite> spanning = batch;
   spanning[1].key = theirs;
+  spanning[0].raw = storage::EncodeDouble(200.0);
+  spanning[1].raw = storage::EncodeDouble(201.0);
   const Status cross = client_->ExecTxn(spanning);
-  EXPECT_EQ(cross.code(), StatusCode::kNotSupported) << cross.ToString();
+  ASSERT_TRUE(cross.ok()) << cross.ToString();
+  auto mine_after = client_->Read("part", "val", mine, /*by_key=*/true);
+  ASSERT_TRUE(mine_after.ok());
+  EXPECT_EQ(mine_after.value(), storage::EncodeDouble(200.0));
+  auto theirs_after = DirectClient(1)->Read("part", "val", theirs,
+                                            /*by_key=*/true);
+  ASSERT_TRUE(theirs_after.ok());
+  EXPECT_EQ(theirs_after.value(), storage::EncodeDouble(201.0));
 
   // Interactive transaction: BEGIN pins lazily, sees its own write,
   // COMMIT forwards to the pinned shard.
@@ -251,7 +262,10 @@ TEST_F(RouterE2eTest, SingleShardTxnsPassThroughAndCrossShardIsRefused) {
   auto status = client_->RouterStatus();
   ASSERT_TRUE(status.ok());
   // EXEC_TXN + the committed interactive txn (empty ones stay local).
+  // The cross-shard 2PC transaction counts under twopc_txns, not here:
+  // the pass-through counter moves exactly once per single-shard txn.
   EXPECT_EQ(status.value().passthrough_txns, 2u);
+  EXPECT_EQ(status.value().twopc_txns, 1u);
 }
 
 TEST_F(RouterE2eTest, ScatterGatherMatchesUnionOfShards) {

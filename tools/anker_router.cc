@@ -13,10 +13,13 @@
 //   shard 127.0.0.1:4808
 //   table lineitem partition l_orderkey
 //
-// Single-shard transactions pass through verbatim (1 RTT), DDL fans out
-// to every shard, queries scatter-gather with router-side merging.
+// Single-shard transactions pass through verbatim (1 RTT), cross-shard
+// EXEC_TXN runs intent-based 2PC (the router coordinates; the lowest
+// participating shard is the durable commit point), DDL fans out to
+// every shard, queries scatter-gather with router-side merging.
 // --allow_partial=1 lets queries answer from the reachable subset while
-// a shard is down (writes to a down shard always surface as BUSY).
+// a shard is down (writes to a down shard always surface as BUSY;
+// --busy_retries/--busy_backoff_ms shape the router's own retry loop).
 //
 // SIGTERM/SIGINT drains client sessions and exits; the shards it fronts
 // are separate processes and keep running.
@@ -59,6 +62,12 @@ int main(int argc, char** argv) {
 
   shard::RouterCoreConfig core_config;
   core_config.allow_partial = flags.Int("allow_partial", 0) != 0;
+  core_config.busy_retry_budget =
+      static_cast<int>(flags.Int("busy_retries", 4));
+  core_config.busy_backoff_initial_millis =
+      static_cast<int>(flags.Int("busy_backoff_ms", 5));
+  core_config.intent_resolve_attempts =
+      static_cast<int>(flags.Int("intent_resolve_attempts", 5));
 
   shard::BackendPoolConfig pool_config;
   // Backends authenticate with the same token the router accepts unless
@@ -113,9 +122,12 @@ int main(int argc, char** argv) {
   server.Shutdown();
   const server::RouterStatusOkMsg stats = core.StatusSnapshot();
   std::printf(
-      "DRAINED passthrough_txns=%llu scatter_queries=%llu "
+      "DRAINED passthrough_txns=%llu twopc_txns=%llu "
+      "intent_resolutions=%llu scatter_queries=%llu "
       "single_shard_queries=%llu fanout_ops=%llu healthy=%u/%u\n",
       static_cast<unsigned long long>(stats.passthrough_txns),
+      static_cast<unsigned long long>(stats.twopc_txns),
+      static_cast<unsigned long long>(stats.intent_resolutions),
       static_cast<unsigned long long>(stats.scatter_queries),
       static_cast<unsigned long long>(stats.single_shard_queries),
       static_cast<unsigned long long>(stats.fanout_ops),

@@ -1,0 +1,292 @@
+// Cross-shard 2PC chaos workload driver (tools/twopc_driver).
+//
+// Two subcommands, driven by scripts/twopc_harness.py:
+//
+//   twopc_driver --mode=run --port=P --shard_ports=P1,P2 [...]
+//     Connects to a shard router on P and hammers it with zero-sum
+//     balance transfers between keys owned by DIFFERENT shards — every
+//     transaction exercises the intent-based 2PC path. After each
+//     acknowledged commit the driver appends the serial to an fsynced
+//     ack file: independent evidence of what the cluster promised to
+//     keep. Transport failures (the harness SIGKILLs the router at the
+//     2pc.prepare.post / 2pc.commit.pre fault points, and shards
+//     besides) are absorbed by reconnecting with backoff — balances are
+//     re-read fresh before every transfer, so an unknown-outcome commit
+//     never corrupts the next one. Runs until SIGKILLed/SIGTERMed.
+//
+//   twopc_driver --mode=verify --port=P --shard_ports=P1,P2 [...]
+//     The atomicity audit after the dust settles:
+//       1. conservation: every account balance read THROUGH the router
+//          (which lazily resolves any intents a dead coordinator left
+//          behind) sums to accounts * 1000 — a torn cross-shard
+//          transfer would break it;
+//       2. no orphans: after those reads, every shard's REPLICA_STATUS
+//          reports pending_intents == 0 — nothing undecided survives;
+//       3. progress: the ack file is non-empty (the gauntlet actually
+//          committed transactions between kills).
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "server/client.h"
+#include "shard/shard_map.h"
+#include "storage/value.h"
+#include "wal/io_util.h"
+
+namespace anker {
+namespace {
+
+struct DriverOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;                  ///< Router port.
+  std::vector<uint16_t> shard_ports;  ///< Direct engine ports, map order.
+  std::string ack_file;
+  size_t accounts = 64;
+  uint64_t seed = 7;
+  int reconnect_deadline_ms = 30000;
+  long min_acks = 1;  ///< verify: required ack-file entries (progress).
+};
+
+constexpr int64_t kInitialBalance = 1000;
+
+std::unique_ptr<server::Client> ConnectWithRetry(const DriverOptions& options,
+                                                 uint16_t port) {
+  // The harness kills and restarts processes under us: keep dialing
+  // until the deadline, then give up loudly.
+  const int step_ms = 100;
+  for (int waited = 0; waited <= options.reconnect_deadline_ms;
+       waited += step_ms) {
+    server::ClientOptions client_options;
+    client_options.io_timeout_millis = 10000;
+    auto connected =
+        server::Client::Connect(options.host, port, client_options);
+    if (connected.ok()) return connected.TakeValue();
+    std::this_thread::sleep_for(std::chrono::milliseconds(step_ms));
+  }
+  return nullptr;
+}
+
+server::PointWrite BalanceWrite(uint64_t key, int64_t balance) {
+  server::PointWrite write;
+  write.table = "acct";
+  write.column = "balance";
+  write.by_key = true;
+  write.key = key;
+  write.raw = storage::EncodeInt64(balance);
+  return write;
+}
+
+// --- run mode -------------------------------------------------------------
+
+int RunMode(const DriverOptions& options) {
+  const int ack_fd =
+      ::open(options.ack_file.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (ack_fd < 0) {
+    std::fprintf(stderr, "cannot open ack file %s\n",
+                 options.ack_file.c_str());
+    return 1;
+  }
+  auto client = ConnectWithRetry(options, options.port);
+  if (client == nullptr) {
+    std::fprintf(stderr, "router never came up on port %u\n", options.port);
+    return 1;
+  }
+  std::printf("READY\n");
+  std::fflush(stdout);
+
+  Rng rng(options.seed);
+  const size_t num_shards = options.shard_ports.size();
+  auto shard_of = [num_shards](uint64_t key) {
+    return shard::ShardMap::Mix64(key) % num_shards;
+  };
+  uint64_t serial = 0;
+  for (;;) {
+    ++serial;
+    // Pick a pair living on DIFFERENT shards (same splitmix64 the router
+    // uses) so every transfer takes the 2PC path the gauntlet targets.
+    // Fresh reads every round: a previous commit with an unknown
+    // outcome (router killed mid-2PC) may or may not have landed, and
+    // these reads — which resolve any leftover intents — tell us which.
+    const uint64_t from = 1 + rng.NextBounded(options.accounts);
+    uint64_t to = from;
+    for (int spin = 0; spin < 64; ++spin) {
+      to = 1 + rng.NextBounded(options.accounts);
+      if (to != from && shard_of(to) != shard_of(from)) break;
+    }
+    if (to == from || shard_of(to) == shard_of(from)) continue;
+    const int64_t amount =
+        static_cast<int64_t>(1 + rng.NextBounded(100));
+
+    auto from_raw = client->Read("acct", "balance", from, /*by_key=*/true);
+    if (!from_raw.ok()) {
+      if (from_raw.status().code() == StatusCode::kIoError) {
+        client = ConnectWithRetry(options, options.port);
+        if (client == nullptr) return 1;
+      }
+      continue;  // BUSY / blocked intent: next round retries fresh.
+    }
+    auto to_raw = client->Read("acct", "balance", to, /*by_key=*/true);
+    if (!to_raw.ok()) {
+      if (to_raw.status().code() == StatusCode::kIoError) {
+        client = ConnectWithRetry(options, options.port);
+        if (client == nullptr) return 1;
+      }
+      continue;
+    }
+    const int64_t from_balance = storage::DecodeInt64(from_raw.value());
+    const int64_t to_balance = storage::DecodeInt64(to_raw.value());
+
+    const Status committed = client->ExecTxn(
+        {BalanceWrite(from, from_balance - amount),
+         BalanceWrite(to, to_balance + amount)});
+    if (!committed.ok()) {
+      if (committed.code() == StatusCode::kIoError) {
+        // Router died mid-transaction (the whole point of the drill).
+        // The outcome is unknown; the next round's reads resolve it.
+        client = ConnectWithRetry(options, options.port);
+        if (client == nullptr) return 1;
+      }
+      continue;
+    }
+    // Acknowledged and durable — only now does the serial enter the
+    // evidence file the verifier trusts.
+    uint64_t raw = serial;
+    if (::write(ack_fd, &raw, sizeof(raw)) != sizeof(raw) ||
+        ::fdatasync(ack_fd) != 0) {
+      std::fprintf(stderr, "ack file write failed\n");
+      return 1;
+    }
+  }
+}
+
+// --- verify mode ----------------------------------------------------------
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "VERIFY FAILED: %s\n", what);
+  return 2;
+}
+
+int VerifyMode(const DriverOptions& options) {
+  auto client = ConnectWithRetry(options, options.port);
+  if (client == nullptr) return Fail("router unreachable");
+
+  // 1. Conservation. Reading through the router resolves every intent
+  //    a killed coordinator abandoned: committed ones materialize,
+  //    undecided ones escalate to durable aborts. Either way each
+  //    transfer moved money atomically or not at all.
+  int64_t total = 0;
+  for (uint64_t key = 1; key <= options.accounts; ++key) {
+    Result<uint64_t> raw = Status::ResourceBusy("unread");
+    for (int attempt = 0; attempt < 50 && !raw.ok(); ++attempt) {
+      raw = client->Read("acct", "balance", key, /*by_key=*/true);
+      if (!raw.ok()) {
+        if (raw.status().code() == StatusCode::kIoError) {
+          client = ConnectWithRetry(options, options.port);
+          if (client == nullptr) return Fail("router unreachable");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+    if (!raw.ok()) {
+      std::fprintf(stderr, "VERIFY FAILED: key %" PRIu64 " unreadable: %s\n",
+                   key, raw.status().ToString().c_str());
+      return 2;
+    }
+    total += storage::DecodeInt64(raw.value());
+  }
+  const int64_t expected =
+      static_cast<int64_t>(options.accounts) * kInitialBalance;
+  if (total != expected) {
+    std::fprintf(stderr,
+                 "VERIFY FAILED: balance sum %" PRId64 " != expected %" PRId64
+                 " (torn cross-shard transaction)\n",
+                 total, expected);
+    return 2;
+  }
+
+  // 2. No orphaned intents anywhere once the reads above resolved them.
+  for (uint16_t port : options.shard_ports) {
+    auto direct = ConnectWithRetry(options, port);
+    if (direct == nullptr) return Fail("shard unreachable");
+    auto status = direct->ReplicaStatus();
+    if (!status.ok()) return Fail("REPLICA_STATUS refused");
+    if (status.value().pending_intents != 0) {
+      std::fprintf(stderr,
+                   "VERIFY FAILED: shard on port %u still holds %" PRIu64
+                   " pending intents\n",
+                   port,
+                   static_cast<uint64_t>(status.value().pending_intents));
+      return 2;
+    }
+  }
+
+  // 3. Progress: the gauntlet must have actually committed something
+  //    (the harness relaxes this for early rounds via --min_acks=0).
+  std::string acks;
+  const Status read_acks = wal::ReadFile(options.ack_file, &acks);
+  const size_t committed =
+      read_acks.ok() ? acks.size() / sizeof(uint64_t) : 0;
+  if (committed < static_cast<size_t>(options.min_acks)) {
+    std::fprintf(stderr,
+                 "VERIFY FAILED: only %zu acked commits, need %ld "
+                 "(no progress through the gauntlet)\n",
+                 committed, options.min_acks);
+    return 2;
+  }
+
+  std::printf("OK (sum conserved at %" PRId64 ", %zu commits acked, "
+              "0 orphaned intents)\n",
+              total, committed);
+  return 0;
+}
+
+}  // namespace
+}  // namespace anker
+
+int main(int argc, char** argv) {
+  using namespace anker;
+  bench::Flags flags(argc, argv);
+  DriverOptions options;
+  const std::string mode = flags.Str("mode", "");
+  options.host = flags.Str("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(flags.Int("port", 0));
+  options.ack_file = flags.Str("ack_file", "");
+  options.accounts = static_cast<size_t>(flags.Int("accounts", 64));
+  options.seed = static_cast<uint64_t>(flags.Int("seed", 7));
+  options.reconnect_deadline_ms =
+      static_cast<int>(flags.Int("reconnect_deadline_ms", 30000));
+  options.min_acks = flags.Int("min_acks", 1);
+  const std::string shard_ports = flags.Str("shard_ports", "");
+  flags.RejectUnknown();
+
+  size_t begin = 0;
+  while (begin < shard_ports.size()) {
+    size_t end = shard_ports.find(',', begin);
+    if (end == std::string::npos) end = shard_ports.size();
+    options.shard_ports.push_back(static_cast<uint16_t>(
+        std::stoul(shard_ports.substr(begin, end - begin))));
+    begin = end + 1;
+  }
+
+  if (options.port == 0 || (mode != "run" && mode != "verify") ||
+      options.shard_ports.size() < 2 || options.ack_file.empty()) {
+    std::fprintf(stderr,
+                 "usage: twopc_driver --mode=run|verify --port=ROUTER_PORT "
+                 "--shard_ports=P1,P2[,...] --ack_file=PATH [--accounts=N] "
+                 "[--seed=N] [--host=H] [--reconnect_deadline_ms=N]\n");
+    return 64;
+  }
+  ANKER_CHECK(options.accounts >= 2);
+  return mode == "run" ? RunMode(options) : VerifyMode(options);
+}
