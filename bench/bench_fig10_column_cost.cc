@@ -4,16 +4,27 @@
 // snapshots are negligibly cheap, all three tables together are still well
 // below fork, which must replicate the entire process image (tables,
 // indexes, version chains, metadata).
+//
+// --cold_budget=<bytes> additionally sweeps the tiered cold store: a
+// hot-vs-cold full-column scan ratio (every cold segment faults in from
+// its extent) and incremental-vs-full checkpoint bytes after updating 10%
+// of the rows. Both land in the JSON report under "cold" and are gated in
+// scripts/bench_gates.json. --cold_only skips the fig10 portion (CI).
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "engine/database.h"
 #include "snapshot/fork_snapshotter.h"
 #include "tpch/datagen.h"
 #include "tpch/oltp_transactions.h"
 #include "tpch/schema.h"
+#include "wal/io_util.h"
 
 namespace anker {
 namespace {
@@ -37,6 +48,139 @@ double SnapshotTableMs(engine::Database* db, storage::Table* table,
   return total;
 }
 
+double ScanMs(storage::Column* column, size_t rows, uint64_t* sum) {
+  Timer timer;
+  uint64_t s = 0;
+  for (size_t row = 0; row < rows; ++row) {
+    s += column->ReadLatestRaw(row);
+  }
+  *sum = s;
+  return timer.ElapsedMillis();
+}
+
+engine::DatabaseConfig ColdConfig(const std::string& dir, uint64_t budget,
+                                  size_t segment_rows) {
+  engine::DatabaseConfig config = engine::DatabaseConfig::ForMode(
+      txn::ProcessingMode::kHeterogeneousSerializable);
+  config.durability = wal::DurabilityMode::kGroupCommit;
+  config.data_dir = dir;
+  config.cold_budget_bytes = budget;
+  config.cold_segment_rows = segment_rows;
+  return config;
+}
+
+storage::Column* LoadLedger(engine::Database* db, size_t rows) {
+  auto created = db->CreateTable(
+      "ledger", {{"value", storage::ValueType::kInt64}}, rows);
+  ANKER_CHECK(created.ok());
+  storage::Column* column = created.value()->GetColumn("value");
+  Rng rng(11);
+  for (size_t row = 0; row < rows; ++row) {
+    column->LoadValue(
+        row, storage::EncodeInt64(static_cast<int64_t>(rng.Next() >> 16)));
+  }
+  return column;
+}
+
+/// The cold-tier sweep: two fresh single-column databases (so the scan
+/// phase measures a version-free spill and the checkpoint phase starts
+/// with nothing published), torn down before fig10 proper runs.
+void RunColdSweep(uint64_t budget, bench::JsonReport* report) {
+  constexpr size_t kRows = 1u << 20;        // 8 MB column.
+  constexpr size_t kSegmentRows = 4096;     // 256 spillable segments.
+  char tmpl[] = "/tmp/anker_fig10_cold_XXXXXX";
+  ANKER_CHECK(::mkdtemp(tmpl) != nullptr);
+  const std::string root = tmpl;
+  std::printf("\nCold tier sweep (budget=%llu bytes, %zu rows, %zu-row "
+              "segments)\n",
+              static_cast<unsigned long long>(budget), kRows, kSegmentRows);
+
+  // Phase 1: hot-vs-cold scan. The cold scan pays one extent load +
+  // decode per segment on top of the same per-row read path.
+  {
+    engine::Database db(
+        ColdConfig(root + "/scan", budget, kSegmentRows));
+    storage::Column* column = LoadLedger(&db, kRows);
+    db.Start();
+    uint64_t hot_sum = 0;
+    double hot_ms = ScanMs(column, kRows, &hot_sum);
+    for (int rep = 0; rep < 2; ++rep) {
+      uint64_t again = 0;
+      hot_ms = std::min(hot_ms, ScanMs(column, kRows, &again));
+      ANKER_CHECK(again == hot_sum);
+    }
+    ANKER_CHECK(db.SpillColdData().ok());
+    const engine::ColdTierStats spilled = db.cold_stats();
+    ANKER_CHECK(spilled.cold_bytes > 0);
+    uint64_t cold_sum = 0;
+    const double cold_ms = ScanMs(column, kRows, &cold_sum);
+    ANKER_CHECK(cold_sum == hot_sum);
+    ANKER_CHECK(db.cold_stats().counters.segment_fault_ins > 0);
+    const double ratio = cold_ms / hot_ms;
+    std::printf("  hot scan  %8.3f ms\n  cold scan %8.3f ms   "
+                "(%.1fx, %llu extents published)\n",
+                hot_ms, cold_ms, ratio,
+                static_cast<unsigned long long>(
+                    spilled.counters.extents_published));
+    (*report)["cold"]["hot_scan_ms"] = hot_ms;
+    (*report)["cold"]["cold_scan_ms"] = cold_ms;
+    (*report)["cold"]["cold_over_hot_scan"] = ratio;
+    (*report)["cold"]["extents_published"] =
+        spilled.counters.extents_published;
+    db.Stop();
+  }
+
+  // Phase 2: incremental-vs-full checkpoint bytes. Checkpoint #1 is the
+  // full baseline (nothing published yet). An OLTP workload then updates
+  // the first 10% of the rows; checkpoint #2 seals the version chains
+  // those commits created (versioned snapshots always resolve in full),
+  // and checkpoint #3 — clean snapshot again — republishes only the
+  // dirtied segments, referencing the rest by extent id.
+  {
+    engine::Database db(
+        ColdConfig(root + "/ckpt", budget, kSegmentRows));
+    storage::Column* column = LoadLedger(&db, kRows);
+    db.Start();
+    auto full = db.Checkpoint();
+    ANKER_CHECK(full.ok());
+    ANKER_CHECK(full.value().data_bytes_written > 0);
+
+    const size_t updated = kRows / 10;
+    Rng rng(13);
+    for (size_t base = 0; base < updated; base += 256) {
+      auto txn = db.BeginOltp();
+      const size_t end = std::min(base + 256, updated);
+      for (size_t row = base; row < end; ++row) {
+        txn->Write(column, row,
+                   storage::EncodeInt64(static_cast<int64_t>(rng.Next())));
+      }
+      ANKER_CHECK(db.Commit(txn.get()).ok());
+    }
+    ANKER_CHECK(db.Checkpoint().ok());  // Seals the update versions.
+    auto incr = db.Checkpoint();
+    ANKER_CHECK(incr.ok());
+    const double ratio =
+        static_cast<double>(incr.value().data_bytes_written) /
+        static_cast<double>(full.value().data_bytes_written);
+    std::printf("  full ckpt %8llu bytes\n  incr ckpt %8llu bytes   "
+                "(%.3fx after updating 10%% of rows, %llu reused)\n",
+                static_cast<unsigned long long>(
+                    full.value().data_bytes_written),
+                static_cast<unsigned long long>(
+                    incr.value().data_bytes_written),
+                ratio,
+                static_cast<unsigned long long>(
+                    incr.value().extent_bytes_reused));
+    (*report)["cold"]["full_ckpt_bytes"] = full.value().data_bytes_written;
+    (*report)["cold"]["incr_ckpt_bytes"] = incr.value().data_bytes_written;
+    (*report)["cold"]["incr_over_full_ckpt_bytes"] = ratio;
+    (*report)["cold"]["incr_ckpt_reused_bytes"] =
+        incr.value().extent_bytes_reused;
+    db.Stop();
+  }
+  wal::RemoveDirRecursive(root);
+}
+
 }  // namespace
 }  // namespace anker
 
@@ -46,12 +190,26 @@ int main(int argc, char** argv) {
   const size_t rows = static_cast<size_t>(
       flags.Int("li_rows", flags.Has("full") ? 6000000 : 2400000));
   const std::string json_out = flags.Str("json_out", "");
+  const uint64_t cold_budget =
+      static_cast<uint64_t>(flags.Int("cold_budget", 0));
+  const bool cold_only = flags.Has("cold_only");
   flags.RejectUnknown();
 
   bench::PrintHeader(
       "Figure 10: per-column snapshot cost (vm_snapshot) vs fork()",
       "individual columns negligible; all tables together still well "
       "below fork of the whole process");
+
+  bench::JsonReport report("fig10_column_cost");
+  report["flags"]["li_rows"] = rows;
+  report["flags"]["cold_budget"] = cold_budget;
+  if (cold_budget > 0) {
+    RunColdSweep(cold_budget, &report);
+  }
+  if (cold_only) {
+    report.Write(json_out);
+    return 0;
+  }
 
   engine::DatabaseConfig config = engine::DatabaseConfig::ForMode(
       txn::ProcessingMode::kHeterogeneousSerializable);
@@ -83,8 +241,6 @@ int main(int argc, char** argv) {
   ANKER_CHECK(fork_nanos.ok());
   std::printf("%-22s %10.3f ms   (replicates the whole process)\n",
               "fork()", fork_nanos.value() / 1e6);
-  bench::JsonReport report("fig10_column_cost");
-  report["flags"]["li_rows"] = rows;
   report["fork_ms"] = fork_nanos.value() / 1e6;
 
   struct Entry {

@@ -10,6 +10,14 @@ rotation across iterations; the driver's verify mode proves atomicity
 single-threaded iterations — bit-exact prefix equality against an
 in-memory re-simulation.
 
+Most iterations additionally run the tiered cold store (tiny
+cold_budget_bytes plus a spillable archive table) and cycle armed fault
+points through extent publication (extent.publish.pre/post) and the
+checkpoint manifest flip (ckpt.publish.pre/post), so kills land inside
+the extent fsync→rename protocol and the incremental-checkpoint publish;
+each cold iteration also asserts recovery pruned every orphaned .tmp
+extent.
+
 Usage:
   crash_recovery_harness.py --driver build/tools/crash_driver \
       [--iterations 24] [--max-run-ms 1500] [--seed 1234] [--workdir DIR]
@@ -18,6 +26,7 @@ Exit code 0 iff every iteration recovered consistently.
 """
 
 import argparse
+import glob
 import os
 import random
 import shutil
@@ -29,6 +38,19 @@ import time
 
 from harness_common import sigkill, wait_for_line
 
+# Extent-era fault shapes, cycled across the cold-tier iterations. The
+# probabilities keep the bootstrap phase (which publishes a dozen-plus
+# extents while spilling the archive table) likely to survive, so kills
+# land across both bootstrap and steady-state extent publication, plus
+# the incremental-checkpoint manifest flip.
+FAULT_SHAPES = [
+    None,
+    "extent.publish.pre:kill:0.05",
+    "extent.publish.post:kill:0.05",
+    "ckpt.publish.pre:kill:0.5",
+    "ckpt.publish.post:kill:0.5",
+]
+
 
 def run_iteration(args, iteration, rng):
     workdir = os.path.join(args.workdir, f"iter-{iteration}")
@@ -38,7 +60,11 @@ def run_iteration(args, iteration, rng):
     # Alternate shapes: single-threaded iterations get the strongest check
     # (digest re-simulation); multi-threaded ones stress group commit and
     # concurrent checkpointing under the conservation + durability checks.
+    # Most iterations also run the cold tier (spillable extents + archive
+    # churn); every fourth keeps the classic RAM-resident shape.
     threads = 1 if iteration % 2 == 0 else 4
+    cold = iteration % 4 != 3
+    fault = FAULT_SHAPES[iteration % len(FAULT_SHAPES)] if cold else None
     seed = args.seed + 1000 * iteration
     common = [
         f"--dir={workdir}",
@@ -49,20 +75,34 @@ def run_iteration(args, iteration, rng):
         f"--segment_bytes={args.segment_bytes}",
         "--durability=group_commit",
     ]
+    if cold:
+        common += [f"--cold_budget={args.cold_budget}",
+                   "--cold_segment_rows=1024"]
 
+    env = dict(os.environ)
+    env.pop("ANKER_FAULTS", None)
+    if fault:
+        env["ANKER_FAULTS"] = fault
+        env["ANKER_FAULT_SEED"] = str(seed)
     proc = subprocess.Popen(
         [args.driver, "--mode=run"] + common,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
+        env=env,
     )
     try:
         if wait_for_line(proc, b"READY", timeout_s=60) is None:
-            print(f"iter {iteration}: driver never became READY "
-                  f"(seed={seed})", flush=True)
-            return False
-        # The randomized kill point: anywhere from "barely started" to
-        # "thousands of commits and several checkpoints in".
-        time.sleep(rng.uniform(0.0, args.max_run_ms / 1000.0))
+            if fault is None or proc.poll() is None:
+                print(f"iter {iteration}: driver never became READY "
+                      f"(seed={seed})", flush=True)
+                return False
+            # An armed fault point killed the driver during bootstrap —
+            # itself a kill point worth verifying recovery from.
+        else:
+            # The randomized kill point: anywhere from "barely started" to
+            # "thousands of commits and several checkpoints in". An armed
+            # fault may beat the timer; either way the process dies hard.
+            time.sleep(rng.uniform(0.0, args.max_run_ms / 1000.0))
     finally:
         sigkill(proc)
 
@@ -70,13 +110,24 @@ def run_iteration(args, iteration, rng):
         [args.driver, "--mode=verify"] + common,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
+        env={k: v for k, v in os.environ.items() if k != "ANKER_FAULTS"},
     )
     out = verify.stdout.decode(errors="replace").strip()
-    print(f"iter {iteration} (threads={threads}): {out}", flush=True)
+    shape = f"threads={threads}" + (", cold" if cold else "") + \
+        (f", fault={fault}" if fault else "")
+    print(f"iter {iteration} ({shape}): {out}", flush=True)
     if verify.returncode != 0:
         print(f"iter {iteration}: replay with --seed {args.seed} "
               f"(iteration seed {seed})", flush=True)
         return False
+    if cold:
+        # Recovery (which verify just ran) must have pruned every orphaned
+        # temporary extent the kill left behind.
+        stray = glob.glob(os.path.join(workdir, "extents", "*.tmp"))
+        if stray:
+            print(f"iter {iteration}: orphaned tmp extents survived "
+                  f"recovery: {stray}", flush=True)
+            return False
     shutil.rmtree(workdir, ignore_errors=True)
     return True
 
@@ -92,6 +143,10 @@ def main():
     parser.add_argument("--accounts", type=int, default=1024)
     parser.add_argument("--ckpt_every", type=int, default=4000)
     parser.add_argument("--segment_bytes", type=int, default=1 << 16)
+    parser.add_argument("--cold_budget", type=int, default=1,
+                        help="cold_budget_bytes for the cold-tier "
+                             "iterations (tiny by default so everything "
+                             "spillable spills)")
     parser.add_argument("--workdir", default=None,
                         help="scratch directory (default: a fresh tempdir; "
                              "use tmpfs, e.g. /dev/shm, for speed)")

@@ -36,6 +36,16 @@ Status DatabaseConfig::Validate() const {
     return Status::InvalidArgument(
         "checkpoint_interval_commits needs a data_dir to checkpoint into");
   }
+  if (cold_budget_bytes > 0 && data_dir.empty()) {
+    return Status::InvalidArgument(
+        "cold_budget_bytes needs a data_dir for the extent store");
+  }
+  if (cold_segment_rows < 1024 ||
+      (cold_segment_rows & (cold_segment_rows - 1)) != 0 ||
+      cold_segment_rows > storage::kMaxExtentRows) {
+    return Status::InvalidArgument(
+        "cold_segment_rows must be a power of two in [1024, 2^24]");
+  }
   if (!data_dir.empty()) {
     // Probe (and mkdir -p) the data directory up front: a config pointing
     // at an uncreatable path (say /var/lib/anker without root) must come
@@ -110,6 +120,12 @@ Database::Database(DatabaseConfig config, OpenTag)
     : config_(std::move(config)), txn_manager_(config_.mode) {
   const Status valid = config_.Validate();
   ANKER_CHECK_MSG(valid.ok(), valid.message().c_str());
+  if (config_.cold_budget_bytes > 0) {
+    // Validate() already probed data_dir creation; a failure here means
+    // the extents subdirectory itself is unusable.
+    const Status cold = EnsureExtentStore();
+    ANKER_CHECK_MSG(cold.ok(), cold.message().c_str());
+  }
   if (config_.heterogeneous()) {
     snapshot_manager_ = std::make_unique<SnapshotManager>(
         &txn_manager_.oracle(), &txn_manager_.registry());
@@ -181,6 +197,13 @@ Result<storage::Table*> Database::PublishTable(
   const uint32_t table_id = static_cast<uint32_t>(tables_by_id_.size());
   for (size_t j = 0; j < raw->num_columns(); ++j) {
     raw->GetColumnAt(j)->SetStableId(table_id, static_cast<uint32_t>(j));
+    // Tiering attaches before the table is visible to any other thread;
+    // columns of an engine without a budget stay untiered (all fast
+    // paths byte-identical to the pre-tiering engine).
+    if (config_.cold_budget_bytes > 0) {
+      raw->GetColumnAt(j)->EnableTiering(extent_store_.get(),
+                                         config_.cold_segment_rows);
+    }
   }
   ANKER_RETURN_IF_ERROR(catalog_.AddTable(std::move(table)));
   tables_by_id_.push_back(raw);
@@ -267,6 +290,19 @@ Result<std::unique_ptr<OlapContext>> Database::BeginOlap(
     ctx->read_ts_ = ctx->handle_->epoch_ts();
   } else {
     ctx->read_ts_ = ctx->txn_->start_ts();
+    // Live scans hand out raw buffer pointers; with tiering on, every
+    // column in the set must be resident (and stay pinned) for the
+    // transaction's lifetime. Heterogeneous mode pins per snapshot
+    // instead (inside MaterializeSnapshot).
+    for (storage::Column* column : columns) {
+      if (column->segments() == nullptr) continue;
+      auto lease = column->PinResident();
+      if (!lease.ok()) {
+        txn_manager_.Abort(ctx->txn_.get());
+        return lease.status();
+      }
+      ctx->residency_leases_.push_back(lease.TakeValue());
+    }
   }
   return ctx;
 }
@@ -276,7 +312,13 @@ Status Database::FinishOlap(std::unique_ptr<OlapContext> ctx) {
   // Release the snapshot handle before finishing the transaction so epoch
   // retirement sees up-to-date refcounts.
   ctx->handle_.reset();
-  return txn_manager_.Commit(ctx->txn_.get());
+  ctx->residency_leases_.clear();
+  const Status committed = txn_manager_.Commit(ctx->txn_.get());
+  // Residency just dropped; opportunistically push the tier back under
+  // its budget (non-blocking — a busy cold mutex means someone else is
+  // already spilling or pruning).
+  if (config_.cold_budget_bytes > 0) EnforceColdBudget();
+  return committed;
 }
 
 }  // namespace anker::engine

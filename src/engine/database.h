@@ -66,6 +66,16 @@ struct DatabaseConfig {
   /// Requires data_dir.
   uint64_t checkpoint_interval_commits = 0;
 
+  /// Cold-tier budget: when > 0, every column becomes spillable and the
+  /// engine evicts the coldest version-free segments to on-disk extents
+  /// (<data_dir>/extents) until resident column bytes fit the budget.
+  /// 0 disables tiering entirely — byte-for-byte today's behavior.
+  /// Requires data_dir.
+  uint64_t cold_budget_bytes = 0;
+  /// Rows per spillable segment (the tiering granule). Must be a power of
+  /// two >= 1024; smaller values spill finer at more metadata cost.
+  size_t cold_segment_rows = 65536;
+
   bool heterogeneous() const {
     return mode == txn::ProcessingMode::kHeterogeneousSerializable;
   }
@@ -128,6 +138,11 @@ class OlapContext {
 
   std::unique_ptr<txn::Transaction> txn_;
   std::unique_ptr<SnapshotHandle> handle_;  ///< nullptr in homogeneous mode.
+  /// Homogeneous mode with tiering: live scans read raw buffer pointers,
+  /// so BeginOlap faults every cold segment in and holds these leases for
+  /// the transaction's lifetime (heterogeneous snapshots carry their own
+  /// lease inside each ColumnSnapshot).
+  std::vector<std::shared_ptr<void>> residency_leases_;
   mvcc::Timestamp read_ts_ = 0;
   ThreadPool* scan_pool_ = nullptr;  ///< nullptr = serial scans.
   size_t scan_threads_ = 1;
@@ -137,6 +152,19 @@ class OlapContext {
 struct CheckpointResult {
   mvcc::Timestamp checkpoint_ts = 0;
   std::string directory;  ///< Published checkpoint directory.
+  /// Column-data bytes this checkpoint actually wrote (full column blobs
+  /// plus freshly published extents) vs. bytes it re-referenced from
+  /// already published extents. reused > 0 marks an incremental
+  /// checkpoint; written / (written + reused) is its effective ratio.
+  uint64_t data_bytes_written = 0;
+  uint64_t extent_bytes_reused = 0;
+};
+
+/// Aggregate cold-tier observability across all tiered columns.
+struct ColdTierStats {
+  uint64_t resident_bytes = 0;  ///< Slot bytes currently in RAM.
+  uint64_t cold_bytes = 0;      ///< Slot bytes evicted to extents.
+  storage::ExtentTierCounters counters;
 };
 
 /// The AnKerDB engine: a column-oriented main-memory MVCC store with a
@@ -188,6 +216,24 @@ class Database {
   /// on a quiesced engine; tests and the crash harness use it to compare
   /// recovered state against an in-memory reference run.
   uint64_t ContentDigest() const;
+
+  // --- Cold tier (spillable column extents) ------------------------------
+
+  /// Blocking spill pass: evicts coldest version-free segments until
+  /// resident column bytes fit `budget_bytes`. Segments that are pinned,
+  /// carry versions, or race a writer are skipped (best effort — the pass
+  /// stops when no further segment can move). No-op without tiering.
+  Status SpillToBudget(uint64_t budget_bytes);
+
+  /// SpillToBudget(0): force everything spillable cold. Tests and the
+  /// crash driver use it to make every subsequent scan cross the tier.
+  Status SpillColdData() { return SpillToBudget(0); }
+
+  /// Aggregate residency + extent-store counters (zeros without tiering).
+  ColdTierStats cold_stats() const;
+
+  /// The extent store, or nullptr when tiering never started.
+  storage::ExtentStore* extent_store() const { return extent_store_.get(); }
 
   /// The redo log writer, or nullptr with durability off (observability:
   /// benches report fsync batching, tests force syncs).
@@ -353,6 +399,18 @@ class Database {
   /// the worker pool unless one is already pending.
   void ScheduleCheckpoint();
 
+  /// Opens <data_dir>/extents (idempotent). Recovery calls it whenever
+  /// the manifest references extents — even at cold_budget_bytes = 0, so
+  /// an instance reopened with tiering off can still load its data.
+  Status EnsureExtentStore();
+
+  /// Non-blocking budget enforcement (skipped when another spill or a
+  /// checkpoint prune holds the cold mutex); runs after OLAP releases.
+  void EnforceColdBudget();
+
+  /// Spill pass body; caller holds cold_mutex_.
+  Status SpillToBudgetLocked(uint64_t budget_bytes);
+
   DatabaseConfig config_;
   storage::Catalog catalog_;
   txn::TransactionManager txn_manager_;
@@ -369,6 +427,14 @@ class Database {
   std::mutex create_table_mutex_;
   std::mutex checkpoint_mutex_;
   std::atomic<bool> checkpoint_pending_{false};
+
+  // Cold tier. cold_mutex_ serializes every extent Publish/Prune that is
+  // not already covered by checkpoint_mutex_: spill passes hold it for
+  // their publishes, the post-checkpoint prune holds it while computing
+  // the keep-set, so a prune can never observe (and delete) an extent a
+  // concurrent spill just referenced.
+  std::unique_ptr<storage::ExtentStore> extent_store_;
+  std::mutex cold_mutex_;
 
   // Replication state. applied_lsn_ is the replica apply watermark (set
   // to the recovery high-water mark by StartWal so a resumed stream

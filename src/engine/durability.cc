@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <unordered_set>
 
 #include "engine/database.h"
 #include "wal/checkpoint.h"
@@ -55,6 +56,22 @@ Status Database::Recover() {
     const wal::CheckpointManifest& m = manifest.value();
     ckpt_ts = m.checkpoint_ts;
     ckpt_wal_lsn = m.wal_lsn;
+    // Cold-tier bootstrap: when the manifest references extents the store
+    // must exist before any column loads — even with cold_budget_bytes
+    // now 0, an extent-backed checkpoint still resolves through it (the
+    // columns come up fully resident and the next checkpoint is full).
+    // Pruning to the manifest's reference set first removes extents a
+    // crashed publish or an unflipped checkpoint left behind.
+    if (!m.extents.empty() || m.next_extent_id > 1) {
+      ANKER_RETURN_IF_ERROR(EnsureExtentStore());
+    }
+    if (extent_store_ != nullptr) {
+      extent_store_->NoteNextId(m.next_extent_id);
+      const std::unordered_set<uint64_t> keep(m.extents.begin(),
+                                              m.extents.end());
+      ANKER_RETURN_IF_ERROR(extent_store_->Prune(keep));
+    }
+    std::vector<storage::SegmentExtentRef> refs;
     for (uint32_t table_id = 0; table_id < m.tables.size(); ++table_id) {
       const wal::CheckpointTableMeta& meta = m.tables[table_id];
       auto table_r =
@@ -65,8 +82,17 @@ Status Database::Recover() {
         table->GetDictionary(column)->Preload(entries);
       }
       for (uint32_t j = 0; j < table->num_columns(); ++j) {
+        storage::Column* column = table->GetColumnAt(j);
         ANKER_RETURN_IF_ERROR(wal::CheckpointReader::LoadColumn(
-            ckpt_path, table_id, j, table->GetColumnAt(j)));
+            ckpt_path, table_id, j, column, extent_store_.get(), &refs));
+        if (column->segments() != nullptr) {
+          // The loaded rows are exactly the extent bytes: re-seed the
+          // published-extent bookkeeping so the next checkpoint reuses
+          // them (WAL replay below re-dirties whatever it touches).
+          for (const storage::SegmentExtentRef& ref : refs) {
+            column->segments()->NoteRecoveredExtent(ref);
+          }
+        }
       }
       if (meta.has_primary_index) {
         table->CreatePrimaryIndex(meta.index_entries);
@@ -504,6 +530,9 @@ Result<CheckpointResult> Database::Checkpoint() {
         e.gtid, static_cast<uint8_t>(e.outcome), e.commit_ts});
   }
 
+  uint64_t data_bytes_written = 0;
+  uint64_t extent_bytes_reused = 0;
+  std::vector<uint64_t> extent_ids;
   for (uint32_t table_id = 0; s.ok() && table_id < tables.size();
        ++table_id) {
     storage::Table* table = tables[table_id];
@@ -518,10 +547,32 @@ Result<CheckpointResult> Database::Checkpoint() {
     for (uint32_t j = 0; s.ok() && j < table->num_columns(); ++j) {
       const storage::Column* column = table->GetColumnAt(j);
       const ColumnReader reader = ctx->Reader(column);
-      if (!reader.versioned()) {
+      storage::SegmentStorage* segments = column->segments();
+      const storage::ColumnSnapshot* snap =
+          ctx->handle_ != nullptr ? ctx->handle_->Find(column) : nullptr;
+      if (segments != nullptr && snap != nullptr && !reader.versioned()) {
+        // Incremental path (tiered column, clean snapshot): one extent
+        // ref per segment, captured from the snapshot image itself.
+        // Segments whose published extent already matches the image are
+        // referenced by id — no bytes rewritten.
+        auto refs = segments->CollectCheckpointRefs(
+            reinterpret_cast<const uint64_t*>(snap->view->data()),
+            snap->segment_gens);
+        if (!refs.ok()) {
+          s = refs.status();
+        } else {
+          s = writer.WriteColumnExtents(table_id, j, refs.value());
+          for (const storage::SegmentExtentRef& ref : refs.value()) {
+            extent_ids.push_back(ref.extent_id);
+            (ref.reused ? extent_bytes_reused : data_bytes_written) +=
+                ref.file_bytes;
+          }
+        }
+      } else if (!reader.versioned()) {
         // Clean snapshot image: the view itself is the consistent state.
         s = writer.WriteColumnRaw(table_id, j, reader.raw_base(),
                                   table->num_rows());
+        data_bytes_written += table->num_rows() * sizeof(uint64_t);
       } else {
         // Resolve through the version chains at the checkpoint timestamp
         // (live MVCC reads under the homogeneous modes, snapshot + chains
@@ -529,6 +580,7 @@ Result<CheckpointResult> Database::Checkpoint() {
         s = writer.WriteColumnResolved(
             table_id, j, table->num_rows(),
             [&reader](size_t row) { return reader.Get(row); });
+        data_bytes_written += table->num_rows() * sizeof(uint64_t);
       }
     }
     if (s.ok() && table->primary_index() != nullptr) {
@@ -539,7 +591,15 @@ Result<CheckpointResult> Database::Checkpoint() {
     manifest.tables.push_back(std::move(meta));
   }
 
-  if (s.ok()) s = writer.Finish(manifest);
+  if (s.ok()) {
+    std::sort(extent_ids.begin(), extent_ids.end());
+    extent_ids.erase(std::unique(extent_ids.begin(), extent_ids.end()),
+                     extent_ids.end());
+    manifest.extents = extent_ids;
+    manifest.next_extent_id =
+        extent_store_ != nullptr ? extent_store_->next_id() : 1;
+    s = writer.Finish(manifest);
+  }
   if (!s.ok()) {
     writer.Abort();
     FinishOlap(std::move(ctx));
@@ -554,8 +614,29 @@ Result<CheckpointResult> Database::Checkpoint() {
   const Status finish = FinishOlap(std::move(ctx));
   ANKER_RETURN_IF_ERROR(truncate);
   ANKER_RETURN_IF_ERROR(finish);
-  return CheckpointResult{ckpt_ts,
-                          config_.data_dir + "/" + writer.dir_name()};
+
+  if (extent_store_ != nullptr) {
+    // Garbage-collect extents no prior checkpoint can reference anymore:
+    // keep what the new manifest cites plus everything a live segment still
+    // points at (columns created after capture included — the catalog walk,
+    // not the captured table list, is authoritative). Best effort: a failed
+    // prune only delays reclamation until the next checkpoint.
+    std::lock_guard<std::mutex> cold_guard(cold_mutex_);
+    std::unordered_set<uint64_t> keep(manifest.extents.begin(),
+                                      manifest.extents.end());
+    for (storage::Column* column : catalog_.AllColumns()) {
+      if (column->segments() != nullptr) {
+        column->segments()->AppendLiveExtents(&keep);
+      }
+    }
+    const Status pruned = extent_store_->Prune(keep);
+    if (!pruned.ok()) {
+      std::fprintf(stderr, "anker: extent prune skipped: %s\n",
+                   pruned.message().c_str());
+    }
+  }
+  return CheckpointResult{ckpt_ts, config_.data_dir + "/" + writer.dir_name(),
+                          data_bytes_written, extent_bytes_reused};
 }
 
 uint64_t Database::ContentDigest() const {

@@ -265,6 +265,26 @@ bool VersionStore::HasRelevantVersion(size_t row, Timestamp start_ts) const {
   return LastWriteTs(row, start_ts) > start_ts;
 }
 
+bool VersionStore::HasVersionsInRange(size_t row_begin,
+                                      size_t row_end) const {
+  ANKER_CHECK(row_begin <= row_end && row_end <= num_rows_);
+  if (row_begin == row_end) return false;
+  const size_t first_block = row_begin / kRowsPerBlock;
+  const size_t last_block = (row_end - 1) / kRowsPerBlock;
+  for (const ChainDirectory* dir = current_.get(); dir != nullptr;
+       dir = dir->prev().get()) {
+    const size_t blocks = dir->num_blocks();
+    for (size_t b = first_block; b <= last_block && b < blocks; ++b) {
+      const BlockInfo info = dir->GetBlockInfo(b);
+      if (!info.has_versions) continue;
+      const size_t first = b * kRowsPerBlock + info.first_versioned;
+      const size_t last = b * kRowsPerBlock + info.last_versioned;
+      if (first < row_end && last >= row_begin) return true;
+    }
+  }
+  return false;
+}
+
 std::shared_ptr<ChainDirectory> VersionStore::SealEpoch(Timestamp seal_ts) {
   std::shared_ptr<ChainDirectory> sealed = current_;
   sealed->Seal(seal_ts);

@@ -306,6 +306,13 @@ class VersionStore {
   /// may hold a version of `row` relevant to `start_ts`.
   bool HasRelevantVersion(size_t row, Timestamp start_ts) const;
 
+  /// True iff any segment (current or a sealed predecessor still linked
+  /// through prev) holds a version node for a row in [row_begin, row_end).
+  /// Conservative per-block check via has_versions + first/last versioned
+  /// offsets; used by the cold tier, which only spills version-free
+  /// segments. Caller holds the column latch (exclusive for spill).
+  bool HasVersionsInRange(size_t row_begin, size_t row_end) const;
+
   /// Seals the current segment at `seal_ts` and installs a fresh one whose
   /// prev is the sealed segment. Returns the sealed segment (the snapshot
   /// takes ownership of this reference). Caller holds the column latch

@@ -431,6 +431,28 @@ Status EncodeCheckpointStream(const std::string& data_dir, std::string* out) {
     }
     emit_file(dir_name + "/" + name, contents);
   }
+  // Cold-tier extents live outside the checkpoint directory, but the
+  // manifest may reference them; ship every published extent so the
+  // replica can resolve extent-backed columns. Extras the manifest does
+  // not reference are pruned by the replica's own next checkpoint.
+  std::vector<std::string> extent_names;
+  const std::string extents_dir = data_dir + "/extents";
+  if (wal::ListDir(extents_dir, &extent_names).ok()) {
+    std::sort(extent_names.begin(), extent_names.end());
+    for (const std::string& name : extent_names) {
+      if (name.size() >= 4 &&
+          name.compare(name.size() - 4, 4, ".tmp") == 0) {
+        continue;  // In-flight publish, never durable state.
+      }
+      std::string contents;
+      const Status read = wal::ReadFile(extents_dir + "/" + name, &contents);
+      if (!read.ok()) {
+        return Status::IoError("extent pruned mid-transfer; retry fetch (" +
+                               read.message() + ")");
+      }
+      emit_file("extents/" + name, contents);
+    }
+  }
   // CURRENT travels last; the fetcher publishes it only after everything
   // else is durable, mirroring how checkpoints flip locally.
   emit_file("CURRENT", current);

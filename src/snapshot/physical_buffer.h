@@ -5,6 +5,7 @@
 
 #include "snapshot/snapshotable_buffer.h"
 #include "vm/map_region.h"
+#include "vm/page.h"
 
 namespace anker::snapshot {
 
@@ -17,6 +18,12 @@ class PhysicalBuffer : public SnapshotableBuffer {
   static Result<std::unique_ptr<PhysicalBuffer>> Create(size_t size);
 
   Result<std::unique_ptr<SnapshotView>> TakeSnapshot() override;
+
+  /// The live image is anonymous private memory (snapshots are deep
+  /// copies with their own pages), so MADV_DONTNEED safely frees it.
+  Status ReleaseRange(size_t offset, size_t len) override {
+    return region_.DontNeed(offset, vm::RoundUpToPage(len));
+  }
 
   const char* name() const override { return "physical"; }
 

@@ -5,6 +5,7 @@
 
 #include "snapshot/snapshotable_buffer.h"
 #include "vm/map_region.h"
+#include "vm/page.h"
 
 namespace anker::snapshot {
 
@@ -17,6 +18,12 @@ class PlainBuffer : public SnapshotableBuffer {
 
   Result<std::unique_ptr<SnapshotView>> TakeSnapshot() override {
     return Status::NotSupported("PlainBuffer cannot snapshot");
+  }
+
+  /// Anonymous private pages: MADV_DONTNEED frees them and reads fault
+  /// back as zeros.
+  Status ReleaseRange(size_t offset, size_t len) override {
+    return region_.DontNeed(offset, vm::RoundUpToPage(len));
   }
 
   bool SupportsSnapshots() const override { return false; }

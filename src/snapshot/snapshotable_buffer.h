@@ -90,6 +90,20 @@ class SnapshotableBuffer {
   /// Backends that track dirtiness override this; the default is a no-op.
   virtual void MarkDirty(size_t /*offset*/, size_t /*len*/) {}
 
+  /// Releases the physical memory behind [offset, offset+len) — the cold
+  /// tier evicts a segment's slots after publishing them to an extent.
+  /// After a successful release the range's contents are unspecified
+  /// (typically zeros) and must be rewritten via WriteSpan before being
+  /// read again; the caller's residency state machine enforces that.
+  /// `offset` must be page aligned; `len` is rounded up to whole pages
+  /// internally, and the caller guarantees no live data shares the
+  /// rounded tail page. The default keeps the pages mapped and returns
+  /// OK — always correct (the range merely stays physically resident),
+  /// used by backends whose pages may be aliased by live snapshots.
+  virtual Status ReleaseRange(size_t /*offset*/, size_t /*len*/) {
+    return Status::OK();
+  }
+
   /// Creates a point-in-time snapshot of the current contents.
   virtual Result<std::unique_ptr<SnapshotView>> TakeSnapshot() = 0;
 

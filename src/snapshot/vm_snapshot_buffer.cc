@@ -54,6 +54,30 @@ void VmSnapshotBuffer::MarkDirty(size_t offset, size_t len) {
   for (size_t s = first_slot; s <= last_slot; ++s) dirty_slots_.Set(s);
 }
 
+Status VmSnapshotBuffer::ReleaseRange(size_t offset, size_t len) {
+  if (len == 0) return Status::OK();
+  ANKER_CHECK(vm::IsPageAligned(offset));
+  const size_t rlen = vm::RoundUpToPage(len);
+  ANKER_CHECK(offset + rlen <= size_);
+  {
+    std::lock_guard<std::mutex> guard(views_mutex_);
+    // Live snapshot views alias the file's pages; punching them would
+    // change data under a snapshot. Stay resident — still correct, the
+    // release simply frees nothing this round.
+    if (!live_views_.empty()) return Status::OK();
+  }
+  // The range's content becomes zeros in both the private view and the
+  // file, so pending dirt in it has nothing left to flush.
+  const size_t first_page = vm::PageIndex(offset);
+  const size_t last_page = vm::PageIndex(offset + rlen - 1);
+  for (size_t p = first_page; p <= last_page; ++p) dirty_.Clear(p);
+  const size_t first_slot = offset / sizeof(uint64_t);
+  const size_t end_slot = (offset + rlen) / sizeof(uint64_t);
+  for (size_t s = first_slot; s < end_slot; ++s) dirty_slots_.Clear(s);
+  ANKER_RETURN_IF_ERROR(oltp_view_.DontNeed(offset, rlen));
+  return file_.PunchHole(static_cast<off_t>(offset), rlen);
+}
+
 Status VmSnapshotBuffer::FlushDirtyPages() {
   if (dirty_.count() == 0) return Status::OK();
   Timer flush_timer;

@@ -52,6 +52,14 @@ class VmSnapshotBuffer : public SnapshotableBuffer {
 
   void MarkDirty(size_t offset, size_t len) override;
 
+  /// Drops the range's private COW copies, punches the backing memfd
+  /// pages, and clears its dirty tracking (the content becomes zeros —
+  /// there is nothing left to flush). Refuses (returns OK without
+  /// releasing) while snapshot views are live: their pages alias the
+  /// file's. Caller holds the column latch exclusively, which also
+  /// excludes TakeSnapshot and all dirty-tracking writers.
+  Status ReleaseRange(size_t offset, size_t len) override;
+
   Result<std::unique_ptr<SnapshotView>> TakeSnapshot() override;
 
   /// Re-materializes the snapshot into `recycled`'s existing virtual memory

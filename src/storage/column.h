@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "mvcc/version_store.h"
 #include "snapshot/snapshotable_buffer.h"
+#include "storage/segment_storage.h"
 #include "storage/value.h"
 
 namespace anker::storage {
@@ -19,8 +20,17 @@ namespace anker::storage {
 /// still resolve versions written between the epoch trigger and the lazy
 /// materialization).
 struct ColumnSnapshot {
+  /// Keeps the column's segments resident while the snapshot lives (null
+  /// when the column is untiered). Declared first so it is destroyed
+  /// last: the view must never outlive the residency it scans over.
+  std::shared_ptr<void> residency_lease;
   std::unique_ptr<snapshot::SnapshotView> view;
   std::shared_ptr<mvcc::ChainDirectory> chains;  ///< nullptr when clean.
+  /// Tiered columns only: each segment's dirty generation at seal time —
+  /// the content version the view holds per segment. Incremental
+  /// checkpoints use it to decide which published extents still match
+  /// this image (see SegmentStorage::CollectCheckpointRefs).
+  std::vector<uint64_t> segment_gens;
   mvcc::Timestamp epoch_ts = 0;  ///< Logical snapshot time (trigger).
   mvcc::Timestamp seal_ts = 0;   ///< Materialization time.
 };
@@ -29,6 +39,12 @@ struct ColumnSnapshot {
 /// in a SnapshotableBuffer, superseded values in a VersionStore. The latch
 /// implements the paper's snapshot-consistency protocol (Section 2.2.3):
 /// updaters hold it shared, snapshot materialization exclusive.
+///
+/// With tiering enabled (EnableTiering), a SegmentStorage layer under the
+/// buffer lets fixed-size row segments go cold: their slots are released
+/// after being published to an on-disk extent, and reads/writes fault them
+/// back in transparently. An untiered column (`segments_ == nullptr`)
+/// takes none of these paths — byte-for-byte today's behavior.
 class Column {
  public:
   Column(std::string name, ValueType type,
@@ -53,11 +69,21 @@ class Column {
   uint32_t stable_table_id() const { return stable_table_id_; }
   uint32_t stable_column_id() const { return stable_column_id_; }
 
+  /// Attaches the cold tier: rows are split into `segment_rows`-sized
+  /// spillable segments backed by `store`. Must be called before the
+  /// column is visible to any other thread (the engine does it while
+  /// publishing the table).
+  void EnableTiering(ExtentStore* store, size_t segment_rows);
+
+  /// Residency layer, or nullptr when untiered.
+  SegmentStorage* segments() const { return segments_.get(); }
+
   /// Unversioned store used during the initial data load (timestamp 0).
   void LoadValue(size_t row, uint64_t raw);
 
-  /// Newest committed raw value.
+  /// Newest committed raw value (faults the row's segment in when cold).
   uint64_t ReadLatestRaw(size_t row) const {
+    if (segments_ != nullptr) return segments_->Read(row);
     return buffer_->LoadU64(row * sizeof(uint64_t));
   }
 
@@ -71,9 +97,14 @@ class Column {
   /// Materializes a committed write: pushes the current value into the
   /// version chain, then overwrites the slot in place (newest-to-oldest
   /// order, paper Section 2.1). Must be called from the commit critical
-  /// section while holding the column latch shared.
-  void ApplyCommittedWrite(size_t row, uint64_t new_raw,
-                           mvcc::Timestamp commit_ts);
+  /// section while holding the column latch shared. Returns the value the
+  /// slot held before the write — committers must take the old value from
+  /// here rather than a separate ReadLatestRaw: the read path's cold-
+  /// segment fault-in acquires the exclusive latch, which self-deadlocks
+  /// under the shared hold, while this path faults in under the segment
+  /// lock alone.
+  uint64_t ApplyCommittedWrite(size_t row, uint64_t new_raw,
+                               mvcc::Timestamp commit_ts);
 
   /// Commit timestamp of the last write to `row` (kLoadTimestamp if none
   /// newer than `since` exists) — first-committer-wins conflict checks.
@@ -90,12 +121,18 @@ class Column {
                                              mvcc::Timestamp seal_ts,
                                              mvcc::Timestamp min_active_ts);
 
+  /// Faults every cold segment in and pins the column resident until the
+  /// returned lease is dropped — live (non-snapshot) scans hold one so
+  /// their raw pointers stay valid. Returns a null lease when untiered.
+  Result<std::shared_ptr<void>> PinResident();
+
   /// Direct access for executors and the transaction manager.
   snapshot::SnapshotableBuffer* buffer() const { return buffer_.get(); }
   mvcc::VersionStore* versions() const { return versions_.get(); }
   Latch& latch() const { return latch_; }
 
   /// Raw base pointer of the up-to-date representation (live scans).
+  /// With tiering on, callers must hold a residency lease.
   const uint8_t* raw_data() const { return buffer_->data(); }
 
  private:
@@ -103,6 +140,7 @@ class Column {
   ValueType type_;
   std::unique_ptr<snapshot::SnapshotableBuffer> buffer_;
   std::unique_ptr<mvcc::VersionStore> versions_;
+  std::unique_ptr<SegmentStorage> segments_;  ///< nullptr = untiered.
   size_t num_rows_;
   uint32_t stable_table_id_ = 0;
   uint32_t stable_column_id_ = 0;

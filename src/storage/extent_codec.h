@@ -1,0 +1,65 @@
+#ifndef ANKER_STORAGE_EXTENT_CODEC_H_
+#define ANKER_STORAGE_EXTENT_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace anker::storage {
+
+/// Columnar encodings for one sealed, version-free column segment. The
+/// encoder tries every applicable encoding and keeps the smallest frame;
+/// ties resolve in enum order, so the choice is deterministic for a given
+/// input (recovery digests depend on values, not on the encoding, but the
+/// checkpoint-byte gates depend on the choice being stable).
+enum class ExtentEncoding : uint8_t {
+  kPlainU64 = 0,  ///< Raw 8-byte slots, memcpy in/out.
+  kDictU64 = 1,   ///< Distinct values + bit-packed indices.
+  kForInt64 = 2,  ///< Frame-of-reference: base + bit-packed deltas.
+};
+
+/// Frame layout (little-endian):
+///   u32 magic "AEX1" | u8 version | u8 encoding | u16 reserved(0)
+///   u64 row_count    | u64 payload_len
+///   payload_len bytes of payload
+///   u32 masked CRC32C over header + payload
+inline constexpr uint32_t kExtentMagic = 0x31584541u;  // "AEX1"
+inline constexpr uint8_t kExtentVersion = 1;
+inline constexpr size_t kExtentHeaderBytes = 4 + 1 + 1 + 2 + 8 + 8;
+inline constexpr size_t kExtentTrailerBytes = 4;
+/// Dictionary encoding bails beyond this many distinct values ("dict
+/// miss"): past that point the dictionary plus wide indices cannot beat
+/// plain on 8-byte slots, so scanning further is wasted work.
+inline constexpr size_t kMaxExtentDictEntries = 4096;
+/// Hard cap on rows per extent; decode rejects anything larger before
+/// allocating (a hostile frame must not size a vector from its own bytes).
+inline constexpr size_t kMaxExtentRows = 1u << 24;
+
+/// Encodes `row_count` raw slots into a self-verifying extent frame.
+/// `type` gates the frame-of-reference candidate (integer-like columns
+/// only); plain always applies, so encoding never fails. The chosen
+/// encoding is reported through `chosen` when non-null.
+std::string EncodeExtent(const uint64_t* slots, size_t row_count,
+                         ValueType type, ExtentEncoding* chosen = nullptr);
+
+/// Decodes a frame produced by EncodeExtent into `out` (resized to the
+/// frame's row count). Every byte is validated before use: magic, version,
+/// encoding, exact payload size, CRC, dictionary bounds and packed-stream
+/// sizes. Truncated or bit-flipped frames come back as IoError, never as
+/// wrong data or a crash.
+Status DecodeExtent(std::string_view frame, std::vector<uint64_t>* out);
+
+/// Row count a valid frame advertises (header fields + CRC are verified
+/// first; cheap relative to a full decode only in that no payload pass
+/// runs). Used by loaders to pre-check against the expected segment shape.
+Result<uint64_t> ExtentRowCount(std::string_view frame);
+
+const char* ExtentEncodingName(ExtentEncoding encoding);
+
+}  // namespace anker::storage
+
+#endif  // ANKER_STORAGE_EXTENT_CODEC_H_

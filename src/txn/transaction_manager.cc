@@ -115,8 +115,11 @@ Status TransactionManager::Commit(Transaction* txn) {
     std::vector<WriteRecord> records;
     records.reserve(txn->writes().size());
     for (const Transaction::LocalWrite& write : txn->writes()) {
-      const uint64_t old_raw = write.column->ReadLatestRaw(write.row);
-      write.column->ApplyCommittedWrite(write.row, write.new_raw, commit_ts);
+      // ApplyCommittedWrite hands back the pre-image: reading it via
+      // ReadLatestRaw here would fault cold segments in through the
+      // exclusive latch and deadlock against our own shared hold.
+      const uint64_t old_raw = write.column->ApplyCommittedWrite(
+          write.row, write.new_raw, commit_ts);
       records.push_back(
           WriteRecord{write.column, write.row, old_raw, write.new_raw});
     }
@@ -285,8 +288,10 @@ Status TransactionManager::CommitPrepared(uint64_t gtid,
     std::vector<WriteRecord> records;
     records.reserve(txn.writes.size());
     for (const mvcc::IntentWrite& write : txn.writes) {
-      const uint64_t old_raw = write.column->ReadLatestRaw(write.row);
-      write.column->ApplyCommittedWrite(write.row, write.new_raw, apply_ts);
+      // Pre-image via ApplyCommittedWrite, not ReadLatestRaw: the read
+      // path's cold fault-in takes the exclusive latch we hold shared.
+      const uint64_t old_raw = write.column->ApplyCommittedWrite(
+          write.row, write.new_raw, apply_ts);
       records.push_back(
           WriteRecord{write.column, write.row, old_raw, write.new_raw});
     }

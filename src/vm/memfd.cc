@@ -1,5 +1,6 @@
 #include "vm/memfd.h"
 
+#include <fcntl.h>
 #include <sys/mman.h>
 #include <unistd.h>
 
@@ -87,6 +88,19 @@ Status Memfd::ReadAt(void* dst, size_t len, off_t offset) const {
     p += n;
     offset += n;
     remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Memfd::PunchHole(off_t offset, size_t len) const {
+  ANKER_CHECK(IsPageAligned(static_cast<size_t>(offset)) &&
+              IsPageAligned(len));
+  ANKER_CHECK(static_cast<size_t>(offset) + len <= size_);
+  if (len == 0) return Status::OK();
+  if (::fallocate(fd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE, offset,
+                  static_cast<off_t>(len)) != 0) {
+    return Status::IoError(std::string("fallocate(PUNCH_HOLE): ") +
+                           std::strerror(errno));
   }
   return Status::OK();
 }

@@ -38,6 +38,12 @@ class Memfd {
   /// Reads `len` bytes into `dst` from `offset` (pread loop).
   Status ReadAt(void* dst, size_t len, off_t offset) const;
 
+  /// Deallocates the backing pages of [offset, offset+len) without
+  /// changing the file size (fallocate PUNCH_HOLE|KEEP_SIZE). Subsequent
+  /// reads of the range observe zeros; the tmpfs pages are freed — the
+  /// reclaim primitive behind cold-segment eviction. Page aligned.
+  Status PunchHole(off_t offset, size_t len) const;
+
   int fd() const { return fd_; }
   size_t size() const { return size_; }
   bool valid() const { return fd_ >= 0; }

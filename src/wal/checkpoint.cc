@@ -21,10 +21,16 @@ namespace {
 #endif
 
 constexpr uint32_t kColumnMagic = 0x314C4341u;    // "ACL1"
+// Incremental column image: extent references instead of slot bytes.
+constexpr uint32_t kColumnExtMagic = 0x324C4341u;  // "ACL2"
 constexpr uint32_t kIndexMagic = 0x31584941u;     // "AIX1"
 // v2 ("ANKRMFT2"): manifests carry the covered WAL LSN (wal_lsn) so
 // replicas know where to resume the log stream after a bootstrap.
-constexpr uint64_t kManifestMagic = 0x3254464D524B4E41ULL;  // "ANKRMFT2"
+constexpr uint64_t kManifestMagicV2 = 0x3254464D524B4E41ULL;  // "ANKRMFT2"
+// v3 ("ANKRMFT3"): adds the cold-tier section (extent-id watermark and
+// referenced-extent list) after the 2PC section. v2 still decodes.
+constexpr uint64_t kManifestMagic = 0x3354464D524B4E41ULL;  // "ANKRMFT3"
+constexpr size_t kExtentRefBytes = 8 + 8 + 8 + 4 + 4;
 constexpr size_t kBlobHeaderBytes = 4 + 4 + 8;
 
 std::string CheckpointDirName(mvcc::Timestamp ts) {
@@ -92,18 +98,24 @@ void EncodeManifest(const CheckpointManifest& m, std::string* out) {
     PutU8(out, o.outcome);
     PutU64(out, o.commit_ts);
   }
+  // v3 cold-tier section.
+  PutU64(out, m.next_extent_id);
+  PutU32(out, static_cast<uint32_t>(m.extents.size()));
+  for (const uint64_t id : m.extents) PutU64(out, id);
 }
 
 Status DecodeManifest(std::string_view in, CheckpointManifest* m) {
   const Status malformed = Status::IoError("malformed checkpoint manifest");
   uint64_t magic = 0;
   uint32_t ntables = 0;
-  if (!GetU64(&in, &magic) || magic != kManifestMagic ||
+  if (!GetU64(&in, &magic) ||
+      (magic != kManifestMagic && magic != kManifestMagicV2) ||
       !GetU64(&in, &m->checkpoint_ts) || !GetU64(&in, &m->commit_count) ||
       !GetU64(&in, &m->next_txn_id) || !GetU64(&in, &m->wal_lsn) ||
       !GetU32(&in, &ntables)) {
     return malformed;
   }
+  const bool has_extent_section = magic == kManifestMagic;
   m->tables.clear();
   m->tables.reserve(ntables);
   for (uint32_t i = 0; i < ntables; ++i) {
@@ -147,7 +159,12 @@ Status DecodeManifest(std::string_view in, CheckpointManifest* m) {
   }
   m->prepared.clear();
   m->outcomes.clear();
-  if (in.empty()) return Status::OK();  // Pre-2PC manifest: no section.
+  m->next_extent_id = 1;
+  m->extents.clear();
+  if (in.empty()) {
+    // Pre-2PC manifest: no trailing sections (only possible under v2).
+    return has_extent_section ? malformed : Status::OK();
+  }
   uint32_t nprepared = 0;
   if (!GetU32(&in, &nprepared)) return malformed;
   m->prepared.reserve(nprepared);
@@ -181,35 +198,64 @@ Status DecodeManifest(std::string_view in, CheckpointManifest* m) {
     }
     m->outcomes.push_back(o);
   }
+  if (has_extent_section) {
+    uint32_t nextents = 0;
+    if (!GetU64(&in, &m->next_extent_id) || !GetU32(&in, &nextents)) {
+      return malformed;
+    }
+    m->extents.reserve(nextents);
+    for (uint32_t i = 0; i < nextents; ++i) {
+      uint64_t id = 0;
+      if (!GetU64(&in, &id)) return malformed;
+      m->extents.push_back(id);
+    }
+  }
   if (!in.empty()) return malformed;
   return Status::OK();
 }
 
-/// Reads a blob file written by CheckpointWriter::WriteBlob, verifies
-/// magic, item count and CRC, and returns the body bytes.
-Status ReadBlob(const std::string& path, uint32_t expected_magic,
-                uint64_t expected_items, size_t item_bytes,
-                std::string* body) {
+/// Reads a blob file written by CheckpointWriter::WriteBlob, verifies its
+/// CRC, and returns the magic, item count and body bytes — callers that
+/// accept more than one format (LoadColumn: ACL1 or ACL2) branch on the
+/// magic after the integrity check.
+Status ParseBlob(const std::string& path, uint32_t* magic_out,
+                 uint64_t* items_out, std::string* body) {
   std::string data;
   ANKER_RETURN_IF_ERROR(ReadFile(path, &data));
   std::string_view in(data);
   uint32_t magic = 0, pad = 0;
   uint64_t items = 0;
   if (!GetU32(&in, &magic) || !GetU32(&in, &pad) || !GetU64(&in, &items) ||
-      magic != expected_magic || items != expected_items) {
+      in.size() < 4) {
     return Status::IoError("checkpoint blob header mismatch: " + path);
   }
-  const size_t body_bytes = items * item_bytes;
-  if (in.size() != body_bytes + 4) {
-    return Status::IoError("checkpoint blob size mismatch: " + path);
-  }
+  const size_t body_bytes = in.size() - 4;
   const uint32_t crc = Crc32c(0, in.data(), body_bytes);
   std::string_view trailer = in.substr(body_bytes);
   uint32_t masked = 0;
   if (!GetU32(&trailer, &masked) || UnmaskCrc(masked) != crc) {
     return Status::IoError("checkpoint blob checksum mismatch: " + path);
   }
+  *magic_out = magic;
+  *items_out = items;
   body->assign(in.data(), body_bytes);
+  return Status::OK();
+}
+
+/// ParseBlob plus the strict single-format checks: expected magic, item
+/// count, and exact body size.
+Status ReadBlob(const std::string& path, uint32_t expected_magic,
+                uint64_t expected_items, size_t item_bytes,
+                std::string* body) {
+  uint32_t magic = 0;
+  uint64_t items = 0;
+  ANKER_RETURN_IF_ERROR(ParseBlob(path, &magic, &items, body));
+  if (magic != expected_magic || items != expected_items) {
+    return Status::IoError("checkpoint blob header mismatch: " + path);
+  }
+  if (body->size() != items * item_bytes) {
+    return Status::IoError("checkpoint blob size mismatch: " + path);
+  }
   return Status::OK();
 }
 
@@ -301,6 +347,30 @@ Status CheckpointWriter::WriteColumnResolved(
         return Status::OK();
       },
       num_rows);
+}
+
+Status CheckpointWriter::WriteColumnExtents(
+    uint32_t table_id, uint32_t column_id,
+    const std::vector<storage::SegmentExtentRef>& refs) {
+  ANKER_CHECK(begun_);
+  const std::string path =
+      tmp_path_ + "/" + ColumnFileName(table_id, column_id);
+  return WriteBlob(
+      path, kColumnExtMagic,
+      [&](int fd, uint32_t* crc) {
+        std::string body;
+        body.reserve(refs.size() * kExtentRefBytes);
+        for (const storage::SegmentExtentRef& ref : refs) {
+          PutU64(&body, ref.extent_id);
+          PutU64(&body, ref.row_begin);
+          PutU64(&body, ref.row_count);
+          PutU32(&body, ref.crc);
+          PutU32(&body, 0);  // pad: record stays 32 bytes, 8-aligned
+        }
+        *crc = Crc32c(0, body.data(), body.size());
+        return WriteFully(fd, body.data(), body.size());
+      },
+      refs.size());
 }
 
 Status CheckpointWriter::WriteIndex(uint32_t table_id,
@@ -420,19 +490,71 @@ Result<CheckpointManifest> CheckpointReader::ReadManifest(
   return manifest;
 }
 
-Status CheckpointReader::LoadColumn(const std::string& ckpt_path,
-                                    uint32_t table_id, uint32_t column_id,
-                                    storage::Column* column) {
+Status CheckpointReader::LoadColumn(
+    const std::string& ckpt_path, uint32_t table_id, uint32_t column_id,
+    storage::Column* column, storage::ExtentStore* extents,
+    std::vector<storage::SegmentExtentRef>* refs_out) {
+  if (refs_out != nullptr) refs_out->clear();
+  const std::string path =
+      ckpt_path + "/" + ColumnFileName(table_id, column_id);
   std::string body;
-  ANKER_RETURN_IF_ERROR(
-      ReadBlob(ckpt_path + "/" + ColumnFileName(table_id, column_id),
-               kColumnMagic, column->num_rows(), sizeof(uint64_t), &body));
+  uint32_t magic = 0;
+  uint64_t items = 0;
+  ANKER_RETURN_IF_ERROR(ParseBlob(path, &magic, &items, &body));
   const size_t num_rows = column->num_rows();
-  for (size_t row = 0; row < num_rows; ++row) {
-    uint64_t raw;
-    std::memcpy(&raw, body.data() + row * sizeof(uint64_t),
-                sizeof(uint64_t));
-    column->LoadValue(row, raw);
+
+  if (magic == kColumnMagic) {
+    if (items != num_rows || body.size() != items * sizeof(uint64_t)) {
+      return Status::IoError("checkpoint blob size mismatch: " + path);
+    }
+    for (size_t row = 0; row < num_rows; ++row) {
+      uint64_t raw;
+      std::memcpy(&raw, body.data() + row * sizeof(uint64_t),
+                  sizeof(uint64_t));
+      column->LoadValue(row, raw);
+    }
+    return Status::OK();
+  }
+
+  if (magic != kColumnExtMagic) {
+    return Status::IoError("checkpoint blob header mismatch: " + path);
+  }
+  if (body.size() != items * kExtentRefBytes) {
+    return Status::IoError("checkpoint blob size mismatch: " + path);
+  }
+  if (extents == nullptr) {
+    return Status::IoError("extent-backed column " + path +
+                           " but no extent store (data_dir misconfigured?)");
+  }
+  std::string_view in(body);
+  uint64_t next_row = 0;
+  std::vector<uint64_t> slots;
+  for (uint64_t i = 0; i < items; ++i) {
+    storage::SegmentExtentRef ref;
+    uint32_t pad = 0;
+    if (!GetU64(&in, &ref.extent_id) || !GetU64(&in, &ref.row_begin) ||
+        !GetU64(&in, &ref.row_count) || !GetU32(&in, &ref.crc) ||
+        !GetU32(&in, &pad) || pad != 0) {
+      return Status::IoError("malformed extent reference in " + path);
+    }
+    // References must tile the column contiguously from row 0; anything
+    // else means the file and the column disagree about geometry.
+    if (ref.row_begin != next_row || ref.row_count == 0 ||
+        ref.row_begin + ref.row_count > num_rows) {
+      return Status::IoError("extent reference coverage gap in " + path);
+    }
+    next_row = ref.row_begin + ref.row_count;
+    slots.clear();
+    ANKER_RETURN_IF_ERROR(extents->Load(ref.extent_id, ref.crc,
+                                        ref.row_count, &slots,
+                                        &ref.file_bytes));
+    for (uint64_t r = 0; r < ref.row_count; ++r) {
+      column->LoadValue(ref.row_begin + r, slots[r]);
+    }
+    if (refs_out != nullptr) refs_out->push_back(ref);
+  }
+  if (next_row != num_rows) {
+    return Status::IoError("extent reference coverage gap in " + path);
   }
   return Status::OK();
 }

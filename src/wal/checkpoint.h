@@ -12,7 +12,9 @@
 #include "mvcc/intent_table.h"
 #include "mvcc/timestamp_oracle.h"
 #include "storage/column.h"
+#include "storage/extent.h"
 #include "storage/hash_index.h"
+#include "storage/segment_storage.h"
 #include "storage/table.h"
 #include "wal/wal_format.h"
 
@@ -73,6 +75,14 @@ struct CheckpointManifest {
   /// manifests, which decode with both vectors empty).
   std::vector<CheckpointPreparedTxn> prepared;
   std::vector<CheckpointTxnOutcome> outcomes;
+  /// Cold-tier section (v3; v2 manifests decode with the defaults below).
+  /// Extent-id allocator watermark — recovery seeds the store past it so a
+  /// restart never reuses an id a stale reference could still name.
+  uint64_t next_extent_id = 1;
+  /// Every extent id some column file of this checkpoint references.
+  /// Doubles as the prune keep-set: an extent outside this list (and not
+  /// live in a tiered column) is garbage after the checkpoint flips.
+  std::vector<uint64_t> extents;
 };
 
 /// Streams one checkpoint into `<data_dir>/ckpt-<ts>.tmp/`, then publishes
@@ -98,6 +108,14 @@ class CheckpointWriter {
   Status WriteColumnResolved(uint32_t table_id, uint32_t column_id,
                              size_t num_rows,
                              const std::function<uint64_t(size_t)>& read);
+
+  /// Incremental column image: instead of the slot bytes, the file holds
+  /// references to published extents — one per segment, contiguous from
+  /// row 0. Unchanged segments reuse the extent already on disk, so the
+  /// checkpoint's data volume is O(changed segments), not O(table).
+  Status WriteColumnExtents(
+      uint32_t table_id, uint32_t column_id,
+      const std::vector<storage::SegmentExtentRef>& refs);
 
   Status WriteIndex(uint32_t table_id, const storage::HashIndex& index);
 
@@ -131,9 +149,17 @@ class CheckpointReader {
                                                  std::string* ckpt_path);
 
   /// Loads column data into `column` via its load path (timestamp-0
-  /// values; version chains start empty after recovery).
+  /// values; version chains start empty after recovery). A plain (ACL1)
+  /// file is copied slot by slot; an extent-ref (ACL2) file resolves each
+  /// reference through `extents` (required then — an extent-backed column
+  /// with a null store is a recovery error). When `refs_out` is non-null
+  /// it receives the resolved references (empty for plain files) so the
+  /// caller can re-seed segment residency bookkeeping.
   static Status LoadColumn(const std::string& ckpt_path, uint32_t table_id,
-                           uint32_t column_id, storage::Column* column);
+                           uint32_t column_id, storage::Column* column,
+                           storage::ExtentStore* extents = nullptr,
+                           std::vector<storage::SegmentExtentRef>* refs_out =
+                               nullptr);
 
   static Status LoadIndex(const std::string& ckpt_path, uint32_t table_id,
                           uint64_t expected_entries,

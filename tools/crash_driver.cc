@@ -27,6 +27,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -53,7 +54,18 @@ struct DriverOptions {
   uint64_t seed = 7;
   uint64_t ckpt_every = 4000;      ///< Auto-checkpoint cadence (commits).
   size_t segment_bytes = 1 << 16;  ///< Small: kills land mid-rotation too.
+  uint64_t cold_budget = 0;        ///< >0: cold tier on + archive workload.
+  size_t cold_segment_rows = 1024;
 };
+
+/// Rows of the version-free archive table the cold iterations spill and
+/// fault back in; immutable after load, so its recovered content is a
+/// pure function of the bootstrap (no WAL records involved).
+constexpr size_t kArchiveRows = 16384;
+
+int64_t ArchiveValue(size_t row) {
+  return static_cast<int64_t>((row * 2654435761u) ^ (row >> 3));
+}
 
 int64_t InitialBalance(size_t row) {
   return 1000 + static_cast<int64_t>((row * 37) % 1000);
@@ -73,12 +85,18 @@ engine::DatabaseConfig MakeConfig(const DriverOptions& options,
     config.data_dir = options.dir;
     config.wal_segment_bytes = options.segment_bytes;
     config.checkpoint_interval_commits = options.ckpt_every;
+    config.cold_budget_bytes = options.cold_budget;
+    config.cold_segment_rows = options.cold_segment_rows;
   }
   return config;
 }
 
+/// The archive table exists whenever the cold tier is exercised — in the
+/// durable instance AND in verify's in-memory re-simulation (which never
+/// tiers), so the content digests stay comparable.
 Status CreateTables(engine::Database* db, const DriverOptions& options,
-                    storage::Table** ledger, storage::Table** meta) {
+                    storage::Table** ledger, storage::Table** meta,
+                    storage::Table** archive) {
   auto ledger_r = db->CreateTable(
       "ledger", {{"balance", storage::ValueType::kInt64}}, options.accounts);
   ANKER_RETURN_IF_ERROR(ledger_r.status());
@@ -87,6 +105,17 @@ Status CreateTables(engine::Database* db, const DriverOptions& options,
       "meta", {{"serial", storage::ValueType::kInt64}}, kMetaRows);
   ANKER_RETURN_IF_ERROR(meta_r.status());
   *meta = meta_r.value();
+  *archive = nullptr;
+  if (options.cold_budget > 0) {
+    auto archive_r = db->CreateTable(
+        "archive", {{"value", storage::ValueType::kInt64}}, kArchiveRows);
+    ANKER_RETURN_IF_ERROR(archive_r.status());
+    *archive = archive_r.value();
+    storage::Column* value = (*archive)->GetColumn("value");
+    for (size_t row = 0; row < kArchiveRows; ++row) {
+      value->LoadValue(row, storage::EncodeInt64(ArchiveValue(row)));
+    }
+  }
   return Status::OK();
 }
 
@@ -130,7 +159,8 @@ int RunMode(const DriverOptions& options) {
   db.Start();
   storage::Table* ledger = nullptr;
   storage::Table* meta = nullptr;
-  Status s = CreateTables(&db, options, &ledger, &meta);
+  storage::Table* archive = nullptr;
+  Status s = CreateTables(&db, options, &ledger, &meta, &archive);
   if (!s.ok()) {
     std::fprintf(stderr, "create tables: %s\n", s.ToString().c_str());
     return 1;
@@ -149,6 +179,24 @@ int RunMode(const DriverOptions& options) {
 
   std::atomic<bool> failed{false};
   std::vector<std::thread> workers;
+  // Cold churn: spill everything spillable, fault a few archive rows back
+  // in, repeat. Keeps extent publication / eviction / fault-in active the
+  // whole run, so a randomized SIGKILL (or an armed extent.publish.* /
+  // ckpt.publish.* fault point) lands inside the cold tier's protocols.
+  if (options.cold_budget > 0) {
+    workers.emplace_back([&db, archive, &failed] {
+      storage::Column* value = archive->GetColumn("value");
+      for (uint64_t tick = 0; !failed.load(std::memory_order_relaxed);
+           ++tick) {
+        (void)db.SpillColdData();  // Best effort, like the budget enforcer.
+        for (uint64_t i = 0; i < 4; ++i) {
+          const size_t row = (tick * 131 + i * 4099) % kArchiveRows;
+          (void)value->ReadLatestRaw(row);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
   for (size_t t = 0; t < options.threads; ++t) {
     workers.emplace_back([&, t] {
       const std::string ack_path =
@@ -235,17 +283,52 @@ int VerifyMode(const DriverOptions& options) {
   storage::Column* balance = ledger->GetColumn("balance");
   storage::Column* serial_col = meta->GetColumn("serial");
 
+  bool acked_any = false;
+  for (size_t t = 0; t < options.threads; ++t) {
+    if (LastAckedSerial(options.dir, t) > 0) acked_any = true;
+  }
+
   // 1. Conservation: transfers move money, they never create or destroy it.
   int64_t total = 0;
   for (size_t row = 0; row < options.accounts; ++row) {
     total += storage::DecodeInt64(balance->ReadLatestRaw(row));
   }
   if (total != ExpectedTotal(options.accounts)) {
+    // With fault points armed the kill can land inside the *bootstrap*
+    // checkpoint: the create records are in the WAL but the bulk load
+    // (never WAL-logged) died with the process. Legal iff nothing was
+    // acknowledged and the recovered ledger is the all-zero image
+    // (replayed transfers conserve that zero sum).
+    if (!acked_any && total == 0) {
+      std::printf("OK (killed before the bootstrap image became durable)\n");
+      return 0;
+    }
     std::fprintf(stderr,
                  "VERIFY FAILED: balance sum %" PRId64 " != expected %" PRId64
                  " (torn transaction)\n",
                  total, ExpectedTotal(options.accounts));
     return 2;
+  }
+
+  // 1b. Archive integrity (cold-tier runs): immutable after load, so every
+  // recovered row must match the deterministic load exactly — these reads
+  // cross the cold tier whenever the row's extent-backed segment is cold.
+  if (options.cold_budget > 0) {
+    if (!db->catalog().HasTable("archive")) {
+      return Fail("cold-tier run recovered without its archive table");
+    }
+    storage::Column* value =
+        db->catalog().GetTable("archive")->GetColumn("value");
+    for (size_t row = 0; row < kArchiveRows; ++row) {
+      if (storage::DecodeInt64(value->ReadLatestRaw(row)) !=
+          ArchiveValue(row)) {
+        std::fprintf(stderr,
+                     "VERIFY FAILED: archive row %zu diverged after "
+                     "recovery\n",
+                     row);
+        return 2;
+      }
+    }
   }
 
   // 2. Durability of acknowledged commits (group_commit contract).
@@ -270,7 +353,9 @@ int VerifyMode(const DriverOptions& options) {
     engine::Database sim(MakeConfig(options, /*durable=*/false));
     storage::Table* sim_ledger = nullptr;
     storage::Table* sim_meta = nullptr;
-    const Status s = CreateTables(&sim, options, &sim_ledger, &sim_meta);
+    storage::Table* sim_archive = nullptr;
+    const Status s =
+        CreateTables(&sim, options, &sim_ledger, &sim_meta, &sim_archive);
     if (!s.ok()) return Fail("re-simulation setup failed");
     LoadLedger(sim_ledger, options);
     for (uint64_t serial = 1; serial <= recovered[0]; ++serial) {
@@ -326,6 +411,9 @@ int main(int argc, char** argv) {
   options.ckpt_every = static_cast<uint64_t>(flags.Int("ckpt_every", 4000));
   options.segment_bytes =
       static_cast<size_t>(flags.Int("segment_bytes", 1 << 16));
+  options.cold_budget = static_cast<uint64_t>(flags.Int("cold_budget", 0));
+  options.cold_segment_rows =
+      static_cast<size_t>(flags.Int("cold_segment_rows", 1024));
   flags.RejectUnknown();
 
   if (options.dir.empty() || (mode != "run" && mode != "verify")) {
@@ -333,7 +421,8 @@ int main(int argc, char** argv) {
                  "usage: crash_driver --mode=run|verify --dir=PATH "
                  "[--durability=group_commit|lazy] [--threads=N] "
                  "[--accounts=N] [--seed=N] [--ckpt_every=N] "
-                 "[--segment_bytes=N]\n");
+                 "[--segment_bytes=N] [--cold_budget=BYTES] "
+                 "[--cold_segment_rows=N]\n");
     return 64;
   }
   if (durability == "lazy") {
